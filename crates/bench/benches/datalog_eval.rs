@@ -1,0 +1,87 @@
+//! E18 — Datalog engine benchmark: naive vs. semi-naive fixpoint on
+//! transitive closure over structured and random graphs, plus stratified
+//! Q_TC end-to-end.
+
+use calm_bench::workloads::{scaling_graph, structured};
+use calm_common::query::Query;
+use calm_datalog::eval::{eval_program_with, Engine};
+use calm_datalog::parse_program;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn tc_program() -> calm_datalog::Program {
+    parse_program("T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).").unwrap()
+}
+
+fn bench_tc_engines(c: &mut Criterion) {
+    let p = tc_program();
+    let mut group = c.benchmark_group("tc_engines");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for kind in ["chain", "cycle", "grid"] {
+        for n in [16usize, 32, 64] {
+            let input = structured(kind, n);
+            group.bench_with_input(
+                BenchmarkId::new(format!("seminaive/{kind}"), n),
+                &input,
+                |b, input| {
+                    b.iter(|| eval_program_with(&p, input, Engine::SemiNaive).unwrap())
+                },
+            );
+            if n > 32 {
+                continue; // naive and unindexed baselines explode past 32
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("seminaive-baseline/{kind}"), n),
+                &input,
+                |b, input| {
+                    b.iter(|| eval_program_with(&p, input, Engine::SemiNaiveBaseline).unwrap())
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("naive/{kind}"), n),
+                &input,
+                |b, input| b.iter(|| eval_program_with(&p, input, Engine::Naive).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_random_graphs(c: &mut Criterion) {
+    let p = tc_program();
+    let mut group = c.benchmark_group("tc_random");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [16usize, 32, 64] {
+        let input = scaling_graph(18, n, 2.0);
+        group.bench_with_input(BenchmarkId::new("seminaive", n), &input, |b, input| {
+            b.iter(|| eval_program_with(&p, input, Engine::SemiNaive).unwrap())
+        });
+        if n <= 32 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &input, |b, input| {
+                b.iter(|| eval_program_with(&p, input, Engine::Naive).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_stratified_qtc(c: &mut Criterion) {
+    let q = calm_queries::qtc::qtc_datalog();
+    let mut group = c.benchmark_group("stratified_qtc");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [8usize, 16, 32] {
+        let input = scaling_graph(19, n, 1.5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| q.eval(input))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tc_engines, bench_random_graphs, bench_stratified_qtc);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E1 bench — cost of the separating queries and of monotonicity
+//! certification (the falsifier machinery itself).
+
+use calm_bench::workloads::scaling_graph;
+use calm_common::generator::InstanceRng;
+use calm_common::query::Query;
+use calm_monotone::{ExtensionKind, Falsifier};
+use calm_queries::{CliqueQuery, StarQuery};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+
+fn bench_separating_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("separating_queries");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [16usize, 32] {
+        let input = scaling_graph(50, n, 2.0);
+        let clique = CliqueQuery::new(4);
+        group.bench_with_input(BenchmarkId::new("q4clique", n), &input, |b, input| {
+            b.iter(|| clique.eval(input))
+        });
+        let star = StarQuery::new(4);
+        group.bench_with_input(BenchmarkId::new("q4star", n), &input, |b, input| {
+            b.iter(|| star.eval(input))
+        });
+        let qtc = calm_queries::qtc::qtc_native();
+        group.bench_with_input(BenchmarkId::new("qtc_native", n), &input, |b, input| {
+            b.iter(|| qtc.eval(input))
+        });
+    }
+    group.finish();
+}
+
+fn bench_falsifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("falsifier");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let q = calm_queries::tc::edges_without_source_loop();
+    for kind in [ExtensionKind::Any, ExtensionKind::DomainDisjoint] {
+        group.bench_function(BenchmarkId::new("sp_query", format!("{kind:?}")), |b| {
+            b.iter(|| {
+                Falsifier::new(kind)
+                    .with_trials(50)
+                    .falsify(&q, |r| InstanceRng::seeded(r.gen()).gnp(5, 0.35))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_separating_queries, bench_falsifier);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! E11 — wall-clock cost of the three coordination-free strategies
+//! (§4.3) as network size and input size grow.
+
+use calm_bench::workloads::scaling_graph;
+use calm_queries::qtc::qtc_datalog;
+use calm_queries::tc::{edges_without_source_loop, tc_datalog};
+use calm_transducer::{
+    run, DisjointStrategy, DistinctStrategy, DomainGuidedPolicy, HashPolicy, MonotoneBroadcast,
+    Network, Scheduler, SystemConfig, TransducerNetwork,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_monotone_broadcast(c: &mut Criterion) {
+    let t = MonotoneBroadcast::new(Box::new(tc_datalog()));
+    let mut group = c.benchmark_group("strategy_monotone");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [2usize, 4, 8] {
+        let input = scaling_graph(30, 16, 1.5);
+        let policy = HashPolicy::new(Network::of_size(n));
+        let tn = TransducerNetwork {
+            transducer: &t,
+            policy: &policy,
+            config: SystemConfig::ORIGINAL,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| run(&tn, input, &Scheduler::RoundRobin, 2_000_000))
+        });
+    }
+    group.finish();
+}
+
+fn bench_distinct_strategy(c: &mut Criterion) {
+    let t = DistinctStrategy::new(Box::new(edges_without_source_loop()));
+    let mut group = c.benchmark_group("strategy_distinct");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [2usize, 4] {
+        let input = scaling_graph(31, 10, 1.5);
+        let policy = HashPolicy::new(Network::of_size(n));
+        let tn = TransducerNetwork {
+            transducer: &t,
+            policy: &policy,
+            config: SystemConfig::POLICY_AWARE,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| run(&tn, input, &Scheduler::RoundRobin, 2_000_000))
+        });
+    }
+    group.finish();
+}
+
+fn bench_disjoint_strategy(c: &mut Criterion) {
+    let t = DisjointStrategy::new(Box::new(qtc_datalog()));
+    let mut group = c.benchmark_group("strategy_disjoint");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [2usize, 4] {
+        let input = scaling_graph(32, 10, 1.5);
+        let policy = DomainGuidedPolicy::new(Network::of_size(n));
+        let tn = TransducerNetwork {
+            transducer: &t,
+            policy: &policy,
+            config: SystemConfig::POLICY_AWARE,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| run(&tn, input, &Scheduler::RoundRobin, 2_000_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_monotone_broadcast,
+    bench_distinct_strategy,
+    bench_disjoint_strategy
+);
+criterion_main!(benches);

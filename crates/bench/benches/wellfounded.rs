@@ -1,0 +1,38 @@
+//! E16 bench — well-founded semantics: alternating fixpoint vs the
+//! doubled-program evaluation vs native backward induction on growing
+//! random games.
+
+use calm_bench::workloads::scaling_game;
+use calm_common::query::Query;
+use calm_datalog::parse_program;
+use calm_datalog::wellfounded::{doubled_program, well_founded_model};
+use calm_queries::winmove::win_move_native;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_wfs(c: &mut Criterion) {
+    let p = parse_program("win(x) :- move(x,y), not win(y).").unwrap();
+    let d = doubled_program(&p);
+    let native = win_move_native();
+    let mut group = c.benchmark_group("winmove");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [16usize, 32, 64] {
+        let game = scaling_game(40, n, 3);
+        group.bench_with_input(
+            BenchmarkId::new("alternating_fixpoint", n),
+            &game,
+            |b, game| b.iter(|| well_founded_model(&p, game)),
+        );
+        group.bench_with_input(BenchmarkId::new("doubled_program", n), &game, |b, game| {
+            b.iter(|| d.eval(game))
+        });
+        group.bench_with_input(BenchmarkId::new("backward_induction", n), &game, |b, game| {
+            b.iter(|| native.eval(game))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wfs);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! The experiment suite: one function per experiment id (E1–E17, see
+//! DESIGN.md's per-experiment index), each returning a [`Report`].
+
+mod engine;
+mod fragments;
+mod hierarchy;
+mod policies;
+mod strategies;
+mod winmove;
+
+use crate::report::Report;
+
+pub use engine::e18_engine;
+pub use fragments::{e12_example51, e13_components, e14_semicon, e15_wilog};
+pub use hierarchy::{e1_hierarchy, e2_bounded_m, e3_clique_ladder, e4_star_ladder, e5_cross, e6_preservation};
+pub use policies::e7_policies;
+pub use strategies::{e10_no_all, e11_strategy_costs, e8_distinct_model, e9_disjoint_model};
+pub use winmove::e16_winmove;
+
+/// An experiment entry: `(id, runner)`.
+pub type Experiment = (&'static str, fn() -> Report);
+
+/// All experiments in order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        ("e1", e1_hierarchy as fn() -> Report),
+        ("e2", e2_bounded_m),
+        ("e3", e3_clique_ladder),
+        ("e4", e4_star_ladder),
+        ("e5", e5_cross),
+        ("e6", e6_preservation),
+        ("e7", e7_policies),
+        ("e8", e8_distinct_model),
+        ("e9", e9_disjoint_model),
+        ("e10", e10_no_all),
+        ("e11", e11_strategy_costs),
+        ("e12", e12_example51),
+        ("e13", e13_components),
+        ("e14", e14_semicon),
+        ("e15", e15_wilog),
+        ("e16", e16_winmove),
+        ("e18", e18_engine),
+    ]
+}
+
+/// E17: the Figure-2 summary matrix, assembled from the other reports.
+pub fn e17_summary(reports: &[Report]) -> Report {
+    let mut r = Report::new(
+        "E17",
+        "Figure 2 — the full class/fragment/model diagram, machine-checked",
+    );
+    let lookup = |id: &str| -> bool {
+        reports
+            .iter()
+            .find(|rep| rep.id.eq_ignore_ascii_case(id))
+            .map(Report::all_pass)
+            .unwrap_or(false)
+    };
+    r.claim(
+        "Datalog(≠) ⊆ M; SP-Datalog ⊆ Mdistinct; semicon-Datalog¬ ⊆ Mdisjoint",
+        "fragment membership experiments",
+        lookup("E1") && lookup("E14"),
+    );
+    r.claim(
+        "M ⊊ Mdistinct ⊊ Mdisjoint ⊊ C (Figure 1 spine)",
+        "separating queries",
+        lookup("E1"),
+    );
+    r.claim(
+        "bounded ladders Mᵢ* strict; M = Mᵢ",
+        "clique/star/duplicate ladders",
+        lookup("E2") && lookup("E3") && lookup("E4") && lookup("E5"),
+    );
+    r.claim(
+        "H ⊊ Hinj = M ⊊ E = Mdistinct (Lemma 3.2)",
+        "preservation checkers",
+        lookup("E6"),
+    );
+    r.claim(
+        "F0 = M, F1 = Mdistinct, F2 = Mdisjoint (Thms 4.3, 4.4)",
+        "strategy × model grid",
+        lookup("E8") && lookup("E9"),
+    );
+    r.claim(
+        "A1 = Mdistinct, A2 = Mdisjoint without All (Thm 4.5, Cor 4.6)",
+        "no-All reruns identical",
+        lookup("E10"),
+    );
+    r.claim(
+        "win-move ∈ Mdisjoint \\ Mdistinct; coordination-free under domain guidance",
+        "E16 + E9",
+        lookup("E16") && lookup("E9"),
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_ids_are_unique_and_ordered() {
+        let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
+        let mut dedup = ids.clone();
+        dedup.dedup();
+        assert_eq!(ids, dedup);
+        assert_eq!(ids[0], "e1");
+        assert_eq!(ids.len(), 17);
+    }
+
+    #[test]
+    fn summary_reflects_subreport_status() {
+        let mut ok = Report::new("E1", "x");
+        ok.claim("c", "m", true);
+        let s = e17_summary(&[ok]);
+        // E1-dependent row passes only if all other dependencies do too —
+        // with only E1 present, the Figure-1 spine row passes.
+        assert!(s
+            .claims
+            .iter()
+            .any(|(c, _, st)| c.contains("Figure 1") && *st == crate::report::Status::Pass));
+    }
+}

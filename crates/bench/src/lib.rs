@@ -1,0 +1,19 @@
+//! # calm-bench
+//!
+//! The experiment harness: regenerates every figure and claim of the
+//! paper (the `repro` binary, experiments E1–E17 of DESIGN.md) and hosts
+//! the Criterion benchmarks (`datalog_eval`, `strategies`, `wellfounded`,
+//! `hierarchy`).
+//!
+//! The paper is a theory paper — its "evaluation" is Figure 1 (the
+//! monotonicity hierarchy), Figure 2 (the class/fragment/model diagram)
+//! and the numbered theorems. `repro` turns each into an executable
+//! check and a table of measurements; EXPERIMENTS.md records the output.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;
+
+pub use report::{Report, Status};

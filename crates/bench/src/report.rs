@@ -1,0 +1,132 @@
+//! Report types for the `repro` binary: one [`Report`] per experiment,
+//! rendered as Markdown (ready to paste into EXPERIMENTS.md).
+
+use std::fmt;
+
+/// Outcome of one claim-check within an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The paper's claim reproduced.
+    Pass,
+    /// The claim did not reproduce (a real finding — investigate!).
+    Fail,
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Status::Pass => write!(f, "PASS"),
+            Status::Fail => write!(f, "FAIL"),
+        }
+    }
+}
+
+/// The result of one experiment: a Markdown section with a claims table
+/// and optional measurement tables.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id, e.g. `"E1"`.
+    pub id: String,
+    /// Paper anchor + one-line description.
+    pub title: String,
+    /// `(claim, measured, status)` rows.
+    pub claims: Vec<(String, String, Status)>,
+    /// Extra free-form Markdown blocks (measurement tables etc.).
+    pub tables: Vec<String>,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            claims: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Record a claim row.
+    pub fn claim(&mut self, claim: impl Into<String>, measured: impl Into<String>, ok: bool) {
+        self.claims.push((
+            claim.into(),
+            measured.into(),
+            if ok { Status::Pass } else { Status::Fail },
+        ));
+    }
+
+    /// Attach a free-form Markdown block.
+    pub fn table(&mut self, markdown: impl Into<String>) {
+        self.tables.push(markdown.into());
+    }
+
+    /// Whether every claim passed.
+    pub fn all_pass(&self) -> bool {
+        self.claims.iter().all(|(_, _, s)| *s == Status::Pass)
+    }
+
+    /// Render the Markdown section.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        out.push_str("| claim (paper) | measured | status |\n|---|---|---|\n");
+        for (claim, measured, status) in &self.claims {
+            out.push_str(&format!("| {claim} | {measured} | {status} |\n"));
+        }
+        for t in &self.tables {
+            out.push('\n');
+            out.push_str(t);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render a Markdown table from a header and rows.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&header.join(" | "));
+    out.push_str(" |\n|");
+    out.push_str(&"---|".repeat(header.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_markdown() {
+        let mut r = Report::new("E0", "smoke");
+        r.claim("a ⊆ b", "verified on 10 inputs", true);
+        r.claim("c ⊄ d", "witness found", true);
+        let md = r.to_markdown();
+        assert!(md.contains("### E0 — smoke"));
+        assert!(md.contains("| a ⊆ b | verified on 10 inputs | PASS |"));
+        assert!(r.all_pass());
+    }
+
+    #[test]
+    fn failures_detected() {
+        let mut r = Report::new("E0", "smoke");
+        r.claim("x", "y", false);
+        assert!(!r.all_pass());
+        assert!(r.to_markdown().contains("FAIL"));
+    }
+
+    #[test]
+    fn table_renderer() {
+        let t = markdown_table(
+            &["n", "messages"],
+            &[vec!["2".into(), "10".into()], vec!["4".into(), "44".into()]],
+        );
+        assert!(t.contains("| n | messages |"));
+        assert!(t.contains("| 4 | 44 |"));
+    }
+}

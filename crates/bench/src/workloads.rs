@@ -1,0 +1,55 @@
+//! Shared workload generators for experiments and benchmarks.
+
+use calm_common::generator::InstanceRng;
+use calm_common::instance::Instance;
+
+/// Random directed graphs of increasing size for scaling experiments:
+/// `|V| = n`, `|E| ≈ density · n`.
+pub fn scaling_graph(seed: u64, n: usize, density: f64) -> Instance {
+    let m = ((n as f64) * density) as usize;
+    let max_edges = n * (n - 1);
+    InstanceRng::seeded(seed).gnm(n, m.min(max_edges))
+}
+
+/// Random move-graphs for win-move scaling.
+pub fn scaling_game(seed: u64, n: usize, max_out: usize) -> Instance {
+    InstanceRng::seeded(seed).move_graph(n, max_out)
+}
+
+/// The structured graph family used by the engine benchmark: chains,
+/// cycles, grids.
+pub fn structured(kind: &str, n: usize) -> Instance {
+    match kind {
+        "chain" => calm_common::generator::path(n),
+        "cycle" => calm_common::generator::cycle(n),
+        "grid" => {
+            let side = (n as f64).sqrt().ceil() as usize;
+            calm_common::generator::grid(side, side)
+        }
+        other => panic!("unknown structured workload {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_graph_has_requested_edges() {
+        let g = scaling_graph(1, 10, 2.0);
+        assert_eq!(g.len(), 20);
+    }
+
+    #[test]
+    fn structured_kinds() {
+        assert_eq!(structured("chain", 5).len(), 5);
+        assert_eq!(structured("cycle", 5).len(), 5);
+        assert!(!structured("grid", 9).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown")]
+    fn unknown_kind_panics() {
+        let _ = structured("torus", 5);
+    }
+}

@@ -1,0 +1,374 @@
+//! # calm-cli
+//!
+//! The `calm` command-line tool: a front end over the workspace for
+//! people who want to *use* the system rather than link against it.
+//!
+//! ```text
+//! calm eval      PROGRAM.dl FACTS.dl          # stratified evaluation
+//! calm wfs       PROGRAM.dl FACTS.dl          # well-founded semantics
+//! calm classify  PROGRAM.dl                   # Figure-2 fragment report
+//! calm stratify  PROGRAM.dl                   # show the stratification
+//! calm check     PROGRAM.dl [--class KIND]    # monotonicity falsify/certify
+//! calm simulate  PROGRAM.dl FACTS.dl [--nodes N] [--strategy S]
+//! ```
+//!
+//! All commands read the Datalog syntax documented in
+//! [`calm_datalog::parser`]. The library half of this crate holds the
+//! command implementations so they can be unit-tested without spawning
+//! processes.
+
+#![warn(missing_docs)]
+
+use calm_common::instance::Instance;
+use calm_common::query::Query;
+use calm_datalog::fragment::classify;
+use calm_datalog::{parse_facts, parse_program, DatalogQuery, Program};
+use calm_monotone::{Exhaustive, ExtensionKind, Falsifier};
+use calm_transducer::{
+    expected_output, run, DisjointStrategy, DistinctStrategy, DomainGuidedPolicy, HashPolicy,
+    DistributionPolicy, MonotoneBroadcast, Network, Scheduler, SystemConfig, Transducer,
+    TransducerNetwork,
+};
+use std::fmt::Write as _;
+
+/// A CLI failure: message for stderr, nonzero exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parse a program source string with a friendly error.
+pub fn load_program(src: &str) -> Result<Program, CliError> {
+    parse_program(src).map_err(|e| err(format!("program: {e}")))
+}
+
+/// Parse a facts source string with a friendly error.
+pub fn load_facts(src: &str) -> Result<Instance, CliError> {
+    parse_facts(src).map_err(|e| err(format!("facts: {e}")))
+}
+
+/// `calm eval`: stratified evaluation, output relations printed
+/// fact-per-line.
+pub fn cmd_eval(program_src: &str, facts_src: &str) -> Result<String, CliError> {
+    let p = load_program(program_src)?;
+    let input = load_facts(facts_src)?;
+    let answer = calm_datalog::eval::eval_query(&p, &input)
+        .map_err(|e| err(format!("evaluation: {e}")))?;
+    Ok(render_instance(&answer))
+}
+
+/// `calm wfs`: well-founded semantics; prints true facts and, when the
+/// model is partial, the undefined facts.
+pub fn cmd_wfs(program_src: &str, facts_src: &str) -> Result<String, CliError> {
+    let p = load_program(program_src)?;
+    let input = load_facts(facts_src)?;
+    let model = calm_datalog::well_founded_model(&p, &input);
+    let out_schema = p.output_schema();
+    let mut out = String::new();
+    let _ = writeln!(out, "% true");
+    out.push_str(&render_instance(&model.true_facts.restrict(&out_schema)));
+    let undef = model.undefined().restrict(&out_schema);
+    if !undef.is_empty() {
+        let _ = writeln!(out, "% undefined");
+        out.push_str(&render_instance(&undef));
+    }
+    Ok(out)
+}
+
+/// `calm classify`: the Figure-2 fragment report.
+pub fn cmd_classify(program_src: &str) -> Result<String, CliError> {
+    let p = load_program(program_src)?;
+    let r = classify(&p);
+    let mut out = String::new();
+    let mut row = |name: &str, member: bool| {
+        let _ = writeln!(out, "{name:<24} {}", if member { "yes" } else { "no" });
+    };
+    row("Datalog (positive)", r.datalog);
+    row("Datalog(!=)", r.datalog_neq);
+    row("SP-Datalog", r.sp_datalog);
+    row("con-Datalog^not", r.connected);
+    row("semicon-Datalog^not", r.semi_connected);
+    row("stratifiable", r.stratifiable);
+    let class = if r.datalog_neq {
+        "M (monotone) — coordination-free in the original model (F0)"
+    } else if r.sp_datalog {
+        "Mdistinct — coordination-free in the policy-aware model (F1)"
+    } else if r.semi_connected {
+        "Mdisjoint — coordination-free under domain guidance (F2)"
+    } else if r.stratifiable {
+        "no guarantee from Figure 2 (outside semicon-Datalog^not)"
+    } else {
+        "not stratifiable — evaluate under the well-founded semantics"
+    };
+    let _ = writeln!(out, "=> {class}");
+    Ok(out)
+}
+
+/// `calm stratify`: print stratum numbers and the per-stratum programs.
+pub fn cmd_stratify(program_src: &str) -> Result<String, CliError> {
+    let p = load_program(program_src)?;
+    let s = calm_datalog::stratify(&p).map_err(|e| err(e.to_string()))?;
+    let mut out = String::new();
+    for (rel, stratum) in &s.stratum_of {
+        let _ = writeln!(out, "stratum {stratum}: {rel}");
+    }
+    for (i, part) in s.strata.iter().enumerate() {
+        let _ = writeln!(out, "-- P{} --", i + 1);
+        let _ = write!(out, "{part}");
+    }
+    Ok(out)
+}
+
+/// `calm check`: monotonicity class membership for one of
+/// `m | distinct | disjoint`, via exhaustive + randomized search.
+pub fn cmd_check(program_src: &str, class: &str, trials: usize) -> Result<String, CliError> {
+    let p = load_program(program_src)?;
+    let q = DatalogQuery::new("query", p).map_err(|e| err(e.to_string()))?;
+    let kind = parse_class(class)?;
+    let mut out = String::new();
+    if let Some(v) = Exhaustive::new(kind).certify(&q) {
+        let _ = writeln!(out, "NOT in {}: counterexample found", kind.class_name(None));
+        let _ = writeln!(out, "  I = {:?}", v.base);
+        let _ = writeln!(out, "  J = {:?}", v.extension);
+        let _ = writeln!(out, "  lost = {:?}", v.lost);
+        return Ok(out);
+    }
+    let schema = q.input_schema().clone();
+    let hit = Falsifier::new(kind).with_trials(trials).falsify(&q, move |rng| {
+        use rand::Rng;
+        let mut r = calm_common::generator::InstanceRng::seeded(rng.gen());
+        r.random_instance(&schema, 4, 5)
+    });
+    match hit {
+        Some(v) => {
+            let _ = writeln!(out, "NOT in {}: counterexample found", kind.class_name(None));
+            let _ = writeln!(out, "  I = {:?}", v.base);
+            let _ = writeln!(out, "  J = {:?}", v.extension);
+            let _ = writeln!(out, "  lost = {:?}", v.lost);
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "consistent with {} (exhaustive small-domain + {} randomized trials; membership is undecidable in general)",
+                kind.class_name(None),
+                trials
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// `calm simulate`: run the program through a coordination-free strategy
+/// on a simulated network and report output + run metrics.
+pub fn cmd_simulate(
+    program_src: &str,
+    facts_src: &str,
+    nodes: usize,
+    strategy: &str,
+) -> Result<String, CliError> {
+    cmd_simulate_opts(program_src, facts_src, nodes, strategy, false)
+}
+
+/// `calm simulate --trace`: as [`cmd_simulate`], optionally printing the
+/// per-transition event log before the output.
+pub fn cmd_simulate_opts(
+    program_src: &str,
+    facts_src: &str,
+    nodes: usize,
+    strategy: &str,
+    trace: bool,
+) -> Result<String, CliError> {
+    let p = load_program(program_src)?;
+    let input = load_facts(facts_src)?;
+    if nodes == 0 {
+        return Err(err("--nodes must be at least 1"));
+    }
+    let q = DatalogQuery::new("query", p).map_err(|e| err(e.to_string()))?;
+    let net = Network::of_size(nodes);
+    let (transducer, policy, config): (
+        Box<dyn Transducer>,
+        Box<dyn DistributionPolicy>,
+        SystemConfig,
+    ) = match strategy {
+        "monotone" | "broadcast" => (
+            Box::new(MonotoneBroadcast::new(Box::new(q))),
+            Box::new(HashPolicy::new(net)),
+            SystemConfig::ORIGINAL,
+        ),
+        "distinct" => (
+            Box::new(DistinctStrategy::new(Box::new(q))),
+            Box::new(HashPolicy::new(net)),
+            SystemConfig::POLICY_AWARE,
+        ),
+        "disjoint" => (
+            Box::new(DisjointStrategy::new(Box::new(q))),
+            Box::new(DomainGuidedPolicy::new(net)),
+            SystemConfig::POLICY_AWARE,
+        ),
+        other => {
+            return Err(err(format!(
+                "unknown strategy '{other}' (expected monotone|distinct|disjoint)"
+            )))
+        }
+    };
+    let tn = TransducerNetwork {
+        transducer: transducer.as_ref(),
+        policy: policy.as_ref(),
+        config,
+    };
+    let mut out = String::new();
+    let result = if trace {
+        let (result, log) = calm_transducer::traced_run(&tn, &input, 5_000_000);
+        let _ = writeln!(out, "% trace ({} transitions):", log.events.len());
+        out.push_str(&log.render());
+        result
+    } else {
+        run(&tn, &input, &Scheduler::RoundRobin, 5_000_000)
+    };
+    let _ = writeln!(out, "% quiescent: {}", result.quiescent);
+    let _ = writeln!(
+        out,
+        "% transitions: {}, messages sent: {}, delivered: {}",
+        result.metrics.transitions, result.metrics.messages_sent, result.metrics.messages_delivered
+    );
+    // Compare against the centralized answer.
+    let q2 = DatalogQuery::new("query", load_program(program_src)?).map_err(|e| err(e.to_string()))?;
+    let expected = expected_output(&q2, &input);
+    let _ = writeln!(
+        out,
+        "% matches centralized evaluation: {}",
+        result.output == expected
+    );
+    out.push_str(&render_instance(&result.output));
+    Ok(out)
+}
+
+fn parse_class(s: &str) -> Result<ExtensionKind, CliError> {
+    match s {
+        "m" | "M" | "monotone" => Ok(ExtensionKind::Any),
+        "distinct" | "mdistinct" => Ok(ExtensionKind::DomainDistinct),
+        "disjoint" | "mdisjoint" => Ok(ExtensionKind::DomainDisjoint),
+        other => Err(err(format!(
+            "unknown class '{other}' (expected m|distinct|disjoint)"
+        ))),
+    }
+}
+
+fn render_instance(i: &Instance) -> String {
+    let mut out = String::new();
+    for f in i.facts() {
+        let _ = writeln!(out, "{f}.");
+    }
+    out
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+calm — weaker forms of monotonicity for declarative networking
+
+USAGE:
+  calm eval      <program.dl> <facts.dl>
+  calm wfs       <program.dl> <facts.dl>
+  calm classify  <program.dl>
+  calm stratify  <program.dl>
+  calm check     <program.dl> [--class m|distinct|disjoint] [--trials N]
+  calm simulate  <program.dl> <facts.dl> [--nodes N] [--strategy monotone|distinct|disjoint] [--trace]
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TC: &str = "@output T.\nT(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).";
+    const QTC: &str = "@output O.\nAdom(x) :- E(x,y).\nAdom(y) :- E(x,y).\n\
+                       T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).\n\
+                       O(x,y) :- Adom(x), Adom(y), not T(x,y).";
+    const FACTS: &str = "E(1,2). E(2,3).";
+
+    #[test]
+    fn eval_prints_facts() {
+        let out = cmd_eval(TC, FACTS).unwrap();
+        assert!(out.contains("T(1,2)."));
+        assert!(out.contains("T(1,3)."));
+        assert_eq!(out.lines().count(), 3);
+    }
+
+    #[test]
+    fn wfs_reports_undefined() {
+        let out = cmd_wfs("win(x) :- move(x,y), not win(y).", "move(1,2). move(2,1).").unwrap();
+        assert!(out.contains("% undefined"));
+        assert!(out.contains("win(1)."));
+    }
+
+    #[test]
+    fn classify_places_programs() {
+        let out = cmd_classify(TC).unwrap();
+        assert!(out.contains("Datalog (positive)       yes"));
+        assert!(out.contains("F0"));
+        let out = cmd_classify(QTC).unwrap();
+        assert!(out.contains("semicon-Datalog^not      yes"));
+        assert!(out.contains("F2"));
+        let out = cmd_classify("win(x) :- move(x,y), not win(y).").unwrap();
+        assert!(out.contains("well-founded"));
+    }
+
+    #[test]
+    fn stratify_prints_strata() {
+        let out = cmd_stratify(QTC).unwrap();
+        assert!(out.contains("stratum 1: T"));
+        assert!(out.contains("stratum 2: O"));
+        assert!(out.contains("-- P2 --"));
+    }
+
+    #[test]
+    fn check_finds_qtc_counterexample() {
+        let out = cmd_check(QTC, "distinct", 50).unwrap();
+        assert!(out.contains("NOT in Mdistinct"), "{out}");
+        let out = cmd_check(TC, "m", 50).unwrap();
+        assert!(out.contains("consistent with M"));
+    }
+
+    #[test]
+    fn simulate_matches_centralized() {
+        let out = cmd_simulate(TC, FACTS, 3, "monotone").unwrap();
+        assert!(out.contains("% matches centralized evaluation: true"), "{out}");
+        let out = cmd_simulate(QTC, FACTS, 2, "disjoint").unwrap();
+        assert!(out.contains("% matches centralized evaluation: true"), "{out}");
+    }
+
+    #[test]
+    fn simulate_with_trace_prints_events() {
+        let out = cmd_simulate_opts(TC, FACTS, 2, "monotone", true).unwrap();
+        assert!(out.contains("% trace"));
+        assert!(out.contains("delivered="));
+        assert!(out.contains("% matches centralized evaluation: true"));
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_strategy() {
+        assert!(cmd_simulate(TC, FACTS, 2, "quantum").is_err());
+    }
+
+    #[test]
+    fn simulate_rejects_zero_nodes() {
+        let e = cmd_simulate(TC, FACTS, 0, "monotone").unwrap_err();
+        assert!(e.0.contains("at least 1"));
+    }
+
+    #[test]
+    fn errors_are_friendly() {
+        assert!(cmd_eval("T(x) :-", FACTS).is_err());
+        assert!(cmd_eval(TC, "E(x, ").is_err());
+        assert!(cmd_check(TC, "bogus", 1).is_err());
+    }
+}

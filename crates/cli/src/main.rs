@@ -1,0 +1,84 @@
+//! The `calm` binary: see [`calm_cli::USAGE`].
+
+use calm_cli::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "eval" => {
+            let (p, f) = two_files(args)?;
+            cmd_eval(&read(p)?, &read(f)?)
+        }
+        "wfs" => {
+            let (p, f) = two_files(args)?;
+            cmd_wfs(&read(p)?, &read(f)?)
+        }
+        "classify" => cmd_classify(&read(one_file(args)?)?),
+        "stratify" => cmd_stratify(&read(one_file(args)?)?),
+        "check" => {
+            let p = one_file(args)?;
+            let class = flag_value(args, "--class").unwrap_or("m");
+            let trials: usize = flag_value(args, "--trials")
+                .map(|t| t.parse().map_err(|_| CliError("--trials must be a number".into())))
+                .transpose()?
+                .unwrap_or(200);
+            cmd_check(&read(p)?, class, trials)
+        }
+        "simulate" => {
+            let (p, f) = two_files(args)?;
+            let nodes: usize = flag_value(args, "--nodes")
+                .map(|n| n.parse().map_err(|_| CliError("--nodes must be a number".into())))
+                .transpose()?
+                .unwrap_or(3);
+            let strategy = flag_value(args, "--strategy").unwrap_or("monotone");
+            let trace = args.iter().any(|a| a == "--trace");
+            cmd_simulate_opts(&read(p)?, &read(f)?, nodes, strategy, trace)
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError(format!("unknown command '{other}'"))),
+    }
+}
+
+fn one_file(args: &[String]) -> Result<&str, CliError> {
+    args.get(1)
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError("expected a program file".into()))
+}
+
+fn two_files(args: &[String]) -> Result<(&str, &str), CliError> {
+    let p = args
+        .get(1)
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError("expected a program file".into()))?;
+    let f = args
+        .get(2)
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError("expected a facts file".into()))?;
+    Ok((p, f))
+}

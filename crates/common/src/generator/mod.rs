@@ -1,0 +1,14 @@
+//! Instance generators for experiments, tests and benchmarks.
+//!
+//! All graph generators produce instances over the binary edge relation `E`
+//! (the schema used by every separating example in the paper); game
+//! generators produce instances over the binary `move` relation used by
+//! win-move.
+
+mod game;
+mod graph;
+mod random;
+
+pub use game::*;
+pub use graph::*;
+pub use random::*;

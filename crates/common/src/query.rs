@@ -1,0 +1,149 @@
+//! The abstract query interface (Section 2: "Computing Queries").
+//!
+//! A query is a generic mapping from instances over an input schema to
+//! instances over an output schema. Everything downstream — the Datalog
+//! engine, the native query implementations, the monotonicity checkers and
+//! the transducer strategies — speaks this trait.
+
+use crate::instance::Instance;
+use crate::schema::Schema;
+
+/// A query from instances over [`Query::input_schema`] to instances over
+/// [`Query::output_schema`].
+///
+/// Implementations must be *generic* (commute with permutations of the
+/// domain) and deterministic; the monotonicity experiments rely on both.
+/// Facts of the input outside the input schema must be ignored, and the
+/// output must be over the output schema.
+pub trait Query: Send + Sync {
+    /// The input schema `σ`.
+    fn input_schema(&self) -> &Schema;
+
+    /// The output schema `σ'`.
+    fn output_schema(&self) -> &Schema;
+
+    /// Evaluate the query on an input instance.
+    fn eval(&self, input: &Instance) -> Instance;
+
+    /// A human-readable name for reports and benchmarks.
+    fn name(&self) -> &str {
+        "query"
+    }
+}
+
+/// A query defined by a Rust closure — handy for native implementations of
+/// the paper's separating examples and for tests.
+pub struct FnQuery<F>
+where
+    F: Fn(&Instance) -> Instance + Send + Sync,
+{
+    name: String,
+    input: Schema,
+    output: Schema,
+    f: F,
+}
+
+impl<F> FnQuery<F>
+where
+    F: Fn(&Instance) -> Instance + Send + Sync,
+{
+    /// Wrap a closure as a [`Query`].
+    pub fn new(name: impl Into<String>, input: Schema, output: Schema, f: F) -> Self {
+        FnQuery {
+            name: name.into(),
+            input,
+            output,
+            f,
+        }
+    }
+}
+
+impl<F> Query for FnQuery<F>
+where
+    F: Fn(&Instance) -> Instance + Send + Sync,
+{
+    fn input_schema(&self) -> &Schema {
+        &self.input
+    }
+
+    fn output_schema(&self) -> &Schema {
+        &self.output
+    }
+
+    fn eval(&self, input: &Instance) -> Instance {
+        let restricted = input.restrict(&self.input);
+        (self.f)(&restricted).restrict(&self.output)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Query for Box<dyn Query> {
+    fn input_schema(&self) -> &Schema {
+        (**self).input_schema()
+    }
+
+    fn output_schema(&self) -> &Schema {
+        (**self).output_schema()
+    }
+
+    fn eval(&self, input: &Instance) -> Instance {
+        (**self).eval(input)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::fact;
+
+    #[test]
+    fn fn_query_restricts_input_and_output() {
+        let q = FnQuery::new(
+            "copy-E",
+            Schema::from_pairs([("E", 2)]),
+            Schema::from_pairs([("O", 2)]),
+            |i: &Instance| {
+                let mut out = Instance::new();
+                for f in i.facts() {
+                    out.insert(fact(
+                        "O",
+                        [f.args()[0].clone(), f.args()[1].clone()],
+                    ));
+                }
+                // Also emit junk outside the output schema; it must be
+                // filtered away.
+                out.insert(fact("Junk", [1]));
+                out
+            },
+        );
+        let input = crate::instance::Instance::from_facts([
+            fact("E", [1, 2]),
+            fact("X", [5]), // outside input schema: ignored
+        ]);
+        let out = q.eval(&input);
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&fact("O", [1, 2])));
+        assert_eq!(q.name(), "copy-E");
+    }
+
+    #[test]
+    fn boxed_query_delegates() {
+        let q: Box<dyn Query> = Box::new(FnQuery::new(
+            "id",
+            Schema::from_pairs([("E", 2)]),
+            Schema::from_pairs([("E", 2)]),
+            |i: &Instance| i.clone(),
+        ));
+        let input = Instance::from_facts([fact("E", [1, 2])]);
+        assert_eq!(q.eval(&input), input);
+        assert_eq!(q.name(), "id");
+        assert_eq!(q.input_schema().arity("E"), Some(2));
+    }
+}

@@ -1,0 +1,250 @@
+//! Database schemas: finite maps from relation names to arities.
+
+use crate::fact::{rel, Fact, RelName};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A database schema `σ`: a collection of relation names with arities.
+///
+/// All arities are at least 1 (the paper's standing assumption). Schemas are
+/// value types with deterministic iteration order.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    relations: BTreeMap<RelName, usize>,
+}
+
+/// Errors raised when constructing or combining schemas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A relation was declared with arity zero.
+    NullaryRelation(String),
+    /// The same relation name was declared with two different arities.
+    ArityConflict {
+        /// The conflicting relation name.
+        relation: String,
+        /// Arity seen first.
+        first: usize,
+        /// Arity seen second.
+        second: usize,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::NullaryRelation(r) => {
+                write!(f, "relation {r} has arity 0; nullary relations are not supported")
+            }
+            SchemaError::ArityConflict {
+                relation,
+                first,
+                second,
+            } => write!(
+                f,
+                "relation {relation} declared with conflicting arities {first} and {second}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl Schema {
+    /// The empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Build a schema from `(name, arity)` pairs.
+    ///
+    /// # Errors
+    /// Returns an error for nullary relations or conflicting arities.
+    pub fn try_from_pairs<'a>(
+        pairs: impl IntoIterator<Item = (&'a str, usize)>,
+    ) -> Result<Self, SchemaError> {
+        let mut s = Schema::new();
+        for (name, arity) in pairs {
+            s.try_add(name, arity)?;
+        }
+        Ok(s)
+    }
+
+    /// Build a schema from `(name, arity)` pairs, panicking on error.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, usize)>) -> Self {
+        Self::try_from_pairs(pairs).expect("invalid schema")
+    }
+
+    /// Add a relation.
+    ///
+    /// # Errors
+    /// Returns an error if `arity == 0` or the relation exists with a
+    /// different arity. Re-adding with the same arity is a no-op.
+    pub fn try_add(&mut self, name: &str, arity: usize) -> Result<(), SchemaError> {
+        if arity == 0 {
+            return Err(SchemaError::NullaryRelation(name.to_string()));
+        }
+        if let Some(&existing) = self.relations.get(name) {
+            if existing != arity {
+                return Err(SchemaError::ArityConflict {
+                    relation: name.to_string(),
+                    first: existing,
+                    second: arity,
+                });
+            }
+            return Ok(());
+        }
+        self.relations.insert(rel(name), arity);
+        Ok(())
+    }
+
+    /// Add a relation, panicking on error.
+    pub fn add(&mut self, name: &str, arity: usize) -> &mut Self {
+        self.try_add(name, arity).expect("invalid relation");
+        self
+    }
+
+    /// Look up the arity of a relation.
+    pub fn arity(&self, name: &str) -> Option<usize> {
+        self.relations.get(name).copied()
+    }
+
+    /// Whether the schema contains the relation.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Whether a fact is *over* this schema (relation present, arity
+    /// matches).
+    pub fn covers(&self, fact: &Fact) -> bool {
+        self.arity(fact.relation()) == Some(fact.arity())
+    }
+
+    /// Iterate `(name, arity)` pairs in deterministic (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RelName, usize)> {
+        self.relations.iter().map(|(n, &a)| (n, a))
+    }
+
+    /// Relation names in deterministic order.
+    pub fn names(&self) -> impl Iterator<Item = &RelName> {
+        self.relations.keys()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the schema has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Union of two schemas.
+    ///
+    /// # Errors
+    /// Returns an error on arity conflicts.
+    pub fn try_union(&self, other: &Schema) -> Result<Schema, SchemaError> {
+        let mut out = self.clone();
+        for (name, arity) in other.iter() {
+            out.try_add(name, arity)?;
+        }
+        Ok(out)
+    }
+
+    /// Union of two schemas, panicking on arity conflicts.
+    pub fn union(&self, other: &Schema) -> Schema {
+        self.try_union(other).expect("schema union conflict")
+    }
+
+    /// Whether the two schemas share no relation names.
+    pub fn is_disjoint(&self, other: &Schema) -> bool {
+        self.names().all(|n| !other.contains(n))
+    }
+
+    /// The schema restricted to relation names satisfying the predicate.
+    pub fn filter(&self, mut keep: impl FnMut(&str) -> bool) -> Schema {
+        Schema {
+            relations: self
+                .relations
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .map(|(n, &a)| (n.clone(), a))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (n, a)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}({a})")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::fact;
+
+    #[test]
+    fn build_and_query() {
+        let s = Schema::from_pairs([("E", 2), ("V", 1)]);
+        assert_eq!(s.arity("E"), Some(2));
+        assert_eq!(s.arity("V"), Some(1));
+        assert_eq!(s.arity("X"), None);
+        assert!(s.contains("E"));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn rejects_nullary() {
+        assert!(matches!(
+            Schema::try_from_pairs([("P", 0)]),
+            Err(SchemaError::NullaryRelation(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_conflicting_arity() {
+        let mut s = Schema::from_pairs([("E", 2)]);
+        assert!(s.try_add("E", 2).is_ok());
+        assert!(matches!(
+            s.try_add("E", 3),
+            Err(SchemaError::ArityConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn covers_checks_relation_and_arity() {
+        let s = Schema::from_pairs([("E", 2)]);
+        assert!(s.covers(&fact("E", [1, 2])));
+        assert!(!s.covers(&fact("E", [1, 2, 3])));
+        assert!(!s.covers(&fact("F", [1, 2])));
+    }
+
+    #[test]
+    fn union_and_disjoint() {
+        let a = Schema::from_pairs([("E", 2)]);
+        let b = Schema::from_pairs([("V", 1)]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        assert!(a.is_disjoint(&b));
+        assert!(!u.is_disjoint(&a));
+        let c = Schema::from_pairs([("E", 3)]);
+        assert!(a.try_union(&c).is_err());
+    }
+
+    #[test]
+    fn filter_restricts() {
+        let s = Schema::from_pairs([("E", 2), ("V", 1), ("Out", 1)]);
+        let f = s.filter(|n| n != "Out");
+        assert_eq!(f.len(), 2);
+        assert!(!f.contains("Out"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Abstract syntax for Datalog with negation (Section 2 of the paper).
+//!
+//! A rule `ϕ` is a quadruple `(head_ϕ, pos_ϕ, neg_ϕ, ineq_ϕ)`. We extend the
+//! paper's pure-variable atoms with constants in atom positions (a standard
+//! programming convenience; constants can always be compiled away with fresh
+//! unary relations) and with the ILOG¬ invention symbol `*` as a term, which
+//! plain-Datalog validation rejects (only `calm-ilog` evaluates it).
+
+use calm_common::fact::RelName;
+use calm_common::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A variable from **var** (disjoint from **dom**).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Create a variable with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Var(Arc::from(name.as_ref()))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+/// A term in an atom position: a variable, a constant, or (in ILOG¬ heads
+/// only) the invention symbol `*`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A constant domain value.
+    Const(Value),
+    /// The ILOG¬ invention symbol `*` (head atoms of invention relations).
+    Invention,
+}
+
+impl Term {
+    /// Shorthand: a variable term.
+    pub fn var(name: impl AsRef<str>) -> Self {
+        Term::Var(Var::new(name))
+    }
+
+    /// Shorthand: a constant term.
+    pub fn cst(v: impl Into<Value>) -> Self {
+        Term::Const(v.into())
+    }
+
+    /// The variable inside, if any.
+    pub fn as_var(&self) -> Option<&Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => match c {
+                Value::Str(s) => write!(f, "\"{s}\""),
+                other => write!(f, "{other}"),
+            },
+            Term::Invention => write!(f, "*"),
+        }
+    }
+}
+
+/// An atom `R(t1, ..., tk)`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom {
+    /// The predicate (relation name).
+    pub relation: RelName,
+    /// The terms in each position.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Construct an atom.
+    pub fn new(relation: impl AsRef<str>, terms: Vec<Term>) -> Self {
+        Atom {
+            relation: calm_common::fact::rel(relation),
+            terms,
+        }
+    }
+
+    /// Construct an atom whose arguments are all variables, by name.
+    pub fn vars(relation: impl AsRef<str>, vars: &[&str]) -> Self {
+        Atom::new(relation, vars.iter().map(Term::var).collect())
+    }
+
+    /// The arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterate the variables occurring in this atom.
+    pub fn variables(&self) -> impl Iterator<Item = &Var> {
+        self.terms.iter().filter_map(Term::as_var)
+    }
+
+    /// Whether the atom contains the invention symbol.
+    pub fn has_invention(&self) -> bool {
+        self.terms.iter().any(|t| matches!(t, Term::Invention))
+    }
+
+    /// Whether the invention symbol appears exactly once, in the first
+    /// position (the ILOG¬ well-formedness condition for invention atoms).
+    pub fn is_invention_atom(&self) -> bool {
+        matches!(self.terms.first(), Some(Term::Invention))
+            && self.terms[1..].iter().all(|t| !matches!(t, Term::Invention))
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A rule `head ← pos, ¬neg, ineq`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rule {
+    /// The head atom.
+    pub head: Atom,
+    /// Positive body atoms (must be non-empty for a valid rule).
+    pub pos: Vec<Atom>,
+    /// Negative body atoms.
+    pub neg: Vec<Atom>,
+    /// Inequalities `t ≠ u`.
+    pub ineq: Vec<(Term, Term)>,
+}
+
+impl Rule {
+    /// Construct a positive rule with no inequalities.
+    pub fn positive(head: Atom, pos: Vec<Atom>) -> Self {
+        Rule {
+            head,
+            pos,
+            neg: Vec::new(),
+            ineq: Vec::new(),
+        }
+    }
+
+    /// All variables of the rule (`vars(ϕ)`), in deterministic order.
+    pub fn variables(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        out.extend(self.head.variables().cloned());
+        for a in self.pos.iter().chain(self.neg.iter()) {
+            out.extend(a.variables().cloned());
+        }
+        for (l, r) in &self.ineq {
+            if let Some(v) = l.as_var() {
+                out.insert(v.clone());
+            }
+            if let Some(v) = r.as_var() {
+                out.insert(v.clone());
+            }
+        }
+        out
+    }
+
+    /// Variables occurring in positive body atoms.
+    pub fn positive_variables(&self) -> BTreeSet<Var> {
+        self.pos
+            .iter()
+            .flat_map(|a| a.variables().cloned())
+            .collect()
+    }
+
+    /// Whether the rule is positive (`neg_ϕ = ∅`).
+    pub fn is_positive(&self) -> bool {
+        self.neg.is_empty()
+    }
+
+    /// All atoms: head, positive and negative body.
+    pub fn atoms(&self) -> impl Iterator<Item = &Atom> {
+        std::iter::once(&self.head)
+            .chain(self.pos.iter())
+            .chain(self.neg.iter())
+    }
+}
+
+impl fmt::Debug for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if first {
+                first = false;
+                Ok(())
+            } else {
+                write!(f, ", ")
+            }
+        };
+        for a in &self.pos {
+            sep(f)?;
+            write!(f, "{a}")?;
+        }
+        for a in &self.neg {
+            sep(f)?;
+            write!(f, "not {a}")?;
+        }
+        for (l, r) in &self.ineq {
+            sep(f)?;
+            write!(f, "{l} != {r}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tc_rule() -> Rule {
+        // T(x,z) :- T(x,y), E(y,z).
+        Rule::positive(
+            Atom::vars("T", &["x", "z"]),
+            vec![Atom::vars("T", &["x", "y"]), Atom::vars("E", &["y", "z"])],
+        )
+    }
+
+    #[test]
+    fn variables_collects_all() {
+        let r = tc_rule();
+        let vars: Vec<String> = r.variables().iter().map(|v| v.name().to_string()).collect();
+        assert_eq!(vars, vec!["x", "y", "z"]);
+        assert_eq!(r.positive_variables().len(), 3);
+    }
+
+    #[test]
+    fn display_round_trippable_shape() {
+        let r = Rule {
+            head: Atom::vars("O", &["x", "y"]),
+            pos: vec![Atom::vars("E", &["x", "y"])],
+            neg: vec![Atom::vars("T", &["y"])],
+            ineq: vec![(Term::var("x"), Term::var("y"))],
+        };
+        assert_eq!(r.to_string(), "O(x,y) :- E(x,y), not T(y), x != y.");
+    }
+
+    #[test]
+    fn invention_atom_shape() {
+        let inv = Atom::new("R", vec![Term::Invention, Term::var("x")]);
+        assert!(inv.has_invention());
+        assert!(inv.is_invention_atom());
+        let bad = Atom::new("R", vec![Term::var("x"), Term::Invention]);
+        assert!(!bad.is_invention_atom());
+        let plain = Atom::vars("R", &["x"]);
+        assert!(!plain.has_invention());
+    }
+
+    #[test]
+    fn constants_display_quoted() {
+        let a = Atom::new("R", vec![Term::cst(3), Term::cst("abc")]);
+        assert_eq!(a.to_string(), "R(3,\"abc\")");
+    }
+}

@@ -1,0 +1,290 @@
+//! Rule compilation: variables are numbered into dense slots so that rule
+//! matching works over a flat `Vec<Option<Value>>` binding instead of a
+//! name-keyed map.
+
+use crate::ast::{Rule, Term, Var};
+use calm_common::fact::RelName;
+use calm_common::value::Value;
+use std::collections::BTreeMap;
+
+/// A compiled term: either a constant or a variable slot index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Slot {
+    /// A constant value that must match exactly.
+    Const(Value),
+    /// A variable slot (index into the binding vector).
+    Var(usize),
+}
+
+/// A compiled atom.
+#[derive(Debug, Clone)]
+pub struct CompiledAtom {
+    /// Relation to scan.
+    pub relation: RelName,
+    /// Per-position slots.
+    pub slots: Vec<Slot>,
+    /// The first position guaranteed bound when this atom is evaluated in
+    /// body order (a constant, or a variable introduced by an earlier
+    /// atom). Used for hash-index probes; `None` means full scan.
+    pub probe: Option<usize>,
+}
+
+/// A rule compiled for evaluation.
+#[derive(Debug, Clone)]
+pub struct CompiledRule {
+    /// Number of variable slots.
+    pub nvars: usize,
+    /// Positive body atoms, in evaluation order.
+    pub pos: Vec<CompiledAtom>,
+    /// Negative body atoms (checked after the positive join).
+    pub neg: Vec<CompiledAtom>,
+    /// Inequalities (checked after the positive join).
+    pub ineq: Vec<(Slot, Slot)>,
+    /// The head template. `Slot::Var` entries are guaranteed bound after
+    /// the positive join (rule safety).
+    pub head: CompiledAtom,
+    /// For each positive atom index: whether its relation is an idb
+    /// predicate of the current stratum (filled in by the evaluator; used
+    /// for semi-naive delta placement).
+    pub recursive_pos: Vec<bool>,
+}
+
+/// Compile a rule with greedy join ordering: positive atoms are reordered
+/// so that each atom shares as many variables as possible with the atoms
+/// before it (and constants count as bound). This turns Cartesian-product
+/// scans into index-supported joins wherever the rule's shape allows.
+/// Reordering never changes semantics — the positive body is a
+/// conjunction.
+pub fn compile_rule_ordered(
+    rule: &Rule,
+    is_current_idb: impl Fn(&RelName) -> bool,
+) -> CompiledRule {
+    let mut ordered = rule.clone();
+    ordered.pos = order_atoms(&rule.pos);
+    compile_rule(&ordered, is_current_idb)
+}
+
+/// Greedy atom ordering: repeatedly pick the unplaced atom with the most
+/// already-bound variables (ties: most constants, then fewest new
+/// variables, then original position for determinism).
+fn order_atoms(pos: &[crate::ast::Atom]) -> Vec<crate::ast::Atom> {
+    use std::collections::BTreeSet;
+    let mut remaining: Vec<(usize, &crate::ast::Atom)> = pos.iter().enumerate().collect();
+    let mut bound: BTreeSet<&Var> = BTreeSet::new();
+    let mut out = Vec::with_capacity(pos.len());
+    while !remaining.is_empty() {
+        let (best_idx, _) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, (orig, atom))| {
+                let bound_vars = atom.variables().filter(|v| bound.contains(v)).count();
+                let consts = atom
+                    .terms
+                    .iter()
+                    .filter(|t| matches!(t, Term::Const(_)))
+                    .count();
+                let new_vars = atom.variables().filter(|v| !bound.contains(v)).count();
+                // Max bound vars, then max constants, then min new vars,
+                // then min original index (stable).
+                (
+                    bound_vars,
+                    consts,
+                    usize::MAX - new_vars,
+                    usize::MAX - *orig,
+                )
+            })
+            .expect("nonempty");
+        let (_, atom) = remaining.remove(best_idx);
+        bound.extend(atom.variables());
+        out.push(atom.clone());
+    }
+    out
+}
+
+/// Compile a rule in the body order given. `is_current_idb` flags which
+/// relations belong to the stratum being evaluated (for semi-naive).
+pub fn compile_rule(rule: &Rule, is_current_idb: impl Fn(&RelName) -> bool) -> CompiledRule {
+    let mut slots: BTreeMap<Var, usize> = BTreeMap::new();
+    let slot_of = |v: &Var, slots: &mut BTreeMap<Var, usize>| -> usize {
+        if let Some(&i) = slots.get(v) {
+            i
+        } else {
+            let i = slots.len();
+            slots.insert(v.clone(), i);
+            i
+        }
+    };
+    let compile_term = |t: &Term, slots: &mut BTreeMap<Var, usize>| -> Slot {
+        match t {
+            Term::Var(v) => Slot::Var(slot_of(v, slots)),
+            Term::Const(c) => Slot::Const(c.clone()),
+            Term::Invention => {
+                panic!("invention symbol must be rewritten (Skolemized) before compilation")
+            }
+        }
+    };
+    // Positive atoms first so that head/neg/ineq slots refer to already
+    // numbered variables (safety guarantees every variable occurs in pos).
+    // While compiling, track which slots are bound by earlier atoms to
+    // derive each atom's probe position.
+    let mut bound_slots: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    let pos: Vec<CompiledAtom> = rule
+        .pos
+        .iter()
+        .map(|a| {
+            let compiled_slots: Vec<Slot> =
+                a.terms.iter().map(|t| compile_term(t, &mut slots)).collect();
+            let probe = compiled_slots.iter().position(|s| match s {
+                Slot::Const(_) => true,
+                Slot::Var(i) => bound_slots.contains(i),
+            });
+            for s in &compiled_slots {
+                if let Slot::Var(i) = s {
+                    bound_slots.insert(*i);
+                }
+            }
+            CompiledAtom {
+                relation: a.relation.clone(),
+                slots: compiled_slots,
+                probe,
+            }
+        })
+        .collect();
+    let neg: Vec<CompiledAtom> = rule
+        .neg
+        .iter()
+        .map(|a| CompiledAtom {
+            relation: a.relation.clone(),
+            slots: a.terms.iter().map(|t| compile_term(t, &mut slots)).collect(),
+            probe: None,
+        })
+        .collect();
+    let ineq: Vec<(Slot, Slot)> = rule
+        .ineq
+        .iter()
+        .map(|(l, r)| (compile_term(l, &mut slots), compile_term(r, &mut slots)))
+        .collect();
+    let head = CompiledAtom {
+        relation: rule.head.relation.clone(),
+        slots: rule
+            .head
+            .terms
+            .iter()
+            .map(|t| compile_term(t, &mut slots))
+            .collect(),
+        probe: None,
+    };
+    let recursive_pos = pos.iter().map(|a| is_current_idb(&a.relation)).collect();
+    CompiledRule {
+        nvars: slots.len(),
+        pos,
+        neg,
+        ineq,
+        head,
+        recursive_pos,
+    }
+}
+
+impl CompiledRule {
+    /// Whether the rule has at least one positive atom over the current
+    /// stratum's idb (i.e., participates in the fixpoint recursion).
+    pub fn is_recursive(&self) -> bool {
+        self.recursive_pos.iter().any(|&b| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+
+    #[test]
+    fn slots_are_shared_across_atoms() {
+        let r = parse_rule("T(x,z) :- T(x,y), E(y,z).").unwrap();
+        let c = compile_rule(&r, |rel| rel.as_ref() == "T");
+        assert_eq!(c.nvars, 3);
+        // T(x,y): slots 0,1. E(y,z): slots 1,2. Head T(x,z): 0,2.
+        assert_eq!(c.pos[0].slots, vec![Slot::Var(0), Slot::Var(1)]);
+        assert_eq!(c.pos[1].slots, vec![Slot::Var(1), Slot::Var(2)]);
+        assert_eq!(c.head.slots, vec![Slot::Var(0), Slot::Var(2)]);
+        assert_eq!(c.recursive_pos, vec![true, false]);
+        assert!(c.is_recursive());
+    }
+
+    #[test]
+    fn ordering_moves_connected_atoms_together() {
+        // O(w) :- A(x), B(x, y), C(y, w): already well-ordered; a
+        // shuffled version must be restored so each atom binds to the
+        // previous ones.
+        let r = parse_rule("O(w) :- C(y, w), A(x), B(x, y).").unwrap();
+        let c = compile_rule_ordered(&r, |_| false);
+        // First atom introduces variables; every later atom must share at
+        // least one slot with earlier atoms (no Cartesian step exists for
+        // this rule shape).
+        let mut seen: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        for (i, atom) in c.pos.iter().enumerate() {
+            let slots: Vec<usize> = atom
+                .slots
+                .iter()
+                .filter_map(|s| match s {
+                    Slot::Var(v) => Some(*v),
+                    Slot::Const(_) => None,
+                })
+                .collect();
+            if i > 0 {
+                assert!(
+                    slots.iter().any(|s| seen.contains(s)),
+                    "atom {i} ({}) is a Cartesian step",
+                    atom.relation
+                );
+            }
+            seen.extend(slots);
+        }
+    }
+
+    #[test]
+    fn ordering_prefers_constant_bound_atoms_first() {
+        let r = parse_rule("O(x) :- A(x, y), B(y, 3).").unwrap();
+        let c = compile_rule_ordered(&r, |_| false);
+        assert_eq!(c.pos[0].relation.as_ref(), "B", "constant-selective atom first");
+    }
+
+    #[test]
+    fn ordering_preserves_semantics() {
+        use crate::eval::database::Database;
+        use crate::eval::seminaive::fixpoint_seminaive;
+        use calm_common::fact::fact;
+        use calm_common::instance::Instance;
+        let src = "O(w) :- C(y, w), A(x), B(x, y).";
+        let p = crate::parser::parse_program(src).unwrap();
+        let input = Instance::from_facts([
+            fact("A", [1]),
+            fact("A", [9]),
+            fact("B", [1, 2]),
+            fact("C", [2, 3]),
+            fact("C", [7, 8]),
+        ]);
+        let mut db = Database::from_instance(&input);
+        fixpoint_seminaive(&p, &mut db);
+        let out = db.to_instance();
+        assert_eq!(out.relation_len("O"), 1);
+        assert!(out.contains(&fact("O", [3])));
+    }
+
+    #[test]
+    fn constants_compile_to_const_slots() {
+        let r = parse_rule("O(x) :- R(x, 3).").unwrap();
+        let c = compile_rule(&r, |_| false);
+        assert_eq!(c.pos[0].slots[1], Slot::Const(calm_common::v(3)));
+        assert!(!c.is_recursive());
+    }
+
+    #[test]
+    fn neg_and_ineq_compiled() {
+        let r = parse_rule("O(x) :- V(x), not W(x), x != 3.").unwrap();
+        let c = compile_rule(&r, |_| false);
+        assert_eq!(c.neg.len(), 1);
+        assert_eq!(c.ineq.len(), 1);
+        assert_eq!(c.ineq[0].0, Slot::Var(0));
+    }
+}

@@ -1,0 +1,125 @@
+//! The engine's internal relation store.
+
+use calm_common::fact::RelName;
+use calm_common::instance::{Instance, Tuple};
+use std::collections::{HashMap, HashSet};
+
+/// A mutable store of relations used during evaluation. Unlike
+/// [`Instance`] (which is ordered for determinism), the database uses hash
+/// sets for speed; results are converted back to instances at the end.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    rels: HashMap<RelName, HashSet<Tuple>>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Load an instance into a fresh database.
+    pub fn from_instance(i: &Instance) -> Self {
+        let mut db = Database::new();
+        for name in i.relation_names() {
+            let set: HashSet<Tuple> = i.tuples(name).cloned().collect();
+            db.rels.insert(name.clone(), set);
+        }
+        db
+    }
+
+    /// Convert back to a deterministic instance.
+    pub fn to_instance(&self) -> Instance {
+        let mut out = Instance::new();
+        for (name, tuples) in &self.rels {
+            for t in tuples {
+                out.insert_tuple(name, t.clone());
+            }
+        }
+        out
+    }
+
+    /// The tuples of a relation (empty slice semantics if absent).
+    pub fn tuples(&self, relation: &RelName) -> Option<&HashSet<Tuple>> {
+        self.rels.get(relation)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, relation: &RelName, tuple: &[calm_common::value::Value]) -> bool {
+        self.rels
+            .get(relation)
+            .is_some_and(|set| set.contains(tuple))
+    }
+
+    /// Insert a tuple; returns `true` if new.
+    pub fn insert(&mut self, relation: &RelName, tuple: Tuple) -> bool {
+        if let Some(set) = self.rels.get_mut(relation) {
+            set.insert(tuple)
+        } else {
+            self.rels
+                .entry(relation.clone())
+                .or_default()
+                .insert(tuple)
+        }
+    }
+
+    /// Bulk-insert all facts of another database; returns the number of
+    /// genuinely new tuples.
+    pub fn absorb(&mut self, other: &Database) -> usize {
+        let mut added = 0;
+        for (name, tuples) in &other.rels {
+            for t in tuples {
+                if self.insert(name, t.clone()) {
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+
+    /// Total number of tuples.
+    pub fn len(&self) -> usize {
+        self.rels.values().map(HashSet::len).sum()
+    }
+
+    /// Whether the database holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calm_common::fact::{fact, rel};
+    use calm_common::value::v;
+
+    #[test]
+    fn round_trips_instances() {
+        let i = Instance::from_facts([fact("E", [1, 2]), fact("V", [7])]);
+        let db = Database::from_instance(&i);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.to_instance(), i);
+        assert!(db.contains(&rel("E"), &[v(1), v(2)]));
+        assert!(!db.contains(&rel("E"), &[v(2), v(1)]));
+    }
+
+    #[test]
+    fn insert_reports_novelty() {
+        let mut db = Database::new();
+        assert!(db.insert(&rel("E"), vec![v(1), v(2)]));
+        assert!(!db.insert(&rel("E"), vec![v(1), v(2)]));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn absorb_counts_new() {
+        let mut a = Database::from_instance(&Instance::from_facts([fact("E", [1, 2])]));
+        let b = Database::from_instance(&Instance::from_facts([
+            fact("E", [1, 2]),
+            fact("E", [2, 3]),
+        ]));
+        assert_eq!(a.absorb(&b), 1);
+        assert_eq!(a.len(), 2);
+    }
+}

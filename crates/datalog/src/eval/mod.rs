@@ -1,0 +1,19 @@
+//! Evaluation engines for Datalog¬.
+//!
+//! * [`database`] — the internal hash-set relation store;
+//! * [`compile`] — rule compilation into slot form;
+//! * [`seminaive`] — naive and semi-naive fixpoints for semi-positive
+//!   programs;
+//! * [`stratified`] — the stratified semantics driver.
+
+pub mod compile;
+pub mod database;
+pub mod seminaive;
+pub mod stratified;
+
+pub use database::Database;
+pub use seminaive::{
+    body_valuations, derive_once, fixpoint_naive, fixpoint_seminaive, fixpoint_seminaive_frozen,
+    fixpoint_seminaive_with, EvalOptions, FixpointStats,
+};
+pub use stratified::{eval_program, eval_program_with, eval_query, eval_stratification, Engine};

@@ -1,0 +1,577 @@
+//! Fixpoint evaluation of semi-positive programs: naive and semi-naive.
+//!
+//! Both compute the minimal fixpoint of the immediate consequence operator
+//! `T_P` (Section 2). Negative atoms are only consulted against relations
+//! that are fixed during the fixpoint (edb or lower strata), which the
+//! stratified driver guarantees.
+
+use super::compile::{compile_rule, compile_rule_ordered, CompiledAtom, CompiledRule, Slot};
+use super::database::Database;
+use crate::program::Program;
+use calm_common::fact::RelName;
+use calm_common::instance::Tuple;
+use calm_common::value::Value;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Evaluation options: the ablation knobs benchmarked by
+/// `calm-bench`'s `datalog_eval` bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Greedily reorder positive body atoms (join planning).
+    pub reorder: bool,
+    /// Build per-iteration hash indexes on the probe positions.
+    pub index: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            reorder: true,
+            index: true,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// The unoptimized baseline (original body order, full scans).
+    pub const BASELINE: EvalOptions = EvalOptions {
+        reorder: false,
+        index: false,
+    };
+}
+
+/// Per-iteration hash indexes: `(relation, position) → value → tuples`.
+/// Rebuilt whenever the underlying database grows (cheap relative to the
+/// scans they save; see the `datalog_eval` bench).
+#[derive(Debug, Default)]
+struct Indexes {
+    maps: HashMap<(RelName, usize), HashMap<Value, Vec<Tuple>>>,
+}
+
+impl Indexes {
+    fn build(db: &Database, wanted: &BTreeSet<(RelName, usize)>) -> Indexes {
+        let mut maps: HashMap<(RelName, usize), HashMap<Value, Vec<Tuple>>> = HashMap::new();
+        for (rel, pos) in wanted {
+            let mut map: HashMap<Value, Vec<Tuple>> = HashMap::new();
+            if let Some(tuples) = db.tuples(rel) {
+                for t in tuples {
+                    if let Some(v) = t.get(*pos) {
+                        map.entry(v.clone()).or_default().push(t.clone());
+                    }
+                }
+            }
+            maps.insert((rel.clone(), *pos), map);
+        }
+        Indexes { maps }
+    }
+
+    fn probe(&self, rel: &RelName, pos: usize, val: &Value) -> Option<&[Tuple]> {
+        self.maps
+            .get(&(rel.clone(), pos))
+            .map(|m| m.get(val).map_or(&[][..], Vec::as_slice))
+    }
+}
+
+/// The `(relation, position)` pairs the compiled rules will probe.
+fn wanted_indexes(rules: &[CompiledRule]) -> BTreeSet<(RelName, usize)> {
+    let mut out = BTreeSet::new();
+    for rule in rules {
+        for atom in &rule.pos {
+            if let Some(p) = atom.probe {
+                out.insert((atom.relation.clone(), p));
+            }
+        }
+    }
+    out
+}
+
+/// Statistics of one fixpoint run (used by benchmarks and tests).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FixpointStats {
+    /// Number of iterations until the fixpoint was reached.
+    pub iterations: usize,
+    /// Total number of (not necessarily new) facts derived.
+    pub derivations: usize,
+    /// Number of new facts added to the database.
+    pub new_facts: usize,
+}
+
+/// Match one atom against a tuple, extending `binding`. Returns the slots
+/// that were newly bound (for backtracking), or `None` on mismatch.
+fn unify(atom: &CompiledAtom, tuple: &[Value], binding: &mut [Option<Value>]) -> Option<Vec<usize>> {
+    debug_assert_eq!(atom.slots.len(), tuple.len());
+    let mut newly = Vec::new();
+    for (slot, val) in atom.slots.iter().zip(tuple.iter()) {
+        match slot {
+            Slot::Const(c) => {
+                if c != val {
+                    undo(binding, &newly);
+                    return None;
+                }
+            }
+            Slot::Var(i) => match &binding[*i] {
+                Some(existing) => {
+                    if existing != val {
+                        undo(binding, &newly);
+                        return None;
+                    }
+                }
+                None => {
+                    binding[*i] = Some(val.clone());
+                    newly.push(*i);
+                }
+            },
+        }
+    }
+    Some(newly)
+}
+
+fn undo(binding: &mut [Option<Value>], newly: &[usize]) {
+    for &i in newly {
+        binding[i] = None;
+    }
+}
+
+fn slot_value(slot: &Slot, binding: &[Option<Value>]) -> Value {
+    match slot {
+        Slot::Const(c) => c.clone(),
+        Slot::Var(i) => binding[*i]
+            .clone()
+            .expect("slot unbound after positive join; rule safety violated"),
+    }
+}
+
+/// Evaluate a compiled rule. `delta` optionally restricts one positive
+/// atom (by index) to scan the delta database instead of `full`. Negative
+/// atoms are checked against `neg_db` (equal to `full` for ordinary
+/// evaluation; a frozen approximation for the well-founded alternating
+/// fixpoint). Derived head tuples are passed to `emit`.
+fn eval_rule(
+    rule: &CompiledRule,
+    full: &Database,
+    neg_db: &Database,
+    delta: Option<(&Database, usize)>,
+    emit: &mut impl FnMut(&RelName, Tuple),
+) {
+    let mut binding: Vec<Option<Value>> = vec![None; rule.nvars];
+    eval_pos(rule, 0, full, None, neg_db, delta, &mut binding, emit);
+}
+
+fn eval_rule_indexed(
+    rule: &CompiledRule,
+    full: &Database,
+    indexes: &Indexes,
+    neg_db: &Database,
+    delta: Option<(&Database, usize)>,
+    emit: &mut impl FnMut(&RelName, Tuple),
+) {
+    let mut binding: Vec<Option<Value>> = vec![None; rule.nvars];
+    eval_pos(rule, 0, full, Some(indexes), neg_db, delta, &mut binding, emit);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_pos(
+    rule: &CompiledRule,
+    idx: usize,
+    full: &Database,
+    indexes: Option<&Indexes>,
+    neg_db: &Database,
+    delta: Option<(&Database, usize)>,
+    binding: &mut Vec<Option<Value>>,
+    emit: &mut impl FnMut(&RelName, Tuple),
+) {
+    if idx == rule.pos.len() {
+        // Check inequalities.
+        for (l, r) in &rule.ineq {
+            if slot_value(l, binding) == slot_value(r, binding) {
+                return;
+            }
+        }
+        // Check negative atoms (all slots bound by safety).
+        for atom in &rule.neg {
+            let tuple: Tuple = atom.slots.iter().map(|s| slot_value(s, binding)).collect();
+            if neg_db.contains(&atom.relation, &tuple) {
+                return;
+            }
+        }
+        let head: Tuple = rule
+            .head
+            .slots
+            .iter()
+            .map(|s| slot_value(s, binding))
+            .collect();
+        emit(&rule.head.relation, head);
+        return;
+    }
+    let atom = &rule.pos[idx];
+    let scanning_delta = matches!(delta, Some((_, at)) if at == idx);
+    // Fast path: probe the hash index with the bound value at the probe
+    // position (never when this atom scans the small delta set).
+    if !scanning_delta {
+        if let (Some(indexes), Some(p)) = (indexes, atom.probe) {
+            let val = match &atom.slots[p] {
+                Slot::Const(c) => c.clone(),
+                Slot::Var(i) => match &binding[*i] {
+                    Some(v) => v.clone(),
+                    None => unreachable!("probe position must be bound"),
+                },
+            };
+            if let Some(candidates) = indexes.probe(&atom.relation, p, &val) {
+                for tuple in candidates {
+                    if tuple.len() != atom.slots.len() {
+                        continue;
+                    }
+                    if let Some(newly) = unify(atom, tuple, binding) {
+                        eval_pos(rule, idx + 1, full, Some(indexes), neg_db, delta, binding, emit);
+                        undo(binding, &newly);
+                    }
+                }
+                return;
+            }
+        }
+    }
+    let source = match delta {
+        Some((d, at)) if at == idx => d,
+        _ => full,
+    };
+    let Some(tuples) = source.tuples(&atom.relation) else {
+        return;
+    };
+    // Iterate candidates; clone the tuple list handle implicitly via ref.
+    for tuple in tuples {
+        if tuple.len() != atom.slots.len() {
+            continue;
+        }
+        if let Some(newly) = unify(atom, tuple, binding) {
+            eval_pos(rule, idx + 1, full, indexes, neg_db, delta, binding, emit);
+            undo(binding, &newly);
+        }
+    }
+}
+
+/// Compute the minimal fixpoint of a semi-positive program over `db`,
+/// **naively**: every iteration re-derives everything. Kept as the
+/// baseline for the `datalog_eval` benchmark.
+pub fn fixpoint_naive(program: &Program, db: &mut Database) -> FixpointStats {
+    let idb: BTreeSet<RelName> = program.idb().names().cloned().collect();
+    let compiled: Vec<CompiledRule> = program
+        .rules()
+        .iter()
+        .map(|r| compile_rule(r, |rel| idb.contains(rel)))
+        .collect();
+    let mut stats = FixpointStats::default();
+    loop {
+        stats.iterations += 1;
+        let mut fresh: Vec<(RelName, Tuple)> = Vec::new();
+        for rule in &compiled {
+            eval_rule(rule, db, db, None, &mut |rel, tuple| {
+                stats.derivations += 1;
+                if !db.contains(rel, &tuple) {
+                    fresh.push((rel.clone(), tuple));
+                }
+            });
+        }
+        let mut added = 0;
+        for (rel, tuple) in fresh {
+            if db.insert(&rel, tuple) {
+                added += 1;
+            }
+        }
+        stats.new_facts += added;
+        if added == 0 {
+            return stats;
+        }
+    }
+}
+
+/// Compute the minimal fixpoint of a semi-positive program over `db` using
+/// **semi-naive** evaluation: recursive rules only join against the delta
+/// of the previous iteration.
+pub fn fixpoint_seminaive(program: &Program, db: &mut Database) -> FixpointStats {
+    fixpoint_seminaive_impl(program, db, None, EvalOptions::default())
+}
+
+/// Semi-naive fixpoint with explicit [`EvalOptions`] — the entry point for
+/// the `datalog_eval` ablation benchmark.
+pub fn fixpoint_seminaive_with(
+    program: &Program,
+    db: &mut Database,
+    options: EvalOptions,
+) -> FixpointStats {
+    fixpoint_seminaive_impl(program, db, None, options)
+}
+
+/// Semi-naive fixpoint with *frozen negation*: every negative body atom is
+/// checked against `frozen` instead of the evolving database. This is the
+/// `Γ` operator of the well-founded alternating fixpoint
+/// ([`crate::wellfounded`]); the program need not be semi-positive.
+pub fn fixpoint_seminaive_frozen(
+    program: &Program,
+    db: &mut Database,
+    frozen: &Database,
+) -> FixpointStats {
+    fixpoint_seminaive_impl(program, db, Some(frozen), EvalOptions::default())
+}
+
+fn fixpoint_seminaive_impl(
+    program: &Program,
+    db: &mut Database,
+    frozen: Option<&Database>,
+    options: EvalOptions,
+) -> FixpointStats {
+    let idb: BTreeSet<RelName> = program.idb().names().cloned().collect();
+    let compiled: Vec<CompiledRule> = program
+        .rules()
+        .iter()
+        .map(|r| {
+            if options.reorder {
+                compile_rule_ordered(r, |rel| idb.contains(rel))
+            } else {
+                compile_rule(r, |rel| idb.contains(rel))
+            }
+        })
+        .collect();
+    let wanted = if options.index {
+        wanted_indexes(&compiled)
+    } else {
+        BTreeSet::new()
+    };
+    let mut stats = FixpointStats::default();
+
+    // Round 0: evaluate every rule once on the initial database. This
+    // covers non-recursive rules completely (their inputs never change
+    // within this stratum) and seeds the delta for recursive ones.
+    let mut delta = Database::new();
+    stats.iterations += 1;
+    {
+        let db_ref: &Database = db;
+        let neg_db = frozen.unwrap_or(db_ref);
+        let indexes = Indexes::build(db_ref, &wanted);
+        for rule in &compiled {
+            eval_rule_indexed(rule, db_ref, &indexes, neg_db, None, &mut |rel, tuple| {
+                stats.derivations += 1;
+                if !db_ref.contains(rel, &tuple) {
+                    delta.insert(rel, tuple);
+                }
+            });
+        }
+    }
+    stats.new_facts += db.absorb(&delta);
+
+    // Subsequent rounds: recursive rules only, one delta position at a time.
+    while !delta.is_empty() {
+        stats.iterations += 1;
+        let mut next_delta = Database::new();
+        {
+            let db_ref: &Database = db;
+            let neg_db = frozen.unwrap_or(db_ref);
+            let indexes = Indexes::build(db_ref, &wanted);
+            for rule in compiled.iter().filter(|r| r.is_recursive()) {
+                // Dedup across repeated relations at multiple positions is
+                // handled by the set-semantics of `next_delta`.
+                for (pos_idx, is_rec) in rule.recursive_pos.iter().enumerate() {
+                    if !is_rec {
+                        continue;
+                    }
+                    eval_rule_indexed(
+                        rule,
+                        db_ref,
+                        &indexes,
+                        neg_db,
+                        Some((&delta, pos_idx)),
+                        &mut |rel, tuple| {
+                            stats.derivations += 1;
+                            if !db_ref.contains(rel, &tuple) {
+                                next_delta.insert(rel, tuple);
+                            }
+                        },
+                    );
+                }
+            }
+        }
+        stats.new_facts += db.absorb(&next_delta);
+        delta = next_delta;
+    }
+    stats
+}
+
+/// Evaluate a single (compiled-on-the-fly) program rule set against a fixed
+/// database *without* fixpoint iteration: derive all facts firing on `db`
+/// directly. Used by the transducer simulator for one-shot queries.
+pub fn derive_once(program: &Program, db: &Database) -> Database {
+    let idb: BTreeSet<RelName> = program.idb().names().cloned().collect();
+    let mut out = Database::new();
+    for r in program.rules() {
+        let c = compile_rule(r, |rel| idb.contains(rel));
+        eval_rule(&c, db, db, None, &mut |rel, tuple| {
+            out.insert(rel, tuple);
+        });
+    }
+    out
+}
+
+/// Enumerate every satisfying valuation of a rule's body against `db`
+/// (negation also checked against `db`). Returns the valuations as
+/// variable→value maps in deterministic order.
+///
+/// This is the extension hook used by `calm-ilog` (to construct Skolem
+/// terms for invention heads) and by the transducer simulator; it accepts
+/// rules whose *head* contains the invention symbol, since only the body
+/// is evaluated.
+pub fn body_valuations(
+    rule: &crate::ast::Rule,
+    db: &Database,
+) -> Vec<std::collections::BTreeMap<crate::ast::Var, Value>> {
+    use crate::ast::{Atom, Rule, Term, Var};
+    let vars: Vec<Var> = rule.positive_variables().into_iter().collect();
+    let synthetic = Rule {
+        head: Atom::new(
+            "__valuation",
+            vars.iter().map(|v| Term::Var(v.clone())).collect(),
+        ),
+        pos: rule.pos.clone(),
+        neg: rule.neg.clone(),
+        ineq: rule.ineq.clone(),
+    };
+    let compiled = compile_rule(&synthetic, |_| false);
+    let mut out = BTreeSet::new();
+    eval_rule(&compiled, db, db, None, &mut |_, tuple| {
+        out.insert(tuple);
+    });
+    out.into_iter()
+        .map(|tuple| vars.iter().cloned().zip(tuple).collect())
+        .collect()
+}
+
+/// Convenience: all tuples currently in `db` for the given relations.
+pub fn collect(db: &Database, relations: &BTreeSet<RelName>) -> Vec<(RelName, Tuple)> {
+    let mut out = Vec::new();
+    for rel in relations {
+        if let Some(tuples) = db.tuples(rel) {
+            let set: &HashSet<Tuple> = tuples;
+            for t in set {
+                out.push((rel.clone(), t.clone()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use calm_common::fact::fact;
+    use calm_common::generator::path;
+    use calm_common::instance::Instance;
+
+    fn tc() -> Program {
+        parse_program(
+            "T(x,y) :- E(x,y).\n\
+             T(x,z) :- T(x,y), E(y,z).",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tc_on_path_both_engines_agree() {
+        let input = path(5);
+        let mut db1 = Database::from_instance(&input);
+        let mut db2 = Database::from_instance(&input);
+        let s1 = fixpoint_naive(&tc(), &mut db1);
+        let s2 = fixpoint_seminaive(&tc(), &mut db2);
+        assert_eq!(db1.to_instance(), db2.to_instance());
+        // Path with 5 edges: TC has 5+4+3+2+1 = 15 pairs.
+        let out = db1.to_instance();
+        assert_eq!(out.relation_len("T"), 15);
+        // Semi-naive does strictly fewer derivations on a path.
+        assert!(s2.derivations <= s1.derivations);
+        assert!(s1.new_facts == s2.new_facts);
+    }
+
+    #[test]
+    fn negation_against_edb() {
+        let p = parse_program("O(x,y) :- E(x,y), not F(x,y).").unwrap();
+        let input = Instance::from_facts([fact("E", [1, 2]), fact("E", [2, 3]), fact("F", [1, 2])]);
+        let mut db = Database::from_instance(&input);
+        fixpoint_seminaive(&p, &mut db);
+        let out = db.to_instance();
+        assert!(!out.contains(&fact("O", [1, 2])));
+        assert!(out.contains(&fact("O", [2, 3])));
+    }
+
+    #[test]
+    fn inequality_filtering() {
+        let p = parse_program("O(x,y) :- E(x,y), x != y.").unwrap();
+        let input = Instance::from_facts([fact("E", [1, 1]), fact("E", [1, 2])]);
+        let mut db = Database::from_instance(&input);
+        fixpoint_seminaive(&p, &mut db);
+        let out = db.to_instance();
+        assert_eq!(out.relation_len("O"), 1);
+        assert!(out.contains(&fact("O", [1, 2])));
+    }
+
+    #[test]
+    fn constants_in_rules() {
+        let p = parse_program("O(x) :- E(x, 3).").unwrap();
+        let input = Instance::from_facts([fact("E", [1, 3]), fact("E", [2, 4])]);
+        let mut db = Database::from_instance(&input);
+        fixpoint_seminaive(&p, &mut db);
+        assert_eq!(db.to_instance().relation_len("O"), 1);
+    }
+
+    #[test]
+    fn cycle_tc_is_complete_graph() {
+        let input = calm_common::generator::cycle(4);
+        let mut db = Database::from_instance(&input);
+        fixpoint_seminaive(&tc(), &mut db);
+        assert_eq!(db.to_instance().relation_len("T"), 16);
+    }
+
+    #[test]
+    fn derive_once_no_recursion() {
+        let input = path(3);
+        let db = Database::from_instance(&input);
+        let out = derive_once(&tc(), &db);
+        // Only the base rule fires (T empty in input db).
+        assert_eq!(out.to_instance().relation_len("T"), 3);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let mut db = Database::new();
+        let stats = fixpoint_seminaive(&tc(), &mut db);
+        assert!(db.is_empty());
+        assert_eq!(stats.new_facts, 0);
+    }
+
+    #[test]
+    fn body_valuations_enumerates_matches() {
+        let r = crate::parser::parse_rule("O(x) :- E(x,y), not F(y), x != y.").unwrap();
+        let db = Database::from_instance(&Instance::from_facts([
+            fact("E", [1, 2]),
+            fact("E", [3, 3]), // killed by x != y
+            fact("E", [4, 5]),
+            fact("F", [5]), // kills E(4,5)
+        ]));
+        let vals = body_valuations(&r, &db);
+        assert_eq!(vals.len(), 1);
+        let m = &vals[0];
+        assert_eq!(m[&crate::ast::Var::new("x")], calm_common::v(1));
+        assert_eq!(m[&crate::ast::Var::new("y")], calm_common::v(2));
+    }
+
+    #[test]
+    fn multiple_recursive_atoms_in_one_rule() {
+        // Reachability by doubling: D(x,z) :- D(x,y), D(y,z).
+        let p = parse_program(
+            "D(x,y) :- E(x,y).\n\
+             D(x,z) :- D(x,y), D(y,z).",
+        )
+        .unwrap();
+        let input = path(6);
+        let mut db = Database::from_instance(&input);
+        fixpoint_seminaive(&p, &mut db);
+        assert_eq!(db.to_instance().relation_len("D"), 21); // 6+5+..+1
+    }
+}

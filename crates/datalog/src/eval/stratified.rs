@@ -1,0 +1,175 @@
+//! Stratified semantics: evaluate `P1, ..., Pk` in order (Section 2).
+
+use super::database::Database;
+use super::seminaive::{fixpoint_naive, fixpoint_seminaive, FixpointStats};
+use crate::program::Program;
+use crate::stratify::{stratify, NotStratifiable, Stratification};
+use calm_common::instance::Instance;
+
+/// Which fixpoint engine to use within each stratum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Semi-naive with join reordering and hash indexes (default).
+    #[default]
+    SemiNaive,
+    /// Semi-naive without reordering or indexes (ablation baseline).
+    SemiNaiveBaseline,
+    /// Naive re-derivation (benchmark baseline).
+    Naive,
+}
+
+/// Evaluate a stratifiable Datalog¬ program on an input instance,
+/// returning the full derived database as an instance (all relations —
+/// restrict with [`Program::output_schema`] for the query answer).
+///
+/// # Errors
+/// Returns [`NotStratifiable`] for programs with a negative cycle.
+pub fn eval_program(p: &Program, input: &Instance) -> Result<Instance, NotStratifiable> {
+    eval_program_with(p, input, Engine::SemiNaive).map(|(i, _)| i)
+}
+
+/// As [`eval_program`], with engine selection and per-stratum statistics.
+///
+/// # Errors
+/// Returns [`NotStratifiable`] for programs with a negative cycle.
+pub fn eval_program_with(
+    p: &Program,
+    input: &Instance,
+    engine: Engine,
+) -> Result<(Instance, Vec<FixpointStats>), NotStratifiable> {
+    let strat = stratify(p)?;
+    Ok(eval_stratification(&strat, input, engine))
+}
+
+/// Evaluate an existing stratification (avoids recomputing it per call —
+/// used by [`crate::query::DatalogQuery`]).
+pub fn eval_stratification(
+    strat: &Stratification,
+    input: &Instance,
+    engine: Engine,
+) -> (Instance, Vec<FixpointStats>) {
+    let mut db = Database::from_instance(input);
+    let mut stats = Vec::with_capacity(strat.len());
+    for stratum in &strat.strata {
+        let s = match engine {
+            Engine::SemiNaive => fixpoint_seminaive(stratum, &mut db),
+            Engine::SemiNaiveBaseline => super::seminaive::fixpoint_seminaive_with(
+                stratum,
+                &mut db,
+                super::seminaive::EvalOptions::BASELINE,
+            ),
+            Engine::Naive => fixpoint_naive(stratum, &mut db),
+        };
+        stats.push(s);
+    }
+    (db.to_instance(), stats)
+}
+
+/// Evaluate and project onto the program's output schema — the query
+/// answer `P(I)|σ'`.
+///
+/// ```
+/// use calm_datalog::{parse_program, eval_query};
+/// use calm_common::{fact, Instance};
+///
+/// let p = parse_program(
+///     "@output T.\n\
+///      T(x,y) :- E(x,y).\n\
+///      T(x,z) :- T(x,y), E(y,z).",
+/// ).unwrap();
+/// let input = Instance::from_facts([fact("E", [1, 2]), fact("E", [2, 3])]);
+/// let answer = eval_query(&p, &input).unwrap();
+/// assert!(answer.contains(&fact("T", [1, 3])));
+/// assert_eq!(answer.len(), 3);
+/// ```
+///
+/// # Errors
+/// Returns [`NotStratifiable`] for programs with a negative cycle.
+pub fn eval_query(p: &Program, input: &Instance) -> Result<Instance, NotStratifiable> {
+    Ok(eval_program(p, input)?.restrict(&p.output_schema()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use calm_common::fact::fact;
+    use calm_common::generator::path;
+
+    #[test]
+    fn complement_of_tc() {
+        let p = parse_program(
+            "Adom(x) :- E(x,y).\n\
+             Adom(y) :- E(x,y).\n\
+             T(x,y) :- E(x,y).\n\
+             T(x,z) :- T(x,y), E(y,z).\n\
+             O(x,y) :- Adom(x), Adom(y), not T(x,y).",
+        )
+        .unwrap();
+        let input = path(2); // 0 -> 1 -> 2
+        let out = eval_query(&p, &input).unwrap();
+        // 9 pairs total, TC = {(0,1),(1,2),(0,2)}: complement has 6.
+        assert_eq!(out.relation_len("O"), 6);
+        assert!(out.contains(&fact("O", [2, 0])));
+        assert!(out.contains(&fact("O", [0, 0])));
+        assert!(!out.contains(&fact("O", [0, 2])));
+        // Output projection dropped T and Adom.
+        assert_eq!(out.relation_len("T"), 0);
+    }
+
+    #[test]
+    fn three_strata_compose() {
+        let p = parse_program(
+            "A(x) :- V(x), not W(x).\n\
+             B(x) :- V(x), not A(x).\n\
+             O(x) :- V(x), not B(x).",
+        )
+        .unwrap();
+        let input = calm_common::instance::Instance::from_facts([
+            fact("V", [1]),
+            fact("V", [2]),
+            fact("W", [1]),
+        ]);
+        let out = eval_query(&p, &input).unwrap();
+        // 1: W(1) so not A(1); B(1); so O excludes 1.
+        // 2: A(2); not B(2); O(2).
+        assert_eq!(out.relation_len("O"), 1);
+        assert!(out.contains(&fact("O", [2])));
+    }
+
+    #[test]
+    fn engines_agree_on_stratified_program() {
+        let p = parse_program(
+            "T(x,y) :- E(x,y).\n\
+             T(x,z) :- T(x,y), E(y,z).\n\
+             O(x) :- T(x,x).",
+        )
+        .unwrap();
+        let input = calm_common::generator::cycle(5);
+        let (a, _) = eval_program_with(&p, &input, Engine::SemiNaive).unwrap();
+        let (b, _) = eval_program_with(&p, &input, Engine::Naive).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.relation_len("O"), 5);
+    }
+
+    #[test]
+    fn non_stratifiable_is_error() {
+        let p = parse_program("win(x) :- move(x,y), not win(y).").unwrap();
+        assert!(eval_program(&p, &calm_common::instance::Instance::new()).is_err());
+    }
+
+    #[test]
+    fn stats_reported_per_stratum() {
+        let p = parse_program(
+            "T(x,y) :- E(x,y).\n\
+             T(x,z) :- T(x,y), E(y,z).\n\
+             O(x) :- Adom(x), not T(x,x).\n\
+             Adom(x) :- E(x,y).\n\
+             Adom(y) :- E(x,y).",
+        )
+        .unwrap();
+        let (_, stats) = eval_program_with(&p, &path(4), Engine::SemiNaive).unwrap();
+        assert_eq!(stats.len(), 2);
+        assert!(stats[0].new_facts > 0);
+    }
+}

@@ -1,0 +1,518 @@
+//! A text syntax for Datalog¬ programs.
+//!
+//! ```text
+//! % transitive closure, then its complement
+//! T(x, y) :- E(x, y).
+//! T(x, z) :- T(x, y), E(y, z).
+//! O(x, y) :- Adom(x), Adom(y), not T(x, y), x != y.
+//! ```
+//!
+//! Lexical conventions:
+//! * atoms are `Name(t1, ..., tk)`; the relation name is any identifier;
+//! * inside argument lists, bare identifiers are **variables**, numbers are
+//!   integer constants, `"quoted"` strings are string constants, and `*` is
+//!   the ILOG¬ invention symbol;
+//! * negation is written `not A` or `!A`; inequalities `t != u`;
+//! * the rule arrow is `:-` or `<-`; rules end with `.`;
+//! * `%` and `//` start line comments.
+//!
+//! An optional header `@output R1, R2.` designates output relations
+//! (default: `O` if present, else all idb relations).
+
+use crate::ast::{Atom, Rule, Term};
+use crate::program::{Program, ProgramError};
+use calm_common::value::Value;
+use std::fmt;
+
+/// Parse errors with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the source.
+    pub offset: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors from [`parse_program`]: either a syntax error or a program
+/// well-formedness violation.
+#[derive(Debug)]
+pub enum ParseProgramError {
+    /// Syntax error.
+    Parse(ParseError),
+    /// Well-formedness violation (unsafe variable, arity conflict, ...).
+    Program(ProgramError),
+}
+
+impl fmt::Display for ParseProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseProgramError::Parse(e) => write!(f, "{e}"),
+            ParseProgramError::Program(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseProgramError {}
+
+impl From<ParseError> for ParseProgramError {
+    fn from(e: ParseError) -> Self {
+        ParseProgramError::Parse(e)
+    }
+}
+
+impl From<ProgramError> for ParseProgramError {
+    fn from(e: ProgramError) -> Self {
+        ParseProgramError::Program(e)
+    }
+}
+
+/// Parse a Datalog¬ program (invention symbol rejected).
+pub fn parse_program(src: &str) -> Result<Program, ParseProgramError> {
+    let (rules, outputs) = parse_rules(src)?;
+    let p = match outputs {
+        Some(outs) => Program::with_outputs(rules, outs)?,
+        None => Program::new(rules)?,
+    };
+    Ok(p)
+}
+
+/// Parse an ILOG¬ program (invention symbol `*` allowed in heads).
+pub fn parse_ilog_program(src: &str) -> Result<Program, ParseProgramError> {
+    let (rules, outputs) = parse_rules(src)?;
+    let p = Program::new_ilog(rules)?;
+    if let Some(outs) = outputs {
+        // Rebuild with explicit outputs while keeping ILOG validation.
+        let rules = p.rules().to_vec();
+        let p = Program::new_ilog(rules)?;
+        // Program::new_ilog does not take outputs; emulate by filtering.
+        // We re-validate output names here.
+        let idb = p.idb();
+        for o in &outs {
+            if !idb.contains(o) {
+                return Err(ProgramError::OutputNotIdb(o.clone()).into());
+            }
+        }
+        return Ok(crate::program::Program::replace_outputs(p, outs));
+    }
+    Ok(p)
+}
+
+/// Parse a set of ground facts (`E(1,2). V("a"). ...`) into an instance.
+/// Variables are not allowed — every term must be a constant.
+pub fn parse_facts(src: &str) -> Result<calm_common::instance::Instance, ParseError> {
+    let mut p = Parser::new(src);
+    let mut out = calm_common::instance::Instance::new();
+    loop {
+        p.skip_ws();
+        if p.at_end() {
+            return Ok(out);
+        }
+        let atom = p.atom()?;
+        p.skip_ws();
+        p.expect('.')?;
+        let mut args = Vec::with_capacity(atom.arity());
+        for t in &atom.terms {
+            match t {
+                Term::Const(c) => args.push(c.clone()),
+                // In fact files, bare identifiers are string constants
+                // (`E(alice, bob).`), not variables.
+                Term::Var(v) => args.push(Value::str(v.name())),
+                Term::Invention => {
+                    return Err(p.err("facts must be ground; found the invention symbol"))
+                }
+            }
+        }
+        if args.is_empty() {
+            return Err(p.err("nullary facts are not supported"));
+        }
+        out.insert(calm_common::fact::Fact::new(atom.relation.as_ref(), args));
+    }
+}
+
+/// Parse a single rule (must end with `.`).
+pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
+    let mut p = Parser::new(src);
+    let r = p.rule()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing input after rule"));
+    }
+    Ok(r)
+}
+
+fn parse_rules(src: &str) -> Result<(Vec<Rule>, Option<Vec<String>>), ParseError> {
+    let mut p = Parser::new(src);
+    let mut rules = Vec::new();
+    let mut outputs: Option<Vec<String>> = None;
+    loop {
+        p.skip_ws();
+        if p.at_end() {
+            break;
+        }
+        if p.eat_str("@output") {
+            let mut outs = Vec::new();
+            loop {
+                p.skip_ws();
+                outs.push(p.ident()?);
+                p.skip_ws();
+                if p.eat(',') {
+                    continue;
+                }
+                p.expect('.')?;
+                break;
+            }
+            outputs = Some(outs);
+            continue;
+        }
+        rules.push(p.rule()?);
+    }
+    Ok((rules, outputs))
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src, pos: 0 }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            let before = self.pos;
+            while self.peek().is_some_and(char::is_whitespace) {
+                self.bump();
+            }
+            if self.rest().starts_with('%') || self.rest().starts_with("//") {
+                while self.peek().is_some_and(|c| c != '\n') {
+                    self.bump();
+                }
+            }
+            if self.pos == before {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{c}'")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                self.bump();
+            }
+            _ => return Err(self.err("expected identifier")),
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '\'')
+        {
+            self.bump();
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('*') => {
+                self.bump();
+                Ok(Term::Invention)
+            }
+            Some('"') => {
+                self.bump();
+                let start = self.pos;
+                while self.peek().is_some_and(|c| c != '"') {
+                    self.bump();
+                }
+                let s = self.src[start..self.pos].to_string();
+                self.expect('"')?;
+                Ok(Term::Const(Value::str(s)))
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' => {
+                let start = self.pos;
+                self.bump();
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump();
+                }
+                let text = &self.src[start..self.pos];
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| self.err(format!("invalid integer '{text}'")))?;
+                Ok(Term::Const(Value::Int(n)))
+            }
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                let name = self.ident()?;
+                Ok(Term::var(name))
+            }
+            _ => Err(self.err("expected a term")),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        self.skip_ws();
+        let name = self.ident()?;
+        self.skip_ws();
+        self.expect('(')?;
+        let mut terms = Vec::new();
+        loop {
+            terms.push(self.term()?);
+            self.skip_ws();
+            if self.eat(',') {
+                continue;
+            }
+            self.expect(')')?;
+            break;
+        }
+        Ok(Atom::new(name, terms))
+    }
+
+    fn rule(&mut self) -> Result<Rule, ParseError> {
+        self.skip_ws();
+        let head = self.atom()?;
+        self.skip_ws();
+        if !(self.eat_str(":-") || self.eat_str("<-")) {
+            return Err(self.err("expected ':-' or '<-'"));
+        }
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        let mut ineq = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat_str("not ") || self.eat_str("not\t") {
+                neg.push(self.atom()?);
+            } else if self.peek() == Some('!') && !self.rest().starts_with("!=") {
+                self.bump();
+                neg.push(self.atom()?);
+            } else {
+                // Could be an atom or an inequality `t != u`.
+                let save = self.pos;
+                // Try: term != term
+                if let Ok(left) = self.term() {
+                    self.skip_ws();
+                    if self.eat_str("!=") {
+                        let right = self.term()?;
+                        ineq.push((left, right));
+                    } else {
+                        // Not an inequality: rewind and parse an atom.
+                        self.pos = save;
+                        pos.push(self.atom()?);
+                    }
+                } else {
+                    self.pos = save;
+                    pos.push(self.atom()?);
+                }
+            }
+            self.skip_ws();
+            if self.eat(',') {
+                continue;
+            }
+            self.expect('.')?;
+            break;
+        }
+        Ok(Rule {
+            head,
+            pos,
+            neg,
+            ineq,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Term;
+
+    #[test]
+    fn parses_transitive_closure() {
+        let p = parse_program(
+            "T(x,y) :- E(x,y).\n\
+             T(x,z) :- T(x,y), E(y,z).",
+        )
+        .unwrap();
+        assert_eq!(p.rules().len(), 2);
+        assert!(p.is_positive());
+        assert_eq!(p.idb().arity("T"), Some(2));
+        assert_eq!(p.edb().arity("E"), Some(2));
+    }
+
+    #[test]
+    fn parses_negation_and_inequality() {
+        let p = parse_program(
+            "O(x,y) :- Adom(x), Adom(y), not T(x,y), x != y.\n\
+             T(x,y) :- E(x,y).\n\
+             Adom(x) :- E(x,y).\n\
+             Adom(y) :- E(x,y).",
+        )
+        .unwrap();
+        let rule = &p.rules()[0];
+        assert_eq!(rule.neg.len(), 1);
+        assert_eq!(rule.ineq.len(), 1);
+        assert_eq!(rule.pos.len(), 2);
+    }
+
+    #[test]
+    fn bang_negation() {
+        let p = parse_program("O(x) :- V(x), !W(x).").unwrap();
+        assert_eq!(p.rules()[0].neg.len(), 1);
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let p = parse_program(
+            "% a comment\n\
+             // another\n\
+             T(x , y) :- E(x,y) . % trailing\n",
+        )
+        .unwrap();
+        assert_eq!(p.rules().len(), 1);
+    }
+
+    #[test]
+    fn constants_parse() {
+        let r = parse_rule("O(x) :- R(x, 3, \"abc\", -7).").unwrap();
+        let terms = &r.pos[0].terms;
+        assert_eq!(terms[1], Term::cst(3));
+        assert_eq!(terms[2], Term::cst("abc"));
+        assert_eq!(terms[3], Term::cst(-7));
+    }
+
+    #[test]
+    fn output_directive() {
+        let p = parse_program(
+            "@output T.\n\
+             T(x,y) :- E(x,y).\n\
+             S(x) :- E(x,x).",
+        )
+        .unwrap();
+        assert_eq!(p.outputs().len(), 1);
+        assert!(p.outputs().iter().any(|o| o.as_ref() == "T"));
+    }
+
+    #[test]
+    fn invention_symbol_rejected_in_plain_datalog() {
+        let err = parse_program("R(*, x) :- E(x, x).");
+        assert!(err.is_err());
+        // But accepted by the ILOG entry point.
+        let ok = parse_ilog_program("R(*, x) :- E(x, x).");
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn arrow_variants() {
+        let a = parse_rule("T(x) :- V(x).").unwrap();
+        let b = parse_rule("T(x) <- V(x).").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse_program("T(x) :- V(x)").unwrap_err();
+        match e {
+            ParseProgramError::Parse(pe) => assert!(pe.message.contains("'.'")),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn unsafe_rule_reported_as_program_error() {
+        let e = parse_program("T(x, y) :- V(x).").unwrap_err();
+        assert!(matches!(e, ParseProgramError::Program(_)));
+    }
+
+    #[test]
+    fn round_trip_display_reparse() {
+        let src = "O(x,y) :- E(x,y), not T(y,x), x != y.";
+        let r1 = parse_rule(src).unwrap();
+        let r2 = parse_rule(&r1.to_string()).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn parse_facts_ground_instances() {
+        let i = parse_facts("E(1, 2). E(2, 3).\n% comment\nV(\"x\"). Person(alice).").unwrap();
+        assert_eq!(i.len(), 4);
+        assert!(i.contains(&calm_common::fact::fact("E", [1, 2])));
+        assert!(i.contains_tuple("V", &[calm_common::value::Value::str("x")]));
+        assert!(i.contains_tuple("Person", &[calm_common::value::Value::str("alice")]));
+    }
+
+    #[test]
+    fn parse_facts_rejects_invention_and_rules() {
+        assert!(parse_facts("R(*, 1).").is_err());
+        assert!(parse_facts("T(x) :- V(x).").is_err());
+    }
+
+    #[test]
+    fn parse_facts_empty_input() {
+        assert!(parse_facts("  % nothing\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn ineq_between_var_and_constant() {
+        let r = parse_rule("O(x) :- V(x), x != 3.").unwrap();
+        assert_eq!(r.ineq.len(), 1);
+        assert_eq!(r.ineq[0].1, Term::cst(3));
+    }
+}

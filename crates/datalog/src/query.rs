@@ -1,0 +1,146 @@
+//! [`DatalogQuery`]: a stratified Datalog¬ program packaged as a
+//! [`calm_common::query::Query`].
+
+use crate::eval::stratified::{eval_stratification, Engine};
+use crate::program::Program;
+use crate::stratify::{stratify, NotStratifiable, Stratification};
+use calm_common::instance::Instance;
+use calm_common::query::Query;
+use calm_common::schema::Schema;
+
+/// A query computed by a stratified Datalog¬ program (Section 2,
+/// "Computing Queries"): `Q(I) = P(I)|σ'` where `σ'` is the program's
+/// output schema and the input schema is `edb(P)`.
+pub struct DatalogQuery {
+    name: String,
+    program: Program,
+    stratification: Stratification,
+    input_schema: Schema,
+    output_schema: Schema,
+    engine: Engine,
+}
+
+impl DatalogQuery {
+    /// Package a program as a query.
+    ///
+    /// # Errors
+    /// Returns [`NotStratifiable`] if the program has no syntactic
+    /// stratification (evaluate such programs with
+    /// [`crate::wellfounded`] instead).
+    pub fn new(name: impl Into<String>, program: Program) -> Result<Self, NotStratifiable> {
+        let stratification = stratify(&program)?;
+        let input_schema = program.edb();
+        let output_schema = program.output_schema();
+        Ok(DatalogQuery {
+            name: name.into(),
+            program,
+            stratification,
+            input_schema,
+            output_schema,
+            engine: Engine::SemiNaive,
+        })
+    }
+
+    /// Parse source text and package it as a query.
+    ///
+    /// # Errors
+    /// Returns an error string for syntax, well-formedness or
+    /// stratification failures.
+    pub fn parse(name: impl Into<String>, src: &str) -> Result<Self, String> {
+        let p = crate::parser::parse_program(src).map_err(|e| e.to_string())?;
+        DatalogQuery::new(name, p).map_err(|e| e.to_string())
+    }
+
+    /// Use the given evaluation engine (default: semi-naive).
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The stratification (computed once at construction).
+    pub fn stratification(&self) -> &Stratification {
+        &self.stratification
+    }
+}
+
+impl Query for DatalogQuery {
+    fn input_schema(&self) -> &Schema {
+        &self.input_schema
+    }
+
+    fn output_schema(&self) -> &Schema {
+        &self.output_schema
+    }
+
+    fn eval(&self, input: &Instance) -> Instance {
+        let restricted = input.restrict(&self.input_schema);
+        let (full, _) = eval_stratification(&self.stratification, &restricted, self.engine);
+        full.restrict(&self.output_schema)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calm_common::fact::fact;
+    use calm_common::generator::path;
+
+    #[test]
+    fn tc_as_query() {
+        let q = DatalogQuery::parse(
+            "tc",
+            "@output T.\n\
+             T(x,y) :- E(x,y).\n\
+             T(x,z) :- T(x,y), E(y,z).",
+        )
+        .unwrap();
+        assert_eq!(q.name(), "tc");
+        assert_eq!(q.input_schema().arity("E"), Some(2));
+        assert_eq!(q.output_schema().arity("T"), Some(2));
+        let out = q.eval(&path(3));
+        assert_eq!(out.relation_len("T"), 6);
+    }
+
+    #[test]
+    fn input_outside_schema_ignored() {
+        let q = DatalogQuery::parse("copy", "@output O.\nO(x,y) :- E(x,y).").unwrap();
+        let mut input = path(1);
+        input.insert(fact("Noise", [99]));
+        let out = q.eval(&input);
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&fact("O", [0, 1])));
+    }
+
+    #[test]
+    fn non_stratifiable_rejected() {
+        let err = DatalogQuery::parse("wm", "win(x) :- move(x,y), not win(y).");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn genericity_spot_check() {
+        // Permuting the domain commutes with evaluation.
+        let q = DatalogQuery::parse(
+            "tc",
+            "@output T.\nT(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).",
+        )
+        .unwrap();
+        let i = path(3);
+        let pi = |v: &calm_common::value::Value| match v {
+            calm_common::value::Value::Int(k) => calm_common::v(k * 7 + 1),
+            other => other.clone(),
+        };
+        let permuted = i.map_values(pi);
+        assert_eq!(q.eval(&i).map_values(pi), q.eval(&permuted));
+    }
+}

@@ -1,0 +1,429 @@
+//! The well-founded semantics for (possibly non-stratifiable) Datalog¬,
+//! via the alternating fixpoint, plus the "doubled program" construction
+//! the paper invokes for connected Datalog under WFS (Section 7).
+//!
+//! The alternating fixpoint computes two approximations of the
+//! three-valued well-founded model:
+//!
+//! * an increasing sequence of *underestimates* `U` (facts certainly
+//!   true), and
+//! * a decreasing sequence of *overestimates* `V` (facts possibly true),
+//!
+//! where each step applies `Γ(K)` — the minimal model of the program with
+//! every negative literal `¬R(t̄)` frozen to "`t̄ ∉ K`". True facts are the
+//! limit of `U`, undefined facts are `V \ U`.
+
+use crate::ast::{Atom, Rule};
+use crate::eval::database::Database;
+use crate::eval::seminaive::fixpoint_seminaive_frozen;
+use crate::program::Program;
+use calm_common::fact::{rel, Fact, RelName};
+use calm_common::instance::Instance;
+use calm_common::query::Query;
+use calm_common::schema::Schema;
+use std::collections::BTreeSet;
+
+/// The three-valued well-founded model of a program on an input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WellFoundedModel {
+    /// Facts true in the well-founded model (including the input).
+    pub true_facts: Instance,
+    /// Facts possibly true (true ∪ undefined), including the input.
+    pub possible_facts: Instance,
+    /// Number of `Γ` applications performed.
+    pub gamma_applications: usize,
+}
+
+impl WellFoundedModel {
+    /// The undefined facts: possible but not true.
+    pub fn undefined(&self) -> Instance {
+        self.possible_facts.difference(&self.true_facts)
+    }
+
+    /// Whether the model is total (two-valued): nothing undefined.
+    pub fn is_total(&self) -> bool {
+        self.true_facts == self.possible_facts
+    }
+
+    /// Truth value of a fact: `Some(true)` = true, `Some(false)` = false,
+    /// `None` = undefined.
+    pub fn truth(&self, f: &Fact) -> Option<bool> {
+        if self.true_facts.contains(f) {
+            Some(true)
+        } else if self.possible_facts.contains(f) {
+            None
+        } else {
+            Some(false)
+        }
+    }
+}
+
+/// One application of `Γ(K)`: the minimal model of `p` over `input` with
+/// negation frozen against `k`.
+fn gamma(p: &Program, input: &Instance, k: &Database) -> Database {
+    let mut db = Database::from_instance(input);
+    fixpoint_seminaive_frozen(p, &mut db, k);
+    db
+}
+
+/// Compute the well-founded model of `p` on `input` by the alternating
+/// fixpoint. Works for every Datalog¬ program (stratifiable or not); on
+/// stratifiable programs the result is total and equals the stratified
+/// semantics.
+///
+/// ```
+/// use calm_datalog::{parse_program, well_founded_model};
+/// use calm_common::{fact, Instance};
+///
+/// let win_move = parse_program("win(x) :- move(x,y), not win(y).").unwrap();
+/// // 1 -> 2 -> 3 plus the drawn 2-cycle {8, 9}.
+/// let game = Instance::from_facts([
+///     fact("move", [1, 2]), fact("move", [2, 3]),
+///     fact("move", [8, 9]), fact("move", [9, 8]),
+/// ]);
+/// let model = well_founded_model(&win_move, &game);
+/// assert_eq!(model.truth(&fact("win", [2])), Some(true));  // won
+/// assert_eq!(model.truth(&fact("win", [3])), Some(false)); // lost (sink)
+/// assert_eq!(model.truth(&fact("win", [8])), None);        // drawn
+/// ```
+pub fn well_founded_model(p: &Program, input: &Instance) -> WellFoundedModel {
+    // U0 = input only (all negations succeed except on given edb facts).
+    let mut gamma_applications = 0;
+    let mut u = Database::from_instance(input);
+    loop {
+        // V = Γ(U): overestimate.
+        let v = gamma(p, input, &u);
+        gamma_applications += 1;
+        // U' = Γ(V): next underestimate.
+        let u_next = gamma(p, input, &v);
+        gamma_applications += 1;
+        let stable = u_next.len() == u.len() && {
+            // Same size and the previous underestimate is monotonically
+            // contained in the next (the sequence is increasing), so equal
+            // sizes imply equality; double-check via instance equality for
+            // robustness.
+            u_next.to_instance() == u.to_instance()
+        };
+        if stable {
+            return WellFoundedModel {
+                true_facts: u_next.to_instance(),
+                possible_facts: v.to_instance(),
+                gamma_applications,
+            };
+        }
+        u = u_next;
+    }
+}
+
+/// The *doubled program* construction: two semi-positive-style programs
+/// over a schema where every idb predicate `R` has a primed companion
+/// `R__p`. Alternating their evaluation reproduces the alternating
+/// fixpoint as a pure program transformation — this is the "well-known
+/// doubled program approach" the paper uses to place connected Datalog
+/// under WFS inside `Mdisjoint` (Section 7).
+#[derive(Debug, Clone)]
+pub struct DoubledProgram {
+    /// Derives unprimed (true-side) facts; its negative literals mention
+    /// only primed predicates.
+    pub true_side: Program,
+    /// Derives primed (possible-side) facts; its negative literals mention
+    /// only unprimed predicates.
+    pub possible_side: Program,
+    /// The idb predicates that were doubled.
+    pub doubled: BTreeSet<RelName>,
+}
+
+/// The primed companion name of a relation.
+pub fn primed(r: &str) -> RelName {
+    rel(format!("{r}__p"))
+}
+
+/// Build the doubled program of `p`.
+pub fn doubled_program(p: &Program) -> DoubledProgram {
+    let idb = p.idb();
+    let doubled: BTreeSet<RelName> = idb.names().cloned().collect();
+    let prime_atom = |a: &Atom| -> Atom {
+        if doubled.contains(&a.relation) {
+            Atom {
+                relation: primed(&a.relation),
+                terms: a.terms.clone(),
+            }
+        } else {
+            a.clone()
+        }
+    };
+    let mut true_rules = Vec::new();
+    let mut possible_rules = Vec::new();
+    for r in p.rules() {
+        // True side: positive atoms unprimed, negated idb atoms primed
+        // (checked against the possible-side overestimate).
+        true_rules.push(Rule {
+            head: r.head.clone(),
+            pos: r.pos.clone(),
+            neg: r.neg.iter().map(&prime_atom).collect(),
+            ineq: r.ineq.clone(),
+        });
+        // Possible side: head and positive idb atoms primed, negated idb
+        // atoms unprimed (checked against the true-side underestimate).
+        possible_rules.push(Rule {
+            head: prime_atom(&r.head),
+            pos: r.pos.iter().map(&prime_atom).collect(),
+            neg: r.neg.clone(),
+            ineq: r.ineq.clone(),
+        });
+    }
+    DoubledProgram {
+        true_side: Program::new(true_rules).expect("doubling preserves well-formedness"),
+        possible_side: Program::new(possible_rules).expect("doubling preserves well-formedness"),
+        doubled,
+    }
+}
+
+impl DoubledProgram {
+    /// Evaluate the doubled program by alternating the two sides until
+    /// both stabilize; returns the same model as [`well_founded_model`].
+    pub fn eval(&self, input: &Instance) -> WellFoundedModel {
+        let mut gamma_applications = 0;
+        // Under-approximation state: unprimed facts (starting from input).
+        let mut under = Instance::new();
+        loop {
+            // Possible side: freeze negation on current `under`.
+            let frozen_under = {
+                let mut d = Database::from_instance(input);
+                d.absorb(&Database::from_instance(&under));
+                d
+            };
+            let mut over_db = Database::from_instance(&prime_instance(input, &self.doubled));
+            // The possible side reads primed inputs for idb positives; edb
+            // stays unprimed, so load both forms of the input.
+            over_db.absorb(&Database::from_instance(input));
+            fixpoint_seminaive_frozen(&self.possible_side, &mut over_db, &frozen_under);
+            gamma_applications += 1;
+            let over = unprime_instance(&over_db.to_instance(), &self.doubled);
+
+            // True side: freeze negation on primed overestimate.
+            let frozen_over = {
+                let mut d = Database::from_instance(&prime_instance(&over, &self.doubled));
+                d.absorb(&Database::from_instance(input));
+                d
+            };
+            let mut under_db = Database::from_instance(input);
+            fixpoint_seminaive_frozen(&self.true_side, &mut under_db, &frozen_over);
+            gamma_applications += 1;
+            let under_next = under_db.to_instance();
+
+            if under_next == under {
+                return WellFoundedModel {
+                    true_facts: under_next,
+                    possible_facts: over.union(input),
+                    gamma_applications,
+                };
+            }
+            under = under_next;
+        }
+    }
+}
+
+fn prime_instance(i: &Instance, doubled: &BTreeSet<RelName>) -> Instance {
+    let mut out = Instance::new();
+    for f in i.facts() {
+        if doubled.contains(f.relation()) {
+            out.insert(Fact::from_rel(primed(f.relation()), f.args().to_vec()));
+        } else {
+            out.insert(f);
+        }
+    }
+    out
+}
+
+fn unprime_instance(i: &Instance, doubled: &BTreeSet<RelName>) -> Instance {
+    let mut out = Instance::new();
+    for f in i.facts() {
+        let name = f.relation().as_ref();
+        if let Some(base) = name.strip_suffix("__p") {
+            if doubled.contains(base) {
+                out.insert(Fact::new(base, f.args().to_vec()));
+                continue;
+            }
+        }
+        out.insert(f);
+    }
+    out
+}
+
+/// A query evaluated under the well-founded semantics: the answer is the
+/// set of *true* facts over the program's output schema (the convention
+/// used for win-move in the paper and in Zinn et al.).
+pub struct WellFoundedQuery {
+    name: String,
+    program: Program,
+    input_schema: Schema,
+    output_schema: Schema,
+}
+
+impl WellFoundedQuery {
+    /// Package a (possibly non-stratifiable) program as a WFS query.
+    pub fn new(name: impl Into<String>, program: Program) -> Self {
+        let input_schema = program.edb();
+        let output_schema = program.output_schema();
+        WellFoundedQuery {
+            name: name.into(),
+            program,
+            input_schema,
+            output_schema,
+        }
+    }
+
+    /// Parse source text into a WFS query.
+    ///
+    /// # Errors
+    /// Returns the parse/validation error message.
+    pub fn parse(name: impl Into<String>, src: &str) -> Result<Self, String> {
+        let p = crate::parser::parse_program(src).map_err(|e| e.to_string())?;
+        Ok(WellFoundedQuery::new(name, p))
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The full three-valued model on an input.
+    pub fn model(&self, input: &Instance) -> WellFoundedModel {
+        well_founded_model(&self.program, &input.restrict(&self.input_schema))
+    }
+}
+
+impl Query for WellFoundedQuery {
+    fn input_schema(&self) -> &Schema {
+        &self.input_schema
+    }
+
+    fn output_schema(&self) -> &Schema {
+        &self.output_schema
+    }
+
+    fn eval(&self, input: &Instance) -> Instance {
+        self.model(input).true_facts.restrict(&self.output_schema)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use calm_common::fact::fact;
+    use calm_common::generator::{chain_game, cycle_game, cycle_with_escape};
+
+    fn win_move() -> Program {
+        parse_program("win(x) :- move(x,y), not win(y).").unwrap()
+    }
+
+    #[test]
+    fn chain_alternates_win_lose() {
+        // 0 -> 1 -> 2 -> 3: 3 lost, 2 won, 1 lost, 0 won.
+        let m = well_founded_model(&win_move(), &chain_game(0, 3));
+        assert!(m.is_total());
+        assert_eq!(m.truth(&fact("win", [0])), Some(true));
+        assert_eq!(m.truth(&fact("win", [1])), Some(false));
+        assert_eq!(m.truth(&fact("win", [2])), Some(true));
+        assert_eq!(m.truth(&fact("win", [3])), Some(false));
+    }
+
+    #[test]
+    fn even_cycle_all_drawn() {
+        let m = well_founded_model(&win_move(), &cycle_game(0, 4));
+        assert!(!m.is_total());
+        for k in 0..4 {
+            assert_eq!(m.truth(&fact("win", [k])), None, "position {k} drawn");
+        }
+    }
+
+    #[test]
+    fn cycle_with_escape_is_determined() {
+        // a=10, b=11, c=12: c lost, b won (b->c), a lost (only move to won b).
+        let m = well_founded_model(&win_move(), &cycle_with_escape(10));
+        assert!(m.is_total());
+        assert_eq!(m.truth(&fact("win", [10])), Some(false));
+        assert_eq!(m.truth(&fact("win", [11])), Some(true));
+        assert_eq!(m.truth(&fact("win", [12])), Some(false));
+    }
+
+    #[test]
+    fn wfs_agrees_with_stratified_semantics_on_stratifiable_program() {
+        let p = parse_program(
+            "T(x,y) :- E(x,y).\n\
+             T(x,z) :- T(x,y), E(y,z).\n\
+             O(x) :- Adom(x), not T(x,x).\n\
+             Adom(x) :- E(x,y).\n\
+             Adom(y) :- E(x,y).",
+        )
+        .unwrap();
+        let input = calm_common::generator::path(3);
+        let wfs = well_founded_model(&p, &input);
+        assert!(wfs.is_total());
+        let strat = crate::eval::eval_program(&p, &input).unwrap();
+        assert_eq!(wfs.true_facts, strat);
+    }
+
+    #[test]
+    fn doubled_program_matches_alternating_fixpoint() {
+        let p = win_move();
+        let d = doubled_program(&p);
+        for input in [
+            chain_game(0, 4),
+            cycle_game(0, 3),
+            cycle_game(0, 4),
+            cycle_with_escape(0),
+        ] {
+            let direct = well_founded_model(&p, &input);
+            let via_doubled = d.eval(&input);
+            assert_eq!(
+                direct.true_facts.restrict(&p.output_schema()),
+                via_doubled.true_facts.restrict(&p.output_schema()),
+                "true facts must agree on {input:?}"
+            );
+            assert_eq!(
+                direct.undefined().restrict(&p.output_schema()),
+                via_doubled.undefined().restrict(&p.output_schema()),
+                "undefined facts must agree on {input:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn doubled_program_structure() {
+        let d = doubled_program(&win_move());
+        // True side negates only the primed predicate.
+        assert_eq!(d.true_side.rules()[0].neg[0].relation.as_ref(), "win__p");
+        // Possible side derives primed and negates unprimed.
+        assert_eq!(d.possible_side.rules()[0].head.relation.as_ref(), "win__p");
+        assert_eq!(d.possible_side.rules()[0].neg[0].relation.as_ref(), "win");
+    }
+
+    #[test]
+    fn wfs_query_outputs_true_wins() {
+        let q = WellFoundedQuery::parse("win-move", "win(x) :- move(x,y), not win(y).").unwrap();
+        let out = q.eval(&chain_game(0, 2));
+        // 0 -> 1 -> 2: win(1) only (2 lost; 0's move goes to won 1 => 0 lost).
+        assert_eq!(out, Instance::from_facts([fact("win", [1])]));
+        assert_eq!(q.name(), "win-move");
+    }
+
+    #[test]
+    fn odd_cycle_drawn() {
+        let m = well_founded_model(&win_move(), &cycle_game(0, 3));
+        assert_eq!(m.undefined().relation_len("win"), 3);
+    }
+
+    #[test]
+    fn empty_game_empty_model() {
+        let m = well_founded_model(&win_move(), &Instance::new());
+        assert!(m.is_total());
+        assert!(m.true_facts.is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the Datalog crate: parser round-trips, engine
+//! equivalence across optimization levels, stratification invariants.
+
+use calm_datalog::ast::{Atom, Rule, Term};
+use calm_datalog::eval::{eval_program_with, Engine};
+use calm_datalog::program::Program;
+use calm_datalog::stratify::stratify;
+use calm_datalog::{parse_program, parse_rule};
+use calm_common::fact::fact;
+use calm_common::instance::Instance;
+use proptest::prelude::*;
+
+/// Random positive rules over a fixed schema {E(2), V(1)} with idb T(2),
+/// S(1): choose a head and 1..3 body atoms over the head's variables.
+fn arb_rule() -> impl Strategy<Value = Rule> {
+    let vars = prop::sample::select(vec!["x", "y", "z", "w"]);
+    let atom = (prop::sample::select(vec!["E", "T"]), vars.clone(), vars.clone())
+        .prop_map(|(r, a, b)| Atom::new(r, vec![Term::var(a), Term::var(b)]));
+    let unary = (prop::sample::select(vec!["V", "S"]), vars.clone())
+        .prop_map(|(r, a)| Atom::new(r, vec![Term::var(a)]));
+    let body_atom = prop_oneof![atom.clone(), unary.clone()];
+    (
+        prop::sample::select(vec!["T", "S"]),
+        prop::collection::vec(body_atom, 1..4),
+    )
+        .prop_map(|(head_rel, body)| {
+            // Head variables drawn from the body to ensure safety.
+            let mut body_vars: Vec<_> = body
+                .iter()
+                .flat_map(|a| a.variables().cloned())
+                .collect();
+            body_vars.sort();
+            body_vars.dedup();
+            let arity = if head_rel == "T" { 2 } else { 1 };
+            let head_terms: Vec<Term> = (0..arity)
+                .map(|i| Term::Var(body_vars[i % body_vars.len()].clone()))
+                .collect();
+            Rule {
+                head: Atom::new(head_rel, head_terms),
+                pos: body,
+                neg: vec![],
+                ineq: vec![],
+            }
+        })
+}
+
+fn small_instance() -> impl Strategy<Value = Instance> {
+    (
+        prop::collection::vec((0..4i64, 0..4i64), 0..8),
+        prop::collection::vec(0..4i64, 0..4),
+    )
+        .prop_map(|(edges, verts)| {
+            let mut i = Instance::from_facts(edges.into_iter().map(|(a, b)| fact("E", [a, b])));
+            i.extend(verts.into_iter().map(|v| fact("V", [v])));
+            i
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rule_display_reparses_identically(rule in arb_rule()) {
+        let text = rule.to_string();
+        let reparsed = parse_rule(&text).unwrap();
+        prop_assert_eq!(rule, reparsed);
+    }
+
+    #[test]
+    fn program_display_reparses(rules in prop::collection::vec(arb_rule(), 1..5)) {
+        // Deduplicate head/arity conflicts are impossible by construction.
+        if let Ok(p) = Program::new(rules) {
+            let text = p.to_string();
+            let p2 = parse_program(&text).unwrap();
+            prop_assert_eq!(p.rules(), p2.rules());
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_random_programs(
+        rules in prop::collection::vec(arb_rule(), 1..5),
+        input in small_instance(),
+    ) {
+        if let Ok(p) = Program::new(rules) {
+            let (a, _) = eval_program_with(&p, &input, Engine::SemiNaive).unwrap();
+            let (b, _) = eval_program_with(&p, &input, Engine::SemiNaiveBaseline).unwrap();
+            let (c, _) = eval_program_with(&p, &input, Engine::Naive).unwrap();
+            prop_assert_eq!(&a, &b, "optimized vs baseline");
+            prop_assert_eq!(&a, &c, "seminaive vs naive");
+        }
+    }
+
+    #[test]
+    fn evaluation_is_inflationary_and_monotone_for_positive_programs(
+        rules in prop::collection::vec(arb_rule(), 1..4),
+        input in small_instance(),
+        extra in small_instance(),
+    ) {
+        if let Ok(p) = Program::new(rules) {
+            let out1 = calm_datalog::eval::eval_program(&p, &input).unwrap();
+            // Inflationary: the input is contained in the model.
+            prop_assert!(input.is_subset(&out1));
+            // Monotone: positive programs only grow with more input.
+            let out2 = calm_datalog::eval::eval_program(&p, &input.union(&extra)).unwrap();
+            prop_assert!(out1.is_subset(&out2));
+        }
+    }
+
+    #[test]
+    fn stratification_respects_constraints(rules in prop::collection::vec(arb_rule(), 1..5)) {
+        if let Ok(p) = Program::new(rules) {
+            let s = stratify(&p).unwrap();
+            for rule in p.rules() {
+                let head = s.stratum_of[&rule.head.relation];
+                for a in &rule.pos {
+                    if let Some(&b) = s.stratum_of.get(&a.relation) {
+                        prop_assert!(b <= head);
+                    }
+                }
+                for a in &rule.neg {
+                    if let Some(&b) = s.stratum_of.get(&a.relation) {
+                        prop_assert!(b < head);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adom_rules_compute_active_domain(input in small_instance()) {
+        // Adom rules cover the program's edb (here just E); restrict the
+        // comparison to the part of the input the program sees.
+        let p = parse_program("T(x,y) :- E(x,y).").unwrap().with_adom();
+        let visible = input.restrict(&p.edb());
+        let out = calm_datalog::eval::eval_program(&p, &visible).unwrap();
+        let adom_vals: std::collections::BTreeSet<_> =
+            out.tuples("Adom").map(|t| t[0].clone()).collect();
+        prop_assert_eq!(adom_vals, visible.adom());
+    }
+}

@@ -1,0 +1,257 @@
+//! Herbrand-universe evaluation of ILOG¬ programs.
+//!
+//! Valuations are applied to the Skolemized rules: an invention head
+//! `R(*, x1, ..., xk)` derives `R(f_R(v1, ..., vk), v1, ..., vk)` where
+//! `f_R(v̄)` is a ground Skolem term ([`calm_common::value::Value::Skolem`]).
+//! Strata are evaluated as fixpoints; when the fixpoint keeps inventing
+//! deeper and deeper terms (the paper's "relations of infinite size"
+//! case), evaluation reports divergence instead of running forever.
+
+use crate::program::{invention_args, IlogProgram};
+use calm_common::instance::Instance;
+use calm_common::value::Value;
+use calm_datalog::ast::Term;
+use calm_datalog::eval::database::Database;
+use calm_datalog::eval::seminaive::body_valuations;
+use std::fmt;
+
+/// Evaluation limits: ILOG¬ output is *undefined* when the Herbrand
+/// fixpoint is infinite, which we detect by cutoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum Skolem-term nesting depth before declaring divergence.
+    pub max_skolem_depth: usize,
+    /// Maximum number of derived facts before declaring divergence.
+    pub max_facts: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_skolem_depth: 16,
+            max_facts: 1_000_000,
+        }
+    }
+}
+
+/// Divergence report: the program's output is undefined (Section 5.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diverged {
+    /// Which limit was hit.
+    pub reason: String,
+}
+
+impl fmt::Display for Diverged {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ILOG evaluation diverged: {}", self.reason)
+    }
+}
+
+impl std::error::Error for Diverged {}
+
+/// Evaluate an ILOG¬ program on an input, returning the full derived
+/// instance (including invented values in auxiliary relations).
+///
+/// # Errors
+/// Returns [`Diverged`] when the Herbrand fixpoint exceeds the limits.
+pub fn eval_ilog(p: &IlogProgram, input: &Instance, limits: Limits) -> Result<Instance, Diverged> {
+    let mut db = Database::from_instance(input);
+    for stratum in &p.stratification().strata {
+        // Fixpoint over the stratum. Negation within a stratum is
+        // semi-positive w.r.t. lower strata, so checking against the full
+        // (frozen-per-iteration) database is the stratified semantics.
+        loop {
+            let mut added = false;
+            for rule in stratum.rules() {
+                let invention = rule.head.has_invention();
+                for valuation in body_valuations(rule, &db) {
+                    let mut args: Vec<Value> = Vec::with_capacity(rule.head.arity());
+                    let tail_terms: &[Term] = if invention {
+                        invention_args(&rule.head)
+                    } else {
+                        &rule.head.terms
+                    };
+                    let tail: Vec<Value> = tail_terms
+                        .iter()
+                        .map(|t| match t {
+                            Term::Var(v) => valuation[v].clone(),
+                            Term::Const(c) => c.clone(),
+                            Term::Invention => unreachable!("validated: single leading *"),
+                        })
+                        .collect();
+                    if invention {
+                        let skolem = Value::skolem(
+                            IlogProgram::functor(&rule.head.relation),
+                            tail.clone(),
+                        );
+                        if skolem.skolem_depth() > limits.max_skolem_depth {
+                            return Err(Diverged {
+                                reason: format!(
+                                    "Skolem depth exceeded {} in relation {}",
+                                    limits.max_skolem_depth, rule.head.relation
+                                ),
+                            });
+                        }
+                        args.push(skolem);
+                    }
+                    args.extend(tail);
+                    if db.insert(&rule.head.relation, args) {
+                        added = true;
+                    }
+                }
+            }
+            if db.len() > limits.max_facts {
+                return Err(Diverged {
+                    reason: format!("fact count exceeded {}", limits.max_facts),
+                });
+            }
+            if !added {
+                break;
+            }
+        }
+    }
+    Ok(db.to_instance())
+}
+
+/// Evaluate and project onto the output schema, then verify *safety*: the
+/// output of a safe program contains no invented values. Unsafe outputs
+/// are reported as divergence-of-contract.
+///
+/// # Errors
+/// Returns [`Diverged`] on divergence or on invented values escaping into
+/// the output (an unsafe program).
+pub fn eval_ilog_query(
+    p: &IlogProgram,
+    input: &Instance,
+    limits: Limits,
+) -> Result<Instance, Diverged> {
+    let full = eval_ilog(p, input, limits)?;
+    let out = full.restrict(&p.program().output_schema());
+    for f in out.facts() {
+        if f.has_invented_value() {
+            return Err(Diverged {
+                reason: format!("unsafe program: invented value in output fact {f}"),
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calm_common::fact::fact;
+    use calm_common::generator::path;
+
+    #[test]
+    fn invention_creates_distinct_witnesses() {
+        // One invented value per edge.
+        let p = IlogProgram::parse("R(*, x, y) :- E(x, y).").unwrap();
+        let out = eval_ilog(&p, &path(3), Limits::default()).unwrap();
+        assert_eq!(out.relation_len("R"), 3);
+        // Invented values are pairwise distinct and distinct from input.
+        let invented: std::collections::BTreeSet<_> = out
+            .tuples("R")
+            .map(|t| t[0].clone())
+            .collect();
+        assert_eq!(invented.len(), 3);
+        for v in &invented {
+            assert!(v.is_invented());
+        }
+    }
+
+    #[test]
+    fn same_arguments_same_invention() {
+        // Two rules inventing for the same relation with the same
+        // arguments produce the same Skolem value (functional invention).
+        let p = IlogProgram::parse(
+            "R(*, x) :- E(x, y).\n\
+             R(*, x) :- E(y, x).",
+        )
+        .unwrap();
+        let input = Instance::from_facts([fact("E", [1, 2]), fact("E", [2, 1])]);
+        let out = eval_ilog(&p, &input, Limits::default()).unwrap();
+        // Values 1 and 2 each get exactly one invented id.
+        assert_eq!(out.relation_len("R"), 2);
+    }
+
+    #[test]
+    fn recursive_invention_diverges() {
+        // Each invented value feeds back into the body: infinite fixpoint.
+        let p = IlogProgram::parse(
+            "S(x) :- E(x, y).\n\
+             R(*, x) :- S(x).\n\
+             S(r) :- R(r, x).",
+        )
+        .unwrap();
+        let err = eval_ilog(&p, &path(1), Limits::default()).unwrap_err();
+        assert!(err.reason.contains("Skolem depth"));
+    }
+
+    #[test]
+    fn safe_program_query_output_clean() {
+        // Invent ids internally but output only base values.
+        let p = IlogProgram::parse(
+            "@output O.\n\
+             Pair(*, x, y) :- E(x, y).\n\
+             O(x, y) :- Pair(p, x, y).",
+        )
+        .unwrap();
+        let out = eval_ilog_query(&p, &path(2), Limits::default()).unwrap();
+        assert_eq!(out.relation_len("O"), 2);
+    }
+
+    #[test]
+    fn unsafe_output_detected() {
+        let p = IlogProgram::parse(
+            "@output R.\n\
+             R(*, x, y) :- E(x, y).",
+        )
+        .unwrap();
+        let err = eval_ilog_query(&p, &path(1), Limits::default()).unwrap_err();
+        assert!(err.reason.contains("unsafe"));
+    }
+
+    #[test]
+    fn stratified_negation_with_invention() {
+        // Invent a token per vertex that has no outgoing edge.
+        let p = IlogProgram::parse(
+            "@output O.\n\
+             HasOut(x) :- E(x, y).\n\
+             Adom(x) :- E(x, y).\n\
+             Adom(y) :- E(x, y).\n\
+             Sink(*, x) :- Adom(x), not HasOut(x).\n\
+             O(x) :- Sink(s, x).",
+        )
+        .unwrap();
+        let out = eval_ilog_query(&p, &path(3), Limits::default()).unwrap();
+        // Only vertex 3 is a sink.
+        assert_eq!(out, Instance::from_facts([fact("O", [3])]));
+    }
+
+    #[test]
+    fn invention_free_matches_datalog() {
+        let src = "@output T.\nT(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).";
+        let p = IlogProgram::parse(src).unwrap();
+        let out = eval_ilog_query(&p, &path(4), Limits::default()).unwrap();
+        let q = calm_datalog::DatalogQuery::parse("tc", src).unwrap();
+        use calm_common::query::Query;
+        assert_eq!(out, q.eval(&path(4)));
+    }
+
+    #[test]
+    fn fact_limit_triggers() {
+        let p = IlogProgram::parse(
+            "S(x) :- E(x, y).\n\
+             R(*, x) :- S(x).\n\
+             S(r) :- R(r, x).",
+        )
+        .unwrap();
+        let limits = Limits {
+            max_skolem_depth: usize::MAX,
+            max_facts: 50,
+        };
+        let err = eval_ilog(&p, &path(1), limits).unwrap_err();
+        assert!(err.reason.contains("fact count"));
+    }
+}

@@ -1,0 +1,118 @@
+//! wILOG¬ fragments (Section 5.2 / Figure 2).
+//!
+//! * `wILOG(≠)` — weakly safe, negation restricted to inequalities —
+//!   captures `M` (Cabibbo);
+//! * `SP-wILOG` — weakly safe, negation restricted to edb predicates —
+//!   captures `E = Mdistinct` (Cabibbo);
+//! * `semicon-wILOG¬` — weakly safe, semi-connected stratified — captures
+//!   `Mdisjoint` (Theorem 5.4).
+
+use crate::program::IlogProgram;
+use crate::safety::is_weakly_safe;
+use calm_datalog::fragment::{is_rule_connected, is_semi_connected_program};
+
+/// The wILOG¬ fragments a program inhabits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IlogFragmentReport {
+    /// Weakly safe (prerequisite for all wILOG classes).
+    pub weakly_safe: bool,
+    /// Positive apart from inequalities (`wILOG(≠)` when weakly safe).
+    pub positive_with_neq: bool,
+    /// Semi-positive (`SP-wILOG` when weakly safe).
+    pub semi_positive: bool,
+    /// All rules connected (`con-wILOG¬` when weakly safe).
+    pub connected: bool,
+    /// Semi-connected (`semicon-wILOG¬` when weakly safe).
+    pub semi_connected: bool,
+}
+
+impl IlogFragmentReport {
+    /// `wILOG(≠)`: captures `M`.
+    pub fn is_wilog_neq(&self) -> bool {
+        self.weakly_safe && self.positive_with_neq
+    }
+
+    /// `SP-wILOG`: captures `E = Mdistinct`.
+    pub fn is_sp_wilog(&self) -> bool {
+        self.weakly_safe && self.semi_positive
+    }
+
+    /// `semicon-wILOG¬`: captures `Mdisjoint` (Theorem 5.4).
+    pub fn is_semicon_wilog(&self) -> bool {
+        self.weakly_safe && self.semi_connected
+    }
+}
+
+/// Classify an ILOG¬ program.
+pub fn classify_ilog(p: &IlogProgram) -> IlogFragmentReport {
+    let prog = p.program();
+    IlogFragmentReport {
+        weakly_safe: is_weakly_safe(p),
+        positive_with_neq: prog.is_positive(),
+        semi_positive: prog.is_semi_positive(),
+        connected: prog.rules().iter().all(is_rule_connected),
+        semi_connected: is_semi_connected_program(prog),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_invention_is_wilog_neq() {
+        let p = IlogProgram::parse(
+            "@output O.\n\
+             Pair(*, x, y) :- E(x, y).\n\
+             O(x, y) :- Pair(p, x, y).",
+        )
+        .unwrap();
+        let r = classify_ilog(&p);
+        assert!(r.is_wilog_neq());
+        assert!(r.is_sp_wilog());
+        assert!(r.is_semicon_wilog());
+    }
+
+    #[test]
+    fn sp_wilog_with_edb_negation() {
+        let p = IlogProgram::parse(
+            "@output O.\n\
+             Tok(*, x) :- V(x), not E(x, x).\n\
+             O(x) :- Tok(t, x).",
+        )
+        .unwrap();
+        let r = classify_ilog(&p);
+        assert!(!r.is_wilog_neq());
+        assert!(r.is_sp_wilog());
+    }
+
+    #[test]
+    fn semicon_wilog_with_idb_negation() {
+        let p = IlogProgram::parse(
+            "@output O.\n\
+             T(x,y) :- E(x,y).\n\
+             T(x,z) :- T(x,y), E(y,z).\n\
+             O(x,y) :- Adom(x), Adom(y), not T(x,y).\n\
+             Adom(x) :- E(x,y).\n\
+             Adom(y) :- E(x,y).",
+        )
+        .unwrap();
+        let r = classify_ilog(&p);
+        assert!(!r.is_sp_wilog());
+        assert!(r.is_semicon_wilog());
+    }
+
+    #[test]
+    fn unsafe_program_excluded_from_all() {
+        let p = IlogProgram::parse(
+            "@output R.\n\
+             R(*, x) :- V(x).",
+        )
+        .unwrap();
+        let r = classify_ilog(&p);
+        assert!(!r.weakly_safe);
+        assert!(!r.is_wilog_neq());
+        assert!(!r.is_sp_wilog());
+        assert!(!r.is_semicon_wilog());
+    }
+}

@@ -1,0 +1,23 @@
+//! # calm-ilog
+//!
+//! ILOG¬ — stratified Datalog¬ with *value invention* (Hull & Yoshikawa;
+//! Cabibbo), as used in Section 5.2 of the paper. Invention heads
+//! `R(*, x̄)` derive fresh Herbrand values `f_R(x̄)`; evaluation runs over
+//! the Herbrand universe with divergence detection. Weak safety (the
+//! paper's syntactic guarantee that no invented value reaches the output)
+//! and the wILOG¬ fragments of Figure 2 — `wILOG(≠)`, `SP-wILOG`,
+//! `semicon-wILOG¬` — are implemented in [`safety`] and [`fragment`].
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod fragment;
+pub mod program;
+pub mod query;
+pub mod safety;
+
+pub use eval::{eval_ilog, eval_ilog_query, Diverged, Limits};
+pub use fragment::{classify_ilog, IlogFragmentReport};
+pub use program::{IlogError, IlogProgram};
+pub use query::IlogQuery;
+pub use safety::{is_weakly_safe, unsafe_positions};

@@ -1,0 +1,137 @@
+//! Weak safety for ILOG¬ (Section 5.2).
+//!
+//! The set of *unsafe positions* is the smallest set `S` of pairs `(R, i)`
+//! such that `(R, 1) ∈ S` for every invention relation `R`, and `S` is
+//! closed under propagation through rules: if `(R, i) ∈ S` and a rule has
+//! `R(x1, ..., xk)` as a positive body atom with `x_i` also appearing at
+//! position `j` of the head atom `T(y1, ..., yl)`, then `(T, j) ∈ S`.
+//! A program is *weakly safe* when its output relations contain no unsafe
+//! positions. Weakly safe programs are always safe (no invented values in
+//! the output).
+
+use crate::program::IlogProgram;
+use calm_common::fact::RelName;
+use calm_datalog::ast::Term;
+use std::collections::BTreeSet;
+
+/// A position `(relation, index)`; indices are 1-based as in the paper.
+pub type Position = (RelName, usize);
+
+/// Compute the set of unsafe positions of a program.
+pub fn unsafe_positions(p: &IlogProgram) -> BTreeSet<Position> {
+    let mut s: BTreeSet<Position> = p
+        .invention_relations()
+        .iter()
+        .map(|r| (r.clone(), 1usize))
+        .collect();
+    loop {
+        let mut changed = false;
+        for rule in p.program().rules() {
+            // For every positive body atom with a variable at an unsafe
+            // position, mark the head positions carrying that variable.
+            for atom in &rule.pos {
+                for (i, term) in atom.terms.iter().enumerate() {
+                    let Term::Var(v) = term else { continue };
+                    if !s.contains(&(atom.relation.clone(), i + 1)) {
+                        continue;
+                    }
+                    for (j, ht) in rule.head.terms.iter().enumerate() {
+                        if ht.as_var() == Some(v) {
+                            let key = (rule.head.relation.clone(), j + 1);
+                            if s.insert(key) {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            return s;
+        }
+    }
+}
+
+/// Whether the program is weakly safe: no output relation has an unsafe
+/// position.
+pub fn is_weakly_safe(p: &IlogProgram) -> bool {
+    let unsafe_set = unsafe_positions(p);
+    let outputs = p.program().outputs();
+    unsafe_set.iter().all(|(r, _)| !outputs.contains(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invention_position_is_unsafe() {
+        let p = IlogProgram::parse("R(*, x) :- E(x, x).").unwrap();
+        let s = unsafe_positions(&p);
+        assert!(s.contains(&(calm_common::rel("R"), 1)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn unsafety_propagates_through_positive_bodies() {
+        let p = IlogProgram::parse(
+            "R(*, x) :- E(x, x).\n\
+             T(r, x) :- R(r, x).\n\
+             U(x, r) :- T(r, x).",
+        )
+        .unwrap();
+        let s = unsafe_positions(&p);
+        assert!(s.contains(&(calm_common::rel("T"), 1)));
+        assert!(s.contains(&(calm_common::rel("U"), 2)));
+        assert!(!s.contains(&(calm_common::rel("T"), 2)));
+        assert!(!s.contains(&(calm_common::rel("U"), 1)));
+    }
+
+    #[test]
+    fn weakly_safe_when_outputs_avoid_unsafe_positions() {
+        let p = IlogProgram::parse(
+            "@output O.\n\
+             R(*, x, y) :- E(x, y).\n\
+             O(x, y) :- R(r, x, y).",
+        )
+        .unwrap();
+        assert!(is_weakly_safe(&p));
+    }
+
+    #[test]
+    fn not_weakly_safe_when_invention_escapes() {
+        let p = IlogProgram::parse(
+            "@output O.\n\
+             R(*, x) :- E(x, x).\n\
+             O(r, x) :- R(r, x).",
+        )
+        .unwrap();
+        assert!(!is_weakly_safe(&p));
+        let s = unsafe_positions(&p);
+        assert!(s.contains(&(calm_common::rel("O"), 1)));
+    }
+
+    #[test]
+    fn weak_safety_implies_runtime_safety() {
+        // A weakly safe program never emits invented values — check the
+        // static judgement against the dynamic one.
+        use crate::eval::{eval_ilog_query, Limits};
+        let p = IlogProgram::parse(
+            "@output O.\n\
+             Pair(*, x, y) :- E(x, y).\n\
+             Linked(p, q) :- Pair(p, x, y), Pair(q, y, z).\n\
+             O(x, z) :- Pair(p, x, y), Pair(q, y, z), Linked(p, q).",
+        )
+        .unwrap();
+        assert!(is_weakly_safe(&p));
+        let out = eval_ilog_query(&p, &calm_common::generator::path(3), Limits::default());
+        assert!(out.is_ok());
+    }
+
+    #[test]
+    fn invention_free_program_fully_safe() {
+        let p = IlogProgram::parse("T(x,y) :- E(x,y).").unwrap();
+        assert!(unsafe_positions(&p).is_empty());
+        assert!(is_weakly_safe(&p));
+    }
+}

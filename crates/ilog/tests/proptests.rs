@@ -1,0 +1,79 @@
+//! Property tests for ILOG¬: invention determinism, genericity of
+//! invention-free programs, and safety-analysis/runtime agreement.
+
+use calm_common::fact::fact;
+use calm_common::instance::Instance;
+use calm_ilog::{eval_ilog, eval_ilog_query, is_weakly_safe, IlogProgram, Limits};
+use proptest::prelude::*;
+
+fn edge_instance() -> impl Strategy<Value = Instance> {
+    prop::collection::vec((0..5i64, 0..5i64), 0..8)
+        .prop_map(|pairs| Instance::from_facts(pairs.into_iter().map(|(a, b)| fact("E", [a, b]))))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn invention_is_deterministic(i in edge_instance()) {
+        let p = IlogProgram::parse("Pair(*, x, y) :- E(x, y).").unwrap();
+        let a = eval_ilog(&p, &i, Limits::default()).unwrap();
+        let b = eval_ilog(&p, &i, Limits::default()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn one_invented_id_per_context(i in edge_instance()) {
+        let p = IlogProgram::parse("Pair(*, x, y) :- E(x, y).").unwrap();
+        let out = eval_ilog(&p, &i, Limits::default()).unwrap();
+        prop_assert_eq!(out.relation_len("Pair"), i.relation_len("E"));
+        let ids: std::collections::BTreeSet<_> =
+            out.tuples("Pair").map(|t| t[0].clone()).collect();
+        prop_assert_eq!(ids.len(), i.relation_len("E"));
+    }
+
+    #[test]
+    fn weakly_safe_programs_never_leak(i in edge_instance()) {
+        let sources = [
+            "@output O.\nPair(*, x, y) :- E(x, y).\nO(x, y) :- Pair(p, x, y).",
+            "@output O.\nTok(*, x) :- E(x, y).\nO(x) :- Tok(t, x).",
+        ];
+        for src in sources {
+            let p = IlogProgram::parse(src).unwrap();
+            prop_assert!(is_weakly_safe(&p));
+            let out = eval_ilog_query(&p, &i, Limits::default()).unwrap();
+            for f in out.facts() {
+                prop_assert!(!f.has_invented_value());
+            }
+        }
+    }
+
+    #[test]
+    fn invention_free_ilog_equals_datalog(i in edge_instance()) {
+        let src = "@output T.\nT(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).";
+        let p = IlogProgram::parse(src).unwrap();
+        let via_ilog = eval_ilog_query(&p, &i, Limits::default()).unwrap();
+        let via_datalog = calm_datalog::eval::eval_query(
+            &calm_datalog::parse_program(src).unwrap(),
+            &i,
+        )
+        .unwrap();
+        prop_assert_eq!(via_ilog, via_datalog);
+    }
+
+    #[test]
+    fn genericity_of_invention_outputs(i in edge_instance(), off in 1i64..50) {
+        // Weakly safe programs are generic on their (base-value) outputs.
+        let p = IlogProgram::parse(
+            "@output O.\nPair(*, x, y) :- E(x, y).\nO(y, x) :- Pair(p, x, y).",
+        )
+        .unwrap();
+        let pi = move |val: &calm_common::Value| match val {
+            calm_common::Value::Int(k) => calm_common::v(k + off),
+            other => other.clone(),
+        };
+        let out1 = eval_ilog_query(&p, &i, Limits::default()).unwrap().map_values(pi);
+        let out2 = eval_ilog_query(&p, &i.map_values(pi), Limits::default()).unwrap();
+        prop_assert_eq!(out1, out2);
+    }
+}

@@ -1,0 +1,249 @@
+//! The bounded classes `Mᵢ`, `Mᵢdistinct`, `Mᵢdisjoint` (Theorem 3.1).
+//!
+//! Utilities around the paper's structural facts:
+//!
+//! * `M = Mᵢ` for every `i` (Theorem 3.1(2)) — because an arbitrary
+//!   addition decomposes into single-fact additions. The decomposition
+//!   argument is *constructive*; [`incremental_decomposition_holds`]
+//!   replays it on concrete instances.
+//! * For domain-distinct/disjoint additions, the decomposition **fails**:
+//!   adding facts one at a time can break admissibility midway (a fact
+//!   that is fresh w.r.t. `I` may share values with earlier additions),
+//!   which is exactly why the bounded hierarchies are strict.
+
+use crate::classes::{check_pair, ExtensionKind, Violation};
+use calm_common::domain::{fact_domain_disjoint, fact_domain_distinct};
+use calm_common::instance::Instance;
+use calm_common::query::Query;
+
+/// Replay Theorem 3.1(2)'s argument on a concrete `(I, J)`: add the facts
+/// of `J` one at a time and verify the output never shrinks at any step
+/// (which implies `Q(I) ⊆ Q(I ∪ J)` by transitivity). Returns the first
+/// violating step, if any.
+pub fn incremental_decomposition_holds(
+    q: &dyn Query,
+    base: &Instance,
+    extension: &Instance,
+) -> Result<(), Violation> {
+    let mut current = base.clone();
+    for f in extension.facts() {
+        let step = Instance::from_facts([f]);
+        if let Some(violation) = check_pair(q, &current, &step) {
+            return Err(violation);
+        }
+        current.extend(step.facts());
+    }
+    Ok(())
+}
+
+/// Whether the single-fact decomposition of `J` over `I` stays admissible
+/// for the given kind at every step: each fact of `J` must be
+/// distinct/disjoint from `I` *plus the previously added facts*.
+///
+/// For `ExtensionKind::Any` this is always `true` — the structural reason
+/// `M = Mᵢ`. For the weaker kinds it can be `false`, the structural
+/// reason the bounded hierarchies of Theorem 3.1(3,4) are strict.
+pub fn decomposition_stays_admissible(
+    kind: ExtensionKind,
+    base: &Instance,
+    extension: &Instance,
+) -> bool {
+    let mut current = base.clone();
+    for f in extension.facts() {
+        let adom = current.adom();
+        let ok = match kind {
+            ExtensionKind::Any => true,
+            ExtensionKind::DomainDistinct => fact_domain_distinct(&f, &adom),
+            ExtensionKind::DomainDisjoint => fact_domain_disjoint(&f, &adom),
+        };
+        if !ok {
+            return false;
+        }
+        current.insert(f);
+    }
+    true
+}
+
+/// Locate a query's position on the bounded ladder: the least bound `i`
+/// (up to `max_bound`) at which the `Mᵢ` condition for `kind` is
+/// violated, i.e. the query is in `M^{i-1}` (empirically) but not `Mᵢ`.
+/// Returns `None` when no violation is found up to `max_bound` —
+/// consistent with membership in the unbounded class.
+///
+/// This is Theorem 3.1(3,4)'s measurement: `Q^{i+2}_clique` breaks at
+/// bound `i+1` on the distinct ladder and `Q^{i+1}_star` at bound `i+1`
+/// on the disjoint ladder.
+pub fn ladder_break_point(
+    q: &dyn Query,
+    kind: ExtensionKind,
+    max_bound: usize,
+    trials: usize,
+    seed: u64,
+    mut base_gen: impl FnMut(&mut rand::rngs::StdRng) -> Instance,
+) -> Option<usize> {
+    for bound in 1..=max_bound {
+        let hit = crate::classes::Falsifier::new(kind)
+            .with_bound(bound)
+            .with_trials(trials)
+            .with_seed(seed ^ bound as u64)
+            .falsify(q, &mut base_gen);
+        if hit.is_some() {
+            return Some(bound);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calm_common::fact::fact;
+    use calm_common::generator::{edge, star_from};
+
+    #[test]
+    fn any_kind_always_decomposes() {
+        let base = Instance::from_facts([edge(0, 1)]);
+        let ext = Instance::from_facts([edge(0, 2), edge(2, 3), edge(0, 0)]);
+        assert!(decomposition_stays_admissible(
+            ExtensionKind::Any,
+            &base,
+            &ext
+        ));
+    }
+
+    #[test]
+    fn disjoint_star_does_not_decompose() {
+        // The paper's Theorem 3.1(4) core: a fresh 2-spoke star is domain
+        // disjoint as a whole, but after adding its first edge, the second
+        // edge shares the centre — single-fact steps are inadmissible.
+        let base = Instance::from_facts([edge(0, 1)]);
+        let star = star_from(100, 2);
+        assert!(calm_common::is_domain_disjoint(&star, &base));
+        assert!(!decomposition_stays_admissible(
+            ExtensionKind::DomainDisjoint,
+            &base,
+            &star
+        ));
+    }
+
+    #[test]
+    fn distinct_clique_star_does_not_decompose() {
+        // Theorem 3.1(3) core: the fresh-centre star into old clique
+        // vertices is domain-distinct as a whole, but its later edges use
+        // the centre introduced by the first edge.
+        let base = calm_common::generator::clique_from(0, 3);
+        let j = Instance::from_facts([edge(10, 0), edge(10, 1), edge(10, 2)]);
+        assert!(calm_common::is_domain_distinct(&j, &base));
+        assert!(!decomposition_stays_admissible(
+            ExtensionKind::DomainDistinct,
+            &base,
+            &j
+        ));
+    }
+
+    #[test]
+    fn ladder_break_point_locates_star_query() {
+        // Q^2_star ∈ M¹_disjoint \ M²_disjoint: break point 2.
+        use calm_common::query::FnQuery;
+        use calm_common::schema::Schema;
+        let q = FnQuery::new(
+            "q2star",
+            Schema::from_pairs([("E", 2)]),
+            Schema::from_pairs([("E", 2)]),
+            |i: &Instance| {
+                // has_star(2): some vertex with >= 2 distinct out-neighbours.
+                let mut outdeg: std::collections::BTreeMap<_, std::collections::BTreeSet<_>> =
+                    Default::default();
+                for t in i.tuples("E") {
+                    if t[0] != t[1] {
+                        outdeg.entry(t[0].clone()).or_default().insert(t[1].clone());
+                    }
+                }
+                if outdeg.values().any(|s| s.len() >= 2) {
+                    Instance::new()
+                } else {
+                    i.clone()
+                }
+            },
+        );
+        let breakpoint = ladder_break_point(
+            &q,
+            ExtensionKind::DomainDisjoint,
+            3,
+            2000,
+            77,
+            |_| Instance::from_facts([edge(1, 2)]),
+        );
+        assert_eq!(breakpoint, Some(2));
+    }
+
+    #[test]
+    fn monotone_query_has_no_break_point() {
+        use calm_common::query::FnQuery;
+        use calm_common::schema::Schema;
+        let q = FnQuery::new(
+            "copy",
+            Schema::from_pairs([("E", 2)]),
+            Schema::from_pairs([("O", 2)]),
+            |i: &Instance| {
+                Instance::from_facts(
+                    i.tuples("E")
+                        .map(|t| fact("O", [t[0].clone(), t[1].clone()])),
+                )
+            },
+        );
+        let breakpoint = ladder_break_point(
+            &q,
+            ExtensionKind::DomainDisjoint,
+            3,
+            100,
+            78,
+            |_| Instance::from_facts([edge(1, 2)]),
+        );
+        assert_eq!(breakpoint, None);
+    }
+
+    #[test]
+    fn monotone_query_passes_incremental_replay() {
+        use calm_common::query::FnQuery;
+        use calm_common::schema::Schema;
+        let q = FnQuery::new(
+            "copy",
+            Schema::from_pairs([("E", 2)]),
+            Schema::from_pairs([("O", 2)]),
+            |i: &Instance| {
+                Instance::from_facts(
+                    i.tuples("E")
+                        .map(|t| fact("O", [t[0].clone(), t[1].clone()])),
+                )
+            },
+        );
+        let base = Instance::from_facts([edge(0, 1)]);
+        let ext = Instance::from_facts([edge(1, 2), edge(2, 0)]);
+        assert!(incremental_decomposition_holds(&q, &base, &ext).is_ok());
+    }
+
+    #[test]
+    fn non_monotone_query_fails_replay_at_some_step() {
+        use calm_common::query::FnQuery;
+        use calm_common::schema::Schema;
+        let q = FnQuery::new(
+            "no-loops",
+            Schema::from_pairs([("E", 2)]),
+            Schema::from_pairs([("O", 2)]),
+            |i: &Instance| {
+                if i.tuples("E").any(|t| t[0] == t[1]) {
+                    Instance::new()
+                } else {
+                    Instance::from_facts(
+                        i.tuples("E")
+                            .map(|t| fact("O", [t[0].clone(), t[1].clone()])),
+                    )
+                }
+            },
+        );
+        let base = Instance::from_facts([edge(0, 1)]);
+        let ext = Instance::from_facts([edge(2, 2)]);
+        assert!(incremental_decomposition_holds(&q, &base, &ext).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! One-call classification of a query against the Figure-1 hierarchy.
+
+use crate::classes::{ExtensionKind, Falsifier, Violation};
+use crate::exhaustive::Exhaustive;
+use calm_common::instance::Instance;
+use calm_common::query::Query;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The verdict for one class: either a concrete counterexample (definitive
+/// non-membership) or "no violation found" (membership up to the search
+/// bounds; membership is undecidable in general, Section 7).
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// No violating pair found by exhaustive + randomized search.
+    ConsistentWithMembership,
+    /// A violating pair — the query is definitively outside the class.
+    NotMember(Violation),
+}
+
+impl Verdict {
+    /// Whether no violation was found.
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, Verdict::ConsistentWithMembership)
+    }
+}
+
+/// The three-row classification of a query.
+#[derive(Debug, Clone)]
+pub struct ClassReport {
+    /// `M` (plain monotonicity).
+    pub monotone: Verdict,
+    /// `Mdistinct`.
+    pub domain_distinct: Verdict,
+    /// `Mdisjoint`.
+    pub domain_disjoint: Verdict,
+}
+
+impl ClassReport {
+    /// The paper's class name for the lowest class the query is
+    /// consistent with (`"M"`, `"Mdistinct"`, `"Mdisjoint"`, or `"C"`).
+    pub fn lowest_class(&self) -> &'static str {
+        if self.monotone.is_consistent() {
+            "M"
+        } else if self.domain_distinct.is_consistent() {
+            "Mdistinct"
+        } else if self.domain_disjoint.is_consistent() {
+            "Mdisjoint"
+        } else {
+            "C"
+        }
+    }
+}
+
+/// Classify a query against `M`, `Mdistinct` and `Mdisjoint` using the
+/// default exhaustive bounds plus `trials` randomized trials with the
+/// given base-instance generator.
+pub fn classify_query(
+    q: &dyn Query,
+    trials: usize,
+    seed: u64,
+    mut base_gen: impl FnMut(&mut StdRng) -> Instance + Clone,
+) -> ClassReport {
+    let mut verdict = |kind: ExtensionKind, salt: u64| -> Verdict {
+        if let Some(v) = Exhaustive::new(kind).certify(q) {
+            return Verdict::NotMember(v);
+        }
+        match Falsifier::new(kind)
+            .with_trials(trials)
+            .with_seed(seed ^ salt)
+            .falsify(q, &mut base_gen)
+        {
+            Some(v) => Verdict::NotMember(v),
+            None => Verdict::ConsistentWithMembership,
+        }
+    };
+    ClassReport {
+        monotone: verdict(ExtensionKind::Any, 0x1),
+        domain_distinct: verdict(ExtensionKind::DomainDistinct, 0x2),
+        domain_disjoint: verdict(ExtensionKind::DomainDisjoint, 0x3),
+    }
+}
+
+/// Classify with a default random-graph base generator over the query's
+/// input schema.
+pub fn classify_query_default(q: &dyn Query, trials: usize, seed: u64) -> ClassReport {
+    let schema = q.input_schema().clone();
+    classify_query(q, trials, seed, move |rng: &mut StdRng| {
+        let mut r = calm_common::generator::InstanceRng::seeded(rng.gen());
+        r.random_instance(&schema, 4, 5)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calm_common::fact::fact;
+    use calm_common::query::FnQuery;
+    use calm_common::schema::Schema;
+
+    fn copy_query() -> impl Query {
+        FnQuery::new(
+            "copy",
+            Schema::from_pairs([("E", 2)]),
+            Schema::from_pairs([("O", 2)]),
+            |i: &Instance| {
+                Instance::from_facts(
+                    i.tuples("E")
+                        .map(|t| fact("O", [t[0].clone(), t[1].clone()])),
+                )
+            },
+        )
+    }
+
+    fn no_loop_sources() -> impl Query {
+        FnQuery::new(
+            "no-loop-sources",
+            Schema::from_pairs([("E", 2)]),
+            Schema::from_pairs([("O", 2)]),
+            |i: &Instance| {
+                Instance::from_facts(
+                    i.tuples("E")
+                        .filter(|t| !i.contains_tuple("E", &[t[0].clone(), t[0].clone()]))
+                        .map(|t| fact("O", [t[0].clone(), t[1].clone()])),
+                )
+            },
+        )
+    }
+
+    #[test]
+    fn monotone_query_lands_in_m() {
+        let report = classify_query_default(&copy_query(), 60, 1);
+        assert_eq!(report.lowest_class(), "M");
+        assert!(report.domain_disjoint.is_consistent());
+    }
+
+    #[test]
+    fn sp_query_lands_in_mdistinct() {
+        let report = classify_query_default(&no_loop_sources(), 60, 2);
+        assert_eq!(report.lowest_class(), "Mdistinct");
+        assert!(!report.monotone.is_consistent());
+        if let Verdict::NotMember(v) = &report.monotone {
+            assert!(!v.lost.is_empty());
+        }
+    }
+
+    #[test]
+    fn anti_monotone_query_lands_in_c() {
+        let q = FnQuery::new(
+            "is-empty",
+            Schema::from_pairs([("E", 2)]),
+            Schema::from_pairs([("O", 1)]),
+            |i: &Instance| {
+                if i.relation_len("E") == 0 {
+                    Instance::from_facts([fact("O", [0])])
+                } else {
+                    Instance::new()
+                }
+            },
+        );
+        let report = classify_query_default(&q, 60, 3);
+        assert_eq!(report.lowest_class(), "C");
+    }
+}

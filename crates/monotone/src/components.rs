@@ -1,0 +1,162 @@
+//! Distribution over components (Definition 5, Lemma 5.2).
+//!
+//! A query `Q` *distributes over components* when for every instance `I`:
+//! `Q(I) = ⋃_{C ∈ co(I)} Q(C)` and the outputs of distinct components
+//! have disjoint active domains. Lemma 5.2: every `con-Datalog¬` query
+//! distributes over components; the checker here validates that claim
+//! empirically (experiment E13).
+
+use calm_common::component::components;
+use calm_common::instance::Instance;
+use calm_common::query::Query;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A witnessed failure of component distribution.
+#[derive(Debug, Clone)]
+pub struct ComponentViolation {
+    /// The instance on which distribution fails.
+    pub instance: Instance,
+    /// `Q(I)`.
+    pub whole: Instance,
+    /// `⋃ Q(C)` over components.
+    pub pieced: Instance,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+/// Check Definition 5 on one instance.
+pub fn check_distributes_over_components(
+    q: &dyn Query,
+    i: &Instance,
+) -> Option<ComponentViolation> {
+    let whole = q.eval(i);
+    let comps = components(i);
+    let mut pieced = Instance::new();
+    let mut outputs = Vec::with_capacity(comps.len());
+    for c in &comps {
+        let out = q.eval(c);
+        pieced.extend(out.facts());
+        outputs.push(out);
+    }
+    if whole != pieced {
+        return Some(ComponentViolation {
+            instance: i.clone(),
+            whole,
+            pieced,
+            reason: "Q(I) != union of Q(C) over components".to_string(),
+        });
+    }
+    for (a_idx, a) in outputs.iter().enumerate() {
+        let adom_a = a.adom();
+        for b in outputs.iter().skip(a_idx + 1) {
+            if b.adom().iter().any(|val| adom_a.contains(val)) {
+                return Some(ComponentViolation {
+                    instance: i.clone(),
+                    whole: a.clone(),
+                    pieced: b.clone(),
+                    reason: "outputs of distinct components share values".to_string(),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Randomized search for a component-distribution violation.
+pub fn falsify_component_distribution(
+    q: &dyn Query,
+    mut gen: impl FnMut(&mut StdRng) -> Instance,
+    trials: usize,
+    seed: u64,
+) -> Option<ComponentViolation> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..trials {
+        let i = gen(&mut rng);
+        if let Some(violation) = check_distributes_over_components(q, &i) {
+            return Some(violation);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calm_common::fact::fact;
+    use calm_common::generator::{disjoint_triangles, path_from};
+    use calm_common::query::FnQuery;
+    use calm_common::schema::Schema;
+    use rand::Rng;
+
+    fn tc_like() -> impl Query {
+        // Connected query: copies edges — trivially distributes.
+        FnQuery::new(
+            "copy",
+            Schema::from_pairs([("E", 2)]),
+            Schema::from_pairs([("O", 2)]),
+            |i: &Instance| {
+                Instance::from_facts(
+                    i.tuples("E")
+                        .map(|t| fact("O", [t[0].clone(), t[1].clone()])),
+                )
+            },
+        )
+    }
+
+    fn count_cross() -> impl Query {
+        // Pairs vertices across the whole instance — does NOT distribute.
+        FnQuery::new(
+            "all-pairs",
+            Schema::from_pairs([("E", 2)]),
+            Schema::from_pairs([("O", 2)]),
+            |i: &Instance| {
+                let adom: Vec<_> = i.adom().into_iter().collect();
+                let mut out = Instance::new();
+                for a in &adom {
+                    for b in &adom {
+                        out.insert(fact("O", [a.clone(), b.clone()]));
+                    }
+                }
+                out
+            },
+        )
+    }
+
+    #[test]
+    fn connected_style_query_distributes() {
+        let q = tc_like();
+        let multi = path_from(0, 3).union(&disjoint_triangles(100, 2));
+        assert!(check_distributes_over_components(&q, &multi).is_none());
+    }
+
+    #[test]
+    fn cross_component_query_fails() {
+        let q = count_cross();
+        let multi = path_from(0, 1).union(&path_from(100, 1));
+        let violation = check_distributes_over_components(&q, &multi).unwrap();
+        assert!(violation.reason.contains("union"));
+    }
+
+    #[test]
+    fn falsifier_finds_cross_component_violations() {
+        let q = count_cross();
+        let hit = falsify_component_distribution(
+            &q,
+            |rng| {
+                let a = path_from(0, rng.gen_range(1..3));
+                let b = path_from(100, rng.gen_range(1..3));
+                a.union(&b)
+            },
+            50,
+            7,
+        );
+        assert!(hit.is_some());
+    }
+
+    #[test]
+    fn single_component_instances_trivially_pass() {
+        let q = count_cross();
+        assert!(check_distributes_over_components(&q, &path_from(0, 4)).is_none());
+    }
+}

@@ -1,0 +1,258 @@
+//! Exhaustive small-domain certification of monotonicity conditions.
+//!
+//! For a bounded domain and bounded instance sizes, enumerate **every**
+//! pair `(I, J)` with `J` admissible for the class under test and verify
+//! `Q(I) ⊆ Q(I ∪ J)`. Together with genericity of queries, passing an
+//! exhaustive check over all shapes up to a size is strong evidence for
+//! class membership; failing one is a definitive counterexample.
+
+use crate::classes::{check_pair, ExtensionKind, Violation};
+use calm_common::fact::Fact;
+use calm_common::instance::Instance;
+use calm_common::query::Query;
+use calm_common::schema::Schema;
+use calm_common::value::v;
+
+/// Configuration of the exhaustive search.
+#[derive(Debug, Clone)]
+pub struct Exhaustive {
+    /// The class under test.
+    pub kind: ExtensionKind,
+    /// Bound on `|J|` (`Mᵢ` when `Some(i)`); `None` = up to
+    /// `max_extension_facts`.
+    pub bound: Option<usize>,
+    /// Base-instance domain: values `0..base_domain`.
+    pub base_domain: i64,
+    /// Maximum number of facts in the base instance.
+    pub max_base_facts: usize,
+    /// Number of fresh values available to extensions.
+    pub fresh_values: i64,
+    /// Maximum number of facts in an extension (when `bound` is `None`).
+    pub max_extension_facts: usize,
+}
+
+impl Exhaustive {
+    /// Defaults suitable for the binary-edge schema: domain {0,1,2}, up to
+    /// 3 base facts, 2 fresh values, up to 2 extension facts.
+    pub fn new(kind: ExtensionKind) -> Self {
+        Exhaustive {
+            kind,
+            bound: None,
+            base_domain: 3,
+            max_base_facts: 3,
+            fresh_values: 2,
+            max_extension_facts: 2,
+        }
+    }
+
+    /// Set the extension bound `i`.
+    #[must_use]
+    pub fn with_bound(mut self, i: usize) -> Self {
+        self.bound = Some(i);
+        self
+    }
+
+    /// Run the exhaustive check. Returns the first violation, or `None`
+    /// when every admissible pair satisfies the condition.
+    pub fn certify(&self, q: &dyn Query) -> Option<Violation> {
+        let schema = q.input_schema();
+        let base_facts = all_facts(schema, 0, self.base_domain);
+        let ext_limit = self.bound.unwrap_or(self.max_extension_facts);
+        // Extension facts may use base-domain values AND fresh values —
+        // admissibility is filtered per base instance below.
+        let ext_facts = all_facts(schema, 0, self.base_domain + self.fresh_values);
+
+        for base_subset in subsets_up_to(&base_facts, self.max_base_facts) {
+            let base = Instance::from_facts(base_subset.iter().map(|f| (*f).clone()));
+            for ext_subset in subsets_up_to(&ext_facts, ext_limit) {
+                let ext = Instance::from_facts(ext_subset.iter().map(|f| (*f).clone()));
+                if !self.kind.admits(&ext, &base) {
+                    continue;
+                }
+                if let Some(violation) = check_pair(q, &base, &ext) {
+                    return Some(violation);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// All facts over `schema` with integer values in `lo..hi`.
+pub fn all_facts(schema: &Schema, lo: i64, hi: i64) -> Vec<Fact> {
+    let mut out = Vec::new();
+    for (name, arity) in schema.iter() {
+        let mut tuple = vec![lo; arity];
+        loop {
+            out.push(Fact::new(
+                name.as_ref(),
+                tuple.iter().map(|&k| v(k)).collect(),
+            ));
+            // Odometer increment.
+            let mut pos = 0;
+            loop {
+                if pos == arity {
+                    break;
+                }
+                tuple[pos] += 1;
+                if tuple[pos] < hi {
+                    break;
+                }
+                tuple[pos] = lo;
+                pos += 1;
+            }
+            if pos == arity {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// All subsets of `facts` of size at most `k` (as index lists expanded to
+/// fact slices), smallest first.
+fn subsets_up_to(facts: &[Fact], k: usize) -> impl Iterator<Item = Vec<&Fact>> {
+    // Iterative enumeration by size to keep memory flat.
+    (0..=k.min(facts.len())).flat_map(move |size| Combinations::new(facts, size))
+}
+
+struct Combinations<'a> {
+    facts: &'a [Fact],
+    indices: Vec<usize>,
+    done: bool,
+}
+
+impl<'a> Combinations<'a> {
+    fn new(facts: &'a [Fact], size: usize) -> Self {
+        let done = size > facts.len();
+        Combinations {
+            facts,
+            indices: (0..size).collect(),
+            done,
+        }
+    }
+}
+
+impl<'a> Iterator for Combinations<'a> {
+    type Item = Vec<&'a Fact>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let result: Vec<&Fact> = self.indices.iter().map(|&i| &self.facts[i]).collect();
+        // Advance to the next combination.
+        let n = self.facts.len();
+        let k = self.indices.len();
+        if k == 0 {
+            self.done = true;
+            return Some(result);
+        }
+        let mut i = k;
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            if self.indices[i] < n - (k - i) {
+                self.indices[i] += 1;
+                for j in i + 1..k {
+                    self.indices[j] = self.indices[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calm_common::fact::fact;
+    use calm_common::query::FnQuery;
+
+    fn copy_query() -> impl Query {
+        FnQuery::new(
+            "copy",
+            Schema::from_pairs([("E", 2)]),
+            Schema::from_pairs([("O", 2)]),
+            |i: &Instance| {
+                Instance::from_facts(
+                    i.tuples("E")
+                        .map(|t| fact("O", [t[0].clone(), t[1].clone()])),
+                )
+            },
+        )
+    }
+
+    fn no_loop_sources() -> impl Query {
+        // O(x,y) :- E(x,y), not E(x,x): in Mdistinct, not in M.
+        FnQuery::new(
+            "no-loop-sources",
+            Schema::from_pairs([("E", 2)]),
+            Schema::from_pairs([("O", 2)]),
+            |i: &Instance| {
+                Instance::from_facts(
+                    i.tuples("E")
+                        .filter(|t| !i.contains_tuple("E", &[t[0].clone(), t[0].clone()]))
+                        .map(|t| fact("O", [t[0].clone(), t[1].clone()])),
+                )
+            },
+        )
+    }
+
+    #[test]
+    fn all_facts_counts() {
+        let s = Schema::from_pairs([("E", 2)]);
+        assert_eq!(all_facts(&s, 0, 3).len(), 9);
+        let s2 = Schema::from_pairs([("E", 2), ("V", 1)]);
+        assert_eq!(all_facts(&s2, 0, 2).len(), 4 + 2);
+    }
+
+    #[test]
+    fn combinations_enumerate_all() {
+        let s = Schema::from_pairs([("V", 1)]);
+        let facts = all_facts(&s, 0, 4); // V(0..3)
+        let subsets: Vec<_> = subsets_up_to(&facts, 2).collect();
+        // C(4,0) + C(4,1) + C(4,2) = 1 + 4 + 6 = 11.
+        assert_eq!(subsets.len(), 11);
+    }
+
+    #[test]
+    fn monotone_query_certified() {
+        let q = copy_query();
+        for kind in [
+            ExtensionKind::Any,
+            ExtensionKind::DomainDistinct,
+            ExtensionKind::DomainDisjoint,
+        ] {
+            assert!(Exhaustive::new(kind).certify(&q).is_none());
+        }
+    }
+
+    #[test]
+    fn sp_style_query_certified_distinct_but_not_any() {
+        let q = no_loop_sources();
+        // Not monotone: adding the loop E(x,x) (an *old-values* fact)
+        // retracts O(x,y).
+        let m_violation = Exhaustive::new(ExtensionKind::Any).certify(&q);
+        assert!(m_violation.is_some());
+        // Domain-distinct monotone: every added fact carries a fresh value,
+        // so E(x,x) over old x is never admissible.
+        assert!(Exhaustive::new(ExtensionKind::DomainDistinct)
+            .certify(&q)
+            .is_none());
+        assert!(Exhaustive::new(ExtensionKind::DomainDisjoint)
+            .certify(&q)
+            .is_none());
+    }
+
+    #[test]
+    fn bound_restricts_search() {
+        let q = copy_query();
+        let e = Exhaustive::new(ExtensionKind::DomainDisjoint).with_bound(1);
+        assert!(e.certify(&q).is_none());
+    }
+}

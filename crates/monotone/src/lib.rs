@@ -1,0 +1,30 @@
+//! # calm-monotone
+//!
+//! Empirical checkers for the monotonicity hierarchy of Section 3 —
+//! `M ⊊ Mdistinct ⊊ Mdisjoint ⊊ C` with the bounded variants `Mᵢ*` —
+//! plus the preservation classes `H`, `Hinj`, `E` of Lemma 3.2 and the
+//! component-distribution property of Definition 5 / Lemma 5.2.
+//!
+//! Since membership is undecidable (Section 7), the crate offers
+//! randomized **falsifiers** (a hit is a definitive non-membership
+//! certificate) and **exhaustive small-domain certification** (every pair
+//! `(I, J)` up to configurable sizes).
+
+#![warn(missing_docs)]
+
+pub mod bounded;
+pub mod classes;
+pub mod classify;
+pub mod components;
+pub mod exhaustive;
+pub mod preservation;
+
+pub use bounded::{decomposition_stays_admissible, incremental_decomposition_holds, ladder_break_point};
+pub use classes::{check_pair, sample_extension, ExtensionKind, Falsifier, Violation};
+pub use classify::{classify_query, classify_query_default, ClassReport, Verdict};
+pub use components::{check_distributes_over_components, falsify_component_distribution};
+pub use exhaustive::Exhaustive;
+pub use preservation::{
+    check_extension_preservation, check_homomorphism_preservation,
+    falsify_extension_preservation, falsify_homomorphism_preservation,
+};

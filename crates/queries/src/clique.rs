@@ -1,0 +1,178 @@
+//! `Q^k_clique` (Theorem 3.1(3)): output the edge relation when no clique
+//! of `k` vertices exists (ignoring edge direction), and the empty
+//! relation otherwise.
+//!
+//! The paper uses `Q^{i+2}_clique` to separate `M^{i+1}_distinct` from
+//! `M^i_distinct`: turning an existing `(i+1)`-clique into an
+//! `(i+2)`-clique with *domain-distinct* facts requires a star of at least
+//! `i+1` new edges (one fresh centre pointing at all old clique
+//! vertices), so additions of at most `i` domain-distinct facts can never
+//! flip the answer.
+
+use calm_common::instance::Instance;
+use calm_common::query::Query;
+use calm_common::schema::Schema;
+use calm_common::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The parameterized clique query.
+pub struct CliqueQuery {
+    k: usize,
+    name: String,
+    input: Schema,
+    output: Schema,
+}
+
+impl CliqueQuery {
+    /// `Q^k_clique` for `k >= 2`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2, "cliques need at least two vertices");
+        CliqueQuery {
+            k,
+            name: format!("q{k}clique"),
+            input: Schema::from_pairs([("E", 2)]),
+            output: Schema::from_pairs([("E", 2)]),
+        }
+    }
+
+    /// The parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// Whether the (direction-ignored) graph contains a clique on `k`
+/// vertices. Exposed for tests and the experiment harness.
+pub fn has_clique(i: &Instance, k: usize) -> bool {
+    // Undirected adjacency.
+    let mut adj: BTreeMap<Value, BTreeSet<Value>> = BTreeMap::new();
+    for t in i.tuples("E") {
+        if t[0] != t[1] {
+            adj.entry(t[0].clone()).or_default().insert(t[1].clone());
+            adj.entry(t[1].clone()).or_default().insert(t[0].clone());
+        }
+    }
+    if k == 1 {
+        return !i.adom().is_empty();
+    }
+    let vertices: Vec<Value> = adj
+        .iter()
+        .filter(|(_, n)| n.len() + 1 >= k)
+        .map(|(v, _)| v.clone())
+        .collect();
+    let mut chosen: Vec<Value> = Vec::with_capacity(k);
+    extend_clique(&adj, &vertices, 0, &mut chosen, k)
+}
+
+fn extend_clique(
+    adj: &BTreeMap<Value, BTreeSet<Value>>,
+    vertices: &[Value],
+    start: usize,
+    chosen: &mut Vec<Value>,
+    k: usize,
+) -> bool {
+    if chosen.len() == k {
+        return true;
+    }
+    for idx in start..vertices.len() {
+        let v = &vertices[idx];
+        // v must be adjacent to everything chosen.
+        let ok = chosen.iter().all(|c| adj[v].contains(c));
+        if !ok {
+            continue;
+        }
+        chosen.push(v.clone());
+        if extend_clique(adj, vertices, idx + 1, chosen, k) {
+            return true;
+        }
+        chosen.pop();
+    }
+    false
+}
+
+impl Query for CliqueQuery {
+    fn input_schema(&self) -> &Schema {
+        &self.input
+    }
+
+    fn output_schema(&self) -> &Schema {
+        &self.output
+    }
+
+    fn eval(&self, input: &Instance) -> Instance {
+        let i = input.restrict(&self.input);
+        if has_clique(&i, self.k) {
+            Instance::new()
+        } else {
+            i
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calm_common::domain::is_domain_distinct;
+    use calm_common::fact::fact;
+    use calm_common::generator::{clique_from, edge, path, star_from};
+
+    #[test]
+    fn detects_cliques_ignoring_direction() {
+        // One direction per pair still counts.
+        let one_way = Instance::from_facts([edge(1, 2), edge(2, 3), edge(1, 3)]);
+        assert!(has_clique(&one_way, 3));
+        assert!(!has_clique(&one_way, 4));
+        assert!(!has_clique(&path(5), 3));
+        assert!(has_clique(&clique_from(0, 5), 5));
+    }
+
+    #[test]
+    fn self_loops_do_not_make_cliques() {
+        let loops = Instance::from_facts([edge(1, 1), edge(2, 2)]);
+        assert!(!has_clique(&loops, 2));
+    }
+
+    #[test]
+    fn outputs_edges_iff_no_clique() {
+        let q = CliqueQuery::new(3);
+        let p = path(3);
+        assert_eq!(q.eval(&p), p);
+        let c = clique_from(0, 3);
+        assert!(q.eval(&c).is_empty());
+    }
+
+    #[test]
+    fn paper_separation_argument_k4() {
+        // Q^4_clique with i = 2: a 3-clique exists; extending it to a
+        // 4-clique domain-distinctly needs a fresh centre with 3 edges.
+        let i = clique_from(0, 3);
+        let q = CliqueQuery::new(4);
+        assert_eq!(q.eval(&i), i, "no 4-clique yet");
+        // Any 2 domain-distinct facts cannot create a 4-clique...
+        let j_small = Instance::from_facts([edge(10, 0), edge(10, 1)]);
+        assert!(is_domain_distinct(&j_small, &i));
+        assert_eq!(q.eval(&i.union(&j_small)), i.union(&j_small));
+        // ...but a 3-edge star from a fresh centre does.
+        let j_star = star_from(10, 0).union(&Instance::from_facts([
+            edge(10, 0),
+            edge(10, 1),
+            edge(10, 2),
+        ]));
+        assert!(is_domain_distinct(&j_star, &i));
+        assert!(q.eval(&i.union(&j_star)).is_empty(), "4-clique created");
+    }
+
+    #[test]
+    fn ignores_other_relations() {
+        let q = CliqueQuery::new(3);
+        let mut i = path(2);
+        i.insert(fact("X", [1]));
+        let out = q.eval(&i);
+        assert_eq!(out.relation_len("X"), 0);
+        assert_eq!(out.relation_len("E"), 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! `Q^j_duplicate` (Theorem 3.1(7)): over binary relations `R1, ..., Rj`,
+//! output `R1` when the global intersection `R1 ∩ ... ∩ Rj` is empty, and
+//! the empty set otherwise.
+//!
+//! The paper uses it to show `M^i_distinct ⊄ M^j_disjoint` for `i < j`:
+//! a *domain-disjoint* instance with `j` facts can replicate one fresh
+//! tuple across all `j` relations (flipping the answer), while
+//! domain-distinct instances of at most `i < j` facts can never populate
+//! the full intersection.
+
+use calm_common::fact::fact;
+use calm_common::instance::Instance;
+use calm_common::query::Query;
+use calm_common::schema::Schema;
+
+/// The parameterized duplicate query.
+pub struct DuplicateQuery {
+    j: usize,
+    name: String,
+    input: Schema,
+    output: Schema,
+}
+
+impl DuplicateQuery {
+    /// `Q^j_duplicate` over relations `R1..Rj`, all binary.
+    pub fn new(j: usize) -> Self {
+        assert!(j >= 1);
+        let input = Schema::from_pairs(
+            (1..=j)
+                .map(|k| (format!("R{k}"), 2usize))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|(n, a)| (n.as_str(), *a))
+                .collect::<Vec<_>>(),
+        );
+        DuplicateQuery {
+            j,
+            name: format!("q{j}duplicate"),
+            input,
+            output: Schema::from_pairs([("O", 2)]),
+        }
+    }
+
+    /// The parameter `j`.
+    pub fn j(&self) -> usize {
+        self.j
+    }
+}
+
+/// Whether some tuple occurs in every one of `R1..Rj`.
+pub fn has_global_duplicate(i: &Instance, j: usize) -> bool {
+    i.tuples("R1")
+        .any(|t| (2..=j).all(|k| i.contains_tuple(&format!("R{k}"), t)))
+}
+
+impl Query for DuplicateQuery {
+    fn input_schema(&self) -> &Schema {
+        &self.input
+    }
+
+    fn output_schema(&self) -> &Schema {
+        &self.output
+    }
+
+    fn eval(&self, input: &Instance) -> Instance {
+        let i = input.restrict(&self.input);
+        if has_global_duplicate(&i, self.j) {
+            Instance::new()
+        } else {
+            let mut out = Instance::new();
+            for t in i.tuples("R1") {
+                out.insert(fact("O", [t[0].clone(), t[1].clone()]));
+            }
+            out
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calm_common::domain::{is_domain_disjoint, is_domain_distinct};
+
+    #[test]
+    fn outputs_r1_when_intersection_empty() {
+        let q = DuplicateQuery::new(3);
+        let i = Instance::from_facts([
+            fact("R1", [1, 2]),
+            fact("R2", [1, 3]),
+            fact("R3", [1, 2]),
+        ]);
+        assert!(!has_global_duplicate(&i, 3));
+        let out = q.eval(&i);
+        assert_eq!(out, Instance::from_facts([fact("O", [1, 2])]));
+    }
+
+    #[test]
+    fn empty_when_duplicate_exists() {
+        let q = DuplicateQuery::new(2);
+        let i = Instance::from_facts([fact("R1", [1, 2]), fact("R2", [1, 2])]);
+        assert!(has_global_duplicate(&i, 2));
+        assert!(q.eval(&i).is_empty());
+    }
+
+    #[test]
+    fn disjoint_j_facts_flip_the_answer() {
+        // Paper: a domain-disjoint J with |J| = j replicates a new tuple.
+        let j_param = 3;
+        let q = DuplicateQuery::new(j_param);
+        let i = Instance::from_facts([fact("R1", [1, 2]), fact("R2", [3, 4])]);
+        let j = Instance::from_facts([
+            fact("R1", [50, 51]),
+            fact("R2", [50, 51]),
+            fact("R3", [50, 51]),
+        ]);
+        assert!(is_domain_disjoint(&j, &i));
+        assert_eq!(j.len(), j_param);
+        let before = q.eval(&i);
+        let after = q.eval(&i.union(&j));
+        assert!(!before.is_empty());
+        assert!(after.is_empty(), "Q^j_duplicate ∉ M^j_disjoint");
+    }
+
+    #[test]
+    fn small_distinct_additions_cannot_flip() {
+        // i < j domain-distinct facts cannot replicate a tuple across all
+        // j relations: each added fact covers one relation, and distinct
+        // facts must contain a fresh value — replicating an *existing*
+        // tuple is impossible and a fully fresh tuple needs j facts.
+        let q = DuplicateQuery::new(3);
+        let i = Instance::from_facts([fact("R1", [1, 2]), fact("R2", [1, 2])]);
+        // Two domain-distinct facts (fewer than j = 3).
+        let j = Instance::from_facts([fact("R3", [1, 60]), fact("R3", [61, 62])]);
+        assert!(is_domain_distinct(&j, &i));
+        let before = q.eval(&i);
+        let after = q.eval(&i.union(&j));
+        assert!(before.is_subset(&after));
+    }
+}

@@ -1,0 +1,118 @@
+//! The two programs of Example 5.1.
+//!
+//! * `P1`: outputs the vertices not on any (directed, 3-distinct-vertex)
+//!   triangle. All its rules are connected, so `P1 ∈ con-Datalog¬`, yet
+//!   `P1 ∉ Mdistinct` (a domain-distinct addition can complete a
+//!   triangle and retract output).
+//! * `P2`: outputs all vertices unless two vertex-disjoint triangles
+//!   exist. Its `D` rule joins two triangles with no shared variable, so
+//!   `P2` is **not** semi-connected — and indeed the query is not in
+//!   `Mdisjoint`.
+
+use calm_datalog::DatalogQuery;
+
+/// Source of `P1` (con-Datalog¬).
+pub const P1_SRC: &str = "@output O.\n\
+    T(x) :- E(x,y), E(y,z), E(z,x), y != x, y != z, x != z.\n\
+    O(x) :- Adom(x), not T(x).\n\
+    Adom(x) :- E(x,y).\n\
+    Adom(y) :- E(x,y).";
+
+/// Source of `P2` (stratified but not semicon-Datalog¬).
+pub const P2_SRC: &str = "@output O.\n\
+    T(x,y,z) :- E(x,y), E(y,z), E(z,x), y != x, y != z, x != z.\n\
+    D(x1) :- T(x1,x2,x3), T(y1,y2,y3), x1 != y1, x1 != y2, x1 != y3, \
+             x2 != y1, x2 != y2, x2 != y3, x3 != y1, x3 != y2, x3 != y3.\n\
+    O(x) :- Adom(x), not D(x).\n\
+    Adom(x) :- E(x,y).\n\
+    Adom(y) :- E(x,y).";
+
+/// `P1` as a query.
+pub fn p1() -> DatalogQuery {
+    DatalogQuery::parse("example5.1-P1", P1_SRC).expect("P1 is well-formed")
+}
+
+/// `P2` as a query.
+pub fn p2() -> DatalogQuery {
+    DatalogQuery::parse("example5.1-P2", P2_SRC).expect("P2 is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calm_common::domain::{is_domain_disjoint, is_domain_distinct};
+    use calm_common::fact::fact;
+    use calm_common::instance::Instance;
+    use calm_common::query::Query;
+    use calm_datalog::classify;
+
+    #[test]
+    fn p1_fragment_membership() {
+        let r = classify(p1().program());
+        assert!(r.connected);
+        assert!(r.semi_connected);
+        assert!(!r.sp_datalog);
+    }
+
+    #[test]
+    fn p2_fragment_membership() {
+        let r = classify(p2().program());
+        assert!(!r.connected);
+        assert!(!r.semi_connected);
+        assert!(r.stratifiable);
+    }
+
+    #[test]
+    fn paper_counterexample_for_p1() {
+        // P1({E(a,b)}) ≠ ∅ while P1({E(a,b)} ∪ {E(b,c), E(c,a)}) = ∅.
+        let q = p1();
+        let i = Instance::from_facts([fact("E", [1, 2])]);
+        let extension = Instance::from_facts([fact("E", [2, 3]), fact("E", [3, 1])]);
+        assert!(is_domain_distinct(&extension, &i));
+        let before = q.eval(&i);
+        let after = q.eval(&i.union(&extension));
+        assert!(!before.is_empty());
+        assert!(after.is_empty());
+        assert!(!before.is_subset(&after), "P1 ∉ Mdistinct");
+    }
+
+    #[test]
+    fn p1_survives_domain_disjoint_extension() {
+        // P1 ∈ con-Datalog¬ ⊆ Mdisjoint (Theorem 5.3): disjoint junk
+        // cannot retract output.
+        let q = p1();
+        let i = Instance::from_facts([fact("E", [1, 2])]);
+        let j = calm_common::generator::triangle_from(100);
+        assert!(is_domain_disjoint(&j, &i));
+        assert!(q.eval(&i).is_subset(&q.eval(&i.union(&j))));
+    }
+
+    #[test]
+    fn p2_not_domain_disjoint_monotone() {
+        // Adding a disjoint triangle to a one-triangle instance kills the
+        // output: the expressed query is not in Mdisjoint, which is why
+        // P2 cannot be written in semicon-Datalog¬ (Theorem 5.3).
+        let q = p2();
+        let i = calm_common::generator::triangle_from(0);
+        let j = calm_common::generator::triangle_from(100);
+        assert!(is_domain_disjoint(&j, &i));
+        let before = q.eval(&i);
+        let after = q.eval(&i.union(&j));
+        assert!(!before.is_empty());
+        assert!(after.is_empty());
+    }
+
+    #[test]
+    fn p2_semantics_on_shared_triangles() {
+        // Two triangles sharing a vertex: not disjoint, so all vertices
+        // are output.
+        let q = p2();
+        let mut i = calm_common::generator::triangle_from(0);
+        i.extend(
+            Instance::from_facts([fact("E", [0, 10]), fact("E", [10, 11]), fact("E", [11, 0])])
+                .facts(),
+        );
+        let out = q.eval(&i);
+        assert_eq!(out.relation_len("O"), 5);
+    }
+}

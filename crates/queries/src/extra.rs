@@ -1,0 +1,138 @@
+//! Additional workload queries beyond the paper's separating examples:
+//! classic Datalog benchmarks used by the engine and strategy
+//! experiments, each with its Figure-2 position noted.
+
+use calm_datalog::DatalogQuery;
+
+/// Same-generation over `Flat(2)`, `Up(2)`, `Down(2)` — the classic
+/// recursive Datalog benchmark. Positive, connected: in every class of
+/// Figure 2's left column.
+pub const SAME_GENERATION_SRC: &str = "@output SG.\n\
+    SG(x,y) :- Flat(x,y).\n\
+    SG(x,y) :- Up(x,u), SG(u,w), Down(w,y).";
+
+/// Same-generation as a query.
+pub fn same_generation() -> DatalogQuery {
+    DatalogQuery::parse("same-generation", SAME_GENERATION_SRC).expect("well-formed")
+}
+
+/// Vertices on a directed cycle (`T(x,x)` over the transitive closure).
+/// Positive Datalog: monotone and connected.
+pub const ON_CYCLE_SRC: &str = "@output O.\n\
+    T(x,y) :- E(x,y).\n\
+    T(x,z) :- T(x,y), E(y,z).\n\
+    O(x) :- T(x,x).";
+
+/// On-cycle as a query.
+pub fn on_cycle() -> DatalogQuery {
+    DatalogQuery::parse("on-cycle", ON_CYCLE_SRC).expect("well-formed")
+}
+
+/// Vertices reachable from a seed set `Src(1)` through `E(2)`. Monotone.
+pub const REACHABLE_SRC: &str = "@output R.\n\
+    R(x) :- Src(x).\n\
+    R(y) :- R(x), E(x,y).";
+
+/// Reachability-from-seeds as a query.
+pub fn reachable() -> DatalogQuery {
+    DatalogQuery::parse("reachable", REACHABLE_SRC).expect("well-formed")
+}
+
+/// Unreachable-from-seeds: the semicon-Datalog¬ complement of
+/// [`reachable`] — in `Mdisjoint` but (like `Q_TC`) not in `Mdistinct`.
+pub const UNREACHABLE_SRC: &str = "@output U.\n\
+    R(x) :- Src(x).\n\
+    R(y) :- R(x), E(x,y).\n\
+    Adom(x) :- E(x,y).\n\
+    Adom(y) :- E(x,y).\n\
+    Adom(x) :- Src(x).\n\
+    U(x) :- Adom(x), not R(x).";
+
+/// Unreachability as a query.
+pub fn unreachable() -> DatalogQuery {
+    DatalogQuery::parse("unreachable", UNREACHABLE_SRC).expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calm_common::fact::fact;
+    use calm_common::generator::{cycle, path};
+    use calm_common::instance::Instance;
+    use calm_common::query::Query;
+    use calm_datalog::classify;
+
+    #[test]
+    fn same_generation_semantics() {
+        // Two siblings one level up: 1-Up->2, SG(2,3) via Flat, 3-Down->4
+        // implies SG(1,4).
+        let input = Instance::from_facts([
+            fact("Up", [1, 2]),
+            fact("Flat", [2, 3]),
+            fact("Down", [3, 4]),
+        ]);
+        let out = same_generation().eval(&input);
+        assert!(out.contains(&fact("SG", [1, 4])));
+        assert!(out.contains(&fact("SG", [2, 3])));
+        assert_eq!(out.relation_len("SG"), 2);
+    }
+
+    #[test]
+    fn same_generation_is_connected_positive() {
+        let r = classify(same_generation().program());
+        assert!(r.datalog && r.connected);
+    }
+
+    #[test]
+    fn on_cycle_finds_cycle_vertices() {
+        let mut input = cycle(3); // 0,1,2 on a cycle
+        input.extend(path(1).map_values(|v| match v {
+            calm_common::Value::Int(k) => calm_common::v(k + 10),
+            o => o.clone(),
+        }).facts()); // 10 -> 11 acyclic
+        let out = on_cycle().eval(&input);
+        assert_eq!(out.relation_len("O"), 3);
+        assert!(out.contains(&fact("O", [0])));
+        assert!(!out.contains(&fact("O", [10])));
+    }
+
+    #[test]
+    fn reachable_and_unreachable_partition_adom() {
+        let mut input = path(3); // 0->1->2->3
+        input.insert(fact("E", [10, 11]));
+        input.insert(fact("Src", [1]));
+        let r = reachable().eval(&input);
+        let u = unreachable().eval(&input);
+        // Reachable from 1: {1,2,3}; unreachable: {0,10,11}.
+        assert_eq!(r.relation_len("R"), 3);
+        assert_eq!(u.relation_len("U"), 3);
+        assert!(u.contains(&fact("U", [0])));
+        assert!(u.contains(&fact("U", [10])));
+    }
+
+    #[test]
+    fn unreachable_is_semicon_not_sp() {
+        let rep = classify(unreachable().program());
+        assert!(rep.semi_connected);
+        assert!(!rep.sp_datalog);
+        assert!(rep.stratifiable);
+    }
+
+    #[test]
+    fn unreachable_not_domain_distinct_monotone() {
+        // Adding a bridge through a fresh vertex can make an unreachable
+        // vertex reachable.
+        let mut i = Instance::new();
+        i.insert(fact("Src", [1]));
+        i.insert(fact("E", [5, 6]));
+        let q = unreachable();
+        let before = q.eval(&i);
+        assert!(before.contains(&fact("U", [5])));
+        let mut j = Instance::new();
+        j.insert(fact("E", [1, 99]));
+        j.insert(fact("E", [99, 5]));
+        assert!(calm_common::is_domain_distinct(&j, &i));
+        let after = q.eval(&i.union(&j));
+        assert!(!after.contains(&fact("U", [5])));
+    }
+}

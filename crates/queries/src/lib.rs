@@ -1,0 +1,37 @@
+//! # calm-queries
+//!
+//! The paper's concrete queries, each available as a Datalog¬/WFS program
+//! and (where useful) a native Rust oracle:
+//!
+//! | Query | Paper role |
+//! |---|---|
+//! | [`tc`] — transitive closure | monotone baseline (`M`) |
+//! | [`tc::edges_without_source_loop`] | `SP-Datalog` witness in `Mdistinct \ M` |
+//! | [`qtc`] — complement of TC | `Mdisjoint \ Mdistinct` (Thm 3.1(1)) |
+//! | [`clique`] — `Q^k_clique` | bounded-distinct separations (Thm 3.1(3,5)) |
+//! | [`star`] — `Q^k_star` | bounded-disjoint separations (Thm 3.1(4,6)) |
+//! | [`duplicate`] — `Q^j_duplicate` | `M^i_distinct ⊄ M^j_disjoint` (Thm 3.1(7)) |
+//! | [`triangles`] | `Mdisjoint ⊊ C` witness (Thm 3.1(1)) |
+//! | [`example51`] — `P1`, `P2` | connectivity fragments (Ex 5.1) |
+//! | [`winmove`] — win-move under WFS | the `F2` flagship (Thm 4.4, §7) |
+
+#![warn(missing_docs)]
+
+pub mod clique;
+pub mod duplicate;
+pub mod example51;
+pub mod extra;
+pub mod qtc;
+pub mod star;
+pub mod tc;
+pub mod triangles;
+pub mod winmove;
+
+pub use clique::{has_clique, CliqueQuery};
+pub use duplicate::{has_global_duplicate, DuplicateQuery};
+pub use extra::{on_cycle, reachable, same_generation, unreachable};
+pub use qtc::{qtc_datalog, qtc_native};
+pub use star::{has_star, StarQuery};
+pub use tc::{tc_datalog, tc_native};
+pub use triangles::TrianglesUnlessTwoDisjoint;
+pub use winmove::{win_move, win_move_drawn, win_move_native};

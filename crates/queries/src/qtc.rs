@@ -1,0 +1,105 @@
+//! `Q_TC` — the complement of transitive closure (Theorem 3.1(1)).
+//!
+//! `Q_TC(I)` outputs `O(a, b)` for every pair of active-domain vertices
+//! with **no** path from `a` to `b`. The paper proves
+//! `Q_TC ∈ Mdisjoint \ Mdistinct`:
+//!
+//! * domain-disjoint additions cannot create a missing path (the new
+//!   subgraph cannot touch old vertices), so present outputs survive;
+//! * a domain-distinct addition `E(a,c), E(c,b)` with `c` fresh *can*
+//!   bridge `a` to `b` and retract `O(a,b)`.
+//!
+//! The program below is semi-connected stratified Datalog¬ (the last
+//! stratum holds the one unconnected-by-negation rule), witnessing
+//! Theorem 5.3.
+
+use calm_common::fact::fact;
+use calm_common::instance::Instance;
+use calm_common::query::{FnQuery, Query};
+use calm_common::schema::Schema;
+use calm_datalog::DatalogQuery;
+
+/// Datalog¬ source for `Q_TC` (semicon-Datalog¬).
+pub const QTC_SRC: &str = "@output O.\n\
+                           Adom(x) :- E(x,y).\n\
+                           Adom(y) :- E(x,y).\n\
+                           T(x,y) :- E(x,y).\n\
+                           T(x,z) :- T(x,y), E(y,z).\n\
+                           O(x,y) :- Adom(x), Adom(y), not T(x,y).";
+
+/// `Q_TC` as a stratified Datalog¬ query.
+pub fn qtc_datalog() -> DatalogQuery {
+    DatalogQuery::parse("qtc", QTC_SRC).expect("QTC_SRC is well-formed")
+}
+
+/// Native `Q_TC` (used as the oracle in monotonicity experiments).
+pub fn qtc_native() -> impl Query {
+    FnQuery::new(
+        "qtc-native",
+        Schema::from_pairs([("E", 2)]),
+        Schema::from_pairs([("O", 2)]),
+        |i: &Instance| {
+            let tc = crate::tc::tc_native().eval(i);
+            let adom = i.adom();
+            let mut out = Instance::new();
+            for a in &adom {
+                for b in &adom {
+                    if !tc.contains(&fact("T", [a.clone(), b.clone()])) {
+                        out.insert(fact("O", [a.clone(), b.clone()]));
+                    }
+                }
+            }
+            out
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calm_common::domain::{is_domain_disjoint, is_domain_distinct};
+    use calm_common::generator::{edge, path};
+
+    #[test]
+    fn datalog_and_native_agree() {
+        for input in [
+            path(4),
+            calm_common::generator::cycle(3),
+            calm_common::generator::disjoint_edges(0, 3),
+        ] {
+            assert_eq!(qtc_datalog().eval(&input), qtc_native().eval(&input));
+        }
+    }
+
+    #[test]
+    fn qtc_is_in_semicon_datalog() {
+        let report = calm_datalog::classify(qtc_datalog().program());
+        assert!(report.semi_connected);
+        assert!(!report.sp_datalog);
+    }
+
+    #[test]
+    fn domain_disjoint_addition_preserves_output() {
+        // Paper's argument for Q_TC ∈ Mdisjoint on a concrete pair.
+        let i = Instance::from_facts([edge(1, 2), edge(3, 4)]);
+        let j = Instance::from_facts([edge(10, 11), edge(11, 12)]);
+        assert!(is_domain_disjoint(&j, &i));
+        let q = qtc_datalog();
+        assert!(q.eval(&i).is_subset(&q.eval(&i.union(&j))));
+    }
+
+    #[test]
+    fn domain_distinct_addition_can_retract() {
+        // Paper: adding E(a,c), E(c,b) with fresh c creates the a->b path.
+        let i = Instance::from_facts([edge(1, 2), edge(3, 4)]);
+        let j = Instance::from_facts([edge(2, 9), edge(9, 3)]); // 9 fresh
+        assert!(is_domain_distinct(&j, &i));
+        assert!(!is_domain_disjoint(&j, &i));
+        let q = qtc_datalog();
+        let before = q.eval(&i);
+        let after = q.eval(&i.union(&j));
+        assert!(before.contains(&fact("O", [1, 4])));
+        assert!(!after.contains(&fact("O", [1, 4])), "path 1->4 now exists");
+        assert!(!before.is_subset(&after), "Q_TC ∉ Mdistinct witnessed");
+    }
+}

@@ -1,0 +1,143 @@
+//! `Q^k_star` (Theorem 3.1(4, 6)): output the edge relation when no star
+//! with `k` spokes exists, and the empty relation otherwise.
+//!
+//! A star with `k` spokes is a centre vertex with at least `k` distinct
+//! out-neighbours (the shape the paper's proofs build: a centre "points
+//! at" the spokes). Separations:
+//!
+//! * `Q^{i+1}_star ∉ M^{i+1}_disjoint`: `i+1` *domain-disjoint* edges with
+//!   a common (fresh) centre form a brand-new star;
+//! * `Q^{i+1}_star ∈ M^i_disjoint`: at most `i` disjoint edges can neither
+//!   extend an old star (they avoid the old centre) nor build a new one;
+//! * `Q^{j+1}_star ∉ M^1_distinct`: when a `j`-spoke star exists, a single
+//!   domain-distinct edge from the old centre to a fresh vertex makes it
+//!   `j+1`.
+
+use calm_common::instance::Instance;
+use calm_common::query::Query;
+use calm_common::schema::Schema;
+use calm_common::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The parameterized star query.
+pub struct StarQuery {
+    k: usize,
+    name: String,
+    input: Schema,
+    output: Schema,
+}
+
+impl StarQuery {
+    /// `Q^k_star` for `k >= 1`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "a star needs at least one spoke");
+        StarQuery {
+            k,
+            name: format!("q{k}star"),
+            input: Schema::from_pairs([("E", 2)]),
+            output: Schema::from_pairs([("E", 2)]),
+        }
+    }
+
+    /// The parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// Whether the graph contains a star with `k` spokes: a vertex with at
+/// least `k` distinct out-neighbours other than itself.
+pub fn has_star(i: &Instance, k: usize) -> bool {
+    let mut out_neighbours: BTreeMap<Value, BTreeSet<Value>> = BTreeMap::new();
+    for t in i.tuples("E") {
+        if t[0] != t[1] {
+            out_neighbours
+                .entry(t[0].clone())
+                .or_default()
+                .insert(t[1].clone());
+        }
+    }
+    out_neighbours.values().any(|n| n.len() >= k)
+}
+
+impl Query for StarQuery {
+    fn input_schema(&self) -> &Schema {
+        &self.input
+    }
+
+    fn output_schema(&self) -> &Schema {
+        &self.output
+    }
+
+    fn eval(&self, input: &Instance) -> Instance {
+        let i = input.restrict(&self.input);
+        if has_star(&i, self.k) {
+            Instance::new()
+        } else {
+            i
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calm_common::domain::{is_domain_disjoint, is_domain_distinct};
+    use calm_common::generator::{disjoint_edges, edge, star};
+
+    #[test]
+    fn detects_stars() {
+        assert!(has_star(&star(3), 3));
+        assert!(!has_star(&star(3), 4));
+        assert!(!has_star(&disjoint_edges(0, 5), 2));
+    }
+
+    #[test]
+    fn self_loops_are_not_spokes() {
+        let i = Instance::from_facts([edge(0, 0), edge(0, 1)]);
+        assert!(has_star(&i, 1));
+        assert!(!has_star(&i, 2));
+    }
+
+    #[test]
+    fn disjoint_edges_with_common_fresh_centre_break_disjoint_monotonicity() {
+        // Q^2_star: I has no 2-star; J = {E(10,11), E(10,12)} is domain
+        // disjoint from I and is itself a 2-star.
+        let i = Instance::from_facts([edge(1, 2)]);
+        let j = Instance::from_facts([edge(10, 11), edge(10, 12)]);
+        assert!(is_domain_disjoint(&j, &i));
+        let q = StarQuery::new(2);
+        let before = q.eval(&i);
+        let after = q.eval(&i.union(&j));
+        assert_eq!(before, i);
+        assert!(after.is_empty());
+        assert!(!before.is_subset(&after), "Q^2_star ∉ M^2_disjoint");
+    }
+
+    #[test]
+    fn single_disjoint_edge_cannot_break_q2star() {
+        // With |J| = 1 disjoint edge, no 2-star can appear.
+        let i = Instance::from_facts([edge(1, 2)]);
+        let j = Instance::from_facts([edge(10, 11)]);
+        let q = StarQuery::new(2);
+        assert!(q.eval(&i).is_subset(&q.eval(&i.union(&j))));
+    }
+
+    #[test]
+    fn one_distinct_edge_extends_old_star() {
+        // Paper's Q^{j+1}_star ∉ M^1_distinct: extend a j-star through its
+        // old centre with one fresh spoke.
+        let i = star(2); // centre 0, spokes 1, 2
+        let j = Instance::from_facts([edge(0, 99)]);
+        assert!(is_domain_distinct(&j, &i));
+        let q = StarQuery::new(3);
+        let before = q.eval(&i);
+        let after = q.eval(&i.union(&j));
+        assert_eq!(before, i);
+        assert!(after.is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Transitive closure and friends — the monotone baseline queries.
+
+use calm_common::fact::fact;
+use calm_common::instance::Instance;
+use calm_common::query::{FnQuery, Query};
+use calm_common::schema::Schema;
+use calm_common::value::Value;
+use calm_datalog::DatalogQuery;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The Datalog source of the transitive-closure query (positive Datalog —
+/// in every class of Figure 2).
+pub const TC_SRC: &str = "@output T.\n\
+                          T(x,y) :- E(x,y).\n\
+                          T(x,z) :- T(x,y), E(y,z).";
+
+/// Transitive closure as a Datalog query (`T(x,y)` = path from `x` to `y`).
+pub fn tc_datalog() -> DatalogQuery {
+    DatalogQuery::parse("tc", TC_SRC).expect("TC_SRC is well-formed")
+}
+
+/// Native transitive closure (same query, no Datalog engine) — used to
+/// cross-check the engine and as a fast oracle in big benchmarks.
+pub fn tc_native() -> impl Query {
+    FnQuery::new(
+        "tc-native",
+        Schema::from_pairs([("E", 2)]),
+        Schema::from_pairs([("T", 2)]),
+        |i: &Instance| {
+            let mut succ: BTreeMap<Value, BTreeSet<Value>> = BTreeMap::new();
+            for t in i.tuples("E") {
+                succ.entry(t[0].clone()).or_default().insert(t[1].clone());
+            }
+            let mut out = Instance::new();
+            // BFS from every source.
+            for src in succ.keys() {
+                let mut seen: BTreeSet<Value> = BTreeSet::new();
+                let mut stack: Vec<Value> = vec![src.clone()];
+                while let Some(cur) = stack.pop() {
+                    if let Some(next) = succ.get(&cur) {
+                        for n in next {
+                            if seen.insert(n.clone()) {
+                                stack.push(n.clone());
+                            }
+                        }
+                    }
+                }
+                for dst in seen {
+                    out.insert(fact("T", [src.clone(), dst]));
+                }
+            }
+            out
+        },
+    )
+}
+
+/// The monotone-but-not-H query `O(x,y) ← E(x,y), x ≠ y` (`Datalog(≠)`,
+/// separates `H` from `Hinj = M` in Lemma 3.2).
+pub fn edges_neq() -> DatalogQuery {
+    DatalogQuery::parse("edges-neq", "@output O.\nO(x,y) :- E(x,y), x != y.")
+        .expect("well-formed")
+}
+
+/// The SP-Datalog query `O(x,y) ← E(x,y), ¬E(x,x)`: edges whose source has
+/// no self-loop. Non-monotone (adding `E(x,x)` retracts output) yet in
+/// `SP-Datalog ⊆ Mdistinct` — the canonical `Mdistinct \ M` witness used
+/// by experiment E8.
+pub fn edges_without_source_loop() -> DatalogQuery {
+    DatalogQuery::parse(
+        "edges-no-source-loop",
+        "@output O.\nO(x,y) :- E(x,y), not E(x,x).",
+    )
+    .expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calm_common::generator::{cycle, path};
+
+    #[test]
+    fn datalog_and_native_tc_agree() {
+        for input in [path(5), cycle(4), calm_common::generator::grid(3, 3)] {
+            assert_eq!(tc_datalog().eval(&input), tc_native().eval(&input));
+        }
+    }
+
+    #[test]
+    fn edges_neq_drops_loops() {
+        let i = Instance::from_facts([fact("E", [1, 1]), fact("E", [1, 2])]);
+        let out = edges_neq().eval(&i);
+        assert_eq!(out, Instance::from_facts([fact("O", [1, 2])]));
+    }
+
+    #[test]
+    fn source_loop_suppresses_edges() {
+        let i = Instance::from_facts([fact("E", [1, 2]), fact("E", [2, 3]), fact("E", [2, 2])]);
+        let out = edges_without_source_loop().eval(&i);
+        assert!(out.contains(&fact("O", [1, 2])));
+        assert!(!out.contains(&fact("O", [2, 3])));
+    }
+
+    #[test]
+    fn source_loop_query_is_not_monotone() {
+        let i = Instance::from_facts([fact("E", [1, 2])]);
+        let j = Instance::from_facts([fact("E", [1, 1])]);
+        let q = edges_without_source_loop();
+        let before = q.eval(&i);
+        let after = q.eval(&i.union(&j));
+        assert!(!before.is_subset(&after), "output must shrink");
+    }
+}

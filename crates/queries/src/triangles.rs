@@ -1,0 +1,152 @@
+//! The `Mdisjoint ⊊ C` witness (Theorem 3.1(1), third part): the query
+//! that outputs all triangles *on condition that no two domain-disjoint
+//! triangles exist*, and the empty relation otherwise.
+//!
+//! Adding a domain-disjoint triangle to an instance that already has one
+//! retracts all output — so the query is computable but not
+//! domain-disjoint-monotone. Its natural Datalog¬ rendition is Example
+//! 5.1's `P2`, which is *not* semi-connected (see
+//! [`crate::example51`]).
+
+use calm_common::fact::fact;
+use calm_common::instance::Instance;
+use calm_common::query::Query;
+use calm_common::schema::Schema;
+use calm_common::value::Value;
+
+/// The triangles-unless-two-disjoint query.
+pub struct TrianglesUnlessTwoDisjoint {
+    input: Schema,
+    output: Schema,
+}
+
+impl Default for TrianglesUnlessTwoDisjoint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TrianglesUnlessTwoDisjoint {
+    /// Construct the query.
+    pub fn new() -> Self {
+        TrianglesUnlessTwoDisjoint {
+            input: Schema::from_pairs([("E", 2)]),
+            output: Schema::from_pairs([("O", 3)]),
+        }
+    }
+}
+
+/// All directed triangles `(x, y, z)` with pairwise-distinct vertices:
+/// `E(x,y), E(y,z), E(z,x)`.
+pub fn triangles(i: &Instance) -> Vec<(Value, Value, Value)> {
+    let edges: Vec<(&Value, &Value)> = i.tuples("E").map(|t| (&t[0], &t[1])).collect();
+    let mut out = Vec::new();
+    for (x, y) in &edges {
+        if x == y {
+            continue;
+        }
+        for (y2, z) in &edges {
+            if y2 != y || z == x || z == y {
+                continue;
+            }
+            if i.contains_tuple("E", &[(*z).clone(), (*x).clone()]) {
+                out.push(((*x).clone(), (*y).clone(), (*z).clone()));
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Whether two *domain-disjoint* triangles exist.
+pub fn has_two_disjoint_triangles(i: &Instance) -> bool {
+    let ts = triangles(i);
+    for (a_idx, a) in ts.iter().enumerate() {
+        let set_a = [&a.0, &a.1, &a.2];
+        for b in ts.iter().skip(a_idx + 1) {
+            let set_b = [&b.0, &b.1, &b.2];
+            if set_a.iter().all(|v| !set_b.contains(v)) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+impl Query for TrianglesUnlessTwoDisjoint {
+    fn input_schema(&self) -> &Schema {
+        &self.input
+    }
+
+    fn output_schema(&self) -> &Schema {
+        &self.output
+    }
+
+    fn eval(&self, input: &Instance) -> Instance {
+        let i = input.restrict(&self.input);
+        if has_two_disjoint_triangles(&i) {
+            return Instance::new();
+        }
+        let mut out = Instance::new();
+        for (x, y, z) in triangles(&i) {
+            out.insert(fact("O", [x, y, z]));
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        "triangles-unless-two-disjoint"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calm_common::domain::is_domain_disjoint;
+    use calm_common::generator::{disjoint_triangles, triangle_from};
+
+    #[test]
+    fn finds_triangles() {
+        let t = triangle_from(0);
+        let ts = triangles(&t);
+        assert_eq!(ts.len(), 3, "three rotations of the same triangle");
+        assert!(!has_two_disjoint_triangles(&t));
+    }
+
+    #[test]
+    fn detects_two_disjoint_triangles() {
+        let i = disjoint_triangles(0, 2);
+        assert!(has_two_disjoint_triangles(&i));
+        // Two triangles sharing a vertex are not disjoint.
+        let mut sharing = triangle_from(0);
+        sharing.extend(
+            Instance::from_facts([
+                calm_common::generator::edge(0, 10),
+                calm_common::generator::edge(10, 11),
+                calm_common::generator::edge(11, 0),
+            ])
+            .facts(),
+        );
+        assert!(!has_two_disjoint_triangles(&sharing));
+    }
+
+    #[test]
+    fn query_not_domain_disjoint_monotone() {
+        let q = TrianglesUnlessTwoDisjoint::new();
+        let i = triangle_from(0);
+        let j = triangle_from(100);
+        assert!(is_domain_disjoint(&j, &i));
+        let before = q.eval(&i);
+        let after = q.eval(&i.union(&j));
+        assert_eq!(before.len(), 3);
+        assert!(after.is_empty(), "disjoint triangle retracts the output");
+    }
+
+    #[test]
+    fn empty_and_triangle_free_inputs() {
+        let q = TrianglesUnlessTwoDisjoint::new();
+        assert!(q.eval(&Instance::new()).is_empty());
+        assert!(q.eval(&calm_common::generator::path(5)).is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! # calm-transducer
+//!
+//! Relational transducer networks (Section 4): the original model of
+//! Ameloot–Neven–Van den Bussche, the policy-aware and domain-guided
+//! extensions of Zinn–Green–Ludäscher, the asynchronous operational
+//! semantics with multiset message buffers and fair schedulers, and the
+//! three generic coordination-free evaluation strategies that witness
+//! `F0 = M`, `F1 = Mdistinct` and `F2 = Mdisjoint`.
+//!
+//! A simulation is assembled from four ingredients:
+//!
+//! ```text
+//! TransducerNetwork {
+//!     transducer: &dyn Transducer,       // the per-node program
+//!     policy:     &dyn DistributionPolicy, // how inputs are distributed
+//!     config:     SystemConfig,          // which system relations exist
+//! }
+//! ```
+//!
+//! and driven with [`runtime::run`] (to quiescence) or the
+//! coordination-freeness witnesses in [`coordination`].
+
+#![warn(missing_docs)]
+
+pub mod coordination;
+pub mod multiset;
+pub mod netcompile;
+pub mod network;
+pub mod policy;
+pub mod proof_replay;
+pub mod runtime;
+pub mod schema;
+pub mod strategy;
+pub mod system_facts;
+pub mod trace;
+pub mod transducer;
+
+pub use coordination::{heartbeat_profile, heartbeat_witness};
+pub use multiset::Multiset;
+pub use netcompile::{compile_monotone_program, NetCompileError};
+pub use network::{Network, NodeId};
+pub use policy::{
+    distribute, DistributionPolicy, DomainGuidedPolicy, HashPolicy, OverridePolicy,
+    ParityDomainGuidedPolicy, ParityFirstAttributePolicy, RangePolicy, ReplicatedDomainPolicy,
+};
+pub use runtime::{
+    network_output, run, transition, verify_computes, Configuration, Delivery, Metrics,
+    RunResult, Scheduler, TransducerNetwork,
+};
+pub use proof_replay::{replay_no_all_indistinguishability, replay_policy_surgery, ReplayOutcome};
+pub use schema::{policy_relation, SystemConfig, TransducerSchema};
+pub use strategy::{
+    collected_input, expected_output, DisjointStrategy, DistinctStrategy, MonotoneBroadcast,
+};
+pub use trace::{traced_run, Trace, TraceEvent};
+pub use transducer::{DatalogTransducer, Transducer, TransducerStep};

@@ -1,0 +1,143 @@
+//! Message buffers are multisets of facts (Section 4.1.3): the same
+//! message can be in flight multiple times.
+
+use std::collections::BTreeMap;
+
+/// A multiset over an ordered element type.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Multiset<T: Ord> {
+    counts: BTreeMap<T, usize>,
+}
+
+impl<T: Ord + Clone> Multiset<T> {
+    /// The empty multiset.
+    pub fn new() -> Self {
+        Multiset {
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Add one occurrence.
+    pub fn insert(&mut self, item: T) {
+        *self.counts.entry(item).or_insert(0) += 1;
+    }
+
+    /// Add `n` occurrences.
+    pub fn insert_n(&mut self, item: T, n: usize) {
+        if n > 0 {
+            *self.counts.entry(item).or_insert(0) += n;
+        }
+    }
+
+    /// Remove one occurrence; returns `false` when absent.
+    pub fn remove_one(&mut self, item: &T) -> bool {
+        match self.counts.get_mut(item) {
+            Some(c) if *c > 1 => {
+                *c -= 1;
+                true
+            }
+            Some(_) => {
+                self.counts.remove(item);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Multiset difference: remove the occurrences of `other` (saturating).
+    pub fn subtract(&mut self, other: &Multiset<T>) {
+        for (item, &n) in &other.counts {
+            for _ in 0..n {
+                if !self.remove_one(item) {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Number of occurrences of an element.
+    pub fn count(&self, item: &T) -> usize {
+        self.counts.get(item).copied().unwrap_or(0)
+    }
+
+    /// Total number of occurrences.
+    pub fn len(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The distinct elements (the multiset "collapsed to a set").
+    pub fn support(&self) -> impl Iterator<Item = &T> {
+        self.counts.keys()
+    }
+
+    /// Iterate `(element, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, usize)> {
+        self.counts.iter().map(|(t, &c)| (t, c))
+    }
+
+    /// Drain everything, returning the previous contents.
+    pub fn take_all(&mut self) -> Multiset<T> {
+        Multiset {
+            counts: std::mem::take(&mut self.counts),
+        }
+    }
+}
+
+impl<T: Ord + Clone> FromIterator<T> for Multiset<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut m = Multiset::new();
+        for x in iter {
+            m.insert(x);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_multiplicities() {
+        let mut m = Multiset::new();
+        m.insert("a");
+        m.insert("a");
+        m.insert("b");
+        assert_eq!(m.count(&"a"), 2);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.support().count(), 2);
+    }
+
+    #[test]
+    fn remove_one_decrements() {
+        let mut m: Multiset<&str> = ["a", "a"].into_iter().collect();
+        assert!(m.remove_one(&"a"));
+        assert_eq!(m.count(&"a"), 1);
+        assert!(m.remove_one(&"a"));
+        assert!(!m.remove_one(&"a"));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn subtract_is_saturating() {
+        let mut m: Multiset<i32> = [1, 1, 2].into_iter().collect();
+        let other: Multiset<i32> = [1, 2, 2, 3].into_iter().collect();
+        m.subtract(&other);
+        assert_eq!(m.count(&1), 1);
+        assert_eq!(m.count(&2), 0);
+        assert_eq!(m.count(&3), 0);
+    }
+
+    #[test]
+    fn take_all_empties() {
+        let mut m: Multiset<i32> = [1, 2].into_iter().collect();
+        let taken = m.take_all();
+        assert!(m.is_empty());
+        assert_eq!(taken.len(), 2);
+    }
+}

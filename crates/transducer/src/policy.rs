@@ -1,0 +1,544 @@
+//! Distribution policies (Section 4.1.1).
+//!
+//! A distribution policy `P` is a total function from `facts(σ)` to the
+//! nonempty subsets of the network: it says which nodes receive each
+//! possible input fact (with replication allowed). A policy is
+//! *domain-guided* when it is induced by a *domain assignment*
+//! `α : dom → P⁺(N)` via `P(R(a1..ak)) = α(a1) ∪ ... ∪ α(ak)`.
+
+use crate::network::{Network, NodeId};
+use calm_common::fact::Fact;
+use calm_common::instance::Instance;
+use calm_common::value::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A distribution policy for some input schema and network.
+pub trait DistributionPolicy: Send + Sync {
+    /// The network the policy distributes over.
+    fn network(&self) -> &Network;
+
+    /// `P(f)`: the (nonempty) set of nodes the fact is assigned to.
+    fn assign(&self, fact: &Fact) -> BTreeSet<NodeId>;
+
+    /// Whether this policy is (by construction) domain-guided.
+    fn is_domain_guided(&self) -> bool {
+        false
+    }
+
+    /// For domain-guided policies: the underlying domain assignment
+    /// `α(a)`. Default panics for non-domain-guided policies.
+    fn domain_assignment(&self, _value: &Value) -> BTreeSet<NodeId> {
+        panic!("policy is not domain-guided")
+    }
+}
+
+/// `dist_P(I)`: distribute an instance over the network according to the
+/// policy, with replication.
+pub fn distribute(policy: &dyn DistributionPolicy, input: &Instance) -> BTreeMap<NodeId, Instance> {
+    let mut out: BTreeMap<NodeId, Instance> = policy
+        .network()
+        .nodes()
+        .map(|n| (n.clone(), Instance::new()))
+        .collect();
+    for f in input.facts() {
+        let targets = policy.assign(&f);
+        debug_assert!(!targets.is_empty(), "policies are total with nonempty images");
+        for t in targets {
+            out.get_mut(&t)
+                .unwrap_or_else(|| panic!("policy assigned {f} to non-node {t}"))
+                .insert(f.clone());
+        }
+    }
+    out
+}
+
+/// Hash-partitioning policy: each fact goes to exactly one node, chosen by
+/// a deterministic hash of the whole fact. The "default" distribution for
+/// experiments.
+pub struct HashPolicy {
+    network: Network,
+}
+
+impl HashPolicy {
+    /// Create a hash policy over the network.
+    pub fn new(network: Network) -> Self {
+        HashPolicy { network }
+    }
+}
+
+impl DistributionPolicy for HashPolicy {
+    fn network(&self) -> &Network {
+        &self.network
+    }
+
+    fn assign(&self, fact: &Fact) -> BTreeSet<NodeId> {
+        let mut h = DefaultHasher::new();
+        fact.hash(&mut h);
+        let idx = (h.finish() as usize) % self.network.len();
+        let node = self.network.nodes().nth(idx).expect("index in range");
+        BTreeSet::from([node.clone()])
+    }
+}
+
+/// A domain-guided policy built from a domain assignment: each value is
+/// hashed to one owner node (plus optional explicit overrides), and a
+/// fact goes to the union of its values' owners.
+pub struct DomainGuidedPolicy {
+    network: Network,
+    overrides: BTreeMap<Value, BTreeSet<NodeId>>,
+    default_owner: Option<NodeId>,
+}
+
+impl DomainGuidedPolicy {
+    /// Hash-based domain assignment over the network.
+    pub fn new(network: Network) -> Self {
+        DomainGuidedPolicy {
+            network,
+            overrides: BTreeMap::new(),
+            default_owner: None,
+        }
+    }
+
+    /// Explicitly assign a value to a set of nodes (must be nonempty and
+    /// within the network).
+    #[must_use]
+    pub fn with_value_assignment(
+        mut self,
+        value: Value,
+        nodes: impl IntoIterator<Item = NodeId>,
+    ) -> Self {
+        let nodes: BTreeSet<NodeId> = nodes.into_iter().collect();
+        assert!(!nodes.is_empty(), "α(a) must be nonempty");
+        assert!(
+            nodes.iter().all(|n| self.network.contains(n)),
+            "α(a) ⊆ N required"
+        );
+        self.overrides.insert(value, nodes);
+        self
+    }
+
+    /// Assign *every* value to the single node `x` — the "ideal"
+    /// distribution used by coordination-freeness witnesses.
+    pub fn all_to(network: Network, x: NodeId) -> Self {
+        assert!(network.contains(&x));
+        DomainGuidedPolicy {
+            network: network.clone(),
+            overrides: BTreeMap::new(),
+            default_owner: None,
+        }
+        .with_default_owner(x)
+    }
+
+    fn with_default_owner(mut self, x: NodeId) -> Self {
+        // Implemented as an override-all sentinel: store under a private
+        // marker by replacing the hash fallback.
+        self.default_owner = Some(x);
+        self
+    }
+
+    /// α(a) for this policy.
+    pub fn alpha(&self, value: &Value) -> BTreeSet<NodeId> {
+        if let Some(explicit) = self.overrides.get(value) {
+            return explicit.clone();
+        }
+        if let Some(owner) = &self.default_owner {
+            return BTreeSet::from([owner.clone()]);
+        }
+        let mut h = DefaultHasher::new();
+        value.hash(&mut h);
+        let idx = (h.finish() as usize) % self.network.len();
+        let node = self.network.nodes().nth(idx).expect("index in range");
+        BTreeSet::from([node.clone()])
+    }
+}
+
+impl DistributionPolicy for DomainGuidedPolicy {
+    fn network(&self) -> &Network {
+        &self.network
+    }
+
+    fn assign(&self, fact: &Fact) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        for v in fact.values() {
+            out.extend(self.alpha(v));
+        }
+        out
+    }
+
+    fn is_domain_guided(&self) -> bool {
+        true
+    }
+
+    fn domain_assignment(&self, value: &Value) -> BTreeSet<NodeId> {
+        self.alpha(value)
+    }
+}
+
+/// A policy defined by an arbitrary function on facts, with a fallback
+/// policy for unlisted facts. Used to build the proofs' "override" policies
+/// (e.g. `P2(g) = {y}` for `g ∈ J`, `P2(g) = P1(g)` otherwise).
+pub struct OverridePolicy {
+    base: Arc<dyn DistributionPolicy>,
+    overrides: BTreeMap<Fact, BTreeSet<NodeId>>,
+}
+
+impl OverridePolicy {
+    /// Route every fact of `facts` to exactly the given nodes; defer to
+    /// `base` for everything else.
+    pub fn new(
+        base: Arc<dyn DistributionPolicy>,
+        facts: impl IntoIterator<Item = Fact>,
+        nodes: impl IntoIterator<Item = NodeId>,
+    ) -> Self {
+        let nodes: BTreeSet<NodeId> = nodes.into_iter().collect();
+        assert!(!nodes.is_empty());
+        OverridePolicy {
+            overrides: facts.into_iter().map(|f| (f, nodes.clone())).collect(),
+            base,
+        }
+    }
+}
+
+impl DistributionPolicy for OverridePolicy {
+    fn network(&self) -> &Network {
+        self.base.network()
+    }
+
+    fn assign(&self, fact: &Fact) -> BTreeSet<NodeId> {
+        self.overrides
+            .get(fact)
+            .cloned()
+            .unwrap_or_else(|| self.base.assign(fact))
+    }
+}
+
+
+/// A domain-guided policy with a *replication factor*: every value is
+/// assigned to `k` consecutive nodes (hash-ring style), so every fact is
+/// stored at up to `k · arity` nodes. Exercises the paper's "possibly
+/// with replication" clause: the disjoint strategy must keep working when
+/// several nodes are responsible for the same value.
+pub struct ReplicatedDomainPolicy {
+    network: Network,
+    replicas: usize,
+}
+
+impl ReplicatedDomainPolicy {
+    /// Replicate each value's ownership across `replicas` nodes
+    /// (`1 <= replicas <= |N|`).
+    pub fn new(network: Network, replicas: usize) -> Self {
+        assert!(replicas >= 1 && replicas <= network.len());
+        ReplicatedDomainPolicy { network, replicas }
+    }
+
+    /// α(a): `replicas` consecutive nodes starting at the value's hash.
+    pub fn alpha(&self, value: &Value) -> BTreeSet<NodeId> {
+        let mut h = DefaultHasher::new();
+        value.hash(&mut h);
+        let start = (h.finish() as usize) % self.network.len();
+        let nodes: Vec<&NodeId> = self.network.nodes().collect();
+        (0..self.replicas)
+            .map(|k| nodes[(start + k) % nodes.len()].clone())
+            .collect()
+    }
+}
+
+impl DistributionPolicy for ReplicatedDomainPolicy {
+    fn network(&self) -> &Network {
+        &self.network
+    }
+
+    fn assign(&self, fact: &Fact) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        for v in fact.values() {
+            out.extend(self.alpha(v));
+        }
+        out
+    }
+
+    fn is_domain_guided(&self) -> bool {
+        true
+    }
+
+    fn domain_assignment(&self, value: &Value) -> BTreeSet<NodeId> {
+        self.alpha(value)
+    }
+}
+
+/// Range partitioning on the first attribute: integer values are split
+/// into `|N|` contiguous buckets over `lo..hi`; non-integers and
+/// out-of-range values go to the last node. *Not* domain-guided (like
+/// Example 4.1's P1, ownership follows one attribute position, not the
+/// value wherever it occurs).
+pub struct RangePolicy {
+    network: Network,
+    lo: i64,
+    hi: i64,
+}
+
+impl RangePolicy {
+    /// Partition `lo..hi` into `|N|` equal buckets.
+    pub fn new(network: Network, lo: i64, hi: i64) -> Self {
+        assert!(lo < hi);
+        RangePolicy { network, lo, hi }
+    }
+}
+
+impl DistributionPolicy for RangePolicy {
+    fn network(&self) -> &Network {
+        &self.network
+    }
+
+    fn assign(&self, fact: &Fact) -> BTreeSet<NodeId> {
+        let n = self.network.len() as i64;
+        let idx = match &fact.args()[0] {
+            Value::Int(k) if *k >= self.lo && *k < self.hi => {
+                ((k - self.lo) * n / (self.hi - self.lo)).clamp(0, n - 1)
+            }
+            _ => n - 1,
+        };
+        let node = self
+            .network
+            .nodes()
+            .nth(idx as usize)
+            .expect("bucket in range");
+        BTreeSet::from([node.clone()])
+    }
+}
+
+/// The policy `P1` of Example 4.1: facts over `E(2)` partitioned on the
+/// parity of the first attribute (odd → node 1, even → node 2).
+/// Demonstrably *not* domain-guided.
+pub struct ParityFirstAttributePolicy {
+    network: Network,
+}
+
+impl ParityFirstAttributePolicy {
+    /// Requires a network of exactly two nodes (as in the example).
+    pub fn new(network: Network) -> Self {
+        assert_eq!(network.len(), 2, "Example 4.1 uses a two-node network");
+        ParityFirstAttributePolicy { network }
+    }
+}
+
+impl DistributionPolicy for ParityFirstAttributePolicy {
+    fn network(&self) -> &Network {
+        &self.network
+    }
+
+    fn assign(&self, fact: &Fact) -> BTreeSet<NodeId> {
+        let odd = match &fact.args()[0] {
+            Value::Int(k) => k.rem_euclid(2) == 1,
+            _ => false,
+        };
+        let mut nodes = self.network.nodes();
+        let n1 = nodes.next().expect("two nodes");
+        let n2 = nodes.next().expect("two nodes");
+        BTreeSet::from([if odd { n1.clone() } else { n2.clone() }])
+    }
+}
+
+/// The domain-guided policy `P2` of Example 4.1: odd values owned by node
+/// 1, even values by node 2.
+pub struct ParityDomainGuidedPolicy {
+    inner: DomainGuidedPolicy,
+}
+
+impl ParityDomainGuidedPolicy {
+    /// Requires a two-node network.
+    pub fn new(network: Network) -> Self {
+        assert_eq!(network.len(), 2);
+        ParityDomainGuidedPolicy {
+            inner: DomainGuidedPolicy::new(network),
+        }
+    }
+
+    fn owner(&self, value: &Value) -> NodeId {
+        let odd = match value {
+            Value::Int(k) => k.rem_euclid(2) == 1,
+            _ => false,
+        };
+        let mut nodes = self.inner.network.nodes();
+        let n1 = nodes.next().expect("two nodes");
+        let n2 = nodes.next().expect("two nodes");
+        if odd {
+            n1.clone()
+        } else {
+            n2.clone()
+        }
+    }
+}
+
+impl DistributionPolicy for ParityDomainGuidedPolicy {
+    fn network(&self) -> &Network {
+        self.inner.network()
+    }
+
+    fn assign(&self, fact: &Fact) -> BTreeSet<NodeId> {
+        fact.values().map(|v| self.owner(v)).collect()
+    }
+
+    fn is_domain_guided(&self) -> bool {
+        true
+    }
+
+    fn domain_assignment(&self, value: &Value) -> BTreeSet<NodeId> {
+        BTreeSet::from([self.owner(value)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calm_common::fact::fact;
+
+    fn two() -> Network {
+        Network::of_size(2)
+    }
+
+    #[test]
+    fn example_4_1_policy_p1() {
+        // I = {E(1,3), E(3,4), E(4,6)}: node 1 gets E(1,3), E(3,4); node 2
+        // gets E(4,6).
+        let p1 = ParityFirstAttributePolicy::new(two());
+        let i = Instance::from_facts([fact("E", [1, 3]), fact("E", [3, 4]), fact("E", [4, 6])]);
+        let dist = distribute(&p1, &i);
+        let n1 = Value::str("n1");
+        let n2 = Value::str("n2");
+        assert_eq!(dist[&n1].len(), 2);
+        assert!(dist[&n1].contains(&fact("E", [1, 3])));
+        assert!(dist[&n1].contains(&fact("E", [3, 4])));
+        assert_eq!(dist[&n2].len(), 1);
+        assert!(dist[&n2].contains(&fact("E", [4, 6])));
+        assert!(!p1.is_domain_guided());
+    }
+
+    #[test]
+    fn example_4_1_policy_p2_replicates() {
+        // Domain-guided: E(3,4) contains odd 3 and even 4 -> both nodes.
+        let p2 = ParityDomainGuidedPolicy::new(two());
+        let i = Instance::from_facts([fact("E", [1, 3]), fact("E", [3, 4]), fact("E", [4, 6])]);
+        let dist = distribute(&p2, &i);
+        let n1 = Value::str("n1");
+        let n2 = Value::str("n2");
+        assert_eq!(dist[&n1].len(), 2); // E(1,3), E(3,4)
+        assert_eq!(dist[&n2].len(), 2); // E(3,4), E(4,6)
+        assert!(dist[&n1].contains(&fact("E", [3, 4])));
+        assert!(dist[&n2].contains(&fact("E", [3, 4])));
+        assert!(p2.is_domain_guided());
+    }
+
+    #[test]
+    fn p1_is_not_domain_guided_on_witness() {
+        // The paper's witness: no node is assigned ALL facts containing 4.
+        // Under any domain assignment, the owner(s) of 4 would hold both
+        // E(3,4) and E(4,6).
+        let p1 = ParityFirstAttributePolicy::new(two());
+        let i = Instance::from_facts([fact("E", [3, 4]), fact("E", [4, 6])]);
+        let dist = distribute(&p1, &i);
+        let holds_all_4 = dist
+            .values()
+            .any(|inst| inst.contains(&fact("E", [3, 4])) && inst.contains(&fact("E", [4, 6])));
+        assert!(!holds_all_4, "no node holds every fact containing 4");
+    }
+
+    #[test]
+    fn hash_policy_partitions_totally() {
+        let p = HashPolicy::new(Network::of_size(4));
+        let i = calm_common::generator::path(10);
+        let dist = distribute(&p, &i);
+        let total: usize = dist.values().map(Instance::len).sum();
+        assert_eq!(total, i.len(), "hash policy does not replicate");
+    }
+
+    #[test]
+    fn domain_guided_assign_is_union_of_alphas() {
+        let p = DomainGuidedPolicy::new(Network::of_size(3));
+        let f = fact("E", [1, 2]);
+        let expected: BTreeSet<NodeId> = p
+            .alpha(&Value::Int(1))
+            .union(&p.alpha(&Value::Int(2)))
+            .cloned()
+            .collect();
+        assert_eq!(p.assign(&f), expected);
+    }
+
+    #[test]
+    fn all_to_routes_everything_to_x() {
+        let net = Network::of_size(3);
+        let x = Value::str("n2");
+        let p = DomainGuidedPolicy::all_to(net, x.clone());
+        let i = calm_common::generator::path(5);
+        let dist = distribute(&p, &i);
+        assert_eq!(dist[&x], i);
+        assert!(dist[&Value::str("n1")].is_empty());
+        assert!(p.is_domain_guided());
+    }
+
+    #[test]
+    fn override_policy_reroutes_listed_facts() {
+        let net = Network::of_size(2);
+        let base: Arc<dyn DistributionPolicy> = Arc::new(DomainGuidedPolicy::all_to(
+            net.clone(),
+            Value::str("n1"),
+        ));
+        let j = [fact("E", [7, 8])];
+        let p = OverridePolicy::new(base, j.clone(), [Value::str("n2")]);
+        assert_eq!(
+            p.assign(&fact("E", [7, 8])),
+            BTreeSet::from([Value::str("n2")])
+        );
+        assert_eq!(
+            p.assign(&fact("E", [1, 2])),
+            BTreeSet::from([Value::str("n1")])
+        );
+    }
+
+
+    #[test]
+    fn replicated_policy_assigns_k_owners() {
+        let p = ReplicatedDomainPolicy::new(Network::of_size(4), 2);
+        for k in 0..10i64 {
+            assert_eq!(p.alpha(&Value::Int(k)).len(), 2, "value {k}");
+        }
+        assert!(p.is_domain_guided());
+        // Every owner of a value holds every fact containing it.
+        let i = calm_common::generator::path(6);
+        let dist = distribute(&p, &i);
+        for f in i.facts() {
+            for val in f.values() {
+                for owner in p.alpha(val) {
+                    assert!(dist[&owner].contains(&f), "{owner} misses {f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_policy_buckets_by_first_attribute() {
+        let p = RangePolicy::new(Network::of_size(2), 0, 10);
+        let lowf = fact("E", [1, 9]);
+        let highf = fact("E", [9, 1]);
+        assert_ne!(p.assign(&lowf), p.assign(&highf));
+        // Out-of-range goes to the last node.
+        let off = fact("E", [999, 0]);
+        assert_eq!(
+            p.assign(&off),
+            BTreeSet::from([Value::str("n2")])
+        );
+    }
+
+    #[test]
+    fn value_assignment_override() {
+        let p = DomainGuidedPolicy::new(Network::of_size(2)).with_value_assignment(
+            Value::Int(5),
+            [Value::str("n1"), Value::str("n2")],
+        );
+        assert_eq!(p.alpha(&Value::Int(5)).len(), 2);
+        // Fact containing 5 is replicated to both nodes.
+        assert_eq!(p.assign(&fact("E", [5, 5])).len(), 2);
+    }
+}

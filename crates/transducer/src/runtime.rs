@@ -1,0 +1,594 @@
+//! The asynchronous operational semantics (Section 4.1.3): configurations,
+//! transitions, fair runs — driven to quiescence by pluggable schedulers.
+
+use crate::multiset::Multiset;
+use crate::network::NodeId;
+use crate::policy::{distribute, DistributionPolicy};
+use crate::schema::SystemConfig;
+use crate::system_facts::system_facts;
+use crate::transducer::Transducer;
+use calm_common::fact::Fact;
+use calm_common::instance::Instance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// A transducer network `Π = (N, Υ, Π, P)` ready to run on inputs.
+/// The network is taken from the policy.
+pub struct TransducerNetwork<'a> {
+    /// The per-node transducer.
+    pub transducer: &'a dyn Transducer,
+    /// The distribution policy (also supplies the network).
+    pub policy: &'a dyn DistributionPolicy,
+    /// Which system relations nodes see (model variant).
+    pub config: SystemConfig,
+}
+
+/// A configuration `(s, b)`: per-node state (output ∪ memory facts) and
+/// per-node message buffer (a multiset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Configuration {
+    /// `s(x)` — output and memory facts stored at each node.
+    pub state: BTreeMap<NodeId, Instance>,
+    /// `b(x)` — messages sent to each node and not yet delivered.
+    pub buffer: BTreeMap<NodeId, Multiset<Fact>>,
+}
+
+impl Configuration {
+    /// The start configuration: everything empty.
+    pub fn start(network: &crate::network::Network) -> Self {
+        Configuration {
+            state: network.nodes().map(|n| (n.clone(), Instance::new())).collect(),
+            buffer: network
+                .nodes()
+                .map(|n| (n.clone(), Multiset::new()))
+                .collect(),
+        }
+    }
+
+    /// Total buffered messages across all nodes.
+    pub fn buffered(&self) -> usize {
+        self.buffer.values().map(Multiset::len).sum()
+    }
+}
+
+/// Counters for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Total transitions executed.
+    pub transitions: usize,
+    /// Transitions that delivered no message.
+    pub heartbeats: usize,
+    /// Messages enqueued: one per (sent fact, recipient) pair.
+    pub messages_sent: usize,
+    /// Messages delivered (multiset occurrences consumed).
+    pub messages_delivered: usize,
+    /// Transition index at which the first output fact appeared.
+    pub first_output_at: Option<usize>,
+    /// Transition index at which the output last grew.
+    pub last_output_growth_at: Option<usize>,
+}
+
+/// What a single transition should deliver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Deliver every buffered message (`m = b(x)`).
+    All,
+    /// Deliver nothing — a heartbeat.
+    None,
+    /// Deliver a random submultiset: each buffered occurrence is
+    /// delivered with probability 0.6, the rest stay in flight. This
+    /// exercises the formal model's "m is a submultiset of b(x)"
+    /// nondeterminism (Section 4.1.3). Deterministic given the seed.
+    Sample {
+        /// Per-transition RNG seed.
+        seed: u64,
+    },
+}
+
+/// Execute one transition of node `x`: deliver per `delivery`, expose
+/// `D = J ∪ S`, apply the four queries, and update the configuration.
+/// Returns `true` when the node's state changed.
+pub fn transition(
+    tn: &TransducerNetwork<'_>,
+    dist: &BTreeMap<NodeId, Instance>,
+    config: &mut Configuration,
+    x: &NodeId,
+    delivery: Delivery,
+    metrics: &mut Metrics,
+) -> bool {
+    metrics.transitions += 1;
+    // Choose the submultiset m and collapse to the set M.
+    let buffer = config.buffer.get_mut(x).expect("node buffer");
+    let delivered: Vec<Fact> = match delivery {
+        Delivery::All => {
+            let taken = buffer.take_all();
+            metrics.messages_delivered += taken.len();
+            taken.support().cloned().collect()
+        }
+        Delivery::None => {
+            metrics.heartbeats += 1;
+            Vec::new()
+        }
+        Delivery::Sample { seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let taken = buffer.take_all();
+            let mut delivered_support: Vec<Fact> = Vec::new();
+            for (f, count) in taken.iter() {
+                let mut kept_back = 0usize;
+                let mut got_one = false;
+                for _ in 0..count {
+                    if rng.gen_bool(0.6) {
+                        metrics.messages_delivered += 1;
+                        got_one = true;
+                    } else {
+                        kept_back += 1;
+                    }
+                }
+                if got_one {
+                    delivered_support.push(f.clone());
+                }
+                buffer.insert_n(f.clone(), kept_back);
+            }
+            if delivered_support.is_empty() {
+                metrics.heartbeats += 1;
+            }
+            delivered_support
+        }
+    };
+
+    // J = H(x) ∪ s(x) ∪ M.
+    let mut j = dist.get(x).cloned().unwrap_or_default();
+    j.extend(config.state[x].facts());
+    j.extend(delivered.iter().cloned());
+
+    // S and D.
+    let s = system_facts(
+        x,
+        tn.policy.network(),
+        &tn.transducer.schema().input,
+        tn.policy,
+        tn.config,
+        &j,
+    );
+    let d = j.union(&s);
+
+    let step = tn.transducer.step(&d);
+
+    // Update state: cumulative output, insert/delete memory.
+    let schema = tn.transducer.schema();
+    let state = config.state.get_mut(x).expect("node state");
+    let before = state.clone();
+    for f in step.out.facts() {
+        debug_assert!(schema.output.covers(&f), "Qout must target Υout: {f}");
+        state.insert(f);
+    }
+    let ins = step.ins.difference(&step.del);
+    let del = step.del.difference(&step.ins);
+    for f in ins.facts() {
+        debug_assert!(schema.mem.covers(&f), "Qins must target Υmem: {f}");
+        state.insert(f);
+    }
+    for f in del.facts() {
+        state.remove(&f);
+    }
+    let state_changed = *state != before;
+
+    // Send messages to every other node.
+    for f in step.snd.facts() {
+        debug_assert!(schema.msg.covers(&f), "Qsnd must target Υmsg: {f}");
+        for y in tn.policy.network().others(x) {
+            config
+                .buffer
+                .get_mut(y)
+                .expect("node buffer")
+                .insert(f.clone());
+            metrics.messages_sent += 1;
+        }
+    }
+
+    // Output growth bookkeeping.
+    let grew_output = config.state[x]
+        .restrict(&schema.output)
+        .len()
+        > before.restrict(&schema.output).len();
+    if grew_output {
+        if metrics.first_output_at.is_none() {
+            metrics.first_output_at = Some(metrics.transitions);
+        }
+        metrics.last_output_growth_at = Some(metrics.transitions);
+    }
+
+    state_changed
+}
+
+/// The union of all nodes' output facts — `out(R)` for the run so far.
+pub fn network_output(tn: &TransducerNetwork<'_>, config: &Configuration) -> Instance {
+    let mut out = Instance::new();
+    for state in config.state.values() {
+        out.extend(state.restrict(&tn.transducer.schema().output).facts());
+    }
+    out
+}
+
+/// The result of driving a run to quiescence.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// `out(R)` — the union of output facts across nodes.
+    pub output: Instance,
+    /// The final configuration.
+    pub config: Configuration,
+    /// Run counters.
+    pub metrics: Metrics,
+    /// Whether the run reached quiescence within the transition budget.
+    pub quiescent: bool,
+}
+
+/// Schedulers: how nodes are activated and messages delivered. All
+/// schedulers end with deliver-everything sweeps, making every generated
+/// schedule extendable to a fair run whose limit the quiescent
+/// configuration *is*.
+#[derive(Debug, Clone)]
+pub enum Scheduler {
+    /// Round-robin over nodes, delivering all buffered messages at each
+    /// activation. The deterministic default.
+    RoundRobin,
+    /// A seeded random prefix: random node activation with random
+    /// delivery/heartbeat decisions for `prefix` transitions, then
+    /// round-robin sweeps to quiescence. Models adversarial asynchrony
+    /// while keeping runs finite.
+    Random {
+        /// RNG seed.
+        seed: u64,
+        /// Number of random-schedule transitions before the closing
+        /// sweeps.
+        prefix: usize,
+    },
+}
+
+/// Drive a transducer network on an input until quiescent, or until
+/// `max_transitions`.
+///
+/// ```
+/// use calm_transducer::{
+///     expected_output, run, DomainGuidedPolicy, MonotoneBroadcast, Network,
+///     Scheduler, SystemConfig, TransducerNetwork,
+/// };
+/// use calm_common::{fact, FnQuery, Instance, Schema};
+///
+/// // Identity on E, wrapped in the monotone broadcast strategy.
+/// let copy = FnQuery::new(
+///     "copy",
+///     Schema::from_pairs([("E", 2)]),
+///     Schema::from_pairs([("E2", 2)]),
+///     |i: &Instance| Instance::from_facts(
+///         i.tuples("E").map(|t| fact("E2", [t[0].clone(), t[1].clone()])),
+///     ),
+/// );
+/// let strategy = MonotoneBroadcast::new(Box::new(copy));
+/// let input = Instance::from_facts([fact("E", [1, 2]), fact("E", [2, 3])]);
+/// let expected = expected_output(strategy.query(), &input);
+///
+/// let policy = DomainGuidedPolicy::new(Network::of_size(3));
+/// let network = TransducerNetwork {
+///     transducer: &strategy,
+///     policy: &policy,
+///     config: SystemConfig::ORIGINAL,
+/// };
+/// let result = run(&network, &input, &Scheduler::RoundRobin, 10_000);
+/// assert!(result.quiescent);
+/// assert_eq!(result.output, expected);
+/// ```
+///
+/// **Quiescence detection.** Transducers may legitimately keep re-sending
+/// messages forever (the formal runs are infinite), so "empty buffers" is
+/// not a usable stopping criterion. Instead we track, per node, the *set*
+/// of distinct message facts ever delivered to it; a configuration is
+/// declared quiescent when a full deliver-everything sweep (a) changes no
+/// node's state and (b) leaves no node with a buffered message it has
+/// never been delivered before. For deterministic transducers whose state
+/// accumulates everything they react to (all transducers in this
+/// workspace), such a configuration is the limit of every fair extension:
+/// re-delivering already-seen messages to unchanged states is a no-op.
+pub fn run(
+    tn: &TransducerNetwork<'_>,
+    input: &Instance,
+    scheduler: &Scheduler,
+    max_transitions: usize,
+) -> RunResult {
+    let dist = distribute(tn.policy, input);
+    let mut config = Configuration::start(tn.policy.network());
+    let mut metrics = Metrics::default();
+    let mut delivered: BTreeMap<NodeId, std::collections::BTreeSet<Fact>> = tn
+        .policy
+        .network()
+        .nodes()
+        .map(|n| (n.clone(), std::collections::BTreeSet::new()))
+        .collect();
+    let note_delivery = |config: &Configuration,
+                             delivered: &mut BTreeMap<NodeId, std::collections::BTreeSet<Fact>>,
+                             x: &NodeId| {
+        let set = delivered.get_mut(x).expect("node");
+        for f in config.buffer[x].support() {
+            set.insert(f.clone());
+        }
+    };
+
+    if let Scheduler::Random { seed, prefix } = scheduler {
+        let mut rng = StdRng::seed_from_u64(*seed);
+        let nodes: Vec<NodeId> = tn.policy.network().nodes().cloned().collect();
+        for _ in 0..*prefix {
+            if metrics.transitions >= max_transitions {
+                break;
+            }
+            let x = nodes[rng.gen_range(0..nodes.len())].clone();
+            let delivery = match rng.gen_range(0..3u8) {
+                0 => Delivery::All,
+                1 => Delivery::None,
+                _ => Delivery::Sample { seed: rng.gen() },
+            };
+            // Only full deliveries are recorded in the delivered-set (a
+            // sampled delivery may skip occurrences; under-recording is
+            // conservative for quiescence detection).
+            if delivery == Delivery::All {
+                note_delivery(&config, &mut delivered, &x);
+            }
+            transition(tn, &dist, &mut config, &x, delivery, &mut metrics);
+        }
+    }
+
+    // Closing round-robin sweeps with full delivery.
+    let nodes: Vec<NodeId> = tn.policy.network().nodes().cloned().collect();
+    let mut quiescent = false;
+    while metrics.transitions < max_transitions {
+        let mut state_changed = false;
+        for x in &nodes {
+            if metrics.transitions >= max_transitions {
+                break;
+            }
+            note_delivery(&config, &mut delivered, x);
+            if transition(tn, &dist, &mut config, x, Delivery::All, &mut metrics) {
+                state_changed = true;
+            }
+        }
+        let all_messages_seen = nodes.iter().all(|x| {
+            config.buffer[x]
+                .support()
+                .all(|f| delivered[x].contains(f))
+        });
+        if !state_changed && all_messages_seen {
+            quiescent = true;
+            break;
+        }
+    }
+
+    RunResult {
+        output: network_output(tn, &config),
+        config,
+        metrics,
+        quiescent,
+    }
+}
+
+/// Check that the network *computes* a query on this input: every
+/// scheduler in `schedulers` must quiesce with output exactly `expected`.
+/// Returns the per-scheduler results for inspection.
+pub fn verify_computes(
+    tn: &TransducerNetwork<'_>,
+    input: &Instance,
+    expected: &Instance,
+    schedulers: &[Scheduler],
+    max_transitions: usize,
+) -> Result<Vec<RunResult>, String> {
+    let mut results = Vec::new();
+    for s in schedulers {
+        let r = run(tn, input, s, max_transitions);
+        if !r.quiescent {
+            return Err(format!(
+                "run did not quiesce within {max_transitions} transitions under {s:?}"
+            ));
+        }
+        if &r.output != expected {
+            return Err(format!(
+                "scheduler {s:?}: output {:?} != expected {:?}",
+                r.output, expected
+            ));
+        }
+        results.push(r);
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::policy::HashPolicy;
+    use crate::schema::TransducerSchema;
+    use crate::transducer::DatalogTransducer;
+    use calm_common::fact::fact;
+    use calm_common::schema::Schema;
+
+    /// A broadcast-union transducer: every node broadcasts its local edges
+    /// and outputs everything it knows. Computes the identity query on E
+    /// (a monotone query) — the simplest CALM-style example.
+    fn union_transducer() -> DatalogTransducer {
+        DatalogTransducer::parse(
+            "union",
+            TransducerSchema::new(
+                Schema::from_pairs([("E", 2)]),
+                Schema::from_pairs([("out_E", 2)]),
+                Schema::from_pairs([("msg_E", 2)]),
+                Schema::from_pairs([("seen_E", 2)]),
+            ),
+            "msg_E(x,y) :- E(x,y).\n\
+             seen_E(x,y) :- E(x,y).\n\
+             seen_E(x,y) :- msg_E(x,y).\n\
+             out_E(x,y) :- seen_E(x,y).\n\
+             out_E(x,y) :- E(x,y).",
+        )
+        .unwrap()
+    }
+
+    fn expected_out(input: &Instance) -> Instance {
+        Instance::from_facts(
+            input
+                .tuples("E")
+                .map(|t| fact("out_E", [t[0].clone(), t[1].clone()])),
+        )
+    }
+
+    #[test]
+    fn union_network_computes_identity() {
+        let net = Network::of_size(3);
+        let policy = HashPolicy::new(net);
+        let t = union_transducer();
+        let tn = TransducerNetwork {
+            transducer: &t,
+            policy: &policy,
+            config: SystemConfig::ORIGINAL,
+        };
+        let input = calm_common::generator::path(6);
+        let expected = expected_out(&input);
+        let results = verify_computes(
+            &tn,
+            &input,
+            &expected,
+            &[
+                Scheduler::RoundRobin,
+                Scheduler::Random { seed: 1, prefix: 20 },
+                Scheduler::Random { seed: 2, prefix: 50 },
+            ],
+            10_000,
+        )
+        .unwrap();
+        assert!(results.iter().all(|r| r.quiescent));
+        // Messages flowed (3 nodes, nonempty input).
+        assert!(results[0].metrics.messages_sent > 0);
+    }
+
+    #[test]
+    fn single_node_needs_no_messages_delivered_for_output() {
+        let net = Network::of_size(1);
+        let policy = HashPolicy::new(net);
+        let t = union_transducer();
+        let tn = TransducerNetwork {
+            transducer: &t,
+            policy: &policy,
+            config: SystemConfig::ORIGINAL,
+        };
+        let input = calm_common::generator::path(3);
+        let r = run(&tn, &input, &Scheduler::RoundRobin, 1000);
+        assert!(r.quiescent);
+        assert_eq!(r.output, expected_out(&input));
+        // No other nodes: nothing is ever enqueued.
+        assert_eq!(r.metrics.messages_sent, 0);
+    }
+
+    #[test]
+    fn empty_input_quiesces_immediately() {
+        let net = Network::of_size(2);
+        let policy = HashPolicy::new(net);
+        let t = union_transducer();
+        let tn = TransducerNetwork {
+            transducer: &t,
+            policy: &policy,
+            config: SystemConfig::ORIGINAL,
+        };
+        let r = run(&tn, &Instance::new(), &Scheduler::RoundRobin, 100);
+        assert!(r.quiescent);
+        assert!(r.output.is_empty());
+    }
+
+    #[test]
+    fn random_schedules_converge_to_same_output() {
+        let net = Network::of_size(4);
+        let policy = HashPolicy::new(net);
+        let t = union_transducer();
+        let tn = TransducerNetwork {
+            transducer: &t,
+            policy: &policy,
+            config: SystemConfig::ORIGINAL,
+        };
+        let input = calm_common::generator::cycle(5);
+        let expected = expected_out(&input);
+        for seed in 0..8 {
+            let r = run(
+                &tn,
+                &input,
+                &Scheduler::Random { seed, prefix: 60 },
+                10_000,
+            );
+            assert!(r.quiescent, "seed {seed}");
+            assert_eq!(r.output, expected, "confluence under seed {seed}");
+        }
+    }
+
+    #[test]
+    fn memory_update_follows_the_paper_formula() {
+        // s2 = (s1 ∪ (ins \ del)) \ (del \ ins): facts both inserted and
+        // deleted in one transition cancel out; deletions of stored facts
+        // take effect.
+        use crate::schema::TransducerSchema;
+        let t = DatalogTransducer::parse(
+            "toggler",
+            TransducerSchema::new(
+                Schema::from_pairs([("E", 2)]),
+                Schema::from_pairs([("out_probe", 2)]),
+                Schema::new(),
+                Schema::from_pairs([("flag", 2), ("both", 2)]),
+            ),
+            // flag is inserted when absent and deleted when present — a
+            // genuine toggle across transitions. `both` is inserted AND
+            // deleted every transition: (ins\del) and (del\ins) are both
+            // empty for it, so it never appears.
+            "flag(x,y) :- E(x,y), not flag(x,y).\n\
+             del_flag(x,y) :- E(x,y), flag(x,y).\n\
+             both(x,y) :- E(x,y).\n\
+             del_both(x,y) :- E(x,y).\n\
+             out_probe(x,y) :- flag(x,y).",
+        )
+        .unwrap();
+        let net = Network::of_size(1);
+        let policy = HashPolicy::new(net.clone());
+        let tn = TransducerNetwork {
+            transducer: &t,
+            policy: &policy,
+            config: SystemConfig::ORIGINAL,
+        };
+        let input = Instance::from_facts([fact("E", [1, 2])]);
+        let dist = crate::policy::distribute(&policy, &input);
+        let mut config = Configuration::start(&net);
+        let mut metrics = Metrics::default();
+        let x = net.first().clone();
+        // Transition 1: flag inserted.
+        transition(&tn, &dist, &mut config, &x, Delivery::None, &mut metrics);
+        assert!(config.state[&x].contains(&fact("flag", [1, 2])));
+        assert!(!config.state[&x].contains(&fact("both", [1, 2])));
+        // Transition 2: flag present -> deleted (the insertion rule needs
+        // ¬flag, so only the deletion fires).
+        transition(&tn, &dist, &mut config, &x, Delivery::None, &mut metrics);
+        assert!(!config.state[&x].contains(&fact("flag", [1, 2])));
+        // Transition 3: toggles back on.
+        transition(&tn, &dist, &mut config, &x, Delivery::None, &mut metrics);
+        assert!(config.state[&x].contains(&fact("flag", [1, 2])));
+        // Output is cumulative: the probe survives flag-off transitions.
+        assert!(config.state[&x].contains(&fact("out_probe", [1, 2])));
+    }
+
+    #[test]
+    fn metrics_track_first_output() {
+        let net = Network::of_size(2);
+        let policy = HashPolicy::new(net);
+        let t = union_transducer();
+        let tn = TransducerNetwork {
+            transducer: &t,
+            policy: &policy,
+            config: SystemConfig::ORIGINAL,
+        };
+        let input = calm_common::generator::path(2);
+        let r = run(&tn, &input, &Scheduler::RoundRobin, 1000);
+        assert!(r.metrics.first_output_at.is_some());
+        assert!(r.metrics.first_output_at <= r.metrics.last_output_growth_at);
+    }
+}

@@ -1,0 +1,172 @@
+//! Transducer schemas and model variants (Sections 4.1.2 and 4.3).
+
+use calm_common::schema::Schema;
+
+/// The five-part transducer schema `Υ = (Υin, Υout, Υmsg, Υmem, Υsys)`.
+/// The system part is implicit (derived from `input` and the
+/// [`SystemConfig`]): `Id(1)`, `All(1)`, `MyAdom(1)` and `policy_R` per
+/// input relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransducerSchema {
+    /// Input relations `Υin`.
+    pub input: Schema,
+    /// Output relations `Υout`.
+    pub output: Schema,
+    /// Message relations `Υmsg`.
+    pub msg: Schema,
+    /// Memory relations `Υmem`.
+    pub mem: Schema,
+}
+
+impl TransducerSchema {
+    /// Build a schema, checking pairwise disjointness of the four parts
+    /// and that no part collides with the system relation names.
+    pub fn new(input: Schema, output: Schema, msg: Schema, mem: Schema) -> Self {
+        let parts = [&input, &output, &msg, &mem];
+        for (i, a) in parts.iter().enumerate() {
+            for b in parts.iter().skip(i + 1) {
+                assert!(a.is_disjoint(b), "transducer schema parts must be disjoint");
+            }
+        }
+        for part in parts {
+            for name in part.names() {
+                assert!(
+                    !is_system_relation(name, &input),
+                    "relation {name} collides with a system relation"
+                );
+            }
+        }
+        TransducerSchema {
+            input,
+            output,
+            msg,
+            mem,
+        }
+    }
+}
+
+/// The name of the policy relation for input relation `R`.
+pub fn policy_relation(input_relation: &str) -> String {
+    format!("policy_{input_relation}")
+}
+
+/// Whether `name` is one of the system relations for the given input
+/// schema.
+pub fn is_system_relation(name: &str, input: &Schema) -> bool {
+    if name == "Id" || name == "All" || name == "MyAdom" {
+        return true;
+    }
+    name.strip_prefix("policy_")
+        .is_some_and(|base| input.contains(base))
+}
+
+/// Which system relations a model exposes — the knobs distinguishing the
+/// models of Figure 2's last two columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Expose `MyAdom` and the `policy_R` relations (the policy-aware
+    /// extension of Zinn et al.).
+    pub policy_relations: bool,
+    /// Expose `All` (the full node list). Dropping it gives the `A*`
+    /// models of Theorem 4.5.
+    pub include_all: bool,
+    /// Expose `Id`. Dropping it (with `All`) gives the oblivious
+    /// transducers of \[13\].
+    pub include_id: bool,
+}
+
+impl SystemConfig {
+    /// The original model of Ameloot et al. \[13\]: `Id` and `All` only.
+    pub const ORIGINAL: SystemConfig = SystemConfig {
+        policy_relations: false,
+        include_all: true,
+        include_id: true,
+    };
+
+    /// The policy-aware model of Zinn et al. \[32\] (used for `F1`, `F2`).
+    pub const POLICY_AWARE: SystemConfig = SystemConfig {
+        policy_relations: true,
+        include_all: true,
+        include_id: true,
+    };
+
+    /// The policy-aware model without `All` (`A1`, `A2` — Theorem 4.5).
+    pub const POLICY_AWARE_NO_ALL: SystemConfig = SystemConfig {
+        policy_relations: true,
+        include_all: false,
+        include_id: true,
+    };
+
+    /// The original model without `All` (`A0` — Corollary 4.6).
+    pub const ORIGINAL_NO_ALL: SystemConfig = SystemConfig {
+        policy_relations: false,
+        include_all: false,
+        include_id: true,
+    };
+
+    /// Oblivious transducers: neither `Id` nor `All`.
+    pub const OBLIVIOUS: SystemConfig = SystemConfig {
+        policy_relations: false,
+        include_all: false,
+        include_id: false,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_parts_must_be_disjoint() {
+        let e2 = Schema::from_pairs([("E", 2)]);
+        let o = Schema::from_pairs([("out_T", 2)]);
+        let m = Schema::from_pairs([("msg_E", 2)]);
+        let mem = Schema::from_pairs([("coll_E", 2)]);
+        let s = TransducerSchema::new(e2.clone(), o, m, mem);
+        assert_eq!(s.input.arity("E"), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_parts_rejected() {
+        let e2 = Schema::from_pairs([("E", 2)]);
+        let _ = TransducerSchema::new(
+            e2.clone(),
+            e2.clone(),
+            Schema::new(),
+            Schema::new(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "system relation")]
+    fn system_collision_rejected() {
+        let _ = TransducerSchema::new(
+            Schema::from_pairs([("E", 2)]),
+            Schema::from_pairs([("MyAdom", 1)]),
+            Schema::new(),
+            Schema::new(),
+        );
+    }
+
+    #[test]
+    fn system_relation_names() {
+        let input = Schema::from_pairs([("E", 2)]);
+        assert!(is_system_relation("Id", &input));
+        assert!(is_system_relation("All", &input));
+        assert!(is_system_relation("policy_E", &input));
+        assert!(!is_system_relation("policy_F", &input));
+        assert!(!is_system_relation("E", &input));
+        assert_eq!(policy_relation("E"), "policy_E");
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn model_presets() {
+        assert!(SystemConfig::POLICY_AWARE.policy_relations);
+        assert!(!SystemConfig::POLICY_AWARE_NO_ALL.include_all);
+        assert!(!SystemConfig::OBLIVIOUS.include_id);
+        assert!(SystemConfig::ORIGINAL.include_all);
+        assert!(!SystemConfig::ORIGINAL_NO_ALL.include_all);
+    }
+}

@@ -1,0 +1,140 @@
+//! The three generic coordination-free evaluation strategies from the
+//! proofs of Theorems 4.3 and 4.4 and the discussion in Section 4.3:
+//!
+//! | Strategy | Class | Protocol |
+//! |---|---|---|
+//! | [`MonotoneBroadcast`] | `M` (`F0`) | broadcast input facts; output `Q` of everything known, immediately |
+//! | [`DistinctStrategy`] | `Mdistinct` (`F1`) | broadcast facts **and non-facts** (absences deduced from `policy_R`); output `Q` on complete value-subsets |
+//! | [`DisjointStrategy`] | `Mdisjoint` (`F2`) | broadcast the active domain; per-value request/ack/OK protocol with the responsible nodes; output `Q` on complete components |
+//!
+//! Each strategy is a native [`Transducer`](crate::transducer::Transducer)
+//! parameterized by the query it
+//! evaluates; none of them reads the `All` relation, which is why the same
+//! transducers witness `Mdistinct ⊆ A1` and `Mdisjoint ⊆ A2`
+//! (Theorem 4.5).
+
+mod disjoint;
+mod distinct;
+mod monotone;
+
+pub use disjoint::DisjointStrategy;
+pub use distinct::DistinctStrategy;
+pub use monotone::MonotoneBroadcast;
+
+use calm_common::fact::Fact;
+use calm_common::instance::Instance;
+use calm_common::query::Query;
+use calm_common::schema::Schema;
+
+/// Message relation carrying facts of input relation `R`.
+pub fn msg_rel(r: &str) -> String {
+    format!("m_{r}")
+}
+
+/// Message relation carrying *absences* of input relation `R`.
+pub fn absence_rel(r: &str) -> String {
+    format!("n_{r}")
+}
+
+/// Memory relation storing collected facts of input relation `R`.
+pub fn coll_rel(r: &str) -> String {
+    format!("c_{r}")
+}
+
+/// Output relation for query-output relation `R` (transducer schemas
+/// require `Υout` disjoint from `Υin`, so query outputs are prefixed).
+pub fn out_rel(r: &str) -> String {
+    format!("out_{r}")
+}
+
+/// The renamed output schema of a query: `R ↦ out_R`.
+pub fn renamed_output_schema(q: &dyn Query) -> Schema {
+    let mut s = Schema::new();
+    for (name, arity) in q.output_schema().iter() {
+        s.add(&out_rel(name), arity);
+    }
+    s
+}
+
+/// What a strategy network is expected to output for input `I`:
+/// `Q(I)` with every output relation `R` renamed to `out_R`.
+pub fn expected_output(q: &dyn Query, input: &Instance) -> Instance {
+    rename_to_out(&q.eval(input))
+}
+
+/// Rename every relation `R` of a query answer to `out_R`.
+pub fn rename_to_out(answer: &Instance) -> Instance {
+    Instance::from_facts(
+        answer
+            .facts()
+            .map(|f| Fact::new(out_rel(f.relation()), f.args().to_vec())),
+    )
+}
+
+/// Gather the "collected input" visible in `D`: for each input relation
+/// `R`, the union of local `R` facts, remembered `c_R` facts and freshly
+/// delivered `m_R` facts — under the original relation name `R`, ready
+/// for query evaluation.
+pub fn collected_input(input_schema: &Schema, d: &Instance) -> Instance {
+    let mut out = Instance::new();
+    for (r, _) in input_schema.iter() {
+        for t in d.tuples(r) {
+            out.insert(Fact::new(r.as_ref(), t.clone()));
+        }
+        for t in d.tuples(&coll_rel(r)) {
+            out.insert(Fact::new(r.as_ref(), t.clone()));
+        }
+        for t in d.tuples(&msg_rel(r)) {
+            out.insert(Fact::new(r.as_ref(), t.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calm_common::fact::fact;
+    use calm_common::query::FnQuery;
+
+    #[test]
+    fn relation_namers() {
+        assert_eq!(msg_rel("E"), "m_E");
+        assert_eq!(absence_rel("E"), "n_E");
+        assert_eq!(coll_rel("E"), "c_E");
+        assert_eq!(out_rel("T"), "out_T");
+    }
+
+    #[test]
+    fn collected_merges_three_sources() {
+        let schema = Schema::from_pairs([("E", 2)]);
+        let d = Instance::from_facts([
+            fact("E", [1, 2]),
+            fact("c_E", [3, 4]),
+            fact("m_E", [5, 6]),
+            fact("Other", [9]),
+        ]);
+        let c = collected_input(&schema, &d);
+        assert_eq!(c.relation_len("E"), 3);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn expected_output_renames() {
+        let q = FnQuery::new(
+            "copy",
+            Schema::from_pairs([("E", 2)]),
+            Schema::from_pairs([("T", 2)]),
+            |i: &Instance| {
+                Instance::from_facts(
+                    i.tuples("E")
+                        .map(|t| fact("T", [t[0].clone(), t[1].clone()])),
+                )
+            },
+        );
+        let input = Instance::from_facts([fact("E", [1, 2])]);
+        let e = expected_output(&q, &input);
+        assert_eq!(e, Instance::from_facts([fact("out_T", [1, 2])]));
+        assert_eq!(renamed_output_schema(&q).arity("out_T"), Some(2));
+    }
+}

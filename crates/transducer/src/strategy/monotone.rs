@@ -1,0 +1,221 @@
+//! The `M` strategy (the CALM baseline, Section 4.3 first bullet): every
+//! node broadcasts its local input facts; output is generated for every
+//! newly received fact, with no waiting at all. Correct exactly for
+//! monotone queries.
+
+use super::{coll_rel, collected_input, msg_rel, rename_to_out, renamed_output_schema};
+use crate::schema::TransducerSchema;
+use crate::transducer::{Transducer, TransducerStep};
+use calm_common::fact::Fact;
+use calm_common::instance::Instance;
+use calm_common::query::Query;
+use calm_common::schema::Schema;
+
+/// The broadcast-everything strategy for monotone queries.
+pub struct MonotoneBroadcast {
+    query: Box<dyn Query>,
+    schema: TransducerSchema,
+    name: String,
+}
+
+/// Memory relation marking facts already broadcast.
+fn sent_rel(r: &str) -> String {
+    format!("s_{r}")
+}
+
+impl MonotoneBroadcast {
+    /// Wrap a (monotone) query. The strategy is always *defined*; it
+    /// *computes* the query distributedly iff the query is monotone —
+    /// experiment E1/E8 exercises both sides.
+    pub fn new(query: Box<dyn Query>) -> Self {
+        let input = query.input_schema().clone();
+        let mut msg = Schema::new();
+        let mut mem = Schema::new();
+        for (r, a) in input.iter() {
+            msg.add(&msg_rel(r), a);
+            mem.add(&coll_rel(r), a);
+            mem.add(&sent_rel(r), a);
+        }
+        let output = renamed_output_schema(query.as_ref());
+        let name = format!("monotone-broadcast({})", query.name());
+        MonotoneBroadcast {
+            schema: TransducerSchema::new(input, output, msg, mem),
+            query,
+            name,
+        }
+    }
+
+    /// The wrapped query.
+    pub fn query(&self) -> &dyn Query {
+        self.query.as_ref()
+    }
+}
+
+impl Transducer for MonotoneBroadcast {
+    fn schema(&self) -> &TransducerSchema {
+        &self.schema
+    }
+
+    fn step(&self, d: &Instance) -> TransducerStep {
+        let mut step = TransducerStep::default();
+        let collected = collected_input(self.query.input_schema(), d);
+        for f in collected.facts() {
+            let r = f.relation().as_ref().to_string();
+            // Remember everything we know.
+            step.ins.insert(Fact::new(coll_rel(&r), f.args().to_vec()));
+            // Broadcast what we have not broadcast yet.
+            if !d.contains_tuple(&sent_rel(&r), f.args()) {
+                step.snd.insert(Fact::new(msg_rel(&r), f.args().to_vec()));
+                step.ins.insert(Fact::new(sent_rel(&r), f.args().to_vec()));
+            }
+        }
+        // Output Q over everything currently known — monotonicity makes
+        // every such fact final.
+        step.out = rename_to_out(&self.query.eval(&collected));
+        for f in step.out.clone().facts() {
+            debug_assert!(self.schema.output.covers(&f));
+        }
+        step
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::policy::HashPolicy;
+    use crate::runtime::{run, verify_computes, Scheduler, TransducerNetwork};
+    use crate::schema::SystemConfig;
+    use crate::strategy::expected_output;
+    use calm_common::generator::{cycle, path};
+    use calm_common::instance::Instance;
+    use calm_queries::tc::tc_datalog;
+
+    fn tc_strategy() -> MonotoneBroadcast {
+        MonotoneBroadcast::new(Box::new(tc_datalog()))
+    }
+
+    #[test]
+    fn computes_tc_on_all_network_sizes() {
+        let t = tc_strategy();
+        let input = path(5);
+        let expected = expected_output(t.query(), &input);
+        for n in [1, 2, 4] {
+            let policy = HashPolicy::new(Network::of_size(n));
+            let tn = TransducerNetwork {
+                transducer: &t,
+                policy: &policy,
+                config: SystemConfig::ORIGINAL,
+            };
+            verify_computes(
+                &tn,
+                &input,
+                &expected,
+                &[Scheduler::RoundRobin, Scheduler::Random { seed: 7, prefix: 30 }],
+                20_000,
+            )
+            .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn works_without_all_and_oblivious() {
+        // The strategy reads no system relations at all: Corollary 4.6's
+        // F0 = A0 = M (oblivious transducers compute monotone queries).
+        let t = tc_strategy();
+        let input = cycle(4);
+        let expected = expected_output(t.query(), &input);
+        for config in [
+            SystemConfig::ORIGINAL_NO_ALL,
+            SystemConfig::OBLIVIOUS,
+            SystemConfig::POLICY_AWARE,
+        ] {
+            let policy = HashPolicy::new(Network::of_size(3));
+            let tn = TransducerNetwork {
+                transducer: &t,
+                policy: &policy,
+                config,
+            };
+            verify_computes(&tn, &input, &expected, &[Scheduler::RoundRobin], 20_000)
+                .unwrap_or_else(|e| panic!("{config:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn non_monotone_query_miscomputed() {
+        // Running the M strategy on Q_TC (not monotone) on a 2-node
+        // network produces wrong (unretractable) outputs for some
+        // distribution: the core of the CALM only-if direction.
+        //
+        // Input: the cycle 0 -> 1 -> 2 -> 0, whose complement-of-TC is
+        // empty. Place E(0,1), E(2,0) on n1 and E(1,2) on n2: before the
+        // exchange completes, n1 sees a graph where (e.g.) 0 cannot reach
+        // 2 and emits O-facts that the full input refutes.
+        use crate::policy::{DomainGuidedPolicy, OverridePolicy};
+        use calm_common::value::Value;
+        let t = MonotoneBroadcast::new(Box::new(calm_queries::qtc::qtc_datalog()));
+        let input = calm_common::generator::cycle(3);
+        let expected = expected_output(t.query(), &input);
+        assert!(expected.is_empty(), "complement of TC on a cycle is empty");
+        let net = Network::of_size(2);
+        let base: std::sync::Arc<dyn crate::policy::DistributionPolicy> = std::sync::Arc::new(
+            DomainGuidedPolicy::all_to(net.clone(), Value::str("n1")),
+        );
+        let policy = OverridePolicy::new(
+            base,
+            [calm_common::fact::fact("E", [1, 2])],
+            [Value::str("n2")],
+        );
+        let tn = TransducerNetwork {
+            transducer: &t,
+            policy: &policy,
+            config: SystemConfig::ORIGINAL,
+        };
+        let r = run(&tn, &input, &Scheduler::RoundRobin, 20_000);
+        // The run quiesces but output ⊋ Q(I) = ∅: nodes answered on
+        // partial inputs and could never retract.
+        assert!(r.quiescent);
+        assert!(
+            !r.output.is_empty(),
+            "the M strategy must overshoot on a non-monotone query"
+        );
+    }
+
+    #[test]
+    fn message_volume_is_once_per_fact_per_recipient() {
+        let t = tc_strategy();
+        let input = path(4);
+        let policy = HashPolicy::new(Network::of_size(3));
+        let tn = TransducerNetwork {
+            transducer: &t,
+            policy: &policy,
+            config: SystemConfig::ORIGINAL,
+        };
+        let r = run(&tn, &input, &Scheduler::RoundRobin, 20_000);
+        assert!(r.quiescent);
+        // Each of the 4 facts is broadcast at most once by each node that
+        // knows it; re-broadcast of received facts is also once. Upper
+        // bound: |facts| × n × (n - 1).
+        assert!(r.metrics.messages_sent <= 4 * 3 * 2);
+        assert!(r.metrics.messages_sent >= 4 * 2, "every fact reaches the others");
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = tc_strategy();
+        let policy = HashPolicy::new(Network::of_size(2));
+        let tn = TransducerNetwork {
+            transducer: &t,
+            policy: &policy,
+            config: SystemConfig::ORIGINAL,
+        };
+        let r = run(&tn, &Instance::new(), &Scheduler::RoundRobin, 100);
+        assert!(r.quiescent);
+        assert!(r.output.is_empty());
+        assert_eq!(r.metrics.messages_sent, 0);
+    }
+}

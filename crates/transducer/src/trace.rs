@@ -1,0 +1,197 @@
+//! Traced runs: a per-transition event log of a network execution, for
+//! debugging transducers and for the examples' narrative output.
+
+use crate::network::NodeId;
+use crate::policy::distribute;
+use crate::runtime::{
+    network_output, transition, Configuration, Delivery, Metrics, RunResult, TransducerNetwork,
+};
+use calm_common::fact::Fact;
+use calm_common::instance::Instance;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One transition's observable effects.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// 1-based transition index.
+    pub index: usize,
+    /// The active node.
+    pub node: NodeId,
+    /// Number of message occurrences delivered (0 = heartbeat).
+    pub delivered: usize,
+    /// Message occurrences enqueued to other nodes by this transition.
+    pub sent: usize,
+    /// Output facts that appeared at this node in this transition.
+    pub new_output: Vec<Fact>,
+    /// Whether the node's state changed at all.
+    pub state_changed: bool,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{:<4} {}  delivered={} sent={}{}",
+            self.index,
+            self.node,
+            self.delivered,
+            self.sent,
+            if self.new_output.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "  +out: {}",
+                    self.new_output
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                )
+            }
+        )
+    }
+}
+
+/// The event log of a run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Events in execution order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Only the events where output appeared.
+    pub fn output_events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(|e| !e.new_output.is_empty())
+    }
+
+    /// Render the full log, one event per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Run round-robin with full delivery until quiescence (same stopping rule
+/// as [`crate::runtime::run`]), recording a [`TraceEvent`] per transition.
+pub fn traced_run(
+    tn: &TransducerNetwork<'_>,
+    input: &Instance,
+    max_transitions: usize,
+) -> (RunResult, Trace) {
+    let dist = distribute(tn.policy, input);
+    let mut config = Configuration::start(tn.policy.network());
+    let mut metrics = Metrics::default();
+    let mut trace = Trace::default();
+    let nodes: Vec<NodeId> = tn.policy.network().nodes().cloned().collect();
+    let out_schema = tn.transducer.schema().output.clone();
+    let mut delivered_sets: BTreeMap<NodeId, std::collections::BTreeSet<Fact>> = nodes
+        .iter()
+        .map(|n| (n.clone(), std::collections::BTreeSet::new()))
+        .collect();
+
+    let mut quiescent = false;
+    while metrics.transitions < max_transitions {
+        let mut state_changed_any = false;
+        for x in &nodes {
+            if metrics.transitions >= max_transitions {
+                break;
+            }
+            let before_out = config.state[x].restrict(&out_schema);
+            let pending = config.buffer[x].len();
+            let sent_before = metrics.messages_sent;
+            {
+                let set = delivered_sets.get_mut(x).expect("node");
+                for f in config.buffer[x].support() {
+                    set.insert(f.clone());
+                }
+            }
+            let changed = transition(tn, &dist, &mut config, x, Delivery::All, &mut metrics);
+            state_changed_any |= changed;
+            let after_out = config.state[x].restrict(&out_schema);
+            trace.events.push(TraceEvent {
+                index: metrics.transitions,
+                node: x.clone(),
+                delivered: pending,
+                sent: metrics.messages_sent - sent_before,
+                new_output: after_out.difference(&before_out).facts().collect(),
+                state_changed: changed,
+            });
+        }
+        let all_seen = nodes.iter().all(|x| {
+            config.buffer[x]
+                .support()
+                .all(|f| delivered_sets[x].contains(f))
+        });
+        if !state_changed_any && all_seen {
+            quiescent = true;
+            break;
+        }
+    }
+    let result = RunResult {
+        output: network_output(tn, &config),
+        config,
+        metrics,
+        quiescent,
+    };
+    (result, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::policy::HashPolicy;
+    use crate::schema::SystemConfig;
+    use crate::strategy::{expected_output, MonotoneBroadcast};
+    use calm_common::generator::path;
+    use calm_queries::tc::tc_datalog;
+
+    #[test]
+    fn trace_matches_untraced_run() {
+        let t = MonotoneBroadcast::new(Box::new(tc_datalog()));
+        let input = path(4);
+        let expected = expected_output(t.query(), &input);
+        let policy = HashPolicy::new(Network::of_size(3));
+        let tn = TransducerNetwork {
+            transducer: &t,
+            policy: &policy,
+            config: SystemConfig::ORIGINAL,
+        };
+        let (result, trace) = traced_run(&tn, &input, 100_000);
+        assert!(result.quiescent);
+        assert_eq!(result.output, expected);
+        // Event bookkeeping is consistent with the metrics.
+        assert_eq!(trace.events.len(), result.metrics.transitions);
+        let traced_sent: usize = trace.events.iter().map(|e| e.sent).sum();
+        assert_eq!(traced_sent, result.metrics.messages_sent);
+        // Output events reconstruct the final output.
+        let mut from_trace = calm_common::instance::Instance::new();
+        for e in trace.output_events() {
+            from_trace.extend(e.new_output.iter().cloned());
+        }
+        assert_eq!(from_trace, result.output);
+        // Rendering produces one line per event.
+        assert_eq!(trace.render().lines().count(), trace.events.len());
+    }
+
+    #[test]
+    fn single_node_trace_is_all_heartbeat_like() {
+        let t = MonotoneBroadcast::new(Box::new(tc_datalog()));
+        let input = path(2);
+        let policy = HashPolicy::new(Network::of_size(1));
+        let tn = TransducerNetwork {
+            transducer: &t,
+            policy: &policy,
+            config: SystemConfig::ORIGINAL,
+        };
+        let (result, trace) = traced_run(&tn, &input, 1000);
+        assert!(result.quiescent);
+        assert!(trace.events.iter().all(|e| e.delivered == 0 && e.sent == 0));
+    }
+}

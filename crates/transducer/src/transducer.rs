@@ -1,0 +1,193 @@
+//! Relational transducers (Section 4.1.2): the per-node program
+//! `Π = (Qout, Qins, Qdel, Qsnd)`.
+
+use crate::schema::TransducerSchema;
+use calm_common::instance::Instance;
+use calm_datalog::eval::{derive_once, Database};
+use calm_datalog::program::Program;
+
+/// The result of one transition's queries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransducerStep {
+    /// `Qout(D)` — new output facts (over `Υout`; output is cumulative).
+    pub out: Instance,
+    /// `Qins(D)` — memory insertions (over `Υmem`).
+    pub ins: Instance,
+    /// `Qdel(D)` — memory deletions (over `Υmem`).
+    pub del: Instance,
+    /// `Qsnd(D)` — messages sent to every other node (over `Υmsg`).
+    pub snd: Instance,
+}
+
+/// A relational transducer: four queries over the combined schema
+/// `Υin ∪ Υout ∪ Υmsg ∪ Υmem ∪ Υsys`.
+///
+/// Implementations may be Datalog programs ([`DatalogTransducer`]) or
+/// native Rust ([`crate::strategy`]) — the formal model only requires
+/// *queries*, i.e. generic deterministic mappings.
+pub trait Transducer: Send + Sync {
+    /// The transducer schema.
+    fn schema(&self) -> &TransducerSchema;
+
+    /// Evaluate the four queries on the visible database `D` of one
+    /// transition.
+    fn step(&self, d: &Instance) -> TransducerStep;
+
+    /// A display name for reports.
+    fn name(&self) -> &str {
+        "transducer"
+    }
+}
+
+/// A transducer whose four queries are (unions of) non-recursive Datalog¬
+/// rule sets, evaluated in one shot over `D`. Rules whose heads are over
+/// `Υout`/`Υmem`/`Υmsg` feed `Qout`/`Qins`/`Qsnd`; deletion rules use
+/// head relations prefixed `del_` (targeting the memory relation after
+/// the prefix).
+pub struct DatalogTransducer {
+    schema: TransducerSchema,
+    name: String,
+    rules: Program,
+}
+
+impl DatalogTransducer {
+    /// Build from a rule set. Head relations must lie in `Υout`, `Υmem`,
+    /// `Υmsg`, or be `del_<mem-relation>`.
+    pub fn new(name: impl Into<String>, schema: TransducerSchema, rules: Program) -> Self {
+        for rule in rules.rules() {
+            let head = rule.head.relation.as_ref();
+            let ok = schema.output.contains(head)
+                || schema.mem.contains(head)
+                || schema.msg.contains(head)
+                || head
+                    .strip_prefix("del_")
+                    .is_some_and(|base| schema.mem.contains(base));
+            assert!(ok, "rule head {head} is not an output/memory/message relation");
+        }
+        DatalogTransducer {
+            schema,
+            name: name.into(),
+            rules,
+        }
+    }
+
+    /// Parse the rule set from Datalog source.
+    ///
+    /// # Errors
+    /// Returns the parser/validation error message.
+    pub fn parse(
+        name: impl Into<String>,
+        schema: TransducerSchema,
+        src: &str,
+    ) -> Result<Self, String> {
+        let rules = calm_datalog::parser::parse_program(src).map_err(|e| e.to_string())?;
+        Ok(DatalogTransducer::new(name, schema, rules))
+    }
+}
+
+impl Transducer for DatalogTransducer {
+    fn schema(&self) -> &TransducerSchema {
+        &self.schema
+    }
+
+    fn step(&self, d: &Instance) -> TransducerStep {
+        let db = Database::from_instance(d);
+        let derived = derive_once(&self.rules, &db).to_instance();
+        let mut step = TransducerStep::default();
+        for f in derived.facts() {
+            let rel = f.relation().as_ref();
+            if self.schema.output.contains(rel) {
+                step.out.insert(f);
+            } else if self.schema.msg.contains(rel) {
+                step.snd.insert(f);
+            } else if self.schema.mem.contains(rel) {
+                step.ins.insert(f);
+            } else if let Some(base) = rel.strip_prefix("del_") {
+                if self.schema.mem.contains(base) {
+                    step.del
+                        .insert(calm_common::fact::Fact::new(base, f.args().to_vec()));
+                }
+            }
+        }
+        step
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calm_common::fact::fact;
+    use calm_common::schema::Schema;
+
+    fn echo_schema() -> TransducerSchema {
+        TransducerSchema::new(
+            Schema::from_pairs([("E", 2)]),
+            Schema::from_pairs([("out_E", 2)]),
+            Schema::from_pairs([("msg_E", 2)]),
+            Schema::from_pairs([("seen", 2)]),
+        )
+    }
+
+    #[test]
+    fn datalog_transducer_routes_heads() {
+        let t = DatalogTransducer::parse(
+            "echo",
+            echo_schema(),
+            "out_E(x,y) :- E(x,y).\n\
+             msg_E(x,y) :- E(x,y).\n\
+             seen(x,y) :- msg_E(x,y).",
+        )
+        .unwrap();
+        let d = Instance::from_facts([fact("E", [1, 2]), fact("msg_E", [3, 4])]);
+        let step = t.step(&d);
+        assert_eq!(step.out, Instance::from_facts([fact("out_E", [1, 2])]));
+        assert_eq!(step.snd, Instance::from_facts([fact("msg_E", [1, 2])]));
+        assert_eq!(step.ins, Instance::from_facts([fact("seen", [3, 4])]));
+        assert!(step.del.is_empty());
+    }
+
+    #[test]
+    fn deletion_rules_use_del_prefix() {
+        let t = DatalogTransducer::parse(
+            "forgetter",
+            echo_schema(),
+            "del_seen(x,y) :- seen(x,y), E(x,y).",
+        )
+        .unwrap();
+        let d = Instance::from_facts([fact("seen", [1, 2]), fact("E", [1, 2])]);
+        let step = t.step(&d);
+        assert_eq!(step.del, Instance::from_facts([fact("seen", [1, 2])]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an output/memory/message")]
+    fn stray_head_rejected() {
+        let rules = calm_datalog::parser::parse_program("Other(x) :- E(x,x).").unwrap();
+        let _ = DatalogTransducer::new("bad", echo_schema(), rules);
+    }
+
+    #[test]
+    fn system_relations_readable() {
+        let t = DatalogTransducer::parse(
+            "id-echo",
+            TransducerSchema::new(
+                Schema::from_pairs([("E", 2)]),
+                Schema::from_pairs([("out_owner", 2)]),
+                Schema::new(),
+                Schema::new(),
+            ),
+            "out_owner(n, x) :- Id(n), E(x, y).",
+        )
+        .unwrap();
+        let d = Instance::from_facts([
+            fact("E", [1, 2]),
+            calm_common::fact::Fact::new("Id", vec![calm_common::value::Value::str("n1")]),
+        ]);
+        let step = t.step(&d);
+        assert_eq!(step.out.relation_len("out_owner"), 1);
+    }
+}

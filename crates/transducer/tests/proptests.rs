@@ -1,0 +1,128 @@
+//! Property tests for the transducer substrate: multiset laws, policy
+//! totality and replication invariants, and the safety restriction on
+//! system facts (Section 4.1.3: `policy_R` only over known values).
+
+use calm_common::fact::{fact, Fact};
+use calm_common::instance::Instance;
+use calm_common::schema::Schema;
+use calm_common::value::v;
+use calm_transducer::system_facts::system_facts;
+use calm_transducer::{
+    distribute, DistributionPolicy, DomainGuidedPolicy, HashPolicy, Multiset, Network,
+    ReplicatedDomainPolicy, SystemConfig,
+};
+use proptest::prelude::*;
+
+fn edge_instance() -> impl Strategy<Value = Instance> {
+    prop::collection::vec((0..6i64, 0..6i64), 0..10)
+        .prop_map(|pairs| Instance::from_facts(pairs.into_iter().map(|(a, b)| fact("E", [a, b]))))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------- Multiset laws ----------
+
+    #[test]
+    fn multiset_insert_remove_roundtrip(items in prop::collection::vec(0..5i64, 0..20)) {
+        let mut m: Multiset<i64> = items.iter().copied().collect();
+        prop_assert_eq!(m.len(), items.len());
+        for x in &items {
+            prop_assert!(m.remove_one(x));
+        }
+        prop_assert!(m.is_empty());
+    }
+
+    #[test]
+    fn multiset_subtract_bounds(a in prop::collection::vec(0..4i64, 0..12),
+                                b in prop::collection::vec(0..4i64, 0..12)) {
+        let mut m: Multiset<i64> = a.iter().copied().collect();
+        let n: Multiset<i64> = b.iter().copied().collect();
+        let before = m.len();
+        m.subtract(&n);
+        prop_assert!(m.len() <= before);
+        // Element-wise: count is max(0, a_count - b_count).
+        for x in 0..4i64 {
+            let expect = a.iter().filter(|&&y| y == x).count()
+                .saturating_sub(b.iter().filter(|&&y| y == x).count());
+            prop_assert_eq!(m.count(&x), expect);
+        }
+    }
+
+    // ---------- Policy invariants ----------
+
+    #[test]
+    fn distribution_covers_every_fact(i in edge_instance(), n in 1usize..5) {
+        let policy = HashPolicy::new(Network::of_size(n));
+        let dist = distribute(&policy, &i);
+        // Every input fact is somewhere; nothing extra appears.
+        let mut union = Instance::new();
+        for part in dist.values() {
+            union.extend(part.facts());
+        }
+        prop_assert_eq!(union, i);
+    }
+
+    #[test]
+    fn domain_guided_owner_holds_all_its_values_facts(i in edge_instance(), n in 1usize..5) {
+        let policy = DomainGuidedPolicy::new(Network::of_size(n));
+        let dist = distribute(&policy, &i);
+        for f in i.facts() {
+            for val in f.values() {
+                for owner in policy.domain_assignment(val) {
+                    prop_assert!(
+                        dist[&owner].contains(&f),
+                        "owner of {val} must hold {f}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_policy_alpha_size(n in 2usize..6, val in 0..100i64) {
+        let k = 2usize.min(n);
+        let policy = ReplicatedDomainPolicy::new(Network::of_size(n), k);
+        prop_assert_eq!(policy.domain_assignment(&v(val)).len(), k);
+    }
+
+    // ---------- System facts safety restriction ----------
+
+    #[test]
+    fn policy_relations_bounded_by_known_values(i in edge_instance()) {
+        // The paper's safety restriction: policy_R tuples range only over
+        // A = N ∪ adom(J).
+        let net = Network::of_size(2);
+        let policy = HashPolicy::new(net.clone());
+        let schema = Schema::from_pairs([("E", 2)]);
+        let x = net.first().clone();
+        let s = system_facts(&x, &net, &schema, &policy, SystemConfig::POLICY_AWARE, &i);
+        let mut allowed = i.adom();
+        allowed.extend(net.nodes().cloned());
+        for t in s.tuples("policy_E") {
+            for val in t {
+                prop_assert!(allowed.contains(val), "{val} outside A");
+            }
+        }
+        // MyAdom is exactly A.
+        let myadom: std::collections::BTreeSet<_> =
+            s.tuples("MyAdom").map(|t| t[0].clone()).collect();
+        prop_assert_eq!(myadom, allowed);
+    }
+
+    #[test]
+    fn policy_truthful_about_assignments(i in edge_instance()) {
+        // Every policy_R(ā) shown to x really is assigned to x, and every
+        // E-tuple over A assigned to x is shown.
+        let net = Network::of_size(3);
+        let policy = HashPolicy::new(net.clone());
+        let schema = Schema::from_pairs([("E", 2)]);
+        for x in net.nodes() {
+            let s = system_facts(x, &net, &schema, &policy, SystemConfig::POLICY_AWARE, &i);
+            for t in s.tuples("policy_E") {
+                let f = Fact::new("E", t.clone());
+                prop_assert!(policy.assign(&f).contains(x));
+            }
+        }
+    }
+}

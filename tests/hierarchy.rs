@@ -1,0 +1,297 @@
+//! Integration test: the full monotonicity hierarchy of Theorem 3.1 /
+//! Figure 1, validated with the paper's separating queries (experiments
+//! E1–E5 of DESIGN.md).
+
+use calm::common::generator::{clique_from, disjoint_triangles, edge, star_from, triangle_from, InstanceRng};
+use calm::common::{is_domain_disjoint, is_domain_distinct, Instance};
+use calm::monotone::{check_pair, Exhaustive, ExtensionKind, Falsifier};
+use calm::prelude::*;
+use calm::queries::{
+    qtc_datalog, tc_datalog, CliqueQuery, DuplicateQuery, StarQuery, TrianglesUnlessTwoDisjoint,
+};
+use rand::Rng;
+
+fn random_graph(seed_src: &mut impl Rng) -> Instance {
+    InstanceRng::seeded(seed_src.gen()).gnp(5, 0.35)
+}
+
+// ---------- E1: M ⊊ Mdistinct ⊊ Mdisjoint ⊊ C ----------
+
+#[test]
+fn e1_tc_consistent_with_m_everywhere() {
+    let tc = tc_datalog();
+    for kind in [
+        ExtensionKind::Any,
+        ExtensionKind::DomainDistinct,
+        ExtensionKind::DomainDisjoint,
+    ] {
+        assert!(
+            Exhaustive::new(kind).certify(&tc).is_none(),
+            "TC must pass exhaustive {kind:?} certification"
+        );
+        assert!(Falsifier::new(kind)
+            .with_trials(150)
+            .falsify(&tc, random_graph)
+            .is_none());
+    }
+}
+
+#[test]
+fn e1_sp_query_separates_m_from_mdistinct() {
+    let q = calm::queries::tc::edges_without_source_loop();
+    // ∉ M: exhaustive search finds a violation with old values.
+    let m_violation = Exhaustive::new(ExtensionKind::Any).certify(&q);
+    assert!(m_violation.is_some());
+    // ∈ Mdistinct: exhaustive certification passes.
+    assert!(Exhaustive::new(ExtensionKind::DomainDistinct)
+        .certify(&q)
+        .is_none());
+    assert!(Exhaustive::new(ExtensionKind::DomainDisjoint)
+        .certify(&q)
+        .is_none());
+}
+
+#[test]
+fn e1_qtc_separates_mdistinct_from_mdisjoint() {
+    let q = qtc_datalog();
+    // ∉ Mdistinct (paper: bridge through a fresh vertex).
+    let distinct_violation = Exhaustive::new(ExtensionKind::DomainDistinct).certify(&q);
+    assert!(distinct_violation.is_some());
+    let violation = distinct_violation.unwrap();
+    assert!(is_domain_distinct(&violation.extension, &violation.base));
+    // ∈ Mdisjoint: exhaustive + randomized certification.
+    assert!(Exhaustive::new(ExtensionKind::DomainDisjoint)
+        .certify(&q)
+        .is_none());
+    assert!(Falsifier::new(ExtensionKind::DomainDisjoint)
+        .with_trials(200)
+        .falsify(&q, random_graph)
+        .is_none());
+}
+
+#[test]
+fn e1_triangle_query_separates_mdisjoint_from_c() {
+    let q = TrianglesUnlessTwoDisjoint::new();
+    // Computable but ∉ Mdisjoint: the explicit witness.
+    let i = triangle_from(0);
+    let j = triangle_from(50);
+    assert!(is_domain_disjoint(&j, &i));
+    let violation = check_pair(&q, &i, &j).expect("disjoint triangle retracts output");
+    assert_eq!(violation.lost.len(), 3);
+}
+
+// ---------- E2: M = Mᵢ ----------
+
+#[test]
+fn e2_single_fact_decomposition_for_unrestricted_extensions() {
+    use calm::monotone::decomposition_stays_admissible;
+    // The structural reason M = M¹: any extension decomposes into
+    // admissible single-fact steps.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    use rand::SeedableRng;
+    for _ in 0..50 {
+        let base = random_graph(&mut rng);
+        let ext = InstanceRng::seeded(rng.gen()).gnp(4, 0.4);
+        assert!(decomposition_stays_admissible(
+            ExtensionKind::Any,
+            &base,
+            &ext
+        ));
+    }
+}
+
+#[test]
+fn e2_bounded_and_unbounded_checks_agree_for_monotone_query() {
+    let tc = tc_datalog();
+    for bound in 1..=3 {
+        assert!(Exhaustive::new(ExtensionKind::Any)
+            .with_bound(bound)
+            .certify(&tc)
+            .is_none());
+    }
+}
+
+// ---------- E3: the Mᵢdistinct ladder ----------
+
+#[test]
+fn e3_clique_queries_separate_bounded_distinct_levels() {
+    // Q^{i+2}_clique ∈ M^i_distinct \ M^{i+1}_distinct.
+    for i in 1..=3usize {
+        let q = CliqueQuery::new(i + 2);
+        let base = clique_from(0, i + 1);
+        // The (i+1)-fact fresh-centre star flips the answer…
+        let star: Instance =
+            Instance::from_facts((0..=i as i64).map(|k| edge(900, k)));
+        assert!(is_domain_distinct(&star, &base));
+        assert_eq!(star.len(), i + 1);
+        assert!(
+            check_pair(&q, &base, &star).is_some(),
+            "i={i}: i+1 distinct facts break Q^{}clique",
+            i + 2
+        );
+        // …but no i-fact distinct extension can (exhaustive over the
+        // paper's shape space: subsets of the star plus arbitrary fresh
+        // edges handled by the randomized falsifier).
+        let f = Falsifier::new(ExtensionKind::DomainDistinct)
+            .with_bound(i)
+            .with_trials(300)
+            .falsify(&q, |_| clique_from(0, i + 1));
+        assert!(f.is_none(), "i={i}: no i-fact distinct witness may exist");
+    }
+}
+
+// ---------- E4: the Mᵢdisjoint ladder ----------
+
+#[test]
+fn e4_star_queries_separate_bounded_disjoint_levels() {
+    // Q^{i+1}_star ∈ M^i_disjoint \ M^{i+1}_disjoint.
+    for i in 1..=3usize {
+        let q = StarQuery::new(i + 1);
+        let base = Instance::from_facts([edge(1, 2)]);
+        let fresh_star = star_from(800, i + 1);
+        assert!(is_domain_disjoint(&fresh_star, &base));
+        assert_eq!(fresh_star.len(), i + 1);
+        assert!(check_pair(&q, &base, &fresh_star).is_some());
+        // ≤ i disjoint facts can never produce an (i+1)-star.
+        let f = Falsifier::new(ExtensionKind::DomainDisjoint)
+            .with_bound(i)
+            .with_trials(300)
+            .falsify(&q, random_graph);
+        assert!(f.is_none());
+    }
+}
+
+// ---------- E5: relations between the bounded families ----------
+
+#[test]
+fn e5_clique_separates_bounded_distinct_from_disjoint() {
+    // Thm 3.1(5): Q^{i+1}_clique ∉ M^i_distinct but ∈ M^i_disjoint.
+    let i = 2usize;
+    let q = CliqueQuery::new(i + 1); // Q^3_clique
+    let base = clique_from(0, i); // a 2-clique (one undirected edge)
+    // i distinct facts complete the 3-clique through a fresh centre.
+    let j = Instance::from_facts([edge(700, 0), edge(700, 1)]);
+    assert!(is_domain_distinct(&j, &base));
+    assert_eq!(j.len(), i);
+    assert!(check_pair(&q, &base, &j).is_some(), "∉ M^2_distinct");
+    // But i disjoint facts cannot build a 3-clique (needs 3 mutual edges).
+    assert!(Falsifier::new(ExtensionKind::DomainDisjoint)
+        .with_bound(i)
+        .with_trials(300)
+        .falsify(&q, random_graph)
+        .is_none());
+}
+
+#[test]
+fn e5_star_witnesses_mjdisjoint_not_in_midistinct() {
+    // Thm 3.1(6): Q^{j+1}_star ∈ M^j_disjoint \ M^i_distinct (one
+    // distinct edge through the old centre suffices).
+    let j = 2usize;
+    let q = StarQuery::new(j + 1);
+    let base = star_from(0, j);
+    let one_edge = Instance::from_facts([edge(0, 600)]);
+    assert!(is_domain_distinct(&one_edge, &base));
+    assert!(check_pair(&q, &base, &one_edge).is_some(), "∉ M^1_distinct");
+    assert!(Falsifier::new(ExtensionKind::DomainDisjoint)
+        .with_bound(j)
+        .with_trials(300)
+        .falsify(&q, random_graph)
+        .is_none());
+}
+
+#[test]
+fn e5_duplicate_witnesses_midistinct_not_in_mjdisjoint() {
+    // Thm 3.1(7): Q^j_duplicate ∈ M^i_distinct (i < j) \ M^j_disjoint.
+    let jp = 3usize;
+    let q = DuplicateQuery::new(jp);
+    let base = Instance::from_facts([fact("R1", [1, 2]), fact("R2", [1, 2])]);
+    let replicate = Instance::from_facts([
+        fact("R1", [500, 501]),
+        fact("R2", [500, 501]),
+        fact("R3", [500, 501]),
+    ]);
+    assert!(is_domain_disjoint(&replicate, &base));
+    assert!(check_pair(&q, &base, &replicate).is_some(), "∉ M^3_disjoint");
+    // i = 2 < j: no 2-fact distinct extension can flip the answer.
+    let f = Falsifier::new(ExtensionKind::DomainDistinct)
+        .with_bound(2)
+        .with_trials(400)
+        .falsify(&q, |r| {
+            let mut i = Instance::new();
+            for rel in ["R1", "R2", "R3"] {
+                for _ in 0..r.gen_range(0..3) {
+                    i.insert(fact(rel, [r.gen_range(0..4i64), r.gen_range(0..4i64)]));
+                }
+            }
+            i
+        });
+    assert!(f.is_none());
+}
+
+// ---------- Lemma 3.2 (E6): H ⊊ Hinj = M ⊊ E = Mdistinct ----------
+
+#[test]
+fn e6_neq_query_separates_h_from_hinj() {
+    use calm::monotone::falsify_homomorphism_preservation;
+    let q = calm::queries::tc::edges_neq();
+    // ∉ H: collapsing homomorphisms kill x≠y outputs.
+    assert!(falsify_homomorphism_preservation(
+        &q,
+        random_graph,
+        false,
+        300,
+        11,
+    )
+    .is_some());
+    // ∈ Hinj: injective renamings preserve everything.
+    assert!(falsify_homomorphism_preservation(
+        &q,
+        random_graph,
+        true,
+        300,
+        12,
+    )
+    .is_none());
+    // ∈ M = Hinj: monotone as well.
+    assert!(Exhaustive::new(ExtensionKind::Any).certify(&q).is_none());
+}
+
+#[test]
+fn e6_extension_preservation_equals_domain_distinct_monotonicity() {
+    use calm::monotone::falsify_extension_preservation;
+    // The SP query is in E = Mdistinct: extension preservation holds.
+    let q = calm::queries::tc::edges_without_source_loop();
+    assert!(
+        falsify_extension_preservation(&q, random_graph, 300, 13).is_none()
+    );
+    // Q_TC is NOT in E (take an induced subinstance missing the bridge).
+    let qtc = qtc_datalog();
+    assert!(
+        falsify_extension_preservation(&qtc, random_graph, 400, 14).is_some()
+    );
+}
+
+#[test]
+fn e6_induced_subinstance_complement_duality() {
+    // The proof of Lemma 3.2: J induced ⊆ I iff I \ J domain-distinct
+    // from J — verified over random instances.
+    use calm::common::is_induced_subinstance;
+    use calm::monotone::preservation::random_induced_subinstance;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    for _ in 0..100 {
+        let i = random_graph(&mut rng);
+        let j = random_induced_subinstance(&i, &mut rng);
+        assert!(is_induced_subinstance(&j, &i));
+        assert!(is_domain_distinct(&i.difference(&j), &j));
+    }
+}
+
+// Cross-check: the triangle query's behaviour on bigger structured inputs.
+#[test]
+fn triangle_query_structured_inputs() {
+    let q = TrianglesUnlessTwoDisjoint::new();
+    assert_eq!(q.eval(&disjoint_triangles(0, 3)), Instance::new());
+    let one = triangle_from(7);
+    assert_eq!(q.eval(&one).len(), 3);
+}

@@ -1,0 +1,203 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! paper's structural invariants: instances, components (Lemma 5.2 /
+//! experiment E13), domain predicates, the Datalog engine, and the
+//! transducer runtime's confluence.
+
+use calm::common::component::{components, is_valid_component_decomposition};
+use calm::common::generator::InstanceRng;
+use calm::common::{
+    fact, is_domain_disjoint, is_domain_distinct, is_induced_subinstance, v, Instance,
+};
+use calm::datalog::eval::{eval_program_with, Engine};
+use calm::datalog::parse_program;
+use calm::monotone::check_distributes_over_components;
+use calm::prelude::*;
+use proptest::prelude::*;
+
+/// A strategy producing small random edge instances.
+fn edge_instance(max_v: i64, max_e: usize) -> impl Strategy<Value = Instance> {
+    prop::collection::vec((0..max_v, 0..max_v), 0..max_e)
+        .prop_map(|pairs| Instance::from_facts(pairs.into_iter().map(|(a, b)| fact("E", [a, b]))))
+}
+
+/// Move-graph instances for win-move properties.
+fn move_instance(max_v: i64, max_e: usize) -> impl Strategy<Value = Instance> {
+    prop::collection::vec((0..max_v, 0..max_v), 0..max_e).prop_map(|pairs| {
+        Instance::from_facts(
+            pairs
+                .into_iter()
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| fact("move", [a, b])),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------- Instance algebra ----------
+
+    #[test]
+    fn union_is_commutative_and_idempotent(a in edge_instance(6, 10), b in edge_instance(6, 10)) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&a), a.clone());
+        prop_assert!(a.is_subset(&a.union(&b)));
+    }
+
+    #[test]
+    fn difference_and_intersection_laws(a in edge_instance(6, 10), b in edge_instance(6, 10)) {
+        let d = a.difference(&b);
+        let i = a.intersection(&b);
+        prop_assert_eq!(d.union(&i), a.clone());
+        prop_assert!(d.intersection(&b).is_empty());
+        prop_assert_eq!(d.len() + i.len(), a.len());
+    }
+
+    #[test]
+    fn adom_is_union_of_fact_adoms(a in edge_instance(8, 12)) {
+        let mut expected = std::collections::BTreeSet::new();
+        for f in a.facts() {
+            expected.extend(f.values().cloned());
+        }
+        prop_assert_eq!(a.adom(), expected);
+    }
+
+    // ---------- Domain predicates ----------
+
+    #[test]
+    fn disjoint_implies_distinct(a in edge_instance(5, 8), shift in 10i64..20) {
+        let b = a.map_values(|val| match val {
+            calm::common::Value::Int(k) => v(k + shift + 10),
+            other => other.clone(),
+        });
+        prop_assert!(is_domain_disjoint(&b, &a));
+        prop_assert!(is_domain_distinct(&b, &a));
+    }
+
+    #[test]
+    fn induced_subinstance_iff_complement_distinct(a in edge_instance(5, 10), keep_mask in any::<u64>()) {
+        // Carve an induced subinstance by keeping a subset of values.
+        let adom: Vec<_> = a.adom().into_iter().collect();
+        let keep: std::collections::BTreeSet<_> = adom
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep_mask >> (i % 64) & 1 == 1)
+            .map(|(_, val)| val.clone())
+            .collect();
+        let j = Instance::from_facts(
+            a.facts().filter(|f| f.values().all(|val| keep.contains(val))),
+        );
+        prop_assert!(is_induced_subinstance(&j, &a));
+        prop_assert!(is_domain_distinct(&a.difference(&j), &j));
+    }
+
+    // ---------- Components (E13 substrate) ----------
+
+    #[test]
+    fn component_decomposition_is_valid(a in edge_instance(8, 14)) {
+        let co = components(&a);
+        prop_assert!(is_valid_component_decomposition(&a, &co));
+        let total: usize = co.iter().map(Instance::len).sum();
+        prop_assert_eq!(total, a.len());
+    }
+
+    #[test]
+    fn components_of_disjoint_union_are_concatenation(
+        a in edge_instance(5, 8),
+        b in edge_instance(5, 8),
+    ) {
+        let b = b.map_values(|val| match val {
+            calm::common::Value::Int(k) => v(k + 100),
+            other => other.clone(),
+        });
+        let mut expected = components(&a);
+        expected.extend(components(&b));
+        expected.sort();
+        prop_assert_eq!(components(&a.union(&b)), expected);
+    }
+
+    // ---------- Lemma 5.2 (E13): con-Datalog¬ distributes over components ----------
+
+    #[test]
+    fn connected_datalog_distributes_over_components(
+        a in edge_instance(5, 8),
+        b in edge_instance(5, 8),
+    ) {
+        let b = b.map_values(|val| match val {
+            calm::common::Value::Int(k) => v(k + 100),
+            other => other.clone(),
+        });
+        let multi = a.union(&b);
+        // TC is connected positive Datalog; P1 is con-Datalog¬ with
+        // stratified negation.
+        let tc = calm::queries::tc_datalog();
+        prop_assert!(check_distributes_over_components(&tc, &multi).is_none());
+        let p1 = calm::queries::example51::p1();
+        prop_assert!(check_distributes_over_components(&p1, &multi).is_none());
+    }
+
+    // ---------- Datalog engine invariants ----------
+
+    #[test]
+    fn naive_and_seminaive_agree(a in edge_instance(6, 12)) {
+        let p = parse_program(
+            "T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).\nS(x) :- T(x,x).",
+        ).unwrap();
+        let (x, _) = eval_program_with(&p, &a, Engine::SemiNaive).unwrap();
+        let (y, _) = eval_program_with(&p, &a, Engine::Naive).unwrap();
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn datalog_queries_are_generic(a in edge_instance(6, 10), mult in 1i64..5, off in 0i64..50) {
+        // Permute the domain with an injective affine map; evaluation
+        // must commute with it.
+        let q = calm::queries::qtc_datalog();
+        let pi = |val: &calm::common::Value| match val {
+            calm::common::Value::Int(k) => v(k * (mult * 2 + 1) + off),
+            other => other.clone(),
+        };
+        let permuted = a.map_values(pi);
+        prop_assert_eq!(q.eval(&a).map_values(pi), q.eval(&permuted));
+    }
+
+    #[test]
+    fn stratified_output_is_deterministic(a in edge_instance(6, 10)) {
+        let q = calm::queries::qtc_datalog();
+        prop_assert_eq!(q.eval(&a), q.eval(&a));
+    }
+
+    // ---------- Well-founded semantics invariants ----------
+
+    #[test]
+    fn wfs_true_subset_possible(g in move_instance(8, 12)) {
+        let p = parse_program("win(x) :- move(x,y), not win(y).").unwrap();
+        let m = calm::datalog::well_founded_model(&p, &g);
+        prop_assert!(m.true_facts.is_subset(&m.possible_facts));
+    }
+
+    #[test]
+    fn wfs_matches_native_game_solver(g in move_instance(8, 12)) {
+        let wfs = calm::queries::win_move();
+        let native = calm::queries::win_move_native();
+        prop_assert_eq!(wfs.eval(&g), native.eval(&g));
+    }
+
+    // ---------- Transducer runtime confluence ----------
+
+    #[test]
+    fn monotone_network_confluent_across_schedules(seed in 0u64..30) {
+        let input = InstanceRng::seeded(seed).gnp(5, 0.3);
+        let t = MonotoneBroadcast::new(Box::new(calm::queries::tc_datalog()));
+        let expected = expected_output(t.query(), &input);
+        let policy = HashPolicy::new(Network::of_size(3));
+        let tn = TransducerNetwork {
+            transducer: &t,
+            policy: &policy,
+            config: SystemConfig::ORIGINAL,
+        };
+        let r = run(&tn, &input, &Scheduler::Random { seed, prefix: 30 }, 100_000);
+        prop_assert!(r.quiescent);
+        prop_assert_eq!(r.output, expected);
+    }
+}
