@@ -2,11 +2,12 @@
 //! transitive closure over structured and random graphs, plus stratified
 //! Q_TC end-to-end.
 
+use calm_bench::harness::{BenchmarkId, Criterion};
 use calm_bench::workloads::{scaling_graph, structured};
+use calm_bench::{criterion_group, criterion_main};
 use calm_common::query::Query;
 use calm_datalog::eval::{eval_program_with, Engine};
 use calm_datalog::parse_program;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn tc_program() -> calm_datalog::Program {
     parse_program("T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).").unwrap()
@@ -24,9 +25,7 @@ fn bench_tc_engines(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("seminaive/{kind}"), n),
                 &input,
-                |b, input| {
-                    b.iter(|| eval_program_with(&p, input, Engine::SemiNaive).unwrap())
-                },
+                |b, input| b.iter(|| eval_program_with(&p, input, Engine::SemiNaive).unwrap()),
             );
             if n > 32 {
                 continue; // naive and unindexed baselines explode past 32
@@ -83,5 +82,10 @@ fn bench_stratified_qtc(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tc_engines, bench_random_graphs, bench_stratified_qtc);
+criterion_group!(
+    benches,
+    bench_tc_engines,
+    bench_random_graphs,
+    bench_stratified_qtc
+);
 criterion_main!(benches);

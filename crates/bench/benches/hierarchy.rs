@@ -1,13 +1,13 @@
 //! E1 bench — cost of the separating queries and of monotonicity
 //! certification (the falsifier machinery itself).
 
+use calm_bench::harness::{BenchmarkId, Criterion};
 use calm_bench::workloads::scaling_graph;
+use calm_bench::{criterion_group, criterion_main};
 use calm_common::generator::InstanceRng;
 use calm_common::query::Query;
 use calm_monotone::{ExtensionKind, Falsifier};
 use calm_queries::{CliqueQuery, StarQuery};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::Rng;
 
 fn bench_separating_queries(c: &mut Criterion) {
     let mut group = c.benchmark_group("separating_queries");
@@ -43,7 +43,7 @@ fn bench_falsifier(c: &mut Criterion) {
             b.iter(|| {
                 Falsifier::new(kind)
                     .with_trials(50)
-                    .falsify(&q, |r| InstanceRng::seeded(r.gen()).gnp(5, 0.35))
+                    .falsify(&q, |r| InstanceRng::seeded(r.gen_u64()).gnp(5, 0.35))
             })
         });
     }

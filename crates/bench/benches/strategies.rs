@@ -1,14 +1,15 @@
 //! E11 — wall-clock cost of the three coordination-free strategies
 //! (§4.3) as network size and input size grow.
 
+use calm_bench::harness::{BenchmarkId, Criterion};
 use calm_bench::workloads::scaling_graph;
+use calm_bench::{criterion_group, criterion_main};
 use calm_queries::qtc::qtc_datalog;
 use calm_queries::tc::{edges_without_source_loop, tc_datalog};
 use calm_transducer::{
     run, DisjointStrategy, DistinctStrategy, DomainGuidedPolicy, HashPolicy, MonotoneBroadcast,
     Network, Scheduler, SystemConfig, TransducerNetwork,
 };
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_monotone_broadcast(c: &mut Criterion) {
     let t = MonotoneBroadcast::new(Box::new(tc_datalog()));

@@ -2,12 +2,13 @@
 //! doubled-program evaluation vs native backward induction on growing
 //! random games.
 
+use calm_bench::harness::{BenchmarkId, Criterion};
 use calm_bench::workloads::scaling_game;
+use calm_bench::{criterion_group, criterion_main};
 use calm_common::query::Query;
 use calm_datalog::parse_program;
 use calm_datalog::wellfounded::{doubled_program, well_founded_model};
 use calm_queries::winmove::win_move_native;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_wfs(c: &mut Criterion) {
     let p = parse_program("win(x) :- move(x,y), not win(y).").unwrap();
@@ -27,9 +28,11 @@ fn bench_wfs(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("doubled_program", n), &game, |b, game| {
             b.iter(|| d.eval(game))
         });
-        group.bench_with_input(BenchmarkId::new("backward_induction", n), &game, |b, game| {
-            b.iter(|| native.eval(game))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("backward_induction", n),
+            &game,
+            |b, game| b.iter(|| native.eval(game)),
+        );
     }
     group.finish();
 }

@@ -2,15 +2,16 @@
 
 use crate::report::{markdown_table, Report};
 use calm_common::generator::{triangle_from, InstanceRng};
+use calm_common::query::Query;
 use calm_common::{fact, is_domain_disjoint, Instance};
 use calm_datalog::fragment::{classify, semicon_split};
 use calm_datalog::DatalogQuery;
 use calm_ilog::{classify_ilog, eval_ilog_query, is_weakly_safe, IlogProgram, Limits};
-use calm_common::query::Query;
-use calm_monotone::{check_distributes_over_components, check_pair, Exhaustive, ExtensionKind, Falsifier};
+use calm_monotone::{
+    check_distributes_over_components, check_pair, Exhaustive, ExtensionKind, Falsifier,
+};
 use calm_queries::example51::{p1, p2, P1_SRC, P2_SRC};
 use calm_queries::qtc::QTC_SRC;
-use rand::Rng;
 
 /// E12: Example 5.1 — `P1 ∈ con-Datalog¬ \ Mdistinct`, `P2` not
 /// semi-connected (and not in `Mdisjoint`).
@@ -34,25 +35,39 @@ pub fn e12_example51() -> Report {
     let disjoint_clean = Exhaustive::new(ExtensionKind::DomainDisjoint)
         .certify(&q1)
         .is_none();
-    r.claim("P1 ∈ Mdisjoint (Thm 5.3 on con ⊆ semicon)", "exhaustive certification", disjoint_clean);
+    r.claim(
+        "P1 ∈ Mdisjoint (Thm 5.3 on con ⊆ semicon)",
+        "exhaustive certification",
+        disjoint_clean,
+    );
 
     let rep2 = classify(p2().program());
     r.claim(
         "P2 stratifiable but not semicon-Datalog¬",
-        format!("stratifiable={}, semicon={}", rep2.stratifiable, rep2.semi_connected),
+        format!(
+            "stratifiable={}, semicon={}",
+            rep2.stratifiable, rep2.semi_connected
+        ),
         rep2.stratifiable && !rep2.semi_connected,
     );
     let q2 = p2();
     let t0 = triangle_from(0);
     let t1 = triangle_from(100);
     let p2_breaks = is_domain_disjoint(&t1, &t0) && check_pair(&q2, &t0, &t1).is_some();
-    r.claim("P2's query ∉ Mdisjoint", "disjoint-triangle witness", p2_breaks);
+    r.claim(
+        "P2's query ∉ Mdisjoint",
+        "disjoint-triangle witness",
+        p2_breaks,
+    );
     r
 }
 
 /// E13: Lemma 5.2 — con-Datalog¬ queries distribute over components.
 pub fn e13_components() -> Report {
-    let mut r = Report::new("E13", "Lemma 5.2 — con-Datalog¬ distributes over components");
+    let mut r = Report::new(
+        "E13",
+        "Lemma 5.2 — con-Datalog¬ distributes over components",
+    );
     let con_queries: Vec<(&str, DatalogQuery)> = vec![
         ("TC", calm_queries::tc::tc_datalog()),
         ("P1", p1()),
@@ -65,17 +80,18 @@ pub fn e13_components() -> Report {
             .unwrap(),
         ),
     ];
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let mut rng = calm_common::rng::Rng::seed_from_u64(13);
     for (name, q) in &con_queries {
         assert!(classify(q.program()).connected, "{name} must be connected");
         let mut ok = true;
         for _ in 0..60 {
-            let a = InstanceRng::seeded(rng.gen()).gnp(4, 0.4);
-            let b = InstanceRng::seeded(rng.gen()).gnp(4, 0.4).map_values(|v| match v {
-                calm_common::value::Value::Int(k) => calm_common::v(k + 100),
-                other => other.clone(),
-            });
+            let a = InstanceRng::seeded(rng.gen_u64()).gnp(4, 0.4);
+            let b = InstanceRng::seeded(rng.gen_u64())
+                .gnp(4, 0.4)
+                .map_values(|v| match v {
+                    calm_common::value::Value::Int(k) => calm_common::v(k + 100),
+                    other => other.clone(),
+                });
             if check_distributes_over_components(q, &a.union(&b)).is_some() {
                 ok = false;
             }
@@ -124,12 +140,16 @@ pub fn e14_semicon() -> Report {
             .is_none()
             && Falsifier::new(ExtensionKind::DomainDisjoint)
                 .with_trials(120)
-                .falsify(&q, |r| InstanceRng::seeded(r.gen()).gnp(4, 0.4))
+                .falsify(&q, |r| InstanceRng::seeded(r.gen_u64()).gnp(4, 0.4))
                 .is_none();
         rows.push(vec![
             name.to_string(),
             rep.semi_connected.to_string(),
-            if clean { "clean".into() } else { "VIOLATED".into() },
+            if clean {
+                "clean".into()
+            } else {
+                "VIOLATED".into()
+            },
         ]);
         r.claim(
             format!("{name} ∈ semicon-Datalog¬ and disjoint-monotone"),
@@ -137,7 +157,10 @@ pub fn e14_semicon() -> Report {
             rep.semi_connected && clean,
         );
     }
-    r.table(markdown_table(&["program", "semicon?", "Mdisjoint check"], &rows));
+    r.table(markdown_table(
+        &["program", "semicon?", "Mdisjoint check"],
+        &rows,
+    ));
 
     // Contrast row: P2 is not semicon and violates disjoint monotonicity.
     let q2 = DatalogQuery::parse("P2", P2_SRC).unwrap();
@@ -175,7 +198,11 @@ pub fn e15_wilog() -> Report {
     let mut input = calm_common::generator::path(3);
     input.insert(fact("E", [1, 1]));
     let battery = [
-        ("safe-pairs", "@output O.\nPair(*, x, y) :- E(x, y).\nO(x, y) :- Pair(p, x, y).", true),
+        (
+            "safe-pairs",
+            "@output O.\nPair(*, x, y) :- E(x, y).\nO(x, y) :- Pair(p, x, y).",
+            true,
+        ),
         ("leaky", "@output R.\nR(*, x) :- E(x, x).", false),
     ];
     for (name, src, safe) in battery {
@@ -222,8 +249,8 @@ pub fn e15_wilog() -> Report {
     );
     // Invention produces one fresh Herbrand value per context.
     let p = IlogProgram::parse("Pair(*, x, y) :- E(x, y).").unwrap();
-    let full = calm_ilog::eval_ilog(&p, &calm_common::generator::path(5), Limits::default())
-        .unwrap();
+    let full =
+        calm_ilog::eval_ilog(&p, &calm_common::generator::path(5), Limits::default()).unwrap();
     let ids: std::collections::BTreeSet<_> = full.tuples("Pair").map(|t| t[0].clone()).collect();
     r.claim(
         "one invented Skolem value per derivation context",

@@ -11,10 +11,9 @@ use calm_queries::example51;
 use calm_queries::qtc::qtc_datalog;
 use calm_queries::tc::{edges_neq, edges_without_source_loop, tc_datalog};
 use calm_queries::{CliqueQuery, DuplicateQuery, StarQuery, TrianglesUnlessTwoDisjoint};
-use rand::Rng;
 
-fn random_graph(r: &mut impl Rng) -> Instance {
-    InstanceRng::seeded(r.gen()).gnp(5, 0.35)
+fn random_graph(r: &mut calm_common::rng::Rng) -> Instance {
+    InstanceRng::seeded(r.gen_u64()).gnp(5, 0.35)
 }
 
 /// Classify one query against the three unbounded classes; returns
@@ -37,7 +36,10 @@ pub fn classify_query(q: &dyn Query) -> (bool, bool, bool) {
 
 /// E1: the spine `M ⊊ Mdistinct ⊊ Mdisjoint ⊊ C` with one query per gap.
 pub fn e1_hierarchy() -> Report {
-    let mut r = Report::new("E1", "Theorem 3.1(1) / Figure 1 — M ⊊ Mdistinct ⊊ Mdisjoint ⊊ C");
+    let mut r = Report::new(
+        "E1",
+        "Theorem 3.1(1) / Figure 1 — M ⊊ Mdistinct ⊊ Mdisjoint ⊊ C",
+    );
     let mut rows = Vec::new();
     let mut record = |name: &str, q: &dyn Query, expect: (bool, bool, bool)| -> bool {
         let got = classify_query(q);
@@ -74,10 +76,26 @@ pub fn e1_hierarchy() -> Report {
         fmt_mem(!tri_witness),
     ]);
     let tri_ok = tri_witness;
-    r.claim("TC ∈ M", "no violation in exhaustive+randomized search", tc_ok);
-    r.claim("SP query ∈ Mdistinct \\ M", "witness in M, clean in Mdistinct", sp_ok);
-    r.claim("Q_TC ∈ Mdisjoint \\ Mdistinct", "witness in Mdistinct, clean in Mdisjoint", qtc_ok);
-    r.claim("triangle query ∈ C \\ Mdisjoint", "witness in Mdisjoint", tri_ok);
+    r.claim(
+        "TC ∈ M",
+        "no violation in exhaustive+randomized search",
+        tc_ok,
+    );
+    r.claim(
+        "SP query ∈ Mdistinct \\ M",
+        "witness in M, clean in Mdistinct",
+        sp_ok,
+    );
+    r.claim(
+        "Q_TC ∈ Mdisjoint \\ Mdistinct",
+        "witness in Mdistinct, clean in Mdisjoint",
+        qtc_ok,
+    );
+    r.claim(
+        "triangle query ∈ C \\ Mdisjoint",
+        "witness in Mdisjoint",
+        tri_ok,
+    );
     r.table(markdown_table(
         &["query", "M", "Mdistinct", "Mdisjoint"],
         &rows,
@@ -86,7 +104,11 @@ pub fn e1_hierarchy() -> Report {
 }
 
 fn fmt_mem(clean: bool) -> String {
-    if clean { "∈ (no violation)".into() } else { "∉ (witness)".into() }
+    if clean {
+        "∈ (no violation)".into()
+    } else {
+        "∉ (witness)".into()
+    }
 }
 
 /// E2: `M = Mᵢ` — single-fact decomposition always admissible; bounded
@@ -94,12 +116,11 @@ fn fmt_mem(clean: bool) -> String {
 pub fn e2_bounded_m() -> Report {
     let mut r = Report::new("E2", "Theorem 3.1(2) — M = Mᵢ for every i");
     use calm_monotone::decomposition_stays_admissible;
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut rng = calm_common::rng::Rng::seed_from_u64(2);
     let mut ok = true;
     for _ in 0..200 {
         let base = random_graph(&mut rng);
-        let ext = InstanceRng::seeded(rng.gen()).gnp(4, 0.4);
+        let ext = InstanceRng::seeded(rng.gen_u64()).gnp(4, 0.4);
         if !decomposition_stays_admissible(ExtensionKind::Any, &base, &ext) {
             ok = false;
         }
@@ -116,7 +137,11 @@ pub fn e2_bounded_m() -> Report {
             .certify(&tc)
             .is_none()
     });
-    r.claim("TC passes M¹, M², M³ exhaustively", "bounds 1..3", bounded_ok);
+    r.claim(
+        "TC passes M¹, M², M³ exhaustively",
+        "bounds 1..3",
+        bounded_ok,
+    );
     r
 }
 
@@ -140,11 +165,23 @@ pub fn e3_clique_ladder() -> Report {
         rows.push(vec![
             format!("Q^{}_clique", i + 2),
             format!("{i}"),
-            if survives { "clean".into() } else { "violated!".into() },
-            if breaks { "witness".into() } else { "missing!".into() },
+            if survives {
+                "clean".into()
+            } else {
+                "violated!".into()
+            },
+            if breaks {
+                "witness".into()
+            } else {
+                "missing!".into()
+            },
         ]);
         r.claim(
-            format!("Q^{}_clique ∈ M^{i}_distinct \\ M^{}_distinct", i + 2, i + 1),
+            format!(
+                "Q^{}_clique ∈ M^{i}_distinct \\ M^{}_distinct",
+                i + 2,
+                i + 1
+            ),
             "fresh-centre star witness; bounded falsifier clean",
             breaks && survives,
         );
@@ -176,8 +213,16 @@ pub fn e4_star_ladder() -> Report {
         rows.push(vec![
             format!("Q^{}_star", i + 1),
             format!("{i}"),
-            if survives { "clean".into() } else { "violated!".into() },
-            if breaks { "witness".into() } else { "missing!".into() },
+            if survives {
+                "clean".into()
+            } else {
+                "violated!".into()
+            },
+            if breaks {
+                "witness".into()
+            } else {
+                "missing!".into()
+            },
         ]);
         r.claim(
             format!("Q^{}_star ∈ M^{i}_disjoint \\ M^{}_disjoint", i + 1, i + 1),
@@ -206,7 +251,11 @@ pub fn e5_cross() -> Report {
         .with_trials(250)
         .falsify(&q, random_graph)
         .is_none();
-    r.claim("Q^3_clique ∈ M²_disjoint \\ M²_distinct", "star-completion witness", breaks && clean);
+    r.claim(
+        "Q^3_clique ∈ M²_disjoint \\ M²_distinct",
+        "star-completion witness",
+        breaks && clean,
+    );
 
     // (6) Q^{j+1}_star ∈ Mʲdisjoint \ Mᵢdistinct.
     let jp = 2usize;
@@ -219,7 +268,11 @@ pub fn e5_cross() -> Report {
         .with_trials(250)
         .falsify(&q, random_graph)
         .is_none();
-    r.claim("Q^3_star ∈ M²_disjoint \\ M¹_distinct", "single-spoke witness", breaks && clean);
+    r.claim(
+        "Q^3_star ∈ M²_disjoint \\ M¹_distinct",
+        "single-spoke witness",
+        breaks && clean,
+    );
 
     // (7) Q^j_duplicate ∈ Mᵢdistinct \ Mʲdisjoint.
     let q = DuplicateQuery::new(3);
@@ -256,32 +309,51 @@ pub fn e6_preservation() -> Report {
     use calm_monotone::{falsify_extension_preservation, falsify_homomorphism_preservation};
     let mut r = Report::new("E6", "Lemma 3.2 — H ⊊ Hinj = M ⊊ E = Mdistinct");
     let neq = edges_neq();
-    let h_broken =
-        falsify_homomorphism_preservation(&neq, random_graph, false, 250, 61).is_some();
-    let hinj_clean =
-        falsify_homomorphism_preservation(&neq, random_graph, true, 250, 62).is_none();
+    let h_broken = falsify_homomorphism_preservation(&neq, random_graph, false, 250, 61).is_some();
+    let hinj_clean = falsify_homomorphism_preservation(&neq, random_graph, true, 250, 62).is_none();
     let m_clean = Exhaustive::new(ExtensionKind::Any).certify(&neq).is_none();
-    r.claim("E(x,y)∧x≠y ∈ Hinj \\ H", "collapse witness; injective clean", h_broken && hinj_clean);
+    r.claim(
+        "E(x,y)∧x≠y ∈ Hinj \\ H",
+        "collapse witness; injective clean",
+        h_broken && hinj_clean,
+    );
     r.claim("and ∈ M (= Hinj)", "exhaustive M certification", m_clean);
 
     let sp = edges_without_source_loop();
     let e_clean = falsify_extension_preservation(&sp, random_graph, 250, 63).is_none();
     let m_broken = Exhaustive::new(ExtensionKind::Any).certify(&sp).is_some();
-    r.claim("SP query ∈ E \\ M", "extension-preservation clean, M witness", e_clean && m_broken);
+    r.claim(
+        "SP query ∈ E \\ M",
+        "extension-preservation clean, M witness",
+        e_clean && m_broken,
+    );
 
     let qtc = qtc_datalog();
     let e_broken = falsify_extension_preservation(&qtc, random_graph, 400, 64).is_some();
-    r.claim("Q_TC ∉ E (= Mdistinct)", "induced-subinstance witness", e_broken);
+    r.claim(
+        "Q_TC ∉ E (= Mdistinct)",
+        "induced-subinstance witness",
+        e_broken,
+    );
 
     // P1 of Example 5.1 sits in Mdisjoint \ E.
     let p1 = example51::p1();
-    let p1_e_broken = falsify_extension_preservation(&p1, |r| {
-        // Bias towards triangle-bearing graphs so subinstances lose them.
-        let mut g = random_graph(r);
-        g.extend(triangle_from(0).facts());
-        g
-    }, 200, 65)
+    let p1_e_broken = falsify_extension_preservation(
+        &p1,
+        |r| {
+            // Bias towards triangle-bearing graphs so subinstances lose them.
+            let mut g = random_graph(r);
+            g.extend(triangle_from(0).facts());
+            g
+        },
+        200,
+        65,
+    )
     .is_some();
-    r.claim("P1 ∉ E but ∈ Mdisjoint", "triangle-loss witness", p1_e_broken);
+    r.claim(
+        "P1 ∉ E but ∈ Mdisjoint",
+        "triangle-loss witness",
+        p1_e_broken,
+    );
     r
 }

@@ -12,7 +12,9 @@ use crate::report::Report;
 
 pub use engine::e18_engine;
 pub use fragments::{e12_example51, e13_components, e14_semicon, e15_wilog};
-pub use hierarchy::{e1_hierarchy, e2_bounded_m, e3_clique_ladder, e4_star_ladder, e5_cross, e6_preservation};
+pub use hierarchy::{
+    e1_hierarchy, e2_bounded_m, e3_clique_ladder, e4_star_ladder, e5_cross, e6_preservation,
+};
 pub use policies::e7_policies;
 pub use strategies::{e10_no_all, e11_strategy_costs, e8_distinct_model, e9_disjoint_model};
 pub use winmove::e16_winmove;

@@ -6,13 +6,16 @@ use calm_common::value::v;
 use calm_common::{fact, Instance, Schema};
 use calm_transducer::system_facts::system_facts;
 use calm_transducer::{
-    distribute, DistributionPolicy, Network, ParityDomainGuidedPolicy,
-    ParityFirstAttributePolicy, SystemConfig,
+    distribute, DistributionPolicy, Network, ParityDomainGuidedPolicy, ParityFirstAttributePolicy,
+    SystemConfig,
 };
 
 /// E7: reproduce the distributions and system facts of Examples 4.1/4.2.
 pub fn e7_policies() -> Report {
-    let mut r = Report::new("E7", "Examples 4.1 & 4.2 — policies, domain guidance, system facts");
+    let mut r = Report::new(
+        "E7",
+        "Examples 4.1 & 4.2 — policies, domain guidance, system facts",
+    );
     let net = Network::from_nodes([v(1), v(2)]);
     let input = Instance::from_facts([fact("E", [1, 3]), fact("E", [3, 4]), fact("E", [4, 6])]);
 
@@ -57,11 +60,15 @@ pub fn e7_policies() -> Report {
         &d1[&v(1)],
     );
     let myadom_ok = s.relation_len("MyAdom") == 4
-        && [1i64, 2, 3, 4].iter().all(|&a| s.contains_tuple("MyAdom", &[v(a)]));
-    let policy_ok = s.relation_len("policy_E") == 8
-        && [1i64, 3]
+        && [1i64, 2, 3, 4]
             .iter()
-            .all(|&a| [1i64, 2, 3, 4].iter().all(|&b| s.contains_tuple("policy_E", &[v(a), v(b)])));
+            .all(|&a| s.contains_tuple("MyAdom", &[v(a)]));
+    let policy_ok = s.relation_len("policy_E") == 8
+        && [1i64, 3].iter().all(|&a| {
+            [1i64, 2, 3, 4]
+                .iter()
+                .all(|&b| s.contains_tuple("policy_E", &[v(a), v(b)]))
+        });
     r.claim(
         "node 1 sees Id(1), All(1), All(2), MyAdom{1,2,3,4}, policy_E(a,b) a∈{1,3}",
         "8 policy facts, 4 MyAdom facts",

@@ -10,15 +10,18 @@ use calm_queries::qtc::qtc_datalog;
 use calm_queries::tc::{edges_without_source_loop, tc_datalog};
 use calm_queries::winmove::win_move;
 use calm_transducer::{
-    expected_output, heartbeat_witness, run, verify_computes, DisjointStrategy,
-    DistinctStrategy, DistributionPolicy, DomainGuidedPolicy, HashPolicy, MonotoneBroadcast,
-    Network, OverridePolicy, Scheduler, SystemConfig, TransducerNetwork,
+    compile_monotone_program, expected_output, heartbeat_witness, run, verify_computes,
+    DisjointStrategy, DistinctStrategy, DistributionPolicy, DomainGuidedPolicy, HashPolicy,
+    MonotoneBroadcast, Network, OverridePolicy, Scheduler, SystemConfig, TransducerNetwork,
 };
 
 fn schedulers() -> Vec<Scheduler> {
     vec![
         Scheduler::RoundRobin,
-        Scheduler::Random { seed: 71, prefix: 50 },
+        Scheduler::Random {
+            seed: 71,
+            prefix: 50,
+        },
     ]
 }
 
@@ -142,14 +145,20 @@ pub fn e9_disjoint_model() -> Report {
 /// E10: Theorem 4.5 / Corollary 4.6 — removing `All` changes nothing for
 /// the strategies (which never read it).
 pub fn e10_no_all() -> Report {
-    let mut r = Report::new("E10", "Theorem 4.5 & Cor 4.6 — the All-free models A0/A1/A2");
+    let mut r = Report::new(
+        "E10",
+        "Theorem 4.5 & Cor 4.6 — the All-free models A0/A1/A2",
+    );
     // A1: distinct strategy.
     let t = DistinctStrategy::new(Box::new(edges_without_source_loop()));
     let mut input = path(3);
     input.insert(fact("E", [0, 0]));
     let expected = expected_output(t.query(), &input);
     let mut outs = Vec::new();
-    for config in [SystemConfig::POLICY_AWARE, SystemConfig::POLICY_AWARE_NO_ALL] {
+    for config in [
+        SystemConfig::POLICY_AWARE,
+        SystemConfig::POLICY_AWARE_NO_ALL,
+    ] {
         let policy = HashPolicy::new(Network::of_size(3));
         let tn = TransducerNetwork {
             transducer: &t,
@@ -171,7 +180,10 @@ pub fn e10_no_all() -> Report {
     let game = chain_game(0, 4);
     let expected = expected_output(t.query(), &game);
     let mut ok = true;
-    for config in [SystemConfig::POLICY_AWARE, SystemConfig::POLICY_AWARE_NO_ALL] {
+    for config in [
+        SystemConfig::POLICY_AWARE,
+        SystemConfig::POLICY_AWARE_NO_ALL,
+    ] {
         let policy = DomainGuidedPolicy::new(Network::of_size(3));
         let tn = TransducerNetwork {
             transducer: &t,
@@ -183,7 +195,11 @@ pub fn e10_no_all() -> Report {
             ok = false;
         }
     }
-    r.claim("A2: disjoint strategy identical with and without All", "win-move", ok);
+    r.claim(
+        "A2: disjoint strategy identical with and without All",
+        "win-move",
+        ok,
+    );
 
     // A0/oblivious: monotone strategy with no system relations at all.
     let t = MonotoneBroadcast::new(Box::new(tc_datalog()));
@@ -258,6 +274,23 @@ pub fn e11_strategy_costs() -> Report {
             };
             let rj = run(&tn, &input, &Scheduler::RoundRobin, 2_000_000);
             push_cost_row(&mut rows, "Mdisjoint/request-OK (Q_TC)", vertices, n, &rj);
+
+            // The declaratively-compiled broadcast transducer runs the
+            // Datalog engine every transition — its run metrics carry the
+            // engine-level counters (derivations, index probes/hits).
+            let p = calm_datalog::parse_program(
+                "@output T.\nT(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).",
+            )
+            .unwrap();
+            let c = compile_monotone_program("net-tc", &p).unwrap();
+            let policy = HashPolicy::new(Network::of_size(n));
+            let tn = TransducerNetwork {
+                transducer: &c,
+                policy: &policy,
+                config: SystemConfig::ORIGINAL,
+            };
+            let rc = run(&tn, &input, &Scheduler::RoundRobin, 2_000_000);
+            push_cost_row(&mut rows, "declarative/net-compiled (TC)", vertices, n, &rc);
         }
     }
     r.table(markdown_table(
@@ -268,6 +301,8 @@ pub fn e11_strategy_costs() -> Report {
             "transitions",
             "msgs sent",
             "msgs delivered",
+            "engine derivations",
+            "engine probes/hits",
             "first output at",
             "quiescent",
         ],
@@ -300,6 +335,17 @@ fn push_cost_row(
     n: usize,
     rr: &calm_transducer::RunResult,
 ) {
+    // Native Rust strategies bypass the Datalog engine: their engine
+    // counters are structurally zero, shown as "-".
+    let eval = &rr.metrics.eval;
+    let (derivations, probes) = if *eval == Default::default() {
+        ("-".to_string(), "-".to_string())
+    } else {
+        (
+            eval.derivations.to_string(),
+            format!("{}/{}", eval.index_probes, eval.index_hits),
+        )
+    };
     rows.push(vec![
         name.to_string(),
         vertices.to_string(),
@@ -307,6 +353,8 @@ fn push_cost_row(
         rr.metrics.transitions.to_string(),
         rr.metrics.messages_sent.to_string(),
         rr.metrics.messages_delivered.to_string(),
+        derivations,
+        probes,
         rr.metrics
             .first_output_at
             .map_or("-".into(), |k| k.to_string()),

@@ -10,11 +10,13 @@ use calm_datalog::wellfounded::doubled_program;
 use calm_datalog::{parse_program, well_founded_model};
 use calm_monotone::{check_pair, Exhaustive, ExtensionKind, Falsifier};
 use calm_queries::winmove::{win_move, win_move_native};
-use rand::Rng;
 
 /// E16: win-move correctness, the doubled program, and class membership.
 pub fn e16_winmove() -> Report {
-    let mut r = Report::new("E16", "win-move under WFS — Mdisjoint \\ Mdistinct (Section 7, [32])");
+    let mut r = Report::new(
+        "E16",
+        "win-move under WFS — Mdisjoint \\ Mdistinct (Section 7, [32])",
+    );
 
     // WFS = backward induction on many random games.
     let wfs = win_move();
@@ -56,7 +58,10 @@ pub fn e16_winmove() -> Report {
     r.claim(
         "doubled program ≡ alternating fixpoint, and both sides connected & semi-positive",
         "15 random games",
-        doubled_ok && connected && d.true_side.is_semi_positive() && d.possible_side.is_semi_positive(),
+        doubled_ok
+            && connected
+            && d.true_side.is_semi_positive()
+            && d.possible_side.is_semi_positive(),
     );
 
     // Class membership.
@@ -67,15 +72,23 @@ pub fn e16_winmove() -> Report {
         && Exhaustive::new(ExtensionKind::DomainDistinct)
             .certify(&wfs)
             .is_some();
-    r.claim("win-move ∉ Mdistinct", "paper-style single-move witness + exhaustive", not_distinct);
+    r.claim(
+        "win-move ∉ Mdistinct",
+        "paper-style single-move witness + exhaustive",
+        not_distinct,
+    );
     let disjoint_clean = Exhaustive::new(ExtensionKind::DomainDisjoint)
         .certify(&wfs)
         .is_none()
         && Falsifier::new(ExtensionKind::DomainDisjoint)
             .with_trials(150)
-            .falsify(&wfs, |r| scaling_game(r.gen(), 8, 2))
+            .falsify(&wfs, |r| scaling_game(r.gen_u64(), 8, 2))
             .is_none();
-    r.claim("win-move ∈ Mdisjoint", "exhaustive + randomized certification", disjoint_clean);
+    r.claim(
+        "win-move ∈ Mdisjoint",
+        "exhaustive + randomized certification",
+        disjoint_clean,
+    );
 
     // Three-valued structure table.
     let mut rows = Vec::new();
@@ -93,6 +106,9 @@ pub fn e16_winmove() -> Report {
             m.is_total().to_string(),
         ]);
     }
-    r.table(markdown_table(&["game", "won", "drawn", "total model?"], &rows));
+    r.table(markdown_table(
+        &["game", "won", "drawn", "total model?"],
+        &rows,
+    ));
     r
 }

@@ -1,0 +1,282 @@
+//! A minimal, dependency-free benchmark harness.
+//!
+//! Mirrors the slice of the Criterion API the workspace benches use
+//! (`Criterion`, `benchmark_group`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`), so benches read idiomatically
+//! while building fully offline. Timing is wall-clock with a warm-up
+//! phase and per-sample auto-calibrated iteration counts; results print
+//! the median, mean, and min over the collected samples.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle, passed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<Sample>,
+}
+
+/// One benchmark's aggregated measurement.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Full benchmark path, `group/function/param`.
+    pub name: String,
+    /// Median time per iteration.
+    pub median: Duration,
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Number of samples collected.
+    pub samples: usize,
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+
+    /// All measurements collected so far.
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+
+    /// Print a closing one-line-per-benchmark summary (machine-greppable).
+    pub fn final_summary(&self) {
+        println!("\n== summary ({} benchmarks) ==", self.results.len());
+        for s in &self.results {
+            println!(
+                "{:<50} median {:>12} mean {:>12} min {:>12}",
+                s.name,
+                fmt_duration(s.median),
+                fmt_duration(s.mean),
+                fmt_duration(s.min),
+            );
+        }
+    }
+}
+
+/// A benchmark identifier: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Benchmark a closure over a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.warm_up_time, self.measurement_time, self.sample_size);
+        f(&mut b, input);
+        self.record(id, b);
+    }
+
+    /// Benchmark a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.warm_up_time, self.measurement_time, self.sample_size);
+        f(&mut b);
+        self.record(id, b);
+    }
+
+    fn record(&mut self, id: BenchmarkId, b: Bencher) {
+        let sample = b.finish(format!("{}/{}", self.name, id.id));
+        println!(
+            "{:<50} median {:>12} ({} samples)",
+            sample.name,
+            fmt_duration(sample.median),
+            sample.samples
+        );
+        self.criterion.results.push(sample);
+    }
+
+    /// Close the group (kept for API parity; prints nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+/// The per-benchmark measurement driver handed to `b.iter(..)` closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    target_samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measurement: Duration, target_samples: usize) -> Self {
+        Bencher {
+            warm_up,
+            measurement,
+            target_samples,
+            times: Vec::new(),
+        }
+    }
+
+    /// Measure the closure: warm up, auto-calibrate the per-sample
+    /// iteration count, then collect timed samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up, also estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters;
+        // Aim each sample at ~1/sample_size of the measurement budget.
+        let sample_budget = self.measurement / self.target_samples as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1
+        } else {
+            (sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u32
+        };
+        let run_start = Instant::now();
+        while self.times.len() < self.target_samples && run_start.elapsed() < self.measurement {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            self.times.push(t0.elapsed() / iters_per_sample);
+        }
+        if self.times.is_empty() {
+            let t0 = Instant::now();
+            black_box(f());
+            self.times.push(t0.elapsed());
+        }
+    }
+
+    fn finish(mut self, name: String) -> Sample {
+        self.times.sort_unstable();
+        let samples = self.times.len();
+        let median = self.times[samples / 2];
+        let min = self.times[0];
+        let total: Duration = self.times.iter().sum();
+        Sample {
+            name,
+            median,
+            mean: total / samples as u32,
+            min,
+            samples,
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Group bench functions into a single runner, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($fun:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $($fun(c);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($group:ident) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::default();
+            $group(&mut c);
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3)
+                .measurement_time(Duration::from_millis(30))
+                .warm_up_time(Duration::from_millis(5));
+            g.bench_with_input(BenchmarkId::new("f", 1), &7u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.bench_function(BenchmarkId::from_parameter("x"), |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].name, "g/f/1");
+        assert!(c.results()[0].samples >= 1);
+        assert!(c.results()[0].min <= c.results()[0].median);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

@@ -2,8 +2,8 @@
 //!
 //! The experiment harness: regenerates every figure and claim of the
 //! paper (the `repro` binary, experiments E1–E17 of DESIGN.md) and hosts
-//! the Criterion benchmarks (`datalog_eval`, `strategies`, `wellfounded`,
-//! `hierarchy`).
+//! the wall-clock benchmarks (`datalog_eval`, `strategies`, `wellfounded`,
+//! `hierarchy`) on the in-repo [`harness`].
 //!
 //! The paper is a theory paper — its "evaluation" is Figure 1 (the
 //! monotonicity hierarchy), Figure 2 (the class/fragment/model diagram)
@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod report;
 pub mod workloads;
 

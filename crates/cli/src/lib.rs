@@ -25,9 +25,9 @@ use calm_datalog::fragment::classify;
 use calm_datalog::{parse_facts, parse_program, DatalogQuery, Program};
 use calm_monotone::{Exhaustive, ExtensionKind, Falsifier};
 use calm_transducer::{
-    expected_output, run, DisjointStrategy, DistinctStrategy, DomainGuidedPolicy, HashPolicy,
-    DistributionPolicy, MonotoneBroadcast, Network, Scheduler, SystemConfig, Transducer,
-    TransducerNetwork,
+    expected_output, run, DisjointStrategy, DistinctStrategy, DistributionPolicy,
+    DomainGuidedPolicy, HashPolicy, MonotoneBroadcast, Network, Scheduler, SystemConfig,
+    Transducer, TransducerNetwork,
 };
 use std::fmt::Write as _;
 
@@ -62,8 +62,8 @@ pub fn load_facts(src: &str) -> Result<Instance, CliError> {
 pub fn cmd_eval(program_src: &str, facts_src: &str) -> Result<String, CliError> {
     let p = load_program(program_src)?;
     let input = load_facts(facts_src)?;
-    let answer = calm_datalog::eval::eval_query(&p, &input)
-        .map_err(|e| err(format!("evaluation: {e}")))?;
+    let answer =
+        calm_datalog::eval::eval_query(&p, &input).map_err(|e| err(format!("evaluation: {e}")))?;
     Ok(render_instance(&answer))
 }
 
@@ -137,21 +137,30 @@ pub fn cmd_check(program_src: &str, class: &str, trials: usize) -> Result<String
     let kind = parse_class(class)?;
     let mut out = String::new();
     if let Some(v) = Exhaustive::new(kind).certify(&q) {
-        let _ = writeln!(out, "NOT in {}: counterexample found", kind.class_name(None));
+        let _ = writeln!(
+            out,
+            "NOT in {}: counterexample found",
+            kind.class_name(None)
+        );
         let _ = writeln!(out, "  I = {:?}", v.base);
         let _ = writeln!(out, "  J = {:?}", v.extension);
         let _ = writeln!(out, "  lost = {:?}", v.lost);
         return Ok(out);
     }
     let schema = q.input_schema().clone();
-    let hit = Falsifier::new(kind).with_trials(trials).falsify(&q, move |rng| {
-        use rand::Rng;
-        let mut r = calm_common::generator::InstanceRng::seeded(rng.gen());
-        r.random_instance(&schema, 4, 5)
-    });
+    let hit = Falsifier::new(kind)
+        .with_trials(trials)
+        .falsify(&q, move |rng| {
+            let mut r = calm_common::generator::InstanceRng::seeded(rng.gen_u64());
+            r.random_instance(&schema, 4, 5)
+        });
     match hit {
         Some(v) => {
-            let _ = writeln!(out, "NOT in {}: counterexample found", kind.class_name(None));
+            let _ = writeln!(
+                out,
+                "NOT in {}: counterexample found",
+                kind.class_name(None)
+            );
             let _ = writeln!(out, "  I = {:?}", v.base);
             let _ = writeln!(out, "  J = {:?}", v.extension);
             let _ = writeln!(out, "  lost = {:?}", v.lost);
@@ -242,7 +251,8 @@ pub fn cmd_simulate_opts(
         result.metrics.transitions, result.metrics.messages_sent, result.metrics.messages_delivered
     );
     // Compare against the centralized answer.
-    let q2 = DatalogQuery::new("query", load_program(program_src)?).map_err(|e| err(e.to_string()))?;
+    let q2 =
+        DatalogQuery::new("query", load_program(program_src)?).map_err(|e| err(e.to_string()))?;
     let expected = expected_output(&q2, &input);
     let _ = writeln!(
         out,
@@ -341,9 +351,15 @@ mod tests {
     #[test]
     fn simulate_matches_centralized() {
         let out = cmd_simulate(TC, FACTS, 3, "monotone").unwrap();
-        assert!(out.contains("% matches centralized evaluation: true"), "{out}");
+        assert!(
+            out.contains("% matches centralized evaluation: true"),
+            "{out}"
+        );
         let out = cmd_simulate(QTC, FACTS, 2, "disjoint").unwrap();
-        assert!(out.contains("% matches centralized evaluation: true"), "{out}");
+        assert!(
+            out.contains("% matches centralized evaluation: true"),
+            "{out}"
+        );
     }
 
     #[test]

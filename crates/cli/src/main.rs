@@ -42,7 +42,10 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
             let p = one_file(args)?;
             let class = flag_value(args, "--class").unwrap_or("m");
             let trials: usize = flag_value(args, "--trials")
-                .map(|t| t.parse().map_err(|_| CliError("--trials must be a number".into())))
+                .map(|t| {
+                    t.parse()
+                        .map_err(|_| CliError("--trials must be a number".into()))
+                })
                 .transpose()?
                 .unwrap_or(200);
             cmd_check(&read(p)?, class, trials)
@@ -50,7 +53,10 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
         "simulate" => {
             let (p, f) = two_files(args)?;
             let nodes: usize = flag_value(args, "--nodes")
-                .map(|n| n.parse().map_err(|_| CliError("--nodes must be a number".into())))
+                .map(|n| {
+                    n.parse()
+                        .map_err(|_| CliError("--nodes must be a number".into()))
+                })
                 .transpose()?
                 .unwrap_or(3);
             let strategy = flag_value(args, "--strategy").unwrap_or("monotone");

@@ -36,7 +36,11 @@ pub fn cycle_game(base: i64, n: usize) -> Instance {
 /// No — `a`'s only move goes to the won position `b`, so `a` is lost. All
 /// three positions are *determined* despite the cycle.
 pub fn cycle_with_escape(base: i64) -> Instance {
-    Instance::from_facts([mv(base, base + 1), mv(base + 1, base), mv(base + 1, base + 2)])
+    Instance::from_facts([
+        mv(base, base + 1),
+        mv(base + 1, base),
+        mv(base + 1, base + 2),
+    ])
 }
 
 #[cfg(test)]

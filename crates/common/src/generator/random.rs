@@ -2,23 +2,21 @@
 
 use crate::fact::{fact, Fact};
 use crate::instance::Instance;
+use crate::rng::Rng;
 use crate::value::{v, Value};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
-/// A seeded random generator for instances. Thin wrapper over [`StdRng`]
-/// so that every experiment records a single `u64` seed.
+/// A seeded random generator for instances. Thin wrapper over
+/// [`crate::rng::Rng`] so that every experiment records a single `u64` seed.
 #[derive(Debug)]
 pub struct InstanceRng {
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl InstanceRng {
     /// Create a generator from a seed.
     pub fn seeded(seed: u64) -> Self {
         InstanceRng {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 
@@ -44,7 +42,7 @@ impl InstanceRng {
             .flat_map(|a| (0..n).filter_map(move |b| (a != b).then_some((a, b))))
             .collect();
         assert!(m <= pairs.len(), "requested more edges than pairs exist");
-        pairs.shuffle(&mut self.rng);
+        self.rng.shuffle(&mut pairs);
         Instance::from_facts(pairs.into_iter().take(m).map(|(a, b)| fact("E", [a, b])))
     }
 
@@ -76,8 +74,9 @@ impl InstanceRng {
         let mut i = Instance::new();
         for (name, arity) in schema.iter() {
             for _ in 0..per {
-                let tuple: Vec<Value> =
-                    (0..arity).map(|_| v(self.rng.gen_range(0..universe))).collect();
+                let tuple: Vec<Value> = (0..arity)
+                    .map(|_| v(self.rng.gen_range(0..universe)))
+                    .collect();
                 i.insert_tuple(name, tuple);
             }
         }
@@ -87,13 +86,13 @@ impl InstanceRng {
     /// Pick `k` random facts out of an instance (without replacement).
     pub fn sample_facts(&mut self, i: &Instance, k: usize) -> Vec<Fact> {
         let mut all: Vec<Fact> = i.facts().collect();
-        all.shuffle(&mut self.rng);
+        self.rng.shuffle(&mut all);
         all.truncate(k);
         all
     }
 
     /// Direct access to the underlying RNG for ad-hoc draws.
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut Rng {
         &mut self.rng
     }
 }

@@ -150,8 +150,11 @@ impl Instance {
                 .iter()
                 .filter_map(|(r, tuples)| {
                     let arity = schema.arity(r)?;
-                    let kept: BTreeSet<Tuple> =
-                        tuples.iter().filter(|t| t.len() == arity).cloned().collect();
+                    let kept: BTreeSet<Tuple> = tuples
+                        .iter()
+                        .filter(|t| t.len() == arity)
+                        .cloned()
+                        .collect();
                     if kept.is_empty() {
                         None
                     } else {
@@ -205,8 +208,7 @@ impl Instance {
                 .iter()
                 .filter_map(|(r, tuples)| {
                     let theirs = other.relations.get(r)?;
-                    let kept: BTreeSet<Tuple> =
-                        tuples.intersection(theirs).cloned().collect();
+                    let kept: BTreeSet<Tuple> = tuples.intersection(theirs).cloned().collect();
                     if kept.is_empty() {
                         None
                     } else {
@@ -315,7 +317,9 @@ mod tests {
         let d = abc().adom();
         assert_eq!(
             d,
-            [v(1), v(2), v(3), v(9)].into_iter().collect::<BTreeSet<_>>()
+            [v(1), v(2), v(3), v(9)]
+                .into_iter()
+                .collect::<BTreeSet<_>>()
         );
     }
 

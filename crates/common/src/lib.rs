@@ -18,7 +18,9 @@ pub mod generator;
 pub mod homomorphism;
 pub mod instance;
 pub mod query;
+pub mod rng;
 pub mod schema;
+pub mod storage;
 pub mod value;
 
 pub use component::{component_count, components};

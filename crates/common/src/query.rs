@@ -112,10 +112,7 @@ mod tests {
             |i: &Instance| {
                 let mut out = Instance::new();
                 for f in i.facts() {
-                    out.insert(fact(
-                        "O",
-                        [f.args()[0].clone(), f.args()[1].clone()],
-                    ));
+                    out.insert(fact("O", [f.args()[0].clone(), f.args()[1].clone()]));
                 }
                 // Also emit junk outside the output schema; it must be
                 // filtered away.

@@ -33,7 +33,10 @@ impl fmt::Display for SchemaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SchemaError::NullaryRelation(r) => {
-                write!(f, "relation {r} has arity 0; nullary relations are not supported")
+                write!(
+                    f,
+                    "relation {r} has arity 0; nullary relations are not supported"
+                )
             }
             SchemaError::ArityConflict {
                 relation,

@@ -1,0 +1,638 @@
+//! The shared evaluation substrate: symbol interning and indexed,
+//! delta-tracked relation storage.
+//!
+//! Every evaluation path in the workspace — the stratified Datalog¬
+//! engine, the well-founded alternating fixpoint, ILOG¬ Herbrand
+//! evaluation and the transducer simulator — runs over the two types in
+//! this module:
+//!
+//! * [`SymbolTable`] interns relation names to [`RelId`] and domain
+//!   values to [`Sym`], both plain `u32`s. Hot joins compare and hash
+//!   `Copy` integers instead of cloning [`RelName`]s and [`Value`]s;
+//!   conversion back to the deterministic [`Instance`] boundary happens
+//!   only at the edges. Tables are shared between stores through
+//!   [`SharedSymbols`] so that facts from different stores (e.g. the
+//!   under- and over-approximations of the alternating fixpoint, or a
+//!   transducer's persistent scratch state) stay directly comparable.
+//!
+//! * [`Storage`] maps each [`RelId`] to a [`Relation`]: a deduplicated,
+//!   insertion-ordered row vector with per-column hash indexes that are
+//!   built once ([`Relation::ensure_index`]) and *maintained
+//!   incrementally on every insert* — the semi-naive loop never
+//!   rebuilds an index. A per-relation `delta_start` watermark exposes
+//!   the rows added since the last [`Storage::mark_deltas`] call as the
+//!   semi-naive delta, with no second store and no copying. `Storage`
+//!   also keeps a running fact counter, making [`Storage::len`] and
+//!   [`Storage::is_empty`] O(1).
+//!
+//! [`EvalMetrics`] is the engine-level counter block threaded from the
+//! innermost join loop up to benchmark and experiment reports: fixpoint
+//! iterations, derivations, index probes/hits and bytes moved into
+//! storage.
+
+use crate::fact::{rel, RelName};
+use crate::instance::Instance;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// An interned relation name: index into a [`SymbolTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u32);
+
+/// An interned domain value: index into a [`SymbolTable`].
+///
+/// Equality of `Sym`s is equality of the underlying [`Value`]s *within
+/// one table*; ordering follows interning order, not value order, so
+/// deterministic output ordering is restored at the [`Instance`] edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub u32);
+
+/// A tuple of interned values — the row type of [`Relation`].
+pub type SymTuple = Vec<Sym>;
+
+/// Bidirectional interner for relation names and domain values.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    rel_names: Vec<RelName>,
+    rel_ids: HashMap<RelName, RelId>,
+    values: Vec<Value>,
+    value_ids: HashMap<Value, Sym>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Intern a relation name.
+    pub fn rel(&mut self, name: &str) -> RelId {
+        if let Some(&id) = self.rel_ids.get(name) {
+            return id;
+        }
+        let id = RelId(self.rel_names.len() as u32);
+        let name = rel(name);
+        self.rel_names.push(name.clone());
+        self.rel_ids.insert(name, id);
+        id
+    }
+
+    /// Look up a relation name without interning it.
+    pub fn lookup_rel(&self, name: &str) -> Option<RelId> {
+        self.rel_ids.get(name).copied()
+    }
+
+    /// The name of an interned relation.
+    pub fn rel_name(&self, id: RelId) -> &RelName {
+        &self.rel_names[id.0 as usize]
+    }
+
+    /// Number of interned relation names.
+    pub fn rel_count(&self) -> usize {
+        self.rel_names.len()
+    }
+
+    /// Intern a value.
+    pub fn sym(&mut self, v: &Value) -> Sym {
+        if let Some(&s) = self.value_ids.get(v) {
+            return s;
+        }
+        let s = Sym(self.values.len() as u32);
+        self.values.push(v.clone());
+        self.value_ids.insert(v.clone(), s);
+        s
+    }
+
+    /// Look up a value without interning it.
+    pub fn lookup_sym(&self, v: &Value) -> Option<Sym> {
+        self.value_ids.get(v).copied()
+    }
+
+    /// The value behind an interned symbol.
+    pub fn value(&self, s: Sym) -> &Value {
+        &self.values[s.0 as usize]
+    }
+
+    /// Number of interned values.
+    pub fn sym_count(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// A clonable handle to a [`SymbolTable`] shared by several stores.
+///
+/// Interning only happens at the edges (loading instances, compiling
+/// rule constants, emitting invented values); the hot join loops
+/// operate on [`Sym`]s without touching the table, so the lock is
+/// uncontended in practice.
+#[derive(Debug, Clone, Default)]
+pub struct SharedSymbols(Arc<RwLock<SymbolTable>>);
+
+impl SharedSymbols {
+    /// A handle to a fresh, empty table.
+    pub fn new() -> Self {
+        SharedSymbols::default()
+    }
+
+    /// Read access to the table.
+    pub fn read(&self) -> RwLockReadGuard<'_, SymbolTable> {
+        self.0.read().expect("symbol table poisoned")
+    }
+
+    /// Write (interning) access to the table.
+    pub fn write(&self) -> RwLockWriteGuard<'_, SymbolTable> {
+        self.0.write().expect("symbol table poisoned")
+    }
+
+    /// Whether two handles refer to the same underlying table (required
+    /// for comparing or copying [`Sym`]-level data across stores).
+    pub fn same_table(&self, other: &SharedSymbols) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// One relation's rows: deduplicated, in insertion order, with
+/// incrementally maintained per-column indexes and a delta watermark.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    rows: Vec<SymTuple>,
+    seen: HashSet<SymTuple>,
+    /// `indexes[col]`, when built, maps a symbol to the ids of the rows
+    /// whose `col`-th component is that symbol.
+    indexes: Vec<Option<HashMap<Sym, Vec<u32>>>>,
+    delta_start: usize,
+}
+
+impl Relation {
+    /// Insert a row; returns `true` when new. Every built index is
+    /// updated in place — indexes never need rebuilding.
+    pub fn insert(&mut self, t: SymTuple) -> bool {
+        if self.seen.contains(&t) {
+            return false;
+        }
+        let row_id = self.rows.len() as u32;
+        for (col, index) in self.indexes.iter_mut().enumerate() {
+            if let (Some(map), Some(&s)) = (index.as_mut(), t.get(col)) {
+                map.entry(s).or_default().push(row_id);
+            }
+        }
+        self.seen.insert(t.clone());
+        self.rows.push(t);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &[Sym]) -> bool {
+        self.seen.contains(t)
+    }
+
+    /// All rows, in insertion order.
+    pub fn rows(&self) -> &[SymTuple] {
+        &self.rows
+    }
+
+    /// The rows inserted since the last [`Relation::mark_delta`].
+    pub fn delta_rows(&self) -> &[SymTuple] {
+        &self.rows[self.delta_start.min(self.rows.len())..]
+    }
+
+    /// Row id of the start of the delta region.
+    pub fn delta_start(&self) -> usize {
+        self.delta_start
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Move the delta watermark to the current end: rows inserted from
+    /// now on form the next delta.
+    pub fn mark_delta(&mut self) {
+        self.delta_start = self.rows.len();
+    }
+
+    /// Build the index for a column if it does not exist yet (existing
+    /// rows are indexed immediately; later inserts maintain it).
+    pub fn ensure_index(&mut self, col: usize) {
+        if self.indexes.len() <= col {
+            self.indexes.resize_with(col + 1, || None);
+        }
+        if self.indexes[col].is_some() {
+            return;
+        }
+        let mut map: HashMap<Sym, Vec<u32>> = HashMap::new();
+        for (row_id, t) in self.rows.iter().enumerate() {
+            if let Some(&s) = t.get(col) {
+                map.entry(s).or_default().push(row_id as u32);
+            }
+        }
+        self.indexes[col] = Some(map);
+    }
+
+    /// Probe the column index: ids of the rows matching `s` at `col`.
+    /// `None` when no index was built for that column (caller falls
+    /// back to a scan).
+    pub fn probe(&self, col: usize, s: Sym) -> Option<&[u32]> {
+        let map = self.indexes.get(col)?.as_ref()?;
+        Some(map.get(&s).map_or(&[][..], Vec::as_slice))
+    }
+
+    /// The row with the given id.
+    pub fn row(&self, id: u32) -> &SymTuple {
+        &self.rows[id as usize]
+    }
+
+    /// Remove all rows, keeping allocations (row vector, membership set
+    /// and index maps stay warm for reuse).
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.seen.clear();
+        self.delta_start = 0;
+        for index in self.indexes.iter_mut().flatten() {
+            index.clear();
+        }
+    }
+}
+
+/// A store of relations keyed by [`RelId`], with an O(1) fact counter.
+#[derive(Debug, Clone, Default)]
+pub struct Storage {
+    rels: Vec<Relation>,
+    count: usize,
+}
+
+impl Storage {
+    /// An empty store.
+    pub fn new() -> Self {
+        Storage::default()
+    }
+
+    /// The relation, if any rows or indexes were ever recorded for it.
+    pub fn relation(&self, r: RelId) -> Option<&Relation> {
+        self.rels.get(r.0 as usize)
+    }
+
+    /// The relation, created empty on demand.
+    pub fn relation_mut(&mut self, r: RelId) -> &mut Relation {
+        let i = r.0 as usize;
+        if self.rels.len() <= i {
+            self.rels.resize_with(i + 1, Relation::default);
+        }
+        &mut self.rels[i]
+    }
+
+    /// Insert a row; returns `true` when new.
+    pub fn insert(&mut self, r: RelId, t: SymTuple) -> bool {
+        let new = self.relation_mut(r).insert(t);
+        if new {
+            self.count += 1;
+        }
+        new
+    }
+
+    /// Membership test.
+    pub fn contains(&self, r: RelId, t: &[Sym]) -> bool {
+        self.relation(r).is_some_and(|rel| rel.contains(t))
+    }
+
+    /// Total number of facts — O(1), maintained on insert.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the store holds no facts — O(1).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The ids of all relations ever touched.
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.rels.len() as u32).map(RelId)
+    }
+
+    /// Move every relation's delta watermark to its current end.
+    pub fn mark_deltas(&mut self) {
+        for rel in &mut self.rels {
+            rel.mark_delta();
+        }
+    }
+
+    /// Whether any relation has rows past its delta watermark.
+    pub fn any_delta(&self) -> bool {
+        self.rels.iter().any(|r| !r.delta_rows().is_empty())
+    }
+
+    /// Whether two stores (over the *same* symbol table) hold the same
+    /// facts, ignoring insertion order.
+    pub fn same_facts(&self, other: &Storage) -> bool {
+        if self.count != other.count {
+            return false;
+        }
+        let max = self.rels.len().max(other.rels.len());
+        for i in 0..max {
+            let a_len = self.rels.get(i).map_or(0, Relation::len);
+            let b_len = other.rels.get(i).map_or(0, Relation::len);
+            if a_len != b_len {
+                return false;
+            }
+            if a_len == 0 {
+                continue;
+            }
+            if !self.rels[i].rows.iter().all(|t| other.rels[i].contains(t)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Remove all facts, keeping allocations warm (see
+    /// [`Relation::clear`]).
+    pub fn clear(&mut self) {
+        for rel in &mut self.rels {
+            rel.clear();
+        }
+        self.count = 0;
+    }
+}
+
+/// Engine-level counters for one evaluation run, threaded from the
+/// innermost join loop up to benchmark and experiment reports.
+///
+/// Extends the former `FixpointStats` (iterations / derivations / new
+/// facts) with index and data-movement counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalMetrics {
+    /// Number of fixpoint iterations until stability.
+    pub iterations: usize,
+    /// Total number of (not necessarily new) facts derived.
+    pub derivations: usize,
+    /// Number of new facts added to the store.
+    pub new_facts: usize,
+    /// Number of hash-index probes issued by the join loop.
+    pub index_probes: usize,
+    /// Total number of candidate rows returned by index probes.
+    pub index_hits: usize,
+    /// Bytes of tuple data moved into storage by successful inserts.
+    pub bytes_moved: usize,
+}
+
+impl EvalMetrics {
+    /// Accumulate another run's counters into this one.
+    pub fn merge(&mut self, other: &EvalMetrics) {
+        self.iterations += other.iterations;
+        self.derivations += other.derivations;
+        self.new_facts += other.new_facts;
+        self.index_probes += other.index_probes;
+        self.index_hits += other.index_hits;
+        self.bytes_moved += other.bytes_moved;
+    }
+}
+
+/// Intern an [`Instance`] into a store (the loading edge of the
+/// substrate).
+pub fn load_instance(i: &Instance, symbols: &SharedSymbols, storage: &mut Storage) {
+    let mut table = symbols.write();
+    for name in i.relation_names() {
+        let r = table.rel(name);
+        for t in i.tuples(name) {
+            let row: SymTuple = t.iter().map(|v| table.sym(v)).collect();
+            storage.insert(r, row);
+        }
+    }
+}
+
+/// Read a store back out as a deterministic [`Instance`] (the output
+/// edge).
+pub fn store_to_instance(storage: &Storage, symbols: &SharedSymbols) -> Instance {
+    let table = symbols.read();
+    let mut out = Instance::new();
+    for r in storage.rel_ids() {
+        let Some(relation) = storage.relation(r) else {
+            continue;
+        };
+        if relation.is_empty() {
+            continue;
+        }
+        let name = table.rel_name(r);
+        for row in relation.rows() {
+            out.insert_tuple(name, row.iter().map(|&s| table.value(s).clone()).collect());
+        }
+    }
+    out
+}
+
+/// Read only the relations of `schema` back out (name and arity both
+/// matching, as in [`Instance::restrict`]) — the "evaluate, then restrict
+/// to the output schema" edge without uninterning rows that are
+/// immediately dropped again.
+pub fn store_to_instance_restricted(
+    storage: &Storage,
+    symbols: &SharedSymbols,
+    schema: &Schema,
+) -> Instance {
+    let table = symbols.read();
+    let mut out = Instance::new();
+    for r in storage.rel_ids() {
+        let Some(relation) = storage.relation(r) else {
+            continue;
+        };
+        if relation.is_empty() {
+            continue;
+        }
+        let name = table.rel_name(r);
+        let Some(arity) = schema.arity(name) else {
+            continue;
+        };
+        for row in relation.rows() {
+            if row.len() != arity {
+                continue;
+            }
+            out.insert_tuple(name, row.iter().map(|&s| table.value(s).clone()).collect());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::fact;
+    use crate::value::v;
+
+    fn syms(table: &mut SymbolTable, vals: &[i64]) -> SymTuple {
+        vals.iter().map(|&k| table.sym(&v(k))).collect()
+    }
+
+    #[test]
+    fn interning_is_stable_and_bijective() {
+        let mut t = SymbolTable::new();
+        let e1 = t.rel("E");
+        let f = t.rel("F");
+        assert_eq!(t.rel("E"), e1);
+        assert_ne!(e1, f);
+        assert_eq!(t.rel_name(e1).as_ref(), "E");
+        let a = t.sym(&v(7));
+        let b = t.sym(&v(8));
+        assert_eq!(t.sym(&v(7)), a);
+        assert_ne!(a, b);
+        assert_eq!(t.value(b), &v(8));
+        assert_eq!(t.lookup_sym(&v(9)), None);
+        assert_eq!(t.lookup_rel("G"), None);
+        assert_eq!(t.rel_count(), 2);
+        assert_eq!(t.sym_count(), 2);
+    }
+
+    #[test]
+    fn relation_insert_dedups_and_orders() {
+        let mut t = SymbolTable::new();
+        let mut r = Relation::default();
+        assert!(r.insert(syms(&mut t, &[1, 2])));
+        assert!(r.insert(syms(&mut t, &[2, 3])));
+        assert!(!r.insert(syms(&mut t, &[1, 2])));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&syms(&mut t, &[2, 3])));
+        assert_eq!(r.rows()[0], syms(&mut t, &[1, 2]));
+    }
+
+    #[test]
+    fn indexes_maintained_on_insert() {
+        let mut t = SymbolTable::new();
+        let mut r = Relation::default();
+        r.insert(syms(&mut t, &[1, 2]));
+        r.ensure_index(0);
+        // Existing rows are indexed...
+        let s1 = t.sym(&v(1));
+        assert_eq!(r.probe(0, s1), Some(&[0u32][..]));
+        // ...and later inserts keep the index current without a rebuild.
+        r.insert(syms(&mut t, &[1, 3]));
+        r.insert(syms(&mut t, &[4, 5]));
+        assert_eq!(r.probe(0, s1), Some(&[0u32, 1][..]));
+        let s4 = t.sym(&v(4));
+        assert_eq!(r.probe(0, s4), Some(&[2u32][..]));
+        // Unindexed column reports no index.
+        assert_eq!(r.probe(1, s1), None);
+        // Probing a missing key hits the empty slice, not None.
+        let s9 = t.sym(&v(9));
+        assert_eq!(r.probe(0, s9), Some(&[][..]));
+    }
+
+    #[test]
+    fn delta_watermarks() {
+        let mut t = SymbolTable::new();
+        let mut st = Storage::new();
+        let e = t.rel("E");
+        st.insert(e, syms(&mut t, &[1, 2]));
+        st.mark_deltas();
+        assert!(!st.any_delta());
+        st.insert(e, syms(&mut t, &[2, 3]));
+        st.insert(e, syms(&mut t, &[3, 4]));
+        assert!(st.any_delta());
+        let rel = st.relation(e).unwrap();
+        assert_eq!(rel.delta_rows().len(), 2);
+        assert_eq!(rel.rows().len(), 3);
+        st.mark_deltas();
+        assert!(st.relation(e).unwrap().delta_rows().is_empty());
+    }
+
+    #[test]
+    fn storage_len_is_running_counter() {
+        let mut t = SymbolTable::new();
+        let mut st = Storage::new();
+        assert!(st.is_empty());
+        let e = t.rel("E");
+        let f = t.rel("F");
+        st.insert(e, syms(&mut t, &[1, 2]));
+        st.insert(e, syms(&mut t, &[1, 2])); // duplicate
+        st.insert(f, syms(&mut t, &[7]));
+        assert_eq!(st.len(), 2);
+        assert!(!st.is_empty());
+        st.clear();
+        assert!(st.is_empty());
+        assert_eq!(st.len(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_indexes_usable() {
+        let mut t = SymbolTable::new();
+        let mut st = Storage::new();
+        let e = t.rel("E");
+        st.relation_mut(e).ensure_index(0);
+        st.insert(e, syms(&mut t, &[1, 2]));
+        st.clear();
+        st.insert(e, syms(&mut t, &[3, 4]));
+        let s3 = t.sym(&v(3));
+        assert_eq!(st.relation(e).unwrap().probe(0, s3), Some(&[0u32][..]));
+        let s1 = t.sym(&v(1));
+        assert_eq!(st.relation(e).unwrap().probe(0, s1), Some(&[][..]));
+    }
+
+    #[test]
+    fn same_facts_ignores_insertion_order() {
+        let mut t = SymbolTable::new();
+        let e = t.rel("E");
+        let mut a = Storage::new();
+        let mut b = Storage::new();
+        a.insert(e, syms(&mut t, &[1, 2]));
+        a.insert(e, syms(&mut t, &[2, 3]));
+        b.insert(e, syms(&mut t, &[2, 3]));
+        assert!(!a.same_facts(&b));
+        b.insert(e, syms(&mut t, &[1, 2]));
+        assert!(a.same_facts(&b));
+        assert!(b.same_facts(&a));
+    }
+
+    #[test]
+    fn instance_round_trip() {
+        let symbols = SharedSymbols::new();
+        let mut st = Storage::new();
+        let i = Instance::from_facts([fact("E", [1, 2]), fact("E", [2, 3]), fact("V", [9])]);
+        load_instance(&i, &symbols, &mut st);
+        assert_eq!(st.len(), 3);
+        assert_eq!(store_to_instance(&st, &symbols), i);
+    }
+
+    #[test]
+    fn shared_symbols_are_shared() {
+        let a = SharedSymbols::new();
+        let b = a.clone();
+        let c = SharedSymbols::new();
+        assert!(a.same_table(&b));
+        assert!(!a.same_table(&c));
+        let e = a.write().rel("E");
+        assert_eq!(b.read().lookup_rel("E"), Some(e));
+    }
+
+    #[test]
+    fn metrics_merge_sums_everything() {
+        let mut m = EvalMetrics {
+            iterations: 1,
+            derivations: 10,
+            new_facts: 5,
+            index_probes: 7,
+            index_hits: 6,
+            bytes_moved: 40,
+        };
+        m.merge(&EvalMetrics {
+            iterations: 2,
+            derivations: 1,
+            new_facts: 1,
+            index_probes: 1,
+            index_hits: 1,
+            bytes_moved: 8,
+        });
+        assert_eq!(m.iterations, 3);
+        assert_eq!(m.derivations, 11);
+        assert_eq!(m.new_facts, 6);
+        assert_eq!(m.index_probes, 8);
+        assert_eq!(m.index_hits, 7);
+        assert_eq!(m.bytes_moved, 48);
+    }
+}

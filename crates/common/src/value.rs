@@ -41,12 +41,7 @@ impl SkolemTerm {
     /// The nesting depth of this term (a term with no Skolem arguments has
     /// depth 1). Used to bound Herbrand evaluation (divergence cutoff).
     pub fn depth(&self) -> usize {
-        1 + self
-            .args
-            .iter()
-            .map(Value::skolem_depth)
-            .max()
-            .unwrap_or(0)
+        1 + self.args.iter().map(Value::skolem_depth).max().unwrap_or(0)
     }
 }
 

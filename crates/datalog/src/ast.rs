@@ -139,7 +139,9 @@ impl Atom {
     /// position (the ILOG¬ well-formedness condition for invention atoms).
     pub fn is_invention_atom(&self) -> bool {
         matches!(self.terms.first(), Some(Term::Invention))
-            && self.terms[1..].iter().all(|t| !matches!(t, Term::Invention))
+            && self.terms[1..]
+                .iter()
+                .all(|t| !matches!(t, Term::Invention))
     }
 }
 

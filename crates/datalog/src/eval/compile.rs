@@ -1,17 +1,17 @@
-//! Rule compilation: variables are numbered into dense slots so that rule
-//! matching works over a flat `Vec<Option<Value>>` binding instead of a
-//! name-keyed map.
+//! Rule compilation: variables are numbered into dense slots and every
+//! relation name / constant is interned, so that rule matching works over
+//! a flat `Vec<Option<Sym>>` binding with `Copy` u32 comparisons instead
+//! of a name-keyed map of cloned values.
 
 use crate::ast::{Rule, Term, Var};
-use calm_common::fact::RelName;
-use calm_common::value::Value;
+use calm_common::storage::{RelId, Sym, SymbolTable};
 use std::collections::BTreeMap;
 
-/// A compiled term: either a constant or a variable slot index.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A compiled term: either an interned constant or a variable slot index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Slot {
-    /// A constant value that must match exactly.
-    Const(Value),
+    /// A constant (interned) that must match exactly.
+    Const(Sym),
     /// A variable slot (index into the binding vector).
     Var(usize),
 }
@@ -19,8 +19,8 @@ pub enum Slot {
 /// A compiled atom.
 #[derive(Debug, Clone)]
 pub struct CompiledAtom {
-    /// Relation to scan.
-    pub relation: RelName,
+    /// Interned relation to scan.
+    pub relation: RelId,
     /// Per-position slots.
     pub slots: Vec<Slot>,
     /// The first position guaranteed bound when this atom is evaluated in
@@ -29,7 +29,8 @@ pub struct CompiledAtom {
     pub probe: Option<usize>,
 }
 
-/// A rule compiled for evaluation.
+/// A rule compiled for evaluation (against the symbol table it was
+/// compiled with).
 #[derive(Debug, Clone)]
 pub struct CompiledRule {
     /// Number of variable slots.
@@ -44,8 +45,8 @@ pub struct CompiledRule {
     /// the positive join (rule safety).
     pub head: CompiledAtom,
     /// For each positive atom index: whether its relation is an idb
-    /// predicate of the current stratum (filled in by the evaluator; used
-    /// for semi-naive delta placement).
+    /// predicate of the current stratum (used for semi-naive delta
+    /// placement).
     pub recursive_pos: Vec<bool>,
 }
 
@@ -57,11 +58,12 @@ pub struct CompiledRule {
 /// conjunction.
 pub fn compile_rule_ordered(
     rule: &Rule,
-    is_current_idb: impl Fn(&RelName) -> bool,
+    table: &mut SymbolTable,
+    is_current_idb: impl Fn(&str) -> bool,
 ) -> CompiledRule {
     let mut ordered = rule.clone();
     ordered.pos = order_atoms(&rule.pos);
-    compile_rule(&ordered, is_current_idb)
+    compile_rule(&ordered, table, is_current_idb)
 }
 
 /// Greedy atom ordering: repeatedly pick the unplaced atom with the most
@@ -101,9 +103,14 @@ fn order_atoms(pos: &[crate::ast::Atom]) -> Vec<crate::ast::Atom> {
     out
 }
 
-/// Compile a rule in the body order given. `is_current_idb` flags which
-/// relations belong to the stratum being evaluated (for semi-naive).
-pub fn compile_rule(rule: &Rule, is_current_idb: impl Fn(&RelName) -> bool) -> CompiledRule {
+/// Compile a rule in the body order given, interning relation names and
+/// constants into `table`. `is_current_idb` flags which relations belong
+/// to the stratum being evaluated (for semi-naive).
+pub fn compile_rule(
+    rule: &Rule,
+    table: &mut SymbolTable,
+    is_current_idb: impl Fn(&str) -> bool,
+) -> CompiledRule {
     let mut slots: BTreeMap<Var, usize> = BTreeMap::new();
     let slot_of = |v: &Var, slots: &mut BTreeMap<Var, usize>| -> usize {
         if let Some(&i) = slots.get(v) {
@@ -114,15 +121,16 @@ pub fn compile_rule(rule: &Rule, is_current_idb: impl Fn(&RelName) -> bool) -> C
             i
         }
     };
-    let compile_term = |t: &Term, slots: &mut BTreeMap<Var, usize>| -> Slot {
-        match t {
-            Term::Var(v) => Slot::Var(slot_of(v, slots)),
-            Term::Const(c) => Slot::Const(c.clone()),
-            Term::Invention => {
-                panic!("invention symbol must be rewritten (Skolemized) before compilation")
+    let compile_term =
+        |t: &Term, slots: &mut BTreeMap<Var, usize>, table: &mut SymbolTable| -> Slot {
+            match t {
+                Term::Var(v) => Slot::Var(slot_of(v, slots)),
+                Term::Const(c) => Slot::Const(table.sym(c)),
+                Term::Invention => {
+                    panic!("invention symbol must be rewritten (Skolemized) before compilation")
+                }
             }
-        }
-    };
+        };
     // Positive atoms first so that head/neg/ineq slots refer to already
     // numbered variables (safety guarantees every variable occurs in pos).
     // While compiling, track which slots are bound by earlier atoms to
@@ -132,8 +140,11 @@ pub fn compile_rule(rule: &Rule, is_current_idb: impl Fn(&RelName) -> bool) -> C
         .pos
         .iter()
         .map(|a| {
-            let compiled_slots: Vec<Slot> =
-                a.terms.iter().map(|t| compile_term(t, &mut slots)).collect();
+            let compiled_slots: Vec<Slot> = a
+                .terms
+                .iter()
+                .map(|t| compile_term(t, &mut slots, table))
+                .collect();
             let probe = compiled_slots.iter().position(|s| match s {
                 Slot::Const(_) => true,
                 Slot::Var(i) => bound_slots.contains(i),
@@ -144,7 +155,7 @@ pub fn compile_rule(rule: &Rule, is_current_idb: impl Fn(&RelName) -> bool) -> C
                 }
             }
             CompiledAtom {
-                relation: a.relation.clone(),
+                relation: table.rel(&a.relation),
                 slots: compiled_slots,
                 probe,
             }
@@ -154,27 +165,40 @@ pub fn compile_rule(rule: &Rule, is_current_idb: impl Fn(&RelName) -> bool) -> C
         .neg
         .iter()
         .map(|a| CompiledAtom {
-            relation: a.relation.clone(),
-            slots: a.terms.iter().map(|t| compile_term(t, &mut slots)).collect(),
+            relation: table.rel(&a.relation),
+            slots: a
+                .terms
+                .iter()
+                .map(|t| compile_term(t, &mut slots, table))
+                .collect(),
             probe: None,
         })
         .collect();
     let ineq: Vec<(Slot, Slot)> = rule
         .ineq
         .iter()
-        .map(|(l, r)| (compile_term(l, &mut slots), compile_term(r, &mut slots)))
+        .map(|(l, r)| {
+            (
+                compile_term(l, &mut slots, table),
+                compile_term(r, &mut slots, table),
+            )
+        })
         .collect();
     let head = CompiledAtom {
-        relation: rule.head.relation.clone(),
+        relation: table.rel(&rule.head.relation),
         slots: rule
             .head
             .terms
             .iter()
-            .map(|t| compile_term(t, &mut slots))
+            .map(|t| compile_term(t, &mut slots, table))
             .collect(),
         probe: None,
     };
-    let recursive_pos = pos.iter().map(|a| is_current_idb(&a.relation)).collect();
+    let recursive_pos = rule
+        .pos
+        .iter()
+        .map(|a| is_current_idb(&a.relation))
+        .collect();
     CompiledRule {
         nvars: slots.len(),
         pos,
@@ -201,7 +225,8 @@ mod tests {
     #[test]
     fn slots_are_shared_across_atoms() {
         let r = parse_rule("T(x,z) :- T(x,y), E(y,z).").unwrap();
-        let c = compile_rule(&r, |rel| rel.as_ref() == "T");
+        let mut table = SymbolTable::new();
+        let c = compile_rule(&r, &mut table, |rel| rel == "T");
         assert_eq!(c.nvars, 3);
         // T(x,y): slots 0,1. E(y,z): slots 1,2. Head T(x,z): 0,2.
         assert_eq!(c.pos[0].slots, vec![Slot::Var(0), Slot::Var(1)]);
@@ -209,6 +234,9 @@ mod tests {
         assert_eq!(c.head.slots, vec![Slot::Var(0), Slot::Var(2)]);
         assert_eq!(c.recursive_pos, vec![true, false]);
         assert!(c.is_recursive());
+        // The head and first atom intern to the same relation id.
+        assert_eq!(c.head.relation, c.pos[0].relation);
+        assert_eq!(table.rel_name(c.pos[1].relation).as_ref(), "E");
     }
 
     #[test]
@@ -217,7 +245,8 @@ mod tests {
         // shuffled version must be restored so each atom binds to the
         // previous ones.
         let r = parse_rule("O(w) :- C(y, w), A(x), B(x, y).").unwrap();
-        let c = compile_rule_ordered(&r, |_| false);
+        let mut table = SymbolTable::new();
+        let c = compile_rule_ordered(&r, &mut table, |_| false);
         // First atom introduces variables; every later atom must share at
         // least one slot with earlier atoms (no Cartesian step exists for
         // this rule shape).
@@ -235,7 +264,7 @@ mod tests {
                 assert!(
                     slots.iter().any(|s| seen.contains(s)),
                     "atom {i} ({}) is a Cartesian step",
-                    atom.relation
+                    table.rel_name(atom.relation)
                 );
             }
             seen.extend(slots);
@@ -245,8 +274,13 @@ mod tests {
     #[test]
     fn ordering_prefers_constant_bound_atoms_first() {
         let r = parse_rule("O(x) :- A(x, y), B(y, 3).").unwrap();
-        let c = compile_rule_ordered(&r, |_| false);
-        assert_eq!(c.pos[0].relation.as_ref(), "B", "constant-selective atom first");
+        let mut table = SymbolTable::new();
+        let c = compile_rule_ordered(&r, &mut table, |_| false);
+        assert_eq!(
+            table.rel_name(c.pos[0].relation).as_ref(),
+            "B",
+            "constant-selective atom first"
+        );
     }
 
     #[test]
@@ -274,15 +308,18 @@ mod tests {
     #[test]
     fn constants_compile_to_const_slots() {
         let r = parse_rule("O(x) :- R(x, 3).").unwrap();
-        let c = compile_rule(&r, |_| false);
-        assert_eq!(c.pos[0].slots[1], Slot::Const(calm_common::v(3)));
+        let mut table = SymbolTable::new();
+        let c = compile_rule(&r, &mut table, |_| false);
+        let three = table.lookup_sym(&calm_common::v(3)).unwrap();
+        assert_eq!(c.pos[0].slots[1], Slot::Const(three));
         assert!(!c.is_recursive());
     }
 
     #[test]
     fn neg_and_ineq_compiled() {
         let r = parse_rule("O(x) :- V(x), not W(x), x != 3.").unwrap();
-        let c = compile_rule(&r, |_| false);
+        let mut table = SymbolTable::new();
+        let c = compile_rule(&r, &mut table, |_| false);
         assert_eq!(c.neg.len(), 1);
         assert_eq!(c.ineq.len(), 1);
         assert_eq!(c.ineq[0].0, Slot::Var(0));

@@ -1,75 +1,136 @@
-//! The engine's internal relation store.
+//! The engine's internal relation store, backed by the shared
+//! evaluation substrate ([`calm_common::storage`]).
+//!
+//! A [`Database`] couples a [`Storage`] (interned, indexed, delta-tracked
+//! rows) with the [`SharedSymbols`] table its rows are interned against.
+//! Unlike [`Instance`] (which is ordered for determinism), row storage is
+//! hash-based for speed; results are converted back to instances at the
+//! evaluation edges only.
 
-use calm_common::fact::RelName;
-use calm_common::instance::{Instance, Tuple};
-use std::collections::{HashMap, HashSet};
+use calm_common::instance::Instance;
+use calm_common::schema::Schema;
+use calm_common::storage::{
+    load_instance, store_to_instance, store_to_instance_restricted, RelId, SharedSymbols, Storage,
+    Sym, SymTuple,
+};
+use calm_common::value::Value;
 
-/// A mutable store of relations used during evaluation. Unlike
-/// [`Instance`] (which is ordered for determinism), the database uses hash
-/// sets for speed; results are converted back to instances at the end.
+/// A mutable store of relations used during evaluation.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    rels: HashMap<RelName, HashSet<Tuple>>,
+    symbols: SharedSymbols,
+    storage: Storage,
 }
 
 impl Database {
-    /// An empty database.
+    /// An empty database over a fresh symbol table.
     pub fn new() -> Self {
         Database::default()
     }
 
+    /// An empty database over an existing (shared) symbol table.
+    pub fn with_symbols(symbols: SharedSymbols) -> Self {
+        Database {
+            symbols,
+            storage: Storage::new(),
+        }
+    }
+
     /// Load an instance into a fresh database.
     pub fn from_instance(i: &Instance) -> Self {
-        let mut db = Database::new();
-        for name in i.relation_names() {
-            let set: HashSet<Tuple> = i.tuples(name).cloned().collect();
-            db.rels.insert(name.clone(), set);
-        }
+        Database::from_instance_with(i, SharedSymbols::new())
+    }
+
+    /// Load an instance into a fresh database over an existing table.
+    pub fn from_instance_with(i: &Instance, symbols: SharedSymbols) -> Self {
+        let mut db = Database::with_symbols(symbols);
+        db.load(i);
         db
+    }
+
+    /// Intern an instance's facts into this database.
+    pub fn load(&mut self, i: &Instance) {
+        load_instance(i, &self.symbols, &mut self.storage);
     }
 
     /// Convert back to a deterministic instance.
     pub fn to_instance(&self) -> Instance {
-        let mut out = Instance::new();
-        for (name, tuples) in &self.rels {
-            for t in tuples {
-                out.insert_tuple(name, t.clone());
+        store_to_instance(&self.storage, &self.symbols)
+    }
+
+    /// Convert only the relations of `schema` back to an instance —
+    /// equivalent to `self.to_instance().restrict(schema)` without
+    /// uninterning the rows that restriction would drop.
+    pub fn to_instance_restricted(&self, schema: &Schema) -> Instance {
+        store_to_instance_restricted(&self.storage, &self.symbols, schema)
+    }
+
+    /// The symbol table shared by this database.
+    pub fn symbols(&self) -> &SharedSymbols {
+        &self.symbols
+    }
+
+    /// The underlying storage.
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Mutable access to the underlying storage.
+    pub fn storage_mut(&mut self) -> &mut Storage {
+        &mut self.storage
+    }
+
+    /// Insert an interned row; returns `true` if new.
+    pub fn insert(&mut self, relation: RelId, row: SymTuple) -> bool {
+        self.storage.insert(relation, row)
+    }
+
+    /// Interned membership test.
+    pub fn contains(&self, relation: RelId, row: &[Sym]) -> bool {
+        self.storage.contains(relation, row)
+    }
+
+    /// Insert a tuple by relation name, interning it; returns `true` if
+    /// new. Edge/test convenience — hot paths insert interned rows.
+    pub fn insert_values(&mut self, relation: &str, tuple: Vec<Value>) -> bool {
+        let mut table = self.symbols.write();
+        let r = table.rel(relation);
+        let row: SymTuple = tuple.iter().map(|v| table.sym(v)).collect();
+        drop(table);
+        self.storage.insert(r, row)
+    }
+
+    /// Membership test by relation name. Edge/test convenience.
+    pub fn contains_values(&self, relation: &str, tuple: &[Value]) -> bool {
+        let table = self.symbols.read();
+        let Some(r) = table.lookup_rel(relation) else {
+            return false;
+        };
+        let mut row = SymTuple::with_capacity(tuple.len());
+        for v in tuple {
+            match table.lookup_sym(v) {
+                Some(s) => row.push(s),
+                None => return false,
             }
         }
-        out
+        drop(table);
+        self.storage.contains(r, &row)
     }
 
-    /// The tuples of a relation (empty slice semantics if absent).
-    pub fn tuples(&self, relation: &RelName) -> Option<&HashSet<Tuple>> {
-        self.rels.get(relation)
-    }
-
-    /// Membership test.
-    pub fn contains(&self, relation: &RelName, tuple: &[calm_common::value::Value]) -> bool {
-        self.rels
-            .get(relation)
-            .is_some_and(|set| set.contains(tuple))
-    }
-
-    /// Insert a tuple; returns `true` if new.
-    pub fn insert(&mut self, relation: &RelName, tuple: Tuple) -> bool {
-        if let Some(set) = self.rels.get_mut(relation) {
-            set.insert(tuple)
-        } else {
-            self.rels
-                .entry(relation.clone())
-                .or_default()
-                .insert(tuple)
-        }
-    }
-
-    /// Bulk-insert all facts of another database; returns the number of
-    /// genuinely new tuples.
+    /// Bulk-insert all facts of another database over the *same* symbol
+    /// table; returns the number of genuinely new rows.
     pub fn absorb(&mut self, other: &Database) -> usize {
+        assert!(
+            self.symbols.same_table(&other.symbols),
+            "absorb requires databases sharing one symbol table"
+        );
         let mut added = 0;
-        for (name, tuples) in &other.rels {
-            for t in tuples {
-                if self.insert(name, t.clone()) {
+        for r in other.storage.rel_ids() {
+            let Some(rel) = other.storage.relation(r) else {
+                continue;
+            };
+            for row in rel.rows() {
+                if self.storage.insert(r, row.clone()) {
                     added += 1;
                 }
             }
@@ -77,21 +138,36 @@ impl Database {
         added
     }
 
-    /// Total number of tuples.
-    pub fn len(&self) -> usize {
-        self.rels.values().map(HashSet::len).sum()
+    /// Whether two databases over the same symbol table hold the same
+    /// facts (no [`Instance`] round-trip).
+    pub fn same_facts(&self, other: &Database) -> bool {
+        assert!(
+            self.symbols.same_table(&other.symbols),
+            "same_facts requires databases sharing one symbol table"
+        );
+        self.storage.same_facts(&other.storage)
     }
 
-    /// Whether the database holds no tuples.
+    /// Total number of tuples — O(1).
+    pub fn len(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// Whether the database holds no tuples — O(1).
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.storage.is_empty()
+    }
+
+    /// Remove all facts, keeping allocations and indexes warm.
+    pub fn clear(&mut self) {
+        self.storage.clear();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use calm_common::fact::{fact, rel};
+    use calm_common::fact::fact;
     use calm_common::value::v;
 
     #[test]
@@ -100,26 +176,52 @@ mod tests {
         let db = Database::from_instance(&i);
         assert_eq!(db.len(), 2);
         assert_eq!(db.to_instance(), i);
-        assert!(db.contains(&rel("E"), &[v(1), v(2)]));
-        assert!(!db.contains(&rel("E"), &[v(2), v(1)]));
+        assert!(db.contains_values("E", &[v(1), v(2)]));
+        assert!(!db.contains_values("E", &[v(2), v(1)]));
+        assert!(!db.contains_values("Missing", &[v(1)]));
     }
 
     #[test]
     fn insert_reports_novelty() {
         let mut db = Database::new();
-        assert!(db.insert(&rel("E"), vec![v(1), v(2)]));
-        assert!(!db.insert(&rel("E"), vec![v(1), v(2)]));
+        assert!(db.insert_values("E", vec![v(1), v(2)]));
+        assert!(!db.insert_values("E", vec![v(1), v(2)]));
         assert_eq!(db.len(), 1);
+        assert!(!db.is_empty());
     }
 
     #[test]
     fn absorb_counts_new() {
-        let mut a = Database::from_instance(&Instance::from_facts([fact("E", [1, 2])]));
-        let b = Database::from_instance(&Instance::from_facts([
-            fact("E", [1, 2]),
-            fact("E", [2, 3]),
-        ]));
+        let symbols = SharedSymbols::new();
+        let mut a = Database::from_instance_with(
+            &Instance::from_facts([fact("E", [1, 2])]),
+            symbols.clone(),
+        );
+        let b = Database::from_instance_with(
+            &Instance::from_facts([fact("E", [1, 2]), fact("E", [2, 3])]),
+            symbols,
+        );
         assert_eq!(a.absorb(&b), 1);
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn same_facts_across_shared_tables() {
+        let symbols = SharedSymbols::new();
+        let i = Instance::from_facts([fact("E", [1, 2]), fact("E", [2, 3])]);
+        let a = Database::from_instance_with(&i, symbols.clone());
+        let mut b = Database::with_symbols(symbols);
+        assert!(!a.same_facts(&b));
+        b.insert_values("E", vec![v(2), v(3)]);
+        b.insert_values("E", vec![v(1), v(2)]);
+        assert!(a.same_facts(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "sharing one symbol table")]
+    fn absorb_rejects_foreign_tables() {
+        let mut a = Database::from_instance(&Instance::from_facts([fact("E", [1, 2])]));
+        let b = Database::from_instance(&Instance::from_facts([fact("E", [1, 2])]));
+        a.absorb(&b);
     }
 }

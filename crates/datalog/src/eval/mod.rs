@@ -1,7 +1,9 @@
 //! Evaluation engines for Datalog¬.
 //!
-//! * [`database`] — the internal hash-set relation store;
-//! * [`compile`] — rule compilation into slot form;
+//! * [`database`] — the internal relation store over the shared
+//!   substrate ([`calm_common::storage`]): interned symbols, indexed
+//!   delta-tracked rows;
+//! * [`compile`] — rule compilation into interned slot form;
 //! * [`seminaive`] — naive and semi-naive fixpoints for semi-positive
 //!   programs;
 //! * [`stratified`] — the stratified semantics driver.
@@ -13,7 +15,11 @@ pub mod stratified;
 
 pub use database::Database;
 pub use seminaive::{
-    body_valuations, derive_once, fixpoint_naive, fixpoint_seminaive, fixpoint_seminaive_frozen,
-    fixpoint_seminaive_with, EvalOptions, FixpointStats,
+    body_valuations, derive_once, fixpoint_naive, fixpoint_seminaive, fixpoint_seminaive_compiled,
+    fixpoint_seminaive_frozen, fixpoint_seminaive_frozen_compiled, fixpoint_seminaive_with,
+    CompiledProgram, EvalMetrics, EvalOptions, FixpointStats, RuleSet, ValuationQuery,
 };
-pub use stratified::{eval_program, eval_program_with, eval_query, eval_stratification, Engine};
+pub use stratified::{
+    eval_program, eval_program_with, eval_query, eval_stratification, eval_stratification_shared,
+    Engine,
+};

@@ -4,14 +4,28 @@
 //! `T_P` (Section 2). Negative atoms are only consulted against relations
 //! that are fixed during the fixpoint (edb or lower strata), which the
 //! stratified driver guarantees.
+//!
+//! Evaluation runs entirely over the shared substrate
+//! ([`calm_common::storage`]): bindings are `Copy` [`Sym`]s, the
+//! semi-naive delta is the region of rows past each relation's watermark
+//! (no second store, no copying), and the hash indexes used by probe
+//! joins are built once before the loop and maintained incrementally on
+//! insert — nothing is rebuilt per iteration.
 
 use super::compile::{compile_rule, compile_rule_ordered, CompiledAtom, CompiledRule, Slot};
 use super::database::Database;
+use crate::ast::{Rule, Var};
 use crate::program::Program;
 use calm_common::fact::RelName;
-use calm_common::instance::Tuple;
+use calm_common::storage::{RelId, Storage, Sym, SymTuple, SymbolTable};
 use calm_common::value::Value;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
+
+pub use calm_common::storage::EvalMetrics;
+
+/// Backwards-compatible name for the engine counters: the original
+/// `FixpointStats` grew into [`EvalMetrics`].
+pub type FixpointStats = EvalMetrics;
 
 /// Evaluation options: the ablation knobs benchmarked by
 /// `calm-bench`'s `datalog_eval` bench.
@@ -19,7 +33,8 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 pub struct EvalOptions {
     /// Greedily reorder positive body atoms (join planning).
     pub reorder: bool,
-    /// Build per-iteration hash indexes on the probe positions.
+    /// Probe incrementally-maintained hash indexes on the probe
+    /// positions (built once per fixpoint, maintained on insert).
     pub index: bool,
 }
 
@@ -40,84 +55,41 @@ impl EvalOptions {
     };
 }
 
-/// Per-iteration hash indexes: `(relation, position) → value → tuples`.
-/// Rebuilt whenever the underlying database grows (cheap relative to the
-/// scans they save; see the `datalog_eval` bench).
-#[derive(Debug, Default)]
-struct Indexes {
-    maps: HashMap<(RelName, usize), HashMap<Value, Vec<Tuple>>>,
-}
-
-impl Indexes {
-    fn build(db: &Database, wanted: &BTreeSet<(RelName, usize)>) -> Indexes {
-        let mut maps: HashMap<(RelName, usize), HashMap<Value, Vec<Tuple>>> = HashMap::new();
-        for (rel, pos) in wanted {
-            let mut map: HashMap<Value, Vec<Tuple>> = HashMap::new();
-            if let Some(tuples) = db.tuples(rel) {
-                for t in tuples {
-                    if let Some(v) = t.get(*pos) {
-                        map.entry(v.clone()).or_default().push(t.clone());
-                    }
-                }
-            }
-            maps.insert((rel.clone(), *pos), map);
-        }
-        Indexes { maps }
-    }
-
-    fn probe(&self, rel: &RelName, pos: usize, val: &Value) -> Option<&[Tuple]> {
-        self.maps
-            .get(&(rel.clone(), pos))
-            .map(|m| m.get(val).map_or(&[][..], Vec::as_slice))
-    }
-}
-
 /// The `(relation, position)` pairs the compiled rules will probe.
-fn wanted_indexes(rules: &[CompiledRule]) -> BTreeSet<(RelName, usize)> {
+fn wanted_indexes(rules: &[CompiledRule]) -> BTreeSet<(RelId, usize)> {
     let mut out = BTreeSet::new();
     for rule in rules {
         for atom in &rule.pos {
             if let Some(p) = atom.probe {
-                out.insert((atom.relation.clone(), p));
+                out.insert((atom.relation, p));
             }
         }
     }
     out
 }
 
-/// Statistics of one fixpoint run (used by benchmarks and tests).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct FixpointStats {
-    /// Number of iterations until the fixpoint was reached.
-    pub iterations: usize,
-    /// Total number of (not necessarily new) facts derived.
-    pub derivations: usize,
-    /// Number of new facts added to the database.
-    pub new_facts: usize,
-}
-
-/// Match one atom against a tuple, extending `binding`. Returns the slots
+/// Match one atom against a row, extending `binding`. Returns the slots
 /// that were newly bound (for backtracking), or `None` on mismatch.
-fn unify(atom: &CompiledAtom, tuple: &[Value], binding: &mut [Option<Value>]) -> Option<Vec<usize>> {
-    debug_assert_eq!(atom.slots.len(), tuple.len());
+fn unify(atom: &CompiledAtom, row: &[Sym], binding: &mut [Option<Sym>]) -> Option<Vec<usize>> {
+    debug_assert_eq!(atom.slots.len(), row.len());
     let mut newly = Vec::new();
-    for (slot, val) in atom.slots.iter().zip(tuple.iter()) {
+    for (slot, &s) in atom.slots.iter().zip(row.iter()) {
         match slot {
             Slot::Const(c) => {
-                if c != val {
+                if *c != s {
                     undo(binding, &newly);
                     return None;
                 }
             }
-            Slot::Var(i) => match &binding[*i] {
+            Slot::Var(i) => match binding[*i] {
                 Some(existing) => {
-                    if existing != val {
+                    if existing != s {
                         undo(binding, &newly);
                         return None;
                     }
                 }
                 None => {
-                    binding[*i] = Some(val.clone());
+                    binding[*i] = Some(s);
                     newly.push(*i);
                 }
             },
@@ -126,103 +98,118 @@ fn unify(atom: &CompiledAtom, tuple: &[Value], binding: &mut [Option<Value>]) ->
     Some(newly)
 }
 
-fn undo(binding: &mut [Option<Value>], newly: &[usize]) {
+fn undo(binding: &mut [Option<Sym>], newly: &[usize]) {
     for &i in newly {
         binding[i] = None;
     }
 }
 
-fn slot_value(slot: &Slot, binding: &[Option<Value>]) -> Value {
+fn slot_sym(slot: &Slot, binding: &[Option<Sym>]) -> Sym {
     match slot {
-        Slot::Const(c) => c.clone(),
-        Slot::Var(i) => binding[*i]
-            .clone()
-            .expect("slot unbound after positive join; rule safety violated"),
+        Slot::Const(c) => *c,
+        Slot::Var(i) => {
+            binding[*i].expect("slot unbound after positive join; rule safety violated")
+        }
     }
 }
 
-/// Evaluate a compiled rule. `delta` optionally restricts one positive
-/// atom (by index) to scan the delta database instead of `full`. Negative
-/// atoms are checked against `neg_db` (equal to `full` for ordinary
-/// evaluation; a frozen approximation for the well-founded alternating
-/// fixpoint). Derived head tuples are passed to `emit`.
+/// Evaluate a compiled rule against `full`. `delta_at` optionally
+/// restricts one positive atom (by index) to the delta region of its
+/// relation. Negative atoms are checked against `neg_db` (equal to `full`
+/// for ordinary evaluation; a frozen approximation for the well-founded
+/// alternating fixpoint). Derived head rows are passed to `emit`.
 fn eval_rule(
     rule: &CompiledRule,
-    full: &Database,
-    neg_db: &Database,
-    delta: Option<(&Database, usize)>,
-    emit: &mut impl FnMut(&RelName, Tuple),
+    full: &Storage,
+    use_index: bool,
+    neg_db: &Storage,
+    delta_at: Option<usize>,
+    metrics: &mut EvalMetrics,
+    emit: &mut impl FnMut(RelId, SymTuple),
 ) {
-    let mut binding: Vec<Option<Value>> = vec![None; rule.nvars];
-    eval_pos(rule, 0, full, None, neg_db, delta, &mut binding, emit);
-}
-
-fn eval_rule_indexed(
-    rule: &CompiledRule,
-    full: &Database,
-    indexes: &Indexes,
-    neg_db: &Database,
-    delta: Option<(&Database, usize)>,
-    emit: &mut impl FnMut(&RelName, Tuple),
-) {
-    let mut binding: Vec<Option<Value>> = vec![None; rule.nvars];
-    eval_pos(rule, 0, full, Some(indexes), neg_db, delta, &mut binding, emit);
+    let mut binding: Vec<Option<Sym>> = vec![None; rule.nvars];
+    eval_pos(
+        rule,
+        0,
+        full,
+        use_index,
+        neg_db,
+        delta_at,
+        &mut binding,
+        metrics,
+        emit,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
 fn eval_pos(
     rule: &CompiledRule,
     idx: usize,
-    full: &Database,
-    indexes: Option<&Indexes>,
-    neg_db: &Database,
-    delta: Option<(&Database, usize)>,
-    binding: &mut Vec<Option<Value>>,
-    emit: &mut impl FnMut(&RelName, Tuple),
+    full: &Storage,
+    use_index: bool,
+    neg_db: &Storage,
+    delta_at: Option<usize>,
+    binding: &mut Vec<Option<Sym>>,
+    metrics: &mut EvalMetrics,
+    emit: &mut impl FnMut(RelId, SymTuple),
 ) {
     if idx == rule.pos.len() {
         // Check inequalities.
         for (l, r) in &rule.ineq {
-            if slot_value(l, binding) == slot_value(r, binding) {
+            if slot_sym(l, binding) == slot_sym(r, binding) {
                 return;
             }
         }
         // Check negative atoms (all slots bound by safety).
         for atom in &rule.neg {
-            let tuple: Tuple = atom.slots.iter().map(|s| slot_value(s, binding)).collect();
-            if neg_db.contains(&atom.relation, &tuple) {
+            let row: SymTuple = atom.slots.iter().map(|s| slot_sym(s, binding)).collect();
+            if neg_db.contains(atom.relation, &row) {
                 return;
             }
         }
-        let head: Tuple = rule
+        let head: SymTuple = rule
             .head
             .slots
             .iter()
-            .map(|s| slot_value(s, binding))
+            .map(|s| slot_sym(s, binding))
             .collect();
-        emit(&rule.head.relation, head);
+        metrics.derivations += 1;
+        emit(rule.head.relation, head);
         return;
     }
     let atom = &rule.pos[idx];
-    let scanning_delta = matches!(delta, Some((_, at)) if at == idx);
-    // Fast path: probe the hash index with the bound value at the probe
-    // position (never when this atom scans the small delta set).
-    if !scanning_delta {
-        if let (Some(indexes), Some(p)) = (indexes, atom.probe) {
-            let val = match &atom.slots[p] {
-                Slot::Const(c) => c.clone(),
-                Slot::Var(i) => match &binding[*i] {
-                    Some(v) => v.clone(),
-                    None => unreachable!("probe position must be bound"),
-                },
+    let Some(relation) = full.relation(atom.relation) else {
+        return;
+    };
+    let scanning_delta = delta_at == Some(idx);
+    // Fast path: probe the hash index with the bound symbol at the probe
+    // position (never when this atom scans the small delta region).
+    if !scanning_delta && use_index {
+        if let Some(p) = atom.probe {
+            let s = match atom.slots[p] {
+                Slot::Const(c) => c,
+                Slot::Var(i) => binding[i].expect("probe position must be bound"),
             };
-            if let Some(candidates) = indexes.probe(&atom.relation, p, &val) {
-                for tuple in candidates {
-                    if tuple.len() != atom.slots.len() {
+            if let Some(ids) = relation.probe(p, s) {
+                metrics.index_probes += 1;
+                metrics.index_hits += ids.len();
+                for &id in ids {
+                    let row = relation.row(id);
+                    if row.len() != atom.slots.len() {
                         continue;
                     }
-                    if let Some(newly) = unify(atom, tuple, binding) {
-                        eval_pos(rule, idx + 1, full, Some(indexes), neg_db, delta, binding, emit);
+                    if let Some(newly) = unify(atom, row, binding) {
+                        eval_pos(
+                            rule,
+                            idx + 1,
+                            full,
+                            use_index,
+                            neg_db,
+                            delta_at,
+                            binding,
+                            metrics,
+                            emit,
+                        );
                         undo(binding, &newly);
                     }
                 }
@@ -230,56 +217,85 @@ fn eval_pos(
             }
         }
     }
-    let source = match delta {
-        Some((d, at)) if at == idx => d,
-        _ => full,
+    let rows = if scanning_delta {
+        relation.delta_rows()
+    } else {
+        relation.rows()
     };
-    let Some(tuples) = source.tuples(&atom.relation) else {
-        return;
-    };
-    // Iterate candidates; clone the tuple list handle implicitly via ref.
-    for tuple in tuples {
-        if tuple.len() != atom.slots.len() {
+    for row in rows {
+        if row.len() != atom.slots.len() {
             continue;
         }
-        if let Some(newly) = unify(atom, tuple, binding) {
-            eval_pos(rule, idx + 1, full, indexes, neg_db, delta, binding, emit);
+        if let Some(newly) = unify(atom, row, binding) {
+            eval_pos(
+                rule,
+                idx + 1,
+                full,
+                use_index,
+                neg_db,
+                delta_at,
+                binding,
+                metrics,
+                emit,
+            );
             undo(binding, &newly);
         }
     }
+}
+
+fn compile_program(program: &Program, table: &mut SymbolTable, reorder: bool) -> Vec<CompiledRule> {
+    let idb: BTreeSet<RelName> = program.idb().names().cloned().collect();
+    program
+        .rules()
+        .iter()
+        .map(|r| {
+            if reorder {
+                compile_rule_ordered(r, table, |rel| idb.contains(rel))
+            } else {
+                compile_rule(r, table, |rel| idb.contains(rel))
+            }
+        })
+        .collect()
 }
 
 /// Compute the minimal fixpoint of a semi-positive program over `db`,
 /// **naively**: every iteration re-derives everything. Kept as the
 /// baseline for the `datalog_eval` benchmark.
 pub fn fixpoint_naive(program: &Program, db: &mut Database) -> FixpointStats {
-    let idb: BTreeSet<RelName> = program.idb().names().cloned().collect();
-    let compiled: Vec<CompiledRule> = program
-        .rules()
-        .iter()
-        .map(|r| compile_rule(r, |rel| idb.contains(rel)))
-        .collect();
-    let mut stats = FixpointStats::default();
+    let compiled = compile_program(program, &mut db.symbols().clone().write(), false);
+    let mut metrics = EvalMetrics::default();
     loop {
-        stats.iterations += 1;
-        let mut fresh: Vec<(RelName, Tuple)> = Vec::new();
-        for rule in &compiled {
-            eval_rule(rule, db, db, None, &mut |rel, tuple| {
-                stats.derivations += 1;
-                if !db.contains(rel, &tuple) {
-                    fresh.push((rel.clone(), tuple));
-                }
-            });
-        }
-        let mut added = 0;
-        for (rel, tuple) in fresh {
-            if db.insert(&rel, tuple) {
-                added += 1;
+        metrics.iterations += 1;
+        let mut fresh: Vec<(RelId, SymTuple)> = Vec::new();
+        {
+            let storage = db.storage();
+            for rule in &compiled {
+                eval_rule(
+                    rule,
+                    storage,
+                    false,
+                    storage,
+                    None,
+                    &mut metrics,
+                    &mut |rel, row| {
+                        if !storage.contains(rel, &row) {
+                            fresh.push((rel, row));
+                        }
+                    },
+                );
             }
         }
-        stats.new_facts += added;
+        let mut added = 0;
+        for (rel, row) in fresh {
+            let bytes = row.len() * std::mem::size_of::<Sym>();
+            if db.storage_mut().insert(rel, row) {
+                added += 1;
+                metrics.bytes_moved += bytes;
+            }
+        }
+        metrics.new_facts += added;
         if added == 0 {
-            return stats;
+            return metrics;
         }
     }
 }
@@ -305,6 +321,7 @@ pub fn fixpoint_seminaive_with(
 /// checked against `frozen` instead of the evolving database. This is the
 /// `Γ` operator of the well-founded alternating fixpoint
 /// ([`crate::wellfounded`]); the program need not be semi-positive.
+/// `frozen` must share `db`'s symbol table.
 pub fn fixpoint_seminaive_frozen(
     program: &Program,
     db: &mut Database,
@@ -313,148 +330,274 @@ pub fn fixpoint_seminaive_frozen(
     fixpoint_seminaive_impl(program, db, Some(frozen), EvalOptions::default())
 }
 
+/// A semi-positive program compiled once against a symbol table, for
+/// repeated fixpoint evaluation. [`crate::query::DatalogQuery`] holds one
+/// per stratum: the monotonicity falsifiers evaluate the same query
+/// thousands of times, and per-eval recompilation dominates small inputs.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    rules: Vec<CompiledRule>,
+    indexes: Vec<(RelId, usize)>,
+    options: EvalOptions,
+}
+
+impl CompiledProgram {
+    /// Compile `program` against `table` with the given options.
+    pub fn new(
+        program: &Program,
+        table: &mut SymbolTable,
+        options: EvalOptions,
+    ) -> CompiledProgram {
+        let rules = compile_program(program, table, options.reorder);
+        let indexes = if options.index {
+            wanted_indexes(&rules).into_iter().collect()
+        } else {
+            Vec::new()
+        };
+        CompiledProgram {
+            rules,
+            indexes,
+            options,
+        }
+    }
+}
+
+/// Semi-naive fixpoint of a precompiled program. `db` must use the table
+/// the program was compiled against.
+pub fn fixpoint_seminaive_compiled(cp: &CompiledProgram, db: &mut Database) -> FixpointStats {
+    fixpoint_compiled_impl(cp, db, None)
+}
+
+/// As [`fixpoint_seminaive_compiled`], with every negative body atom
+/// checked against `frozen` (the `Γ` operator of the well-founded
+/// alternating fixpoint). `frozen` must share `db`'s symbol table.
+pub fn fixpoint_seminaive_frozen_compiled(
+    cp: &CompiledProgram,
+    db: &mut Database,
+    frozen: &Database,
+) -> FixpointStats {
+    fixpoint_compiled_impl(cp, db, Some(frozen))
+}
+
 fn fixpoint_seminaive_impl(
     program: &Program,
     db: &mut Database,
     frozen: Option<&Database>,
     options: EvalOptions,
 ) -> FixpointStats {
-    let idb: BTreeSet<RelName> = program.idb().names().cloned().collect();
-    let compiled: Vec<CompiledRule> = program
-        .rules()
-        .iter()
-        .map(|r| {
-            if options.reorder {
-                compile_rule_ordered(r, |rel| idb.contains(rel))
-            } else {
-                compile_rule(r, |rel| idb.contains(rel))
-            }
-        })
-        .collect();
-    let wanted = if options.index {
-        wanted_indexes(&compiled)
-    } else {
-        BTreeSet::new()
-    };
-    let mut stats = FixpointStats::default();
+    let cp = CompiledProgram::new(program, &mut db.symbols().clone().write(), options);
+    fixpoint_compiled_impl(&cp, db, frozen)
+}
+
+fn fixpoint_compiled_impl(
+    cp: &CompiledProgram,
+    db: &mut Database,
+    frozen: Option<&Database>,
+) -> FixpointStats {
+    if let Some(f) = frozen {
+        assert!(
+            db.symbols().same_table(f.symbols()),
+            "frozen negation database must share the symbol table"
+        );
+    }
+    let compiled = &cp.rules;
+    let options = cp.options;
+    // Build the probe indexes once; inserts keep them current, so the
+    // fixpoint loop below never rebuilds an index.
+    for &(rel, pos) in &cp.indexes {
+        db.storage_mut().relation_mut(rel).ensure_index(pos);
+    }
+    let mut metrics = EvalMetrics::default();
+    let mut pending: Vec<(RelId, SymTuple)> = Vec::new();
 
     // Round 0: evaluate every rule once on the initial database. This
     // covers non-recursive rules completely (their inputs never change
     // within this stratum) and seeds the delta for recursive ones.
-    let mut delta = Database::new();
-    stats.iterations += 1;
+    metrics.iterations += 1;
     {
-        let db_ref: &Database = db;
-        let neg_db = frozen.unwrap_or(db_ref);
-        let indexes = Indexes::build(db_ref, &wanted);
-        for rule in &compiled {
-            eval_rule_indexed(rule, db_ref, &indexes, neg_db, None, &mut |rel, tuple| {
-                stats.derivations += 1;
-                if !db_ref.contains(rel, &tuple) {
-                    delta.insert(rel, tuple);
-                }
-            });
+        let storage = db.storage();
+        let neg = frozen.map_or(storage, |f| f.storage());
+        for rule in compiled {
+            eval_rule(
+                rule,
+                storage,
+                options.index,
+                neg,
+                None,
+                &mut metrics,
+                &mut |rel, row| {
+                    if !storage.contains(rel, &row) {
+                        pending.push((rel, row));
+                    }
+                },
+            );
         }
     }
-    stats.new_facts += db.absorb(&delta);
 
-    // Subsequent rounds: recursive rules only, one delta position at a time.
-    while !delta.is_empty() {
-        stats.iterations += 1;
-        let mut next_delta = Database::new();
-        {
-            let db_ref: &Database = db;
-            let neg_db = frozen.unwrap_or(db_ref);
-            let indexes = Indexes::build(db_ref, &wanted);
-            for rule in compiled.iter().filter(|r| r.is_recursive()) {
-                // Dedup across repeated relations at multiple positions is
-                // handled by the set-semantics of `next_delta`.
-                for (pos_idx, is_rec) in rule.recursive_pos.iter().enumerate() {
-                    if !is_rec {
-                        continue;
-                    }
-                    eval_rule_indexed(
-                        rule,
-                        db_ref,
-                        &indexes,
-                        neg_db,
-                        Some((&delta, pos_idx)),
-                        &mut |rel, tuple| {
-                            stats.derivations += 1;
-                            if !db_ref.contains(rel, &tuple) {
-                                next_delta.insert(rel, tuple);
-                            }
-                        },
-                    );
-                }
+    loop {
+        // Rows inserted now form the next delta region: move every
+        // watermark to the current end first, then insert.
+        db.storage_mut().mark_deltas();
+        let mut added = 0;
+        for (rel, row) in pending.drain(..) {
+            let bytes = row.len() * std::mem::size_of::<Sym>();
+            if db.storage_mut().insert(rel, row) {
+                added += 1;
+                metrics.bytes_moved += bytes;
             }
         }
-        stats.new_facts += db.absorb(&next_delta);
-        delta = next_delta;
+        metrics.new_facts += added;
+        if added == 0 {
+            return metrics;
+        }
+        // Delta round: recursive rules only, one delta position at a time.
+        // Dedup across repeated relations at multiple positions is handled
+        // by the membership guard on `pending` insertion.
+        metrics.iterations += 1;
+        let storage = db.storage();
+        let neg = frozen.map_or(storage, |f| f.storage());
+        for rule in compiled.iter().filter(|r| r.is_recursive()) {
+            for (pos_idx, is_rec) in rule.recursive_pos.iter().enumerate() {
+                if !is_rec {
+                    continue;
+                }
+                eval_rule(
+                    rule,
+                    storage,
+                    options.index,
+                    neg,
+                    Some(pos_idx),
+                    &mut metrics,
+                    &mut |rel, row| {
+                        if !storage.contains(rel, &row) {
+                            pending.push((rel, row));
+                        }
+                    },
+                );
+            }
+        }
     }
-    stats
 }
 
-/// Evaluate a single (compiled-on-the-fly) program rule set against a fixed
-/// database *without* fixpoint iteration: derive all facts firing on `db`
-/// directly. Used by the transducer simulator for one-shot queries.
-pub fn derive_once(program: &Program, db: &Database) -> Database {
-    let idb: BTreeSet<RelName> = program.idb().names().cloned().collect();
-    let mut out = Database::new();
-    for r in program.rules() {
-        let c = compile_rule(r, |rel| idb.contains(rel));
-        eval_rule(&c, db, db, None, &mut |rel, tuple| {
-            out.insert(rel, tuple);
-        });
+/// A program compiled once against a symbol table, for repeated one-shot
+/// derivation (the transducer simulator's per-transition step).
+#[derive(Debug, Clone)]
+pub struct RuleSet {
+    compiled: Vec<CompiledRule>,
+}
+
+impl RuleSet {
+    /// Compile every rule of `program` against `table` (original body
+    /// order; one-shot derivation gains little from reordering).
+    pub fn new(program: &Program, table: &mut SymbolTable) -> RuleSet {
+        RuleSet {
+            compiled: compile_program(program, table, false),
+        }
     }
+
+    /// Derive all facts firing on `db` directly (no fixpoint iteration),
+    /// passing each derived row to `emit`. `db` must use the table this
+    /// rule set was compiled against.
+    pub fn derive(
+        &self,
+        db: &Database,
+        metrics: &mut EvalMetrics,
+        emit: &mut impl FnMut(RelId, SymTuple),
+    ) {
+        let storage = db.storage();
+        for rule in &self.compiled {
+            eval_rule(rule, storage, false, storage, None, metrics, emit);
+        }
+    }
+}
+
+/// Evaluate a program's rules against a fixed database *without* fixpoint
+/// iteration: derive all facts firing on `db` directly. Used for one-shot
+/// queries; the transducer simulator keeps a precompiled [`RuleSet`]
+/// instead of calling this per transition.
+pub fn derive_once(program: &Program, db: &Database) -> Database {
+    let rules = RuleSet::new(program, &mut db.symbols().clone().write());
+    let mut out = Database::with_symbols(db.symbols().clone());
+    let mut metrics = EvalMetrics::default();
+    rules.derive(db, &mut metrics, &mut |rel, row| {
+        out.insert(rel, row);
+    });
     out
+}
+
+/// A rule body compiled once for repeated valuation enumeration — the
+/// extension hook used by `calm-ilog` to construct Skolem terms for
+/// invention heads. Accepts rules whose *head* contains the invention
+/// symbol, since only the body is evaluated.
+#[derive(Debug, Clone)]
+pub struct ValuationQuery {
+    vars: Vec<Var>,
+    compiled: CompiledRule,
+}
+
+impl ValuationQuery {
+    /// Compile the body of `rule` against `table`.
+    pub fn new(rule: &Rule, table: &mut SymbolTable) -> ValuationQuery {
+        use crate::ast::{Atom, Term};
+        let vars: Vec<Var> = rule.positive_variables().into_iter().collect();
+        let synthetic = Rule {
+            head: Atom::new(
+                "__valuation",
+                vars.iter().map(|v| Term::Var(v.clone())).collect(),
+            ),
+            pos: rule.pos.clone(),
+            neg: rule.neg.clone(),
+            ineq: rule.ineq.clone(),
+        };
+        let compiled = compile_rule(&synthetic, table, |_| false);
+        ValuationQuery { vars, compiled }
+    }
+
+    /// The body variables, in the order of each valuation row.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Enumerate every satisfying valuation of the body against `db`
+    /// (negation also checked against `db`), deduplicated and in
+    /// deterministic (interning) order.
+    pub fn eval(&self, db: &Database, metrics: &mut EvalMetrics) -> Vec<SymTuple> {
+        let storage = db.storage();
+        let mut out: BTreeSet<SymTuple> = BTreeSet::new();
+        eval_rule(
+            &self.compiled,
+            storage,
+            false,
+            storage,
+            None,
+            metrics,
+            &mut |_, row| {
+                out.insert(row);
+            },
+        );
+        out.into_iter().collect()
+    }
 }
 
 /// Enumerate every satisfying valuation of a rule's body against `db`
 /// (negation also checked against `db`). Returns the valuations as
-/// variable→value maps in deterministic order.
+/// variable→value maps in deterministic (value) order.
 ///
-/// This is the extension hook used by `calm-ilog` (to construct Skolem
-/// terms for invention heads) and by the transducer simulator; it accepts
-/// rules whose *head* contains the invention symbol, since only the body
-/// is evaluated.
-pub fn body_valuations(
-    rule: &crate::ast::Rule,
-    db: &Database,
-) -> Vec<std::collections::BTreeMap<crate::ast::Var, Value>> {
-    use crate::ast::{Atom, Rule, Term, Var};
-    let vars: Vec<Var> = rule.positive_variables().into_iter().collect();
-    let synthetic = Rule {
-        head: Atom::new(
-            "__valuation",
-            vars.iter().map(|v| Term::Var(v.clone())).collect(),
-        ),
-        pos: rule.pos.clone(),
-        neg: rule.neg.clone(),
-        ineq: rule.ineq.clone(),
-    };
-    let compiled = compile_rule(&synthetic, |_| false);
-    let mut out = BTreeSet::new();
-    eval_rule(&compiled, db, db, None, &mut |_, tuple| {
-        out.insert(tuple);
-    });
-    out.into_iter()
-        .map(|tuple| vars.iter().cloned().zip(tuple).collect())
+/// Compiles the body on every call; repeated evaluation should hold a
+/// [`ValuationQuery`] instead.
+pub fn body_valuations(rule: &Rule, db: &Database) -> Vec<std::collections::BTreeMap<Var, Value>> {
+    let q = ValuationQuery::new(rule, &mut db.symbols().clone().write());
+    let mut metrics = EvalMetrics::default();
+    let rows = q.eval(db, &mut metrics);
+    let table = db.symbols().read();
+    let ordered: BTreeSet<Vec<Value>> = rows
+        .iter()
+        .map(|row| row.iter().map(|&s| table.value(s).clone()).collect())
+        .collect();
+    ordered
+        .into_iter()
+        .map(|t| q.vars().iter().cloned().zip(t).collect())
         .collect()
-}
-
-/// Convenience: all tuples currently in `db` for the given relations.
-pub fn collect(db: &Database, relations: &BTreeSet<RelName>) -> Vec<(RelName, Tuple)> {
-    let mut out = Vec::new();
-    for rel in relations {
-        if let Some(tuples) = db.tuples(rel) {
-            let set: &HashSet<Tuple> = tuples;
-            for t in set {
-                out.push((rel.clone(), t.clone()));
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -487,6 +630,22 @@ mod tests {
         // Semi-naive does strictly fewer derivations on a path.
         assert!(s2.derivations <= s1.derivations);
         assert!(s1.new_facts == s2.new_facts);
+    }
+
+    #[test]
+    fn indexed_run_probes_instead_of_scanning() {
+        let input = path(8);
+        let mut db = Database::from_instance(&input);
+        let s = fixpoint_seminaive(&tc(), &mut db);
+        assert!(s.index_probes > 0, "optimized run must use the indexes");
+        assert!(s.index_hits > 0);
+        assert!(s.bytes_moved > 0);
+        // The baseline never touches an index.
+        let mut db2 = Database::from_instance(&input);
+        let s2 = fixpoint_seminaive_with(&tc(), &mut db2, EvalOptions::BASELINE);
+        assert_eq!(s2.index_probes, 0);
+        assert_eq!(s2.index_hits, 0);
+        assert_eq!(db.to_instance(), db2.to_instance());
     }
 
     #[test]
@@ -557,8 +716,8 @@ mod tests {
         let vals = body_valuations(&r, &db);
         assert_eq!(vals.len(), 1);
         let m = &vals[0];
-        assert_eq!(m[&crate::ast::Var::new("x")], calm_common::v(1));
-        assert_eq!(m[&crate::ast::Var::new("y")], calm_common::v(2));
+        assert_eq!(m[&Var::new("x")], calm_common::v(1));
+        assert_eq!(m[&Var::new("y")], calm_common::v(2));
     }
 
     #[test]

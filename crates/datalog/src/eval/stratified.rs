@@ -48,7 +48,25 @@ pub fn eval_stratification(
     input: &Instance,
     engine: Engine,
 ) -> (Instance, Vec<FixpointStats>) {
-    let mut db = Database::from_instance(input);
+    eval_stratification_shared(
+        strat,
+        input,
+        engine,
+        calm_common::storage::SharedSymbols::new(),
+    )
+}
+
+/// As [`eval_stratification`], interning into an existing shared symbol
+/// table. Callers that evaluate the same program many times (e.g. the
+/// monotonicity falsifiers via [`crate::query::DatalogQuery`]) reuse one
+/// table so rule constants and recurring domain values are interned once.
+pub fn eval_stratification_shared(
+    strat: &Stratification,
+    input: &Instance,
+    engine: Engine,
+    symbols: calm_common::storage::SharedSymbols,
+) -> (Instance, Vec<FixpointStats>) {
+    let mut db = Database::from_instance_with(input, symbols);
     let mut stats = Vec::with_capacity(strat.len());
     for stratum in &strat.strata {
         let s = match engine {

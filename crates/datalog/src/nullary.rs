@@ -129,7 +129,10 @@ mod tests {
         let shown = decode_instance(&i);
         assert!(shown.contains(&"Enabled()".to_string()));
         assert!(shown.contains(&"E(1,2)".to_string()));
-        let enabled = i.facts().find(|f| f.relation().as_ref() == "Enabled").unwrap();
+        let enabled = i
+            .facts()
+            .find(|f| f.relation().as_ref() == "Enabled")
+            .unwrap();
         assert!(is_encoded_nullary(&enabled));
     }
 

@@ -141,7 +141,10 @@ impl Program {
     pub(crate) fn replace_outputs(p: Program, outs: Vec<String>) -> Program {
         Program {
             rules: p.rules,
-            outputs: outs.into_iter().map(|s| calm_common::fact::rel(&s)).collect(),
+            outputs: outs
+                .into_iter()
+                .map(|s| calm_common::fact::rel(&s))
+                .collect(),
         }
     }
 
@@ -208,7 +211,8 @@ impl Program {
 
     /// The output schema (output relations with their arities).
     pub fn output_schema(&self) -> Schema {
-        self.sch().filter(|n| self.outputs.iter().any(|o| o.as_ref() == n))
+        self.sch()
+            .filter(|n| self.outputs.iter().any(|o| o.as_ref() == n))
     }
 
     /// `sch(P)`: the minimal schema the program is over.
@@ -330,7 +334,10 @@ mod tests {
 
     fn tc_program() -> Program {
         Program::new(vec![
-            Rule::positive(Atom::vars("T", &["x", "y"]), vec![Atom::vars("E", &["x", "y"])]),
+            Rule::positive(
+                Atom::vars("T", &["x", "y"]),
+                vec![Atom::vars("E", &["x", "y"])],
+            ),
             Rule::positive(
                 Atom::vars("T", &["x", "z"]),
                 vec![Atom::vars("T", &["x", "y"]), Atom::vars("E", &["y", "z"])],
@@ -416,7 +423,10 @@ mod tests {
     #[test]
     fn semi_positive_detection() {
         let p = Program::new(vec![
-            Rule::positive(Atom::vars("T", &["x", "y"]), vec![Atom::vars("E", &["x", "y"])]),
+            Rule::positive(
+                Atom::vars("T", &["x", "y"]),
+                vec![Atom::vars("E", &["x", "y"])],
+            ),
             Rule {
                 head: Atom::vars("O", &["x"]),
                 pos: vec![Atom::vars("V", &["x"])],
@@ -427,7 +437,10 @@ mod tests {
         .unwrap();
         assert!(p.is_semi_positive());
         let p2 = Program::new(vec![
-            Rule::positive(Atom::vars("T", &["x", "y"]), vec![Atom::vars("E", &["x", "y"])]),
+            Rule::positive(
+                Atom::vars("T", &["x", "y"]),
+                vec![Atom::vars("E", &["x", "y"])],
+            ),
             Rule {
                 head: Atom::vars("O", &["x"]),
                 pos: vec![Atom::vars("V", &["x"])],

@@ -1,16 +1,24 @@
 //! [`DatalogQuery`]: a stratified Datalog¬ program packaged as a
 //! [`calm_common::query::Query`].
 
-use crate::eval::stratified::{eval_stratification, Engine};
+use crate::eval::database::Database;
+use crate::eval::seminaive::{fixpoint_seminaive_compiled, CompiledProgram, EvalOptions};
+use crate::eval::stratified::{eval_stratification_shared, Engine};
 use crate::program::Program;
 use crate::stratify::{stratify, NotStratifiable, Stratification};
 use calm_common::instance::Instance;
 use calm_common::query::Query;
 use calm_common::schema::Schema;
+use calm_common::storage::SharedSymbols;
 
 /// A query computed by a stratified Datalog¬ program (Section 2,
 /// "Computing Queries"): `Q(I) = P(I)|σ'` where `σ'` is the program's
 /// output schema and the input schema is `edb(P)`.
+///
+/// The query carries its own [`SharedSymbols`] table and per-stratum
+/// [`CompiledProgram`]s, so repeated evaluations (the monotonicity
+/// falsifiers run thousands per query, the transducer strategies one per
+/// transition) intern rule constants once and never recompile.
 pub struct DatalogQuery {
     name: String,
     program: Program,
@@ -18,6 +26,30 @@ pub struct DatalogQuery {
     input_schema: Schema,
     output_schema: Schema,
     engine: Engine,
+    symbols: SharedSymbols,
+    /// One compiled program per stratum; `None` for [`Engine::Naive`],
+    /// which falls back to the uncompiled ablation path.
+    compiled: Option<Vec<CompiledProgram>>,
+}
+
+fn precompile(
+    strat: &Stratification,
+    symbols: &SharedSymbols,
+    engine: Engine,
+) -> Option<Vec<CompiledProgram>> {
+    let options = match engine {
+        Engine::SemiNaive => EvalOptions::default(),
+        Engine::SemiNaiveBaseline => EvalOptions::BASELINE,
+        Engine::Naive => return None,
+    };
+    let mut table = symbols.write();
+    Some(
+        strat
+            .strata
+            .iter()
+            .map(|stratum| CompiledProgram::new(stratum, &mut table, options))
+            .collect(),
+    )
 }
 
 impl DatalogQuery {
@@ -31,6 +63,8 @@ impl DatalogQuery {
         let stratification = stratify(&program)?;
         let input_schema = program.edb();
         let output_schema = program.output_schema();
+        let symbols = SharedSymbols::new();
+        let compiled = precompile(&stratification, &symbols, Engine::SemiNaive);
         Ok(DatalogQuery {
             name: name.into(),
             program,
@@ -38,6 +72,8 @@ impl DatalogQuery {
             input_schema,
             output_schema,
             engine: Engine::SemiNaive,
+            symbols,
+            compiled,
         })
     }
 
@@ -55,6 +91,7 @@ impl DatalogQuery {
     #[must_use]
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self.compiled = precompile(&self.stratification, &self.symbols, engine);
         self
     }
 
@@ -80,8 +117,26 @@ impl Query for DatalogQuery {
 
     fn eval(&self, input: &Instance) -> Instance {
         let restricted = input.restrict(&self.input_schema);
-        let (full, _) = eval_stratification(&self.stratification, &restricted, self.engine);
-        full.restrict(&self.output_schema)
+        match &self.compiled {
+            Some(strata) => {
+                let mut db = Database::from_instance_with(&restricted, self.symbols.clone());
+                for cp in strata {
+                    fixpoint_seminaive_compiled(cp, &mut db);
+                }
+                // Unintern only the output relations — everything else
+                // would be dropped by the restriction anyway.
+                db.to_instance_restricted(&self.output_schema)
+            }
+            None => {
+                let (full, _) = eval_stratification_shared(
+                    &self.stratification,
+                    &restricted,
+                    self.engine,
+                    self.symbols.clone(),
+                );
+                full.restrict(&self.output_schema)
+            }
+        }
     }
 
     fn name(&self) -> &str {

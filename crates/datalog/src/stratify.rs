@@ -94,8 +94,7 @@ impl std::error::Error for NotStratifiable {}
 pub fn stratify(p: &Program) -> Result<Stratification, NotStratifiable> {
     let idb = p.idb();
     let n = idb.len();
-    let mut stratum: BTreeMap<RelName, usize> =
-        idb.names().map(|r| (r.clone(), 1usize)).collect();
+    let mut stratum: BTreeMap<RelName, usize> = idb.names().map(|r| (r.clone(), 1usize)).collect();
     if n == 0 {
         return Ok(Stratification {
             stratum_of: stratum,
@@ -145,9 +144,7 @@ pub fn stratify(p: &Program) -> Result<Stratification, NotStratifiable> {
     }
     let k = used.len();
     let strata = (1..=k)
-        .map(|level| {
-            p.filter_rules(|rule| stratum[&rule.head.relation] == level)
-        })
+        .map(|level| p.filter_rules(|rule| stratum[&rule.head.relation] == level))
         .collect();
     Ok(Stratification {
         stratum_of: stratum,

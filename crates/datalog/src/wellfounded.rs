@@ -15,7 +15,7 @@
 
 use crate::ast::{Atom, Rule};
 use crate::eval::database::Database;
-use crate::eval::seminaive::fixpoint_seminaive_frozen;
+use crate::eval::seminaive::{fixpoint_seminaive_frozen_compiled, CompiledProgram, EvalOptions};
 use crate::program::Program;
 use calm_common::fact::{rel, Fact, RelName};
 use calm_common::instance::Instance;
@@ -58,11 +58,12 @@ impl WellFoundedModel {
     }
 }
 
-/// One application of `Γ(K)`: the minimal model of `p` over `input` with
-/// negation frozen against `k`.
-fn gamma(p: &Program, input: &Instance, k: &Database) -> Database {
-    let mut db = Database::from_instance(input);
-    fixpoint_seminaive_frozen(p, &mut db, k);
+/// One application of `Γ(K)`: the minimal model of the compiled program
+/// over `input` with negation frozen against `k`. The result shares `k`'s
+/// symbol table (which the program was compiled against).
+fn gamma(cp: &CompiledProgram, input: &Instance, k: &Database) -> Database {
+    let mut db = Database::from_instance_with(input, k.symbols().clone());
+    fixpoint_seminaive_frozen_compiled(cp, &mut db, k);
     db
 }
 
@@ -88,23 +89,24 @@ fn gamma(p: &Program, input: &Instance, k: &Database) -> Database {
 /// ```
 pub fn well_founded_model(p: &Program, input: &Instance) -> WellFoundedModel {
     // U0 = input only (all negations succeed except on given edb facts).
+    // Every approximation shares one symbol table, so the stability check
+    // compares interned rows directly — no Instance round-trip per round.
     let mut gamma_applications = 0;
     let mut u = Database::from_instance(input);
+    // Compile once; every Γ application below reuses the interned rules.
+    let cp = {
+        let symbols = u.symbols().clone();
+        let mut table = symbols.write();
+        CompiledProgram::new(p, &mut table, EvalOptions::default())
+    };
     loop {
         // V = Γ(U): overestimate.
-        let v = gamma(p, input, &u);
+        let v = gamma(&cp, input, &u);
         gamma_applications += 1;
         // U' = Γ(V): next underestimate.
-        let u_next = gamma(p, input, &v);
+        let u_next = gamma(&cp, input, &v);
         gamma_applications += 1;
-        let stable = u_next.len() == u.len() && {
-            // Same size and the previous underestimate is monotonically
-            // contained in the next (the sequence is increasing), so equal
-            // sizes imply equality; double-check via instance equality for
-            // robustness.
-            u_next.to_instance() == u.to_instance()
-        };
-        if stable {
+        if u_next.same_facts(&u) {
             return WellFoundedModel {
                 true_facts: u_next.to_instance(),
                 possible_facts: v.to_instance(),
@@ -183,43 +185,51 @@ impl DoubledProgram {
     /// Evaluate the doubled program by alternating the two sides until
     /// both stabilize; returns the same model as [`well_founded_model`].
     pub fn eval(&self, input: &Instance) -> WellFoundedModel {
+        use calm_common::storage::SharedSymbols;
+        let symbols = SharedSymbols::new();
+        // Both sides compile once against the shared table; the
+        // alternation below only re-runs the fixpoints.
+        let (possible_cp, true_cp) = {
+            let mut table = symbols.write();
+            (
+                CompiledProgram::new(&self.possible_side, &mut table, EvalOptions::default()),
+                CompiledProgram::new(&self.true_side, &mut table, EvalOptions::default()),
+            )
+        };
         let mut gamma_applications = 0;
-        // Under-approximation state: unprimed facts (starting from input).
-        let mut under = Instance::new();
+        // The input is interned once, in both forms the two sides read:
+        // the possible side takes primed idb positives (edb stays
+        // unprimed, so both forms are loaded), the true side unprimed.
+        let mut base_over =
+            Database::from_instance_with(&prime_instance(input, &self.doubled), symbols.clone());
+        base_over.load(input);
+        let base_under = Database::from_instance_with(input, symbols.clone());
+        // Under-approximation state: unprimed facts (initially empty).
+        let mut under = Database::with_symbols(symbols);
         loop {
-            // Possible side: freeze negation on current `under`.
-            let frozen_under = {
-                let mut d = Database::from_instance(input);
-                d.absorb(&Database::from_instance(&under));
-                d
-            };
-            let mut over_db = Database::from_instance(&prime_instance(input, &self.doubled));
-            // The possible side reads primed inputs for idb positives; edb
-            // stays unprimed, so load both forms of the input.
-            over_db.absorb(&Database::from_instance(input));
-            fixpoint_seminaive_frozen(&self.possible_side, &mut over_db, &frozen_under);
+            // Possible side: freeze negation on input ∪ `under`.
+            let mut frozen_under = base_under.clone();
+            frozen_under.absorb(&under);
+            let mut over_db = base_over.clone();
+            fixpoint_seminaive_frozen_compiled(&possible_cp, &mut over_db, &frozen_under);
             gamma_applications += 1;
-            let over = unprime_instance(&over_db.to_instance(), &self.doubled);
 
-            // True side: freeze negation on primed overestimate.
-            let frozen_over = {
-                let mut d = Database::from_instance(&prime_instance(&over, &self.doubled));
-                d.absorb(&Database::from_instance(input));
-                d
-            };
-            let mut under_db = Database::from_instance(input);
-            fixpoint_seminaive_frozen(&self.true_side, &mut under_db, &frozen_over);
+            // True side: freeze negation on the primed overestimate —
+            // `over_db` holds exactly the primed idb facts plus the input,
+            // so it serves as the frozen database directly.
+            let mut under_db = base_under.clone();
+            fixpoint_seminaive_frozen_compiled(&true_cp, &mut under_db, &over_db);
             gamma_applications += 1;
-            let under_next = under_db.to_instance();
 
-            if under_next == under {
+            if under_db.same_facts(&under) {
+                let over = unprime_instance(&over_db.to_instance(), &self.doubled);
                 return WellFoundedModel {
-                    true_facts: under_next,
+                    true_facts: under_db.to_instance(),
                     possible_facts: over.union(input),
                     gamma_applications,
                 };
             }
-            under = under_next;
+            under = under_db;
         }
     }
 }

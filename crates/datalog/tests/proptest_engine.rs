@@ -1,133 +1,221 @@
 //! Property tests for the Datalog crate: parser round-trips, engine
 //! equivalence across optimization levels, stratification invariants.
+//!
+//! Deterministic seeded loops over the in-repo [`calm_common::rng::Rng`]:
+//! every case is reproducible from the loop seed printed in the assert
+//! message.
 
+use calm_common::fact::fact;
+use calm_common::instance::Instance;
+use calm_common::rng::Rng;
 use calm_datalog::ast::{Atom, Rule, Term};
 use calm_datalog::eval::{eval_program_with, Engine};
 use calm_datalog::program::Program;
 use calm_datalog::stratify::stratify;
 use calm_datalog::{parse_program, parse_rule};
-use calm_common::fact::fact;
-use calm_common::instance::Instance;
-use proptest::prelude::*;
 
-/// Random positive rules over a fixed schema {E(2), V(1)} with idb T(2),
+const CASES: u64 = 48;
+
+/// Random positive rule over a fixed schema {E(2), V(1)} with idb T(2),
 /// S(1): choose a head and 1..3 body atoms over the head's variables.
-fn arb_rule() -> impl Strategy<Value = Rule> {
-    let vars = prop::sample::select(vec!["x", "y", "z", "w"]);
-    let atom = (prop::sample::select(vec!["E", "T"]), vars.clone(), vars.clone())
-        .prop_map(|(r, a, b)| Atom::new(r, vec![Term::var(a), Term::var(b)]));
-    let unary = (prop::sample::select(vec!["V", "S"]), vars.clone())
-        .prop_map(|(r, a)| Atom::new(r, vec![Term::var(a)]));
-    let body_atom = prop_oneof![atom.clone(), unary.clone()];
-    (
-        prop::sample::select(vec!["T", "S"]),
-        prop::collection::vec(body_atom, 1..4),
-    )
-        .prop_map(|(head_rel, body)| {
-            // Head variables drawn from the body to ensure safety.
-            let mut body_vars: Vec<_> = body
-                .iter()
-                .flat_map(|a| a.variables().cloned())
-                .collect();
-            body_vars.sort();
-            body_vars.dedup();
-            let arity = if head_rel == "T" { 2 } else { 1 };
-            let head_terms: Vec<Term> = (0..arity)
-                .map(|i| Term::Var(body_vars[i % body_vars.len()].clone()))
-                .collect();
-            Rule {
-                head: Atom::new(head_rel, head_terms),
-                pos: body,
-                neg: vec![],
-                ineq: vec![],
-            }
-        })
-}
-
-fn small_instance() -> impl Strategy<Value = Instance> {
-    (
-        prop::collection::vec((0..4i64, 0..4i64), 0..8),
-        prop::collection::vec(0..4i64, 0..4),
-    )
-        .prop_map(|(edges, verts)| {
-            let mut i = Instance::from_facts(edges.into_iter().map(|(a, b)| fact("E", [a, b])));
-            i.extend(verts.into_iter().map(|v| fact("V", [v])));
-            i
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn rule_display_reparses_identically(rule in arb_rule()) {
-        let text = rule.to_string();
-        let reparsed = parse_rule(&text).unwrap();
-        prop_assert_eq!(rule, reparsed);
-    }
-
-    #[test]
-    fn program_display_reparses(rules in prop::collection::vec(arb_rule(), 1..5)) {
-        // Deduplicate head/arity conflicts are impossible by construction.
-        if let Ok(p) = Program::new(rules) {
-            let text = p.to_string();
-            let p2 = parse_program(&text).unwrap();
-            prop_assert_eq!(p.rules(), p2.rules());
+fn rand_rule(r: &mut Rng) -> Rule {
+    const VARS: [&str; 4] = ["x", "y", "z", "w"];
+    let mut body = Vec::new();
+    for _ in 0..r.gen_range(1..4usize) {
+        if r.gen_bool(0.5) {
+            let rel = *r.choose(&["E", "T"]).unwrap();
+            let a = *r.choose(&VARS).unwrap();
+            let b = *r.choose(&VARS).unwrap();
+            body.push(Atom::new(rel, vec![Term::var(a), Term::var(b)]));
+        } else {
+            let rel = *r.choose(&["V", "S"]).unwrap();
+            let a = *r.choose(&VARS).unwrap();
+            body.push(Atom::new(rel, vec![Term::var(a)]));
         }
     }
+    // Head variables drawn from the body to ensure safety.
+    let mut body_vars: Vec<_> = body.iter().flat_map(|a| a.variables().cloned()).collect();
+    body_vars.sort();
+    body_vars.dedup();
+    let head_rel = *r.choose(&["T", "S"]).unwrap();
+    let arity = if head_rel == "T" { 2 } else { 1 };
+    let head_terms: Vec<Term> = (0..arity)
+        .map(|i| Term::Var(body_vars[i % body_vars.len()].clone()))
+        .collect();
+    Rule {
+        head: Atom::new(head_rel, head_terms),
+        pos: body,
+        neg: vec![],
+        ineq: vec![],
+    }
+}
 
-    #[test]
-    fn engines_agree_on_random_programs(
-        rules in prop::collection::vec(arb_rule(), 1..5),
-        input in small_instance(),
-    ) {
+fn rand_rules(r: &mut Rng, max: usize) -> Vec<Rule> {
+    (0..r.gen_range(1..max)).map(|_| rand_rule(r)).collect()
+}
+
+fn small_instance(r: &mut Rng) -> Instance {
+    let mut i = Instance::new();
+    for _ in 0..r.gen_range(0..8usize) {
+        i.insert(fact("E", [r.gen_range(0..4i64), r.gen_range(0..4i64)]));
+    }
+    for _ in 0..r.gen_range(0..4usize) {
+        i.insert(fact("V", [r.gen_range(0..4i64)]));
+    }
+    i
+}
+
+#[test]
+fn rule_display_reparses_identically() {
+    for seed in 0..CASES {
+        let mut r = Rng::seed_from_u64(seed);
+        let rule = rand_rule(&mut r);
+        let text = rule.to_string();
+        let reparsed = parse_rule(&text).unwrap();
+        assert_eq!(rule, reparsed, "seed {seed}: {text}");
+    }
+}
+
+#[test]
+fn program_display_reparses() {
+    for seed in 0..CASES {
+        let mut r = Rng::seed_from_u64(seed);
+        // Head/arity conflicts are impossible by construction.
+        if let Ok(p) = Program::new(rand_rules(&mut r, 5)) {
+            let text = p.to_string();
+            let p2 = parse_program(&text).unwrap();
+            assert_eq!(p.rules(), p2.rules(), "seed {seed}: {text}");
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_random_programs() {
+    for seed in 0..CASES {
+        let mut r = Rng::seed_from_u64(seed);
+        let rules = rand_rules(&mut r, 5);
+        let input = small_instance(&mut r);
         if let Ok(p) = Program::new(rules) {
             let (a, _) = eval_program_with(&p, &input, Engine::SemiNaive).unwrap();
             let (b, _) = eval_program_with(&p, &input, Engine::SemiNaiveBaseline).unwrap();
             let (c, _) = eval_program_with(&p, &input, Engine::Naive).unwrap();
-            prop_assert_eq!(&a, &b, "optimized vs baseline");
-            prop_assert_eq!(&a, &c, "seminaive vs naive");
+            assert_eq!(a, b, "seed {seed}: optimized vs baseline\n{p}");
+            assert_eq!(a, c, "seed {seed}: seminaive vs naive\n{p}");
         }
     }
+}
 
-    #[test]
-    fn evaluation_is_inflationary_and_monotone_for_positive_programs(
-        rules in prop::collection::vec(arb_rule(), 1..4),
-        input in small_instance(),
-        extra in small_instance(),
-    ) {
+/// Random *stratified* program: a positive layer defining `T`/`S`
+/// (as [`rand_rules`]) plus 1..3 second-stratum rules `O(v) :- guard,
+/// not Idb(...)` whose negated atom ranges over the first layer's idb.
+/// `O` never occurs in a body, so the program is stratifiable by
+/// construction.
+fn rand_stratified_rules(r: &mut Rng) -> Vec<Rule> {
+    let mut rules = rand_rules(r, 4);
+    for _ in 0..r.gen_range(1..3usize) {
+        let guard = if r.gen_bool(0.5) {
+            Atom::new(
+                *r.choose(&["E", "T"]).unwrap(),
+                vec![Term::var("x"), Term::var("y")],
+            )
+        } else {
+            Atom::new(*r.choose(&["V", "S"]).unwrap(), vec![Term::var("x")])
+        };
+        let guard_vars: Vec<_> = guard.variables().cloned().collect();
+        let neg_rel = *r.choose(&["T", "S"]).unwrap();
+        let neg_arity = if neg_rel == "T" { 2 } else { 1 };
+        let neg_terms: Vec<Term> = (0..neg_arity)
+            .map(|i| Term::Var(guard_vars[i % guard_vars.len()].clone()))
+            .collect();
+        rules.push(Rule {
+            head: Atom::new("O", vec![Term::Var(guard_vars[0].clone())]),
+            pos: vec![guard],
+            neg: vec![Atom::new(neg_rel, neg_terms)],
+            ineq: vec![],
+        });
+    }
+    rules
+}
+
+/// Differential test across the three storage paths: the indexed
+/// semi-naive engine (incremental per-column indexes maintained on
+/// insert), the unindexed baseline, and naive re-derivation must produce
+/// identical instances on random stratified programs — and the engine
+/// metrics must show the baseline never touching an index while the
+/// optimized path probes instead of scanning.
+#[test]
+fn engines_agree_on_random_stratified_programs() {
+    let mut optimized_probes = 0usize;
+    for seed in 0..CASES {
+        let mut r = Rng::seed_from_u64(seed);
+        let rules = rand_stratified_rules(&mut r);
+        let input = small_instance(&mut r);
+        if let Ok(p) = Program::new(rules) {
+            let (a, sa) = eval_program_with(&p, &input, Engine::SemiNaive).unwrap();
+            let (b, sb) = eval_program_with(&p, &input, Engine::SemiNaiveBaseline).unwrap();
+            let (c, _) = eval_program_with(&p, &input, Engine::Naive).unwrap();
+            assert_eq!(a, b, "seed {seed}: indexed vs baseline\n{p}");
+            assert_eq!(a, c, "seed {seed}: semi-naive vs naive\n{p}");
+            let baseline_probes: usize = sb.iter().map(|s| s.index_probes).sum();
+            assert_eq!(
+                baseline_probes, 0,
+                "seed {seed}: baseline probed an index\n{p}"
+            );
+            optimized_probes += sa.iter().map(|s| s.index_probes).sum::<usize>();
+        }
+    }
+    assert!(
+        optimized_probes > 0,
+        "no random case exercised the incremental indexes"
+    );
+}
+
+#[test]
+fn evaluation_is_inflationary_and_monotone_for_positive_programs() {
+    for seed in 0..CASES {
+        let mut r = Rng::seed_from_u64(seed);
+        let rules = rand_rules(&mut r, 4);
+        let input = small_instance(&mut r);
+        let extra = small_instance(&mut r);
         if let Ok(p) = Program::new(rules) {
             let out1 = calm_datalog::eval::eval_program(&p, &input).unwrap();
             // Inflationary: the input is contained in the model.
-            prop_assert!(input.is_subset(&out1));
+            assert!(input.is_subset(&out1), "seed {seed}\n{p}");
             // Monotone: positive programs only grow with more input.
             let out2 = calm_datalog::eval::eval_program(&p, &input.union(&extra)).unwrap();
-            prop_assert!(out1.is_subset(&out2));
+            assert!(out1.is_subset(&out2), "seed {seed}\n{p}");
         }
     }
+}
 
-    #[test]
-    fn stratification_respects_constraints(rules in prop::collection::vec(arb_rule(), 1..5)) {
-        if let Ok(p) = Program::new(rules) {
+#[test]
+fn stratification_respects_constraints() {
+    for seed in 0..CASES {
+        let mut r = Rng::seed_from_u64(seed);
+        if let Ok(p) = Program::new(rand_rules(&mut r, 5)) {
             let s = stratify(&p).unwrap();
             for rule in p.rules() {
                 let head = s.stratum_of[&rule.head.relation];
                 for a in &rule.pos {
                     if let Some(&b) = s.stratum_of.get(&a.relation) {
-                        prop_assert!(b <= head);
+                        assert!(b <= head, "seed {seed}\n{p}");
                     }
                 }
                 for a in &rule.neg {
                     if let Some(&b) = s.stratum_of.get(&a.relation) {
-                        prop_assert!(b < head);
+                        assert!(b < head, "seed {seed}\n{p}");
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn adom_rules_compute_active_domain(input in small_instance()) {
+#[test]
+fn adom_rules_compute_active_domain() {
+    for seed in 0..CASES {
+        let mut r = Rng::seed_from_u64(seed);
+        let input = small_instance(&mut r);
         // Adom rules cover the program's edb (here just E); restrict the
         // comparison to the part of the input the program sees.
         let p = parse_program("T(x,y) :- E(x,y).").unwrap().with_adom();
@@ -135,6 +223,6 @@ proptest! {
         let out = calm_datalog::eval::eval_program(&p, &visible).unwrap();
         let adom_vals: std::collections::BTreeSet<_> =
             out.tuples("Adom").map(|t| t[0].clone()).collect();
-        prop_assert_eq!(adom_vals, visible.adom());
+        assert_eq!(adom_vals, visible.adom(), "seed {seed}");
     }
 }

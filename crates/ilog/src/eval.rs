@@ -9,10 +9,11 @@
 
 use crate::program::{invention_args, IlogProgram};
 use calm_common::instance::Instance;
+use calm_common::storage::EvalMetrics;
 use calm_common::value::Value;
 use calm_datalog::ast::Term;
 use calm_datalog::eval::database::Database;
-use calm_datalog::eval::seminaive::body_valuations;
+use calm_datalog::eval::seminaive::ValuationQuery;
 use std::fmt;
 
 /// Evaluation limits: ILOG¬ output is *undefined* when the Herbrand
@@ -56,34 +57,53 @@ impl std::error::Error for Diverged {}
 /// Returns [`Diverged`] when the Herbrand fixpoint exceeds the limits.
 pub fn eval_ilog(p: &IlogProgram, input: &Instance, limits: Limits) -> Result<Instance, Diverged> {
     let mut db = Database::from_instance(input);
+    let mut metrics = EvalMetrics::default();
     for stratum in &p.stratification().strata {
+        // Each rule's body is compiled once per stratum; the fixpoint
+        // loop below re-enumerates valuations against the grown database
+        // without recompiling.
+        let compiled: Vec<(&calm_datalog::ast::Rule, ValuationQuery)> = {
+            let symbols = db.symbols().clone();
+            let mut table = symbols.write();
+            stratum
+                .rules()
+                .iter()
+                .map(|rule| (rule, ValuationQuery::new(rule, &mut table)))
+                .collect()
+        };
         // Fixpoint over the stratum. Negation within a stratum is
         // semi-positive w.r.t. lower strata, so checking against the full
         // (frozen-per-iteration) database is the stratified semantics.
         loop {
             let mut added = false;
-            for rule in stratum.rules() {
+            for (rule, query) in &compiled {
                 let invention = rule.head.has_invention();
-                for valuation in body_valuations(rule, &db) {
-                    let mut args: Vec<Value> = Vec::with_capacity(rule.head.arity());
-                    let tail_terms: &[Term] = if invention {
-                        invention_args(&rule.head)
-                    } else {
-                        &rule.head.terms
+                let tail_terms: &[Term] = if invention {
+                    invention_args(&rule.head)
+                } else {
+                    &rule.head.terms
+                };
+                for row in query.eval(&db, &mut metrics) {
+                    let valuation = |var: &calm_datalog::ast::Var| -> Value {
+                        let i = query
+                            .vars()
+                            .iter()
+                            .position(|v| v == var)
+                            .expect("head variable bound by body (safety)");
+                        db.symbols().read().value(row[i]).clone()
                     };
+                    let mut args: Vec<Value> = Vec::with_capacity(rule.head.arity());
                     let tail: Vec<Value> = tail_terms
                         .iter()
                         .map(|t| match t {
-                            Term::Var(v) => valuation[v].clone(),
+                            Term::Var(v) => valuation(v),
                             Term::Const(c) => c.clone(),
                             Term::Invention => unreachable!("validated: single leading *"),
                         })
                         .collect();
                     if invention {
-                        let skolem = Value::skolem(
-                            IlogProgram::functor(&rule.head.relation),
-                            tail.clone(),
-                        );
+                        let skolem =
+                            Value::skolem(IlogProgram::functor(&rule.head.relation), tail.clone());
                         if skolem.skolem_depth() > limits.max_skolem_depth {
                             return Err(Diverged {
                                 reason: format!(
@@ -95,11 +115,12 @@ pub fn eval_ilog(p: &IlogProgram, input: &Instance, limits: Limits) -> Result<In
                         args.push(skolem);
                     }
                     args.extend(tail);
-                    if db.insert(&rule.head.relation, args) {
+                    if db.insert_values(&rule.head.relation, args) {
                         added = true;
                     }
                 }
             }
+            // O(1): the storage keeps a running fact counter.
             if db.len() > limits.max_facts {
                 return Err(Diverged {
                     reason: format!("fact count exceeded {}", limits.max_facts),
@@ -150,10 +171,8 @@ mod tests {
         let out = eval_ilog(&p, &path(3), Limits::default()).unwrap();
         assert_eq!(out.relation_len("R"), 3);
         // Invented values are pairwise distinct and distinct from input.
-        let invented: std::collections::BTreeSet<_> = out
-            .tuples("R")
-            .map(|t| t[0].clone())
-            .collect();
+        let invented: std::collections::BTreeSet<_> =
+            out.tuples("R").map(|t| t[0].clone()).collect();
         assert_eq!(invented.len(), 3);
         for v in &invented {
             assert!(v.is_invented());

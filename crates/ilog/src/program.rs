@@ -6,10 +6,10 @@
 //! `f_R(x1, ..., xk)` over the remaining head variables, and evaluation
 //! proceeds over the Herbrand universe.
 
+use calm_common::fact::RelName;
 use calm_datalog::ast::{Atom, Rule, Term};
 use calm_datalog::program::Program;
 use calm_datalog::stratify::{stratify, Stratification};
-use calm_common::fact::RelName;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -46,10 +46,9 @@ impl fmt::Display for IlogError {
             IlogError::InventionInBody(r) => {
                 write!(f, "invention symbol may not appear in a body: {r}")
             }
-            IlogError::MixedInvention(r) => write!(
-                f,
-                "relation {r} is derived both with and without invention"
-            ),
+            IlogError::MixedInvention(r) => {
+                write!(f, "relation {r} is derived both with and without invention")
+            }
             IlogError::NotStratifiable(r) => write!(f, "not stratifiable: {r}"),
             IlogError::Program(e) => write!(f, "{e}"),
         }
@@ -192,7 +191,10 @@ mod tests {
              R(x, x) :- E(x, x).",
         )
         .unwrap();
-        assert!(matches!(IlogProgram::new(p), Err(IlogError::MixedInvention(_))));
+        assert!(matches!(
+            IlogProgram::new(p),
+            Err(IlogError::MixedInvention(_))
+        ));
     }
 
     #[test]

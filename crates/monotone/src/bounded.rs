@@ -79,7 +79,7 @@ pub fn ladder_break_point(
     max_bound: usize,
     trials: usize,
     seed: u64,
-    mut base_gen: impl FnMut(&mut rand::rngs::StdRng) -> Instance,
+    mut base_gen: impl FnMut(&mut calm_common::rng::Rng) -> Instance,
 ) -> Option<usize> {
     for bound in 1..=max_bound {
         let hit = crate::classes::Falsifier::new(kind)
@@ -166,14 +166,9 @@ mod tests {
                 }
             },
         );
-        let breakpoint = ladder_break_point(
-            &q,
-            ExtensionKind::DomainDisjoint,
-            3,
-            2000,
-            77,
-            |_| Instance::from_facts([edge(1, 2)]),
-        );
+        let breakpoint = ladder_break_point(&q, ExtensionKind::DomainDisjoint, 3, 2000, 77, |_| {
+            Instance::from_facts([edge(1, 2)])
+        });
         assert_eq!(breakpoint, Some(2));
     }
 
@@ -192,14 +187,9 @@ mod tests {
                 )
             },
         );
-        let breakpoint = ladder_break_point(
-            &q,
-            ExtensionKind::DomainDisjoint,
-            3,
-            100,
-            78,
-            |_| Instance::from_facts([edge(1, 2)]),
-        );
+        let breakpoint = ladder_break_point(&q, ExtensionKind::DomainDisjoint, 3, 100, 78, |_| {
+            Instance::from_facts([edge(1, 2)])
+        });
         assert_eq!(breakpoint, None);
     }
 

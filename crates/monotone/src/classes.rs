@@ -14,10 +14,9 @@
 use calm_common::domain::{is_domain_disjoint, is_domain_distinct};
 use calm_common::instance::Instance;
 use calm_common::query::Query;
+use calm_common::rng::Rng;
 use calm_common::schema::Schema;
 use calm_common::value::{v, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// Which monotonicity condition to test: the shape of the allowed
@@ -171,9 +170,9 @@ impl Falsifier {
     pub fn falsify(
         &self,
         q: &dyn Query,
-        mut base_gen: impl FnMut(&mut StdRng) -> Instance,
+        mut base_gen: impl FnMut(&mut Rng) -> Instance,
     ) -> Option<Violation> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         for _ in 0..self.trials {
             let base = base_gen(&mut rng);
             let size = match self.bound {
@@ -197,7 +196,7 @@ pub fn sample_extension(
     base: &Instance,
     kind: ExtensionKind,
     size: usize,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> Instance {
     let old_values: Vec<Value> = base.adom().into_iter().collect();
     let fresh_base: i64 = old_values
@@ -209,10 +208,7 @@ pub fn sample_extension(
         .max()
         .unwrap_or(0)
         .max(1000);
-    let relations: Vec<(String, usize)> = schema
-        .iter()
-        .map(|(n, a)| (n.to_string(), a))
-        .collect();
+    let relations: Vec<(String, usize)> = schema.iter().map(|(n, a)| (n.to_string(), a)).collect();
     if relations.is_empty() {
         return Instance::new();
     }
@@ -319,9 +315,7 @@ mod tests {
         let q = copy_query();
         let found = Falsifier::new(ExtensionKind::Any)
             .with_trials(100)
-            .falsify(&q, |rng| {
-                InstanceRng::seeded(rng.gen()).gnp(5, 0.3)
-            });
+            .falsify(&q, |rng| InstanceRng::seeded(rng.gen_u64()).gnp(5, 0.3));
         assert!(found.is_none());
     }
 
@@ -344,7 +338,7 @@ mod tests {
     fn sampled_extensions_are_admissible() {
         let schema = Schema::from_pairs([("E", 2)]);
         let base = InstanceRng::seeded(7).gnp(5, 0.4);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for kind in [
             ExtensionKind::Any,
             ExtensionKind::DomainDistinct,

@@ -4,8 +4,7 @@ use crate::classes::{ExtensionKind, Falsifier, Violation};
 use crate::exhaustive::Exhaustive;
 use calm_common::instance::Instance;
 use calm_common::query::Query;
-use rand::rngs::StdRng;
-use rand::Rng;
+use calm_common::rng::Rng;
 
 /// The verdict for one class: either a concrete counterexample (definitive
 /// non-membership) or "no violation found" (membership up to the search
@@ -59,7 +58,7 @@ pub fn classify_query(
     q: &dyn Query,
     trials: usize,
     seed: u64,
-    mut base_gen: impl FnMut(&mut StdRng) -> Instance + Clone,
+    mut base_gen: impl FnMut(&mut Rng) -> Instance + Clone,
 ) -> ClassReport {
     let mut verdict = |kind: ExtensionKind, salt: u64| -> Verdict {
         if let Some(v) = Exhaustive::new(kind).certify(q) {
@@ -85,8 +84,8 @@ pub fn classify_query(
 /// input schema.
 pub fn classify_query_default(q: &dyn Query, trials: usize, seed: u64) -> ClassReport {
     let schema = q.input_schema().clone();
-    classify_query(q, trials, seed, move |rng: &mut StdRng| {
-        let mut r = calm_common::generator::InstanceRng::seeded(rng.gen());
+    classify_query(q, trials, seed, move |rng: &mut Rng| {
+        let mut r = calm_common::generator::InstanceRng::seeded(rng.gen_u64());
         r.random_instance(&schema, 4, 5)
     })
 }

@@ -9,8 +9,7 @@
 use calm_common::component::components;
 use calm_common::instance::Instance;
 use calm_common::query::Query;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use calm_common::rng::Rng;
 
 /// A witnessed failure of component distribution.
 #[derive(Debug, Clone)]
@@ -66,11 +65,11 @@ pub fn check_distributes_over_components(
 /// Randomized search for a component-distribution violation.
 pub fn falsify_component_distribution(
     q: &dyn Query,
-    mut gen: impl FnMut(&mut StdRng) -> Instance,
+    mut gen: impl FnMut(&mut Rng) -> Instance,
     trials: usize,
     seed: u64,
 ) -> Option<ComponentViolation> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for _ in 0..trials {
         let i = gen(&mut rng);
         if let Some(violation) = check_distributes_over_components(q, &i) {
@@ -87,7 +86,6 @@ mod tests {
     use calm_common::generator::{disjoint_triangles, path_from};
     use calm_common::query::FnQuery;
     use calm_common::schema::Schema;
-    use rand::Rng;
 
     fn tc_like() -> impl Query {
         // Connected query: copies edges — trivially distributes.
@@ -144,8 +142,8 @@ mod tests {
         let hit = falsify_component_distribution(
             &q,
             |rng| {
-                let a = path_from(0, rng.gen_range(1..3));
-                let b = path_from(100, rng.gen_range(1..3));
+                let a = path_from(0, rng.gen_range(1..3usize));
+                let b = path_from(100, rng.gen_range(1..3usize));
                 a.union(&b)
             },
             50,

@@ -19,12 +19,14 @@ pub mod components;
 pub mod exhaustive;
 pub mod preservation;
 
-pub use bounded::{decomposition_stays_admissible, incremental_decomposition_holds, ladder_break_point};
+pub use bounded::{
+    decomposition_stays_admissible, incremental_decomposition_holds, ladder_break_point,
+};
 pub use classes::{check_pair, sample_extension, ExtensionKind, Falsifier, Violation};
 pub use classify::{classify_query, classify_query_default, ClassReport, Verdict};
 pub use components::{check_distributes_over_components, falsify_component_distribution};
 pub use exhaustive::Exhaustive;
 pub use preservation::{
-    check_extension_preservation, check_homomorphism_preservation,
-    falsify_extension_preservation, falsify_homomorphism_preservation,
+    check_extension_preservation, check_homomorphism_preservation, falsify_extension_preservation,
+    falsify_homomorphism_preservation,
 };

@@ -5,9 +5,8 @@ use calm_common::domain::is_induced_subinstance;
 use calm_common::homomorphism::{apply, ValueMap};
 use calm_common::instance::Instance;
 use calm_common::query::Query;
+use calm_common::rng::Rng;
 use calm_common::value::{v, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
 /// A witnessed preservation failure.
@@ -75,12 +74,12 @@ pub fn check_extension_preservation(
 /// extra facts, and checks. A hit certifies `Q ∉ H`.
 pub fn falsify_homomorphism_preservation(
     q: &dyn Query,
-    mut base_gen: impl FnMut(&mut StdRng) -> Instance,
+    mut base_gen: impl FnMut(&mut Rng) -> Instance,
     injective: bool,
     trials: usize,
     seed: u64,
 ) -> Option<PreservationViolation> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for _ in 0..trials {
         let i = base_gen(&mut rng);
         let adom: Vec<Value> = i.adom().into_iter().collect();
@@ -89,7 +88,7 @@ pub fn falsify_homomorphism_preservation(
         }
         let h = if injective {
             // A random injective renaming into a shifted range.
-            let offset = rng.gen_range(100..200);
+            let offset = rng.gen_range(100..200i64);
             adom.iter()
                 .enumerate()
                 .map(|(idx, val)| (val.clone(), v(offset + idx as i64)))
@@ -100,7 +99,12 @@ pub fn falsify_homomorphism_preservation(
                 .map(|k| v(500 + k))
                 .collect();
             adom.iter()
-                .map(|val| (val.clone(), targets[rng.gen_range(0..targets.len())].clone()))
+                .map(|val| {
+                    (
+                        val.clone(),
+                        targets[rng.gen_range(0..targets.len())].clone(),
+                    )
+                })
                 .collect::<ValueMap>()
         };
         let mut j = apply(&h, &i);
@@ -112,7 +116,7 @@ pub fn falsify_homomorphism_preservation(
                     q.input_schema(),
                     &j,
                     crate::classes::ExtensionKind::Any,
-                    rng.gen_range(0..3),
+                    rng.gen_range(0..3usize),
                     &mut rng,
                 )
                 .facts(),
@@ -130,11 +134,11 @@ pub fn falsify_homomorphism_preservation(
 /// `Q(J) ⊆ Q(I)`.
 pub fn falsify_extension_preservation(
     q: &dyn Query,
-    mut base_gen: impl FnMut(&mut StdRng) -> Instance,
+    mut base_gen: impl FnMut(&mut Rng) -> Instance,
     trials: usize,
     seed: u64,
 ) -> Option<PreservationViolation> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for _ in 0..trials {
         let i = base_gen(&mut rng);
         let j = random_induced_subinstance(&i, &mut rng);
@@ -147,12 +151,9 @@ pub fn falsify_extension_preservation(
 
 /// A random induced subinstance: pick a random subset of `adom(I)` and
 /// keep exactly the facts over it.
-pub fn random_induced_subinstance(i: &Instance, rng: &mut StdRng) -> Instance {
+pub fn random_induced_subinstance(i: &Instance, rng: &mut Rng) -> Instance {
     let adom: Vec<Value> = i.adom().into_iter().collect();
-    let keep: BTreeSet<Value> = adom
-        .into_iter()
-        .filter(|_| rng.gen_bool(0.6))
-        .collect();
+    let keep: BTreeSet<Value> = adom.into_iter().filter(|_| rng.gen_bool(0.6)).collect();
     Instance::from_facts(
         i.facts()
             .filter(|f| f.values().all(|val| keep.contains(val))),
@@ -204,7 +205,7 @@ mod tests {
         let q = edges_neq();
         let hit = falsify_homomorphism_preservation(
             &q,
-            |rng| InstanceRng::seeded(rng.gen()).gnp(4, 0.5),
+            |rng| InstanceRng::seeded(rng.gen_u64()).gnp(4, 0.5),
             false,
             200,
             1,
@@ -213,7 +214,7 @@ mod tests {
         // ...but injective homomorphisms preserve it.
         let inj = falsify_homomorphism_preservation(
             &q,
-            |rng| InstanceRng::seeded(rng.gen()).gnp(4, 0.5),
+            |rng| InstanceRng::seeded(rng.gen_u64()).gnp(4, 0.5),
             true,
             200,
             2,
@@ -226,7 +227,7 @@ mod tests {
         let q = copy_query();
         assert!(falsify_homomorphism_preservation(
             &q,
-            |rng| InstanceRng::seeded(rng.gen()).gnp(4, 0.4),
+            |rng| InstanceRng::seeded(rng.gen_u64()).gnp(4, 0.4),
             false,
             100,
             3,
@@ -234,7 +235,7 @@ mod tests {
         .is_none());
         assert!(falsify_extension_preservation(
             &q,
-            |rng| InstanceRng::seeded(rng.gen()).gnp(4, 0.4),
+            |rng| InstanceRng::seeded(rng.gen_u64()).gnp(4, 0.4),
             100,
             4,
         )
@@ -243,9 +244,9 @@ mod tests {
 
     #[test]
     fn random_induced_subinstance_is_induced() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::seed_from_u64(9);
         for _ in 0..20 {
-            let i = InstanceRng::seeded(rng.gen()).gnp(5, 0.5);
+            let i = InstanceRng::seeded(rng.gen_u64()).gnp(5, 0.5);
             let j = random_induced_subinstance(&i, &mut rng);
             assert!(is_induced_subinstance(&j, &i));
         }
@@ -268,7 +269,7 @@ mod tests {
         );
         let hit = falsify_extension_preservation(
             &q,
-            |rng| InstanceRng::seeded(rng.gen()).gnp(3, 0.8),
+            |rng| InstanceRng::seeded(rng.gen_u64()).gnp(3, 0.8),
             100,
             5,
         );

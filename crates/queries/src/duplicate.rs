@@ -88,11 +88,7 @@ mod tests {
     #[test]
     fn outputs_r1_when_intersection_empty() {
         let q = DuplicateQuery::new(3);
-        let i = Instance::from_facts([
-            fact("R1", [1, 2]),
-            fact("R2", [1, 3]),
-            fact("R3", [1, 2]),
-        ]);
+        let i = Instance::from_facts([fact("R1", [1, 2]), fact("R2", [1, 3]), fact("R3", [1, 2])]);
         assert!(!has_global_duplicate(&i, 3));
         let out = q.eval(&i);
         assert_eq!(out, Instance::from_facts([fact("O", [1, 2])]));

@@ -86,10 +86,14 @@ mod tests {
     #[test]
     fn on_cycle_finds_cycle_vertices() {
         let mut input = cycle(3); // 0,1,2 on a cycle
-        input.extend(path(1).map_values(|v| match v {
-            calm_common::Value::Int(k) => calm_common::v(k + 10),
-            o => o.clone(),
-        }).facts()); // 10 -> 11 acyclic
+        input.extend(
+            path(1)
+                .map_values(|v| match v {
+                    calm_common::Value::Int(k) => calm_common::v(k + 10),
+                    o => o.clone(),
+                })
+                .facts(),
+        ); // 10 -> 11 acyclic
         let out = on_cycle().eval(&input);
         assert_eq!(out.relation_len("O"), 3);
         assert!(out.contains(&fact("O", [0])));

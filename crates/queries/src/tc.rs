@@ -57,8 +57,7 @@ pub fn tc_native() -> impl Query {
 /// The monotone-but-not-H query `O(x,y) ← E(x,y), x ≠ y` (`Datalog(≠)`,
 /// separates `H` from `Hinj = M` in Lemma 3.2).
 pub fn edges_neq() -> DatalogQuery {
-    DatalogQuery::parse("edges-neq", "@output O.\nO(x,y) :- E(x,y), x != y.")
-        .expect("well-formed")
+    DatalogQuery::parse("edges-neq", "@output O.\nO(x,y) :- E(x,y), x != y.").expect("well-formed")
 }
 
 /// The SP-Datalog query `O(x,y) ← E(x,y), ¬E(x,x)`: edges whose source has

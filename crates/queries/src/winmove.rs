@@ -60,7 +60,9 @@ pub fn win_move_native() -> impl Query {
                 lost.insert(p.clone());
             }
             while let Some((p, p_won)) = queue.pop() {
-                let Some(parents) = pred.get(&p) else { continue };
+                let Some(parents) = pred.get(&p) else {
+                    continue;
+                };
                 for parent in parents {
                     if won.contains(parent) || lost.contains(parent) {
                         continue;

@@ -7,7 +7,9 @@
 
 use crate::network::NodeId;
 use crate::policy::distribute;
-use crate::runtime::{network_output, transition, Configuration, Delivery, Metrics, TransducerNetwork};
+use crate::runtime::{
+    network_output, transition, Configuration, Delivery, Metrics, TransducerNetwork,
+};
 use calm_common::instance::Instance;
 
 /// Drive a heartbeat-only prefix at node `x` and report how many

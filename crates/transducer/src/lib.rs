@@ -43,11 +43,11 @@ pub use policy::{
     distribute, DistributionPolicy, DomainGuidedPolicy, HashPolicy, OverridePolicy,
     ParityDomainGuidedPolicy, ParityFirstAttributePolicy, RangePolicy, ReplicatedDomainPolicy,
 };
-pub use runtime::{
-    network_output, run, transition, verify_computes, Configuration, Delivery, Metrics,
-    RunResult, Scheduler, TransducerNetwork,
-};
 pub use proof_replay::{replay_no_all_indistinguishability, replay_policy_surgery, ReplayOutcome};
+pub use runtime::{
+    network_output, run, transition, verify_computes, Configuration, Delivery, Metrics, RunResult,
+    Scheduler, TransducerNetwork,
+};
 pub use schema::{policy_relation, SystemConfig, TransducerSchema};
 pub use strategy::{
     collected_input, expected_output, DisjointStrategy, DistinctStrategy, MonotoneBroadcast,

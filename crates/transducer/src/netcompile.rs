@@ -20,9 +20,9 @@
 
 use crate::schema::TransducerSchema;
 use crate::transducer::DatalogTransducer;
+use calm_common::schema::Schema;
 use calm_datalog::ast::{Atom, Rule};
 use calm_datalog::program::Program;
-use calm_common::schema::Schema;
 
 /// Errors from the network compiler.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,7 +36,10 @@ impl std::fmt::Display for NetCompileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NetCompileError::NotPositive(r) => {
-                write!(f, "only positive Datalog(≠) compiles to the broadcast network: {r}")
+                write!(
+                    f,
+                    "only positive Datalog(≠) compiles to the broadcast network: {r}"
+                )
             }
         }
     }
@@ -158,10 +161,9 @@ mod tests {
 
     #[test]
     fn compiled_tc_computes_on_networks() {
-        let p = calm_datalog::parse_program(
-            "@output T.\nT(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).",
-        )
-        .unwrap();
+        let p =
+            calm_datalog::parse_program("@output T.\nT(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).")
+                .unwrap();
         let t = compile_monotone_program("net-tc", &p).unwrap();
         for input in [path(4), cycle(4)] {
             let exp = expected(&p, &input);
@@ -176,7 +178,13 @@ mod tests {
                     &tn,
                     &input,
                     &exp,
-                    &[Scheduler::RoundRobin, Scheduler::Random { seed: 4, prefix: 30 }],
+                    &[
+                        Scheduler::RoundRobin,
+                        Scheduler::Random {
+                            seed: 4,
+                            prefix: 30,
+                        },
+                    ],
                     200_000,
                 )
                 .unwrap_or_else(|e| panic!("n={n}: {e}"));
@@ -189,10 +197,9 @@ mod tests {
         // On a single node, each transition performs one immediate-
         // consequence round: a path of length 5 needs several heartbeats
         // before T(0,5) appears.
-        let p = calm_datalog::parse_program(
-            "@output T.\nT(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).",
-        )
-        .unwrap();
+        let p =
+            calm_datalog::parse_program("@output T.\nT(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).")
+                .unwrap();
         let t = compile_monotone_program("net-tc", &p).unwrap();
         let input = path(5);
         let exp = expected(&p, &input);
@@ -206,7 +213,10 @@ mod tests {
         };
         let beats = crate::coordination::heartbeat_witness(&tn, &input, &x, &exp, 20)
             .expect("fixpoint reached by heartbeats");
-        assert!(beats >= 3, "recursion takes multiple transitions, got {beats}");
+        assert!(
+            beats >= 3,
+            "recursion takes multiple transitions, got {beats}"
+        );
     }
 
     #[test]
@@ -252,7 +262,10 @@ mod tests {
             calm_common::fact::fact("Down", [3, 4]),
         ]);
         let exp = expected(&p, &input);
-        assert!(exp.contains(&Fact::new("out_SG", vec![calm_common::v(1), calm_common::v(4)])));
+        assert!(exp.contains(&Fact::new(
+            "out_SG",
+            vec![calm_common::v(1), calm_common::v(4)]
+        )));
         let policy = HashPolicy::new(Network::of_size(2));
         let tn = TransducerNetwork {
             transducer: &t,
@@ -268,10 +281,9 @@ mod tests {
     fn matches_monotone_broadcast_strategy_output() {
         // The declarative compilation and the native MonotoneBroadcast
         // strategy compute the same thing (modulo relation naming).
-        let p = calm_datalog::parse_program(
-            "@output T.\nT(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).",
-        )
-        .unwrap();
+        let p =
+            calm_datalog::parse_program("@output T.\nT(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).")
+                .unwrap();
         let compiled = compile_monotone_program("net-tc", &p).unwrap();
         let native = crate::strategy::MonotoneBroadcast::new(Box::new(
             calm_datalog::DatalogQuery::new("tc", p.clone()).unwrap(),

@@ -45,7 +45,10 @@ pub fn distribute(policy: &dyn DistributionPolicy, input: &Instance) -> BTreeMap
         .collect();
     for f in input.facts() {
         let targets = policy.assign(&f);
-        debug_assert!(!targets.is_empty(), "policies are total with nonempty images");
+        debug_assert!(
+            !targets.is_empty(),
+            "policies are total with nonempty images"
+        );
         for t in targets {
             out.get_mut(&t)
                 .unwrap_or_else(|| panic!("policy assigned {f} to non-node {t}"))
@@ -214,7 +217,6 @@ impl DistributionPolicy for OverridePolicy {
             .unwrap_or_else(|| self.base.assign(fact))
     }
 }
-
 
 /// A domain-guided policy with a *replication factor*: every value is
 /// assigned to `k` consecutive nodes (hash-ring style), so every fact is
@@ -481,10 +483,8 @@ mod tests {
     #[test]
     fn override_policy_reroutes_listed_facts() {
         let net = Network::of_size(2);
-        let base: Arc<dyn DistributionPolicy> = Arc::new(DomainGuidedPolicy::all_to(
-            net.clone(),
-            Value::str("n1"),
-        ));
+        let base: Arc<dyn DistributionPolicy> =
+            Arc::new(DomainGuidedPolicy::all_to(net.clone(), Value::str("n1")));
         let j = [fact("E", [7, 8])];
         let p = OverridePolicy::new(base, j.clone(), [Value::str("n2")]);
         assert_eq!(
@@ -496,7 +496,6 @@ mod tests {
             BTreeSet::from([Value::str("n1")])
         );
     }
-
 
     #[test]
     fn replicated_policy_assigns_k_owners() {
@@ -525,18 +524,13 @@ mod tests {
         assert_ne!(p.assign(&lowf), p.assign(&highf));
         // Out-of-range goes to the last node.
         let off = fact("E", [999, 0]);
-        assert_eq!(
-            p.assign(&off),
-            BTreeSet::from([Value::str("n2")])
-        );
+        assert_eq!(p.assign(&off), BTreeSet::from([Value::str("n2")]));
     }
 
     #[test]
     fn value_assignment_override() {
-        let p = DomainGuidedPolicy::new(Network::of_size(2)).with_value_assignment(
-            Value::Int(5),
-            [Value::str("n1"), Value::str("n2")],
-        );
+        let p = DomainGuidedPolicy::new(Network::of_size(2))
+            .with_value_assignment(Value::Int(5), [Value::str("n1"), Value::str("n2")]);
         assert_eq!(p.alpha(&Value::Int(5)).len(), 2);
         // Fact containing 5 is replicated to both nodes.
         assert_eq!(p.assign(&fact("E", [5, 5])).len(), 2);

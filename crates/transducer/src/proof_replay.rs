@@ -15,8 +15,7 @@ use crate::coordination::heartbeat_witness;
 use crate::network::Network;
 use crate::policy::{distribute, DistributionPolicy, DomainGuidedPolicy, OverridePolicy};
 use crate::runtime::{
-    network_output, run, transition, Configuration, Delivery, Metrics, Scheduler,
-    TransducerNetwork,
+    network_output, run, transition, Configuration, Delivery, Metrics, Scheduler, TransducerNetwork,
 };
 use crate::schema::SystemConfig;
 use crate::transducer::Transducer;
@@ -192,13 +191,8 @@ mod tests {
         let j = Instance::from_facts([edge(2, 50), edge(50, 51)]);
         assert!(is_domain_distinct(&j, &input));
         let expected_qi = expected_output(t.query(), &input);
-        let outcome = replay_policy_surgery(
-            &t,
-            SystemConfig::POLICY_AWARE,
-            &input,
-            &j,
-            &expected_qi,
-        );
+        let outcome =
+            replay_policy_surgery(&t, SystemConfig::POLICY_AWARE, &input, &j, &expected_qi);
         assert!(outcome.heartbeats_p1.is_some());
         assert!(outcome.same_behaviour_under_p2, "x cannot tell I from I∪J");
         assert!(outcome.inclusion_holds, "Q(I) ⊆ Q(I ∪ J) derived");
@@ -216,13 +210,8 @@ mod tests {
         let j = cycle_game(100, 3);
         assert!(is_domain_disjoint(&j, &input));
         let expected_qi = expected_output(t.query(), &input);
-        let outcome = replay_policy_surgery(
-            &t,
-            SystemConfig::POLICY_AWARE,
-            &input,
-            &j,
-            &expected_qi,
-        );
+        let outcome =
+            replay_policy_surgery(&t, SystemConfig::POLICY_AWARE, &input, &j, &expected_qi);
         assert!(outcome.same_behaviour_under_p2);
         assert!(outcome.inclusion_holds);
     }

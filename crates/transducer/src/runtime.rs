@@ -9,8 +9,7 @@ use crate::system_facts::system_facts;
 use crate::transducer::Transducer;
 use calm_common::fact::Fact;
 use calm_common::instance::Instance;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use calm_common::rng::Rng;
 use std::collections::BTreeMap;
 
 /// A transducer network `Π = (N, Υ, Π, P)` ready to run on inputs.
@@ -38,7 +37,10 @@ impl Configuration {
     /// The start configuration: everything empty.
     pub fn start(network: &crate::network::Network) -> Self {
         Configuration {
-            state: network.nodes().map(|n| (n.clone(), Instance::new())).collect(),
+            state: network
+                .nodes()
+                .map(|n| (n.clone(), Instance::new()))
+                .collect(),
             buffer: network
                 .nodes()
                 .map(|n| (n.clone(), Multiset::new()))
@@ -67,6 +69,9 @@ pub struct Metrics {
     pub first_output_at: Option<usize>,
     /// Transition index at which the output last grew.
     pub last_output_growth_at: Option<usize>,
+    /// Engine-level counters summed over every transition's queries
+    /// (zero when the transducer is native Rust rather than Datalog).
+    pub eval: calm_common::storage::EvalMetrics,
 }
 
 /// What a single transition should deliver.
@@ -111,7 +116,7 @@ pub fn transition(
             Vec::new()
         }
         Delivery::Sample { seed } => {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let taken = buffer.take_all();
             let mut delivered_support: Vec<Fact> = Vec::new();
             for (f, count) in taken.iter() {
@@ -154,6 +159,7 @@ pub fn transition(
     let d = j.union(&s);
 
     let step = tn.transducer.step(&d);
+    metrics.eval.merge(&step.metrics);
 
     // Update state: cumulative output, insert/delete memory.
     let schema = tn.transducer.schema();
@@ -188,10 +194,8 @@ pub fn transition(
     }
 
     // Output growth bookkeeping.
-    let grew_output = config.state[x]
-        .restrict(&schema.output)
-        .len()
-        > before.restrict(&schema.output).len();
+    let grew_output =
+        config.state[x].restrict(&schema.output).len() > before.restrict(&schema.output).len();
     if grew_output {
         if metrics.first_output_at.is_none() {
             metrics.first_output_at = Some(metrics.transitions);
@@ -306,8 +310,8 @@ pub fn run(
         .map(|n| (n.clone(), std::collections::BTreeSet::new()))
         .collect();
     let note_delivery = |config: &Configuration,
-                             delivered: &mut BTreeMap<NodeId, std::collections::BTreeSet<Fact>>,
-                             x: &NodeId| {
+                         delivered: &mut BTreeMap<NodeId, std::collections::BTreeSet<Fact>>,
+                         x: &NodeId| {
         let set = delivered.get_mut(x).expect("node");
         for f in config.buffer[x].support() {
             set.insert(f.clone());
@@ -315,7 +319,7 @@ pub fn run(
     };
 
     if let Scheduler::Random { seed, prefix } = scheduler {
-        let mut rng = StdRng::seed_from_u64(*seed);
+        let mut rng = Rng::seed_from_u64(*seed);
         let nodes: Vec<NodeId> = tn.policy.network().nodes().cloned().collect();
         for _ in 0..*prefix {
             if metrics.transitions >= max_transitions {
@@ -325,7 +329,9 @@ pub fn run(
             let delivery = match rng.gen_range(0..3u8) {
                 0 => Delivery::All,
                 1 => Delivery::None,
-                _ => Delivery::Sample { seed: rng.gen() },
+                _ => Delivery::Sample {
+                    seed: rng.gen_u64(),
+                },
             };
             // Only full deliveries are recorded in the delivered-set (a
             // sampled delivery may skip occurrences; under-recording is
@@ -351,11 +357,9 @@ pub fn run(
                 state_changed = true;
             }
         }
-        let all_messages_seen = nodes.iter().all(|x| {
-            config.buffer[x]
-                .support()
-                .all(|f| delivered[x].contains(f))
-        });
+        let all_messages_seen = nodes
+            .iter()
+            .all(|x| config.buffer[x].support().all(|f| delivered[x].contains(f)));
         if !state_changed && all_messages_seen {
             quiescent = true;
             break;
@@ -456,8 +460,14 @@ mod tests {
             &expected,
             &[
                 Scheduler::RoundRobin,
-                Scheduler::Random { seed: 1, prefix: 20 },
-                Scheduler::Random { seed: 2, prefix: 50 },
+                Scheduler::Random {
+                    seed: 1,
+                    prefix: 20,
+                },
+                Scheduler::Random {
+                    seed: 2,
+                    prefix: 50,
+                },
             ],
             10_000,
         )
@@ -513,12 +523,7 @@ mod tests {
         let input = calm_common::generator::cycle(5);
         let expected = expected_out(&input);
         for seed in 0..8 {
-            let r = run(
-                &tn,
-                &input,
-                &Scheduler::Random { seed, prefix: 60 },
-                10_000,
-            );
+            let r = run(&tn, &input, &Scheduler::Random { seed, prefix: 60 }, 10_000);
             assert!(r.quiescent, "seed {seed}");
             assert_eq!(r.output, expected, "confluence under seed {seed}");
         }

@@ -130,12 +130,7 @@ mod tests {
     #[should_panic(expected = "disjoint")]
     fn overlapping_parts_rejected() {
         let e2 = Schema::from_pairs([("E", 2)]);
-        let _ = TransducerSchema::new(
-            e2.clone(),
-            e2.clone(),
-            Schema::new(),
-            Schema::new(),
-        );
+        let _ = TransducerSchema::new(e2.clone(), e2.clone(), Schema::new(), Schema::new());
     }
 
     #[test]

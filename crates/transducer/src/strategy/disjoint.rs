@@ -274,7 +274,13 @@ mod tests {
                 &tn,
                 &input,
                 &expected,
-                &[Scheduler::RoundRobin, Scheduler::Random { seed: 5, prefix: 60 }],
+                &[
+                    Scheduler::RoundRobin,
+                    Scheduler::Random {
+                        seed: 5,
+                        prefix: 60,
+                    },
+                ],
                 100_000,
             )
             .unwrap_or_else(|e| panic!("n={n}: {e}"));
@@ -399,7 +405,13 @@ mod tests {
             &tn,
             &input,
             &expected,
-            &[Scheduler::RoundRobin, Scheduler::Random { seed: 8, prefix: 80 }],
+            &[
+                Scheduler::RoundRobin,
+                Scheduler::Random {
+                    seed: 8,
+                    prefix: 80,
+                },
+            ],
             500_000,
         )
         .unwrap();

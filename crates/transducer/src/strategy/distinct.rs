@@ -9,7 +9,9 @@
 //! `Q({f | adom(f) ⊆ C})` is output (sound for `Q ∈ Mdistinct` because
 //! the rest of the input is domain-distinct from the complete part).
 
-use super::{absence_rel, coll_rel, collected_input, msg_rel, rename_to_out, renamed_output_schema};
+use super::{
+    absence_rel, coll_rel, collected_input, msg_rel, rename_to_out, renamed_output_schema,
+};
 use crate::schema::{policy_relation, TransducerSchema};
 use crate::system_facts::tuples_over;
 use crate::transducer::{Transducer, TransducerStep};
@@ -103,12 +105,10 @@ impl Transducer for DistinctStrategy {
             }
             // Persist and broadcast.
             for t in &absences {
-                step.ins
-                    .insert(Fact::new(known_absence_rel(r), t.clone()));
+                step.ins.insert(Fact::new(known_absence_rel(r), t.clone()));
                 if !d.contains_tuple(&sent_absence_rel(r), t) {
                     step.snd.insert(Fact::new(absence_rel(r), t.clone()));
-                    step.ins
-                        .insert(Fact::new(sent_absence_rel(r), t.clone()));
+                    step.ins.insert(Fact::new(sent_absence_rel(r), t.clone()));
                 }
             }
             for t in collected.tuples(r) {
@@ -120,8 +120,7 @@ impl Transducer for DistinctStrategy {
             }
             // Undetermined tuples poison their values.
             for tuple in tuples_over(&myadom, arity) {
-                let determined =
-                    collected.contains_tuple(r, &tuple) || absences.contains(&tuple);
+                let determined = collected.contains_tuple(r, &tuple) || absences.contains(&tuple);
                 if !determined {
                     undetermined_values.extend(tuple.iter().cloned());
                 }
@@ -180,7 +179,13 @@ mod tests {
                 &tn,
                 &input,
                 &expected,
-                &[Scheduler::RoundRobin, Scheduler::Random { seed: 3, prefix: 40 }],
+                &[
+                    Scheduler::RoundRobin,
+                    Scheduler::Random {
+                        seed: 3,
+                        prefix: 40,
+                    },
+                ],
                 50_000,
             )
             .unwrap_or_else(|e| panic!("n={n}: {e}"));
@@ -274,11 +279,9 @@ mod tests {
         let expected = expected_output(t.query(), &input);
         // Split the two move facts across nodes.
         let net = Network::of_size(2);
-        let base: std::sync::Arc<dyn crate::policy::DistributionPolicy> =
-            std::sync::Arc::new(DomainGuidedPolicy::all_to(
-                net.clone(),
-                calm_common::value::Value::str("n1"),
-            ));
+        let base: std::sync::Arc<dyn crate::policy::DistributionPolicy> = std::sync::Arc::new(
+            DomainGuidedPolicy::all_to(net.clone(), calm_common::value::Value::str("n1")),
+        );
         let policy = crate::policy::OverridePolicy::new(
             base,
             [calm_common::generator::mv(1, 2)],

@@ -115,7 +115,13 @@ mod tests {
                 &tn,
                 &input,
                 &expected,
-                &[Scheduler::RoundRobin, Scheduler::Random { seed: 7, prefix: 30 }],
+                &[
+                    Scheduler::RoundRobin,
+                    Scheduler::Random {
+                        seed: 7,
+                        prefix: 30,
+                    },
+                ],
                 20_000,
             )
             .unwrap_or_else(|e| panic!("n={n}: {e}"));
@@ -162,9 +168,8 @@ mod tests {
         let expected = expected_output(t.query(), &input);
         assert!(expected.is_empty(), "complement of TC on a cycle is empty");
         let net = Network::of_size(2);
-        let base: std::sync::Arc<dyn crate::policy::DistributionPolicy> = std::sync::Arc::new(
-            DomainGuidedPolicy::all_to(net.clone(), Value::str("n1")),
-        );
+        let base: std::sync::Arc<dyn crate::policy::DistributionPolicy> =
+            std::sync::Arc::new(DomainGuidedPolicy::all_to(net.clone(), Value::str("n1")));
         let policy = OverridePolicy::new(
             base,
             [calm_common::fact::fact("E", [1, 2])],
@@ -201,7 +206,10 @@ mod tests {
         // knows it; re-broadcast of received facts is also once. Upper
         // bound: |facts| × n × (n - 1).
         assert!(r.metrics.messages_sent <= 4 * 3 * 2);
-        assert!(r.metrics.messages_sent >= 4 * 2, "every fact reaches the others");
+        assert!(
+            r.metrics.messages_sent >= 4 * 2,
+            "every fact reaches the others"
+        );
     }
 
     #[test]

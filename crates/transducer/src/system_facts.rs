@@ -131,15 +131,9 @@ mod tests {
         // policy_E(a, b): a must be an odd integer from A -> a ∈ {1, 3},
         // b ranges over all 5 values of A: 10 facts.
         assert_eq!(s.relation_len("policy_E"), 10);
-        assert!(s.contains(&Fact::new(
-            "policy_E",
-            vec![Value::Int(3), Value::Int(4)]
-        )));
+        assert!(s.contains(&Fact::new("policy_E", vec![Value::Int(3), Value::Int(4)])));
         // Node 1 is not responsible for even-first-attribute facts.
-        assert!(!s.contains(&Fact::new(
-            "policy_E",
-            vec![Value::Int(4), Value::Int(3)]
-        )));
+        assert!(!s.contains(&Fact::new("policy_E", vec![Value::Int(4), Value::Int(3)])));
     }
 
     #[test]
@@ -147,7 +141,14 @@ mod tests {
         let (net, schema, policy) = setup();
         let n1 = Value::str("n1");
         let visible = Instance::from_facts([fact("E", [1, 3])]);
-        let s = system_facts(&n1, &net, &schema, &policy, SystemConfig::ORIGINAL, &visible);
+        let s = system_facts(
+            &n1,
+            &net,
+            &schema,
+            &policy,
+            SystemConfig::ORIGINAL,
+            &visible,
+        );
         assert_eq!(s.relation_len("MyAdom"), 0);
         assert_eq!(s.relation_len("policy_E"), 0);
         assert!(s.contains(&Fact::new("Id", vec![n1])));
@@ -179,7 +180,14 @@ mod tests {
         let (net, schema, policy) = setup();
         let n1 = Value::str("n1");
         let visible = Instance::from_facts([fact("E", [1, 3])]);
-        let s = system_facts(&n1, &net, &schema, &policy, SystemConfig::OBLIVIOUS, &visible);
+        let s = system_facts(
+            &n1,
+            &net,
+            &schema,
+            &policy,
+            SystemConfig::OBLIVIOUS,
+            &visible,
+        );
         assert!(s.is_empty());
     }
 
@@ -207,9 +215,6 @@ mod tests {
             &visible,
         );
         assert!(s.contains(&Fact::new("MyAdom", vec![Value::Int(6)])));
-        assert!(s.contains(&Fact::new(
-            "policy_E",
-            vec![Value::Int(3), Value::Int(6)]
-        )));
+        assert!(s.contains(&Fact::new("policy_E", vec![Value::Int(3), Value::Int(6)])));
     }
 }

@@ -2,9 +2,13 @@
 //! `Π = (Qout, Qins, Qdel, Qsnd)`.
 
 use crate::schema::TransducerSchema;
+use calm_common::fact::{Fact, RelName};
 use calm_common::instance::Instance;
-use calm_datalog::eval::{derive_once, Database};
+use calm_common::storage::{EvalMetrics, RelId, SharedSymbols};
+use calm_datalog::eval::{Database, RuleSet};
 use calm_datalog::program::Program;
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// The result of one transition's queries.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -17,6 +21,9 @@ pub struct TransducerStep {
     pub del: Instance,
     /// `Qsnd(D)` — messages sent to every other node (over `Υmsg`).
     pub snd: Instance,
+    /// Engine counters for evaluating this step's queries (zero for
+    /// native Rust transducers, which bypass the Datalog engine).
+    pub metrics: EvalMetrics,
 }
 
 /// A relational transducer: four queries over the combined schema
@@ -47,27 +54,69 @@ pub trait Transducer: Send + Sync {
 pub struct DatalogTransducer {
     schema: TransducerSchema,
     name: String,
-    rules: Program,
+    /// Per-transducer evaluation state reused across transitions: the
+    /// symbol table, the compiled rule set, head-relation routing by
+    /// interned id, and a scratch database whose allocations survive
+    /// `clear()`. A `Mutex` keeps `step(&self)` shareable across the
+    /// simulator's threads without rebuilding any of it per transition.
+    ctx: Mutex<StepContext>,
+}
+
+/// Where facts derived for a head relation go in a [`TransducerStep`].
+enum Route {
+    Out,
+    Snd,
+    Ins,
+    /// `del_<base>` head: route to `del`, renamed to the base relation.
+    Del(RelName),
+}
+
+struct StepContext {
+    symbols: SharedSymbols,
+    rules: RuleSet,
+    routes: HashMap<RelId, Route>,
+    scratch: Database,
 }
 
 impl DatalogTransducer {
     /// Build from a rule set. Head relations must lie in `Υout`, `Υmem`,
     /// `Υmsg`, or be `del_<mem-relation>`.
     pub fn new(name: impl Into<String>, schema: TransducerSchema, rules: Program) -> Self {
-        for rule in rules.rules() {
-            let head = rule.head.relation.as_ref();
-            let ok = schema.output.contains(head)
-                || schema.mem.contains(head)
-                || schema.msg.contains(head)
-                || head
+        let symbols = SharedSymbols::new();
+        let compiled;
+        let mut routes = HashMap::new();
+        {
+            let mut table = symbols.write();
+            for rule in rules.rules() {
+                let head = rule.head.relation.as_ref();
+                let route = if schema.output.contains(head) {
+                    Route::Out
+                } else if schema.mem.contains(head) {
+                    Route::Ins
+                } else if schema.msg.contains(head) {
+                    Route::Snd
+                } else if let Some(base) = head
                     .strip_prefix("del_")
-                    .is_some_and(|base| schema.mem.contains(base));
-            assert!(ok, "rule head {head} is not an output/memory/message relation");
+                    .filter(|base| schema.mem.contains(base))
+                {
+                    Route::Del(calm_common::fact::rel(base))
+                } else {
+                    panic!("rule head {head} is not an output/memory/message relation");
+                };
+                routes.insert(table.rel(head), route);
+            }
+            compiled = RuleSet::new(&rules, &mut table);
         }
+        let scratch = Database::with_symbols(symbols.clone());
         DatalogTransducer {
             schema,
             name: name.into(),
-            rules,
+            ctx: Mutex::new(StepContext {
+                symbols,
+                rules: compiled,
+                routes,
+                scratch,
+            }),
         }
     }
 
@@ -91,24 +140,30 @@ impl Transducer for DatalogTransducer {
     }
 
     fn step(&self, d: &Instance) -> TransducerStep {
-        let db = Database::from_instance(d);
-        let derived = derive_once(&self.rules, &db).to_instance();
+        let mut guard = self.ctx.lock().expect("step context");
+        let ctx = &mut *guard;
+        ctx.scratch.clear();
+        ctx.scratch.load(d);
         let mut step = TransducerStep::default();
-        for f in derived.facts() {
-            let rel = f.relation().as_ref();
-            if self.schema.output.contains(rel) {
-                step.out.insert(f);
-            } else if self.schema.msg.contains(rel) {
-                step.snd.insert(f);
-            } else if self.schema.mem.contains(rel) {
-                step.ins.insert(f);
-            } else if let Some(base) = rel.strip_prefix("del_") {
-                if self.schema.mem.contains(base) {
-                    step.del
-                        .insert(calm_common::fact::Fact::new(base, f.args().to_vec()));
-                }
-            }
-        }
+        let mut metrics = EvalMetrics::default();
+        // One read lock across the whole derivation: rows are uninterned
+        // as they are emitted, no intermediate Database or Instance.
+        let table = ctx.symbols.read();
+        ctx.rules
+            .derive(&ctx.scratch, &mut metrics, &mut |rel, row| {
+                let Some(route) = ctx.routes.get(&rel) else {
+                    return;
+                };
+                let args: Vec<_> = row.iter().map(|s| table.value(*s).clone()).collect();
+                match route {
+                    Route::Out => step.out.insert(Fact::new(table.rel_name(rel), args)),
+                    Route::Snd => step.snd.insert(Fact::new(table.rel_name(rel), args)),
+                    Route::Ins => step.ins.insert(Fact::new(table.rel_name(rel), args)),
+                    Route::Del(base) => step.del.insert(Fact::new(base, args)),
+                };
+            });
+        drop(table);
+        step.metrics = metrics;
         step
     }
 

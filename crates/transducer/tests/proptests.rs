@@ -1,9 +1,12 @@
 //! Property tests for the transducer substrate: multiset laws, policy
 //! totality and replication invariants, and the safety restriction on
 //! system facts (Section 4.1.3: `policy_R` only over known values).
+//!
+//! Deterministic seeded loops over [`calm_common::rng::Rng`].
 
 use calm_common::fact::{fact, Fact};
 use calm_common::instance::Instance;
+use calm_common::rng::Rng;
 use calm_common::schema::Schema;
 use calm_common::value::v;
 use calm_transducer::system_facts::system_facts;
@@ -11,48 +14,70 @@ use calm_transducer::{
     distribute, DistributionPolicy, DomainGuidedPolicy, HashPolicy, Multiset, Network,
     ReplicatedDomainPolicy, SystemConfig,
 };
-use proptest::prelude::*;
 
-fn edge_instance() -> impl Strategy<Value = Instance> {
-    prop::collection::vec((0..6i64, 0..6i64), 0..10)
-        .prop_map(|pairs| Instance::from_facts(pairs.into_iter().map(|(a, b)| fact("E", [a, b]))))
+const CASES: u64 = 64;
+
+fn edge_instance(r: &mut Rng) -> Instance {
+    let mut i = Instance::new();
+    for _ in 0..r.gen_range(0..10usize) {
+        i.insert(fact("E", [r.gen_range(0..6i64), r.gen_range(0..6i64)]));
+    }
+    i
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn small_vec(r: &mut Rng, max_val: i64, max_len: usize) -> Vec<i64> {
+    (0..r.gen_range(0..max_len))
+        .map(|_| r.gen_range(0..max_val))
+        .collect()
+}
 
-    // ---------- Multiset laws ----------
+// ---------- Multiset laws ----------
 
-    #[test]
-    fn multiset_insert_remove_roundtrip(items in prop::collection::vec(0..5i64, 0..20)) {
+#[test]
+fn multiset_insert_remove_roundtrip() {
+    for seed in 0..CASES {
+        let mut r = Rng::seed_from_u64(seed);
+        let items = small_vec(&mut r, 5, 20);
         let mut m: Multiset<i64> = items.iter().copied().collect();
-        prop_assert_eq!(m.len(), items.len());
+        assert_eq!(m.len(), items.len(), "seed {seed}");
         for x in &items {
-            prop_assert!(m.remove_one(x));
+            assert!(m.remove_one(x), "seed {seed}");
         }
-        prop_assert!(m.is_empty());
+        assert!(m.is_empty(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn multiset_subtract_bounds(a in prop::collection::vec(0..4i64, 0..12),
-                                b in prop::collection::vec(0..4i64, 0..12)) {
+#[test]
+fn multiset_subtract_bounds() {
+    for seed in 0..CASES {
+        let mut r = Rng::seed_from_u64(seed);
+        let a = small_vec(&mut r, 4, 12);
+        let b = small_vec(&mut r, 4, 12);
         let mut m: Multiset<i64> = a.iter().copied().collect();
         let n: Multiset<i64> = b.iter().copied().collect();
         let before = m.len();
         m.subtract(&n);
-        prop_assert!(m.len() <= before);
+        assert!(m.len() <= before, "seed {seed}");
         // Element-wise: count is max(0, a_count - b_count).
         for x in 0..4i64 {
-            let expect = a.iter().filter(|&&y| y == x).count()
+            let expect = a
+                .iter()
+                .filter(|&&y| y == x)
+                .count()
                 .saturating_sub(b.iter().filter(|&&y| y == x).count());
-            prop_assert_eq!(m.count(&x), expect);
+            assert_eq!(m.count(&x), expect, "seed {seed}");
         }
     }
+}
 
-    // ---------- Policy invariants ----------
+// ---------- Policy invariants ----------
 
-    #[test]
-    fn distribution_covers_every_fact(i in edge_instance(), n in 1usize..5) {
+#[test]
+fn distribution_covers_every_fact() {
+    for seed in 0..CASES {
+        let mut r = Rng::seed_from_u64(seed);
+        let i = edge_instance(&mut r);
+        let n = r.gen_range(1..5usize);
         let policy = HashPolicy::new(Network::of_size(n));
         let dist = distribute(&policy, &i);
         // Every input fact is somewhere; nothing extra appears.
@@ -60,36 +85,49 @@ proptest! {
         for part in dist.values() {
             union.extend(part.facts());
         }
-        prop_assert_eq!(union, i);
+        assert_eq!(union, i, "seed {seed}");
     }
+}
 
-    #[test]
-    fn domain_guided_owner_holds_all_its_values_facts(i in edge_instance(), n in 1usize..5) {
+#[test]
+fn domain_guided_owner_holds_all_its_values_facts() {
+    for seed in 0..CASES {
+        let mut r = Rng::seed_from_u64(seed);
+        let i = edge_instance(&mut r);
+        let n = r.gen_range(1..5usize);
         let policy = DomainGuidedPolicy::new(Network::of_size(n));
         let dist = distribute(&policy, &i);
         for f in i.facts() {
             for val in f.values() {
                 for owner in policy.domain_assignment(val) {
-                    prop_assert!(
+                    assert!(
                         dist[&owner].contains(&f),
-                        "owner of {val} must hold {f}"
+                        "seed {seed}: owner of {val} must hold {f}"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn replicated_policy_alpha_size(n in 2usize..6, val in 0..100i64) {
+#[test]
+fn replicated_policy_alpha_size() {
+    for seed in 0..CASES {
+        let mut r = Rng::seed_from_u64(seed);
+        let n = r.gen_range(2..6usize);
+        let val = r.gen_range(0..100i64);
         let k = 2usize.min(n);
         let policy = ReplicatedDomainPolicy::new(Network::of_size(n), k);
-        prop_assert_eq!(policy.domain_assignment(&v(val)).len(), k);
+        assert_eq!(policy.domain_assignment(&v(val)).len(), k, "seed {seed}");
     }
+}
 
-    // ---------- System facts safety restriction ----------
+// ---------- System facts safety restriction ----------
 
-    #[test]
-    fn policy_relations_bounded_by_known_values(i in edge_instance()) {
+#[test]
+fn policy_relations_bounded_by_known_values() {
+    for seed in 0..CASES {
+        let i = edge_instance(&mut Rng::seed_from_u64(seed));
         // The paper's safety restriction: policy_R tuples range only over
         // A = N ∪ adom(J).
         let net = Network::of_size(2);
@@ -101,17 +139,20 @@ proptest! {
         allowed.extend(net.nodes().cloned());
         for t in s.tuples("policy_E") {
             for val in t {
-                prop_assert!(allowed.contains(val), "{val} outside A");
+                assert!(allowed.contains(val), "seed {seed}: {val} outside A");
             }
         }
         // MyAdom is exactly A.
         let myadom: std::collections::BTreeSet<_> =
             s.tuples("MyAdom").map(|t| t[0].clone()).collect();
-        prop_assert_eq!(myadom, allowed);
+        assert_eq!(myadom, allowed, "seed {seed}");
     }
+}
 
-    #[test]
-    fn policy_truthful_about_assignments(i in edge_instance()) {
+#[test]
+fn policy_truthful_about_assignments() {
+    for seed in 0..CASES {
+        let i = edge_instance(&mut Rng::seed_from_u64(seed));
         // Every policy_R(ā) shown to x really is assigned to x, and every
         // E-tuple over A assigned to x is shown.
         let net = Network::of_size(3);
@@ -121,7 +162,7 @@ proptest! {
             let s = system_facts(x, &net, &schema, &policy, SystemConfig::POLICY_AWARE, &i);
             for t in s.tuples("policy_E") {
                 let f = Fact::new("E", t.clone());
-                prop_assert!(policy.assign(&f).contains(x));
+                assert!(policy.assign(&f).contains(x), "seed {seed}");
             }
         }
     }

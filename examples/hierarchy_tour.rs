@@ -48,7 +48,9 @@ fn main() {
     let far = triangle_from(50);
     assert!(is_domain_disjoint(&far, &i) && violated(&tri, &i, &far));
     assert_eq!(tri.eval(&disjoint_triangles(0, 2)), Instance::new());
-    println!("✓ triangle query: a disjoint triangle retracts output — computable but ∉ Mdisjoint\n");
+    println!(
+        "✓ triangle query: a disjoint triangle retracts output — computable but ∉ Mdisjoint\n"
+    );
 
     // The bounded ladders (Thm 3.1(3,4)): Q^{i+2}_clique and
     // Q^{i+1}_star.
@@ -56,16 +58,16 @@ fn main() {
         let q = CliqueQuery::new(i_param + 2);
         let base = clique_from(0, i_param + 1);
         // A star of i+1 fresh-centre edges completes the clique...
-        let star_j = Instance::from_facts(
-            (0..=i_param as i64).map(|k| edge(1000, k)),
-        );
+        let star_j = Instance::from_facts((0..=i_param as i64).map(|k| edge(1000, k)));
         assert!(is_domain_distinct(&star_j, &base));
-        assert!(violated(&q, &base, &star_j), "needs i+1 = {} facts", i_param + 1);
+        assert!(
+            violated(&q, &base, &star_j),
+            "needs i+1 = {} facts",
+            i_param + 1
+        );
         // ...but no i-fact distinct extension can (spot check: drop one
         // edge from the star).
-        let small: Instance = Instance::from_facts(
-            (0..i_param as i64).map(|k| edge(1000, k)),
-        );
+        let small: Instance = Instance::from_facts((0..i_param as i64).map(|k| edge(1000, k)));
         assert!(!violated(&q, &base, &small));
         println!(
             "✓ Q^{}_clique ∈ M^{}_distinct \\ M^{}_distinct",
@@ -111,8 +113,7 @@ fn main() {
     let tc = tc_datalog();
     let falsifier = calm::monotone::Falsifier::new(ExtensionKind::Any).with_trials(300);
     let found = falsifier.falsify(&tc, |rng| {
-        use rand::Rng;
-        calm::common::generator::InstanceRng::seeded(rng.gen()).gnp(5, 0.3)
+        calm::common::generator::InstanceRng::seeded(rng.gen_u64()).gnp(5, 0.3)
     });
     assert!(found.is_none());
     println!("✓ TC survives 300 adversarial extension trials: consistent with M");

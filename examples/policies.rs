@@ -41,7 +41,9 @@ fn main() {
     let value4_complete = d1
         .values()
         .any(|i| i.contains(&fact("E", [3, 4])) && i.contains(&fact("E", [4, 6])));
-    println!("some node holds all facts containing 4? {value4_complete} (=> P1 not domain-guided)\n");
+    println!(
+        "some node holds all facts containing 4? {value4_complete} (=> P1 not domain-guided)\n"
+    );
     assert!(!value4_complete);
 
     // P2: the domain-guided policy from the same example — odd values
@@ -96,7 +98,14 @@ fn main() {
     // so does the visible policy slice — Example 4.2's closing remark.
     let mut j_with_6 = j.clone();
     j_with_6.insert(fact("E", [4, 6]));
-    let s2 = system_facts(&node1, &net, &schema, &p1, SystemConfig::POLICY_AWARE, &j_with_6);
+    let s2 = system_facts(
+        &node1,
+        &net,
+        &schema,
+        &p1,
+        SystemConfig::POLICY_AWARE,
+        &j_with_6,
+    );
     assert!(s2.contains_tuple("MyAdom", &[v(6)]));
     assert!(s2.contains_tuple("policy_E", &[v(3), v(6)]));
     println!("after learning 6: MyAdom(6) and policy_E(3,6) visible ✓");

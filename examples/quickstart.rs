@@ -25,7 +25,10 @@ fn main() {
     // 2. Evaluate it centrally.
     let input = path(3); // 0 -> 1 -> 2 -> 3
     let answer = qtc.eval(&input);
-    println!("Q_TC on a 4-vertex path: {} disconnected pairs", answer.len());
+    println!(
+        "Q_TC on a 4-vertex path: {} disconnected pairs",
+        answer.len()
+    );
     assert!(answer.contains(&fact("O", [3, 0])));
 
     // 3. Which Datalog fragment is the program in? (Section 5.1)
@@ -46,7 +49,9 @@ fn main() {
     let disjoint_ok = Exhaustive::new(ExtensionKind::DomainDisjoint)
         .certify(&qtc)
         .is_none();
-    println!("∉ M: {not_monotone}, ∉ Mdistinct: {not_distinct}, Mdisjoint-consistent: {disjoint_ok}");
+    println!(
+        "∉ M: {not_monotone}, ∉ Mdistinct: {not_distinct}, Mdisjoint-consistent: {disjoint_ok}"
+    );
     assert!(not_monotone && not_distinct && disjoint_ok);
 
     // 5. Coordination-free distributed execution (Theorem 4.4): the

@@ -14,8 +14,14 @@ use calm::transducer::{heartbeat_witness, verify_computes};
 fn schedulers() -> Vec<Scheduler> {
     vec![
         Scheduler::RoundRobin,
-        Scheduler::Random { seed: 21, prefix: 40 },
-        Scheduler::Random { seed: 22, prefix: 80 },
+        Scheduler::Random {
+            seed: 21,
+            prefix: 40,
+        },
+        Scheduler::Random {
+            seed: 22,
+            prefix: 80,
+        },
     ]
 }
 
@@ -144,8 +150,7 @@ fn disjoint_strategy_heartbeat_witness_on_ideal_assignment() {
             policy: &policy,
             config: SystemConfig::POLICY_AWARE,
         };
-        let beats =
-            heartbeat_witness(&tn, &input, &x, &expected, 10).expect("witness must exist");
+        let beats = heartbeat_witness(&tn, &input, &x, &expected, 10).expect("witness must exist");
         assert!(beats <= 2, "n={n}");
     }
 }
@@ -162,7 +167,10 @@ fn strategies_unchanged_without_all_relation() {
 
     let distinct = DistinctStrategy::new(Box::new(edges_without_source_loop()));
     let expected = expected_output(distinct.query(), &input);
-    for config in [SystemConfig::POLICY_AWARE, SystemConfig::POLICY_AWARE_NO_ALL] {
+    for config in [
+        SystemConfig::POLICY_AWARE,
+        SystemConfig::POLICY_AWARE_NO_ALL,
+    ] {
         let policy = HashPolicy::new(Network::of_size(3));
         let tn = TransducerNetwork {
             transducer: &distinct,
@@ -176,7 +184,10 @@ fn strategies_unchanged_without_all_relation() {
     let disjoint = DisjointStrategy::new(Box::new(win_move()));
     let game = chain_game(0, 4);
     let expected = expected_output(disjoint.query(), &game);
-    for config in [SystemConfig::POLICY_AWARE, SystemConfig::POLICY_AWARE_NO_ALL] {
+    for config in [
+        SystemConfig::POLICY_AWARE,
+        SystemConfig::POLICY_AWARE_NO_ALL,
+    ] {
         let policy = DomainGuidedPolicy::new(Network::of_size(3));
         let tn = TransducerNetwork {
             transducer: &disjoint,

@@ -3,9 +3,7 @@
 
 use calm::monotone::classify_query_default;
 use calm::prelude::*;
-use calm::queries::{
-    qtc_datalog, tc_datalog, winmove::win_move, CliqueQuery, StarQuery,
-};
+use calm::queries::{qtc_datalog, tc_datalog, winmove::win_move, CliqueQuery, StarQuery};
 
 #[test]
 fn figure_1_placement_matrix() {
@@ -14,7 +12,10 @@ fn figure_1_placement_matrix() {
         (Box::new(calm::queries::tc::edges_neq()), "M"),
         (Box::new(calm::queries::reachable()), "M"),
         (Box::new(calm::queries::on_cycle()), "M"),
-        (Box::new(calm::queries::tc::edges_without_source_loop()), "Mdistinct"),
+        (
+            Box::new(calm::queries::tc::edges_without_source_loop()),
+            "Mdistinct",
+        ),
         (Box::new(qtc_datalog()), "Mdisjoint"),
         (Box::new(calm::queries::unreachable()), "Mdisjoint"),
         (Box::new(win_move()), "Mdisjoint"),
@@ -42,9 +43,7 @@ fn parameterized_ladders_placed_by_explicit_witnesses() {
     for k in [3usize, 4] {
         let q = CliqueQuery::new(k);
         let base = clique_from(0, k - 1);
-        let complete: Instance = Instance::from_facts(
-            (0..k as i64 - 1).map(|v| edge(1000, v)),
-        );
+        let complete: Instance = Instance::from_facts((0..k as i64 - 1).map(|v| edge(1000, v)));
         assert!(
             check_pair(&q, &base, &complete).is_some(),
             "Q^{k}_clique ∉ M (fresh-centre completion)"

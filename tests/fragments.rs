@@ -9,7 +9,6 @@ use calm::monotone::{check_pair, Exhaustive, ExtensionKind, Falsifier};
 use calm::prelude::*;
 use calm::queries::example51::{p1, p2};
 use calm::queries::qtc_datalog;
-use rand::Rng;
 
 // ---------- E12: Example 5.1 ----------
 
@@ -58,10 +57,7 @@ fn e14_semicon_programs_are_disjoint_monotone() {
             "@output O.\nT(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).\n\
              O(x,y) :- T(x,u), T(y,w), not T(x,y).",
         ),
-        (
-            "non-triangle-vertices",
-            calm::queries::example51::P1_SRC,
-        ),
+        ("non-triangle-vertices", calm::queries::example51::P1_SRC),
     ];
     for (name, src) in programs {
         let q = DatalogQuery::parse(name, src).unwrap();
@@ -77,7 +73,7 @@ fn e14_semicon_programs_are_disjoint_monotone() {
         );
         let f = Falsifier::new(ExtensionKind::DomainDisjoint)
             .with_trials(150)
-            .falsify(&q, |r| InstanceRng::seeded(r.gen()).gnp(4, 0.4));
+            .falsify(&q, |r| InstanceRng::seeded(r.gen_u64()).gnp(4, 0.4));
         assert!(f.is_none(), "{name}: randomized disjoint certification");
     }
 }
@@ -175,8 +171,7 @@ fn e15_invention_distinguishes_isomorphic_contexts() {
     let src = "Pair(*, x, y) :- E(x, y).";
     let p = IlogProgram::parse(src).unwrap();
     let full = calm::ilog::eval_ilog(&p, &path(5), Limits::default()).unwrap();
-    let ids: std::collections::BTreeSet<_> =
-        full.tuples("Pair").map(|t| t[0].clone()).collect();
+    let ids: std::collections::BTreeSet<_> = full.tuples("Pair").map(|t| t[0].clone()).collect();
     assert_eq!(ids.len(), 5);
     assert!(ids.iter().all(calm::common::Value::is_invented));
 }

@@ -2,17 +2,18 @@
 //! Figure 1, validated with the paper's separating queries (experiments
 //! E1–E5 of DESIGN.md).
 
-use calm::common::generator::{clique_from, disjoint_triangles, edge, star_from, triangle_from, InstanceRng};
+use calm::common::generator::{
+    clique_from, disjoint_triangles, edge, star_from, triangle_from, InstanceRng,
+};
 use calm::common::{is_domain_disjoint, is_domain_distinct, Instance};
 use calm::monotone::{check_pair, Exhaustive, ExtensionKind, Falsifier};
 use calm::prelude::*;
 use calm::queries::{
     qtc_datalog, tc_datalog, CliqueQuery, DuplicateQuery, StarQuery, TrianglesUnlessTwoDisjoint,
 };
-use rand::Rng;
 
-fn random_graph(seed_src: &mut impl Rng) -> Instance {
-    InstanceRng::seeded(seed_src.gen()).gnp(5, 0.35)
+fn random_graph(seed_src: &mut calm_common::rng::Rng) -> Instance {
+    InstanceRng::seeded(seed_src.gen_u64()).gnp(5, 0.35)
 }
 
 // ---------- E1: M ⊊ Mdistinct ⊊ Mdisjoint ⊊ C ----------
@@ -87,11 +88,10 @@ fn e2_single_fact_decomposition_for_unrestricted_extensions() {
     use calm::monotone::decomposition_stays_admissible;
     // The structural reason M = M¹: any extension decomposes into
     // admissible single-fact steps.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-    use rand::SeedableRng;
+    let mut rng = calm_common::rng::Rng::seed_from_u64(42);
     for _ in 0..50 {
         let base = random_graph(&mut rng);
-        let ext = InstanceRng::seeded(rng.gen()).gnp(4, 0.4);
+        let ext = InstanceRng::seeded(rng.gen_u64()).gnp(4, 0.4);
         assert!(decomposition_stays_admissible(
             ExtensionKind::Any,
             &base,
@@ -120,8 +120,7 @@ fn e3_clique_queries_separate_bounded_distinct_levels() {
         let q = CliqueQuery::new(i + 2);
         let base = clique_from(0, i + 1);
         // The (i+1)-fact fresh-centre star flips the answer…
-        let star: Instance =
-            Instance::from_facts((0..=i as i64).map(|k| edge(900, k)));
+        let star: Instance = Instance::from_facts((0..=i as i64).map(|k| edge(900, k)));
         assert!(is_domain_distinct(&star, &base));
         assert_eq!(star.len(), i + 1);
         assert!(
@@ -169,7 +168,7 @@ fn e5_clique_separates_bounded_distinct_from_disjoint() {
     let i = 2usize;
     let q = CliqueQuery::new(i + 1); // Q^3_clique
     let base = clique_from(0, i); // a 2-clique (one undirected edge)
-    // i distinct facts complete the 3-clique through a fresh centre.
+                                  // i distinct facts complete the 3-clique through a fresh centre.
     let j = Instance::from_facts([edge(700, 0), edge(700, 1)]);
     assert!(is_domain_distinct(&j, &base));
     assert_eq!(j.len(), i);
@@ -211,7 +210,10 @@ fn e5_duplicate_witnesses_midistinct_not_in_mjdisjoint() {
         fact("R3", [500, 501]),
     ]);
     assert!(is_domain_disjoint(&replicate, &base));
-    assert!(check_pair(&q, &base, &replicate).is_some(), "∉ M^3_disjoint");
+    assert!(
+        check_pair(&q, &base, &replicate).is_some(),
+        "∉ M^3_disjoint"
+    );
     // i = 2 < j: no 2-fact distinct extension can flip the answer.
     let f = Falsifier::new(ExtensionKind::DomainDistinct)
         .with_bound(2)
@@ -235,23 +237,9 @@ fn e6_neq_query_separates_h_from_hinj() {
     use calm::monotone::falsify_homomorphism_preservation;
     let q = calm::queries::tc::edges_neq();
     // ∉ H: collapsing homomorphisms kill x≠y outputs.
-    assert!(falsify_homomorphism_preservation(
-        &q,
-        random_graph,
-        false,
-        300,
-        11,
-    )
-    .is_some());
+    assert!(falsify_homomorphism_preservation(&q, random_graph, false, 300, 11,).is_some());
     // ∈ Hinj: injective renamings preserve everything.
-    assert!(falsify_homomorphism_preservation(
-        &q,
-        random_graph,
-        true,
-        300,
-        12,
-    )
-    .is_none());
+    assert!(falsify_homomorphism_preservation(&q, random_graph, true, 300, 12,).is_none());
     // ∈ M = Hinj: monotone as well.
     assert!(Exhaustive::new(ExtensionKind::Any).certify(&q).is_none());
 }
@@ -261,14 +249,10 @@ fn e6_extension_preservation_equals_domain_distinct_monotonicity() {
     use calm::monotone::falsify_extension_preservation;
     // The SP query is in E = Mdistinct: extension preservation holds.
     let q = calm::queries::tc::edges_without_source_loop();
-    assert!(
-        falsify_extension_preservation(&q, random_graph, 300, 13).is_none()
-    );
+    assert!(falsify_extension_preservation(&q, random_graph, 300, 13).is_none());
     // Q_TC is NOT in E (take an induced subinstance missing the bridge).
     let qtc = qtc_datalog();
-    assert!(
-        falsify_extension_preservation(&qtc, random_graph, 400, 14).is_some()
-    );
+    assert!(falsify_extension_preservation(&qtc, random_graph, 400, 14).is_some());
 }
 
 #[test]
@@ -277,8 +261,7 @@ fn e6_induced_subinstance_complement_duality() {
     // from J — verified over random instances.
     use calm::common::is_induced_subinstance;
     use calm::monotone::preservation::random_induced_subinstance;
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = calm_common::rng::Rng::seed_from_u64(7);
     for _ in 0..100 {
         let i = random_graph(&mut rng);
         let j = random_induced_subinstance(&i, &mut rng);

@@ -9,7 +9,6 @@ use calm::datalog::{parse_program, well_founded_model};
 use calm::monotone::{check_pair, Exhaustive, ExtensionKind, Falsifier};
 use calm::prelude::*;
 use calm::queries::winmove::{win_move, win_move_native};
-use rand::Rng;
 
 #[test]
 fn wfs_equals_backward_induction_on_many_random_games() {
@@ -78,7 +77,7 @@ fn win_move_is_domain_disjoint_monotone_empirically() {
     // Randomized with game-shaped bases.
     let f = Falsifier::new(ExtensionKind::DomainDisjoint)
         .with_trials(200)
-        .falsify(&q, |r| InstanceRng::seeded(r.gen()).move_graph(8, 2));
+        .falsify(&q, |r| InstanceRng::seeded(r.gen_u64()).move_graph(8, 2));
     assert!(f.is_none());
 }
 
