@@ -5,16 +5,25 @@
 
 use crate::report::{markdown_table, Report};
 use crate::workloads::{scaling_graph, structured};
-use calm_datalog::eval::{eval_program_with, Engine};
+use calm_datalog::eval::{eval_stratification_shared_obs, Engine};
 use calm_datalog::parse_program;
+use calm_obs::Obs;
 
 /// E18: derivation-count ablation for transitive closure.
 pub fn e18_engine() -> Report {
+    e18_engine_obs(&Obs::noop())
+}
+
+/// As [`e18_engine`], wrapping each engine × workload run in a span and
+/// streaming the optimized engine's per-stratum/per-iteration spans and
+/// derivation counters to `obs`.
+pub fn e18_engine_obs(obs: &Obs) -> Report {
     let mut r = Report::new(
         "E18",
         "engine ablation — naive vs semi-naive vs ordered+indexed (TC derivation counts)",
     );
     let p = parse_program("T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).").unwrap();
+    let strat = calm_datalog::stratify(&p).unwrap();
     let mut rows = Vec::new();
     let mut seminaive_always_leq_naive = true;
     let mut engines_agree = true;
@@ -31,8 +40,15 @@ pub fn e18_engine() -> Report {
             structured(kind, n)
         };
         let time = |engine: Engine| {
+            let _span = obs.span("bench", || format!("e18:{kind} {engine:?}"));
             let t0 = std::time::Instant::now();
-            let result = eval_program_with(&p, &input, engine).unwrap();
+            let result = eval_stratification_shared_obs(
+                &strat,
+                &input,
+                engine,
+                calm_common::storage::SharedSymbols::new(),
+                obs,
+            );
             (result, t0.elapsed().as_secs_f64() * 1e3)
         };
         let ((out_naive, stats_naive), ms_naive) = time(Engine::Naive);

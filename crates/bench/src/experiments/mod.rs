@@ -9,39 +9,64 @@ mod strategies;
 mod winmove;
 
 use crate::report::Report;
+use calm_obs::Obs;
 
-pub use engine::e18_engine;
+pub use engine::{e18_engine, e18_engine_obs};
 pub use fragments::{e12_example51, e13_components, e14_semicon, e15_wilog};
 pub use hierarchy::{
     e1_hierarchy, e2_bounded_m, e3_clique_ladder, e4_star_ladder, e5_cross, e6_preservation,
 };
 pub use policies::e7_policies;
-pub use strategies::{e10_no_all, e11_strategy_costs, e8_distinct_model, e9_disjoint_model};
+pub use strategies::{
+    e10_no_all, e11_strategy_costs, e11_strategy_costs_obs, e8_distinct_model, e9_disjoint_model,
+};
 pub use winmove::e16_winmove;
 
+/// How an experiment is invoked: most ignore observability; the
+/// instrumented ones (`E11`, `E18`) report spans and counters so `repro
+/// --trace-out` produces machine-readable §4.3 artifacts.
+#[derive(Clone, Copy)]
+pub enum Runner {
+    /// An un-instrumented experiment.
+    Plain(fn() -> Report),
+    /// An experiment threading an [`Obs`] through its runs.
+    Obs(fn(&Obs) -> Report),
+}
+
+impl Runner {
+    /// Invoke the experiment (the `obs` handle is ignored by
+    /// [`Runner::Plain`] experiments).
+    pub fn run(&self, obs: &Obs) -> Report {
+        match self {
+            Runner::Plain(f) => f(),
+            Runner::Obs(f) => f(obs),
+        }
+    }
+}
+
 /// An experiment entry: `(id, runner)`.
-pub type Experiment = (&'static str, fn() -> Report);
+pub type Experiment = (&'static str, Runner);
 
 /// All experiments in order.
 pub fn all() -> Vec<Experiment> {
     vec![
-        ("e1", e1_hierarchy as fn() -> Report),
-        ("e2", e2_bounded_m),
-        ("e3", e3_clique_ladder),
-        ("e4", e4_star_ladder),
-        ("e5", e5_cross),
-        ("e6", e6_preservation),
-        ("e7", e7_policies),
-        ("e8", e8_distinct_model),
-        ("e9", e9_disjoint_model),
-        ("e10", e10_no_all),
-        ("e11", e11_strategy_costs),
-        ("e12", e12_example51),
-        ("e13", e13_components),
-        ("e14", e14_semicon),
-        ("e15", e15_wilog),
-        ("e16", e16_winmove),
-        ("e18", e18_engine),
+        ("e1", Runner::Plain(e1_hierarchy)),
+        ("e2", Runner::Plain(e2_bounded_m)),
+        ("e3", Runner::Plain(e3_clique_ladder)),
+        ("e4", Runner::Plain(e4_star_ladder)),
+        ("e5", Runner::Plain(e5_cross)),
+        ("e6", Runner::Plain(e6_preservation)),
+        ("e7", Runner::Plain(e7_policies)),
+        ("e8", Runner::Plain(e8_distinct_model)),
+        ("e9", Runner::Plain(e9_disjoint_model)),
+        ("e10", Runner::Plain(e10_no_all)),
+        ("e11", Runner::Obs(e11_strategy_costs_obs)),
+        ("e12", Runner::Plain(e12_example51)),
+        ("e13", Runner::Plain(e13_components)),
+        ("e14", Runner::Plain(e14_semicon)),
+        ("e15", Runner::Plain(e15_wilog)),
+        ("e16", Runner::Plain(e16_winmove)),
+        ("e18", Runner::Obs(e18_engine_obs)),
     ]
 }
 

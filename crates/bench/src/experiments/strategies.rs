@@ -6,13 +6,15 @@ use crate::workloads::scaling_graph;
 use calm_common::generator::{chain_game, mv, path};
 use calm_common::query::Query;
 use calm_common::{fact, Instance};
+use calm_obs::Obs;
 use calm_queries::qtc::qtc_datalog;
 use calm_queries::tc::{edges_without_source_loop, tc_datalog};
 use calm_queries::winmove::win_move;
 use calm_transducer::{
-    compile_monotone_program, expected_output, heartbeat_witness, run, verify_computes,
+    compile_monotone_program, expected_output, heartbeat_witness, run, run_with, verify_computes,
     DisjointStrategy, DistinctStrategy, DistributionPolicy, DomainGuidedPolicy, HashPolicy,
-    MonotoneBroadcast, Network, OverridePolicy, Scheduler, SystemConfig, TransducerNetwork,
+    MessageClassCounts, MonotoneBroadcast, Network, OverridePolicy, Scheduler, SystemConfig,
+    TransducerNetwork,
 };
 
 fn schedulers() -> Vec<Scheduler> {
@@ -234,14 +236,32 @@ pub fn e10_no_all() -> Report {
 /// three strategies on TC-style workloads, by graph size and network
 /// size.
 pub fn e11_strategy_costs() -> Report {
+    e11_strategy_costs_obs(&Obs::noop())
+}
+
+/// As [`e11_strategy_costs`], reporting each run as a span and letting
+/// the runtime stream its per-transition events and per-class message
+/// counters to `obs` — `repro --trace-out` turns this into the paper's
+/// §4.3 message-volume comparison as machine-readable artifacts.
+pub fn e11_strategy_costs_obs(obs: &Obs) -> Report {
     let mut r = Report::new(
         "E11",
         "§4.3 — cost profile of the three coordination-free strategies",
     );
     let mut rows = Vec::new();
+    // Per-class message composition on the largest configuration, for the
+    // composition claims below.
+    let mut largest: [MessageClassCounts; 3] = Default::default();
     for &vertices in &[8usize, 16, 32] {
         let input = scaling_graph(11, vertices, 1.5);
         for &n in &[2usize, 4] {
+            let mut measure = |label: &str, tn: &TransducerNetwork<'_>| {
+                let _span = obs.span("bench", || format!("e11:{label} |V|={vertices} n={n}"));
+                let rr = run_with(tn, &input, &Scheduler::RoundRobin, 2_000_000, obs);
+                push_cost_row(&mut rows, label, vertices, n, &rr);
+                rr
+            };
+
             // M strategy on TC.
             let m = MonotoneBroadcast::new(Box::new(tc_datalog()));
             let policy = HashPolicy::new(Network::of_size(n));
@@ -250,8 +270,7 @@ pub fn e11_strategy_costs() -> Report {
                 policy: &policy,
                 config: SystemConfig::ORIGINAL,
             };
-            let rm = run(&tn, &input, &Scheduler::RoundRobin, 2_000_000);
-            push_cost_row(&mut rows, "M/broadcast (TC)", vertices, n, &rm);
+            let rm = measure("M/broadcast (TC)", &tn);
 
             // Mdistinct strategy on the SP query (facts + non-facts).
             let d = DistinctStrategy::new(Box::new(edges_without_source_loop()));
@@ -261,8 +280,7 @@ pub fn e11_strategy_costs() -> Report {
                 policy: &policy,
                 config: SystemConfig::POLICY_AWARE,
             };
-            let rd = run(&tn, &input, &Scheduler::RoundRobin, 2_000_000);
-            push_cost_row(&mut rows, "Mdistinct/non-facts (SP)", vertices, n, &rd);
+            let rd = measure("Mdistinct/non-facts (SP)", &tn);
 
             // Mdisjoint strategy on Q_TC (request/OK protocol).
             let j = DisjointStrategy::new(Box::new(qtc_datalog()));
@@ -272,8 +290,15 @@ pub fn e11_strategy_costs() -> Report {
                 policy: &policy,
                 config: SystemConfig::POLICY_AWARE,
             };
-            let rj = run(&tn, &input, &Scheduler::RoundRobin, 2_000_000);
-            push_cost_row(&mut rows, "Mdisjoint/request-OK (Q_TC)", vertices, n, &rj);
+            let rj = measure("Mdisjoint/request-OK (Q_TC)", &tn);
+
+            if vertices == 32 && n == 4 {
+                largest = [
+                    rm.metrics.by_class,
+                    rd.metrics.by_class,
+                    rj.metrics.by_class,
+                ];
+            }
 
             // The declaratively-compiled broadcast transducer runs the
             // Datalog engine every transition — its run metrics carry the
@@ -289,8 +314,7 @@ pub fn e11_strategy_costs() -> Report {
                 policy: &policy,
                 config: SystemConfig::ORIGINAL,
             };
-            let rc = run(&tn, &input, &Scheduler::RoundRobin, 2_000_000);
-            push_cost_row(&mut rows, "declarative/net-compiled (TC)", vertices, n, &rc);
+            measure("declarative/net-compiled (TC)", &tn);
         }
     }
     r.table(markdown_table(
@@ -301,6 +325,8 @@ pub fn e11_strategy_costs() -> Report {
             "transitions",
             "msgs sent",
             "msgs delivered",
+            "msg classes",
+            "max queue",
             "engine derivations",
             "engine probes/hits",
             "first output at",
@@ -325,7 +351,39 @@ pub fn e11_strategy_costs() -> Report {
         format!("{last_j} messages at |V|=32, n=4"),
         last_j > last_m,
     );
+    // Per-class composition: what each strategy's messages actually are.
+    let [m_cls, d_cls, j_cls] = largest;
+    r.claim(
+        "M sends fact broadcasts only (no absences, no protocol)",
+        format!("classes: {}", class_summary(&m_cls)),
+        m_cls.fact > 0 && m_cls.absence == 0 && m_cls.coordination() == 0,
+    );
+    r.claim(
+        "Mdistinct adds absence broadcasts but still no per-value protocol",
+        format!("classes: {}", class_summary(&d_cls)),
+        d_cls.fact > 0 && d_cls.absence > 0 && d_cls.coordination() == 0,
+    );
+    r.claim(
+        "Mdisjoint replaces absences with the request/OK per-value protocol",
+        format!("classes: {}", class_summary(&j_cls)),
+        j_cls.request > 0 && j_cls.ok > 0 && j_cls.absence == 0,
+    );
     r
+}
+
+/// Render non-zero message classes as `fact=40 request=6 ok=6`.
+fn class_summary(c: &MessageClassCounts) -> String {
+    let parts: Vec<String> = c
+        .as_pairs()
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(label, n)| format!("{label}={n}"))
+        .collect();
+    if parts.is_empty() {
+        "-".to_string()
+    } else {
+        parts.join(" ")
+    }
 }
 
 fn push_cost_row(
@@ -353,6 +411,8 @@ fn push_cost_row(
         rr.metrics.transitions.to_string(),
         rr.metrics.messages_sent.to_string(),
         rr.metrics.messages_delivered.to_string(),
+        class_summary(&rr.metrics.by_class),
+        rr.metrics.max_queue_depth().to_string(),
         derivations,
         probes,
         rr.metrics

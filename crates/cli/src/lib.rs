@@ -24,12 +24,15 @@ use calm_common::query::Query;
 use calm_datalog::fragment::classify;
 use calm_datalog::{parse_facts, parse_program, DatalogQuery, Program};
 use calm_monotone::{Exhaustive, ExtensionKind, Falsifier};
+use calm_obs::{ChromeTraceSink, JsonlSink, MultiSink, Obs, ReportSink, Sink};
 use calm_transducer::{
-    expected_output, run, DisjointStrategy, DistinctStrategy, DistributionPolicy,
-    DomainGuidedPolicy, HashPolicy, MonotoneBroadcast, Network, Scheduler, SystemConfig,
+    expected_output, run, run_with, DisjointStrategy, DistinctStrategy, DistributionPolicy,
+    DomainGuidedPolicy, HashPolicy, MonotoneBroadcast, Network, Scheduler, SystemConfig, TraceSink,
     Transducer, TransducerNetwork,
 };
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// A CLI failure: message for stderr, nonzero exit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,14 +60,87 @@ pub fn load_facts(src: &str) -> Result<Instance, CliError> {
     parse_facts(src).map_err(|e| err(format!("facts: {e}")))
 }
 
+/// Observability options shared by `eval` and `simulate`
+/// (`--trace-out PREFIX` and `--metrics`).
+#[derive(Debug, Clone, Default)]
+pub struct ObsOptions {
+    /// Write trace artifacts `<prefix>.jsonl` (event log) and
+    /// `<prefix>.trace.json` (Chrome trace-event JSON).
+    pub trace_out: Option<PathBuf>,
+    /// Append the terminal run report to the command output.
+    pub metrics: bool,
+}
+
+impl ObsOptions {
+    fn is_off(&self) -> bool {
+        self.trace_out.is_none() && !self.metrics
+    }
+}
+
+/// Derive `<prefix>.<ext>` from a `--trace-out` prefix, appending to the
+/// file name rather than replacing an existing extension.
+fn trace_path(prefix: &Path, ext: &str) -> PathBuf {
+    let mut name = prefix.as_os_str().to_os_string();
+    name.push(".");
+    name.push(ext);
+    PathBuf::from(name)
+}
+
+/// Assemble an [`Obs`] from the options, plus handles needed afterwards:
+/// the report sink to render (when `--metrics`) and extra sinks such as
+/// a [`TraceSink`] the caller wants fanned in.
+fn build_obs(
+    opts: &ObsOptions,
+    extra: Vec<Arc<dyn Sink>>,
+) -> Result<(Obs, Option<Arc<ReportSink>>), CliError> {
+    let mut sinks: Vec<Arc<dyn Sink>> = extra;
+    if let Some(prefix) = &opts.trace_out {
+        let jsonl = JsonlSink::create(&trace_path(prefix, "jsonl"))
+            .map_err(|e| err(format!("--trace-out: {e}")))?;
+        let chrome = ChromeTraceSink::create(&trace_path(prefix, "trace.json"))
+            .map_err(|e| err(format!("--trace-out: {e}")))?;
+        sinks.push(Arc::new(jsonl));
+        sinks.push(Arc::new(chrome));
+    }
+    let report = if opts.metrics {
+        let r = Arc::new(ReportSink::new());
+        sinks.push(r.clone());
+        Some(r)
+    } else {
+        None
+    };
+    let obs = match sinks.len() {
+        0 => Obs::noop(),
+        1 => Obs::new(sinks.pop().expect("one sink")),
+        _ => Obs::new(Arc::new(MultiSink::new(sinks))),
+    };
+    Ok((obs, report))
+}
+
 /// `calm eval`: stratified evaluation, output relations printed
 /// fact-per-line.
 pub fn cmd_eval(program_src: &str, facts_src: &str) -> Result<String, CliError> {
+    cmd_eval_opts(program_src, facts_src, &ObsOptions::default())
+}
+
+/// As [`cmd_eval`], optionally writing trace artifacts and appending the
+/// run report.
+pub fn cmd_eval_opts(
+    program_src: &str,
+    facts_src: &str,
+    obs_opts: &ObsOptions,
+) -> Result<String, CliError> {
     let p = load_program(program_src)?;
     let input = load_facts(facts_src)?;
-    let answer =
-        calm_datalog::eval::eval_query(&p, &input).map_err(|e| err(format!("evaluation: {e}")))?;
-    Ok(render_instance(&answer))
+    let (obs, report) = build_obs(obs_opts, Vec::new())?;
+    let answer = calm_datalog::eval::eval_query_obs(&p, &input, &obs)
+        .map_err(|e| err(format!("evaluation: {e}")))?;
+    obs.finish();
+    let mut out = render_instance(&answer);
+    if let Some(r) = report {
+        out.push_str(&r.render());
+    }
+    Ok(out)
 }
 
 /// `calm wfs`: well-founded semantics; prints true facts and, when the
@@ -197,6 +273,26 @@ pub fn cmd_simulate_opts(
     strategy: &str,
     trace: bool,
 ) -> Result<String, CliError> {
+    cmd_simulate_full(
+        program_src,
+        facts_src,
+        nodes,
+        strategy,
+        trace,
+        &ObsOptions::default(),
+    )
+}
+
+/// The full `calm simulate`: strategy selection, optional printed trace,
+/// optional trace artifacts (`--trace-out`) and run report (`--metrics`).
+pub fn cmd_simulate_full(
+    program_src: &str,
+    facts_src: &str,
+    nodes: usize,
+    strategy: &str,
+    trace: bool,
+    obs_opts: &ObsOptions,
+) -> Result<String, CliError> {
     let p = load_program(program_src)?;
     let input = load_facts(facts_src)?;
     if nodes == 0 {
@@ -236,10 +332,23 @@ pub fn cmd_simulate_opts(
         config,
     };
     let mut out = String::new();
-    let result = if trace {
-        let (result, log) = calm_transducer::traced_run(&tn, &input, 5_000_000);
-        let _ = writeln!(out, "% trace ({} transitions):", log.events.len());
-        out.push_str(&log.render());
+    let result = if trace || !obs_opts.is_off() {
+        let trace_sink = trace.then(|| Arc::new(TraceSink::new()));
+        let extra: Vec<Arc<dyn Sink>> = trace_sink
+            .iter()
+            .map(|s| Arc::clone(s) as Arc<dyn Sink>)
+            .collect();
+        let (obs, report) = build_obs(obs_opts, extra)?;
+        let result = run_with(&tn, &input, &Scheduler::RoundRobin, 5_000_000, &obs);
+        obs.finish();
+        if let Some(sink) = trace_sink {
+            let log = sink.take_trace();
+            let _ = writeln!(out, "% trace ({} transitions):", log.events.len());
+            out.push_str(&log.render());
+        }
+        if let Some(r) = report {
+            out.push_str(&r.render());
+        }
         result
     } else {
         run(&tn, &input, &Scheduler::RoundRobin, 5_000_000)
@@ -250,6 +359,20 @@ pub fn cmd_simulate_opts(
         "% transitions: {}, messages sent: {}, delivered: {}",
         result.metrics.transitions, result.metrics.messages_sent, result.metrics.messages_delivered
     );
+    let by_class = result.metrics.by_class;
+    if by_class.total() > 0 {
+        let classes: String = by_class
+            .as_pairs()
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(label, n)| format!(" {label}={n}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "% message classes:{classes}, max queue depth: {}",
+            result.metrics.max_queue_depth()
+        );
+    }
     // Compare against the centralized answer.
     let q2 =
         DatalogQuery::new("query", load_program(program_src)?).map_err(|e| err(e.to_string()))?;
@@ -287,12 +410,17 @@ pub const USAGE: &str = "\
 calm — weaker forms of monotonicity for declarative networking
 
 USAGE:
-  calm eval      <program.dl> <facts.dl>
+  calm eval      <program.dl> <facts.dl> [--trace-out PREFIX] [--metrics]
   calm wfs       <program.dl> <facts.dl>
   calm classify  <program.dl>
   calm stratify  <program.dl>
   calm check     <program.dl> [--class m|distinct|disjoint] [--trials N]
-  calm simulate  <program.dl> <facts.dl> [--nodes N] [--strategy monotone|distinct|disjoint] [--trace]
+  calm simulate  <program.dl> <facts.dl> [--nodes N] [--strategy monotone|distinct|disjoint]
+                 [--trace] [--trace-out PREFIX] [--metrics]
+
+  --trace-out PREFIX writes a structured event log to PREFIX.jsonl and a
+  Chrome trace (load at ui.perfetto.dev or chrome://tracing) to
+  PREFIX.trace.json; --metrics appends a run report to stdout.
 ";
 
 #[cfg(test)]
@@ -368,6 +496,62 @@ mod tests {
         assert!(out.contains("% trace"));
         assert!(out.contains("delivered="));
         assert!(out.contains("% matches centralized evaluation: true"));
+    }
+
+    #[test]
+    fn eval_with_metrics_appends_report() {
+        let opts = ObsOptions {
+            trace_out: None,
+            metrics: true,
+        };
+        let out = cmd_eval_opts(TC, FACTS, &opts).unwrap();
+        assert!(out.contains("T(1,3)."), "{out}");
+        assert!(out.contains("== run report =="), "{out}");
+        assert!(out.contains("eval/derivations"), "{out}");
+    }
+
+    #[test]
+    fn simulate_trace_out_writes_artifacts() {
+        let prefix = std::env::temp_dir().join(format!("calm-cli-sim-{}", std::process::id()));
+        let opts = ObsOptions {
+            trace_out: Some(prefix.clone()),
+            metrics: true,
+        };
+        let out = cmd_simulate_full(TC, FACTS, 2, "monotone", true, &opts).unwrap();
+        assert!(out.contains("% trace"), "{out}");
+        assert!(
+            out.contains("% matches centralized evaluation: true"),
+            "{out}"
+        );
+        assert!(out.contains("== run report =="), "{out}");
+        assert!(out.contains("strategy/messages.fact"), "{out}");
+        assert!(out.contains("% message classes:"), "{out}");
+        let jsonl_path = trace_path(&prefix, "jsonl");
+        let chrome_path = trace_path(&prefix, "trace.json");
+        let jsonl = std::fs::read_to_string(&jsonl_path).unwrap();
+        assert!(!jsonl.is_empty());
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        let chrome = std::fs::read_to_string(&chrome_path).unwrap();
+        let chrome = chrome.trim();
+        assert!(chrome.starts_with('[') && chrome.ends_with(']'));
+        // The runtime layer emits instants and counters (spans come from
+        // the eval layer, which strategies drive internally un-observed).
+        assert!(chrome.contains("\"ph\":\"i\""), "instant events present");
+        assert!(chrome.contains("\"ph\":\"C\""), "counter events present");
+        let _ = std::fs::remove_file(jsonl_path);
+        let _ = std::fs::remove_file(chrome_path);
+    }
+
+    #[test]
+    fn trace_out_to_bad_path_is_a_friendly_error() {
+        let opts = ObsOptions {
+            trace_out: Some(PathBuf::from("/nonexistent-dir/trace")),
+            metrics: false,
+        };
+        let e = cmd_eval_opts(TC, FACTS, &opts).unwrap_err();
+        assert!(e.0.contains("--trace-out"), "{e}");
     }
 
     #[test]

@@ -25,12 +25,19 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+fn obs_options(args: &[String]) -> ObsOptions {
+    ObsOptions {
+        trace_out: flag_value(args, "--trace-out").map(Into::into),
+        metrics: args.iter().any(|a| a == "--metrics"),
+    }
+}
+
 fn dispatch(args: &[String]) -> Result<String, CliError> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
         "eval" => {
             let (p, f) = two_files(args)?;
-            cmd_eval(&read(p)?, &read(f)?)
+            cmd_eval_opts(&read(p)?, &read(f)?, &obs_options(args))
         }
         "wfs" => {
             let (p, f) = two_files(args)?;
@@ -61,7 +68,14 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
                 .unwrap_or(3);
             let strategy = flag_value(args, "--strategy").unwrap_or("monotone");
             let trace = args.iter().any(|a| a == "--trace");
-            cmd_simulate_opts(&read(p)?, &read(f)?, nodes, strategy, trace)
+            cmd_simulate_full(
+                &read(p)?,
+                &read(f)?,
+                nodes,
+                strategy,
+                trace,
+                &obs_options(args),
+            )
         }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError(format!("unknown command '{other}'"))),

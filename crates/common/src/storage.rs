@@ -635,4 +635,59 @@ mod tests {
         assert_eq!(m.index_hits, 7);
         assert_eq!(m.bytes_moved, 48);
     }
+
+    #[test]
+    fn metrics_merge_is_associative_and_commutative_with_identity() {
+        let samples = [
+            EvalMetrics {
+                iterations: 1,
+                derivations: 10,
+                new_facts: 5,
+                index_probes: 7,
+                index_hits: 6,
+                bytes_moved: 40,
+            },
+            EvalMetrics {
+                iterations: 3,
+                derivations: 2,
+                new_facts: 0,
+                index_probes: 11,
+                index_hits: 9,
+                bytes_moved: 16,
+            },
+            EvalMetrics {
+                iterations: 0,
+                derivations: 100,
+                new_facts: 99,
+                index_probes: 0,
+                index_hits: 0,
+                bytes_moved: 792,
+            },
+        ];
+        let [a, b, c] = samples;
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right);
+        // a ⊕ b == b ⊕ a.
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        // The default is the identity element.
+        for s in &samples {
+            let mut with_id = *s;
+            with_id.merge(&EvalMetrics::default());
+            assert_eq!(&with_id, s);
+            let mut id_with = EvalMetrics::default();
+            id_with.merge(s);
+            assert_eq!(&id_with, s);
+        }
+    }
 }

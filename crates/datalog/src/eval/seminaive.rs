@@ -19,6 +19,7 @@ use crate::program::Program;
 use calm_common::fact::RelName;
 use calm_common::storage::{RelId, Storage, Sym, SymTuple, SymbolTable};
 use calm_common::value::Value;
+use calm_obs::Obs;
 use std::collections::BTreeSet;
 
 pub use calm_common::storage::EvalMetrics;
@@ -307,6 +308,17 @@ pub fn fixpoint_seminaive(program: &Program, db: &mut Database) -> FixpointStats
     fixpoint_seminaive_impl(program, db, None, EvalOptions::default())
 }
 
+/// As [`fixpoint_seminaive`], reporting per-iteration and per-rule spans
+/// plus derivation counters to `obs`.
+pub fn fixpoint_seminaive_obs(program: &Program, db: &mut Database, obs: &Obs) -> FixpointStats {
+    let cp = CompiledProgram::new(
+        program,
+        &mut db.symbols().clone().write(),
+        EvalOptions::default(),
+    );
+    fixpoint_compiled_impl(&cp, db, None, obs)
+}
+
 /// Semi-naive fixpoint with explicit [`EvalOptions`] — the entry point for
 /// the `datalog_eval` ablation benchmark.
 pub fn fixpoint_seminaive_with(
@@ -339,6 +351,9 @@ pub struct CompiledProgram {
     rules: Vec<CompiledRule>,
     indexes: Vec<(RelId, usize)>,
     options: EvalOptions,
+    /// Per-rule span labels (`<head-relation>#<rule-index>`), computed at
+    /// compile time so tracing never consults the symbol table.
+    labels: Vec<String>,
 }
 
 impl CompiledProgram {
@@ -354,18 +369,39 @@ impl CompiledProgram {
         } else {
             Vec::new()
         };
+        let labels = rules
+            .iter()
+            .enumerate()
+            .map(|(i, r)| format!("{}#{i}", table.rel_name(r.head.relation)))
+            .collect();
         CompiledProgram {
             rules,
             indexes,
             options,
+            labels,
         }
+    }
+
+    /// The span label of rule `i` (`<head-relation>#<rule-index>`).
+    pub fn rule_label(&self, i: usize) -> &str {
+        &self.labels[i]
     }
 }
 
 /// Semi-naive fixpoint of a precompiled program. `db` must use the table
 /// the program was compiled against.
 pub fn fixpoint_seminaive_compiled(cp: &CompiledProgram, db: &mut Database) -> FixpointStats {
-    fixpoint_compiled_impl(cp, db, None)
+    fixpoint_compiled_impl(cp, db, None, &Obs::noop())
+}
+
+/// As [`fixpoint_seminaive_compiled`], reporting per-iteration and
+/// per-rule spans plus derivation counters to `obs`.
+pub fn fixpoint_seminaive_compiled_obs(
+    cp: &CompiledProgram,
+    db: &mut Database,
+    obs: &Obs,
+) -> FixpointStats {
+    fixpoint_compiled_impl(cp, db, None, obs)
 }
 
 /// As [`fixpoint_seminaive_compiled`], with every negative body atom
@@ -376,7 +412,17 @@ pub fn fixpoint_seminaive_frozen_compiled(
     db: &mut Database,
     frozen: &Database,
 ) -> FixpointStats {
-    fixpoint_compiled_impl(cp, db, Some(frozen))
+    fixpoint_compiled_impl(cp, db, Some(frozen), &Obs::noop())
+}
+
+/// As [`fixpoint_seminaive_frozen_compiled`], reporting to `obs`.
+pub fn fixpoint_seminaive_frozen_compiled_obs(
+    cp: &CompiledProgram,
+    db: &mut Database,
+    frozen: &Database,
+    obs: &Obs,
+) -> FixpointStats {
+    fixpoint_compiled_impl(cp, db, Some(frozen), obs)
 }
 
 fn fixpoint_seminaive_impl(
@@ -386,13 +432,14 @@ fn fixpoint_seminaive_impl(
     options: EvalOptions,
 ) -> FixpointStats {
     let cp = CompiledProgram::new(program, &mut db.symbols().clone().write(), options);
-    fixpoint_compiled_impl(&cp, db, frozen)
+    fixpoint_compiled_impl(&cp, db, frozen, &Obs::noop())
 }
 
 fn fixpoint_compiled_impl(
     cp: &CompiledProgram,
     db: &mut Database,
     frozen: Option<&Database>,
+    obs: &Obs,
 ) -> FixpointStats {
     if let Some(f) = frozen {
         assert!(
@@ -415,9 +462,12 @@ fn fixpoint_compiled_impl(
     // within this stratum) and seeds the delta for recursive ones.
     metrics.iterations += 1;
     {
+        let _iter_span = obs.span("eval", || "iteration#0".into());
         let storage = db.storage();
         let neg = frozen.map_or(storage, |f| f.storage());
-        for rule in compiled {
+        for (i, rule) in compiled.iter().enumerate() {
+            let before = metrics.derivations;
+            let _rule_span = obs.span("eval.rule", || cp.labels[i].clone());
             eval_rule(
                 rule,
                 storage,
@@ -431,6 +481,13 @@ fn fixpoint_compiled_impl(
                     }
                 },
             );
+            if obs.enabled() {
+                obs.counter(
+                    "eval.rule",
+                    &cp.labels[i],
+                    (metrics.derivations - before) as u64,
+                );
+            }
         }
     }
 
@@ -447,16 +504,29 @@ fn fixpoint_compiled_impl(
             }
         }
         metrics.new_facts += added;
+        if obs.enabled() {
+            obs.histogram("eval", "iteration_new_facts", added as u64);
+        }
         if added == 0 {
+            obs.counter("eval", "derivations", metrics.derivations as u64);
+            obs.counter("eval", "new_facts", metrics.new_facts as u64);
+            obs.counter("eval", "iterations", metrics.iterations as u64);
             return metrics;
         }
         // Delta round: recursive rules only, one delta position at a time.
         // Dedup across repeated relations at multiple positions is handled
         // by the membership guard on `pending` insertion.
         metrics.iterations += 1;
+        let iter = metrics.iterations;
+        let _iter_span = obs.span("eval", || format!("iteration#{}", iter - 1));
         let storage = db.storage();
         let neg = frozen.map_or(storage, |f| f.storage());
-        for rule in compiled.iter().filter(|r| r.is_recursive()) {
+        for (i, rule) in compiled.iter().enumerate() {
+            if !rule.is_recursive() {
+                continue;
+            }
+            let before = metrics.derivations;
+            let _rule_span = obs.span("eval.rule", || cp.labels[i].clone());
             for (pos_idx, is_rec) in rule.recursive_pos.iter().enumerate() {
                 if !is_rec {
                     continue;
@@ -473,6 +543,13 @@ fn fixpoint_compiled_impl(
                             pending.push((rel, row));
                         }
                     },
+                );
+            }
+            if obs.enabled() {
+                obs.counter(
+                    "eval.rule",
+                    &cp.labels[i],
+                    (metrics.derivations - before) as u64,
                 );
             }
         }

@@ -1,10 +1,11 @@
 //! Stratified semantics: evaluate `P1, ..., Pk` in order (Section 2).
 
 use super::database::Database;
-use super::seminaive::{fixpoint_naive, fixpoint_seminaive, FixpointStats};
+use super::seminaive::{fixpoint_naive, fixpoint_seminaive_obs, FixpointStats};
 use crate::program::Program;
 use crate::stratify::{stratify, NotStratifiable, Stratification};
 use calm_common::instance::Instance;
+use calm_obs::Obs;
 
 /// Which fixpoint engine to use within each stratum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,11 +67,25 @@ pub fn eval_stratification_shared(
     engine: Engine,
     symbols: calm_common::storage::SharedSymbols,
 ) -> (Instance, Vec<FixpointStats>) {
+    eval_stratification_shared_obs(strat, input, engine, symbols, &Obs::noop())
+}
+
+/// As [`eval_stratification_shared`], reporting per-stratum spans (and,
+/// through the semi-naive engine, per-iteration/per-rule spans and
+/// derivation counters) to `obs`.
+pub fn eval_stratification_shared_obs(
+    strat: &Stratification,
+    input: &Instance,
+    engine: Engine,
+    symbols: calm_common::storage::SharedSymbols,
+    obs: &Obs,
+) -> (Instance, Vec<FixpointStats>) {
     let mut db = Database::from_instance_with(input, symbols);
     let mut stats = Vec::with_capacity(strat.len());
-    for stratum in &strat.strata {
+    for (i, stratum) in strat.strata.iter().enumerate() {
+        let _span = obs.span("eval", || format!("stratum#{i}"));
         let s = match engine {
-            Engine::SemiNaive => fixpoint_seminaive(stratum, &mut db),
+            Engine::SemiNaive => fixpoint_seminaive_obs(stratum, &mut db, obs),
             Engine::SemiNaiveBaseline => super::seminaive::fixpoint_seminaive_with(
                 stratum,
                 &mut db,
@@ -105,6 +120,26 @@ pub fn eval_stratification_shared(
 /// Returns [`NotStratifiable`] for programs with a negative cycle.
 pub fn eval_query(p: &Program, input: &Instance) -> Result<Instance, NotStratifiable> {
     Ok(eval_program(p, input)?.restrict(&p.output_schema()))
+}
+
+/// As [`eval_query`], reporting spans and counters to `obs`.
+///
+/// # Errors
+/// Returns [`NotStratifiable`] for programs with a negative cycle.
+pub fn eval_query_obs(
+    p: &Program,
+    input: &Instance,
+    obs: &Obs,
+) -> Result<Instance, NotStratifiable> {
+    let strat = stratify(p)?;
+    let (out, _) = eval_stratification_shared_obs(
+        &strat,
+        input,
+        Engine::SemiNaive,
+        calm_common::storage::SharedSymbols::new(),
+        obs,
+    );
+    Ok(out.restrict(&p.output_schema()))
 }
 
 #[cfg(test)]
@@ -174,6 +209,56 @@ mod tests {
     fn non_stratifiable_is_error() {
         let p = parse_program("win(x) :- move(x,y), not win(y).").unwrap();
         assert!(eval_program(&p, &calm_common::instance::Instance::new()).is_err());
+    }
+
+    #[test]
+    fn obs_instrumented_eval_matches_plain_eval() {
+        let p = parse_program(
+            "@output T.\n\
+             T(x,y) :- E(x,y).\n\
+             T(x,z) :- T(x,y), E(y,z).",
+        )
+        .unwrap();
+        let input = path(4);
+        let plain = eval_query(&p, &input).unwrap();
+        let sink = std::sync::Arc::new(calm_obs::ReportSink::new());
+        let obs = Obs::new(sink.clone());
+        let traced = eval_query_obs(&p, &input, &obs).unwrap();
+        assert_eq!(plain, traced, "instrumentation must not change results");
+        assert!(sink.counter_total("eval", "derivations") > 0);
+        assert!(sink.counter_total("eval", "iterations") > 0);
+        let report = sink.render();
+        assert!(report.contains("eval/stratum#0"), "{report}");
+        assert!(report.contains("eval.rule/T#0"), "{report}");
+    }
+
+    #[test]
+    fn merged_stratum_stats_are_consistent_with_the_parts() {
+        let p = parse_program(
+            "T(x,y) :- E(x,y).\n\
+             T(x,z) :- T(x,y), E(y,z).\n\
+             O(x) :- Adom(x), not T(x,x).\n\
+             Adom(x) :- E(x,y).\n\
+             Adom(y) :- E(x,y).",
+        )
+        .unwrap();
+        let (_, stats) = eval_program_with(&p, &path(4), Engine::SemiNaive).unwrap();
+        let mut merged = FixpointStats::default();
+        for s in &stats {
+            merged.merge(s);
+        }
+        assert_eq!(
+            merged.derivations,
+            stats.iter().map(|s| s.derivations).sum::<usize>()
+        );
+        assert_eq!(
+            merged.new_facts,
+            stats.iter().map(|s| s.new_facts).sum::<usize>()
+        );
+        assert_eq!(
+            merged.iterations,
+            stats.iter().map(|s| s.iterations).sum::<usize>()
+        );
     }
 
     #[test]

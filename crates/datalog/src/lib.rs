@@ -29,10 +29,12 @@ pub mod stratify;
 pub mod wellfounded;
 
 pub use ast::{Atom, Rule, Term, Var};
-pub use eval::{eval_program, eval_query, Engine};
+pub use eval::{eval_program, eval_query, eval_query_obs, Engine};
 pub use fragment::{classify, is_rule_connected, FragmentReport};
 pub use parser::{parse_facts, parse_program, parse_rule};
 pub use program::{Program, ProgramError};
 pub use query::DatalogQuery;
 pub use stratify::{is_stratifiable, stratify, Stratification};
-pub use wellfounded::{well_founded_model, WellFoundedModel, WellFoundedQuery};
+pub use wellfounded::{
+    well_founded_model, well_founded_model_obs, WellFoundedModel, WellFoundedQuery,
+};

@@ -15,12 +15,16 @@
 
 use crate::ast::{Atom, Rule};
 use crate::eval::database::Database;
-use crate::eval::seminaive::{fixpoint_seminaive_frozen_compiled, CompiledProgram, EvalOptions};
+use crate::eval::seminaive::{
+    fixpoint_seminaive_frozen_compiled, fixpoint_seminaive_frozen_compiled_obs, CompiledProgram,
+    EvalOptions,
+};
 use crate::program::Program;
 use calm_common::fact::{rel, Fact, RelName};
 use calm_common::instance::Instance;
 use calm_common::query::Query;
 use calm_common::schema::Schema;
+use calm_obs::Obs;
 use std::collections::BTreeSet;
 
 /// The three-valued well-founded model of a program on an input.
@@ -61,9 +65,9 @@ impl WellFoundedModel {
 /// One application of `Γ(K)`: the minimal model of the compiled program
 /// over `input` with negation frozen against `k`. The result shares `k`'s
 /// symbol table (which the program was compiled against).
-fn gamma(cp: &CompiledProgram, input: &Instance, k: &Database) -> Database {
+fn gamma(cp: &CompiledProgram, input: &Instance, k: &Database, obs: &Obs) -> Database {
     let mut db = Database::from_instance_with(input, k.symbols().clone());
-    fixpoint_seminaive_frozen_compiled(cp, &mut db, k);
+    fixpoint_seminaive_frozen_compiled_obs(cp, &mut db, k, obs);
     db
 }
 
@@ -88,6 +92,13 @@ fn gamma(cp: &CompiledProgram, input: &Instance, k: &Database) -> Database {
 /// assert_eq!(model.truth(&fact("win", [8])), None);        // drawn
 /// ```
 pub fn well_founded_model(p: &Program, input: &Instance) -> WellFoundedModel {
+    well_founded_model_obs(p, input, &Obs::noop())
+}
+
+/// As [`well_founded_model`], reporting one span per `Γ` application
+/// (labelled over/under by alternation side) plus a final
+/// `gamma_applications` counter to `obs`.
+pub fn well_founded_model_obs(p: &Program, input: &Instance, obs: &Obs) -> WellFoundedModel {
     // U0 = input only (all negations succeed except on given edb facts).
     // Every approximation shares one symbol table, so the stability check
     // compares interned rows directly — no Instance round-trip per round.
@@ -101,12 +112,19 @@ pub fn well_founded_model(p: &Program, input: &Instance) -> WellFoundedModel {
     };
     loop {
         // V = Γ(U): overestimate.
-        let v = gamma(&cp, input, &u);
+        let v = {
+            let _span = obs.span("wfs", || format!("gamma#{gamma_applications}(over)"));
+            gamma(&cp, input, &u, obs)
+        };
         gamma_applications += 1;
         // U' = Γ(V): next underestimate.
-        let u_next = gamma(&cp, input, &v);
+        let u_next = {
+            let _span = obs.span("wfs", || format!("gamma#{gamma_applications}(under)"));
+            gamma(&cp, input, &v, obs)
+        };
         gamma_applications += 1;
         if u_next.same_facts(&u) {
+            obs.counter("wfs", "gamma_applications", gamma_applications as u64);
             return WellFoundedModel {
                 true_facts: u_next.to_instance(),
                 possible_facts: v.to_instance(),

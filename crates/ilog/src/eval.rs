@@ -14,6 +14,7 @@ use calm_common::value::Value;
 use calm_datalog::ast::Term;
 use calm_datalog::eval::database::Database;
 use calm_datalog::eval::seminaive::ValuationQuery;
+use calm_obs::Obs;
 use std::fmt;
 
 /// Evaluation limits: ILOG¬ output is *undefined* when the Herbrand
@@ -56,9 +57,24 @@ impl std::error::Error for Diverged {}
 /// # Errors
 /// Returns [`Diverged`] when the Herbrand fixpoint exceeds the limits.
 pub fn eval_ilog(p: &IlogProgram, input: &Instance, limits: Limits) -> Result<Instance, Diverged> {
+    eval_ilog_obs(p, input, limits, &Obs::noop())
+}
+
+/// As [`eval_ilog`], reporting per-stratum spans, per-rule valuation
+/// spans, a valuation-batch histogram and invention counters to `obs`.
+///
+/// # Errors
+/// Returns [`Diverged`] when the Herbrand fixpoint exceeds the limits.
+pub fn eval_ilog_obs(
+    p: &IlogProgram,
+    input: &Instance,
+    limits: Limits,
+    obs: &Obs,
+) -> Result<Instance, Diverged> {
     let mut db = Database::from_instance(input);
     let mut metrics = EvalMetrics::default();
-    for stratum in &p.stratification().strata {
+    for (stratum_idx, stratum) in p.stratification().strata.iter().enumerate() {
+        let _stratum_span = obs.span("ilog", || format!("stratum#{stratum_idx}"));
         // Each rule's body is compiled once per stratum; the fixpoint
         // loop below re-enumerates valuations against the grown database
         // without recompiling.
@@ -74,6 +90,7 @@ pub fn eval_ilog(p: &IlogProgram, input: &Instance, limits: Limits) -> Result<In
         // Fixpoint over the stratum. Negation within a stratum is
         // semi-positive w.r.t. lower strata, so checking against the full
         // (frozen-per-iteration) database is the stratified semantics.
+        let mut invented: u64 = 0;
         loop {
             let mut added = false;
             for (rule, query) in &compiled {
@@ -83,7 +100,13 @@ pub fn eval_ilog(p: &IlogProgram, input: &Instance, limits: Limits) -> Result<In
                 } else {
                     &rule.head.terms
                 };
-                for row in query.eval(&db, &mut metrics) {
+                let _rule_span =
+                    obs.span("ilog.rule", || format!("valuations:{}", rule.head.relation));
+                let rows = query.eval(&db, &mut metrics);
+                if obs.enabled() {
+                    obs.histogram("ilog", "valuations_per_rule", rows.len() as u64);
+                }
+                for row in rows {
                     let valuation = |var: &calm_datalog::ast::Var| -> Value {
                         let i = query
                             .vars()
@@ -117,6 +140,9 @@ pub fn eval_ilog(p: &IlogProgram, input: &Instance, limits: Limits) -> Result<In
                     args.extend(tail);
                     if db.insert_values(&rule.head.relation, args) {
                         added = true;
+                        if invention {
+                            invented += 1;
+                        }
                     }
                 }
             }
@@ -130,7 +156,11 @@ pub fn eval_ilog(p: &IlogProgram, input: &Instance, limits: Limits) -> Result<In
                 break;
             }
         }
+        if invented > 0 {
+            obs.counter("ilog", "invented_values", invented);
+        }
     }
+    obs.counter("eval", "derivations", metrics.derivations as u64);
     Ok(db.to_instance())
 }
 

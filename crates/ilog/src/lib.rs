@@ -16,7 +16,7 @@ pub mod program;
 pub mod query;
 pub mod safety;
 
-pub use eval::{eval_ilog, eval_ilog_query, Diverged, Limits};
+pub use eval::{eval_ilog, eval_ilog_obs, eval_ilog_query, Diverged, Limits};
 pub use fragment::{classify_ilog, IlogFragmentReport};
 pub use program::{IlogError, IlogProgram};
 pub use query::IlogQuery;

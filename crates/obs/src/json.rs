@@ -1,0 +1,45 @@
+//! Minimal hand-rolled JSON string escaping (the crate is
+//! dependency-free; there is no `serde`).
+
+/// Escape a string into a quoted JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_strings_are_quoted() {
+        assert_eq!(escape_json("abc"), "\"abc\"");
+    }
+
+    #[test]
+    fn specials_are_escaped() {
+        assert_eq!(escape_json("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(escape_json("x\ny\tz"), "\"x\\ny\\tz\"");
+        assert_eq!(escape_json("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn unicode_passes_through() {
+        assert_eq!(escape_json("π→∞"), "\"π→∞\"");
+    }
+}

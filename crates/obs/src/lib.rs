@@ -1,0 +1,464 @@
+//! # calm-obs
+//!
+//! The observability layer: structured run tracing and metrics for every
+//! evaluation path in the workspace. §4.3 of the paper characterizes the
+//! coordination-free strategies by *observable run behavior* — message
+//! volume of the broadcast vs. fact-absence vs. per-value request/OK
+//! protocols, heartbeats, quiescence — and this crate records exactly
+//! those per-transition/per-message quantities.
+//!
+//! Dependency-free by design (like `calm_common::rng`): no `tracing`, no
+//! `serde`. Four primitives are threaded through the engine, the
+//! transducer runtime and the coordination strategies:
+//!
+//! * **spans** — named durations (per stratum, per rule, per iteration,
+//!   per transition) with a `track` lane for per-node timelines;
+//! * **counters** — monotone totals (derivations, per-class message
+//!   counts);
+//! * **gauges** — sampled instantaneous values (per-node message-queue
+//!   depth);
+//! * **histograms** — fixed-bucket power-of-two distributions
+//!   ([`Pow2Histogram`]) for latencies and batch sizes.
+//!
+//! Everything funnels through a [`Sink`]. The disabled path is an
+//! [`Obs::noop`] handle whose every operation is a single `Option`
+//! branch — no clock reads, no formatting, no allocation — so
+//! instrumented hot loops stay within noise of uninstrumented ones.
+//! Three concrete sinks ship here:
+//!
+//! * [`JsonlSink`] — one JSON object per line, machine-readable;
+//! * [`ChromeTraceSink`] — Chrome trace-event JSON, loadable in
+//!   `chrome://tracing` or Perfetto;
+//! * [`ReportSink`] — an aggregating sink rendering a human-readable
+//!   terminal run report.
+//!
+//! [`MultiSink`] fans one event stream out to several sinks.
+
+#![warn(missing_docs)]
+
+mod chrome;
+mod histogram;
+mod json;
+mod jsonl;
+mod report;
+
+pub use chrome::ChromeTraceSink;
+pub use histogram::Pow2Histogram;
+pub use json::escape_json;
+pub use jsonl::JsonlSink;
+pub use report::ReportSink;
+
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A structured argument value attached to an [`Sink::event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+    /// A list of strings (e.g. the facts newly output by a transition).
+    List(Vec<String>),
+}
+
+impl ArgValue {
+    /// Render as a JSON value fragment.
+    pub fn to_json(&self) -> String {
+        match self {
+            ArgValue::U64(v) => v.to_string(),
+            ArgValue::I64(v) => v.to_string(),
+            ArgValue::Bool(b) => b.to_string(),
+            ArgValue::Str(s) => escape_json(s),
+            ArgValue::List(items) => {
+                let mut out = String::from("[");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&escape_json(item));
+                }
+                out.push(']');
+                out
+            }
+        }
+    }
+}
+
+/// Where observations go. All methods take `&self`: sinks are shared
+/// (`Arc`) across the layers of a run and use interior mutability.
+///
+/// `cat` is a coarse subsystem label (`"eval"`, `"runtime"`,
+/// `"strategy"`, ...); `name` identifies the series or span; `track` is a
+/// display lane (0 for the engine, one per network node in the
+/// simulator); timestamps are microseconds since the [`Obs`] handle was
+/// created.
+pub trait Sink: Send + Sync {
+    /// A completed span: `name` ran on `track` from `start_us` for
+    /// `dur_us` microseconds.
+    fn span(&self, cat: &str, name: &str, track: u32, start_us: u64, dur_us: u64);
+
+    /// A point-in-time structured event with arguments.
+    fn event(&self, cat: &str, name: &str, track: u32, ts_us: u64, args: &[(&str, ArgValue)]);
+
+    /// Increment the counter `cat/name` by `delta`.
+    fn counter(&self, cat: &str, name: &str, ts_us: u64, delta: u64);
+
+    /// Record an instantaneous sampled value for the gauge `cat/name`.
+    fn gauge(&self, cat: &str, name: &str, track: u32, ts_us: u64, value: u64);
+
+    /// Record one observation into the histogram `cat/name`.
+    fn histogram(&self, cat: &str, name: &str, value: u64);
+
+    /// Flush and close the sink (file sinks write their trailers here).
+    /// Safe to call more than once.
+    fn finish(&self) {}
+}
+
+struct ObsInner {
+    sink: Arc<dyn Sink>,
+    epoch: Instant,
+}
+
+/// The handle threaded through instrumented code: either a live sink or
+/// a no-op. Cloning is cheap (an `Arc` bump); the no-op handle is a
+/// `None` and every operation on it is one branch.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl Obs {
+    /// The disabled handle: every operation compiles to an `Option`
+    /// check. This is what un-traced callers pass.
+    pub fn noop() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// A live handle feeding `sink`, with timestamps measured from now.
+    pub fn new(sink: Arc<dyn Sink>) -> Obs {
+        Obs {
+            inner: Some(Arc::new(ObsInner {
+                sink,
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// Whether observations are being recorded. Callers computing
+    /// expensive event payloads (e.g. per-transition output diffs) should
+    /// guard on this.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Microseconds since this handle was created (0 when disabled).
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    /// Open a span on track 0. The name closure only runs when enabled.
+    #[inline]
+    pub fn span(&self, cat: &'static str, name: impl FnOnce() -> String) -> SpanGuard {
+        self.span_on(cat, 0, name)
+    }
+
+    /// Open a span on an explicit track. Ends (and reports) on drop.
+    #[inline]
+    pub fn span_on(
+        &self,
+        cat: &'static str,
+        track: u32,
+        name: impl FnOnce() -> String,
+    ) -> SpanGuard {
+        match &self.inner {
+            Some(inner) => SpanGuard {
+                state: Some(SpanState {
+                    inner: inner.clone(),
+                    cat,
+                    name: name(),
+                    track,
+                    start_us: inner.epoch.elapsed().as_micros() as u64,
+                }),
+            },
+            None => SpanGuard { state: None },
+        }
+    }
+
+    /// Emit a structured event. The args closure only runs when enabled.
+    #[inline]
+    pub fn event(
+        &self,
+        cat: &'static str,
+        name: &str,
+        track: u32,
+        args: impl FnOnce() -> Vec<(&'static str, ArgValue)>,
+    ) {
+        if let Some(inner) = &self.inner {
+            let ts = inner.epoch.elapsed().as_micros() as u64;
+            inner.sink.event(cat, name, track, ts, &args());
+        }
+    }
+
+    /// Increment a counter.
+    #[inline]
+    pub fn counter(&self, cat: &'static str, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            let ts = inner.epoch.elapsed().as_micros() as u64;
+            inner.sink.counter(cat, name, ts, delta);
+        }
+    }
+
+    /// Sample a gauge value.
+    #[inline]
+    pub fn gauge(&self, cat: &'static str, name: &str, track: u32, value: u64) {
+        if let Some(inner) = &self.inner {
+            let ts = inner.epoch.elapsed().as_micros() as u64;
+            inner.sink.gauge(cat, name, track, ts, value);
+        }
+    }
+
+    /// Record a histogram observation.
+    #[inline]
+    pub fn histogram(&self, cat: &'static str, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.sink.histogram(cat, name, value);
+        }
+    }
+
+    /// Finish the underlying sink (flush file trailers).
+    pub fn finish(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.finish();
+        }
+    }
+}
+
+struct SpanState {
+    inner: Arc<ObsInner>,
+    cat: &'static str,
+    name: String,
+    track: u32,
+    start_us: u64,
+}
+
+/// RAII guard returned by [`Obs::span`]: reports the completed span to
+/// the sink when dropped. The disabled guard is a `None` and drops for
+/// free.
+pub struct SpanGuard {
+    state: Option<SpanState>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(s) = self.state.take() {
+            let end = s.inner.epoch.elapsed().as_micros() as u64;
+            s.inner
+                .sink
+                .span(s.cat, &s.name, s.track, s.start_us, end - s.start_us);
+        }
+    }
+}
+
+/// Fan-out sink: forwards every observation to each inner sink, so one
+/// run can feed a JSONL log, a Chrome trace and a terminal report at
+/// once.
+#[derive(Default)]
+pub struct MultiSink {
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl MultiSink {
+    /// Combine sinks.
+    pub fn new(sinks: Vec<Arc<dyn Sink>>) -> MultiSink {
+        MultiSink { sinks }
+    }
+}
+
+impl Sink for MultiSink {
+    fn span(&self, cat: &str, name: &str, track: u32, start_us: u64, dur_us: u64) {
+        for s in &self.sinks {
+            s.span(cat, name, track, start_us, dur_us);
+        }
+    }
+
+    fn event(&self, cat: &str, name: &str, track: u32, ts_us: u64, args: &[(&str, ArgValue)]) {
+        for s in &self.sinks {
+            s.event(cat, name, track, ts_us, args);
+        }
+    }
+
+    fn counter(&self, cat: &str, name: &str, ts_us: u64, delta: u64) {
+        for s in &self.sinks {
+            s.counter(cat, name, ts_us, delta);
+        }
+    }
+
+    fn gauge(&self, cat: &str, name: &str, track: u32, ts_us: u64, value: u64) {
+        for s in &self.sinks {
+            s.gauge(cat, name, track, ts_us, value);
+        }
+    }
+
+    fn histogram(&self, cat: &str, name: &str, value: u64) {
+        for s in &self.sinks {
+            s.histogram(cat, name, value);
+        }
+    }
+
+    fn finish(&self) {
+        for s in &self.sinks {
+            s.finish();
+        }
+    }
+}
+
+/// A sink that drops everything. [`Obs::noop`] never reaches a sink at
+/// all; this type exists for call sites that need a `dyn Sink` value
+/// (e.g. filling a [`MultiSink`] slot conditionally).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn span(&self, _: &str, _: &str, _: u32, _: u64, _: u64) {}
+    fn event(&self, _: &str, _: &str, _: u32, _: u64, _: &[(&str, ArgValue)]) {}
+    fn counter(&self, _: &str, _: &str, _: u64, _: u64) {}
+    fn gauge(&self, _: &str, _: &str, _: u32, _: u64, _: u64) {}
+    fn histogram(&self, _: &str, _: &str, _: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Test sink recording everything it sees.
+    #[derive(Default)]
+    pub struct RecordingSink {
+        pub lines: Mutex<Vec<String>>,
+    }
+
+    impl Sink for RecordingSink {
+        fn span(&self, cat: &str, name: &str, track: u32, start_us: u64, dur_us: u64) {
+            self.lines.lock().unwrap().push(format!(
+                "span {cat}/{name} track={track} start={start_us} dur={dur_us}"
+            ));
+        }
+        fn event(&self, cat: &str, name: &str, track: u32, _ts: u64, args: &[(&str, ArgValue)]) {
+            self.lines.lock().unwrap().push(format!(
+                "event {cat}/{name} track={track} args={}",
+                args.len()
+            ));
+        }
+        fn counter(&self, cat: &str, name: &str, _ts: u64, delta: u64) {
+            self.lines
+                .lock()
+                .unwrap()
+                .push(format!("counter {cat}/{name} +{delta}"));
+        }
+        fn gauge(&self, cat: &str, name: &str, track: u32, _ts: u64, value: u64) {
+            self.lines
+                .lock()
+                .unwrap()
+                .push(format!("gauge {cat}/{name} track={track} ={value}"));
+        }
+        fn histogram(&self, cat: &str, name: &str, value: u64) {
+            self.lines
+                .lock()
+                .unwrap()
+                .push(format!("histogram {cat}/{name} {value}"));
+        }
+    }
+
+    #[test]
+    fn noop_handle_runs_nothing() {
+        let obs = Obs::noop();
+        assert!(!obs.enabled());
+        // The name/args closures must not run on the disabled handle.
+        let _g = obs.span("eval", || panic!("name built on noop path"));
+        obs.event("eval", "e", 0, || panic!("args built on noop path"));
+        obs.counter("eval", "c", 1);
+        obs.gauge("eval", "g", 0, 1);
+        obs.histogram("eval", "h", 1);
+        obs.finish();
+    }
+
+    #[test]
+    fn live_handle_reports_all_primitives() {
+        let sink = Arc::new(RecordingSink::default());
+        let obs = Obs::new(sink.clone());
+        assert!(obs.enabled());
+        {
+            let _g = obs.span("eval", || "fixpoint".into());
+            obs.counter("eval", "derivations", 3);
+            obs.gauge("runtime", "queue_depth", 2, 7);
+            obs.histogram("runtime", "batch", 4);
+            obs.event("runtime", "transition", 1, || {
+                vec![("node", ArgValue::Str("n1".into()))]
+            });
+        }
+        let lines = sink.lines.lock().unwrap();
+        assert_eq!(lines.len(), 5);
+        assert!(lines.iter().any(|l| l.starts_with("span eval/fixpoint")));
+        assert!(lines.contains(&"counter eval/derivations +3".to_string()));
+        assert!(lines.contains(&"gauge runtime/queue_depth track=2 =7".to_string()));
+        assert!(lines.contains(&"histogram runtime/batch 4".to_string()));
+        assert!(lines.contains(&"event runtime/transition track=1 args=1".to_string()));
+    }
+
+    #[test]
+    fn span_guard_reports_on_drop_in_order() {
+        let sink = Arc::new(RecordingSink::default());
+        let obs = Obs::new(sink.clone());
+        {
+            let _outer = obs.span("a", || "outer".into());
+            let _inner = obs.span("a", || "inner".into());
+        }
+        let lines = sink.lines.lock().unwrap();
+        // Inner drops first.
+        assert!(lines[0].contains("a/inner"));
+        assert!(lines[1].contains("a/outer"));
+    }
+
+    #[test]
+    fn multi_sink_fans_out() {
+        let a = Arc::new(RecordingSink::default());
+        let b = Arc::new(RecordingSink::default());
+        let multi = MultiSink::new(vec![a.clone(), b.clone(), Arc::new(NoopSink)]);
+        let obs = Obs::new(Arc::new(multi));
+        obs.counter("x", "c", 1);
+        obs.finish();
+        assert_eq!(a.lines.lock().unwrap().len(), 1);
+        assert_eq!(b.lines.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn argvalue_json_fragments() {
+        assert_eq!(ArgValue::U64(3).to_json(), "3");
+        assert_eq!(ArgValue::I64(-4).to_json(), "-4");
+        assert_eq!(ArgValue::Bool(true).to_json(), "true");
+        assert_eq!(ArgValue::Str("a\"b".into()).to_json(), "\"a\\\"b\"");
+        assert_eq!(
+            ArgValue::List(vec!["x".into(), "y".into()]).to_json(),
+            "[\"x\",\"y\"]"
+        );
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let obs = Obs::new(Arc::new(RecordingSink::default()));
+        let a = obs.now_us();
+        let b = obs.now_us();
+        assert!(b >= a);
+        assert_eq!(Obs::noop().now_us(), 0);
+    }
+}

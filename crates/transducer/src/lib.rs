@@ -45,12 +45,13 @@ pub use policy::{
 };
 pub use proof_replay::{replay_no_all_indistinguishability, replay_policy_surgery, ReplayOutcome};
 pub use runtime::{
-    network_output, run, transition, verify_computes, Configuration, Delivery, Metrics, RunResult,
-    Scheduler, TransducerNetwork,
+    network_output, run, run_with, transition, transition_with, verify_computes, Configuration,
+    Delivery, Metrics, RunResult, Scheduler, TransducerNetwork,
 };
 pub use schema::{policy_relation, SystemConfig, TransducerSchema};
 pub use strategy::{
-    collected_input, expected_output, DisjointStrategy, DistinctStrategy, MonotoneBroadcast,
+    classify_message, collected_input, expected_output, DisjointStrategy, DistinctStrategy,
+    MessageClass, MessageClassCounts, MonotoneBroadcast,
 };
-pub use trace::{traced_run, Trace, TraceEvent};
+pub use trace::{traced_run, Trace, TraceEvent, TraceSink};
 pub use transducer::{DatalogTransducer, Transducer, TransducerStep};

@@ -5,11 +5,13 @@ use crate::multiset::Multiset;
 use crate::network::NodeId;
 use crate::policy::{distribute, DistributionPolicy};
 use crate::schema::SystemConfig;
+use crate::strategy::{classify_message, MessageClassCounts};
 use crate::system_facts::system_facts;
 use crate::transducer::Transducer;
 use calm_common::fact::Fact;
 use calm_common::instance::Instance;
 use calm_common::rng::Rng;
+use calm_obs::{ArgValue, Obs};
 use std::collections::BTreeMap;
 
 /// A transducer network `Π = (N, Υ, Π, P)` ready to run on inputs.
@@ -69,9 +71,26 @@ pub struct Metrics {
     pub first_output_at: Option<usize>,
     /// Transition index at which the output last grew.
     pub last_output_growth_at: Option<usize>,
+    /// Messages sent, broken down by protocol class (`by_class.total()`
+    /// equals `messages_sent` at all times).
+    pub by_class: MessageClassCounts,
+    /// Per-node high-water mark of the message buffer: the largest
+    /// buffered-occurrence count each node's queue ever reached.
+    pub buffered_high_water: BTreeMap<NodeId, usize>,
     /// Engine-level counters summed over every transition's queries
     /// (zero when the transducer is native Rust rather than Datalog).
     pub eval: calm_common::storage::EvalMetrics,
+}
+
+impl Metrics {
+    /// The largest buffered-queue depth any node ever reached.
+    pub fn max_queue_depth(&self) -> usize {
+        self.buffered_high_water
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// What a single transition should deliver.
@@ -102,7 +121,29 @@ pub fn transition(
     delivery: Delivery,
     metrics: &mut Metrics,
 ) -> bool {
+    transition_with(tn, dist, config, x, delivery, metrics, &Obs::noop())
+}
+
+/// As [`transition`], reporting a per-transition event (node, messages
+/// delivered/sent, fresh output facts), per-class message counters and
+/// per-node queue-depth gauges (each recipient's depth after the sends,
+/// plus the active node's residue after delivery) to `obs`. The event's
+/// display track is `1 + <node index>`, giving one timeline lane per
+/// node.
+#[allow(clippy::too_many_arguments)]
+pub fn transition_with(
+    tn: &TransducerNetwork<'_>,
+    dist: &BTreeMap<NodeId, Instance>,
+    config: &mut Configuration,
+    x: &NodeId,
+    delivery: Delivery,
+    metrics: &mut Metrics,
+    obs: &Obs,
+) -> bool {
     metrics.transitions += 1;
+    let delivered_before = metrics.messages_delivered;
+    let sent_before = metrics.messages_sent;
+    let class_before = metrics.by_class;
     // Choose the submultiset m and collapse to the set M.
     let buffer = config.buffer.get_mut(x).expect("node buffer");
     let delivered: Vec<Fact> = match delivery {
@@ -183,13 +224,36 @@ pub fn transition(
     // Send messages to every other node.
     for f in step.snd.facts() {
         debug_assert!(schema.msg.covers(&f), "Qsnd must target Υmsg: {f}");
+        let class = classify_message(&f);
+        let mut recipients = 0usize;
         for y in tn.policy.network().others(x) {
             config
                 .buffer
                 .get_mut(y)
                 .expect("node buffer")
                 .insert(f.clone());
-            metrics.messages_sent += 1;
+            recipients += 1;
+        }
+        metrics.messages_sent += recipients;
+        metrics.by_class.record(class, recipients);
+    }
+
+    // Buffered-queue high-water marks (recipient buffers only grew in the
+    // send loop above; `x`'s own buffer only shrank or kept its size).
+    for y in tn.policy.network().others(x) {
+        let depth = config.buffer[y].len();
+        let hw = metrics.buffered_high_water.entry(y.clone()).or_insert(0);
+        if depth > *hw {
+            *hw = depth;
+        }
+        if obs.enabled() {
+            let track = tn
+                .policy
+                .network()
+                .nodes()
+                .position(|n| n == y)
+                .map_or(0, |i| i as u32 + 1);
+            obs.gauge("runtime", "queue_depth", track, depth as u64);
         }
     }
 
@@ -201,6 +265,62 @@ pub fn transition(
             metrics.first_output_at = Some(metrics.transitions);
         }
         metrics.last_output_growth_at = Some(metrics.transitions);
+    }
+
+    if obs.enabled() {
+        // Track 1 + node index: one display lane per node, track 0 stays
+        // free for engine-level spans.
+        let track = tn
+            .policy
+            .network()
+            .nodes()
+            .position(|n| n == x)
+            .map_or(0, |i| i as u32 + 1);
+        let delivered_n = metrics.messages_delivered - delivered_before;
+        let sent_n = metrics.messages_sent - sent_before;
+        let new_output: Vec<String> = config.state[x]
+            .restrict(&schema.output)
+            .difference(&before.restrict(&schema.output))
+            .facts()
+            .map(|f| f.to_string())
+            .collect();
+        obs.event("runtime", "transition", track, || {
+            vec![
+                ("node", ArgValue::Str(x.to_string())),
+                ("delivered", ArgValue::U64(delivered_n as u64)),
+                ("sent", ArgValue::U64(sent_n as u64)),
+                ("state_changed", ArgValue::Bool(state_changed)),
+                ("new_output", ArgValue::List(new_output)),
+            ]
+        });
+        // The active node's own depth after delivery (non-zero only when
+        // Sample delivery kept occurrences back); recipient depths were
+        // gauged in the high-water loop above.
+        obs.gauge(
+            "runtime",
+            "queue_depth",
+            track,
+            config.buffer[x].len() as u64,
+        );
+        if delivered_n > 0 {
+            obs.counter("runtime", "messages.delivered", delivered_n as u64);
+        }
+        if sent_n > 0 {
+            obs.counter("runtime", "messages.sent", sent_n as u64);
+            for ((label, now), (_, was)) in metrics
+                .by_class
+                .as_pairs()
+                .iter()
+                .zip(class_before.as_pairs().iter())
+            {
+                if now > was {
+                    obs.counter("strategy", &format!("messages.{label}"), (now - was) as u64);
+                }
+            }
+        }
+        if delivered_n > 0 {
+            obs.histogram("runtime", "delivered_batch", delivered_n as u64);
+        }
     }
 
     state_changed
@@ -300,6 +420,19 @@ pub fn run(
     scheduler: &Scheduler,
     max_transitions: usize,
 ) -> RunResult {
+    run_with(tn, input, scheduler, max_transitions, &Obs::noop())
+}
+
+/// As [`run`], reporting per-transition events, per-class message
+/// counters, per-node queue-depth gauges and a final run summary to
+/// `obs`.
+pub fn run_with(
+    tn: &TransducerNetwork<'_>,
+    input: &Instance,
+    scheduler: &Scheduler,
+    max_transitions: usize,
+    obs: &Obs,
+) -> RunResult {
     let dist = distribute(tn.policy, input);
     let mut config = Configuration::start(tn.policy.network());
     let mut metrics = Metrics::default();
@@ -339,7 +472,7 @@ pub fn run(
             if delivery == Delivery::All {
                 note_delivery(&config, &mut delivered, &x);
             }
-            transition(tn, &dist, &mut config, &x, delivery, &mut metrics);
+            transition_with(tn, &dist, &mut config, &x, delivery, &mut metrics, obs);
         }
     }
 
@@ -353,7 +486,7 @@ pub fn run(
                 break;
             }
             note_delivery(&config, &mut delivered, x);
-            if transition(tn, &dist, &mut config, x, Delivery::All, &mut metrics) {
+            if transition_with(tn, &dist, &mut config, x, Delivery::All, &mut metrics, obs) {
                 state_changed = true;
             }
         }
@@ -364,6 +497,25 @@ pub fn run(
             quiescent = true;
             break;
         }
+    }
+
+    if obs.enabled() {
+        obs.event("runtime", "run_summary", 0, || {
+            vec![
+                ("quiescent", ArgValue::Bool(quiescent)),
+                ("transitions", ArgValue::U64(metrics.transitions as u64)),
+                ("heartbeats", ArgValue::U64(metrics.heartbeats as u64)),
+                ("messages_sent", ArgValue::U64(metrics.messages_sent as u64)),
+                (
+                    "messages_delivered",
+                    ArgValue::U64(metrics.messages_delivered as u64),
+                ),
+                (
+                    "max_queue_depth",
+                    ArgValue::U64(metrics.max_queue_depth() as u64),
+                ),
+            ]
+        });
     }
 
     RunResult {

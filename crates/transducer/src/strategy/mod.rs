@@ -26,6 +26,128 @@ use calm_common::instance::Instance;
 use calm_common::query::Query;
 use calm_common::schema::Schema;
 
+/// The protocol class of a message fact, keyed by the message-relation
+/// naming convention shared by the three strategies. This is the
+/// vocabulary of the paper's §4.3 cost comparison: `M` sends only fact
+/// broadcasts; `Mdistinct` adds absence broadcasts; `Mdisjoint` trades
+/// fact broadcasts for a per-value request/OK/ack protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MessageClass {
+    /// `m_R` — a broadcast input fact (all strategies).
+    FactBroadcast,
+    /// `n_R` — a broadcast input *non-fact* (`DistinctStrategy`).
+    AbsenceBroadcast,
+    /// `v_a` — an active-domain value broadcast (`DisjointStrategy`).
+    ValueBroadcast,
+    /// `rq` — a per-value request to the responsible nodes
+    /// (`DisjointStrategy`).
+    Request,
+    /// `okm` — a per-value completion acknowledgement
+    /// (`DisjointStrategy`).
+    Ok,
+    /// `k_R` — a per-fact answer to a request (`DisjointStrategy`).
+    Ack,
+    /// Anything else (custom transducers outside the three strategies).
+    Other,
+}
+
+impl MessageClass {
+    /// A short stable label, used as the metric name suffix
+    /// (`messages.<label>`).
+    pub fn label(self) -> &'static str {
+        match self {
+            MessageClass::FactBroadcast => "fact",
+            MessageClass::AbsenceBroadcast => "absence",
+            MessageClass::ValueBroadcast => "value",
+            MessageClass::Request => "request",
+            MessageClass::Ok => "ok",
+            MessageClass::Ack => "ack",
+            MessageClass::Other => "other",
+        }
+    }
+}
+
+/// Classify a message fact by its relation name.
+pub fn classify_message(f: &Fact) -> MessageClass {
+    let name = f.relation().as_ref();
+    match name {
+        "v_a" => MessageClass::ValueBroadcast,
+        "rq" => MessageClass::Request,
+        "okm" => MessageClass::Ok,
+        _ => {
+            if name.starts_with("m_") {
+                MessageClass::FactBroadcast
+            } else if name.starts_with("n_") {
+                MessageClass::AbsenceBroadcast
+            } else if name.starts_with("k_") {
+                MessageClass::Ack
+            } else {
+                MessageClass::Other
+            }
+        }
+    }
+}
+
+/// Per-class message counts for one run: one counter per
+/// [`MessageClass`], each counting (fact, recipient) pairs like
+/// `messages_sent`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MessageClassCounts {
+    /// `m_R` fact broadcasts.
+    pub fact: usize,
+    /// `n_R` absence broadcasts.
+    pub absence: usize,
+    /// `v_a` value broadcasts.
+    pub value: usize,
+    /// `rq` requests.
+    pub request: usize,
+    /// `okm` completion acknowledgements.
+    pub ok: usize,
+    /// `k_R` per-fact answers.
+    pub ack: usize,
+    /// Unclassified messages.
+    pub other: usize,
+}
+
+impl MessageClassCounts {
+    /// Count `n` messages of `class`.
+    pub fn record(&mut self, class: MessageClass, n: usize) {
+        match class {
+            MessageClass::FactBroadcast => self.fact += n,
+            MessageClass::AbsenceBroadcast => self.absence += n,
+            MessageClass::ValueBroadcast => self.value += n,
+            MessageClass::Request => self.request += n,
+            MessageClass::Ok => self.ok += n,
+            MessageClass::Ack => self.ack += n,
+            MessageClass::Other => self.other += n,
+        }
+    }
+
+    /// Total across all classes (equals `messages_sent` at all times).
+    pub fn total(&self) -> usize {
+        self.fact + self.absence + self.value + self.request + self.ok + self.ack + self.other
+    }
+
+    /// `(label, count)` pairs in declaration order, including zeros.
+    pub fn as_pairs(&self) -> [(&'static str, usize); 7] {
+        [
+            ("fact", self.fact),
+            ("absence", self.absence),
+            ("value", self.value),
+            ("request", self.request),
+            ("ok", self.ok),
+            ("ack", self.ack),
+            ("other", self.other),
+        ]
+    }
+
+    /// Messages of the per-value coordination protocol (request + ok +
+    /// ack): nonzero exactly for the `Mdisjoint` strategy.
+    pub fn coordination(&self) -> usize {
+        self.request + self.ok + self.ack
+    }
+}
+
 /// Message relation carrying facts of input relation `R`.
 pub fn msg_rel(r: &str) -> String {
     format!("m_{r}")
@@ -96,6 +218,40 @@ mod tests {
     use super::*;
     use calm_common::fact::fact;
     use calm_common::query::FnQuery;
+
+    #[test]
+    fn message_classification_follows_naming_convention() {
+        assert_eq!(
+            classify_message(&fact("m_E", [1, 2])),
+            MessageClass::FactBroadcast
+        );
+        assert_eq!(
+            classify_message(&fact("n_E", [1, 2])),
+            MessageClass::AbsenceBroadcast
+        );
+        assert_eq!(
+            classify_message(&fact("v_a", [1])),
+            MessageClass::ValueBroadcast
+        );
+        assert_eq!(classify_message(&fact("rq", [1, 2])), MessageClass::Request);
+        assert_eq!(classify_message(&fact("okm", [1, 2])), MessageClass::Ok);
+        assert_eq!(classify_message(&fact("k_E", [1, 2])), MessageClass::Ack);
+        assert_eq!(classify_message(&fact("weird", [1])), MessageClass::Other);
+    }
+
+    #[test]
+    fn class_counts_sum_to_total() {
+        let mut c = MessageClassCounts::default();
+        c.record(MessageClass::FactBroadcast, 3);
+        c.record(MessageClass::Request, 2);
+        c.record(MessageClass::Ok, 1);
+        c.record(MessageClass::Ack, 4);
+        assert_eq!(c.total(), 10);
+        assert_eq!(c.coordination(), 7);
+        let pairs = c.as_pairs();
+        assert_eq!(pairs.iter().map(|(_, n)| n).sum::<usize>(), c.total());
+        assert_eq!(pairs[0], ("fact", 3));
+    }
 
     #[test]
     fn relation_namers() {

@@ -1,29 +1,34 @@
 //! Traced runs: a per-transition event log of a network execution, for
 //! debugging transducers and for the examples' narrative output.
+//!
+//! Since the calm-obs layer landed, there is exactly one event mechanism:
+//! the runtime emits per-transition events through [`calm_obs::Obs`], and
+//! a traced run is simply [`run_with`] feeding a [`TraceSink`] that
+//! collects those events back into a [`Trace`]. The same run can fan out
+//! to a JSONL log or Chrome trace at no extra cost via
+//! [`calm_obs::MultiSink`].
 
-use crate::network::NodeId;
-use crate::policy::distribute;
-use crate::runtime::{
-    network_output, transition, Configuration, Delivery, Metrics, RunResult, TransducerNetwork,
-};
-use calm_common::fact::Fact;
+use crate::runtime::{run_with, RunResult, Scheduler, TransducerNetwork};
 use calm_common::instance::Instance;
-use std::collections::BTreeMap;
+use calm_obs::{ArgValue, Obs, Sink};
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
-/// One transition's observable effects.
-#[derive(Debug, Clone)]
+/// One transition's observable effects, reconstructed from the runtime's
+/// `runtime/transition` observability event.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// 1-based transition index.
     pub index: usize,
-    /// The active node.
-    pub node: NodeId,
+    /// The active node (rendered).
+    pub node: String,
     /// Number of message occurrences delivered (0 = heartbeat).
     pub delivered: usize,
     /// Message occurrences enqueued to other nodes by this transition.
     pub sent: usize,
-    /// Output facts that appeared at this node in this transition.
-    pub new_output: Vec<Fact>,
+    /// Output facts that appeared at this node in this transition
+    /// (rendered).
+    pub new_output: Vec<String>,
     /// Whether the node's state changed at all.
     pub state_changed: bool,
 }
@@ -40,14 +45,7 @@ impl fmt::Display for TraceEvent {
             if self.new_output.is_empty() {
                 String::new()
             } else {
-                format!(
-                    "  +out: {}",
-                    self.new_output
-                        .iter()
-                        .map(ToString::to_string)
-                        .collect::<Vec<_>>()
-                        .join(" ")
-                )
+                format!("  +out: {}", self.new_output.join(" "))
             }
         )
     }
@@ -77,6 +75,64 @@ impl Trace {
     }
 }
 
+/// A [`Sink`] collecting the runtime's per-transition events into a
+/// [`Trace`]. Every other observation kind passes through untouched
+/// (combine with other sinks via [`calm_obs::MultiSink`] to keep them).
+#[derive(Default)]
+pub struct TraceSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceSink {
+    /// An empty collector.
+    pub fn new() -> TraceSink {
+        TraceSink::default()
+    }
+
+    /// Drain the collected events into a [`Trace`], assigning 1-based
+    /// transition indexes by arrival order.
+    pub fn take_trace(&self) -> Trace {
+        let mut events = std::mem::take(&mut *self.events.lock().expect("trace events"));
+        for (i, e) in events.iter_mut().enumerate() {
+            e.index = i + 1;
+        }
+        Trace { events }
+    }
+}
+
+impl Sink for TraceSink {
+    fn span(&self, _: &str, _: &str, _: u32, _: u64, _: u64) {}
+
+    fn event(&self, cat: &str, name: &str, _track: u32, _ts_us: u64, args: &[(&str, ArgValue)]) {
+        if cat != "runtime" || name != "transition" {
+            return;
+        }
+        let mut event = TraceEvent {
+            index: 0,
+            node: String::new(),
+            delivered: 0,
+            sent: 0,
+            new_output: Vec::new(),
+            state_changed: false,
+        };
+        for (key, value) in args {
+            match (*key, value) {
+                ("node", ArgValue::Str(s)) => event.node = s.clone(),
+                ("delivered", ArgValue::U64(n)) => event.delivered = *n as usize,
+                ("sent", ArgValue::U64(n)) => event.sent = *n as usize,
+                ("state_changed", ArgValue::Bool(b)) => event.state_changed = *b,
+                ("new_output", ArgValue::List(facts)) => event.new_output = facts.clone(),
+                _ => {}
+            }
+        }
+        self.events.lock().expect("trace events").push(event);
+    }
+
+    fn counter(&self, _: &str, _: &str, _: u64, _: u64) {}
+    fn gauge(&self, _: &str, _: &str, _: u32, _: u64, _: u64) {}
+    fn histogram(&self, _: &str, _: &str, _: u64) {}
+}
+
 /// Run round-robin with full delivery until quiescence (same stopping rule
 /// as [`crate::runtime::run`]), recording a [`TraceEvent`] per transition.
 pub fn traced_run(
@@ -84,62 +140,10 @@ pub fn traced_run(
     input: &Instance,
     max_transitions: usize,
 ) -> (RunResult, Trace) {
-    let dist = distribute(tn.policy, input);
-    let mut config = Configuration::start(tn.policy.network());
-    let mut metrics = Metrics::default();
-    let mut trace = Trace::default();
-    let nodes: Vec<NodeId> = tn.policy.network().nodes().cloned().collect();
-    let out_schema = tn.transducer.schema().output.clone();
-    let mut delivered_sets: BTreeMap<NodeId, std::collections::BTreeSet<Fact>> = nodes
-        .iter()
-        .map(|n| (n.clone(), std::collections::BTreeSet::new()))
-        .collect();
-
-    let mut quiescent = false;
-    while metrics.transitions < max_transitions {
-        let mut state_changed_any = false;
-        for x in &nodes {
-            if metrics.transitions >= max_transitions {
-                break;
-            }
-            let before_out = config.state[x].restrict(&out_schema);
-            let pending = config.buffer[x].len();
-            let sent_before = metrics.messages_sent;
-            {
-                let set = delivered_sets.get_mut(x).expect("node");
-                for f in config.buffer[x].support() {
-                    set.insert(f.clone());
-                }
-            }
-            let changed = transition(tn, &dist, &mut config, x, Delivery::All, &mut metrics);
-            state_changed_any |= changed;
-            let after_out = config.state[x].restrict(&out_schema);
-            trace.events.push(TraceEvent {
-                index: metrics.transitions,
-                node: x.clone(),
-                delivered: pending,
-                sent: metrics.messages_sent - sent_before,
-                new_output: after_out.difference(&before_out).facts().collect(),
-                state_changed: changed,
-            });
-        }
-        let all_seen = nodes.iter().all(|x| {
-            config.buffer[x]
-                .support()
-                .all(|f| delivered_sets[x].contains(f))
-        });
-        if !state_changed_any && all_seen {
-            quiescent = true;
-            break;
-        }
-    }
-    let result = RunResult {
-        output: network_output(tn, &config),
-        config,
-        metrics,
-        quiescent,
-    };
-    (result, trace)
+    let sink = Arc::new(TraceSink::new());
+    let obs = Obs::new(sink.clone());
+    let result = run_with(tn, input, &Scheduler::RoundRobin, max_transitions, &obs);
+    (result, sink.take_trace())
 }
 
 #[cfg(test)]
@@ -147,10 +151,12 @@ mod tests {
     use super::*;
     use crate::network::Network;
     use crate::policy::HashPolicy;
+    use crate::runtime::run;
     use crate::schema::SystemConfig;
     use crate::strategy::{expected_output, MonotoneBroadcast};
     use calm_common::generator::path;
     use calm_queries::tc::tc_datalog;
+    use std::collections::BTreeSet;
 
     #[test]
     fn trace_matches_untraced_run() {
@@ -170,14 +176,27 @@ mod tests {
         assert_eq!(trace.events.len(), result.metrics.transitions);
         let traced_sent: usize = trace.events.iter().map(|e| e.sent).sum();
         assert_eq!(traced_sent, result.metrics.messages_sent);
-        // Output events reconstruct the final output.
-        let mut from_trace = calm_common::instance::Instance::new();
-        for e in trace.output_events() {
-            from_trace.extend(e.new_output.iter().cloned());
-        }
-        assert_eq!(from_trace, result.output);
-        // Rendering produces one line per event.
+        let traced_delivered: usize = trace.events.iter().map(|e| e.delivered).sum();
+        assert_eq!(traced_delivered, result.metrics.messages_delivered);
+        // Output events reconstruct the final output (rendered form).
+        let from_trace: BTreeSet<String> = trace
+            .output_events()
+            .flat_map(|e| e.new_output.iter().cloned())
+            .collect();
+        let rendered: BTreeSet<String> = result.output.facts().map(|f| f.to_string()).collect();
+        assert_eq!(from_trace, rendered);
+        // Rendering produces one line per event, 1-based indexes in order.
         assert_eq!(trace.render().lines().count(), trace.events.len());
+        assert!(trace
+            .events
+            .iter()
+            .enumerate()
+            .all(|(i, e)| e.index == i + 1));
+        // The traced run is the plain run plus observation: identical
+        // output and metrics.
+        let plain = run(&tn, &input, &Scheduler::RoundRobin, 100_000);
+        assert_eq!(plain.output, result.output);
+        assert_eq!(plain.metrics, result.metrics);
     }
 
     #[test]
