@@ -1,4 +1,4 @@
-//! The experiment suite: one function per experiment id (E1–E17, see
+//! The experiment suite: one function per experiment id (E1–E19, see
 //! DESIGN.md's per-experiment index), each returning a [`Report`].
 
 mod engine;
@@ -6,6 +6,7 @@ mod fragments;
 mod hierarchy;
 mod policies;
 mod strategies;
+mod threaded;
 mod winmove;
 
 use crate::report::Report;
@@ -20,6 +21,7 @@ pub use policies::e7_policies;
 pub use strategies::{
     e10_no_all, e11_strategy_costs, e11_strategy_costs_obs, e8_distinct_model, e9_disjoint_model,
 };
+pub use threaded::{e19_threaded, e19_threaded_obs};
 pub use winmove::e16_winmove;
 
 /// How an experiment is invoked: most ignore observability; the
@@ -67,6 +69,7 @@ pub fn all() -> Vec<Experiment> {
         ("e15", Runner::Plain(e15_wilog)),
         ("e16", Runner::Plain(e16_winmove)),
         ("e18", Runner::Obs(e18_engine_obs)),
+        ("e19", Runner::Obs(e19_threaded_obs)),
     ]
 }
 
@@ -132,7 +135,7 @@ mod tests {
         dedup.dedup();
         assert_eq!(ids, dedup);
         assert_eq!(ids[0], "e1");
-        assert_eq!(ids.len(), 17);
+        assert_eq!(ids.len(), 18);
     }
 
     #[test]

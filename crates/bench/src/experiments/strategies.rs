@@ -18,13 +18,7 @@ use calm_transducer::{
 };
 
 fn schedulers() -> Vec<Scheduler> {
-    vec![
-        Scheduler::RoundRobin,
-        Scheduler::Random {
-            seed: 71,
-            prefix: 50,
-        },
-    ]
+    vec![Scheduler::RoundRobin, Scheduler::random(71, 50)]
 }
 
 /// E8: `F1 = Mdistinct` — the distinct strategy computes member queries

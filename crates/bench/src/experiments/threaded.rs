@@ -1,0 +1,195 @@
+//! E19: the threaded executor (`calm-net`) against the sequential
+//! simulator — equivalence on the largest E11-class workload and
+//! wall-clock scaling over worker counts.
+//!
+//! The confluence guarantee says the two engines must produce the same
+//! `network_output`; this experiment measures what the threaded engine
+//! *buys* for that guarantee: time-to-quiescence at 1/2/8 workers
+//! versus the sequential round-robin run, per strategy family. The
+//! speedup claim is cores-aware — on hosts with fewer than 4 cores a
+//! 2× parallel speedup is physically unavailable, so the claim is
+//! waived there (the equivalence claims are not).
+
+use std::time::{Duration, Instant};
+
+use crate::report::{markdown_table, Report};
+use crate::workloads::scaling_graph;
+use calm_common::Instance;
+use calm_net::{run_threaded_with, Programs, ThreadedConfig, ThreadedNetwork};
+use calm_obs::Obs;
+use calm_queries::qtc::qtc_datalog;
+use calm_queries::tc::{edges_without_source_loop, tc_datalog};
+use calm_transducer::{
+    run_with, DisjointStrategy, DistinctStrategy, DistributionPolicy, DomainGuidedPolicy,
+    HashPolicy, Metrics, MonotoneBroadcast, Network, Scheduler, SystemConfig, Transducer,
+    TransducerNetwork,
+};
+
+const NODES: usize = 8;
+const WORKERS: [usize; 3] = [1, 2, 8];
+
+/// One strategy family to bench: label, per-worker transducer factory,
+/// distribution policy, system configuration.
+type Family<'a> = (
+    &'a str,
+    &'a (dyn Fn() -> Box<dyn Transducer> + Sync),
+    &'a dyn DistributionPolicy,
+    SystemConfig,
+);
+
+/// E19: sequential vs threaded executor.
+pub fn e19_threaded() -> Report {
+    e19_threaded_obs(&Obs::noop())
+}
+
+/// As [`e19_threaded`], threading an [`Obs`] through both engines so
+/// `repro --trace-out` captures executor/termination events alongside
+/// the usual runtime counters.
+pub fn e19_threaded_obs(obs: &Obs) -> Report {
+    let mut r = Report::new(
+        "E19",
+        "sequential vs threaded executor — equivalence and scaling on the §4.3 workload",
+    );
+    let input = scaling_graph(11, 32, 1.5);
+    let mut rows = Vec::new();
+
+    let m_factory =
+        || Box::new(MonotoneBroadcast::new(Box::new(tc_datalog()))) as Box<dyn Transducer>;
+    let d_factory = || {
+        Box::new(DistinctStrategy::new(Box::new(edges_without_source_loop())))
+            as Box<dyn Transducer>
+    };
+    let j_factory =
+        || Box::new(DisjointStrategy::new(Box::new(qtc_datalog()))) as Box<dyn Transducer>;
+    let hash = HashPolicy::new(Network::of_size(NODES));
+    let guided = DomainGuidedPolicy::new(Network::of_size(NODES));
+
+    let families: [Family; 3] = [
+        (
+            "M/broadcast (TC)",
+            &m_factory,
+            &hash,
+            SystemConfig::ORIGINAL,
+        ),
+        (
+            "Mdistinct/non-facts (SP)",
+            &d_factory,
+            &hash,
+            SystemConfig::POLICY_AWARE,
+        ),
+        (
+            "Mdisjoint/request-OK (Q_TC)",
+            &j_factory,
+            &guided,
+            SystemConfig::POLICY_AWARE,
+        ),
+    ];
+
+    let mut best_speedup = 0.0f64;
+    for (label, factory, policy, config) in families {
+        let (speedup8, all_equal) =
+            bench_family(&mut rows, label, factory, policy, config, &input, obs);
+        best_speedup = best_speedup.max(speedup8);
+        r.claim(
+            format!("{label}: threaded output equals sequential at workers {{1,2,8}}"),
+            "byte-identical network_output, all runs quiescent",
+            all_equal,
+        );
+    }
+    r.table(markdown_table(
+        &[
+            "strategy (query)",
+            "engine",
+            "wall ms",
+            "transitions",
+            "msgs sent",
+            "speedup vs seq",
+            "quiescent",
+        ],
+        &rows,
+    ));
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    r.claim(
+        "threaded reaches ≥2× sequential throughput at 8 workers (waived below 4 cores)",
+        format!("best speedup {best_speedup:.2}× on a {cores}-core host"),
+        best_speedup >= 2.0 || cores < 4,
+    );
+    r
+}
+
+/// Time one strategy family under both engines; returns `(speedup at 8
+/// workers, all threaded runs matched the sequential oracle)`.
+fn bench_family(
+    rows: &mut Vec<Vec<String>>,
+    label: &str,
+    factory: &(dyn Fn() -> Box<dyn Transducer> + Sync),
+    policy: &dyn DistributionPolicy,
+    config: SystemConfig,
+    input: &Instance,
+    obs: &Obs,
+) -> (f64, bool) {
+    let oracle = factory();
+    let tn = TransducerNetwork {
+        transducer: oracle.as_ref(),
+        policy,
+        config,
+    };
+    let start = Instant::now();
+    let seq = run_with(&tn, input, &Scheduler::RoundRobin, 5_000_000, obs);
+    let seq_wall = start.elapsed();
+    rows.push(row(
+        label,
+        "sequential",
+        seq_wall,
+        &seq.metrics,
+        None,
+        seq.quiescent,
+    ));
+    let mut all_equal = seq.quiescent;
+    let mut speedup8 = 0.0;
+    for workers in WORKERS {
+        let net = ThreadedNetwork {
+            programs: Programs::PerWorker(factory),
+            policy,
+            config,
+        };
+        let start = Instant::now();
+        let thr = run_threaded_with(&net, input, &ThreadedConfig::new(workers), obs);
+        let wall = start.elapsed();
+        all_equal &= thr.quiescent && thr.output == seq.output;
+        let speedup = seq_wall.as_secs_f64() / wall.as_secs_f64().max(1e-9);
+        if workers == WORKERS[WORKERS.len() - 1] {
+            speedup8 = speedup;
+        }
+        rows.push(row(
+            label,
+            &format!("threaded x{workers}"),
+            wall,
+            &thr.metrics,
+            Some(speedup),
+            thr.quiescent,
+        ));
+    }
+    (speedup8, all_equal)
+}
+
+fn row(
+    label: &str,
+    engine: &str,
+    wall: Duration,
+    metrics: &Metrics,
+    speedup: Option<f64>,
+    quiescent: bool,
+) -> Vec<String> {
+    vec![
+        label.to_string(),
+        engine.to_string(),
+        format!("{:.1}", wall.as_secs_f64() * 1e3),
+        metrics.transitions.to_string(),
+        metrics.messages_sent.to_string(),
+        speedup.map_or("-".into(), |s| format!("{s:.2}x")),
+        quiescent.to_string(),
+    ]
+}

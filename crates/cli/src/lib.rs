@@ -24,6 +24,7 @@ use calm_common::query::Query;
 use calm_datalog::fragment::classify;
 use calm_datalog::{parse_facts, parse_program, DatalogQuery, Program};
 use calm_monotone::{Exhaustive, ExtensionKind, Falsifier};
+use calm_net::{run_threaded_with, Programs, ThreadedConfig, ThreadedNetwork};
 use calm_obs::{ChromeTraceSink, JsonlSink, MultiSink, Obs, ReportSink, Sink};
 use calm_transducer::{
     expected_output, run, run_with, DisjointStrategy, DistinctStrategy, DistributionPolicy,
@@ -283,31 +284,42 @@ pub fn cmd_simulate_opts(
     )
 }
 
-/// The full `calm simulate`: strategy selection, optional printed trace,
-/// optional trace artifacts (`--trace-out`) and run report (`--metrics`).
-pub fn cmd_simulate_full(
+/// Which execution engine `calm simulate` drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The sequential simulator (round-robin scheduler) — the default.
+    #[default]
+    Sequential,
+    /// The threaded executor (`calm-net`): nodes sharded over worker
+    /// threads, termination detected by the Safra ring. `workers: 0`
+    /// picks `min(available cores, nodes)`.
+    Threaded {
+        /// Worker threads (0 = auto).
+        workers: usize,
+    },
+}
+
+/// A strategy instance with the policy and system configuration it
+/// expects: the three things `simulate` needs to build a network.
+type StrategyTriple = (
+    Box<dyn Transducer>,
+    Box<dyn DistributionPolicy>,
+    SystemConfig,
+);
+
+/// Build the strategy/policy/system-config triple for a strategy name.
+fn build_strategy(
     program_src: &str,
-    facts_src: &str,
-    nodes: usize,
     strategy: &str,
-    trace: bool,
-    obs_opts: &ObsOptions,
-) -> Result<String, CliError> {
+    nodes: usize,
+) -> Result<StrategyTriple, CliError> {
     let p = load_program(program_src)?;
-    let input = load_facts(facts_src)?;
-    if nodes == 0 {
-        return Err(err("--nodes must be at least 1"));
-    }
     let q = DatalogQuery::new("query", p).map_err(|e| err(e.to_string()))?;
     let net = Network::of_size(nodes);
-    let (transducer, policy, config): (
-        Box<dyn Transducer>,
-        Box<dyn DistributionPolicy>,
-        SystemConfig,
-    ) = match strategy {
+    Ok(match strategy {
         "monotone" | "broadcast" => (
-            Box::new(MonotoneBroadcast::new(Box::new(q))),
-            Box::new(HashPolicy::new(net)),
+            Box::new(MonotoneBroadcast::new(Box::new(q))) as Box<dyn Transducer>,
+            Box::new(HashPolicy::new(net)) as Box<dyn DistributionPolicy>,
             SystemConfig::ORIGINAL,
         ),
         "distinct" => (
@@ -325,41 +337,129 @@ pub fn cmd_simulate_full(
                 "unknown strategy '{other}' (expected monotone|distinct|disjoint)"
             )))
         }
-    };
-    let tn = TransducerNetwork {
-        transducer: transducer.as_ref(),
-        policy: policy.as_ref(),
-        config,
-    };
+    })
+}
+
+/// The full `calm simulate`: strategy selection, optional printed trace,
+/// optional trace artifacts (`--trace-out`) and run report (`--metrics`).
+pub fn cmd_simulate_full(
+    program_src: &str,
+    facts_src: &str,
+    nodes: usize,
+    strategy: &str,
+    trace: bool,
+    obs_opts: &ObsOptions,
+) -> Result<String, CliError> {
+    cmd_simulate_engine(
+        program_src,
+        facts_src,
+        nodes,
+        strategy,
+        trace,
+        obs_opts,
+        Engine::Sequential,
+    )
+}
+
+/// As [`cmd_simulate_full`], selecting the execution engine
+/// (`--engine threaded --workers N`).
+#[allow(clippy::too_many_arguments)]
+pub fn cmd_simulate_engine(
+    program_src: &str,
+    facts_src: &str,
+    nodes: usize,
+    strategy: &str,
+    trace: bool,
+    obs_opts: &ObsOptions,
+    engine: Engine,
+) -> Result<String, CliError> {
+    let input = load_facts(facts_src)?;
+    if nodes == 0 {
+        return Err(err("--nodes must be at least 1"));
+    }
+    let (transducer, policy, config) = build_strategy(program_src, strategy, nodes)?;
     let mut out = String::new();
-    let result = if trace || !obs_opts.is_off() {
-        let trace_sink = trace.then(|| Arc::new(TraceSink::new()));
-        let extra: Vec<Arc<dyn Sink>> = trace_sink
-            .iter()
-            .map(|s| Arc::clone(s) as Arc<dyn Sink>)
-            .collect();
-        let (obs, report) = build_obs(obs_opts, extra)?;
-        let result = run_with(&tn, &input, &Scheduler::RoundRobin, 5_000_000, &obs);
-        obs.finish();
-        if let Some(sink) = trace_sink {
-            let log = sink.take_trace();
-            let _ = writeln!(out, "% trace ({} transitions):", log.events.len());
-            out.push_str(&log.render());
-        }
-        if let Some(r) = report {
-            out.push_str(&r.render());
-        }
-        result
+
+    let trace_sink = trace.then(|| Arc::new(TraceSink::new()));
+    let extra: Vec<Arc<dyn Sink>> = trace_sink
+        .iter()
+        .map(|s| Arc::clone(s) as Arc<dyn Sink>)
+        .collect();
+    let observed = trace || !obs_opts.is_off();
+    let (obs, report) = if observed {
+        build_obs(obs_opts, extra)?
     } else {
-        run(&tn, &input, &Scheduler::RoundRobin, 5_000_000)
+        (Obs::noop(), None)
     };
-    let _ = writeln!(out, "% quiescent: {}", result.quiescent);
+
+    // Normalized (output, metrics, quiescent) across the two engines.
+    let (output, metrics, quiescent) = match engine {
+        Engine::Sequential => {
+            let tn = TransducerNetwork {
+                transducer: transducer.as_ref(),
+                policy: policy.as_ref(),
+                config,
+            };
+            let r = if observed {
+                run_with(&tn, &input, &Scheduler::RoundRobin, 5_000_000, &obs)
+            } else {
+                run(&tn, &input, &Scheduler::RoundRobin, 5_000_000)
+            };
+            (r.output, r.metrics, r.quiescent)
+        }
+        Engine::Threaded { workers } => {
+            let workers = if workers == 0 {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+                    .min(nodes)
+            } else {
+                workers
+            };
+            // Each worker gets its own transducer instance (own interner
+            // and scratch database) so steps never contend on a shared
+            // evaluation context.
+            let factory = move || {
+                let (t, _, _) = build_strategy(program_src, strategy, nodes)
+                    .expect("strategy built once already");
+                t
+            };
+            let tn = ThreadedNetwork {
+                programs: Programs::PerWorker(&factory),
+                policy: policy.as_ref(),
+                config,
+            };
+            let r = run_threaded_with(&tn, &input, &ThreadedConfig::new(workers), &obs);
+            let _ = writeln!(out, "% engine: threaded, workers: {workers}");
+            let per_worker: String = r
+                .per_worker
+                .iter()
+                .map(|w| format!(" {}", w.metrics.transitions))
+                .collect();
+            let token_passes: u64 = r.per_worker.iter().map(|w| w.token_passes).sum();
+            let _ = writeln!(
+                out,
+                "% per-worker steps:{per_worker}, token passes: {token_passes}"
+            );
+            (r.output, r.metrics, r.quiescent)
+        }
+    };
+    obs.finish();
+    if let Some(sink) = trace_sink {
+        let log = sink.take_trace();
+        let _ = writeln!(out, "% trace ({} transitions):", log.events.len());
+        out.push_str(&log.render());
+    }
+    if let Some(r) = report {
+        out.push_str(&r.render());
+    }
+    let _ = writeln!(out, "% quiescent: {quiescent}");
     let _ = writeln!(
         out,
         "% transitions: {}, messages sent: {}, delivered: {}",
-        result.metrics.transitions, result.metrics.messages_sent, result.metrics.messages_delivered
+        metrics.transitions, metrics.messages_sent, metrics.messages_delivered
     );
-    let by_class = result.metrics.by_class;
+    let by_class = metrics.by_class;
     if by_class.total() > 0 {
         let classes: String = by_class
             .as_pairs()
@@ -370,7 +470,7 @@ pub fn cmd_simulate_full(
         let _ = writeln!(
             out,
             "% message classes:{classes}, max queue depth: {}",
-            result.metrics.max_queue_depth()
+            metrics.max_queue_depth()
         );
     }
     // Compare against the centralized answer.
@@ -380,9 +480,9 @@ pub fn cmd_simulate_full(
     let _ = writeln!(
         out,
         "% matches centralized evaluation: {}",
-        result.output == expected
+        output == expected
     );
-    out.push_str(&render_instance(&result.output));
+    out.push_str(&render_instance(&output));
     Ok(out)
 }
 
@@ -416,12 +516,38 @@ USAGE:
   calm stratify  <program.dl>
   calm check     <program.dl> [--class m|distinct|disjoint] [--trials N]
   calm simulate  <program.dl> <facts.dl> [--nodes N] [--strategy monotone|distinct|disjoint]
+                 [--engine sequential|threaded] [--workers N]
                  [--trace] [--trace-out PREFIX] [--metrics]
 
   --trace-out PREFIX writes a structured event log to PREFIX.jsonl and a
   Chrome trace (load at ui.perfetto.dev or chrome://tracing) to
   PREFIX.trace.json; --metrics appends a run report to stdout.
+
+  --engine threaded runs the network on the calm-net executor: nodes
+  sharded over worker threads (--workers N, 0 or unset = one per core),
+  quiescence detected by a Safra-style token ring. Output is identical
+  to the sequential engine for coordination-free strategies.
 ";
+
+/// Parse `--engine` / `--workers` values into an [`Engine`].
+pub fn parse_engine(engine: Option<&str>, workers: Option<&str>) -> Result<Engine, CliError> {
+    let workers: usize = workers
+        .map(|w| w.parse().map_err(|_| err("--workers must be a number")))
+        .transpose()?
+        .unwrap_or(0);
+    match engine.unwrap_or("sequential") {
+        "sequential" => {
+            if workers != 0 {
+                return Err(err("--workers requires --engine threaded"));
+            }
+            Ok(Engine::Sequential)
+        }
+        "threaded" => Ok(Engine::Threaded { workers }),
+        other => Err(err(format!(
+            "unknown engine '{other}' (expected sequential|threaded)"
+        ))),
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -552,6 +678,124 @@ mod tests {
         };
         let e = cmd_eval_opts(TC, FACTS, &opts).unwrap_err();
         assert!(e.0.contains("--trace-out"), "{e}");
+    }
+
+    #[test]
+    fn simulate_threaded_matches_centralized() {
+        let opts = ObsOptions {
+            trace_out: None,
+            metrics: false,
+        };
+        for strategy in ["monotone", "distinct"] {
+            for workers in [1, 2, 8] {
+                let out = cmd_simulate_engine(
+                    TC,
+                    FACTS,
+                    3,
+                    strategy,
+                    false,
+                    &opts,
+                    Engine::Threaded { workers },
+                )
+                .unwrap();
+                assert!(
+                    out.contains("% matches centralized evaluation: true"),
+                    "{strategy} x{workers}: {out}"
+                );
+                assert!(out.contains("% engine: threaded, workers:"), "{out}");
+                assert!(out.contains("% quiescent: true"), "{out}");
+                assert!(out.contains("token passes:"), "{out}");
+            }
+        }
+        let out = cmd_simulate_engine(
+            QTC,
+            FACTS,
+            2,
+            "disjoint",
+            false,
+            &opts,
+            Engine::Threaded { workers: 2 },
+        )
+        .unwrap();
+        assert!(
+            out.contains("% matches centralized evaluation: true"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn simulate_threaded_output_equals_sequential_output() {
+        let opts = ObsOptions {
+            trace_out: None,
+            metrics: false,
+        };
+        let seq = cmd_simulate(TC, FACTS, 4, "monotone").unwrap();
+        let thr = cmd_simulate_engine(
+            TC,
+            FACTS,
+            4,
+            "monotone",
+            false,
+            &opts,
+            Engine::Threaded { workers: 2 },
+        )
+        .unwrap();
+        // Rendered facts (lines not starting with '%') must be identical.
+        let facts = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with('%'))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(facts(&seq), facts(&thr));
+    }
+
+    #[test]
+    fn simulate_threaded_with_metrics_writes_artifacts() {
+        let prefix = std::env::temp_dir().join(format!("calm-cli-sim-thr-{}", std::process::id()));
+        let opts = ObsOptions {
+            trace_out: Some(prefix.clone()),
+            metrics: true,
+        };
+        let out = cmd_simulate_engine(
+            TC,
+            FACTS,
+            3,
+            "monotone",
+            false,
+            &opts,
+            Engine::Threaded { workers: 2 },
+        )
+        .unwrap();
+        assert!(out.contains("== run report =="), "{out}");
+        assert!(out.contains("% message classes:"), "{out}");
+        let jsonl_path = trace_path(&prefix, "jsonl");
+        let chrome_path = trace_path(&prefix, "trace.json");
+        let jsonl = std::fs::read_to_string(&jsonl_path).unwrap();
+        assert!(jsonl.contains("executor_start"), "executor event traced");
+        assert!(jsonl.contains("termination"), "termination event traced");
+        let _ = std::fs::remove_file(jsonl_path);
+        let _ = std::fs::remove_file(chrome_path);
+    }
+
+    #[test]
+    fn parse_engine_accepts_and_rejects() {
+        assert_eq!(parse_engine(None, None).unwrap(), Engine::Sequential);
+        assert_eq!(
+            parse_engine(Some("sequential"), None).unwrap(),
+            Engine::Sequential
+        );
+        assert_eq!(
+            parse_engine(Some("threaded"), None).unwrap(),
+            Engine::Threaded { workers: 0 }
+        );
+        assert_eq!(
+            parse_engine(Some("threaded"), Some("4")).unwrap(),
+            Engine::Threaded { workers: 4 }
+        );
+        assert!(parse_engine(Some("warp"), None).is_err());
+        assert!(parse_engine(Some("threaded"), Some("two")).is_err());
+        assert!(parse_engine(Some("sequential"), Some("4")).is_err());
     }
 
     #[test]

@@ -68,13 +68,15 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
                 .unwrap_or(3);
             let strategy = flag_value(args, "--strategy").unwrap_or("monotone");
             let trace = args.iter().any(|a| a == "--trace");
-            cmd_simulate_full(
+            let engine = parse_engine(flag_value(args, "--engine"), flag_value(args, "--workers"))?;
+            cmd_simulate_engine(
                 &read(p)?,
                 &read(f)?,
                 nodes,
                 strategy,
                 trace,
                 &obs_options(args),
+                engine,
             )
         }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),

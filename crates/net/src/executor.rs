@@ -1,0 +1,591 @@
+//! The threaded executor: nodes sharded over worker threads, per-worker
+//! `mpsc` channels carrying fact batches, Safra-ring termination.
+
+use crate::termination::Token;
+use calm_common::fact::Fact;
+use calm_common::instance::Instance;
+use calm_obs::{ArgValue, Obs};
+use calm_transducer::engine::NodeEngine;
+use calm_transducer::multiset::Multiset;
+use calm_transducer::network::NodeId;
+use calm_transducer::policy::{distribute, DistributionPolicy};
+use calm_transducer::runtime::Metrics;
+use calm_transducer::schema::SystemConfig;
+use calm_transducer::transducer::Transducer;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+
+/// How workers obtain their per-node transducer program.
+///
+/// `Shared` hands every worker the same instance — correct for any
+/// `Transducer` (the trait is `Send + Sync`), but a `DatalogTransducer`
+/// serializes concurrent steps on its internal scratch-context mutex,
+/// so sharing one across workers caps parallel speedup. `PerWorker`
+/// gives each worker its own instance from a factory (each with its own
+/// scratch database and symbol interner), which is what the CLI and the
+/// benches use.
+pub enum Programs<'a> {
+    /// One transducer instance shared by every worker.
+    Shared(&'a dyn Transducer),
+    /// A factory invoked once per worker, on that worker's thread.
+    PerWorker(&'a (dyn Fn() -> Box<dyn Transducer> + Sync)),
+}
+
+enum ProgramHandle<'a> {
+    Borrowed(&'a dyn Transducer),
+    Owned(Box<dyn Transducer>),
+}
+
+impl ProgramHandle<'_> {
+    fn as_dyn(&self) -> &dyn Transducer {
+        match self {
+            ProgramHandle::Borrowed(t) => *t,
+            ProgramHandle::Owned(b) => b.as_ref(),
+        }
+    }
+}
+
+impl<'a> Programs<'a> {
+    fn instantiate(&self) -> ProgramHandle<'a> {
+        match self {
+            Programs::Shared(t) => ProgramHandle::Borrowed(*t),
+            Programs::PerWorker(f) => ProgramHandle::Owned(f()),
+        }
+    }
+}
+
+/// A transducer network ready to run threaded: the same ingredients as
+/// the sequential [`calm_transducer::TransducerNetwork`], with the
+/// program supplied per worker.
+pub struct ThreadedNetwork<'a> {
+    /// The per-node transducer program(s).
+    pub programs: Programs<'a>,
+    /// The distribution policy (also supplies the network).
+    pub policy: &'a dyn DistributionPolicy,
+    /// Which system relations nodes see (model variant).
+    pub config: SystemConfig,
+}
+
+/// Execution parameters of a threaded run.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadedConfig {
+    /// Worker threads. Clamped to `[1, |N|]` (a worker with no nodes
+    /// would only slow the ring down).
+    pub workers: usize,
+    /// Per-worker step budget: the most node transitions one worker may
+    /// execute. A run that exhausts any worker's budget reports
+    /// `quiescent: false`.
+    pub step_budget: usize,
+}
+
+impl ThreadedConfig {
+    /// `workers` threads with the default step budget (1M per worker).
+    pub fn new(workers: usize) -> ThreadedConfig {
+        ThreadedConfig {
+            workers,
+            step_budget: 1_000_000,
+        }
+    }
+
+    /// Override the per-worker step budget.
+    pub fn with_budget(mut self, step_budget: usize) -> ThreadedConfig {
+        self.step_budget = step_budget;
+        self
+    }
+}
+
+/// Per-worker accounting, reported at join.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Worker index (ring position).
+    pub worker: usize,
+    /// The nodes this worker owned.
+    pub nodes: Vec<NodeId>,
+    /// This worker's share of the run counters. `metrics.transitions`
+    /// is the worker's step count; the executor's merged metrics are
+    /// the fold of these in worker order.
+    pub metrics: Metrics,
+    /// Message occurrences enqueued *to* this worker's nodes (from its
+    /// own nodes directly, from other workers via channel batches).
+    /// Per-worker conservation: `enqueued == metrics.messages_delivered
+    /// + buffered` at exit.
+    pub enqueued: usize,
+    /// Occurrences still undelivered in this worker's inboxes at exit
+    /// (zero on a clean quiescent run).
+    pub buffered: usize,
+    /// Ring hops this worker performed (token forwards + probes).
+    pub token_passes: u64,
+    /// Whether the worker hit its step budget.
+    pub exhausted: bool,
+}
+
+/// The result of a threaded run — same shape as the sequential
+/// [`calm_transducer::RunResult`], plus the per-worker breakdown.
+#[derive(Debug)]
+pub struct ThreadedRunResult {
+    /// `out(R)` — the union of output facts across nodes.
+    pub output: Instance,
+    /// Final per-node states (output ∪ memory facts).
+    pub states: BTreeMap<NodeId, Instance>,
+    /// Merged run counters (fold of the per-worker metrics, in worker
+    /// order — deterministic given the per-worker values).
+    pub metrics: Metrics,
+    /// Per-worker accounting.
+    pub per_worker: Vec<WorkerStats>,
+    /// Whether the network reached quiescence (every node at local
+    /// fixpoint, nothing in flight) within every worker's budget.
+    pub quiescent: bool,
+}
+
+/// Messages on the per-worker channels. `Batch` is the basic message of
+/// the termination-detection algorithm (counted in Safra counters);
+/// `Token` and `Terminate` are control traffic (not counted).
+enum Msg {
+    /// Facts for one destination node, batched per sending step.
+    Batch {
+        /// Destination node, as a global node index.
+        node: usize,
+        /// The occurrences (multiset: the same fact may be in flight
+        /// several times from different senders).
+        facts: Multiset<Fact>,
+    },
+    /// The termination probe token.
+    Token(Token),
+    /// Worker 0 detected termination: finish up and report.
+    Terminate,
+}
+
+/// Run the network to quiescence on `input`. See [`run_threaded_with`].
+pub fn run_threaded(
+    tn: &ThreadedNetwork<'_>,
+    input: &Instance,
+    cfg: &ThreadedConfig,
+) -> ThreadedRunResult {
+    run_threaded_with(tn, input, cfg, &Obs::noop())
+}
+
+/// As [`run_threaded`], reporting per-transition events, message-class
+/// counters and queue-depth gauges to `obs` with the same categories,
+/// names and tracks as the sequential engine, plus `net`-category
+/// events for executor start and termination detection.
+///
+/// Node `i` (in network order) runs on worker `i mod W`. Each worker
+/// owns its nodes' [`Instance`] states and inboxes and a local
+/// [`Metrics`]; nothing is shared between workers but the channels (and
+/// the read-only program/policy/input). Workers step their nodes to
+/// local fixpoint, exchange fact batches, and detect global quiescence
+/// with the Safra ring in [`crate::termination`]. At join the per-worker
+/// metrics are folded in worker order with [`Metrics::merge`] — the
+/// merged totals are deterministic given the per-worker values, and the
+/// *output* is deterministic for coordination-free programs by the
+/// paper's confluence guarantee (the equivalence tests check it against
+/// the sequential engine).
+pub fn run_threaded_with(
+    tn: &ThreadedNetwork<'_>,
+    input: &Instance,
+    cfg: &ThreadedConfig,
+    obs: &Obs,
+) -> ThreadedRunResult {
+    let node_ids: Vec<NodeId> = tn.policy.network().nodes().cloned().collect();
+    let total_nodes = node_ids.len();
+    let workers = cfg.workers.clamp(1, total_nodes.max(1));
+    let dist = distribute(tn.policy, input);
+    let empty = Instance::new();
+
+    obs.event("net", "executor_start", 0, || {
+        vec![
+            ("workers", ArgValue::U64(workers as u64)),
+            ("nodes", ArgValue::U64(total_nodes as u64)),
+        ]
+    });
+
+    // One channel per worker; every worker holds senders to all.
+    let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(workers);
+    let mut receivers: Vec<Receiver<Msg>> = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, rx) = std::sync::mpsc::channel();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (id, rx) in receivers.into_iter().enumerate() {
+            let senders = senders.clone();
+            let node_ids = &node_ids;
+            let dist = &dist;
+            let empty = &empty;
+            let programs = &tn.programs;
+            let policy = tn.policy;
+            let sys = tn.config;
+            handles.push(scope.spawn(move || {
+                let program = programs.instantiate();
+                run_worker(WorkerCtx {
+                    id,
+                    workers,
+                    node_ids,
+                    transducer: program.as_dyn(),
+                    policy,
+                    sys,
+                    dist,
+                    empty,
+                    rx,
+                    senders,
+                    budget: cfg.step_budget,
+                    obs,
+                })
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+
+    // Deterministic join: fold in worker order.
+    let probe = tn.programs.instantiate();
+    let out_schema = &probe.as_dyn().schema().output;
+    let mut metrics = Metrics::default();
+    let mut states: BTreeMap<NodeId, Instance> = BTreeMap::new();
+    let mut per_worker = Vec::with_capacity(workers);
+    let mut quiescent = true;
+    let mut token_passes = 0u64;
+    for outcome in outcomes {
+        metrics.merge(&outcome.stats.metrics);
+        quiescent &= outcome.clean;
+        token_passes += outcome.stats.token_passes;
+        for (node, state) in outcome.states {
+            states.insert(node, state);
+        }
+        per_worker.push(outcome.stats);
+    }
+    let mut output = Instance::new();
+    for state in states.values() {
+        output.extend(state.restrict(out_schema).facts());
+    }
+
+    obs.event("net", "termination", 0, || {
+        vec![
+            ("quiescent", ArgValue::Bool(quiescent)),
+            ("token_passes", ArgValue::U64(token_passes)),
+            ("workers", ArgValue::U64(workers as u64)),
+        ]
+    });
+    if obs.enabled() {
+        obs.event("runtime", "run_summary", 0, || {
+            vec![
+                ("quiescent", ArgValue::Bool(quiescent)),
+                ("transitions", ArgValue::U64(metrics.transitions as u64)),
+                ("heartbeats", ArgValue::U64(metrics.heartbeats as u64)),
+                ("messages_sent", ArgValue::U64(metrics.messages_sent as u64)),
+                (
+                    "messages_delivered",
+                    ArgValue::U64(metrics.messages_delivered as u64),
+                ),
+                (
+                    "max_queue_depth",
+                    ArgValue::U64(metrics.max_queue_depth() as u64),
+                ),
+            ]
+        });
+    }
+
+    ThreadedRunResult {
+        output,
+        states,
+        metrics,
+        per_worker,
+        quiescent,
+    }
+}
+
+struct WorkerCtx<'a> {
+    id: usize,
+    workers: usize,
+    node_ids: &'a [NodeId],
+    transducer: &'a dyn Transducer,
+    policy: &'a dyn DistributionPolicy,
+    sys: SystemConfig,
+    dist: &'a BTreeMap<NodeId, Instance>,
+    empty: &'a Instance,
+    rx: Receiver<Msg>,
+    senders: Vec<Sender<Msg>>,
+    budget: usize,
+    obs: &'a Obs,
+}
+
+struct WorkerOutcome {
+    states: Vec<(NodeId, Instance)>,
+    stats: WorkerStats,
+    /// No pending inbox facts and every node at local fixpoint at exit.
+    clean: bool,
+}
+
+/// One node's worker-local slot: its state, inbox, and send-dedup set.
+struct Slot {
+    global: usize,
+    state: Instance,
+    /// The node's inbox — `b(x)` in the formal model, fed by channel
+    /// batches instead of a global buffer map.
+    pending: Multiset<Fact>,
+    /// Every message fact this node ever sent (see
+    /// [`NodeEngine::apply`]'s `sent_filter`).
+    ever_sent: BTreeSet<Fact>,
+    /// Needs another step: never stepped, or the last step delivered
+    /// facts, changed state, or sent messages.
+    dirty: bool,
+}
+
+fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
+    let WorkerCtx {
+        id,
+        workers,
+        node_ids,
+        transducer,
+        policy,
+        sys,
+        dist,
+        empty,
+        rx,
+        senders,
+        budget,
+        obs,
+    } = ctx;
+    let total_nodes = node_ids.len();
+    // Node i -> worker i mod W, and a reverse map for local routing.
+    let locals: Vec<usize> = (id..total_nodes).step_by(workers).collect();
+    let mut local_index: Vec<Option<usize>> = vec![None; total_nodes];
+    for (l, &g) in locals.iter().enumerate() {
+        local_index[g] = Some(l);
+    }
+    let engines: Vec<NodeEngine<'_>> = locals
+        .iter()
+        .map(|&g| {
+            let node = node_ids[g].clone();
+            let input = dist.get(&node).unwrap_or(empty);
+            NodeEngine::new(transducer, policy, sys, node, input)
+        })
+        .collect();
+    let mut slots: Vec<Slot> = locals
+        .iter()
+        .map(|&g| Slot {
+            global: g,
+            state: Instance::new(),
+            pending: Multiset::new(),
+            ever_sent: BTreeSet::new(),
+            dirty: true,
+        })
+        .collect();
+
+    let mut metrics = Metrics::default();
+    let mut stats = WorkerStats {
+        worker: id,
+        nodes: locals.iter().map(|&g| node_ids[g].clone()).collect(),
+        ..WorkerStats::default()
+    };
+    let mut steps_left = budget;
+    // Safra state.
+    let mut counter: i64 = 0; // channel batches sent - received
+    let mut black = false;
+    let mut held_token: Option<Token> = None;
+    let mut probe_outstanding = false;
+    let mut terminate = false;
+
+    // Enqueue `facts` into local node `g`'s inbox, with high-water and
+    // gauge bookkeeping (mirrors the sequential engine's per-recipient
+    // accounting).
+    let enqueue = |slots: &mut Vec<Slot>,
+                   metrics: &mut Metrics,
+                   stats: &mut WorkerStats,
+                   g: usize,
+                   facts: Multiset<Fact>| {
+        let l = local_index[g].expect("fact routed to non-local node");
+        let n = facts.len();
+        if n == 0 {
+            return;
+        }
+        stats.enqueued += n;
+        let slot = &mut slots[l];
+        slot.pending.extend_from(facts);
+        slot.dirty = true;
+        let depth = slot.pending.len();
+        let hw = metrics
+            .buffered_high_water
+            .entry(node_ids[g].clone())
+            .or_insert(0);
+        if depth > *hw {
+            *hw = depth;
+        }
+        if obs.enabled() {
+            obs.gauge("runtime", "queue_depth", g as u32 + 1, depth as u64);
+        }
+    };
+
+    loop {
+        // 1. Drain the channel without blocking.
+        loop {
+            match rx.try_recv() {
+                Ok(Msg::Batch { node, facts }) => {
+                    counter -= 1;
+                    black = true;
+                    enqueue(&mut slots, &mut metrics, &mut stats, node, facts);
+                }
+                Ok(Msg::Token(t)) => held_token = Some(t),
+                Ok(Msg::Terminate) => terminate = true,
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        if terminate {
+            break;
+        }
+
+        // 2. Local work: step every node that has inbox facts or is not
+        // yet at its local fixpoint.
+        let has_work = slots.iter().any(|s| s.dirty || !s.pending.is_empty());
+        if has_work && steps_left > 0 {
+            for l in 0..slots.len() {
+                if !slots[l].dirty && slots[l].pending.is_empty() {
+                    continue;
+                }
+                if steps_left == 0 {
+                    break;
+                }
+                steps_left -= 1;
+                // Delivery half: drain the inbox (m = b(x), the
+                // deliver-everything choice; asynchrony comes from the
+                // thread interleaving instead of submultiset sampling).
+                let mut delivered_n = 0usize;
+                let delivered: Vec<Fact> = slots[l]
+                    .pending
+                    .drain_all()
+                    .map(|(f, c)| {
+                        delivered_n += c;
+                        f
+                    })
+                    .collect();
+                metrics.messages_delivered += delivered_n;
+                if delivered_n == 0 {
+                    metrics.heartbeats += 1;
+                }
+                let outcome = {
+                    let slot = &mut slots[l];
+                    engines[l].apply(
+                        &mut slot.state,
+                        &delivered,
+                        delivered_n,
+                        Some(&mut slot.ever_sent),
+                        &mut metrics,
+                        obs,
+                    )
+                };
+                slots[l].dirty =
+                    outcome.state_changed || !outcome.sent.is_empty() || delivered_n > 0;
+                if outcome.sent.is_empty() {
+                    continue;
+                }
+                // Route: every other node gets every sent fact — local
+                // inboxes directly, remote workers as one batch per
+                // destination node (the Safra counter counts batches).
+                let sender_global = slots[l].global;
+                for g in 0..total_nodes {
+                    if g == sender_global {
+                        continue;
+                    }
+                    if g % workers == id {
+                        let facts: Multiset<Fact> = outcome.sent.iter().cloned().collect();
+                        enqueue(&mut slots, &mut metrics, &mut stats, g, facts);
+                    } else {
+                        let facts: Multiset<Fact> = outcome.sent.iter().cloned().collect();
+                        counter += 1;
+                        senders[g % workers]
+                            .send(Msg::Batch { node: g, facts })
+                            .expect("worker channel closed");
+                    }
+                }
+            }
+            continue; // re-drain before deciding passivity
+        }
+        if has_work && steps_left == 0 {
+            stats.exhausted = true;
+            // Fall through: act passive so the ring can still conclude
+            // (the run will report quiescent: false).
+        }
+
+        // 3. Passive: token protocol.
+        if workers == 1 {
+            // Sole worker: passivity is global quiescence.
+            break;
+        }
+        if id == 0 {
+            match held_token.take() {
+                Some(token) => {
+                    // The probe is back: either we terminate or we
+                    // launch a fresh one (probe_outstanding stays true).
+                    if !token.black && !black && token.count + counter == 0 {
+                        // Termination: nothing in flight, all passive
+                        // through a full white round.
+                        for (w, s) in senders.iter().enumerate() {
+                            if w != 0 {
+                                s.send(Msg::Terminate).expect("worker channel closed");
+                            }
+                        }
+                        break;
+                    }
+                    // Inconclusive: whiten and re-probe.
+                    black = false;
+                    probe_outstanding = true;
+                    stats.token_passes += 1;
+                    let mut t = Token::probe();
+                    t.passes = token.passes + 1;
+                    senders[1]
+                        .send(Msg::Token(t))
+                        .expect("worker channel closed");
+                }
+                None if !probe_outstanding => {
+                    probe_outstanding = true;
+                    black = false;
+                    stats.token_passes += 1;
+                    senders[1]
+                        .send(Msg::Token(Token::probe()))
+                        .expect("worker channel closed");
+                }
+                None => {}
+            }
+        } else if let Some(mut token) = held_token.take() {
+            token.count += counter;
+            token.black |= black;
+            token.passes += 1;
+            black = false;
+            stats.token_passes += 1;
+            senders[(id + 1) % workers]
+                .send(Msg::Token(token))
+                .expect("worker channel closed");
+        }
+
+        // 4. Block until something arrives (a batch reactivates us, a
+        // token resumes the probe, Terminate ends the run).
+        match rx.recv() {
+            Ok(Msg::Batch { node, facts }) => {
+                counter -= 1;
+                black = true;
+                enqueue(&mut slots, &mut metrics, &mut stats, node, facts);
+            }
+            Ok(Msg::Token(t)) => held_token = Some(t),
+            Ok(Msg::Terminate) => break,
+            Err(_) => break,
+        }
+    }
+
+    let clean = slots.iter().all(|s| !s.dirty && s.pending.is_empty()) && !stats.exhausted;
+    stats.buffered = slots.iter().map(|s| s.pending.len()).sum();
+    stats.metrics = metrics;
+    WorkerOutcome {
+        states: slots
+            .into_iter()
+            .map(|s| (node_ids[s.global].clone(), s.state))
+            .collect(),
+        stats,
+        clean,
+    }
+}

@@ -1,0 +1,66 @@
+//! # calm-net
+//!
+//! A threaded executor for relational transducer networks: each node of
+//! the network is owned by a worker thread (nodes are sharded over a
+//! pool when the network is larger than the worker count), message
+//! buffers are `mpsc` channels carrying fact batches, and global
+//! quiescence is detected with a Safra-style token ring
+//! ([`termination`]).
+//!
+//! The sequential simulator in `calm-transducer` is the semantic
+//! oracle: both engines run the same per-node step core
+//! ([`calm_transducer::engine::NodeEngine`]), so they can differ only
+//! in *scheduling* — and for coordination-free programs the paper's
+//! confluence guarantee says scheduling cannot matter. The equivalence
+//! tests in this crate execute that guarantee: threaded
+//! [`ThreadedRunResult::output`] equals the sequential
+//! [`calm_transducer::RunResult::output`] for all three strategy
+//! families, across seeds and worker counts.
+//!
+//! ```
+//! use calm_net::{run_threaded, Programs, ThreadedConfig, ThreadedNetwork};
+//! use calm_transducer::{
+//!     expected_output, run, HashPolicy, MonotoneBroadcast, Network, Scheduler,
+//!     SystemConfig, TransducerNetwork,
+//! };
+//! use calm_common::{fact, FnQuery, Instance, Schema};
+//!
+//! let copy = FnQuery::new(
+//!     "copy",
+//!     Schema::from_pairs([("E", 2)]),
+//!     Schema::from_pairs([("E2", 2)]),
+//!     |i: &Instance| Instance::from_facts(
+//!         i.tuples("E").map(|t| fact("E2", [t[0].clone(), t[1].clone()])),
+//!     ),
+//! );
+//! let strategy = MonotoneBroadcast::new(Box::new(copy));
+//! let input = Instance::from_facts([fact("E", [1, 2]), fact("E", [2, 3])]);
+//! let policy = HashPolicy::new(Network::of_size(3));
+//!
+//! // Sequential oracle…
+//! let seq = run(
+//!     &TransducerNetwork { transducer: &strategy, policy: &policy, config: SystemConfig::ORIGINAL },
+//!     &input,
+//!     &Scheduler::RoundRobin,
+//!     10_000,
+//! );
+//! // …and the threaded engine agree, per the CALM confluence guarantee.
+//! let thr = run_threaded(
+//!     &ThreadedNetwork { programs: Programs::Shared(&strategy), policy: &policy, config: SystemConfig::ORIGINAL },
+//!     &input,
+//!     &ThreadedConfig::new(2),
+//! );
+//! assert!(seq.quiescent && thr.quiescent);
+//! assert_eq!(thr.output, seq.output);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod termination;
+
+pub use executor::{
+    run_threaded, run_threaded_with, Programs, ThreadedConfig, ThreadedNetwork, ThreadedRunResult,
+    WorkerStats,
+};
+pub use termination::Token;

@@ -1,0 +1,61 @@
+//! Safra/Dijkstra-style termination detection (the EWD998 token ring).
+//!
+//! Quiescence of an asynchronous transducer network is a *global*
+//! property — no worker can observe it locally, because a message may
+//! always be in flight toward it. The classical solution (Dijkstra,
+//! Feijen, van Gasteren; Safra's refinement for non-FIFO message
+//! counting) circulates a token around a ring of workers:
+//!
+//! * every worker keeps a **counter** (basic messages sent − received)
+//!   and a **color** — it turns *black* when it receives a basic
+//!   message, because that receipt may have reactivated it after the
+//!   token already passed by;
+//! * worker 0 initiates a **probe** when it is passive: a white token
+//!   with count 0 sent around the ring `0 → 1 → … → W−1 → 0`;
+//! * a worker only forwards the token when it is **passive** (no
+//!   undelivered inbox facts, every local node at fixpoint), adding its
+//!   counter, OR-ing in its color, and whitening itself;
+//! * when the token returns, worker 0 declares termination iff the
+//!   token is white, worker 0 itself is white, and the token's count
+//!   plus worker 0's counter is zero (no message in flight anywhere).
+//!   Otherwise the probe is inconclusive and a fresh one starts.
+//!
+//! The irony is worth savoring: the paper's hierarchy is about
+//! computing *without* coordination, and here is the harness running a
+//! textbook coordination protocol. The two live at different levels.
+//! The *program* (the transducer strategy) never waits on any other
+//! node — its output facts are emitted monotonically, correct under
+//! every interleaving, which is exactly what the equivalence tests
+//! check. The *harness* coordinates only to answer a meta-question the
+//! program never asks: "has the fixpoint been reached, so the process
+//! can exit?" — the same role the sequential simulator's
+//! quiescence-detection sweep plays, and precisely the `Ω`-style
+//! eventual-detection oracle the paper allows outside the model.
+//! Detection of termination is not coordination *for output*: remove
+//! the ring and every output fact still appears; only the exit does
+//! not.
+
+/// The probe token circulating `0 → 1 → … → W−1 → 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Sum of the counters (messages sent − received) of the workers
+    /// the token has passed, this probe.
+    pub count: i64,
+    /// Whether any passed worker was black (received a basic message
+    /// since it last forwarded a token).
+    pub black: bool,
+    /// Total ring hops across all probes — a cost metric, not part of
+    /// the algorithm.
+    pub passes: u64,
+}
+
+impl Token {
+    /// A fresh white probe token.
+    pub fn probe() -> Token {
+        Token {
+            count: 0,
+            black: false,
+            passes: 0,
+        }
+    }
+}

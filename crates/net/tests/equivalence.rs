@@ -1,0 +1,291 @@
+//! The correctness heart of the threaded executor: the CALM confluence
+//! guarantee, executed. For coordination-free strategies,
+//! `network_output` must be identical under *every* fair schedule — the
+//! sequential round-robin oracle, seeded random sequential schedules
+//! (across delivery probabilities), and the threaded engine at any
+//! worker count. Plus the conservation invariants: per worker,
+//! `enqueued == delivered + buffered`; merged, `sent == delivered +
+//! buffered`.
+//!
+//! Seeds generate the *inputs* (random edge relations); the threaded
+//! engine's schedule nondeterminism comes from real thread
+//! interleaving, so every repetition of this suite exercises a fresh
+//! interleaving. CI runs it repeatedly with distinct `CALM_NET_SEED`
+//! offsets to widen the swept input space.
+
+use calm_common::query::Query;
+use calm_common::rng::Rng;
+use calm_common::{fact, Instance};
+use calm_net::{run_threaded, Programs, ThreadedConfig, ThreadedNetwork, ThreadedRunResult};
+use calm_queries::qtc::qtc_datalog;
+use calm_queries::tc::{edges_without_source_loop, tc_datalog};
+use calm_transducer::{
+    expected_output, run, DisjointStrategy, DistinctStrategy, DistributionPolicy,
+    DomainGuidedPolicy, HashPolicy, MonotoneBroadcast, Network, Scheduler, SystemConfig,
+    Transducer, TransducerNetwork,
+};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Base offset for the seed sweep, so CI can rerun the suite over
+/// disjoint input spaces (`CALM_NET_SEED=1`, `2`, …).
+fn seed_base() -> u64 {
+    std::env::var("CALM_NET_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// A small random edge relation over `domain` values, `edges` tuples.
+fn random_edges(seed: u64, domain: i64, edges: usize) -> Instance {
+    let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    Instance::from_facts((0..edges).map(|_| {
+        fact(
+            "E",
+            [
+                rng.gen_range(0..domain as u64) as i64,
+                rng.gen_range(0..domain as u64) as i64,
+            ],
+        )
+    }))
+}
+
+fn check_conservation(r: &ThreadedRunResult, label: &str) {
+    for w in &r.per_worker {
+        assert_eq!(
+            w.enqueued,
+            w.metrics.messages_delivered + w.buffered,
+            "{label}: worker {} conservation (enqueued = delivered + buffered)",
+            w.worker
+        );
+        assert_eq!(
+            w.metrics.by_class.total(),
+            w.metrics.messages_sent,
+            "{label}: worker {} class totals",
+            w.worker
+        );
+    }
+    let buffered: usize = r.per_worker.iter().map(|w| w.buffered).sum();
+    assert_eq!(
+        r.metrics.messages_sent,
+        r.metrics.messages_delivered + buffered,
+        "{label}: merged conservation (all channel batches drained at join)"
+    );
+    assert_eq!(r.metrics.by_class.total(), r.metrics.messages_sent);
+    if r.quiescent {
+        assert_eq!(buffered, 0, "{label}: quiescent run left facts buffered");
+    }
+}
+
+/// Run one family on one input under the sequential oracle and the
+/// threaded engine at every worker count; assert byte-identical output
+/// everywhere (and equality with the centralized evaluation).
+fn assert_confluent(
+    t: &dyn Transducer,
+    query: &dyn Query,
+    policy: &dyn DistributionPolicy,
+    sys: SystemConfig,
+    input: &Instance,
+    label: &str,
+) {
+    let expected = expected_output(query, input);
+    let tn = TransducerNetwork {
+        transducer: t,
+        policy,
+        config: sys,
+    };
+    let seq = run(&tn, input, &Scheduler::RoundRobin, 500_000);
+    assert!(seq.quiescent, "{label}: sequential oracle must quiesce");
+    assert_eq!(seq.output, expected, "{label}: oracle vs centralized");
+    for workers in WORKER_COUNTS {
+        let thr = run_threaded(
+            &ThreadedNetwork {
+                programs: Programs::Shared(t),
+                policy,
+                config: sys,
+            },
+            input,
+            &ThreadedConfig::new(workers),
+        );
+        assert!(thr.quiescent, "{label}: threaded x{workers} must quiesce");
+        assert_eq!(
+            thr.output, seq.output,
+            "{label}: threaded x{workers} output differs from sequential"
+        );
+        check_conservation(&thr, &format!("{label} x{workers}"));
+    }
+}
+
+#[test]
+fn monotone_broadcast_confluent_across_20_seeds() {
+    let t = MonotoneBroadcast::new(Box::new(tc_datalog()));
+    let policy = HashPolicy::new(Network::of_size(4));
+    for i in 0..20 {
+        let seed = seed_base() * 1000 + i;
+        let input = random_edges(seed, 6, 3 + (i as usize % 5));
+        assert_confluent(
+            &t,
+            t.query(),
+            &policy,
+            SystemConfig::ORIGINAL,
+            &input,
+            &format!("M seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn distinct_strategy_confluent_across_20_seeds() {
+    let t = DistinctStrategy::new(Box::new(edges_without_source_loop()));
+    let policy = HashPolicy::new(Network::of_size(3));
+    for i in 0..20 {
+        let seed = seed_base() * 1000 + 100 + i;
+        let input = random_edges(seed, 5, 3 + (i as usize % 3));
+        assert_confluent(
+            &t,
+            t.query(),
+            &policy,
+            SystemConfig::POLICY_AWARE,
+            &input,
+            &format!("Mdistinct seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn disjoint_strategy_confluent_across_20_seeds() {
+    let t = DisjointStrategy::new(Box::new(qtc_datalog()));
+    let policy = DomainGuidedPolicy::new(Network::of_size(3));
+    for i in 0..20 {
+        let seed = seed_base() * 1000 + 200 + i;
+        // The request/OK/ack protocol is per-value: keep domains small.
+        let input = random_edges(seed, 4, 2 + (i as usize % 2));
+        assert_confluent(
+            &t,
+            t.query(),
+            &policy,
+            SystemConfig::POLICY_AWARE,
+            &input,
+            &format!("Mdisjoint seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn per_worker_programs_match_shared_program() {
+    // The factory path (one DatalogTransducer per worker, each with its
+    // own interner and scratch database) computes the same output as a
+    // single shared instance.
+    let shared = MonotoneBroadcast::new(Box::new(tc_datalog()));
+    let policy = HashPolicy::new(Network::of_size(5));
+    let input = calm_common::generator::path(6);
+    let factory =
+        || Box::new(MonotoneBroadcast::new(Box::new(tc_datalog()))) as Box<dyn Transducer>;
+    for workers in [2, 4] {
+        let a = run_threaded(
+            &ThreadedNetwork {
+                programs: Programs::Shared(&shared),
+                policy: &policy,
+                config: SystemConfig::ORIGINAL,
+            },
+            &input,
+            &ThreadedConfig::new(workers),
+        );
+        let b = run_threaded(
+            &ThreadedNetwork {
+                programs: Programs::PerWorker(&factory),
+                policy: &policy,
+                config: SystemConfig::ORIGINAL,
+            },
+            &input,
+            &ThreadedConfig::new(workers),
+        );
+        assert!(a.quiescent && b.quiescent);
+        assert_eq!(a.output, b.output, "shared vs per-worker at {workers}");
+        assert_eq!(a.output, expected_output(shared.query(), &input));
+    }
+}
+
+#[test]
+fn cross_schedule_confluence_includes_deliver_p_sweep() {
+    // RoundRobin, Random at several seeds and delivery probabilities,
+    // and threaded at 1/2/8 workers all agree.
+    let t = MonotoneBroadcast::new(Box::new(tc_datalog()));
+    let policy = HashPolicy::new(Network::of_size(4));
+    let input = random_edges(seed_base() * 1000 + 300, 6, 6);
+    let reference = expected_output(t.query(), &input);
+    let tn = TransducerNetwork {
+        transducer: &t,
+        policy: &policy,
+        config: SystemConfig::ORIGINAL,
+    };
+    for seed in 0..5 {
+        for deliver_p in [0.2, 0.6, 0.9] {
+            let r = run(
+                &tn,
+                &input,
+                &Scheduler::Random {
+                    seed,
+                    prefix: 40,
+                    deliver_p,
+                },
+                500_000,
+            );
+            assert!(r.quiescent, "seed {seed} p {deliver_p}");
+            assert_eq!(r.output, reference, "sequential seed {seed} p {deliver_p}");
+        }
+    }
+    for workers in WORKER_COUNTS {
+        let thr = run_threaded(
+            &ThreadedNetwork {
+                programs: Programs::Shared(&t),
+                policy: &policy,
+                config: SystemConfig::ORIGINAL,
+            },
+            &input,
+            &ThreadedConfig::new(workers),
+        );
+        assert!(thr.quiescent);
+        assert_eq!(thr.output, reference, "threaded x{workers}");
+    }
+}
+
+#[test]
+fn exhausted_budget_reports_not_quiescent() {
+    let t = MonotoneBroadcast::new(Box::new(tc_datalog()));
+    let policy = HashPolicy::new(Network::of_size(3));
+    let input = calm_common::generator::path(5);
+    let thr = run_threaded(
+        &ThreadedNetwork {
+            programs: Programs::Shared(&t),
+            policy: &policy,
+            config: SystemConfig::ORIGINAL,
+        },
+        &input,
+        &ThreadedConfig::new(2).with_budget(1),
+    );
+    assert!(!thr.quiescent, "a 1-step budget cannot reach quiescence");
+    // Conservation still holds: exhausted workers keep draining their
+    // channels, so nothing is lost in flight.
+    check_conservation(&thr, "exhausted");
+}
+
+#[test]
+fn single_node_network_runs_threaded() {
+    let t = MonotoneBroadcast::new(Box::new(tc_datalog()));
+    let policy = HashPolicy::new(Network::of_size(1));
+    let input = calm_common::generator::path(4);
+    let thr = run_threaded(
+        &ThreadedNetwork {
+            programs: Programs::Shared(&t),
+            policy: &policy,
+            config: SystemConfig::ORIGINAL,
+        },
+        &input,
+        &ThreadedConfig::new(8), // clamped to 1
+    );
+    assert!(thr.quiescent);
+    assert_eq!(thr.per_worker.len(), 1);
+    assert_eq!(thr.metrics.messages_sent, 0);
+    assert_eq!(thr.output, expected_output(t.query(), &input));
+}

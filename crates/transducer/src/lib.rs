@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod coordination;
+pub mod engine;
 pub mod multiset;
 pub mod netcompile;
 pub mod network;
@@ -36,6 +37,7 @@ pub mod trace;
 pub mod transducer;
 
 pub use coordination::{heartbeat_profile, heartbeat_witness};
+pub use engine::{NodeEngine, NodeStepOutcome};
 pub use multiset::Multiset;
 pub use netcompile::{compile_monotone_program, NetCompileError};
 pub use network::{Network, NodeId};
@@ -46,7 +48,7 @@ pub use policy::{
 pub use proof_replay::{replay_no_all_indistinguishability, replay_policy_surgery, ReplayOutcome};
 pub use runtime::{
     network_output, run, run_with, transition, transition_with, verify_computes, Configuration,
-    Delivery, Metrics, RunResult, Scheduler, TransducerNetwork,
+    Delivery, Metrics, RunResult, Scheduler, TransducerNetwork, DEFAULT_DELIVER_P,
 };
 pub use schema::{policy_relation, SystemConfig, TransducerSchema};
 pub use strategy::{

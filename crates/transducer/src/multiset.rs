@@ -86,6 +86,34 @@ impl<T: Ord + Clone> Multiset<T> {
             counts: std::mem::take(&mut self.counts),
         }
     }
+
+    /// Drain everything as `(element, count)` pairs in element order —
+    /// the bulk form of a deliver-everything sweep (one pass, no
+    /// per-occurrence removes).
+    pub fn drain_all(&mut self) -> impl Iterator<Item = (T, usize)> {
+        std::mem::take(&mut self.counts).into_iter()
+    }
+
+    /// Absorb another multiset wholesale (the bulk form of repeated
+    /// [`Multiset::insert`]): occurrence counts add. When `self` is
+    /// empty this is a move, not an element-by-element merge.
+    pub fn extend_from(&mut self, other: Multiset<T>) {
+        if self.counts.is_empty() {
+            self.counts = other.counts;
+            return;
+        }
+        for (item, n) in other.counts {
+            *self.counts.entry(item).or_insert(0) += n;
+        }
+    }
+}
+
+impl<T: Ord + Clone> Extend<T> for Multiset<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for x in iter {
+            self.insert(x);
+        }
+    }
 }
 
 impl<T: Ord + Clone> FromIterator<T> for Multiset<T> {
@@ -139,5 +167,36 @@ mod tests {
         let taken = m.take_all();
         assert!(m.is_empty());
         assert_eq!(taken.len(), 2);
+    }
+
+    #[test]
+    fn drain_all_yields_counts_and_empties() {
+        let mut m: Multiset<i32> = [1, 1, 2].into_iter().collect();
+        let drained: Vec<(i32, usize)> = m.drain_all().collect();
+        assert_eq!(drained, vec![(1, 2), (2, 1)]);
+        assert!(m.is_empty());
+        assert_eq!(m.drain_all().count(), 0);
+    }
+
+    #[test]
+    fn extend_from_adds_counts() {
+        let mut m: Multiset<i32> = [1, 2].into_iter().collect();
+        let other: Multiset<i32> = [1, 3, 3].into_iter().collect();
+        m.extend_from(other);
+        assert_eq!(m.count(&1), 2);
+        assert_eq!(m.count(&2), 1);
+        assert_eq!(m.count(&3), 2);
+        // Into an empty multiset it is a move.
+        let mut empty: Multiset<i32> = Multiset::new();
+        empty.extend_from([4, 4].into_iter().collect());
+        assert_eq!(empty.count(&4), 2);
+    }
+
+    #[test]
+    fn extend_takes_single_occurrences() {
+        let mut m: Multiset<i32> = Multiset::new();
+        m.extend([1, 1, 2]);
+        assert_eq!(m.count(&1), 2);
+        assert_eq!(m.len(), 3);
     }
 }

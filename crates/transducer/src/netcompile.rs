@@ -178,13 +178,7 @@ mod tests {
                     &tn,
                     &input,
                     &exp,
-                    &[
-                        Scheduler::RoundRobin,
-                        Scheduler::Random {
-                            seed: 4,
-                            prefix: 30,
-                        },
-                    ],
+                    &[Scheduler::RoundRobin, Scheduler::random(4, 30)],
                     200_000,
                 )
                 .unwrap_or_else(|e| panic!("n={n}: {e}"));

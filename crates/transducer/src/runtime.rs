@@ -1,12 +1,12 @@
 //! The asynchronous operational semantics (Section 4.1.3): configurations,
 //! transitions, fair runs — driven to quiescence by pluggable schedulers.
 
+use crate::engine::NodeEngine;
 use crate::multiset::Multiset;
 use crate::network::NodeId;
 use crate::policy::{distribute, DistributionPolicy};
 use crate::schema::SystemConfig;
-use crate::strategy::{classify_message, MessageClassCounts};
-use crate::system_facts::system_facts;
+use crate::strategy::MessageClassCounts;
 use crate::transducer::Transducer;
 use calm_common::fact::Fact;
 use calm_common::instance::Instance;
@@ -91,23 +91,73 @@ impl Metrics {
             .max()
             .unwrap_or(0)
     }
+
+    /// Fold another run's counters into this one: sums for the flow
+    /// counters, per-class and per-node-high-water pointwise merges, and
+    /// `EvalMetrics::merge` for the engine counters. Associative and
+    /// commutative with `Metrics::default()` as identity — the threaded
+    /// executor merges per-worker metrics with this at join, in worker
+    /// order, so the result is deterministic.
+    ///
+    /// The transition indices (`first_output_at`,
+    /// `last_output_growth_at`) are local to each run's own transition
+    /// counter; the merge keeps the earliest first and the latest last,
+    /// which is the right summary when the counters advanced
+    /// concurrently.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.transitions += other.transitions;
+        self.heartbeats += other.heartbeats;
+        self.messages_sent += other.messages_sent;
+        self.messages_delivered += other.messages_delivered;
+        self.first_output_at = match (self.first_output_at, other.first_output_at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        };
+        self.last_output_growth_at = self.last_output_growth_at.max(other.last_output_growth_at);
+        self.by_class.merge(&other.by_class);
+        for (node, hw) in &other.buffered_high_water {
+            let mine = self.buffered_high_water.entry(node.clone()).or_insert(0);
+            if *hw > *mine {
+                *mine = *hw;
+            }
+        }
+        self.eval.merge(&other.eval);
+    }
 }
 
+/// The default per-occurrence delivery probability of sampled
+/// deliveries and random schedulers.
+pub const DEFAULT_DELIVER_P: f64 = 0.6;
+
 /// What a single transition should deliver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Delivery {
     /// Deliver every buffered message (`m = b(x)`).
     All,
     /// Deliver nothing — a heartbeat.
     None,
     /// Deliver a random submultiset: each buffered occurrence is
-    /// delivered with probability 0.6, the rest stay in flight. This
-    /// exercises the formal model's "m is a submultiset of b(x)"
+    /// delivered with probability `deliver_p`, the rest stay in flight.
+    /// This exercises the formal model's "m is a submultiset of b(x)"
     /// nondeterminism (Section 4.1.3). Deterministic given the seed.
     Sample {
         /// Per-transition RNG seed.
         seed: u64,
+        /// Probability that each buffered occurrence is delivered.
+        deliver_p: f64,
     },
+}
+
+impl Delivery {
+    /// A sampled delivery with the default probability
+    /// ([`DEFAULT_DELIVER_P`]).
+    pub fn sample(seed: u64) -> Self {
+        Delivery::Sample {
+            seed,
+            deliver_p: DEFAULT_DELIVER_P,
+        }
+    }
 }
 
 /// Execute one transition of node `x`: deliver per `delivery`, expose
@@ -140,102 +190,71 @@ pub fn transition_with(
     metrics: &mut Metrics,
     obs: &Obs,
 ) -> bool {
-    metrics.transitions += 1;
-    let delivered_before = metrics.messages_delivered;
-    let sent_before = metrics.messages_sent;
-    let class_before = metrics.by_class;
-    // Choose the submultiset m and collapse to the set M.
+    // Delivery half: choose the submultiset m ⊆ b(x) and collapse to the
+    // set M. (The step half lives in `NodeEngine::apply`, shared with
+    // the threaded executor.)
     let buffer = config.buffer.get_mut(x).expect("node buffer");
+    let mut delivered_n = 0usize;
     let delivered: Vec<Fact> = match delivery {
-        Delivery::All => {
-            let taken = buffer.take_all();
-            metrics.messages_delivered += taken.len();
-            taken.support().cloned().collect()
-        }
-        Delivery::None => {
-            metrics.heartbeats += 1;
-            Vec::new()
-        }
-        Delivery::Sample { seed } => {
+        Delivery::All => buffer
+            .drain_all()
+            .map(|(f, count)| {
+                delivered_n += count;
+                f
+            })
+            .collect(),
+        Delivery::None => Vec::new(),
+        Delivery::Sample { seed, deliver_p } => {
             let mut rng = Rng::seed_from_u64(seed);
-            let taken = buffer.take_all();
-            let mut delivered_support: Vec<Fact> = Vec::new();
-            for (f, count) in taken.iter() {
+            let mut support: Vec<Fact> = Vec::new();
+            // `drain_all` empties the buffer, so kept-back occurrences
+            // can be re-inserted directly as we go.
+            let drained: Vec<(Fact, usize)> = buffer.drain_all().collect();
+            for (f, count) in drained {
                 let mut kept_back = 0usize;
                 let mut got_one = false;
                 for _ in 0..count {
-                    if rng.gen_bool(0.6) {
-                        metrics.messages_delivered += 1;
+                    if rng.gen_bool(deliver_p) {
+                        delivered_n += 1;
                         got_one = true;
                     } else {
                         kept_back += 1;
                     }
                 }
                 if got_one {
-                    delivered_support.push(f.clone());
+                    support.push(f.clone());
                 }
-                buffer.insert_n(f.clone(), kept_back);
+                buffer.insert_n(f, kept_back);
             }
-            if delivered_support.is_empty() {
-                metrics.heartbeats += 1;
-            }
-            delivered_support
+            support
         }
     };
+    metrics.messages_delivered += delivered_n;
+    let is_heartbeat = match delivery {
+        Delivery::None => true,
+        Delivery::Sample { .. } => delivered.is_empty(),
+        Delivery::All => false,
+    };
+    if is_heartbeat {
+        metrics.heartbeats += 1;
+    }
 
-    // J = H(x) ∪ s(x) ∪ M.
-    let mut j = dist.get(x).cloned().unwrap_or_default();
-    j.extend(config.state[x].facts());
-    j.extend(delivered.iter().cloned());
-
-    // S and D.
-    let s = system_facts(
-        x,
-        tn.policy.network(),
-        &tn.transducer.schema().input,
-        tn.policy,
-        tn.config,
-        &j,
-    );
-    let d = j.union(&s);
-
-    let step = tn.transducer.step(&d);
-    metrics.eval.merge(&step.metrics);
-
-    // Update state: cumulative output, insert/delete memory.
-    let schema = tn.transducer.schema();
+    // Step half: shared node engine.
+    let empty = Instance::new();
+    let input = dist.get(x).unwrap_or(&empty);
+    let engine = NodeEngine::new(tn.transducer, tn.policy, tn.config, x.clone(), input);
     let state = config.state.get_mut(x).expect("node state");
-    let before = state.clone();
-    for f in step.out.facts() {
-        debug_assert!(schema.output.covers(&f), "Qout must target Υout: {f}");
-        state.insert(f);
-    }
-    let ins = step.ins.difference(&step.del);
-    let del = step.del.difference(&step.ins);
-    for f in ins.facts() {
-        debug_assert!(schema.mem.covers(&f), "Qins must target Υmem: {f}");
-        state.insert(f);
-    }
-    for f in del.facts() {
-        state.remove(&f);
-    }
-    let state_changed = *state != before;
+    let outcome = engine.apply(state, &delivered, delivered_n, None, metrics, obs);
 
-    // Send messages to every other node.
-    for f in step.snd.facts() {
-        debug_assert!(schema.msg.covers(&f), "Qsnd must target Υmsg: {f}");
-        let class = classify_message(&f);
-        let mut recipients = 0usize;
+    // Route the sends: every message fact goes to every other node.
+    if !outcome.sent.is_empty() {
         for y in tn.policy.network().others(x) {
             config
                 .buffer
                 .get_mut(y)
                 .expect("node buffer")
-                .insert(f.clone());
-            recipients += 1;
+                .extend(outcome.sent.iter().cloned());
         }
-        metrics.messages_sent += recipients;
-        metrics.by_class.record(class, recipients);
     }
 
     // Buffered-queue high-water marks (recipient buffers only grew in the
@@ -256,74 +275,19 @@ pub fn transition_with(
             obs.gauge("runtime", "queue_depth", track, depth as u64);
         }
     }
-
-    // Output growth bookkeeping.
-    let grew_output =
-        config.state[x].restrict(&schema.output).len() > before.restrict(&schema.output).len();
-    if grew_output {
-        if metrics.first_output_at.is_none() {
-            metrics.first_output_at = Some(metrics.transitions);
-        }
-        metrics.last_output_growth_at = Some(metrics.transitions);
-    }
-
     if obs.enabled() {
-        // Track 1 + node index: one display lane per node, track 0 stays
-        // free for engine-level spans.
-        let track = tn
-            .policy
-            .network()
-            .nodes()
-            .position(|n| n == x)
-            .map_or(0, |i| i as u32 + 1);
-        let delivered_n = metrics.messages_delivered - delivered_before;
-        let sent_n = metrics.messages_sent - sent_before;
-        let new_output: Vec<String> = config.state[x]
-            .restrict(&schema.output)
-            .difference(&before.restrict(&schema.output))
-            .facts()
-            .map(|f| f.to_string())
-            .collect();
-        obs.event("runtime", "transition", track, || {
-            vec![
-                ("node", ArgValue::Str(x.to_string())),
-                ("delivered", ArgValue::U64(delivered_n as u64)),
-                ("sent", ArgValue::U64(sent_n as u64)),
-                ("state_changed", ArgValue::Bool(state_changed)),
-                ("new_output", ArgValue::List(new_output)),
-            ]
-        });
         // The active node's own depth after delivery (non-zero only when
         // Sample delivery kept occurrences back); recipient depths were
         // gauged in the high-water loop above.
         obs.gauge(
             "runtime",
             "queue_depth",
-            track,
+            engine.track(),
             config.buffer[x].len() as u64,
         );
-        if delivered_n > 0 {
-            obs.counter("runtime", "messages.delivered", delivered_n as u64);
-        }
-        if sent_n > 0 {
-            obs.counter("runtime", "messages.sent", sent_n as u64);
-            for ((label, now), (_, was)) in metrics
-                .by_class
-                .as_pairs()
-                .iter()
-                .zip(class_before.as_pairs().iter())
-            {
-                if now > was {
-                    obs.counter("strategy", &format!("messages.{label}"), (now - was) as u64);
-                }
-            }
-        }
-        if delivered_n > 0 {
-            obs.histogram("runtime", "delivered_batch", delivered_n as u64);
-        }
     }
 
-    state_changed
+    outcome.state_changed
 }
 
 /// The union of all nodes' output facts — `out(R)` for the run so far.
@@ -367,7 +331,22 @@ pub enum Scheduler {
         /// Number of random-schedule transitions before the closing
         /// sweeps.
         prefix: usize,
+        /// Per-occurrence delivery probability of the prefix's sampled
+        /// deliveries ([`DEFAULT_DELIVER_P`] unless swept).
+        deliver_p: f64,
     },
+}
+
+impl Scheduler {
+    /// A random scheduler with the default delivery probability
+    /// ([`DEFAULT_DELIVER_P`]).
+    pub fn random(seed: u64, prefix: usize) -> Self {
+        Scheduler::Random {
+            seed,
+            prefix,
+            deliver_p: DEFAULT_DELIVER_P,
+        }
+    }
 }
 
 /// Drive a transducer network on an input until quiescent, or until
@@ -451,7 +430,12 @@ pub fn run_with(
         }
     };
 
-    if let Scheduler::Random { seed, prefix } = scheduler {
+    if let Scheduler::Random {
+        seed,
+        prefix,
+        deliver_p,
+    } = scheduler
+    {
         let mut rng = Rng::seed_from_u64(*seed);
         let nodes: Vec<NodeId> = tn.policy.network().nodes().cloned().collect();
         for _ in 0..*prefix {
@@ -464,6 +448,7 @@ pub fn run_with(
                 1 => Delivery::None,
                 _ => Delivery::Sample {
                     seed: rng.gen_u64(),
+                    deliver_p: *deliver_p,
                 },
             };
             // Only full deliveries are recorded in the delivered-set (a
@@ -612,14 +597,8 @@ mod tests {
             &expected,
             &[
                 Scheduler::RoundRobin,
-                Scheduler::Random {
-                    seed: 1,
-                    prefix: 20,
-                },
-                Scheduler::Random {
-                    seed: 2,
-                    prefix: 50,
-                },
+                Scheduler::random(1, 20),
+                Scheduler::random(2, 50),
             ],
             10_000,
         )
@@ -675,10 +654,79 @@ mod tests {
         let input = calm_common::generator::cycle(5);
         let expected = expected_out(&input);
         for seed in 0..8 {
-            let r = run(&tn, &input, &Scheduler::Random { seed, prefix: 60 }, 10_000);
+            let r = run(&tn, &input, &Scheduler::random(seed, 60), 10_000);
             assert!(r.quiescent, "seed {seed}");
             assert_eq!(r.output, expected, "confluence under seed {seed}");
         }
+    }
+
+    #[test]
+    fn delivery_probability_is_sweepable() {
+        // deliver_p = 0 keeps every sampled occurrence in flight (a
+        // heartbeat), deliver_p = 1 delivers everything; the closing
+        // sweeps make the output identical either way.
+        let net = Network::of_size(3);
+        let policy = HashPolicy::new(net);
+        let t = union_transducer();
+        let tn = TransducerNetwork {
+            transducer: &t,
+            policy: &policy,
+            config: SystemConfig::ORIGINAL,
+        };
+        let input = calm_common::generator::path(4);
+        let expected = expected_out(&input);
+        for deliver_p in [0.0, 0.3, 1.0] {
+            let r = run(
+                &tn,
+                &input,
+                &Scheduler::Random {
+                    seed: 9,
+                    prefix: 30,
+                    deliver_p,
+                },
+                10_000,
+            );
+            assert!(r.quiescent, "p={deliver_p}");
+            assert_eq!(r.output, expected, "confluence at p={deliver_p}");
+        }
+    }
+
+    #[test]
+    fn metrics_merge_is_associative_with_identity() {
+        let sample = |seed: u64| {
+            let net = Network::of_size(3);
+            let policy = HashPolicy::new(net);
+            let t = union_transducer();
+            let tn = TransducerNetwork {
+                transducer: &t,
+                policy: &policy,
+                config: SystemConfig::ORIGINAL,
+            };
+            run(
+                &tn,
+                &calm_common::generator::path(4),
+                &Scheduler::random(seed, 25),
+                10_000,
+            )
+            .metrics
+        };
+        let (a, b, c) = (sample(1), sample(2), sample(3));
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "merge must be associative");
+        // default is an identity on both sides
+        let mut with_id = Metrics::default();
+        with_id.merge(&a);
+        assert_eq!(with_id, a);
+        let mut id_after = a.clone();
+        id_after.merge(&Metrics::default());
+        assert_eq!(id_after, a);
     }
 
     #[test]

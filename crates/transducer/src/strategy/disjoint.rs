@@ -274,13 +274,7 @@ mod tests {
                 &tn,
                 &input,
                 &expected,
-                &[
-                    Scheduler::RoundRobin,
-                    Scheduler::Random {
-                        seed: 5,
-                        prefix: 60,
-                    },
-                ],
+                &[Scheduler::RoundRobin, Scheduler::random(5, 60)],
                 100_000,
             )
             .unwrap_or_else(|e| panic!("n={n}: {e}"));
@@ -405,13 +399,7 @@ mod tests {
             &tn,
             &input,
             &expected,
-            &[
-                Scheduler::RoundRobin,
-                Scheduler::Random {
-                    seed: 8,
-                    prefix: 80,
-                },
-            ],
+            &[Scheduler::RoundRobin, Scheduler::random(8, 80)],
             500_000,
         )
         .unwrap();

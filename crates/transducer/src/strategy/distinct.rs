@@ -179,13 +179,7 @@ mod tests {
                 &tn,
                 &input,
                 &expected,
-                &[
-                    Scheduler::RoundRobin,
-                    Scheduler::Random {
-                        seed: 3,
-                        prefix: 40,
-                    },
-                ],
+                &[Scheduler::RoundRobin, Scheduler::random(3, 40)],
                 50_000,
             )
             .unwrap_or_else(|e| panic!("n={n}: {e}"));

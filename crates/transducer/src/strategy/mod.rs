@@ -146,6 +146,19 @@ impl MessageClassCounts {
     pub fn coordination(&self) -> usize {
         self.request + self.ok + self.ack
     }
+
+    /// Fold another count set into this one. Associative and
+    /// commutative with the default as identity — the threaded executor
+    /// relies on this when merging per-worker metrics at join.
+    pub fn merge(&mut self, other: &MessageClassCounts) {
+        self.fact += other.fact;
+        self.absence += other.absence;
+        self.value += other.value;
+        self.request += other.request;
+        self.ok += other.ok;
+        self.ack += other.ack;
+        self.other += other.other;
+    }
 }
 
 /// Message relation carrying facts of input relation `R`.

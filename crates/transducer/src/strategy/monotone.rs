@@ -115,13 +115,7 @@ mod tests {
                 &tn,
                 &input,
                 &expected,
-                &[
-                    Scheduler::RoundRobin,
-                    Scheduler::Random {
-                        seed: 7,
-                        prefix: 30,
-                    },
-                ],
+                &[Scheduler::RoundRobin, Scheduler::random(7, 30)],
                 20_000,
             )
             .unwrap_or_else(|e| panic!("n={n}: {e}"));

@@ -51,15 +51,7 @@ fn run_both_schedulers(
     let rr = run(&tn, input, &Scheduler::RoundRobin, 500_000);
     assert!(rr.quiescent, "{label}: round-robin run must quiesce");
     check_conservation(&rr, label);
-    let rand = run(
-        &tn,
-        input,
-        &Scheduler::Random {
-            seed: 23,
-            prefix: 40,
-        },
-        500_000,
-    );
+    let rand = run(&tn, input, &Scheduler::random(23, 40), 500_000);
     assert!(rand.quiescent, "{label}: random run must quiesce");
     check_conservation(&rand, label);
     rr
@@ -137,7 +129,7 @@ fn conservation_holds_after_every_single_transition() {
         let delivery = match step % 3 {
             0 => Delivery::All,
             1 => Delivery::None,
-            _ => Delivery::Sample { seed: step as u64 },
+            _ => Delivery::sample(step as u64),
         };
         transition(&tn, &dist, &mut config, x, delivery, &mut metrics);
         assert_eq!(

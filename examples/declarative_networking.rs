@@ -79,12 +79,7 @@ fn main() {
         config: SystemConfig::ORIGINAL,
     };
     for seed in 0..5 {
-        let r = run(
-            &network,
-            &input,
-            &Scheduler::Random { seed, prefix: 100 },
-            1_000_000,
-        );
+        let r = run(&network, &input, &Scheduler::random(seed, 100), 1_000_000);
         assert!(r.quiescent && r.output == expected, "seed {seed}");
     }
     println!("5 adversarial random schedules: identical output (confluence) ∎");

@@ -46,13 +46,7 @@ fn main() {
             policy: &policy,
             config: SystemConfig::POLICY_AWARE,
         };
-        for sched in [
-            Scheduler::RoundRobin,
-            Scheduler::Random {
-                seed: 99 + seed,
-                prefix: 200,
-            },
-        ] {
+        for sched in [Scheduler::RoundRobin, Scheduler::random(99 + seed, 200)] {
             let result = run(&network, &game, &sched, 2_000_000);
             assert!(result.quiescent, "network must quiesce");
             assert_eq!(

@@ -14,14 +14,8 @@ use calm::transducer::{heartbeat_witness, verify_computes};
 fn schedulers() -> Vec<Scheduler> {
     vec![
         Scheduler::RoundRobin,
-        Scheduler::Random {
-            seed: 21,
-            prefix: 40,
-        },
-        Scheduler::Random {
-            seed: 22,
-            prefix: 80,
-        },
+        Scheduler::random(21, 40),
+        Scheduler::random(22, 80),
     ]
 }
 

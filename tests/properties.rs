@@ -259,12 +259,7 @@ fn monotone_network_confluent_across_schedules() {
             policy: &policy,
             config: SystemConfig::ORIGINAL,
         };
-        let r = run(
-            &tn,
-            &input,
-            &Scheduler::Random { seed, prefix: 30 },
-            100_000,
-        );
+        let r = run(&tn, &input, &Scheduler::random(seed, 30), 100_000);
         assert!(r.quiescent, "seed {seed}");
         assert_eq!(r.output, expected, "seed {seed}");
     }
