@@ -1,7 +1,8 @@
-//! The experiment suite: one function per experiment id (E1–E19, see
+//! The experiment suite: one function per experiment id (E1–E20, see
 //! DESIGN.md's per-experiment index), each returning a [`Report`].
 
 mod engine;
+mod faults;
 mod fragments;
 mod hierarchy;
 mod policies;
@@ -13,6 +14,7 @@ use crate::report::Report;
 use calm_obs::Obs;
 
 pub use engine::{e18_engine, e18_engine_obs};
+pub use faults::{e20_faults, e20_faults_obs};
 pub use fragments::{e12_example51, e13_components, e14_semicon, e15_wilog};
 pub use hierarchy::{
     e1_hierarchy, e2_bounded_m, e3_clique_ladder, e4_star_ladder, e5_cross, e6_preservation,
@@ -70,6 +72,7 @@ pub fn all() -> Vec<Experiment> {
         ("e16", Runner::Plain(e16_winmove)),
         ("e18", Runner::Obs(e18_engine_obs)),
         ("e19", Runner::Obs(e19_threaded_obs)),
+        ("e20", Runner::Obs(e20_faults_obs)),
     ]
 }
 
@@ -135,7 +138,7 @@ mod tests {
         dedup.dedup();
         assert_eq!(ids, dedup);
         assert_eq!(ids[0], "e1");
-        assert_eq!(ids.len(), 18);
+        assert_eq!(ids.len(), 19);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::workloads::scaling_graph;
 use calm_common::generator::{chain_game, mv, path};
 use calm_common::query::Query;
 use calm_common::{fact, Instance};
+use calm_net::{run_threaded_with, FaultPlan, Programs, ThreadedConfig, ThreadedNetwork};
 use calm_obs::Obs;
 use calm_queries::qtc::qtc_datalog;
 use calm_queries::tc::{edges_without_source_loop, tc_datalog};
@@ -14,7 +15,7 @@ use calm_transducer::{
     compile_monotone_program, expected_output, heartbeat_witness, run, run_with, verify_computes,
     DisjointStrategy, DistinctStrategy, DistributionPolicy, DomainGuidedPolicy, HashPolicy,
     MessageClassCounts, MonotoneBroadcast, Network, OverridePolicy, Scheduler, SystemConfig,
-    TransducerNetwork,
+    Transducer, TransducerNetwork,
 };
 
 fn schedulers() -> Vec<Scheduler> {
@@ -246,45 +247,86 @@ pub fn e11_strategy_costs_obs(obs: &Obs) -> Report {
     // Per-class message composition on the largest configuration, for the
     // composition claims below.
     let mut largest: [MessageClassCounts; 3] = Default::default();
+    // Goodput companion: every strategy row re-runs on the threaded
+    // engine under a lossy, duplicating link plan so the table reports
+    // what reliable delivery costs (retransmits) and absorbs (dups) on
+    // top of the engine-level sends — and that the output survives.
+    let mut lossy_ok = true;
     for &vertices in &[8usize, 16, 32] {
         let input = scaling_graph(11, vertices, 1.5);
         for &n in &[2usize, 4] {
-            let mut measure = |label: &str, tn: &TransducerNetwork<'_>| {
-                let _span = obs.span("bench", || format!("e11:{label} |V|={vertices} n={n}"));
-                let rr = run_with(tn, &input, &Scheduler::RoundRobin, 2_000_000, obs);
-                push_cost_row(&mut rows, label, vertices, n, &rr);
-                rr
-            };
+            let mut measure =
+                |label: &str, tn: &TransducerNetwork<'_>, lossy: Option<(u64, u64)>| {
+                    let _span = obs.span("bench", || format!("e11:{label} |V|={vertices} n={n}"));
+                    let rr = run_with(tn, &input, &Scheduler::RoundRobin, 2_000_000, obs);
+                    push_cost_row(&mut rows, label, vertices, n, &rr, lossy);
+                    rr
+                };
 
             // M strategy on TC.
-            let m = MonotoneBroadcast::new(Box::new(tc_datalog()));
+            let m_factory =
+                || Box::new(MonotoneBroadcast::new(Box::new(tc_datalog()))) as Box<dyn Transducer>;
             let policy = HashPolicy::new(Network::of_size(n));
+            let expected = expected_output(&tc_datalog(), &input);
+            let lossy = lossy_counters(
+                &m_factory,
+                &policy,
+                SystemConfig::ORIGINAL,
+                &input,
+                &expected,
+                &mut lossy_ok,
+            );
+            let m = MonotoneBroadcast::new(Box::new(tc_datalog()));
             let tn = TransducerNetwork {
                 transducer: &m,
                 policy: &policy,
                 config: SystemConfig::ORIGINAL,
             };
-            let rm = measure("M/broadcast (TC)", &tn);
+            let rm = measure("M/broadcast (TC)", &tn, Some(lossy));
 
             // Mdistinct strategy on the SP query (facts + non-facts).
-            let d = DistinctStrategy::new(Box::new(edges_without_source_loop()));
+            let d_factory = || {
+                Box::new(DistinctStrategy::new(Box::new(edges_without_source_loop())))
+                    as Box<dyn Transducer>
+            };
             let policy = HashPolicy::new(Network::of_size(n));
+            let expected = expected_output(&edges_without_source_loop(), &input);
+            let lossy = lossy_counters(
+                &d_factory,
+                &policy,
+                SystemConfig::POLICY_AWARE,
+                &input,
+                &expected,
+                &mut lossy_ok,
+            );
+            let d = DistinctStrategy::new(Box::new(edges_without_source_loop()));
             let tn = TransducerNetwork {
                 transducer: &d,
                 policy: &policy,
                 config: SystemConfig::POLICY_AWARE,
             };
-            let rd = measure("Mdistinct/non-facts (SP)", &tn);
+            let rd = measure("Mdistinct/non-facts (SP)", &tn, Some(lossy));
 
             // Mdisjoint strategy on Q_TC (request/OK protocol).
-            let j = DisjointStrategy::new(Box::new(qtc_datalog()));
+            let j_factory =
+                || Box::new(DisjointStrategy::new(Box::new(qtc_datalog()))) as Box<dyn Transducer>;
             let policy = DomainGuidedPolicy::new(Network::of_size(n));
+            let expected = expected_output(&qtc_datalog(), &input);
+            let lossy = lossy_counters(
+                &j_factory,
+                &policy,
+                SystemConfig::POLICY_AWARE,
+                &input,
+                &expected,
+                &mut lossy_ok,
+            );
+            let j = DisjointStrategy::new(Box::new(qtc_datalog()));
             let tn = TransducerNetwork {
                 transducer: &j,
                 policy: &policy,
                 config: SystemConfig::POLICY_AWARE,
             };
-            let rj = measure("Mdisjoint/request-OK (Q_TC)", &tn);
+            let rj = measure("Mdisjoint/request-OK (Q_TC)", &tn, Some(lossy));
 
             if vertices == 32 && n == 4 {
                 largest = [
@@ -308,7 +350,7 @@ pub fn e11_strategy_costs_obs(obs: &Obs) -> Report {
                 policy: &policy,
                 config: SystemConfig::ORIGINAL,
             };
-            measure("declarative/net-compiled (TC)", &tn);
+            measure("declarative/net-compiled (TC)", &tn, None);
         }
     }
     r.table(markdown_table(
@@ -324,10 +366,17 @@ pub fn e11_strategy_costs_obs(obs: &Obs) -> Report {
             "engine derivations",
             "engine probes/hits",
             "first output at",
+            "retransmits (lossy)",
+            "dups suppressed (lossy)",
             "quiescent",
         ],
         &rows,
     ));
+    r.claim(
+        "goodput under loss: every strategy row reproduces its output on the lossy threaded run",
+        "drop 10% / dup 5% per link, 2 workers — reliable delivery restores fairness",
+        lossy_ok,
+    );
     // The ordering claim implicit in §4.3: non-fact broadcasting costs
     // more than fact broadcasting; the per-value protocol more than both
     // (on the same |V| and n). Check on the largest configuration.
@@ -380,12 +429,40 @@ fn class_summary(c: &MessageClassCounts) -> String {
     }
 }
 
+/// Re-run one strategy family on the threaded engine under a lossy link
+/// plan and return `(retransmissions, duplicates suppressed)`; clears
+/// `ok` if the run fails to reproduce the centralized answer.
+fn lossy_counters(
+    factory: &(dyn Fn() -> Box<dyn Transducer> + Sync),
+    policy: &dyn DistributionPolicy,
+    config: SystemConfig,
+    input: &Instance,
+    expected: &Instance,
+    ok: &mut bool,
+) -> (u64, u64) {
+    let net = ThreadedNetwork {
+        programs: Programs::PerWorker(factory),
+        policy,
+        config,
+    };
+    let plan = FaultPlan::uniform(7, 0.1, 0.05);
+    let thr = run_threaded_with(
+        &net,
+        input,
+        &ThreadedConfig::new(2).with_faults(plan),
+        &Obs::noop(),
+    );
+    *ok &= thr.quiescent && thr.output == *expected;
+    (thr.faults.retransmissions, thr.faults.duplicates_suppressed)
+}
+
 fn push_cost_row(
     rows: &mut Vec<Vec<String>>,
     name: &str,
     vertices: usize,
     n: usize,
     rr: &calm_transducer::RunResult,
+    lossy: Option<(u64, u64)>,
 ) {
     // Native Rust strategies bypass the Datalog engine: their engine
     // counters are structurally zero, shown as "-".
@@ -412,6 +489,8 @@ fn push_cost_row(
         rr.metrics
             .first_output_at
             .map_or("-".into(), |k| k.to_string()),
+        lossy.map_or("-".into(), |(r, _)| r.to_string()),
+        lossy.map_or("-".into(), |(_, d)| d.to_string()),
         rr.quiescent.to_string(),
     ]);
 }

@@ -24,7 +24,7 @@ use calm_common::query::Query;
 use calm_datalog::fragment::classify;
 use calm_datalog::{parse_facts, parse_program, DatalogQuery, Program};
 use calm_monotone::{Exhaustive, ExtensionKind, Falsifier};
-use calm_net::{run_threaded_with, Programs, ThreadedConfig, ThreadedNetwork};
+use calm_net::{run_threaded_with, FaultPlan, Programs, ThreadedConfig, ThreadedNetwork};
 use calm_obs::{ChromeTraceSink, JsonlSink, MultiSink, Obs, ReportSink, Sink};
 use calm_transducer::{
     expected_output, run, run_with, DisjointStrategy, DistinctStrategy, DistributionPolicy,
@@ -285,7 +285,7 @@ pub fn cmd_simulate_opts(
 }
 
 /// Which execution engine `calm simulate` drives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Engine {
     /// The sequential simulator (round-robin scheduler) — the default.
     #[default]
@@ -296,6 +296,9 @@ pub enum Engine {
     Threaded {
         /// Worker threads (0 = auto).
         workers: usize,
+        /// Fault plan (`--faults SPEC`): run the network through the
+        /// fault-injection + reliable-delivery substrate.
+        faults: Option<FaultPlan>,
     },
 }
 
@@ -407,7 +410,7 @@ pub fn cmd_simulate_engine(
             };
             (r.output, r.metrics, r.quiescent)
         }
-        Engine::Threaded { workers } => {
+        Engine::Threaded { workers, faults } => {
             let workers = if workers == 0 {
                 std::thread::available_parallelism()
                     .map(|p| p.get())
@@ -429,8 +432,23 @@ pub fn cmd_simulate_engine(
                 policy: policy.as_ref(),
                 config,
             };
-            let r = run_threaded_with(&tn, &input, &ThreadedConfig::new(workers), &obs);
+            let faulted = faults.is_some();
+            let mut tcfg = ThreadedConfig::new(workers);
+            if let Some(plan) = faults {
+                tcfg = tcfg.with_faults(plan);
+            }
+            let r = run_threaded_with(&tn, &input, &tcfg, &obs);
             let _ = writeln!(out, "% engine: threaded, workers: {workers}");
+            if faulted {
+                let counters: String = r
+                    .faults
+                    .as_pairs()
+                    .iter()
+                    .filter(|(_, n)| *n > 0)
+                    .map(|(label, n)| format!(" {label}={n}"))
+                    .collect();
+                let _ = writeln!(out, "% fault stats:{counters}");
+            }
             let per_worker: String = r
                 .per_worker
                 .iter()
@@ -516,7 +534,7 @@ USAGE:
   calm stratify  <program.dl>
   calm check     <program.dl> [--class m|distinct|disjoint] [--trials N]
   calm simulate  <program.dl> <facts.dl> [--nodes N] [--strategy monotone|distinct|disjoint]
-                 [--engine sequential|threaded] [--workers N]
+                 [--engine sequential|threaded] [--workers N] [--faults SPEC]
                  [--trace] [--trace-out PREFIX] [--metrics]
 
   --trace-out PREFIX writes a structured event log to PREFIX.jsonl and a
@@ -527,22 +545,40 @@ USAGE:
   sharded over worker threads (--workers N, 0 or unset = one per core),
   quiescence detected by a Safra-style token ring. Output is identical
   to the sequential engine for coordination-free strategies.
+
+  --faults SPEC (threaded engine only) runs the network through the
+  seeded fault-injection + reliable-delivery substrate and prints the
+  fault counters. SPEC is comma-separated clauses:
+    seed=N drop=P dup=P delay=P/T link=S>D:drop=P
+    partition=S>D@F..T crash=N@K~D snapshot=K retries=N backoff=T
+  e.g. --faults 'seed=7,drop=0.2,dup=0.1,crash=1@40~25'. Output is
+  still byte-identical to the sequential engine.
 ";
 
-/// Parse `--engine` / `--workers` values into an [`Engine`].
-pub fn parse_engine(engine: Option<&str>, workers: Option<&str>) -> Result<Engine, CliError> {
+/// Parse `--engine` / `--workers` / `--faults` values into an [`Engine`].
+pub fn parse_engine(
+    engine: Option<&str>,
+    workers: Option<&str>,
+    faults: Option<&str>,
+) -> Result<Engine, CliError> {
     let workers: usize = workers
         .map(|w| w.parse().map_err(|_| err("--workers must be a number")))
         .transpose()?
         .unwrap_or(0);
+    let faults = faults
+        .map(|spec| FaultPlan::parse(spec).map_err(|e| err(format!("--faults: {e}"))))
+        .transpose()?;
     match engine.unwrap_or("sequential") {
         "sequential" => {
             if workers != 0 {
                 return Err(err("--workers requires --engine threaded"));
             }
+            if faults.is_some() {
+                return Err(err("--faults requires --engine threaded"));
+            }
             Ok(Engine::Sequential)
         }
-        "threaded" => Ok(Engine::Threaded { workers }),
+        "threaded" => Ok(Engine::Threaded { workers, faults }),
         other => Err(err(format!(
             "unknown engine '{other}' (expected sequential|threaded)"
         ))),
@@ -695,7 +731,10 @@ mod tests {
                     strategy,
                     false,
                     &opts,
-                    Engine::Threaded { workers },
+                    Engine::Threaded {
+                        workers,
+                        faults: None,
+                    },
                 )
                 .unwrap();
                 assert!(
@@ -714,7 +753,10 @@ mod tests {
             "disjoint",
             false,
             &opts,
-            Engine::Threaded { workers: 2 },
+            Engine::Threaded {
+                workers: 2,
+                faults: None,
+            },
         )
         .unwrap();
         assert!(
@@ -737,7 +779,10 @@ mod tests {
             "monotone",
             false,
             &opts,
-            Engine::Threaded { workers: 2 },
+            Engine::Threaded {
+                workers: 2,
+                faults: None,
+            },
         )
         .unwrap();
         // Rendered facts (lines not starting with '%') must be identical.
@@ -764,7 +809,10 @@ mod tests {
             "monotone",
             false,
             &opts,
-            Engine::Threaded { workers: 2 },
+            Engine::Threaded {
+                workers: 2,
+                faults: None,
+            },
         )
         .unwrap();
         assert!(out.contains("== run report =="), "{out}");
@@ -780,22 +828,94 @@ mod tests {
 
     #[test]
     fn parse_engine_accepts_and_rejects() {
-        assert_eq!(parse_engine(None, None).unwrap(), Engine::Sequential);
+        assert_eq!(parse_engine(None, None, None).unwrap(), Engine::Sequential);
         assert_eq!(
-            parse_engine(Some("sequential"), None).unwrap(),
+            parse_engine(Some("sequential"), None, None).unwrap(),
             Engine::Sequential
         );
         assert_eq!(
-            parse_engine(Some("threaded"), None).unwrap(),
-            Engine::Threaded { workers: 0 }
+            parse_engine(Some("threaded"), None, None).unwrap(),
+            Engine::Threaded {
+                workers: 0,
+                faults: None
+            }
         );
         assert_eq!(
-            parse_engine(Some("threaded"), Some("4")).unwrap(),
-            Engine::Threaded { workers: 4 }
+            parse_engine(Some("threaded"), Some("4"), None).unwrap(),
+            Engine::Threaded {
+                workers: 4,
+                faults: None
+            }
         );
-        assert!(parse_engine(Some("warp"), None).is_err());
-        assert!(parse_engine(Some("threaded"), Some("two")).is_err());
-        assert!(parse_engine(Some("sequential"), Some("4")).is_err());
+        assert!(parse_engine(Some("warp"), None, None).is_err());
+        assert!(parse_engine(Some("threaded"), Some("two"), None).is_err());
+        assert!(parse_engine(Some("sequential"), Some("4"), None).is_err());
+    }
+
+    #[test]
+    fn parse_engine_handles_fault_specs() {
+        // A well-formed spec parses into a plan carried by the engine.
+        match parse_engine(Some("threaded"), Some("2"), Some("seed=7,drop=0.2,dup=0.1")).unwrap() {
+            Engine::Threaded {
+                workers: 2,
+                faults: Some(plan),
+            } => {
+                assert_eq!(plan.seed, 7);
+                assert!(plan.injects_faults());
+            }
+            other => panic!("unexpected engine {other:?}"),
+        }
+        // Faults require the threaded engine.
+        let e = parse_engine(None, None, Some("drop=0.2")).unwrap_err();
+        assert!(e.0.contains("--faults requires --engine threaded"), "{e}");
+        let e = parse_engine(Some("sequential"), None, Some("drop=0.2")).unwrap_err();
+        assert!(e.0.contains("--faults requires --engine threaded"), "{e}");
+        // Malformed specs surface the parser's message.
+        let e = parse_engine(Some("threaded"), None, Some("warp=0.5")).unwrap_err();
+        assert!(e.0.contains("--faults:"), "{e}");
+        assert!(e.0.contains("unknown fault key"), "{e}");
+    }
+
+    #[test]
+    fn simulate_threaded_with_faults_matches_centralized() {
+        let opts = ObsOptions {
+            trace_out: None,
+            metrics: false,
+        };
+        // A lossy, duplicating, crashing network must still converge to
+        // the centralized answer, and the run must report fault counters.
+        for (strategy, program) in [("monotone", TC), ("distinct", TC), ("disjoint", QTC)] {
+            let engine = parse_engine(
+                Some("threaded"),
+                Some("2"),
+                Some("seed=11,drop=0.15,dup=0.1,crash=1@12~10,snapshot=3"),
+            )
+            .unwrap();
+            let out = cmd_simulate_engine(program, FACTS, 2, strategy, false, &opts, engine)
+                .expect(strategy);
+            assert!(
+                out.contains("% matches centralized evaluation: true"),
+                "{strategy}: {out}"
+            );
+            assert!(out.contains("% quiescent: true"), "{strategy}: {out}");
+            assert!(out.contains("% fault stats:"), "{strategy}: {out}");
+            assert!(out.contains("attempts="), "{strategy}: {out}");
+        }
+        // Without --faults no fault-stats line is printed.
+        let out = cmd_simulate_engine(
+            TC,
+            FACTS,
+            2,
+            "monotone",
+            false,
+            &opts,
+            Engine::Threaded {
+                workers: 2,
+                faults: None,
+            },
+        )
+        .unwrap();
+        assert!(!out.contains("% fault stats:"), "{out}");
     }
 
     #[test]

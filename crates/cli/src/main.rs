@@ -68,7 +68,11 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
                 .unwrap_or(3);
             let strategy = flag_value(args, "--strategy").unwrap_or("monotone");
             let trace = args.iter().any(|a| a == "--trace");
-            let engine = parse_engine(flag_value(args, "--engine"), flag_value(args, "--workers"))?;
+            let engine = parse_engine(
+                flag_value(args, "--engine"),
+                flag_value(args, "--workers"),
+                flag_value(args, "--faults"),
+            )?;
             cmd_simulate_engine(
                 &read(p)?,
                 &read(f)?,

@@ -1,6 +1,7 @@
 //! The threaded executor: nodes sharded over worker threads, per-worker
 //! `mpsc` channels carrying fact batches, Safra-ring termination.
 
+use crate::faults::{FaultPlan, FaultStats, LinkCounters, NodeSnapshot, ReliableNet, Wire};
 use crate::termination::Token;
 use calm_common::fact::Fact;
 use calm_common::instance::Instance;
@@ -12,8 +13,14 @@ use calm_transducer::policy::{distribute, DistributionPolicy};
 use calm_transducer::runtime::Metrics;
 use calm_transducer::schema::SystemConfig;
 use calm_transducer::transducer::Transducer;
-use std::collections::{BTreeMap, BTreeSet};
-use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::time::Duration;
+
+/// How long a worker with standing reliability obligations (unacked
+/// sends, delayed wires, recovering nodes) waits for traffic before
+/// advancing its fault clock and firing due timers.
+const TIMER_WAIT: Duration = Duration::from_micros(200);
 
 /// How workers obtain their per-node transducer program.
 ///
@@ -67,7 +74,7 @@ pub struct ThreadedNetwork<'a> {
 }
 
 /// Execution parameters of a threaded run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ThreadedConfig {
     /// Worker threads. Clamped to `[1, |N|]` (a worker with no nodes
     /// would only slow the ring down).
@@ -76,6 +83,12 @@ pub struct ThreadedConfig {
     /// execute. A run that exhausts any worker's budget reports
     /// `quiescent: false`.
     pub step_budget: usize,
+    /// Fault injection + reliable delivery (see [`crate::faults`]).
+    /// `None` — the default — runs the PR 3 perfect-channel path with
+    /// zero reliability overhead; `Some(plan)` interposes the fault
+    /// gauntlet on every send (local and remote) and rides the
+    /// seq/ack/retransmit/snapshot substrate underneath it.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ThreadedConfig {
@@ -84,12 +97,19 @@ impl ThreadedConfig {
         ThreadedConfig {
             workers,
             step_budget: 1_000_000,
+            faults: None,
         }
     }
 
     /// Override the per-worker step budget.
     pub fn with_budget(mut self, step_budget: usize) -> ThreadedConfig {
         self.step_budget = step_budget;
+        self
+    }
+
+    /// Run under a fault plan (with the reliability substrate enabled).
+    pub fn with_faults(mut self, plan: FaultPlan) -> ThreadedConfig {
+        self.faults = Some(plan);
         self
     }
 }
@@ -117,6 +137,13 @@ pub struct WorkerStats {
     pub token_passes: u64,
     /// Whether the worker hit its step budget.
     pub exhausted: bool,
+    /// Fault/reliability counters (all zero on a fault-free run).
+    pub faults: FaultStats,
+    /// This worker's half of the per-link wire accounting: sender-side
+    /// counters live at the sending worker, receiver-side at the
+    /// receiving worker; the merged map reconciles (see
+    /// [`LinkCounters`]).
+    pub link_counters: BTreeMap<(usize, usize), LinkCounters>,
 }
 
 /// The result of a threaded run — same shape as the sequential
@@ -133,8 +160,15 @@ pub struct ThreadedRunResult {
     /// Per-worker accounting.
     pub per_worker: Vec<WorkerStats>,
     /// Whether the network reached quiescence (every node at local
-    /// fixpoint, nothing in flight) within every worker's budget.
+    /// fixpoint, nothing in flight, no message abandoned to a retry
+    /// budget) within every worker's budget.
     pub quiescent: bool,
+    /// Merged fault/reliability counters (all zero without a plan).
+    pub faults: FaultStats,
+    /// Merged per-link wire accounting. On a quiescent faulty run every
+    /// link satisfies `attempts == delivered + suppressed + dropped`
+    /// (and `buffered == 0`).
+    pub link_counters: BTreeMap<(usize, usize), LinkCounters>,
 }
 
 /// Messages on the per-worker channels. `Batch` is the basic message of
@@ -149,6 +183,10 @@ enum Msg {
         /// several times from different senders).
         facts: Multiset<Fact>,
     },
+    /// A wire of the reliability substrate (fault mode only): sequenced
+    /// data or a cumulative ack. Like `Batch`, a basic message of the
+    /// termination-detection algorithm (counted in Safra counters).
+    Wire(Wire),
     /// The termination probe token.
     Token(Token),
     /// Worker 0 detected termination: finish up and report.
@@ -218,6 +256,7 @@ pub fn run_threaded_with(
             let programs = &tn.programs;
             let policy = tn.policy;
             let sys = tn.config;
+            let faults = cfg.faults.as_ref();
             handles.push(scope.spawn(move || {
                 let program = programs.instantiate();
                 run_worker(WorkerCtx {
@@ -232,6 +271,7 @@ pub fn run_threaded_with(
                     rx,
                     senders,
                     budget: cfg.step_budget,
+                    faults,
                     obs,
                 })
             }));
@@ -250,10 +290,16 @@ pub fn run_threaded_with(
     let mut per_worker = Vec::with_capacity(workers);
     let mut quiescent = true;
     let mut token_passes = 0u64;
+    let mut faults = FaultStats::default();
+    let mut link_counters: BTreeMap<(usize, usize), LinkCounters> = BTreeMap::new();
     for outcome in outcomes {
         metrics.merge(&outcome.stats.metrics);
         quiescent &= outcome.clean;
         token_passes += outcome.stats.token_passes;
+        faults.merge(&outcome.stats.faults);
+        for (link, counters) in &outcome.stats.link_counters {
+            link_counters.entry(*link).or_default().merge(counters);
+        }
         for (node, state) in outcome.states {
             states.insert(node, state);
         }
@@ -271,6 +317,25 @@ pub fn run_threaded_with(
             ("workers", ArgValue::U64(workers as u64)),
         ]
     });
+    if cfg.faults.is_some() && obs.enabled() {
+        for (name, value) in faults.as_pairs() {
+            obs.counter("net", &format!("faults.{name}"), value);
+        }
+        obs.event("net", "fault_summary", 0, || {
+            vec![
+                ("attempts", ArgValue::U64(faults.attempts)),
+                ("retransmissions", ArgValue::U64(faults.retransmissions)),
+                (
+                    "duplicates_suppressed",
+                    ArgValue::U64(faults.duplicates_suppressed),
+                ),
+                ("dropped", ArgValue::U64(faults.dropped)),
+                ("crashes", ArgValue::U64(faults.crashes)),
+                ("snapshots", ArgValue::U64(faults.snapshots)),
+                ("retry_exhausted", ArgValue::U64(faults.retry_exhausted)),
+            ]
+        });
+    }
     if obs.enabled() {
         obs.event("runtime", "run_summary", 0, || {
             vec![
@@ -296,6 +361,8 @@ pub fn run_threaded_with(
         metrics,
         per_worker,
         quiescent,
+        faults,
+        link_counters,
     }
 }
 
@@ -311,6 +378,7 @@ struct WorkerCtx<'a> {
     rx: Receiver<Msg>,
     senders: Vec<Sender<Msg>>,
     budget: usize,
+    faults: Option<&'a FaultPlan>,
     obs: &'a Obs,
 }
 
@@ -334,6 +402,62 @@ struct Slot {
     /// Needs another step: never stepped, or the last step delivered
     /// facts, changed state, or sent messages.
     dirty: bool,
+    /// Monotone transition count (fault mode: does *not* roll back with
+    /// the state, so each crash point fires at most once).
+    transitions: usize,
+    /// Transitions since the last snapshot (fault mode).
+    since_snapshot: usize,
+    /// Last crash-recovery checkpoint (fault mode only; `None` on the
+    /// fault-free fast path).
+    snap: Option<NodeSnapshot>,
+}
+
+/// Take a crash-recovery snapshot of one node: capture state, inbox,
+/// send-dedup set and link state atomically. Cumulative acks for any
+/// receive-cursor advance are pushed into `out` (to be pumped by the
+/// caller) — the ack-on-snapshot discipline that makes rollback sound.
+fn take_snapshot(slot: &mut Slot, rnet: &mut ReliableNet<'_>, out: &mut Vec<Wire>) {
+    let links = rnet.snapshot(slot.global, out);
+    slot.snap = Some(NodeSnapshot {
+        state: slot.state.clone(),
+        pending: slot.pending.clone(),
+        ever_sent: slot.ever_sent.clone(),
+        links,
+    });
+    slot.since_snapshot = 0;
+}
+
+/// Route wires until none remain: local arrivals run through the
+/// substrate's receive path (which may emit re-ack wires, queued back
+/// here); remote wires go onto the owning worker's channel as
+/// [`Msg::Wire`], counted in the Safra counter like any basic message.
+/// Accepted data batches are handed to `deliver` for inbox enqueueing.
+fn pump_wires(
+    start: Vec<Wire>,
+    rnet: &mut ReliableNet<'_>,
+    id: usize,
+    workers: usize,
+    senders: &[Sender<Msg>],
+    counter: &mut i64,
+    deliver: &mut dyn FnMut(usize, Multiset<Fact>),
+) {
+    let mut queue: VecDeque<Wire> = start.into();
+    while let Some(wire) = queue.pop_front() {
+        let dst = wire.dst();
+        if dst % workers == id {
+            let mut replies = Vec::new();
+            let accepted = rnet.receive(wire, &mut replies);
+            queue.extend(replies);
+            if let Some((node, facts)) = accepted {
+                deliver(node, facts);
+            }
+        } else {
+            *counter += 1;
+            senders[dst % workers]
+                .send(Msg::Wire(wire))
+                .expect("worker channel closed");
+        }
+    }
 }
 
 fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
@@ -349,6 +473,7 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
         rx,
         senders,
         budget,
+        faults,
         obs,
     } = ctx;
     let total_nodes = node_ids.len();
@@ -374,8 +499,24 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
             pending: Multiset::new(),
             ever_sent: BTreeSet::new(),
             dirty: true,
+            transitions: 0,
+            since_snapshot: 0,
+            snap: None,
         })
         .collect();
+
+    // Fault mode: the reliability substrate for this worker's nodes,
+    // plus an initial (empty) snapshot per node so the first crash
+    // point always has a checkpoint to restore.
+    let mut rnet: Option<ReliableNet<'_>> = faults.map(|plan| ReliableNet::new(plan, &locals));
+    if let Some(rnet) = rnet.as_mut() {
+        let mut none = Vec::new();
+        for slot in slots.iter_mut() {
+            take_snapshot(slot, rnet, &mut none);
+        }
+        debug_assert!(none.is_empty(), "empty links cannot emit acks");
+    }
+    let snapshot_every = faults.map_or(usize::MAX, |plan| plan.snapshot_every);
 
     let mut metrics = Metrics::default();
     let mut stats = WorkerStats {
@@ -430,6 +571,23 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                     black = true;
                     enqueue(&mut slots, &mut metrics, &mut stats, node, facts);
                 }
+                Ok(Msg::Wire(wire)) => {
+                    counter -= 1;
+                    black = true;
+                    let rnet = rnet.as_mut().expect("wire received without a fault plan");
+                    let mut deliver = |g: usize, facts: Multiset<Fact>| {
+                        enqueue(&mut slots, &mut metrics, &mut stats, g, facts)
+                    };
+                    pump_wires(
+                        vec![wire],
+                        rnet,
+                        id,
+                        workers,
+                        &senders,
+                        &mut counter,
+                        &mut deliver,
+                    );
+                }
                 Ok(Msg::Token(t)) => held_token = Some(t),
                 Ok(Msg::Terminate) => terminate = true,
                 Err(TryRecvError::Empty) => break,
@@ -440,6 +598,27 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
             break;
         }
 
+        // 1b. Fault mode: advance the logical clock — release due
+        // delayed wires and fire due retransmissions.
+        if let Some(rnet) = rnet.as_mut() {
+            let mut wires = Vec::new();
+            rnet.advance(&mut wires);
+            if !wires.is_empty() {
+                let mut deliver = |g: usize, facts: Multiset<Fact>| {
+                    enqueue(&mut slots, &mut metrics, &mut stats, g, facts)
+                };
+                pump_wires(
+                    wires,
+                    rnet,
+                    id,
+                    workers,
+                    &senders,
+                    &mut counter,
+                    &mut deliver,
+                );
+            }
+        }
+
         // 2. Local work: step every node that has inbox facts or is not
         // yet at its local fixpoint.
         let has_work = slots.iter().any(|s| s.dirty || !s.pending.is_empty());
@@ -447,6 +626,9 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
             for l in 0..slots.len() {
                 if !slots[l].dirty && slots[l].pending.is_empty() {
                     continue;
+                }
+                if rnet.as_ref().is_some_and(|r| r.node_down(slots[l].global)) {
+                    continue; // crashed: no steps until the recovery window closes
                 }
                 if steps_left == 0 {
                     break;
@@ -481,6 +663,72 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                 };
                 slots[l].dirty =
                     outcome.state_changed || !outcome.sent.is_empty() || delivered_n > 0;
+                slots[l].transitions += 1;
+                slots[l].since_snapshot += 1;
+                if let Some(rnet) = rnet.as_mut() {
+                    // Fault mode: every send — local or remote — is
+                    // staged in the substrate (sequence number + outbox
+                    // entry); the next snapshot commits it to the wire
+                    // through the fault gauntlet. Then crash points
+                    // fire and periodic snapshots are taken.
+                    let sender_global = slots[l].global;
+                    if !outcome.sent.is_empty() {
+                        // Sends are staged in the outbox; the next
+                        // snapshot commits and transmits them.
+                        for g in 0..total_nodes {
+                            if g == sender_global {
+                                continue;
+                            }
+                            let facts: Multiset<Fact> = outcome.sent.iter().cloned().collect();
+                            rnet.send(sender_global, g, facts);
+                        }
+                    }
+                    if let Some(point) = rnet.due_crash(sender_global, slots[l].transitions) {
+                        // Crash: roll back to the last snapshot, drop
+                        // in-flight outgoing wires, go down. Blacken
+                        // the worker — the rollback may have erased
+                        // receipts the current probe round already
+                        // observed (see `termination.rs`).
+                        black = true;
+                        let snap = slots[l]
+                            .snap
+                            .clone()
+                            .expect("every node snapshots before it can crash");
+                        slots[l].state = snap.state;
+                        slots[l].pending = snap.pending;
+                        slots[l].ever_sent = snap.ever_sent;
+                        slots[l].dirty = true;
+                        slots[l].since_snapshot = 0;
+                        rnet.restore(sender_global, snap.links);
+                        rnet.crash(sender_global, point.down_ticks);
+                        if obs.enabled() {
+                            obs.event("net", "crash", sender_global as u32 + 1, || {
+                                vec![
+                                    ("node", ArgValue::U64(sender_global as u64)),
+                                    ("down_ticks", ArgValue::U64(point.down_ticks)),
+                                ]
+                            });
+                        }
+                    } else if slots[l].since_snapshot >= snapshot_every {
+                        let mut acks = Vec::new();
+                        take_snapshot(&mut slots[l], rnet, &mut acks);
+                        if !acks.is_empty() {
+                            let mut deliver = |g: usize, facts: Multiset<Fact>| {
+                                enqueue(&mut slots, &mut metrics, &mut stats, g, facts)
+                            };
+                            pump_wires(
+                                acks,
+                                rnet,
+                                id,
+                                workers,
+                                &senders,
+                                &mut counter,
+                                &mut deliver,
+                            );
+                        }
+                    }
+                    continue;
+                }
                 if outcome.sent.is_empty() {
                     continue;
                 }
@@ -512,6 +760,69 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
             // (the run will report quiescent: false).
         }
 
+        // 2b. Fault mode: the extended passivity predicate. Before
+        // joining the token protocol, flush snapshots for slots whose
+        // receive cursors can advance (emitting the cumulative acks
+        // peers are waiting for) or that hold staged sends (committing
+        // them to the wire). If the substrate still has obligations —
+        // unacked sends, wires in the delay buffer, nodes in recovery —
+        // the worker is *not* passive: it withholds the token and waits
+        // with a timeout so the fault clock keeps ticking and due
+        // retransmissions fire. This is how Safra is taught about
+        // retransmissions and in-recovery nodes.
+        if let Some(rnet_ref) = rnet.as_mut() {
+            let mut acks = Vec::new();
+            for slot in slots.iter_mut() {
+                if rnet_ref.ackable(slot.global) || rnet_ref.staged(slot.global) {
+                    take_snapshot(slot, rnet_ref, &mut acks);
+                }
+            }
+            if !acks.is_empty() {
+                let mut deliver = |g: usize, facts: Multiset<Fact>| {
+                    enqueue(&mut slots, &mut metrics, &mut stats, g, facts)
+                };
+                pump_wires(
+                    acks,
+                    rnet_ref,
+                    id,
+                    workers,
+                    &senders,
+                    &mut counter,
+                    &mut deliver,
+                );
+            }
+            if rnet_ref.has_obligations() {
+                match rx.recv_timeout(TIMER_WAIT) {
+                    Ok(Msg::Batch { node, facts }) => {
+                        counter -= 1;
+                        black = true;
+                        enqueue(&mut slots, &mut metrics, &mut stats, node, facts);
+                    }
+                    Ok(Msg::Wire(wire)) => {
+                        counter -= 1;
+                        black = true;
+                        let mut deliver = |g: usize, facts: Multiset<Fact>| {
+                            enqueue(&mut slots, &mut metrics, &mut stats, g, facts)
+                        };
+                        pump_wires(
+                            vec![wire],
+                            rnet_ref,
+                            id,
+                            workers,
+                            &senders,
+                            &mut counter,
+                            &mut deliver,
+                        );
+                    }
+                    Ok(Msg::Token(t)) => held_token = Some(t),
+                    Ok(Msg::Terminate) => break,
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+                continue;
+            }
+        }
+
         // 3. Passive: token protocol.
         if workers == 1 {
             // Sole worker: passivity is global quiescence.
@@ -522,7 +833,7 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                 Some(token) => {
                     // The probe is back: either we terminate or we
                     // launch a fresh one (probe_outstanding stays true).
-                    if !token.black && !black && token.count + counter == 0 {
+                    if token.concludes(counter, black) {
                         // Termination: nothing in flight, all passive
                         // through a full white round.
                         for (w, s) in senders.iter().enumerate() {
@@ -553,9 +864,7 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                 None => {}
             }
         } else if let Some(mut token) = held_token.take() {
-            token.count += counter;
-            token.black |= black;
-            token.passes += 1;
+            token.absorb(counter, black);
             black = false;
             stats.token_passes += 1;
             senders[(id + 1) % workers]
@@ -571,13 +880,38 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                 black = true;
                 enqueue(&mut slots, &mut metrics, &mut stats, node, facts);
             }
+            Ok(Msg::Wire(wire)) => {
+                counter -= 1;
+                black = true;
+                let rnet = rnet.as_mut().expect("wire received without a fault plan");
+                let mut deliver = |g: usize, facts: Multiset<Fact>| {
+                    enqueue(&mut slots, &mut metrics, &mut stats, g, facts)
+                };
+                pump_wires(
+                    vec![wire],
+                    rnet,
+                    id,
+                    workers,
+                    &senders,
+                    &mut counter,
+                    &mut deliver,
+                );
+            }
             Ok(Msg::Token(t)) => held_token = Some(t),
             Ok(Msg::Terminate) => break,
             Err(_) => break,
         }
     }
 
-    let clean = slots.iter().all(|s| !s.dirty && s.pending.is_empty()) && !stats.exhausted;
+    let mut clean = slots.iter().all(|s| !s.dirty && s.pending.is_empty()) && !stats.exhausted;
+    if let Some(rnet) = rnet.as_mut() {
+        // A message abandoned to the retry budget means fairness was
+        // not restored: the run must not claim quiescence.
+        rnet.finalize();
+        clean &= rnet.stats.retry_exhausted == 0;
+        stats.faults = rnet.stats;
+        stats.link_counters = std::mem::take(&mut rnet.link_counters);
+    }
     stats.buffered = slots.iter().map(|s| s.pending.len()).sum();
     stats.metrics = metrics;
     WorkerOutcome {

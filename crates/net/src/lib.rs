@@ -57,10 +57,14 @@
 #![warn(missing_docs)]
 
 pub mod executor;
+pub mod faults;
 pub mod termination;
 
 pub use executor::{
     run_threaded, run_threaded_with, Programs, ThreadedConfig, ThreadedNetwork, ThreadedRunResult,
     WorkerStats,
+};
+pub use faults::{
+    CrashPoint, FaultPlan, FaultStats, LinkCounters, LinkFaults, Partition, ReliableNet, Wire,
 };
 pub use termination::Token;

@@ -1,0 +1,316 @@
+//! The chaos equivalence suite: the CALM confluence guarantee under an
+//! *unfair* network, repaired by the reliability substrate.
+//!
+//! Each test runs a strategy family over seeded random inputs on the
+//! threaded executor under adversarial fault plans — message loss,
+//! duplication, bounded reordering/delay, one-way partitions, node
+//! crash/restart — and asserts the run still terminates (Safra detects
+//! quiescence; no timeout waivers) with output byte-identical to the
+//! sequential oracle. The wire-level conservation identity is checked
+//! per link: `attempts == delivered + suppressed + dropped + buffered`,
+//! with `buffered == 0` and `retry_exhausted == 0` on a clean run.
+//!
+//! Engine-level conservation (`sent == delivered + buffered`) is *not*
+//! asserted here: crash rollback legitimately re-counts engine sends
+//! (metrics never roll back) — that identity belongs to the fault-free
+//! suite in `equivalence.rs`.
+
+use calm_common::query::Query;
+use calm_common::rng::Rng;
+use calm_common::{fact, Instance};
+use calm_net::{
+    run_threaded, FaultPlan, Programs, ThreadedConfig, ThreadedNetwork, ThreadedRunResult,
+};
+use calm_queries::qtc::qtc_datalog;
+use calm_queries::tc::{edges_without_source_loop, tc_datalog};
+use calm_transducer::{
+    expected_output, run, DisjointStrategy, DistinctStrategy, DistributionPolicy,
+    DomainGuidedPolicy, HashPolicy, MonotoneBroadcast, Network, Scheduler, SystemConfig,
+    Transducer, TransducerNetwork,
+};
+
+const WORKER_COUNTS: [usize; 2] = [2, 8];
+
+/// Base offset for the seed sweep (CI reruns with `CALM_NET_SEED=1..`).
+fn seed_base() -> u64 {
+    std::env::var("CALM_NET_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// A small random edge relation over `domain` values, `edges` tuples.
+fn random_edges(seed: u64, domain: i64, edges: usize) -> Instance {
+    let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    Instance::from_facts((0..edges).map(|_| {
+        fact(
+            "E",
+            [
+                rng.gen_range(0..domain as u64) as i64,
+                rng.gen_range(0..domain as u64) as i64,
+            ],
+        )
+    }))
+}
+
+/// The three adversaries every family faces, parameterized by the run
+/// seed so every repetition draws a fresh fault pattern.
+///
+/// * `loss+dup`: ≥10% drop with duplication — the headline plan.
+/// * `havoc`: heavier loss plus duplication and a 6-tick
+///   delay/reordering window.
+/// * `crash`: loss + delay with two node crash/restart points (node 1
+///   early, node 2 later) and a one-way partition that heals.
+fn fault_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("loss+dup", FaultPlan::uniform(seed, 0.10, 0.10)),
+        (
+            "havoc",
+            FaultPlan::uniform(seed ^ 0xA5A5, 0.25, 0.10).with_delay(0.30, 6),
+        ),
+        (
+            "crash",
+            FaultPlan::uniform(seed ^ 0x5A5A, 0.05, 0.05)
+                .with_delay(0.20, 4)
+                .with_crash(1, 3, 10)
+                .with_crash(2, 6, 5)
+                .with_partition(0, 1, 5, 60),
+        ),
+    ]
+}
+
+/// Wire-level accounting: per-link and global conservation, no message
+/// abandoned, nothing left in the network on a quiescent run.
+fn check_chaos_accounting(r: &ThreadedRunResult, label: &str) {
+    let mut buffered_total = 0;
+    for ((src, dst), lc) in &r.link_counters {
+        assert_eq!(
+            lc.attempts,
+            lc.delivered + lc.suppressed + lc.dropped + lc.buffered,
+            "{label}: link {src}->{dst} wire conservation"
+        );
+        buffered_total += lc.buffered;
+    }
+    let f = &r.faults;
+    assert_eq!(
+        f.attempts,
+        f.delivered_batches + f.duplicates_suppressed + f.dropped + buffered_total,
+        "{label}: global wire conservation"
+    );
+    assert_eq!(
+        f.retry_exhausted, 0,
+        "{label}: no message may be abandoned to the retry budget"
+    );
+    if r.quiescent {
+        assert_eq!(
+            buffered_total, 0,
+            "{label}: quiescent run left wires in flight"
+        );
+    }
+}
+
+/// Run one family on one input: sequential oracle once, then the
+/// threaded engine under every fault plan × worker count. Termination
+/// must be *detected* (no waivers) and output must match the oracle
+/// byte for byte.
+fn assert_chaos_confluent(
+    t: &dyn Transducer,
+    query: &dyn Query,
+    policy: &dyn DistributionPolicy,
+    sys: SystemConfig,
+    input: &Instance,
+    seed: u64,
+    label: &str,
+) {
+    let expected = expected_output(query, input);
+    let tn = TransducerNetwork {
+        transducer: t,
+        policy,
+        config: sys,
+    };
+    let seq = run(&tn, input, &Scheduler::RoundRobin, 500_000);
+    assert!(seq.quiescent, "{label}: sequential oracle must quiesce");
+    assert_eq!(seq.output, expected, "{label}: oracle vs centralized");
+    for (plan_name, plan) in fault_plans(seed) {
+        for workers in WORKER_COUNTS {
+            let thr = run_threaded(
+                &ThreadedNetwork {
+                    programs: Programs::Shared(t),
+                    policy,
+                    config: sys,
+                },
+                input,
+                &ThreadedConfig::new(workers).with_faults(plan.clone()),
+            );
+            let tag = format!("{label} [{plan_name} x{workers}]");
+            assert!(thr.quiescent, "{tag}: termination must be detected");
+            assert_eq!(
+                thr.output, seq.output,
+                "{tag}: output differs from the sequential oracle"
+            );
+            check_chaos_accounting(&thr, &tag);
+        }
+    }
+}
+
+#[test]
+fn monotone_broadcast_survives_chaos_across_20_seeds() {
+    let t = MonotoneBroadcast::new(Box::new(tc_datalog()));
+    let policy = HashPolicy::new(Network::of_size(4));
+    for i in 0..20 {
+        let seed = seed_base() * 1000 + i;
+        let input = random_edges(seed, 6, 3 + (i as usize % 5));
+        assert_chaos_confluent(
+            &t,
+            t.query(),
+            &policy,
+            SystemConfig::ORIGINAL,
+            &input,
+            seed,
+            &format!("M seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn distinct_strategy_survives_chaos_across_20_seeds() {
+    let t = DistinctStrategy::new(Box::new(edges_without_source_loop()));
+    let policy = HashPolicy::new(Network::of_size(3));
+    for i in 0..20 {
+        let seed = seed_base() * 1000 + 100 + i;
+        let input = random_edges(seed, 5, 3 + (i as usize % 3));
+        assert_chaos_confluent(
+            &t,
+            t.query(),
+            &policy,
+            SystemConfig::POLICY_AWARE,
+            &input,
+            seed,
+            &format!("Mdistinct seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn disjoint_strategy_survives_chaos_across_20_seeds() {
+    let t = DisjointStrategy::new(Box::new(qtc_datalog()));
+    let policy = DomainGuidedPolicy::new(Network::of_size(3));
+    for i in 0..20 {
+        let seed = seed_base() * 1000 + 200 + i;
+        // The request/OK/ack protocol is per-value: keep domains small.
+        let input = random_edges(seed, 4, 2 + (i as usize % 2));
+        assert_chaos_confluent(
+            &t,
+            t.query(),
+            &policy,
+            SystemConfig::POLICY_AWARE,
+            &input,
+            seed,
+            &format!("Mdisjoint seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn zero_fault_plan_pays_only_the_substrate() {
+    // A `FaultPlan::none` run rides the full seq/ack/snapshot machinery
+    // with no fault ever injected: every attempt is a first attempt
+    // that gets delivered, nothing is suppressed or dropped, and the
+    // engine-level message flow matches the fault-free engine exactly.
+    let t = MonotoneBroadcast::new(Box::new(tc_datalog()));
+    let policy = HashPolicy::new(Network::of_size(4));
+    let input = random_edges(seed_base() * 1000 + 300, 6, 6);
+    let reference = run_threaded(
+        &ThreadedNetwork {
+            programs: Programs::Shared(&t),
+            policy: &policy,
+            config: SystemConfig::ORIGINAL,
+        },
+        &input,
+        &ThreadedConfig::new(2),
+    );
+    assert!(reference.quiescent);
+    assert_eq!(reference.faults, Default::default(), "no plan, no counters");
+    let thr = run_threaded(
+        &ThreadedNetwork {
+            programs: Programs::Shared(&t),
+            policy: &policy,
+            config: SystemConfig::ORIGINAL,
+        },
+        &input,
+        &ThreadedConfig::new(2).with_faults(FaultPlan::none(7)),
+    );
+    assert!(thr.quiescent);
+    assert_eq!(thr.output, reference.output);
+    assert_eq!(
+        thr.metrics.messages_sent, reference.metrics.messages_sent,
+        "a faultless substrate must not change engine-level message flow"
+    );
+    let f = &thr.faults;
+    assert_eq!(f.dropped, 0);
+    assert_eq!(f.duplicates_injected, 0);
+    assert_eq!(f.delayed, 0);
+    assert_eq!(f.crashes, 0);
+    assert_eq!(
+        f.duplicates_suppressed, f.retransmissions,
+        "only spurious retransmissions (ack still in flight) are suppressed"
+    );
+    assert_eq!(
+        f.attempts,
+        f.delivered_batches + f.duplicates_suppressed,
+        "every attempt lands"
+    );
+    check_chaos_accounting(&thr, "zero-fault plan");
+}
+
+#[test]
+fn single_worker_runs_the_gauntlet_too() {
+    // Faults interpose on *local* delivery as well: one worker, no
+    // channels, yet drops/dups/delays still happen and are repaired.
+    let t = MonotoneBroadcast::new(Box::new(tc_datalog()));
+    let policy = HashPolicy::new(Network::of_size(4));
+    let input = random_edges(seed_base() * 1000 + 301, 6, 5);
+    let expected = expected_output(t.query(), &input);
+    let plan = FaultPlan::uniform(11, 0.2, 0.1).with_delay(0.2, 4);
+    let thr = run_threaded(
+        &ThreadedNetwork {
+            programs: Programs::Shared(&t),
+            policy: &policy,
+            config: SystemConfig::ORIGINAL,
+        },
+        &input,
+        &ThreadedConfig::new(1).with_faults(plan),
+    );
+    assert!(thr.quiescent);
+    assert_eq!(thr.output, expected);
+    assert!(
+        thr.faults.dropped > 0 || thr.faults.delayed > 0,
+        "gauntlet ran"
+    );
+    check_chaos_accounting(&thr, "single worker");
+}
+
+#[test]
+fn parsed_plan_equals_built_plan() {
+    // The CLI spec grammar and the builder API construct the same plan,
+    // so a `--faults` run is reproducible from its spec string.
+    let parsed = FaultPlan::parse("seed=9,drop=0.1,dup=0.05,delay=0.2/4,crash=1@3~10").unwrap();
+    let built = FaultPlan::uniform(9, 0.1, 0.05)
+        .with_delay(0.2, 4)
+        .with_crash(1, 3, 10);
+    assert_eq!(parsed, built);
+    let t = DistinctStrategy::new(Box::new(edges_without_source_loop()));
+    let policy = HashPolicy::new(Network::of_size(3));
+    let input = random_edges(seed_base() * 1000 + 302, 5, 4);
+    let thr = run_threaded(
+        &ThreadedNetwork {
+            programs: Programs::Shared(&t),
+            policy: &policy,
+            config: SystemConfig::POLICY_AWARE,
+        },
+        &input,
+        &ThreadedConfig::new(2).with_faults(parsed),
+    );
+    assert!(thr.quiescent);
+    assert_eq!(thr.output, expected_output(t.query(), &input));
+}

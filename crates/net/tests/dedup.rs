@@ -1,0 +1,187 @@
+//! Property tests (hand-rolled, seeded — the workspace is
+//! dependency-free) for the reliability substrate's dedup and
+//! accounting invariants:
+//!
+//! * duplicating *any* prefix of a wire stream never changes what is
+//!   delivered — and therefore never changes `Instance` state or
+//!   `messages_sent` at the engine level;
+//! * the ack/retransmit counters reconcile per link:
+//!   `attempts == delivered + suppressed + dropped + buffered`.
+
+use calm_common::fact::{fact, Fact};
+use calm_common::instance::Instance;
+use calm_common::rng::Rng;
+use calm_net::{
+    run_threaded, FaultPlan, Programs, ReliableNet, ThreadedConfig, ThreadedNetwork, Wire,
+};
+use calm_queries::tc::tc_datalog;
+use calm_transducer::multiset::Multiset;
+use calm_transducer::{HashPolicy, MonotoneBroadcast, Network, SystemConfig};
+
+fn batch(rng: &mut Rng) -> Multiset<Fact> {
+    let n = 1 + (rng.gen_u64() % 3) as i64;
+    (0..n)
+        .map(|_| {
+            fact(
+                "m",
+                [(rng.gen_u64() % 5) as i64, (rng.gen_u64() % 5) as i64],
+            )
+        })
+        .collect()
+}
+
+/// Feed `wires` into a fresh receiver and return the accepted
+/// fact-occurrence multiset (what the engine would enqueue into the
+/// node's inbox, i.e. what determines `Instance` state).
+fn accepted(plan: &FaultPlan, wires: &[Wire]) -> (Multiset<Fact>, u64, u64) {
+    let mut net = ReliableNet::new(plan, &[1]);
+    let mut out = Vec::new();
+    let mut got = Multiset::new();
+    for w in wires {
+        if let Some((_, facts)) = net.receive(w.clone(), &mut out) {
+            got.extend_from(facts);
+        }
+    }
+    (
+        got,
+        net.stats.delivered_batches,
+        net.stats.duplicates_suppressed,
+    )
+}
+
+#[test]
+fn duplicating_any_wire_prefix_never_changes_delivery() {
+    // Property: for every stream of data wires and every prefix length
+    // k, re-injecting the first k wires (the network duplicating a
+    // prefix in flight) leaves the accepted fact multiset — and hence
+    // the receiving node's `Instance` state — unchanged, while every
+    // duplicate is counted suppressed and re-acked.
+    let plan = FaultPlan::none(0);
+    for seed in 0..40u64 {
+        let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1CE);
+        let n = 3 + (rng.gen_u64() % 8) as usize;
+        let stream: Vec<Wire> = (1..=n as u64)
+            .map(|seq| Wire::Data {
+                src: 0,
+                dst: 1,
+                seq,
+                facts: batch(&mut rng),
+            })
+            .collect();
+        let (base, base_batches, base_supp) = accepted(&plan, &stream);
+        assert_eq!(base_supp, 0, "seed {seed}: clean stream has no duplicates");
+        for k in 1..=n {
+            let mut dup: Vec<Wire> = stream[..k].to_vec();
+            dup.extend_from_slice(&stream[..k]); // the duplicated prefix
+            dup.extend_from_slice(&stream[k..]);
+            let (got, batches, supp) = accepted(&plan, &dup);
+            assert_eq!(got, base, "seed {seed} k {k}: delivery must not change");
+            assert_eq!(batches, base_batches, "seed {seed} k {k}: batches");
+            assert_eq!(supp, k as u64, "seed {seed} k {k}: duplicates suppressed");
+        }
+    }
+}
+
+#[test]
+fn injected_duplicates_never_change_output_or_engine_sends() {
+    // The same property end-to-end: a duplication-only fault plan must
+    // be invisible to the engine — identical output (Instance state)
+    // and identical `messages_sent` — with the wire-level dedup
+    // absorbing every extra copy.
+    let t = MonotoneBroadcast::new(Box::new(tc_datalog()));
+    let policy = HashPolicy::new(Network::of_size(4));
+    for seed in 0..10u64 {
+        let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xFACE);
+        let input = Instance::from_facts((0..5).map(|_| {
+            fact(
+                "E",
+                [(rng.gen_u64() % 6) as i64, (rng.gen_u64() % 6) as i64],
+            )
+        }));
+        let mk = |plan: FaultPlan| {
+            run_threaded(
+                &ThreadedNetwork {
+                    programs: Programs::Shared(&t),
+                    policy: &policy,
+                    config: SystemConfig::ORIGINAL,
+                },
+                &input,
+                &ThreadedConfig::new(2).with_faults(plan),
+            )
+        };
+        let clean = mk(FaultPlan::none(seed));
+        let dup = mk(FaultPlan::uniform(seed, 0.0, 0.9));
+        assert!(clean.quiescent && dup.quiescent, "seed {seed}");
+        assert_eq!(
+            dup.output, clean.output,
+            "seed {seed}: output must not change"
+        );
+        assert_eq!(
+            dup.metrics.messages_sent, clean.metrics.messages_sent,
+            "seed {seed}: duplication is invisible to engine-level sends"
+        );
+        assert!(
+            dup.faults.duplicates_injected > 0,
+            "seed {seed}: the plan must actually inject duplicates"
+        );
+        assert_eq!(
+            dup.faults.attempts,
+            dup.faults.delivered_batches + dup.faults.duplicates_suppressed + dup.faults.dropped,
+            "seed {seed}: every injected copy is delivered once or suppressed"
+        );
+    }
+}
+
+#[test]
+fn link_counters_reconcile_under_random_fault_plans() {
+    // Property: whatever the fault plan does, per-link wire accounting
+    // balances — every attempt is delivered, suppressed, dropped, or
+    // still buffered — and the global stats agree with the per-link
+    // sums.
+    let t = MonotoneBroadcast::new(Box::new(tc_datalog()));
+    let policy = HashPolicy::new(Network::of_size(4));
+    for seed in 0..12u64 {
+        let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xACC7);
+        let input = Instance::from_facts((0..4).map(|_| {
+            fact(
+                "E",
+                [(rng.gen_u64() % 5) as i64, (rng.gen_u64() % 5) as i64],
+            )
+        }));
+        let drop_p = (rng.gen_u64() % 30) as f64 / 100.0;
+        let dup_p = (rng.gen_u64() % 30) as f64 / 100.0;
+        let plan = FaultPlan::uniform(seed, drop_p, dup_p).with_delay(0.2, 4);
+        let r = run_threaded(
+            &ThreadedNetwork {
+                programs: Programs::Shared(&t),
+                policy: &policy,
+                config: SystemConfig::ORIGINAL,
+            },
+            &input,
+            &ThreadedConfig::new(3).with_faults(plan),
+        );
+        assert!(r.quiescent, "seed {seed} (drop {drop_p}, dup {dup_p})");
+        let mut sums = (0u64, 0u64, 0u64, 0u64, 0u64);
+        for ((src, dst), lc) in &r.link_counters {
+            assert_eq!(
+                lc.attempts,
+                lc.delivered + lc.suppressed + lc.dropped + lc.buffered,
+                "seed {seed}: link {src}->{dst} must reconcile"
+            );
+            sums.0 += lc.attempts;
+            sums.1 += lc.delivered;
+            sums.2 += lc.suppressed;
+            sums.3 += lc.dropped;
+            sums.4 += lc.buffered;
+        }
+        let f = &r.faults;
+        assert_eq!(f.attempts, sums.0, "seed {seed}: global attempts");
+        assert_eq!(f.delivered_batches, sums.1, "seed {seed}: global delivered");
+        assert_eq!(
+            f.duplicates_suppressed, sums.2,
+            "seed {seed}: global suppressed"
+        );
+        assert_eq!(f.dropped, sums.3, "seed {seed}: global dropped");
+        assert_eq!(sums.4, 0, "seed {seed}: quiescent run left wires buffered");
+    }
+}

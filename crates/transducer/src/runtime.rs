@@ -436,9 +436,23 @@ pub fn run_with(
         deliver_p,
     } = scheduler
     {
+        // Guards against a degenerate schedule. A non-finite or
+        // out-of-range probability falls back into [0, 1]; and the
+        // random prefix may claim at most half the transition budget —
+        // at `deliver_p = 0` every prefix transition is a heartbeat or
+        // an empty sampled delivery, so an unbounded prefix would spin
+        // the whole budget away without delivering a single message
+        // and the closing sweeps (which provide the fairness the
+        // formal model demands) would never run.
+        let deliver_p = if deliver_p.is_finite() {
+            deliver_p.clamp(0.0, 1.0)
+        } else {
+            DEFAULT_DELIVER_P
+        };
+        let prefix = (*prefix).min(max_transitions / 2);
         let mut rng = Rng::seed_from_u64(*seed);
         let nodes: Vec<NodeId> = tn.policy.network().nodes().cloned().collect();
-        for _ in 0..*prefix {
+        for _ in 0..prefix {
             if metrics.transitions >= max_transitions {
                 break;
             }
@@ -448,7 +462,7 @@ pub fn run_with(
                 1 => Delivery::None,
                 _ => Delivery::Sample {
                     seed: rng.gen_u64(),
-                    deliver_p: *deliver_p,
+                    deliver_p,
                 },
             };
             // Only full deliveries are recorded in the delivered-set (a
@@ -657,6 +671,46 @@ mod tests {
             let r = run(&tn, &input, &Scheduler::random(seed, 60), 10_000);
             assert!(r.quiescent, "seed {seed}");
             assert_eq!(r.output, expected, "confluence under seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_delivery_scheduler_terminates_via_heartbeats() {
+        // Regression: at `deliver_p = 0` every prefix transition is a
+        // heartbeat or an empty sampled delivery. An unbounded prefix
+        // used to spin the entire transition budget without delivering
+        // a single message, so the closing sweeps never ran and the
+        // run livelocked into a non-quiescent report. The prefix cap
+        // reserves budget for the sweeps: the run still quiesces, on
+        // the right output, with the prefix visible as heartbeats.
+        let net = Network::of_size(3);
+        let policy = HashPolicy::new(net);
+        let t = union_transducer();
+        let tn = TransducerNetwork {
+            transducer: &t,
+            policy: &policy,
+            config: SystemConfig::ORIGINAL,
+        };
+        let input = calm_common::generator::path(4);
+        let expected = expected_out(&input);
+        for deliver_p in [0.0, f64::NAN, -3.0] {
+            let r = run(
+                &tn,
+                &input,
+                &Scheduler::Random {
+                    seed: 3,
+                    prefix: usize::MAX,
+                    deliver_p,
+                },
+                2_000,
+            );
+            assert!(r.quiescent, "sweeps must still run at p={deliver_p}");
+            assert_eq!(r.output, expected, "p={deliver_p}");
+            assert!(r.metrics.heartbeats > 0, "the prefix ran, as heartbeats");
+            assert!(
+                r.metrics.transitions <= 2_000,
+                "budget respected at p={deliver_p}"
+            );
         }
     }
 
