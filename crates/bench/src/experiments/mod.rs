@@ -1,10 +1,11 @@
-//! The experiment suite: one function per experiment id (E1–E20, see
+//! The experiment suite: one function per experiment id (E1–E21, see
 //! DESIGN.md's per-experiment index), each returning a [`Report`].
 
 mod engine;
 mod faults;
 mod fragments;
 mod hierarchy;
+mod parallel;
 mod policies;
 mod strategies;
 mod threaded;
@@ -19,6 +20,7 @@ pub use fragments::{e12_example51, e13_components, e14_semicon, e15_wilog};
 pub use hierarchy::{
     e1_hierarchy, e2_bounded_m, e3_clique_ladder, e4_star_ladder, e5_cross, e6_preservation,
 };
+pub use parallel::{e21_parallel, e21_parallel_obs};
 pub use policies::e7_policies;
 pub use strategies::{
     e10_no_all, e11_strategy_costs, e11_strategy_costs_obs, e8_distinct_model, e9_disjoint_model,
@@ -73,6 +75,7 @@ pub fn all() -> Vec<Experiment> {
         ("e18", Runner::Obs(e18_engine_obs)),
         ("e19", Runner::Obs(e19_threaded_obs)),
         ("e20", Runner::Obs(e20_faults_obs)),
+        ("e21", Runner::Obs(e21_parallel_obs)),
     ]
 }
 
@@ -138,7 +141,7 @@ mod tests {
         dedup.dedup();
         assert_eq!(ids, dedup);
         assert_eq!(ids[0], "e1");
-        assert_eq!(ids.len(), 19);
+        assert_eq!(ids.len(), 20);
     }
 
     #[test]

@@ -252,16 +252,27 @@ pub fn e11_strategy_costs_obs(obs: &Obs) -> Report {
     // what reliable delivery costs (retransmits) and absorbs (dups) on
     // top of the engine-level sends — and that the output survives.
     let mut lossy_ok = true;
+    // Determinism companion: every strategy row also re-runs with its
+    // node-local fixpoints partitioned over 2 eval threads; the whole
+    // RunResult (output and Metrics) must be byte-identical.
+    let mut parallel_ok = true;
     for &vertices in &[8usize, 16, 32] {
         let input = scaling_graph(11, vertices, 1.5);
         for &n in &[2usize, 4] {
-            let mut measure =
-                |label: &str, tn: &TransducerNetwork<'_>, lossy: Option<(u64, u64)>| {
-                    let _span = obs.span("bench", || format!("e11:{label} |V|={vertices} n={n}"));
-                    let rr = run_with(tn, &input, &Scheduler::RoundRobin, 2_000_000, obs);
-                    push_cost_row(&mut rows, label, vertices, n, &rr, lossy);
-                    rr
-                };
+            let mut measure = |label: &str,
+                               tn: &TransducerNetwork<'_>,
+                               lossy: Option<(u64, u64)>,
+                               par: Option<&TransducerNetwork<'_>>| {
+                let _span = obs.span("bench", || format!("e11:{label} |V|={vertices} n={n}"));
+                let rr = run_with(tn, &input, &Scheduler::RoundRobin, 2_000_000, obs);
+                let par_identical = par.map(|ptn| {
+                    let rp = run(ptn, &input, &Scheduler::RoundRobin, 2_000_000);
+                    rp.output == rr.output && rp.metrics == rr.metrics
+                });
+                parallel_ok &= par_identical.unwrap_or(true);
+                push_cost_row(&mut rows, label, vertices, n, &rr, lossy, par_identical);
+                rr
+            };
 
             // M strategy on TC.
             let m_factory =
@@ -282,7 +293,13 @@ pub fn e11_strategy_costs_obs(obs: &Obs) -> Report {
                 policy: &policy,
                 config: SystemConfig::ORIGINAL,
             };
-            let rm = measure("M/broadcast (TC)", &tn, Some(lossy));
+            let m_par = MonotoneBroadcast::new(Box::new(tc_datalog().with_eval_threads(2)));
+            let tn_par = TransducerNetwork {
+                transducer: &m_par,
+                policy: &policy,
+                config: SystemConfig::ORIGINAL,
+            };
+            let rm = measure("M/broadcast (TC)", &tn, Some(lossy), Some(&tn_par));
 
             // Mdistinct strategy on the SP query (facts + non-facts).
             let d_factory = || {
@@ -305,7 +322,14 @@ pub fn e11_strategy_costs_obs(obs: &Obs) -> Report {
                 policy: &policy,
                 config: SystemConfig::POLICY_AWARE,
             };
-            let rd = measure("Mdistinct/non-facts (SP)", &tn, Some(lossy));
+            let d_par =
+                DistinctStrategy::new(Box::new(edges_without_source_loop().with_eval_threads(2)));
+            let tn_par = TransducerNetwork {
+                transducer: &d_par,
+                policy: &policy,
+                config: SystemConfig::POLICY_AWARE,
+            };
+            let rd = measure("Mdistinct/non-facts (SP)", &tn, Some(lossy), Some(&tn_par));
 
             // Mdisjoint strategy on Q_TC (request/OK protocol).
             let j_factory =
@@ -326,7 +350,18 @@ pub fn e11_strategy_costs_obs(obs: &Obs) -> Report {
                 policy: &policy,
                 config: SystemConfig::POLICY_AWARE,
             };
-            let rj = measure("Mdisjoint/request-OK (Q_TC)", &tn, Some(lossy));
+            let j_par = DisjointStrategy::new(Box::new(qtc_datalog().with_eval_threads(2)));
+            let tn_par = TransducerNetwork {
+                transducer: &j_par,
+                policy: &policy,
+                config: SystemConfig::POLICY_AWARE,
+            };
+            let rj = measure(
+                "Mdisjoint/request-OK (Q_TC)",
+                &tn,
+                Some(lossy),
+                Some(&tn_par),
+            );
 
             if vertices == 32 && n == 4 {
                 largest = [
@@ -350,7 +385,7 @@ pub fn e11_strategy_costs_obs(obs: &Obs) -> Report {
                 policy: &policy,
                 config: SystemConfig::ORIGINAL,
             };
-            measure("declarative/net-compiled (TC)", &tn, None);
+            measure("declarative/net-compiled (TC)", &tn, None, None);
         }
     }
     r.table(markdown_table(
@@ -368,6 +403,7 @@ pub fn e11_strategy_costs_obs(obs: &Obs) -> Report {
             "first output at",
             "retransmits (lossy)",
             "dups suppressed (lossy)",
+            "eval T=2",
             "quiescent",
         ],
         &rows,
@@ -376,6 +412,11 @@ pub fn e11_strategy_costs_obs(obs: &Obs) -> Report {
         "goodput under loss: every strategy row reproduces its output on the lossy threaded run",
         "drop 10% / dup 5% per link, 2 workers — reliable delivery restores fairness",
         lossy_ok,
+    );
+    r.claim(
+        "data-parallel node fixpoints (--eval-threads 2) leave every strategy row byte-identical",
+        "same output and RunResult metrics on every |V| × n configuration",
+        parallel_ok,
     );
     // The ordering claim implicit in §4.3: non-fact broadcasting costs
     // more than fact broadcasting; the per-value protocol more than both
@@ -456,6 +497,7 @@ fn lossy_counters(
     (thr.faults.retransmissions, thr.faults.duplicates_suppressed)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn push_cost_row(
     rows: &mut Vec<Vec<String>>,
     name: &str,
@@ -463,6 +505,7 @@ fn push_cost_row(
     n: usize,
     rr: &calm_transducer::RunResult,
     lossy: Option<(u64, u64)>,
+    par_identical: Option<bool>,
 ) {
     // Native Rust strategies bypass the Datalog engine: their engine
     // counters are structurally zero, shown as "-".
@@ -491,6 +534,9 @@ fn push_cost_row(
             .map_or("-".into(), |k| k.to_string()),
         lossy.map_or("-".into(), |(r, _)| r.to_string()),
         lossy.map_or("-".into(), |(_, d)| d.to_string()),
+        par_identical.map_or("-".into(), |ok| {
+            if ok { "identical" } else { "DIVERGED" }.to_string()
+        }),
         rr.quiescent.to_string(),
     ]);
 }

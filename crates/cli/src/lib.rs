@@ -96,6 +96,17 @@ fn build_obs(
 ) -> Result<(Obs, Option<Arc<ReportSink>>), CliError> {
     let mut sinks: Vec<Arc<dyn Sink>> = extra;
     if let Some(prefix) = &opts.trace_out {
+        // A prefix like `out/run42/trace` usually points into a directory
+        // that doesn't exist yet; create it rather than surfacing the
+        // opaque ENOENT the sink would hit.
+        if let Some(dir) = prefix.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).map_err(|e| {
+                err(format!(
+                    "--trace-out: cannot create directory '{}': {e}",
+                    dir.display()
+                ))
+            })?;
+        }
         let jsonl = JsonlSink::create(&trace_path(prefix, "jsonl"))
             .map_err(|e| err(format!("--trace-out: {e}")))?;
         let chrome = ChromeTraceSink::create(&trace_path(prefix, "trace.json"))
@@ -131,10 +142,22 @@ pub fn cmd_eval_opts(
     facts_src: &str,
     obs_opts: &ObsOptions,
 ) -> Result<String, CliError> {
+    cmd_eval_full(program_src, facts_src, obs_opts, 1)
+}
+
+/// As [`cmd_eval_opts`], running every stratum fixpoint with
+/// `eval_threads` data-parallel workers (`--eval-threads N`; the answer
+/// is byte-identical for any thread count).
+pub fn cmd_eval_full(
+    program_src: &str,
+    facts_src: &str,
+    obs_opts: &ObsOptions,
+    eval_threads: usize,
+) -> Result<String, CliError> {
     let p = load_program(program_src)?;
     let input = load_facts(facts_src)?;
     let (obs, report) = build_obs(obs_opts, Vec::new())?;
-    let answer = calm_datalog::eval::eval_query_obs(&p, &input, &obs)
+    let answer = calm_datalog::eval::eval_query_opts(&p, &input, &obs, eval_threads)
         .map_err(|e| err(format!("evaluation: {e}")))?;
     obs.finish();
     let mut out = render_instance(&answer);
@@ -147,9 +170,24 @@ pub fn cmd_eval_opts(
 /// `calm wfs`: well-founded semantics; prints true facts and, when the
 /// model is partial, the undefined facts.
 pub fn cmd_wfs(program_src: &str, facts_src: &str) -> Result<String, CliError> {
+    cmd_wfs_opts(program_src, facts_src, 1)
+}
+
+/// As [`cmd_wfs`], running the alternating-fixpoint inner loops with
+/// `eval_threads` data-parallel workers (`--eval-threads N`).
+pub fn cmd_wfs_opts(
+    program_src: &str,
+    facts_src: &str,
+    eval_threads: usize,
+) -> Result<String, CliError> {
     let p = load_program(program_src)?;
     let input = load_facts(facts_src)?;
-    let model = calm_datalog::well_founded_model(&p, &input);
+    let model = calm_datalog::well_founded_model_opts(
+        &p,
+        &input,
+        calm_datalog::eval::EvalOptions::default().with_eval_threads(eval_threads),
+        &Obs::noop(),
+    );
     let out_schema = p.output_schema();
     let mut out = String::new();
     let _ = writeln!(out, "% true");
@@ -311,13 +349,18 @@ type StrategyTriple = (
 );
 
 /// Build the strategy/policy/system-config triple for a strategy name.
+/// `eval_threads` data-parallel workers run inside every node-local
+/// fixpoint of the strategy's query (1 = sequential).
 fn build_strategy(
     program_src: &str,
     strategy: &str,
     nodes: usize,
+    eval_threads: usize,
 ) -> Result<StrategyTriple, CliError> {
     let p = load_program(program_src)?;
-    let q = DatalogQuery::new("query", p).map_err(|e| err(e.to_string()))?;
+    let q = DatalogQuery::new("query", p)
+        .map_err(|e| err(e.to_string()))?
+        .with_eval_threads(eval_threads);
     let net = Network::of_size(nodes);
     Ok(match strategy {
         "monotone" | "broadcast" => (
@@ -376,12 +419,43 @@ pub fn cmd_simulate_engine(
     obs_opts: &ObsOptions,
     engine: Engine,
 ) -> Result<String, CliError> {
+    cmd_simulate_run(
+        program_src,
+        facts_src,
+        nodes,
+        strategy,
+        trace,
+        obs_opts,
+        engine,
+        1,
+    )
+}
+
+/// As [`cmd_simulate_engine`], running every node-local fixpoint with
+/// `eval_threads` data-parallel workers (`--eval-threads N`): the
+/// threaded engine then runs `workers × eval_threads` threads in total.
+/// Output is byte-identical for any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn cmd_simulate_run(
+    program_src: &str,
+    facts_src: &str,
+    nodes: usize,
+    strategy: &str,
+    trace: bool,
+    obs_opts: &ObsOptions,
+    engine: Engine,
+    eval_threads: usize,
+) -> Result<String, CliError> {
     let input = load_facts(facts_src)?;
     if nodes == 0 {
         return Err(err("--nodes must be at least 1"));
     }
-    let (transducer, policy, config) = build_strategy(program_src, strategy, nodes)?;
+    let eval_threads = eval_threads.max(1);
+    let (transducer, policy, config) = build_strategy(program_src, strategy, nodes, eval_threads)?;
     let mut out = String::new();
+    if eval_threads > 1 {
+        let _ = writeln!(out, "% eval threads: {eval_threads}");
+    }
 
     let trace_sink = trace.then(|| Arc::new(TraceSink::new()));
     let extra: Vec<Arc<dyn Sink>> = trace_sink
@@ -423,7 +497,7 @@ pub fn cmd_simulate_engine(
             // and scratch database) so steps never contend on a shared
             // evaluation context.
             let factory = move || {
-                let (t, _, _) = build_strategy(program_src, strategy, nodes)
+                let (t, _, _) = build_strategy(program_src, strategy, nodes, eval_threads)
                     .expect("strategy built once already");
                 t
             };
@@ -528,23 +602,30 @@ pub const USAGE: &str = "\
 calm — weaker forms of monotonicity for declarative networking
 
 USAGE:
-  calm eval      <program.dl> <facts.dl> [--trace-out PREFIX] [--metrics]
-  calm wfs       <program.dl> <facts.dl>
+  calm eval      <program.dl> <facts.dl> [--eval-threads N] [--trace-out PREFIX] [--metrics]
+  calm wfs       <program.dl> <facts.dl> [--eval-threads N]
   calm classify  <program.dl>
   calm stratify  <program.dl>
   calm check     <program.dl> [--class m|distinct|disjoint] [--trials N]
   calm simulate  <program.dl> <facts.dl> [--nodes N] [--strategy monotone|distinct|disjoint]
-                 [--engine sequential|threaded] [--workers N] [--faults SPEC]
-                 [--trace] [--trace-out PREFIX] [--metrics]
+                 [--engine sequential|threaded] [--workers N] [--eval-threads N]
+                 [--faults SPEC] [--trace] [--trace-out PREFIX] [--metrics]
 
   --trace-out PREFIX writes a structured event log to PREFIX.jsonl and a
   Chrome trace (load at ui.perfetto.dev or chrome://tracing) to
-  PREFIX.trace.json; --metrics appends a run report to stdout.
+  PREFIX.trace.json (missing directories in PREFIX are created);
+  --metrics appends a run report to stdout.
+
+  --eval-threads N partitions every rule evaluation inside each fixpoint
+  over N data-parallel worker threads. The derived database, metrics and
+  printed output are byte-identical to the sequential run (N=1, the
+  default) at any thread count.
 
   --engine threaded runs the network on the calm-net executor: nodes
   sharded over worker threads (--workers N, 0 or unset = one per core),
   quiescence detected by a Safra-style token ring. Output is identical
-  to the sequential engine for coordination-free strategies.
+  to the sequential engine for coordination-free strategies. With
+  --eval-threads T the run uses W network workers x T eval threads.
 
   --faults SPEC (threaded engine only) runs the network through the
   seeded fault-injection + reliable-delivery substrate and prints the
@@ -708,12 +789,126 @@ mod tests {
 
     #[test]
     fn trace_out_to_bad_path_is_a_friendly_error() {
+        // A prefix whose parent is a regular file can never be created;
+        // the error must name the flag and the offending directory.
+        let blocker = std::env::temp_dir().join(format!("calm-cli-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").unwrap();
         let opts = ObsOptions {
-            trace_out: Some(PathBuf::from("/nonexistent-dir/trace")),
+            trace_out: Some(blocker.join("trace")),
             metrics: false,
         };
         let e = cmd_eval_opts(TC, FACTS, &opts).unwrap_err();
         assert!(e.0.contains("--trace-out"), "{e}");
+        assert!(e.0.contains("cannot create directory"), "{e}");
+        assert!(e.0.contains(&blocker.display().to_string()), "{e}");
+        let _ = std::fs::remove_file(blocker);
+    }
+
+    #[test]
+    fn trace_out_creates_missing_parent_directories() {
+        let root = std::env::temp_dir().join(format!("calm-cli-mkdir-{}", std::process::id()));
+        let prefix = root.join("nested").join("run").join("trace");
+        let opts = ObsOptions {
+            trace_out: Some(prefix.clone()),
+            metrics: false,
+        };
+        let out = cmd_eval_opts(TC, FACTS, &opts).unwrap();
+        assert!(out.contains("T(1,3)."), "{out}");
+        let jsonl = std::fs::read_to_string(trace_path(&prefix, "jsonl")).unwrap();
+        assert!(!jsonl.is_empty());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn eval_threads_produce_identical_output() {
+        let opts = ObsOptions::default();
+        let seq = cmd_eval(QTC, FACTS).unwrap();
+        for threads in [2, 8] {
+            let par = cmd_eval_full(QTC, FACTS, &opts, threads).unwrap();
+            assert_eq!(seq, par, "eval --eval-threads {threads} diverged");
+        }
+    }
+
+    #[test]
+    fn wfs_threads_produce_identical_output() {
+        let program = "win(x) :- move(x,y), not win(y).";
+        let facts = "move(1,2). move(2,1). move(2,3).";
+        let seq = cmd_wfs(program, facts).unwrap();
+        for threads in [2, 8] {
+            let par = cmd_wfs_opts(program, facts, threads).unwrap();
+            assert_eq!(seq, par, "wfs --eval-threads {threads} diverged");
+        }
+    }
+
+    #[test]
+    fn simulate_eval_threads_prints_knob_and_matches() {
+        let opts = ObsOptions::default();
+        // Sequential engine with data-parallel node fixpoints.
+        let out = cmd_simulate_run(
+            QTC,
+            FACTS,
+            2,
+            "disjoint",
+            false,
+            &opts,
+            Engine::Sequential,
+            4,
+        )
+        .unwrap();
+        assert!(out.contains("% eval threads: 4"), "{out}");
+        assert!(
+            out.contains("% matches centralized evaluation: true"),
+            "{out}"
+        );
+        // Threaded engine: W network workers x T eval threads.
+        let thr = cmd_simulate_run(
+            TC,
+            FACTS,
+            3,
+            "monotone",
+            false,
+            &opts,
+            Engine::Threaded {
+                workers: 2,
+                faults: None,
+            },
+            4,
+        )
+        .unwrap();
+        assert!(thr.contains("% eval threads: 4"), "{thr}");
+        assert!(thr.contains("% engine: threaded, workers: 2"), "{thr}");
+        assert!(
+            thr.contains("% matches centralized evaluation: true"),
+            "{thr}"
+        );
+        // eval_threads = 1 stays silent.
+        let one = cmd_simulate(TC, FACTS, 2, "monotone").unwrap();
+        assert!(!one.contains("% eval threads:"), "{one}");
+    }
+
+    #[test]
+    fn simulate_chaos_with_eval_threads_matches_sequential_oracle() {
+        // The end-to-end acceptance run: 8 network workers x 4 eval
+        // threads under 5% message loss must match the sequential
+        // oracle byte for byte (modulo '%' diagnostic lines).
+        let opts = ObsOptions::default();
+        let facts = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with('%'))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        for (program, strategy) in [(TC, "monotone"), (QTC, "disjoint")] {
+            let seq = cmd_simulate(program, FACTS, 4, strategy).unwrap();
+            let engine =
+                parse_engine(Some("threaded"), Some("8"), Some("seed=3,drop=0.05")).unwrap();
+            let thr =
+                cmd_simulate_run(program, FACTS, 4, strategy, false, &opts, engine, 4).unwrap();
+            assert!(thr.contains("% quiescent: true"), "{strategy}: {thr}");
+            assert!(thr.contains("% fault stats:"), "{strategy}: {thr}");
+            assert!(thr.contains("% eval threads: 4"), "{strategy}: {thr}");
+            assert_eq!(facts(&seq), facts(&thr), "{strategy}: chaos run diverged");
+        }
     }
 
     #[test]

@@ -32,16 +32,33 @@ fn obs_options(args: &[String]) -> ObsOptions {
     }
 }
 
+fn eval_threads(args: &[String]) -> Result<usize, CliError> {
+    flag_value(args, "--eval-threads")
+        .map(|n| {
+            n.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| CliError("--eval-threads must be a number >= 1".into()))
+        })
+        .transpose()
+        .map(|n| n.unwrap_or(1))
+}
+
 fn dispatch(args: &[String]) -> Result<String, CliError> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
         "eval" => {
             let (p, f) = two_files(args)?;
-            cmd_eval_opts(&read(p)?, &read(f)?, &obs_options(args))
+            cmd_eval_full(
+                &read(p)?,
+                &read(f)?,
+                &obs_options(args),
+                eval_threads(args)?,
+            )
         }
         "wfs" => {
             let (p, f) = two_files(args)?;
-            cmd_wfs(&read(p)?, &read(f)?)
+            cmd_wfs_opts(&read(p)?, &read(f)?, eval_threads(args)?)
         }
         "classify" => cmd_classify(&read(one_file(args)?)?),
         "stratify" => cmd_stratify(&read(one_file(args)?)?),
@@ -73,7 +90,7 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
                 flag_value(args, "--workers"),
                 flag_value(args, "--faults"),
             )?;
-            cmd_simulate_engine(
+            cmd_simulate_run(
                 &read(p)?,
                 &read(f)?,
                 nodes,
@@ -81,6 +98,7 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
                 trace,
                 &obs_options(args),
                 engine,
+                eval_threads(args)?,
             )
         }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),

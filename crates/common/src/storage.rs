@@ -29,6 +29,19 @@
 //! innermost join loop up to benchmark and experiment reports: fixpoint
 //! iterations, derivations, index probes/hits and bytes moved into
 //! storage.
+//!
+//! [`Storage`] and [`Relation`] hold no interior mutability, so a
+//! `&Storage` is freely shareable across threads: the data-parallel
+//! semi-naive driver hands read-only views of the same store (rows,
+//! delta watermarks and indexes) to scoped worker threads and merges
+//! their derivation buffers back through [`Storage::insert_batch`] on
+//! the single mutating thread. A compile-time assertion below pins the
+//! `Send + Sync` guarantee.
+//!
+//! Ids are `u32`s; the interning and row-id paths use *checked*
+//! conversions that panic with a clear "interning capacity" message
+//! instead of silently wrapping past 2^32 and aliasing unrelated
+//! symbols or rows.
 
 use crate::fact::{rel, RelName};
 use crate::instance::Instance;
@@ -52,13 +65,45 @@ pub struct Sym(pub u32);
 /// A tuple of interned values — the row type of [`Relation`].
 pub type SymTuple = Vec<Sym>;
 
+/// Allocate the next `u32` id for a collection currently holding `len`
+/// entries, panicking with a clear message once `cap` ids are in use.
+///
+/// Ids are indexes, so a collection of `len` entries hands out id `len`
+/// next; `cap` is normally `u32::MAX` (tests inject a small cap to
+/// exercise the guard). Without this check the former `as u32` casts
+/// silently wrapped past 2^32 and aliased unrelated symbols or rows.
+#[inline]
+fn checked_id(len: usize, cap: u32, what: &str) -> u32 {
+    assert!(
+        len < cap as usize,
+        "interning capacity exhausted: cannot allocate a new {what} id \
+         ({len} already interned, capacity {cap}; ids are u32)"
+    );
+    len as u32
+}
+
 /// Bidirectional interner for relation names and domain values.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SymbolTable {
     rel_names: Vec<RelName>,
     rel_ids: HashMap<RelName, RelId>,
     values: Vec<Value>,
     value_ids: HashMap<Value, Sym>,
+    /// Maximum number of ids handed out per namespace; `u32::MAX` in
+    /// production, injectable for tests of the overflow guard.
+    id_cap: u32,
+}
+
+impl Default for SymbolTable {
+    fn default() -> Self {
+        SymbolTable {
+            rel_names: Vec::new(),
+            rel_ids: HashMap::new(),
+            values: Vec::new(),
+            value_ids: HashMap::new(),
+            id_cap: u32::MAX,
+        }
+    }
 }
 
 impl SymbolTable {
@@ -67,12 +112,22 @@ impl SymbolTable {
         SymbolTable::default()
     }
 
+    /// An empty table that panics after `cap` ids per namespace — used
+    /// by tests to exercise the interning-capacity guard without
+    /// interning 2^32 values.
+    pub fn with_id_capacity(cap: u32) -> Self {
+        SymbolTable {
+            id_cap: cap,
+            ..SymbolTable::default()
+        }
+    }
+
     /// Intern a relation name.
     pub fn rel(&mut self, name: &str) -> RelId {
         if let Some(&id) = self.rel_ids.get(name) {
             return id;
         }
-        let id = RelId(self.rel_names.len() as u32);
+        let id = RelId(checked_id(self.rel_names.len(), self.id_cap, "relation"));
         let name = rel(name);
         self.rel_names.push(name.clone());
         self.rel_ids.insert(name, id);
@@ -99,7 +154,7 @@ impl SymbolTable {
         if let Some(&s) = self.value_ids.get(v) {
             return s;
         }
-        let s = Sym(self.values.len() as u32);
+        let s = Sym(checked_id(self.values.len(), self.id_cap, "value"));
         self.values.push(v.clone());
         self.value_ids.insert(v.clone(), s);
         s
@@ -155,7 +210,7 @@ impl SharedSymbols {
 
 /// One relation's rows: deduplicated, in insertion order, with
 /// incrementally maintained per-column indexes and a delta watermark.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Relation {
     rows: Vec<SymTuple>,
     seen: HashSet<SymTuple>,
@@ -163,16 +218,41 @@ pub struct Relation {
     /// whose `col`-th component is that symbol.
     indexes: Vec<Option<HashMap<Sym, Vec<u32>>>>,
     delta_start: usize,
+    /// Maximum number of row ids; `u32::MAX` in production, injectable
+    /// for tests of the overflow guard.
+    row_cap: u32,
+}
+
+impl Default for Relation {
+    fn default() -> Self {
+        Relation {
+            rows: Vec::new(),
+            seen: HashSet::new(),
+            indexes: Vec::new(),
+            delta_start: 0,
+            row_cap: u32::MAX,
+        }
+    }
 }
 
 impl Relation {
+    /// An empty relation that panics after `cap` rows — used by tests
+    /// to exercise the row-id capacity guard without inserting 2^32
+    /// rows.
+    pub fn with_row_capacity(cap: u32) -> Self {
+        Relation {
+            row_cap: cap,
+            ..Relation::default()
+        }
+    }
+
     /// Insert a row; returns `true` when new. Every built index is
     /// updated in place — indexes never need rebuilding.
     pub fn insert(&mut self, t: SymTuple) -> bool {
         if self.seen.contains(&t) {
             return false;
         }
-        let row_id = self.rows.len() as u32;
+        let row_id = checked_id(self.rows.len(), self.row_cap, "row");
         for (col, index) in self.indexes.iter_mut().enumerate() {
             if let (Some(map), Some(&s)) = (index.as_mut(), t.get(col)) {
                 map.entry(s).or_default().push(row_id);
@@ -231,6 +311,8 @@ impl Relation {
         let mut map: HashMap<Sym, Vec<u32>> = HashMap::new();
         for (row_id, t) in self.rows.iter().enumerate() {
             if let Some(&s) = t.get(col) {
+                // Row ids already passed the capacity guard on insert,
+                // so this re-derivation cannot overflow.
                 map.entry(s).or_default().push(row_id as u32);
             }
         }
@@ -298,6 +380,29 @@ impl Storage {
         new
     }
 
+    /// Bulk-insert rows into one relation — the merge edge of the
+    /// data-parallel fixpoint. Returns `(new_rows, bytes_moved)`,
+    /// where bytes count only the tuples that were actually new; the
+    /// relation is resolved once for the whole batch instead of per
+    /// row.
+    pub fn insert_batch<I>(&mut self, r: RelId, rows: I) -> (usize, usize)
+    where
+        I: IntoIterator<Item = SymTuple>,
+    {
+        let rel = self.relation_mut(r);
+        let mut added = 0;
+        let mut bytes = 0;
+        for row in rows {
+            let row_bytes = row.len() * std::mem::size_of::<Sym>();
+            if rel.insert(row) {
+                added += 1;
+                bytes += row_bytes;
+            }
+        }
+        self.count += added;
+        (added, bytes)
+    }
+
     /// Membership test.
     pub fn contains(&self, r: RelId, t: &[Sym]) -> bool {
         self.relation(r).is_some_and(|rel| rel.contains(t))
@@ -362,6 +467,16 @@ impl Storage {
         self.count = 0;
     }
 }
+
+/// The data-parallel semi-naive driver shares `&Storage` across scoped
+/// worker threads; this pins the `Send + Sync` guarantee at compile
+/// time so a later addition of interior mutability cannot silently
+/// introduce data races.
+const _: () = {
+    const fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<Storage>();
+    assert_shareable::<Relation>();
+};
 
 /// Engine-level counters for one evaluation run, threaded from the
 /// innermost join loop up to benchmark and experiment reports.
@@ -572,6 +687,67 @@ mod tests {
         assert_eq!(st.relation(e).unwrap().probe(0, s3), Some(&[0u32][..]));
         let s1 = t.sym(&v(1));
         assert_eq!(st.relation(e).unwrap().probe(0, s1), Some(&[][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "interning capacity exhausted")]
+    fn value_interning_capacity_guard_panics_instead_of_wrapping() {
+        let mut t = SymbolTable::with_id_capacity(3);
+        for k in 0..4 {
+            t.sym(&v(k)); // the 4th distinct value must trip the guard
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "interning capacity exhausted")]
+    fn relation_interning_capacity_guard_panics_instead_of_wrapping() {
+        let mut t = SymbolTable::with_id_capacity(2);
+        t.rel("A");
+        t.rel("B");
+        t.rel("C");
+    }
+
+    #[test]
+    fn interning_capacity_guard_only_fires_for_fresh_ids() {
+        let mut t = SymbolTable::with_id_capacity(2);
+        let a = t.sym(&v(1));
+        t.sym(&v(2));
+        // Re-interning existing values allocates no id: no panic.
+        assert_eq!(t.sym(&v(1)), a);
+        assert_eq!(t.sym_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "interning capacity exhausted")]
+    fn row_id_capacity_guard_panics_instead_of_wrapping() {
+        let mut t = SymbolTable::new();
+        let mut r = Relation::with_row_capacity(2);
+        assert!(r.insert(syms(&mut t, &[1])));
+        assert!(r.insert(syms(&mut t, &[2])));
+        assert!(!r.insert(syms(&mut t, &[1]))); // duplicate: no id, no panic
+        r.insert(syms(&mut t, &[3])); // 3rd distinct row must trip the guard
+    }
+
+    #[test]
+    fn insert_batch_counts_new_rows_and_bytes() {
+        let mut t = SymbolTable::new();
+        let mut st = Storage::new();
+        let e = t.rel("E");
+        st.insert(e, syms(&mut t, &[1, 2]));
+        let batch = vec![
+            syms(&mut t, &[1, 2]), // duplicate of the existing row
+            syms(&mut t, &[2, 3]),
+            syms(&mut t, &[3, 4]),
+            syms(&mut t, &[2, 3]), // duplicate within the batch
+        ];
+        let (added, bytes) = st.insert_batch(e, batch);
+        assert_eq!(added, 2);
+        assert_eq!(bytes, 2 * 2 * std::mem::size_of::<Sym>());
+        assert_eq!(st.len(), 3);
+        // Insertion order within the batch is preserved.
+        let rows = st.relation(e).unwrap().rows();
+        assert_eq!(rows[1], syms(&mut t, &[2, 3]));
+        assert_eq!(rows[2], syms(&mut t, &[3, 4]));
     }
 
     #[test]

@@ -66,14 +66,70 @@ pub fn compile_rule_ordered(
     compile_rule(&ordered, table, is_current_idb)
 }
 
-/// Greedy atom ordering: repeatedly pick the unplaced atom with the most
-/// already-bound variables (ties: most constants, then fewest new
-/// variables, then original position for determinism).
+/// Component-aware atom ordering.
+///
+/// The body's positive atoms are first grouped into connected components
+/// of the "shares a variable" graph (each ground atom is its own
+/// component), then each component is ordered greedily and the
+/// components are concatenated, larger components first (ties: smallest
+/// original index). Keeping each component contiguous is what matters:
+/// the plain greedy picker used to choose its *first* atom by
+/// fewest-new-variables, which could start with a tiny unrelated
+/// component (e.g. `S(u)` in `O(x) :- S(u), A(x,y), B(y,z)`) and then
+/// re-evaluate the whole `A ⋈ B` join once per `S` row — a Cartesian
+/// prefix that is quadratically worse in index probes. Ordering the
+/// join-bearing components first performs each join's probe work once.
+/// Reordering never changes semantics — the positive body is a
+/// conjunction, and components share no variables.
 fn order_atoms(pos: &[crate::ast::Atom]) -> Vec<crate::ast::Atom> {
     use std::collections::BTreeSet;
-    let mut remaining: Vec<(usize, &crate::ast::Atom)> = pos.iter().enumerate().collect();
-    let mut bound: BTreeSet<&Var> = BTreeSet::new();
-    let mut out = Vec::with_capacity(pos.len());
+    let n = pos.len();
+    let vars: Vec<BTreeSet<&Var>> = pos.iter().map(|a| a.variables().collect()).collect();
+    // Flood-fill connected components over "atoms share a variable".
+    const UNASSIGNED: usize = usize::MAX;
+    let mut comp = vec![UNASSIGNED; n];
+    let mut ncomp = 0;
+    for start in 0..n {
+        if comp[start] != UNASSIGNED {
+            continue;
+        }
+        comp[start] = ncomp;
+        let mut stack = vec![start];
+        while let Some(j) = stack.pop() {
+            for k in 0..n {
+                if comp[k] == UNASSIGNED && !vars[j].is_disjoint(&vars[k]) {
+                    comp[k] = ncomp;
+                    stack.push(k);
+                }
+            }
+        }
+        ncomp += 1;
+    }
+    let mut groups: Vec<Vec<(usize, &crate::ast::Atom)>> = vec![Vec::new(); ncomp];
+    for (i, atom) in pos.iter().enumerate() {
+        groups[comp[i]].push((i, atom));
+    }
+    // Largest component first; ties by smallest original atom index.
+    // Components are independent conjuncts, so the later ones re-run per
+    // binding of the earlier ones — front-load the probe-heavy joins.
+    groups.sort_by_key(|g| (usize::MAX - g.len(), g[0].0));
+    let mut out = Vec::with_capacity(n);
+    for group in groups {
+        greedy_order(group, &mut out);
+    }
+    out
+}
+
+/// Greedy ordering within one connected component: repeatedly pick the
+/// unplaced atom with the most already-bound variables (ties: most
+/// constants, then fewest new variables, then original position for
+/// determinism).
+fn greedy_order<'a>(
+    mut remaining: Vec<(usize, &'a crate::ast::Atom)>,
+    out: &mut Vec<crate::ast::Atom>,
+) {
+    use std::collections::BTreeSet;
+    let mut bound: BTreeSet<&'a Var> = BTreeSet::new();
     while !remaining.is_empty() {
         let (best_idx, _) = remaining
             .iter()
@@ -100,7 +156,6 @@ fn order_atoms(pos: &[crate::ast::Atom]) -> Vec<crate::ast::Atom> {
         bound.extend(atom.variables());
         out.push(atom.clone());
     }
-    out
 }
 
 /// Compile a rule in the body order given, interning relation names and
@@ -280,6 +335,54 @@ mod tests {
             table.rel_name(c.pos[0].relation).as_ref(),
             "B",
             "constant-selective atom first"
+        );
+    }
+
+    #[test]
+    fn ordering_puts_join_components_before_disconnected_singletons() {
+        // Two connected components: {A, B} (share y) and {S}. The plain
+        // greedy picker used to start with S (fewest new variables),
+        // creating a Cartesian prefix; the join-bearing component must
+        // come first.
+        let r = parse_rule("O(x) :- S(u), A(x, y), B(y, z).").unwrap();
+        let mut table = SymbolTable::new();
+        let c = compile_rule_ordered(&r, &mut table, |_| false);
+        let names: Vec<&str> = c
+            .pos
+            .iter()
+            .map(|a| table.rel_name(a.relation).as_ref())
+            .collect();
+        assert_eq!(names, ["A", "B", "S"]);
+    }
+
+    #[test]
+    fn component_ordering_avoids_quadratic_probe_blowup() {
+        // n S-facts alongside an A ⋈ B chain. Starting with S re-runs
+        // the whole A ⋈ B probe work once per S row — O(n²) index
+        // probes; component-aware ordering performs the join once and
+        // only repeats the probe-free S scan — O(n) probes. Derivations
+        // are order-independent (n² full bindings) and pin that both
+        // orders enumerate the same bindings.
+        use crate::eval::database::Database;
+        use crate::eval::seminaive::fixpoint_seminaive;
+        use calm_common::fact::fact;
+        use calm_common::instance::Instance;
+        let n: i64 = 64;
+        let mut facts = Vec::new();
+        for i in 0..n {
+            facts.push(fact("S", [i]));
+            facts.push(fact("A", [i, i]));
+            facts.push(fact("B", [i, i]));
+        }
+        let p = crate::parser::parse_program("O(x) :- S(u), A(x, y), B(y, z).").unwrap();
+        let mut db = Database::from_instance(&Instance::from_facts(facts));
+        let m = fixpoint_seminaive(&p, &mut db);
+        assert_eq!(db.to_instance().relation_len("O"), n as usize);
+        assert_eq!(m.derivations, (n * n) as usize);
+        assert!(
+            m.index_probes <= 4 * n as usize,
+            "index probes not linear: {} for n = {n}",
+            m.index_probes
         );
     }
 

@@ -18,9 +18,11 @@ pub use seminaive::{
     body_valuations, derive_once, fixpoint_naive, fixpoint_seminaive, fixpoint_seminaive_compiled,
     fixpoint_seminaive_compiled_obs, fixpoint_seminaive_frozen, fixpoint_seminaive_frozen_compiled,
     fixpoint_seminaive_frozen_compiled_obs, fixpoint_seminaive_obs, fixpoint_seminaive_with,
-    CompiledProgram, EvalMetrics, EvalOptions, FixpointStats, RuleSet, ValuationQuery,
+    fixpoint_seminaive_with_obs, CompiledProgram, EvalMetrics, EvalOptions, FixpointStats, RuleSet,
+    ValuationQuery,
 };
 pub use stratified::{
-    eval_program, eval_program_with, eval_query, eval_query_obs, eval_stratification,
-    eval_stratification_shared, eval_stratification_shared_obs, Engine,
+    eval_program, eval_program_with, eval_query, eval_query_obs, eval_query_opts,
+    eval_stratification, eval_stratification_opts, eval_stratification_shared,
+    eval_stratification_shared_obs, Engine,
 };

@@ -11,6 +11,24 @@
 //! (no second store, no copying), and the hash indexes used by probe
 //! joins are built once before the loop and maintained incrementally on
 //! insert — nothing is rebuilt per iteration.
+//!
+//! # Data-parallel evaluation
+//!
+//! With [`EvalOptions::eval_threads`] > 1 each iteration's rule
+//! evaluations are split into [`EvalJob`]s — a rule (restricted to one
+//! delta position in delta rounds) over a contiguous chunk of its
+//! *outermost* atom's row scan — and executed by scoped worker threads
+//! (`std::thread::scope`, no new dependencies) sharing the storage
+//! read-only. Each worker keeps a private derivation buffer and
+//! [`EvalMetrics`] block; after the round the buffers are merged in job
+//! order (rule index, then delta position, then partition index), which
+//! reproduces the exact sequential emission order. Because the chunks
+//! partition the same outer scan, every counter is a sum over the same
+//! event multiset, so the derived database **and** the metrics are
+//! byte-identical to the sequential path at any thread count. The one
+//! exception guarded by the planner: a rule whose outermost atom would
+//! take the index-probe fast path issues exactly one probe, so such a
+//! unit is never split (splitting would multiply `index_probes`).
 
 use super::compile::{compile_rule, compile_rule_ordered, CompiledAtom, CompiledRule, Slot};
 use super::database::Database;
@@ -21,6 +39,7 @@ use calm_common::storage::{RelId, Storage, Sym, SymTuple, SymbolTable};
 use calm_common::value::Value;
 use calm_obs::Obs;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub use calm_common::storage::EvalMetrics;
 
@@ -29,7 +48,8 @@ pub use calm_common::storage::EvalMetrics;
 pub type FixpointStats = EvalMetrics;
 
 /// Evaluation options: the ablation knobs benchmarked by
-/// `calm-bench`'s `datalog_eval` bench.
+/// `calm-bench`'s `datalog_eval` bench, plus the data-parallel driver
+/// knob.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvalOptions {
     /// Greedily reorder positive body atoms (join planning).
@@ -37,6 +57,11 @@ pub struct EvalOptions {
     /// Probe incrementally-maintained hash indexes on the probe
     /// positions (built once per fixpoint, maintained on insert).
     pub index: bool,
+    /// Worker threads for the data-parallel semi-naive driver; 1 (the
+    /// default) runs the classic sequential loop. Any value produces a
+    /// byte-identical database and [`EvalMetrics`] — see the module
+    /// docs on deterministic merging.
+    pub eval_threads: usize,
 }
 
 impl Default for EvalOptions {
@@ -44,16 +69,26 @@ impl Default for EvalOptions {
         EvalOptions {
             reorder: true,
             index: true,
+            eval_threads: 1,
         }
     }
 }
 
 impl EvalOptions {
-    /// The unoptimized baseline (original body order, full scans).
+    /// The unoptimized baseline (original body order, full scans,
+    /// sequential).
     pub const BASELINE: EvalOptions = EvalOptions {
         reorder: false,
         index: false,
+        eval_threads: 1,
     };
+
+    /// The same options with `eval_threads` set to `max(n, 1)`.
+    #[must_use]
+    pub fn with_eval_threads(mut self, n: usize) -> Self {
+        self.eval_threads = n.max(1);
+        self
+    }
 }
 
 /// The `(relation, position)` pairs the compiled rules will probe.
@@ -116,15 +151,21 @@ fn slot_sym(slot: &Slot, binding: &[Option<Sym>]) -> Sym {
 
 /// Evaluate a compiled rule against `full`. `delta_at` optionally
 /// restricts one positive atom (by index) to the delta region of its
-/// relation. Negative atoms are checked against `neg_db` (equal to `full`
-/// for ordinary evaluation; a frozen approximation for the well-founded
-/// alternating fixpoint). Derived head rows are passed to `emit`.
+/// relation; `range` optionally restricts the *outermost* atom's row
+/// scan to a contiguous `[start, end)` slice (the data-parallel
+/// partitioning — indexes into the delta region when the outermost atom
+/// is the delta atom, into the full row vector otherwise). Negative
+/// atoms are checked against `neg_db` (equal to `full` for ordinary
+/// evaluation; a frozen approximation for the well-founded alternating
+/// fixpoint). Derived head rows are passed to `emit`.
+#[allow(clippy::too_many_arguments)]
 fn eval_rule(
     rule: &CompiledRule,
     full: &Storage,
     use_index: bool,
     neg_db: &Storage,
     delta_at: Option<usize>,
+    range: Option<(usize, usize)>,
     metrics: &mut EvalMetrics,
     emit: &mut impl FnMut(RelId, SymTuple),
 ) {
@@ -136,6 +177,7 @@ fn eval_rule(
         use_index,
         neg_db,
         delta_at,
+        range,
         &mut binding,
         metrics,
         emit,
@@ -150,6 +192,7 @@ fn eval_pos(
     use_index: bool,
     neg_db: &Storage,
     delta_at: Option<usize>,
+    range: Option<(usize, usize)>,
     binding: &mut Vec<Option<Sym>>,
     metrics: &mut EvalMetrics,
     emit: &mut impl FnMut(RelId, SymTuple),
@@ -192,6 +235,13 @@ fn eval_pos(
                 Slot::Var(i) => binding[i].expect("probe position must be bound"),
             };
             if let Some(ids) = relation.probe(p, s) {
+                // The parallel planner never partitions a unit whose
+                // outermost atom takes the probe path: it would issue
+                // one probe per partition instead of one.
+                debug_assert!(
+                    idx > 0 || range.is_none(),
+                    "partitioned job must not take the outer probe path"
+                );
                 metrics.index_probes += 1;
                 metrics.index_hits += ids.len();
                 for &id in ids {
@@ -207,6 +257,7 @@ fn eval_pos(
                             use_index,
                             neg_db,
                             delta_at,
+                            range,
                             binding,
                             metrics,
                             emit,
@@ -218,11 +269,16 @@ fn eval_pos(
             }
         }
     }
-    let rows = if scanning_delta {
+    let mut rows = if scanning_delta {
         relation.delta_rows()
     } else {
         relation.rows()
     };
+    if idx == 0 {
+        if let Some((start, end)) = range {
+            rows = &rows[start.min(rows.len())..end.min(rows.len())];
+        }
+    }
     for row in rows {
         if row.len() != atom.slots.len() {
             continue;
@@ -235,6 +291,7 @@ fn eval_pos(
                 use_index,
                 neg_db,
                 delta_at,
+                range,
                 binding,
                 metrics,
                 emit,
@@ -276,6 +333,7 @@ pub fn fixpoint_naive(program: &Program, db: &mut Database) -> FixpointStats {
                     storage,
                     false,
                     storage,
+                    None,
                     None,
                     &mut metrics,
                     &mut |rel, row| {
@@ -327,6 +385,19 @@ pub fn fixpoint_seminaive_with(
     options: EvalOptions,
 ) -> FixpointStats {
     fixpoint_seminaive_impl(program, db, None, options)
+}
+
+/// As [`fixpoint_seminaive_with`], reporting spans and counters to
+/// `obs` — the entry point for parameterized (e.g. data-parallel)
+/// evaluation with tracing.
+pub fn fixpoint_seminaive_with_obs(
+    program: &Program,
+    db: &mut Database,
+    options: EvalOptions,
+    obs: &Obs,
+) -> FixpointStats {
+    let cp = CompiledProgram::new(program, &mut db.symbols().clone().write(), options);
+    fixpoint_compiled_impl(&cp, db, None, obs)
 }
 
 /// Semi-naive fixpoint with *frozen negation*: every negative body atom is
@@ -386,6 +457,18 @@ impl CompiledProgram {
     pub fn rule_label(&self, i: usize) -> &str {
         &self.labels[i]
     }
+
+    /// Set the data-parallel worker count for subsequent fixpoints.
+    /// Thread count is a pure driver knob — it never affects
+    /// compilation, and any value yields byte-identical results.
+    pub fn set_eval_threads(&mut self, n: usize) {
+        self.options.eval_threads = n.max(1);
+    }
+
+    /// The data-parallel worker count this program will run with.
+    pub fn eval_threads(&self) -> usize {
+        self.options.eval_threads
+    }
 }
 
 /// Semi-naive fixpoint of a precompiled program. `db` must use the table
@@ -435,6 +518,203 @@ fn fixpoint_seminaive_impl(
     fixpoint_compiled_impl(&cp, db, frozen, &Obs::noop())
 }
 
+/// One unit of evaluation work inside a fixpoint round: a rule
+/// (optionally restricted to one delta position), over an optional
+/// contiguous `[start, end)` slice of its outermost atom's row scan.
+///
+/// The planner emits jobs in sequential evaluation order (rule index,
+/// then delta position, then partition index); merging worker buffers
+/// in job order therefore reproduces the exact sequential emission
+/// order — see the module docs.
+#[derive(Debug, Clone, Copy)]
+struct EvalJob {
+    rule: usize,
+    delta_at: Option<usize>,
+    range: Option<(usize, usize)>,
+}
+
+/// Plan the jobs for one `(rule, delta position)` unit: a single
+/// unpartitioned job when partitioning is pointless or would change the
+/// metrics (outer probe path), otherwise `min(threads, rows)`
+/// contiguous chunks of the outermost atom's scan whose sizes differ by
+/// at most one.
+fn plan_unit(
+    jobs: &mut Vec<EvalJob>,
+    rule_idx: usize,
+    rule: &CompiledRule,
+    delta_at: Option<usize>,
+    storage: &Storage,
+    use_index: bool,
+    threads: usize,
+) {
+    let scan_len = (|| {
+        if threads <= 1 {
+            return None;
+        }
+        let atom0 = rule.pos.first()?;
+        let scanning_delta = delta_at == Some(0);
+        // An outer index probe is a single event: splitting the unit
+        // would issue one probe per partition and break the metrics
+        // byte-identity guarantee. Keep such units whole.
+        if !scanning_delta && use_index && atom0.probe.is_some() {
+            return None;
+        }
+        let relation = storage.relation(atom0.relation)?;
+        let len = if scanning_delta {
+            relation.delta_rows().len()
+        } else {
+            relation.len()
+        };
+        (len >= 2).then_some(len)
+    })();
+    match scan_len {
+        None => jobs.push(EvalJob {
+            rule: rule_idx,
+            delta_at,
+            range: None,
+        }),
+        Some(len) => {
+            let parts = threads.min(len);
+            let (base, rem) = (len / parts, len % parts);
+            let mut start = 0;
+            for p in 0..parts {
+                let end = start + base + usize::from(p < rem);
+                jobs.push(EvalJob {
+                    rule: rule_idx,
+                    delta_at,
+                    range: Some((start, end)),
+                });
+                start = end;
+            }
+        }
+    }
+}
+
+/// Run one job, appending derived-and-not-yet-stored rows to `sink`.
+fn run_job(
+    cp: &CompiledProgram,
+    job: &EvalJob,
+    storage: &Storage,
+    neg: &Storage,
+    metrics: &mut EvalMetrics,
+    sink: &mut Vec<(RelId, SymTuple)>,
+) {
+    eval_rule(
+        &cp.rules[job.rule],
+        storage,
+        cp.options.index,
+        neg,
+        job.delta_at,
+        job.range,
+        metrics,
+        &mut |rel, row| {
+            if !storage.contains(rel, &row) {
+                sink.push((rel, row));
+            }
+        },
+    );
+}
+
+/// What one parallel job hands back: its index in the round's job
+/// order, the facts it derived, and the counters it accumulated.
+type JobResult = (usize, Vec<(RelId, SymTuple)>, EvalMetrics);
+
+/// Execute one round's jobs, extending `pending` with the derivations
+/// in sequential order. Sequential (`eval_threads` ≤ 1) runs inline
+/// with the classic per-rule spans; parallel fans the jobs out to
+/// scoped worker threads over a work-stealing counter and merges the
+/// per-job buffers and metrics back in job order.
+fn run_round(
+    cp: &CompiledProgram,
+    storage: &Storage,
+    neg: &Storage,
+    jobs: &[EvalJob],
+    pending: &mut Vec<(RelId, SymTuple)>,
+    metrics: &mut EvalMetrics,
+    obs: &Obs,
+) {
+    if cp.options.eval_threads <= 1 {
+        let mut k = 0;
+        while k < jobs.len() {
+            let rule_idx = jobs[k].rule;
+            let before = metrics.derivations;
+            let _rule_span = obs.span("eval.rule", || cp.labels[rule_idx].clone());
+            while k < jobs.len() && jobs[k].rule == rule_idx {
+                run_job(cp, &jobs[k], storage, neg, metrics, pending);
+                k += 1;
+            }
+            if obs.enabled() {
+                obs.counter(
+                    "eval.rule",
+                    &cp.labels[rule_idx],
+                    (metrics.derivations - before) as u64,
+                );
+            }
+        }
+        return;
+    }
+    let _par_span = obs.span("eval.parallel", || format!("jobs#{}", jobs.len()));
+    if obs.enabled() {
+        obs.counter("eval.parallel", "partitions", jobs.len() as u64);
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<JobResult> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..cp.options.eval_threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let j = next.fetch_add(1, Ordering::Relaxed);
+                        if j >= jobs.len() {
+                            break;
+                        }
+                        let mut job_metrics = EvalMetrics::default();
+                        let mut buf = Vec::new();
+                        run_job(cp, &jobs[j], storage, neg, &mut job_metrics, &mut buf);
+                        local.push((j, buf, job_metrics));
+                    }
+                    local
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("eval worker panicked"))
+            .collect()
+    });
+    // Deterministic merge: every job index occurs exactly once, and job
+    // order equals sequential evaluation order, so after sorting the
+    // concatenated buffers reproduce the sequential `pending` exactly
+    // (insertion order, delta regions and all counters included).
+    results.sort_unstable_by_key(|&(j, _, _)| j);
+    let mut rule_derivations = 0;
+    let mut current_rule = usize::MAX;
+    for (j, buf, job_metrics) in results {
+        let rule_idx = jobs[j].rule;
+        if rule_idx != current_rule {
+            if current_rule != usize::MAX && obs.enabled() {
+                obs.counter(
+                    "eval.rule",
+                    &cp.labels[current_rule],
+                    rule_derivations as u64,
+                );
+            }
+            current_rule = rule_idx;
+            rule_derivations = 0;
+        }
+        rule_derivations += job_metrics.derivations;
+        metrics.merge(&job_metrics);
+        pending.extend(buf);
+    }
+    if current_rule != usize::MAX && obs.enabled() {
+        obs.counter(
+            "eval.rule",
+            &cp.labels[current_rule],
+            rule_derivations as u64,
+        );
+    }
+}
+
 fn fixpoint_compiled_impl(
     cp: &CompiledProgram,
     db: &mut Database,
@@ -447,8 +727,7 @@ fn fixpoint_compiled_impl(
             "frozen negation database must share the symbol table"
         );
     }
-    let compiled = &cp.rules;
-    let options = cp.options;
+    let threads = cp.options.eval_threads.max(1);
     // Build the probe indexes once; inserts keep them current, so the
     // fixpoint loop below never rebuilds an index.
     for &(rel, pos) in &cp.indexes {
@@ -456,6 +735,7 @@ fn fixpoint_compiled_impl(
     }
     let mut metrics = EvalMetrics::default();
     let mut pending: Vec<(RelId, SymTuple)> = Vec::new();
+    let mut jobs: Vec<EvalJob> = Vec::new();
 
     // Round 0: evaluate every rule once on the initial database. This
     // covers non-recursive rules completely (their inputs never change
@@ -465,44 +745,31 @@ fn fixpoint_compiled_impl(
         let _iter_span = obs.span("eval", || "iteration#0".into());
         let storage = db.storage();
         let neg = frozen.map_or(storage, |f| f.storage());
-        for (i, rule) in compiled.iter().enumerate() {
-            let before = metrics.derivations;
-            let _rule_span = obs.span("eval.rule", || cp.labels[i].clone());
-            eval_rule(
-                rule,
-                storage,
-                options.index,
-                neg,
-                None,
-                &mut metrics,
-                &mut |rel, row| {
-                    if !storage.contains(rel, &row) {
-                        pending.push((rel, row));
-                    }
-                },
-            );
-            if obs.enabled() {
-                obs.counter(
-                    "eval.rule",
-                    &cp.labels[i],
-                    (metrics.derivations - before) as u64,
-                );
-            }
+        for (i, rule) in cp.rules.iter().enumerate() {
+            plan_unit(&mut jobs, i, rule, None, storage, cp.options.index, threads);
         }
+        run_round(cp, storage, neg, &jobs, &mut pending, &mut metrics, obs);
     }
 
+    let mut batch: Vec<SymTuple> = Vec::new();
     loop {
         // Rows inserted now form the next delta region: move every
-        // watermark to the current end first, then insert.
+        // watermark to the current end first, then insert. Consecutive
+        // same-relation runs go through one `insert_batch` each, so the
+        // relation is resolved once per run instead of once per row.
         db.storage_mut().mark_deltas();
         let mut added = 0;
-        for (rel, row) in pending.drain(..) {
-            let bytes = row.len() * std::mem::size_of::<Sym>();
-            if db.storage_mut().insert(rel, row) {
-                added += 1;
-                metrics.bytes_moved += bytes;
+        let mut drained = pending.drain(..).peekable();
+        while let Some((rel, row)) = drained.next() {
+            batch.push(row);
+            while drained.peek().is_some_and(|&(r, _)| r == rel) {
+                batch.push(drained.next().expect("peeked").1);
             }
+            let (new_rows, bytes) = db.storage_mut().insert_batch(rel, batch.drain(..));
+            added += new_rows;
+            metrics.bytes_moved += bytes;
         }
+        drop(drained);
         metrics.new_facts += added;
         if obs.enabled() {
             obs.histogram("eval", "iteration_new_facts", added as u64);
@@ -521,38 +788,26 @@ fn fixpoint_compiled_impl(
         let _iter_span = obs.span("eval", || format!("iteration#{}", iter - 1));
         let storage = db.storage();
         let neg = frozen.map_or(storage, |f| f.storage());
-        for (i, rule) in compiled.iter().enumerate() {
+        jobs.clear();
+        for (i, rule) in cp.rules.iter().enumerate() {
             if !rule.is_recursive() {
                 continue;
             }
-            let before = metrics.derivations;
-            let _rule_span = obs.span("eval.rule", || cp.labels[i].clone());
-            for (pos_idx, is_rec) in rule.recursive_pos.iter().enumerate() {
-                if !is_rec {
-                    continue;
+            for (pos_idx, &is_rec) in rule.recursive_pos.iter().enumerate() {
+                if is_rec {
+                    plan_unit(
+                        &mut jobs,
+                        i,
+                        rule,
+                        Some(pos_idx),
+                        storage,
+                        cp.options.index,
+                        threads,
+                    );
                 }
-                eval_rule(
-                    rule,
-                    storage,
-                    options.index,
-                    neg,
-                    Some(pos_idx),
-                    &mut metrics,
-                    &mut |rel, row| {
-                        if !storage.contains(rel, &row) {
-                            pending.push((rel, row));
-                        }
-                    },
-                );
-            }
-            if obs.enabled() {
-                obs.counter(
-                    "eval.rule",
-                    &cp.labels[i],
-                    (metrics.derivations - before) as u64,
-                );
             }
         }
+        run_round(cp, storage, neg, &jobs, &mut pending, &mut metrics, obs);
     }
 }
 
@@ -583,7 +838,7 @@ impl RuleSet {
     ) {
         let storage = db.storage();
         for rule in &self.compiled {
-            eval_rule(rule, storage, false, storage, None, metrics, emit);
+            eval_rule(rule, storage, false, storage, None, None, metrics, emit);
         }
     }
 }
@@ -646,6 +901,7 @@ impl ValuationQuery {
             storage,
             false,
             storage,
+            None,
             None,
             metrics,
             &mut |_, row| {
@@ -795,6 +1051,90 @@ mod tests {
         let m = &vals[0];
         assert_eq!(m[&Var::new("x")], calm_common::v(1));
         assert_eq!(m[&Var::new("y")], calm_common::v(2));
+    }
+
+    /// Row-level (insertion-order) equality of two databases over
+    /// *separately interned but identically constructed* symbol tables.
+    fn assert_byte_identical(a: &Database, b: &Database) {
+        assert_eq!(a.to_instance(), b.to_instance());
+        let (sa, sb) = (a.storage(), b.storage());
+        let ids: Vec<_> = sa.rel_ids().collect();
+        assert_eq!(ids.len(), sb.rel_ids().count());
+        for r in ids {
+            let rows_a = sa.relation(r).map_or(&[][..], |rel| rel.rows());
+            let rows_b = sb.relation(r).map_or(&[][..], |rel| rel.rows());
+            assert_eq!(rows_a, rows_b, "insertion order diverged in relation {r:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_fixpoint_is_byte_identical_to_sequential() {
+        let input = calm_common::generator::cycle(12);
+        let mut seq = Database::from_instance(&input);
+        let m_seq = fixpoint_seminaive(&tc(), &mut seq);
+        for threads in [2, 3, 8] {
+            let mut par = Database::from_instance(&input);
+            let m_par = fixpoint_seminaive_with(
+                &tc(),
+                &mut par,
+                EvalOptions::default().with_eval_threads(threads),
+            );
+            assert_eq!(m_seq, m_par, "EvalMetrics diverged at T={threads}");
+            assert_byte_identical(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn parallel_fixpoint_matches_baseline_options_too() {
+        // No indexes -> every unit is partitionable (no probe-path
+        // exception); the scan-only driver must still be identical.
+        let input = path(9);
+        let mut seq = Database::from_instance(&input);
+        let m_seq = fixpoint_seminaive_with(&tc(), &mut seq, EvalOptions::BASELINE);
+        let mut par = Database::from_instance(&input);
+        let m_par =
+            fixpoint_seminaive_with(&tc(), &mut par, EvalOptions::BASELINE.with_eval_threads(8));
+        assert_eq!(m_seq, m_par);
+        assert_byte_identical(&seq, &par);
+        assert_eq!(m_par.index_probes, 0);
+    }
+
+    #[test]
+    fn parallel_fixpoint_with_negation_and_ineq() {
+        let p = parse_program(
+            "T(x,y) :- E(x,y).\n\
+             T(x,z) :- T(x,y), E(y,z).\n\
+             O(x,y) :- T(x,y), not F(x,y), x != y.",
+        )
+        .unwrap();
+        let mut facts = vec![fact("F", [1, 3])];
+        for i in 1..8 {
+            facts.push(fact("E", [i, i + 1]));
+        }
+        let input = Instance::from_facts(facts);
+        let mut seq = Database::from_instance(&input);
+        let m_seq = fixpoint_seminaive(&p, &mut seq);
+        let mut par = Database::from_instance(&input);
+        let m_par =
+            fixpoint_seminaive_with(&p, &mut par, EvalOptions::default().with_eval_threads(4));
+        assert_eq!(m_seq, m_par);
+        assert_byte_identical(&seq, &par);
+        assert!(!par.to_instance().contains(&fact("O", [1, 3])));
+    }
+
+    #[test]
+    fn eval_threads_zero_is_clamped_to_sequential() {
+        assert_eq!(EvalOptions::default().with_eval_threads(0).eval_threads, 1);
+        let mut cp_db = Database::from_instance(&path(4));
+        let mut cp = CompiledProgram::new(
+            &tc(),
+            &mut cp_db.symbols().clone().write(),
+            EvalOptions::default(),
+        );
+        cp.set_eval_threads(0);
+        assert_eq!(cp.eval_threads(), 1);
+        fixpoint_seminaive_compiled(&cp, &mut cp_db);
+        assert_eq!(cp_db.to_instance().relation_len("T"), 10);
     }
 
     #[test]

@@ -80,16 +80,43 @@ pub fn eval_stratification_shared_obs(
     symbols: calm_common::storage::SharedSymbols,
     obs: &Obs,
 ) -> (Instance, Vec<FixpointStats>) {
+    eval_stratification_opts(strat, input, engine, symbols, obs, 1)
+}
+
+/// As [`eval_stratification_shared_obs`], with `eval_threads`
+/// data-parallel workers inside every semi-naive stratum fixpoint
+/// (`1` = sequential; the output and per-stratum stats are
+/// byte-identical either way). [`Engine::Naive`] ignores the knob.
+pub fn eval_stratification_opts(
+    strat: &Stratification,
+    input: &Instance,
+    engine: Engine,
+    symbols: calm_common::storage::SharedSymbols,
+    obs: &Obs,
+    eval_threads: usize,
+) -> (Instance, Vec<FixpointStats>) {
+    use super::seminaive::{fixpoint_seminaive_with_obs, EvalOptions};
     let mut db = Database::from_instance_with(input, symbols);
     let mut stats = Vec::with_capacity(strat.len());
     for (i, stratum) in strat.strata.iter().enumerate() {
         let _span = obs.span("eval", || format!("stratum#{i}"));
         let s = match engine {
-            Engine::SemiNaive => fixpoint_seminaive_obs(stratum, &mut db, obs),
+            Engine::SemiNaive => {
+                if eval_threads <= 1 {
+                    fixpoint_seminaive_obs(stratum, &mut db, obs)
+                } else {
+                    fixpoint_seminaive_with_obs(
+                        stratum,
+                        &mut db,
+                        EvalOptions::default().with_eval_threads(eval_threads),
+                        obs,
+                    )
+                }
+            }
             Engine::SemiNaiveBaseline => super::seminaive::fixpoint_seminaive_with(
                 stratum,
                 &mut db,
-                super::seminaive::EvalOptions::BASELINE,
+                EvalOptions::BASELINE.with_eval_threads(eval_threads),
             ),
             Engine::Naive => fixpoint_naive(stratum, &mut db),
         };
@@ -131,13 +158,29 @@ pub fn eval_query_obs(
     input: &Instance,
     obs: &Obs,
 ) -> Result<Instance, NotStratifiable> {
+    eval_query_opts(p, input, obs, 1)
+}
+
+/// As [`eval_query_obs`], with `eval_threads` data-parallel workers
+/// inside every stratum fixpoint (the answer is identical for any
+/// thread count).
+///
+/// # Errors
+/// Returns [`NotStratifiable`] for programs with a negative cycle.
+pub fn eval_query_opts(
+    p: &Program,
+    input: &Instance,
+    obs: &Obs,
+    eval_threads: usize,
+) -> Result<Instance, NotStratifiable> {
     let strat = stratify(p)?;
-    let (out, _) = eval_stratification_shared_obs(
+    let (out, _) = eval_stratification_opts(
         &strat,
         input,
         Engine::SemiNaive,
         calm_common::storage::SharedSymbols::new(),
         obs,
+        eval_threads,
     );
     Ok(out.restrict(&p.output_schema()))
 }

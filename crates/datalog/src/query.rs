@@ -27,6 +27,9 @@ pub struct DatalogQuery {
     output_schema: Schema,
     engine: Engine,
     symbols: SharedSymbols,
+    /// Data-parallel workers inside every stratum fixpoint (1 =
+    /// sequential; the answer is byte-identical either way).
+    eval_threads: usize,
     /// One compiled program per stratum; `None` for [`Engine::Naive`],
     /// which falls back to the uncompiled ablation path.
     compiled: Option<Vec<CompiledProgram>>,
@@ -73,6 +76,7 @@ impl DatalogQuery {
             output_schema,
             engine: Engine::SemiNaive,
             symbols,
+            eval_threads: 1,
             compiled,
         })
     }
@@ -92,7 +96,31 @@ impl DatalogQuery {
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
         self.compiled = precompile(&self.stratification, &self.symbols, engine);
+        self.apply_eval_threads();
         self
+    }
+
+    /// Run every stratum fixpoint with `n` data-parallel eval threads
+    /// (default 1 = sequential; the answer is byte-identical either
+    /// way). [`Engine::Naive`] ignores the knob.
+    #[must_use]
+    pub fn with_eval_threads(mut self, n: usize) -> Self {
+        self.eval_threads = n.max(1);
+        self.apply_eval_threads();
+        self
+    }
+
+    /// The configured data-parallel worker count.
+    pub fn eval_threads(&self) -> usize {
+        self.eval_threads
+    }
+
+    fn apply_eval_threads(&mut self) {
+        if let Some(strata) = &mut self.compiled {
+            for cp in strata {
+                cp.set_eval_threads(self.eval_threads);
+            }
+        }
     }
 
     /// The underlying program.

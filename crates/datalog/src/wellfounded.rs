@@ -99,6 +99,19 @@ pub fn well_founded_model(p: &Program, input: &Instance) -> WellFoundedModel {
 /// (labelled over/under by alternation side) plus a final
 /// `gamma_applications` counter to `obs`.
 pub fn well_founded_model_obs(p: &Program, input: &Instance, obs: &Obs) -> WellFoundedModel {
+    well_founded_model_opts(p, input, EvalOptions::default(), obs)
+}
+
+/// As [`well_founded_model_obs`], with explicit [`EvalOptions`] — the
+/// entry point for data-parallel `Γ` applications
+/// (`options.eval_threads` > 1); the model is identical for any thread
+/// count.
+pub fn well_founded_model_opts(
+    p: &Program,
+    input: &Instance,
+    options: EvalOptions,
+    obs: &Obs,
+) -> WellFoundedModel {
     // U0 = input only (all negations succeed except on given edb facts).
     // Every approximation shares one symbol table, so the stability check
     // compares interned rows directly — no Instance round-trip per round.
@@ -108,7 +121,7 @@ pub fn well_founded_model_obs(p: &Program, input: &Instance, obs: &Obs) -> WellF
     let cp = {
         let symbols = u.symbols().clone();
         let mut table = symbols.write();
-        CompiledProgram::new(p, &mut table, EvalOptions::default())
+        CompiledProgram::new(p, &mut table, options)
     };
     loop {
         // V = Γ(U): overestimate.
@@ -287,6 +300,7 @@ pub struct WellFoundedQuery {
     program: Program,
     input_schema: Schema,
     output_schema: Schema,
+    eval_threads: usize,
 }
 
 impl WellFoundedQuery {
@@ -299,7 +313,16 @@ impl WellFoundedQuery {
             program,
             input_schema,
             output_schema,
+            eval_threads: 1,
         }
+    }
+
+    /// Run every `Γ` application with `n` data-parallel eval threads
+    /// (default 1 = sequential; the model is identical either way).
+    #[must_use]
+    pub fn with_eval_threads(mut self, n: usize) -> Self {
+        self.eval_threads = n.max(1);
+        self
     }
 
     /// Parse source text into a WFS query.
@@ -318,7 +341,12 @@ impl WellFoundedQuery {
 
     /// The full three-valued model on an input.
     pub fn model(&self, input: &Instance) -> WellFoundedModel {
-        well_founded_model(&self.program, &input.restrict(&self.input_schema))
+        well_founded_model_opts(
+            &self.program,
+            &input.restrict(&self.input_schema),
+            EvalOptions::default().with_eval_threads(self.eval_threads),
+            &Obs::noop(),
+        )
     }
 }
 

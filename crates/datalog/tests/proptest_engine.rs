@@ -170,6 +170,54 @@ fn engines_agree_on_random_stratified_programs() {
     );
 }
 
+/// The data-parallel differential suite: on random stratified Datalog¬
+/// programs the parallel driver must produce a byte-identical answer
+/// AND byte-identical per-stratum [`EvalMetrics`] for T ∈ {2, 8} — for
+/// both the indexed engine (probe-path units stay whole) and the
+/// scan-only baseline (every unit partitionable).
+///
+/// [`EvalMetrics`]: calm_datalog::eval::EvalMetrics
+#[test]
+fn parallel_eval_is_byte_identical_to_sequential_on_random_programs() {
+    use calm_common::storage::SharedSymbols;
+    use calm_datalog::eval::eval_stratification_opts;
+    let noop = calm_obs::Obs::noop();
+    let mut exercised = 0usize;
+    for seed in 0..CASES {
+        let mut r = Rng::seed_from_u64(seed);
+        let rules = rand_stratified_rules(&mut r);
+        let input = small_instance(&mut r);
+        let Ok(p) = Program::new(rules) else {
+            continue;
+        };
+        let strat = stratify(&p).unwrap();
+        for engine in [Engine::SemiNaive, Engine::SemiNaiveBaseline] {
+            let (seq_out, seq_stats) =
+                eval_stratification_opts(&strat, &input, engine, SharedSymbols::new(), &noop, 1);
+            for threads in [2, 8] {
+                let (par_out, par_stats) = eval_stratification_opts(
+                    &strat,
+                    &input,
+                    engine,
+                    SharedSymbols::new(),
+                    &noop,
+                    threads,
+                );
+                assert_eq!(
+                    seq_out, par_out,
+                    "seed {seed} engine {engine:?} T={threads}: output diverged\n{p}"
+                );
+                assert_eq!(
+                    seq_stats, par_stats,
+                    "seed {seed} engine {engine:?} T={threads}: metrics diverged\n{p}"
+                );
+            }
+        }
+        exercised += 1;
+    }
+    assert!(exercised > 0, "no random case was evaluated");
+}
+
 #[test]
 fn evaluation_is_inflationary_and_monotone_for_positive_programs() {
     for seed in 0..CASES {

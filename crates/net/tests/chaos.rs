@@ -212,6 +212,82 @@ fn disjoint_strategy_survives_chaos_across_20_seeds() {
 }
 
 #[test]
+fn chaos_with_data_parallel_node_fixpoints_matches_the_oracle() {
+    // The acceptance run from the parallel-eval work: 8 network workers
+    // x 4 intra-node eval threads under 5% message loss. Every node's
+    // fixpoint is partitioned over worker threads, yet the run must
+    // still terminate via Safra and land byte-identical to the
+    // sequential oracle — the data-parallel driver is deterministic, so
+    // chaos only ever comes from the network, and the reliability
+    // substrate repairs that.
+    type Family = (
+        &'static str,
+        Box<dyn Transducer>,
+        Box<dyn DistributionPolicy>,
+        SystemConfig,
+    );
+    let families: Vec<Family> = vec![
+        (
+            "M",
+            Box::new(MonotoneBroadcast::new(Box::new(
+                tc_datalog().with_eval_threads(4),
+            ))),
+            Box::new(HashPolicy::new(Network::of_size(4))),
+            SystemConfig::ORIGINAL,
+        ),
+        (
+            "Mdistinct",
+            Box::new(DistinctStrategy::new(Box::new(
+                edges_without_source_loop().with_eval_threads(4),
+            ))),
+            Box::new(HashPolicy::new(Network::of_size(3))),
+            SystemConfig::POLICY_AWARE,
+        ),
+        (
+            "Mdisjoint",
+            Box::new(DisjointStrategy::new(Box::new(
+                qtc_datalog().with_eval_threads(4),
+            ))),
+            Box::new(DomainGuidedPolicy::new(Network::of_size(3))),
+            SystemConfig::POLICY_AWARE,
+        ),
+    ];
+    for (label, t, policy, sys) in &families {
+        for i in 0..4u64 {
+            let seed = seed_base() * 1000 + 400 + i;
+            let input = random_edges(seed, 4, 2 + (i as usize % 3));
+            let seq = run(
+                &TransducerNetwork {
+                    transducer: t.as_ref(),
+                    policy: policy.as_ref(),
+                    config: *sys,
+                },
+                &input,
+                &Scheduler::RoundRobin,
+                500_000,
+            );
+            assert!(seq.quiescent, "{label} seed {seed}: oracle must quiesce");
+            let thr = run_threaded(
+                &ThreadedNetwork {
+                    programs: Programs::Shared(t.as_ref()),
+                    policy: policy.as_ref(),
+                    config: *sys,
+                },
+                &input,
+                &ThreadedConfig::new(8).with_faults(FaultPlan::uniform(seed, 0.05, 0.0)),
+            );
+            let tag = format!("{label} seed {seed} [drop=0.05 x8 workers x4 eval threads]");
+            assert!(thr.quiescent, "{tag}: termination must be detected");
+            assert_eq!(
+                thr.output, seq.output,
+                "{tag}: output differs from the sequential oracle"
+            );
+            check_chaos_accounting(&thr, &tag);
+        }
+    }
+}
+
+#[test]
 fn zero_fault_plan_pays_only_the_substrate() {
     // A `FaultPlan::none` run rides the full seq/ack/snapshot machinery
     // with no fault ever injected: every attempt is a first attempt

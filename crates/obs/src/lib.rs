@@ -12,9 +12,12 @@
 //! transducer runtime and the coordination strategies:
 //!
 //! * **spans** — named durations (per stratum, per rule, per iteration,
-//!   per transition) with a `track` lane for per-node timelines;
+//!   per transition) with a `track` lane for per-node timelines; the
+//!   data-parallel fixpoint driver adds an `eval.parallel` span around
+//!   every partitioned round;
 //! * **counters** — monotone totals (derivations, per-class message
-//!   counts);
+//!   counts, and the `eval.parallel`/`partitions` count of jobs each
+//!   partitioned round fanned out);
 //! * **gauges** — sampled instantaneous values (per-node message-queue
 //!   depth);
 //! * **histograms** — fixed-bucket power-of-two distributions

@@ -1,0 +1,143 @@
+//! Intra-node data-parallel evaluation through the transducer runtime:
+//! every strategy family, run on the sequential simulator with its
+//! node-local fixpoints partitioned over `eval_threads` workers, must
+//! produce a byte-identical [`RunResult`] — same output instance AND the
+//! same [`Metrics`] down to the engine-level `eval` counters — as the
+//! single-threaded run, at any thread count.
+//!
+//! This is the layer between the engine-level differential suite
+//! (calm-datalog's proptests) and the end-to-end chaos check (calm-net /
+//! calm-cli): it pins that the determinism guarantee survives the
+//! transducer transition loop, where the same query is re-evaluated on
+//! every delivery.
+//!
+//! [`RunResult`]: calm_transducer::RunResult
+//! [`Metrics`]: calm_transducer::Metrics
+
+use calm_common::fact::fact;
+use calm_common::instance::Instance;
+use calm_common::rng::Rng;
+use calm_datalog::DatalogQuery;
+use calm_queries::qtc::qtc_datalog;
+use calm_queries::tc::{edges_without_source_loop, tc_datalog};
+use calm_transducer::{
+    run, DisjointStrategy, DistinctStrategy, DistributionPolicy, DomainGuidedPolicy, HashPolicy,
+    MonotoneBroadcast, Network, RunResult, Scheduler, SystemConfig, Transducer, TransducerNetwork,
+};
+
+const THREADS: [usize; 2] = [2, 8];
+
+fn random_edges(seed: u64, domain: i64, edges: usize) -> Instance {
+    let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    Instance::from_facts((0..edges).map(|_| {
+        fact(
+            "E",
+            [
+                rng.gen_range(0..domain as u64) as i64,
+                rng.gen_range(0..domain as u64) as i64,
+            ],
+        )
+    }))
+}
+
+/// Build each family's transducer around a query configured for
+/// `eval_threads` data-parallel workers.
+fn family(
+    name: &str,
+    eval_threads: usize,
+) -> (
+    Box<dyn Transducer>,
+    Box<dyn DistributionPolicy>,
+    SystemConfig,
+) {
+    let q = |q: DatalogQuery| Box::new(q.with_eval_threads(eval_threads));
+    match name {
+        "monotone" => (
+            Box::new(MonotoneBroadcast::new(q(tc_datalog()))),
+            Box::new(HashPolicy::new(Network::of_size(4))),
+            SystemConfig::ORIGINAL,
+        ),
+        "distinct" => (
+            Box::new(DistinctStrategy::new(q(edges_without_source_loop()))),
+            Box::new(HashPolicy::new(Network::of_size(3))),
+            SystemConfig::POLICY_AWARE,
+        ),
+        "disjoint" => (
+            Box::new(DisjointStrategy::new(q(qtc_datalog()))),
+            Box::new(DomainGuidedPolicy::new(Network::of_size(3))),
+            SystemConfig::POLICY_AWARE,
+        ),
+        other => panic!("unknown family {other}"),
+    }
+}
+
+fn run_family(name: &str, eval_threads: usize, input: &Instance) -> RunResult {
+    let (t, policy, config) = family(name, eval_threads);
+    let tn = TransducerNetwork {
+        transducer: t.as_ref(),
+        policy: policy.as_ref(),
+        config,
+    };
+    run(&tn, input, &Scheduler::RoundRobin, 500_000)
+}
+
+fn assert_identical(a: &RunResult, b: &RunResult, tag: &str) {
+    assert!(a.quiescent && b.quiescent, "{tag}: both runs must quiesce");
+    assert_eq!(a.output, b.output, "{tag}: output diverged");
+    // Metrics covers transitions, message flow, per-class counts and
+    // the engine-level eval counters in one comparison.
+    assert_eq!(a.metrics, b.metrics, "{tag}: run metrics diverged");
+}
+
+#[test]
+fn strategies_are_byte_identical_across_eval_thread_counts() {
+    for name in ["monotone", "distinct", "disjoint"] {
+        for i in 0..6u64 {
+            // The request/OK/ack protocol is per-value: keep domains small.
+            let input = random_edges(400 + i, 4, 2 + (i as usize % 3));
+            let seq = run_family(name, 1, &input);
+            assert!(
+                seq.metrics.transitions > 0,
+                "{name} seed {i}: the run must exercise the network"
+            );
+            for threads in THREADS {
+                let par = run_family(name, threads, &input);
+                assert_identical(&seq, &par, &format!("{name} seed {i} T={threads}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn random_schedules_stay_identical_too() {
+    // Data-parallel fixpoints inside an adversarially-scheduled run:
+    // the schedule (not the evaluation) is the only nondeterminism, so
+    // pinning the scheduler seed must pin the whole RunResult.
+    let input = random_edges(77, 5, 5);
+    for seed in 0..4u64 {
+        let sched = Scheduler::random(seed, 64);
+        let (t1, p1, c1) = family("monotone", 1);
+        let seq = run(
+            &TransducerNetwork {
+                transducer: t1.as_ref(),
+                policy: p1.as_ref(),
+                config: c1,
+            },
+            &input,
+            &sched,
+            500_000,
+        );
+        let (t8, p8, c8) = family("monotone", 8);
+        let par = run(
+            &TransducerNetwork {
+                transducer: t8.as_ref(),
+                policy: p8.as_ref(),
+                config: c8,
+            },
+            &input,
+            &sched,
+            500_000,
+        );
+        assert_identical(&seq, &par, &format!("random schedule seed {seed}"));
+    }
+}
