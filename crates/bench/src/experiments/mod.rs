@@ -1,4 +1,4 @@
-//! The experiment suite: one function per experiment id (E1–E21, see
+//! The experiment suite: one function per experiment id (E1–E23, see
 //! DESIGN.md's per-experiment index), each returning a [`Report`].
 
 mod engine;
@@ -10,6 +10,7 @@ mod policies;
 mod strategies;
 mod threaded;
 mod winmove;
+mod wire;
 
 use crate::report::Report;
 use calm_obs::Obs;
@@ -27,6 +28,7 @@ pub use strategies::{
 };
 pub use threaded::{e19_threaded, e19_threaded_obs};
 pub use winmove::e16_winmove;
+pub use wire::{e23_wire, e23_wire_obs};
 
 /// How an experiment is invoked: most ignore observability; the
 /// instrumented ones (`E11`, `E18`) report spans and counters so `repro
@@ -76,6 +78,7 @@ pub fn all() -> Vec<Experiment> {
         ("e19", Runner::Obs(e19_threaded_obs)),
         ("e20", Runner::Obs(e20_faults_obs)),
         ("e21", Runner::Obs(e21_parallel_obs)),
+        ("e23", Runner::Obs(e23_wire_obs)),
     ]
 }
 
@@ -141,7 +144,7 @@ mod tests {
         dedup.dedup();
         assert_eq!(ids, dedup);
         assert_eq!(ids[0], "e1");
-        assert_eq!(ids.len(), 20);
+        assert_eq!(ids.len(), 21);
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub fn load_facts(src: &str) -> Result<Instance, CliError> {
 }
 
 /// Observability options shared by `eval` and `simulate`
-/// (`--trace-out PREFIX` and `--metrics`).
+/// (`--trace-out PREFIX`, `--metrics` and `--dump-plan`).
 #[derive(Debug, Clone, Default)]
 pub struct ObsOptions {
     /// Write trace artifacts `<prefix>.jsonl` (event log) and
@@ -70,6 +70,10 @@ pub struct ObsOptions {
     pub trace_out: Option<PathBuf>,
     /// Append the terminal run report to the command output.
     pub metrics: bool,
+    /// Print the compiled query plan — per rule, the atom join order
+    /// and each atom's join strategy (merge/hash/scan/lookup) — as
+    /// `% `-prefixed comment lines before the results.
+    pub dump_plan: bool,
 }
 
 impl ObsOptions {
@@ -160,7 +164,11 @@ pub fn cmd_eval_full(
     let answer = calm_datalog::eval::eval_query_opts(&p, &input, &obs, eval_threads)
         .map_err(|e| err(format!("evaluation: {e}")))?;
     obs.finish();
-    let mut out = render_instance(&answer);
+    let mut out = String::new();
+    if obs_opts.dump_plan {
+        out.push_str(&render_plan(&p)?);
+    }
+    out.push_str(&render_instance(&answer));
     if let Some(r) = report {
         out.push_str(&r.render());
     }
@@ -453,6 +461,9 @@ pub fn cmd_simulate_run(
     let eval_threads = eval_threads.max(1);
     let (transducer, policy, config) = build_strategy(program_src, strategy, nodes, eval_threads)?;
     let mut out = String::new();
+    if obs_opts.dump_plan {
+        out.push_str(&render_plan(&load_program(program_src)?)?);
+    }
     if eval_threads > 1 {
         let _ = writeln!(out, "% eval threads: {eval_threads}");
     }
@@ -589,6 +600,17 @@ fn parse_class(s: &str) -> Result<ExtensionKind, CliError> {
     }
 }
 
+/// Render the compiled query plan (`--dump-plan`) as `% `-prefixed
+/// comment lines so the fact output stays machine-diffable.
+fn render_plan(p: &Program) -> Result<String, CliError> {
+    let report = calm_datalog::plan_report(p).map_err(|e| err(format!("plan: {e}")))?;
+    let mut out = String::from("% plan:\n");
+    for line in report.lines() {
+        let _ = writeln!(out, "%   {line}");
+    }
+    Ok(out)
+}
+
 fn render_instance(i: &Instance) -> String {
     let mut out = String::new();
     for f in i.facts() {
@@ -603,6 +625,7 @@ calm — weaker forms of monotonicity for declarative networking
 
 USAGE:
   calm eval      <program.dl> <facts.dl> [--eval-threads N] [--trace-out PREFIX] [--metrics]
+                 [--dump-plan]
   calm wfs       <program.dl> <facts.dl> [--eval-threads N]
   calm classify  <program.dl>
   calm stratify  <program.dl>
@@ -610,6 +633,12 @@ USAGE:
   calm simulate  <program.dl> <facts.dl> [--nodes N] [--strategy monotone|distinct|disjoint]
                  [--engine sequential|threaded] [--workers N] [--eval-threads N]
                  [--faults SPEC] [--trace] [--trace-out PREFIX] [--metrics]
+                 [--dump-plan]
+
+  --dump-plan prints the compiled query plan — per rule, the atom join
+  order and each atom's join strategy (merge join on a sorted prefix,
+  hash probe, full scan, or negated lookup) — as `% ` comment lines
+  before the results.
 
   --trace-out PREFIX writes a structured event log to PREFIX.jsonl and a
   Chrome trace (load at ui.perfetto.dev or chrome://tracing) to
@@ -685,6 +714,33 @@ mod tests {
     }
 
     #[test]
+    fn dump_plan_prints_strategies_before_results() {
+        let opts = ObsOptions {
+            trace_out: None,
+            metrics: false,
+            dump_plan: true,
+        };
+        let out = cmd_eval_opts(QTC, FACTS, &opts).unwrap();
+        assert!(out.contains("% plan:"), "{out}");
+        // The recursive TC rule gets a merge join on the sorted prefix.
+        assert!(out.contains("merge@0"), "{out}");
+        // Negated atoms show up as lookups in the stratified plan.
+        assert!(out.contains("not T[lookup]"), "{out}");
+        // The plan precedes the results, which stay intact.
+        let plan_at = out.find("% plan:").unwrap();
+        let fact_at = out.find("O(").unwrap();
+        assert!(plan_at < fact_at, "{out}");
+
+        let sim = cmd_simulate_full(TC, FACTS, 2, "monotone", false, &opts).unwrap();
+        assert!(sim.contains("% plan:"), "{sim}");
+        assert!(sim.contains("merge@0"), "{sim}");
+        assert!(
+            sim.contains("% matches centralized evaluation: true"),
+            "{sim}"
+        );
+    }
+
+    #[test]
     fn wfs_reports_undefined() {
         let out = cmd_wfs("win(x) :- move(x,y), not win(y).", "move(1,2). move(2,1).").unwrap();
         assert!(out.contains("% undefined"));
@@ -746,6 +802,7 @@ mod tests {
         let opts = ObsOptions {
             trace_out: None,
             metrics: true,
+            dump_plan: false,
         };
         let out = cmd_eval_opts(TC, FACTS, &opts).unwrap();
         assert!(out.contains("T(1,3)."), "{out}");
@@ -759,6 +816,7 @@ mod tests {
         let opts = ObsOptions {
             trace_out: Some(prefix.clone()),
             metrics: true,
+            dump_plan: false,
         };
         let out = cmd_simulate_full(TC, FACTS, 2, "monotone", true, &opts).unwrap();
         assert!(out.contains("% trace"), "{out}");
@@ -796,6 +854,7 @@ mod tests {
         let opts = ObsOptions {
             trace_out: Some(blocker.join("trace")),
             metrics: false,
+            dump_plan: false,
         };
         let e = cmd_eval_opts(TC, FACTS, &opts).unwrap_err();
         assert!(e.0.contains("--trace-out"), "{e}");
@@ -811,6 +870,7 @@ mod tests {
         let opts = ObsOptions {
             trace_out: Some(prefix.clone()),
             metrics: false,
+            dump_plan: false,
         };
         let out = cmd_eval_opts(TC, FACTS, &opts).unwrap();
         assert!(out.contains("T(1,3)."), "{out}");
@@ -916,6 +976,7 @@ mod tests {
         let opts = ObsOptions {
             trace_out: None,
             metrics: false,
+            dump_plan: false,
         };
         for strategy in ["monotone", "distinct"] {
             for workers in [1, 2, 8] {
@@ -965,6 +1026,7 @@ mod tests {
         let opts = ObsOptions {
             trace_out: None,
             metrics: false,
+            dump_plan: false,
         };
         let seq = cmd_simulate(TC, FACTS, 4, "monotone").unwrap();
         let thr = cmd_simulate_engine(
@@ -996,6 +1058,7 @@ mod tests {
         let opts = ObsOptions {
             trace_out: Some(prefix.clone()),
             metrics: true,
+            dump_plan: false,
         };
         let out = cmd_simulate_engine(
             TC,
@@ -1076,6 +1139,7 @@ mod tests {
         let opts = ObsOptions {
             trace_out: None,
             metrics: false,
+            dump_plan: false,
         };
         // A lossy, duplicating, crashing network must still converge to
         // the centralized answer, and the run must report fault counters.

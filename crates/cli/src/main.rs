@@ -29,6 +29,7 @@ fn obs_options(args: &[String]) -> ObsOptions {
     ObsOptions {
         trace_out: flag_value(args, "--trace-out").map(Into::into),
         metrics: args.iter().any(|a| a == "--metrics"),
+        dump_plan: args.iter().any(|a| a == "--dump-plan"),
     }
 }
 

@@ -208,8 +208,100 @@ impl SharedSymbols {
     }
 }
 
+/// An immutable run of rows in lexicographic [`Sym`] order, stored
+/// columnar-flat: row `i` is `data[offsets[i] as usize..offsets[i + 1]
+/// as usize]`. Batches are the sorted half of Storage v2: the insertion
+/// log stays the source of truth for iteration order, while sealed
+/// batches give the merge-join path binary-searchable runs and the wire
+/// codec a sorted-row shape to delta-encode.
+#[derive(Debug, Clone, Default)]
+struct SortedBatch {
+    data: Vec<Sym>,
+    /// `rows + 1` offsets into `data`; `offsets[0] == 0`.
+    offsets: Vec<u32>,
+}
+
+impl SortedBatch {
+    /// Build a batch from rows already sorted by slice order.
+    fn from_sorted_rows<'a>(
+        rows: impl Iterator<Item = &'a [Sym]>,
+        data_hint: usize,
+    ) -> SortedBatch {
+        let mut b = SortedBatch {
+            data: Vec::with_capacity(data_hint),
+            offsets: vec![0],
+        };
+        for row in rows {
+            b.push(row);
+        }
+        b
+    }
+
+    fn push(&mut self, row: &[Sym]) {
+        self.data.extend_from_slice(row);
+        let end = checked_id(self.data.len(), u32::MAX, "batch offset");
+        self.offsets.push(end);
+    }
+
+    /// Number of rows.
+    fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn row(&self, i: usize) -> &[Sym] {
+        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// First row index whose leading symbol is `>= s` — under slice
+    /// order, rows sharing a leading symbol are one contiguous range
+    /// (nullary rows sort before every keyed row).
+    fn lower_bound(&self, s: Sym) -> usize {
+        let (mut lo, mut hi) = (0, self.rows());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.row(mid).first().copied() < Some(s) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Merge two sorted batches into one (rows are distinct across
+    /// batches, so this is a plain two-way merge).
+    fn merged(a: &SortedBatch, b: &SortedBatch) -> SortedBatch {
+        let mut out = SortedBatch {
+            data: Vec::with_capacity(a.data.len() + b.data.len()),
+            offsets: Vec::with_capacity(a.rows() + b.rows() + 1),
+        };
+        out.offsets.push(0);
+        let (mut i, mut j) = (0, 0);
+        while i < a.rows() && j < b.rows() {
+            if a.row(i) <= b.row(j) {
+                out.push(a.row(i));
+                i += 1;
+            } else {
+                out.push(b.row(j));
+                j += 1;
+            }
+        }
+        while i < a.rows() {
+            out.push(a.row(i));
+            i += 1;
+        }
+        while j < b.rows() {
+            out.push(b.row(j));
+            j += 1;
+        }
+        out
+    }
+}
+
 /// One relation's rows: deduplicated, in insertion order, with
-/// incrementally maintained per-column indexes and a delta watermark.
+/// incrementally maintained per-column indexes, a delta watermark, and
+/// (when sealed via [`Relation::ensure_sorted`]) an LSM-style stack of
+/// sorted immutable batches covering a prefix of the insertion log.
 #[derive(Debug, Clone)]
 pub struct Relation {
     rows: Vec<SymTuple>,
@@ -218,6 +310,14 @@ pub struct Relation {
     /// whose `col`-th component is that symbol.
     indexes: Vec<Option<HashMap<Sym, Vec<u32>>>>,
     delta_start: usize,
+    /// Sorted immutable batches, together holding exactly the rows
+    /// `rows[..sorted_end]`. Sizes are kept size-tiered (each batch at
+    /// least twice its successor), so there are O(log n) batches and
+    /// sealing is amortized O(n log n) overall.
+    batches: Vec<SortedBatch>,
+    /// Prefix of the insertion log covered by `batches`; rows past it
+    /// are the unsealed tail, scanned by [`Relation::probe_sorted`].
+    sorted_end: usize,
     /// Maximum number of row ids; `u32::MAX` in production, injectable
     /// for tests of the overflow guard.
     row_cap: u32,
@@ -230,6 +330,8 @@ impl Default for Relation {
             seen: HashSet::new(),
             indexes: Vec::new(),
             delta_start: 0,
+            batches: Vec::new(),
+            sorted_end: 0,
             row_cap: u32::MAX,
         }
     }
@@ -332,12 +434,92 @@ impl Relation {
         &self.rows[id as usize]
     }
 
+    /// Seal the unsealed tail of the insertion log into a new sorted
+    /// batch, then compact size-tiered: while the newest batch is at
+    /// least half its predecessor's size, merge the two. Sealing never
+    /// touches `rows`, so iteration order is untouched; it must run on
+    /// the mutating thread (the data-parallel driver shares `&Relation`
+    /// read-only).
+    pub fn ensure_sorted(&mut self) {
+        if self.sorted_end == self.rows.len() {
+            return;
+        }
+        let tail = &self.rows[self.sorted_end..];
+        let mut order: Vec<u32> = (0..tail.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| tail[a as usize].cmp(&tail[b as usize]));
+        let data_hint = tail.iter().map(Vec::len).sum();
+        self.batches.push(SortedBatch::from_sorted_rows(
+            order.iter().map(|&i| tail[i as usize].as_slice()),
+            data_hint,
+        ));
+        self.sorted_end = self.rows.len();
+        while self.batches.len() >= 2 {
+            let n = self.batches.len();
+            if self.batches[n - 2].rows() >= 2 * self.batches[n - 1].rows() {
+                break;
+            }
+            let top = self.batches.pop().expect("two batches");
+            let below = self.batches.pop().expect("two batches");
+            self.batches.push(SortedBatch::merged(&below, &top));
+        }
+    }
+
+    /// Whether the sorted batches cover the whole insertion log (no
+    /// unsealed tail).
+    pub fn is_sealed(&self) -> bool {
+        self.sorted_end == self.rows.len()
+    }
+
+    /// Merge-probe: lazily enumerate every row whose leading symbol is
+    /// `s`, batch by batch (binary search to the start of the
+    /// contiguous leading-symbol group within each sealed batch), then
+    /// a linear scan of the unsealed tail. Correct whether or not the
+    /// relation is sealed; fast when it is.
+    pub fn probe_sorted_iter(&self, s: Sym) -> impl Iterator<Item = &[Sym]> + '_ {
+        self.batches
+            .iter()
+            .flat_map(move |b| {
+                (b.lower_bound(s)..b.rows())
+                    .map(move |i| b.row(i))
+                    .take_while(move |row| row.first().copied() == Some(s))
+            })
+            .chain(
+                self.rows[self.sorted_end..]
+                    .iter()
+                    .map(Vec::as_slice)
+                    .filter(move |row| row.first().copied() == Some(s)),
+            )
+    }
+
+    /// As [`Relation::probe_sorted_iter`], calling `f` per matching row
+    /// and returning the match count.
+    pub fn probe_sorted(&self, s: Sym, mut f: impl FnMut(&[Sym])) -> usize {
+        let mut hits = 0;
+        for row in self.probe_sorted_iter(s) {
+            hits += 1;
+            f(row);
+        }
+        hits
+    }
+
+    /// The sealed batches as row slices, newest last — introspection for
+    /// the differential tests and the `--dump-plan` debug surface.
+    pub fn sorted_batches(&self) -> Vec<Vec<&[Sym]>> {
+        self.batches
+            .iter()
+            .map(|b| (0..b.rows()).map(|i| b.row(i)).collect())
+            .collect()
+    }
+
     /// Remove all rows, keeping allocations (row vector, membership set
-    /// and index maps stay warm for reuse).
+    /// and index maps stay warm for reuse). Sorted batches are dropped —
+    /// they are immutable snapshots of rows that no longer exist.
     pub fn clear(&mut self) {
         self.rows.clear();
         self.seen.clear();
         self.delta_start = 0;
+        self.batches.clear();
+        self.sorted_end = 0;
         for index in self.indexes.iter_mut().flatten() {
             index.clear();
         }
@@ -495,6 +677,10 @@ pub struct EvalMetrics {
     pub index_probes: usize,
     /// Total number of candidate rows returned by index probes.
     pub index_hits: usize,
+    /// Number of sorted-batch merge probes issued by the join loop.
+    pub merge_probes: usize,
+    /// Total number of candidate rows returned by merge probes.
+    pub merge_hits: usize,
     /// Bytes of tuple data moved into storage by successful inserts.
     pub bytes_moved: usize,
 }
@@ -507,6 +693,8 @@ impl EvalMetrics {
         self.new_facts += other.new_facts;
         self.index_probes += other.index_probes;
         self.index_hits += other.index_hits;
+        self.merge_probes += other.merge_probes;
+        self.merge_hits += other.merge_hits;
         self.bytes_moved += other.bytes_moved;
     }
 }
@@ -751,6 +939,102 @@ mod tests {
     }
 
     #[test]
+    fn ensure_sorted_seals_and_probe_sorted_finds_matches() {
+        let mut t = SymbolTable::new();
+        let mut r = Relation::default();
+        // Intern in a scrambled order so Sym order != insertion order.
+        for pair in [[3, 1], [1, 2], [2, 9], [1, 1], [3, 0]] {
+            r.insert(syms(&mut t, &pair));
+        }
+        assert!(!r.is_sealed());
+        r.ensure_sorted();
+        assert!(r.is_sealed());
+        // Insertion order is untouched by sealing.
+        assert_eq!(r.rows()[0], syms(&mut t, &[3, 1]));
+        // Every batch is sorted and together they hold all rows.
+        let batches = r.sorted_batches();
+        let total: usize = batches.iter().map(Vec::len).sum();
+        assert_eq!(total, r.len());
+        for batch in &batches {
+            assert!(batch.windows(2).all(|w| w[0] <= w[1]), "unsorted batch");
+        }
+        // probe_sorted visits exactly the rows with the probed head.
+        let s1 = t.sym(&v(1));
+        let mut found = Vec::new();
+        let hits = r.probe_sorted(s1, |row| found.push(row.to_vec()));
+        assert_eq!(hits, 2);
+        assert_eq!(found, vec![syms(&mut t, &[1, 1]), syms(&mut t, &[1, 2])]);
+        // A missing head probes to nothing.
+        let s7 = t.sym(&v(7));
+        assert_eq!(r.probe_sorted(s7, |_| panic!("no match expected")), 0);
+    }
+
+    #[test]
+    fn probe_sorted_scans_the_unsealed_tail() {
+        let mut t = SymbolTable::new();
+        let mut r = Relation::default();
+        r.insert(syms(&mut t, &[1, 2]));
+        r.ensure_sorted();
+        r.insert(syms(&mut t, &[1, 3]));
+        // Tail row not yet sealed: still found.
+        let s1 = t.sym(&v(1));
+        let mut found = Vec::new();
+        r.probe_sorted(s1, |row| found.push(row.to_vec()));
+        assert_eq!(found.len(), 2);
+        r.ensure_sorted();
+        assert!(r.is_sealed());
+        assert_eq!(r.probe_sorted(s1, |_| ()), 2);
+    }
+
+    #[test]
+    fn compaction_keeps_batch_count_logarithmic() {
+        let mut t = SymbolTable::new();
+        let mut r = Relation::default();
+        for k in 0..256 {
+            r.insert(syms(&mut t, &[k % 16, k]));
+            r.ensure_sorted(); // seal after every insert: worst case
+        }
+        let batches = r.sorted_batches();
+        assert!(
+            batches.len() <= 10,
+            "size-tiered compaction failed: {} batches for 256 rows",
+            batches.len()
+        );
+        let total: usize = batches.iter().map(Vec::len).sum();
+        assert_eq!(total, 256);
+        // All rows for one head, across all batches.
+        let s3 = t.sym(&v(3));
+        assert_eq!(r.probe_sorted(s3, |_| ()), 16);
+    }
+
+    #[test]
+    fn clear_drops_sorted_batches() {
+        let mut t = SymbolTable::new();
+        let mut r = Relation::default();
+        r.insert(syms(&mut t, &[1, 2]));
+        r.ensure_sorted();
+        r.clear();
+        assert!(r.sorted_batches().is_empty());
+        assert!(r.is_sealed(), "empty relation is trivially sealed");
+        r.insert(syms(&mut t, &[1, 9]));
+        let s1 = t.sym(&v(1));
+        assert_eq!(r.probe_sorted(s1, |row| assert_eq!(row.len(), 2)), 1);
+    }
+
+    #[test]
+    fn nullary_rows_sort_before_keyed_rows() {
+        let mut t = SymbolTable::new();
+        let mut r = Relation::default();
+        r.insert(syms(&mut t, &[5]));
+        r.insert(Vec::new()); // nullary row
+        r.ensure_sorted();
+        let s5 = t.sym(&v(5));
+        let mut found = Vec::new();
+        r.probe_sorted(s5, |row| found.push(row.to_vec()));
+        assert_eq!(found, vec![syms(&mut t, &[5])]);
+    }
+
+    #[test]
     fn same_facts_ignores_insertion_order() {
         let mut t = SymbolTable::new();
         let e = t.rel("E");
@@ -794,6 +1078,8 @@ mod tests {
             new_facts: 5,
             index_probes: 7,
             index_hits: 6,
+            merge_probes: 3,
+            merge_hits: 2,
             bytes_moved: 40,
         };
         m.merge(&EvalMetrics {
@@ -802,6 +1088,8 @@ mod tests {
             new_facts: 1,
             index_probes: 1,
             index_hits: 1,
+            merge_probes: 4,
+            merge_hits: 5,
             bytes_moved: 8,
         });
         assert_eq!(m.iterations, 3);
@@ -809,6 +1097,8 @@ mod tests {
         assert_eq!(m.new_facts, 6);
         assert_eq!(m.index_probes, 8);
         assert_eq!(m.index_hits, 7);
+        assert_eq!(m.merge_probes, 7);
+        assert_eq!(m.merge_hits, 7);
         assert_eq!(m.bytes_moved, 48);
     }
 
@@ -821,6 +1111,8 @@ mod tests {
                 new_facts: 5,
                 index_probes: 7,
                 index_hits: 6,
+                merge_probes: 1,
+                merge_hits: 4,
                 bytes_moved: 40,
             },
             EvalMetrics {
@@ -829,6 +1121,8 @@ mod tests {
                 new_facts: 0,
                 index_probes: 11,
                 index_hits: 9,
+                merge_probes: 0,
+                merge_hits: 0,
                 bytes_moved: 16,
             },
             EvalMetrics {
@@ -837,6 +1131,8 @@ mod tests {
                 new_facts: 99,
                 index_probes: 0,
                 index_hits: 0,
+                merge_probes: 13,
+                merge_hits: 21,
                 bytes_moved: 792,
             },
         ];

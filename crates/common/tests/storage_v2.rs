@@ -1,0 +1,194 @@
+//! Differential property tests (hand-rolled, seeded — the workspace is
+//! dependency-free) for the storage-v2 sorted-batch layer:
+//!
+//! * the public v1 API — `rows()`, `delta_rows()`, `probe()`, `row()`,
+//!   `contains()` — is **byte-identical** to a v1 reference model (an
+//!   insertion log + seen-set) on random insert/mark-delta/seal
+//!   schedules, i.e. the sorted batches are invisible to v1 callers;
+//! * sealing preserves multiset semantics: the union of the sorted
+//!   batches plus the unsealed tail is exactly the distinct row set;
+//! * the sorted invariant: every batch is strictly sorted, batches
+//!   cover exactly the sealed prefix, and `probe_sorted_iter` returns
+//!   exactly the rows a full scan would.
+
+use calm_common::rng::Rng;
+use calm_common::storage::{Relation, Sym, SymTuple};
+use std::collections::BTreeSet;
+
+/// The v1 reference model: an insertion log with a seen-set and a
+/// delta watermark — exactly what `Relation` was before storage v2.
+#[derive(Default)]
+struct V1 {
+    rows: Vec<SymTuple>,
+    seen: BTreeSet<SymTuple>,
+    delta_start: usize,
+}
+
+impl V1 {
+    fn insert(&mut self, t: SymTuple) -> bool {
+        if self.seen.insert(t.clone()) {
+            self.rows.push(t);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn mark_delta(&mut self) {
+        self.delta_start = self.rows.len();
+    }
+
+    fn probe_scan(&self, col: usize, s: Sym) -> Vec<&SymTuple> {
+        self.rows
+            .iter()
+            .filter(|r| r.get(col) == Some(&s))
+            .collect()
+    }
+}
+
+fn random_row(rng: &mut Rng, arity: usize, domain: u64) -> SymTuple {
+    (0..arity)
+        .map(|_| Sym((rng.gen_u64() % domain) as u32))
+        .collect()
+}
+
+/// Drive a `Relation` and the v1 model through the same random
+/// schedule of inserts, watermark moves and seals; check the full v1
+/// surface after every phase.
+#[test]
+fn v1_api_is_byte_identical_to_the_reference_model() {
+    for seed in 0..40u64 {
+        let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x51C2);
+        let arity = 1 + (rng.gen_u64() % 4) as usize;
+        let domain = 2 + rng.gen_u64() % 12;
+        let mut rel = Relation::default();
+        rel.ensure_index(0);
+        let mut model = V1::default();
+        for _phase in 0..8 {
+            let inserts = rng.gen_u64() % 30;
+            for _ in 0..inserts {
+                let row = random_row(&mut rng, arity, domain);
+                assert_eq!(
+                    rel.insert(row.clone()),
+                    model.insert(row),
+                    "seed {seed}: insert return"
+                );
+            }
+            // Random maintenance: seal, move the watermark, or neither.
+            match rng.gen_u64() % 3 {
+                0 => rel.ensure_sorted(),
+                1 => {
+                    rel.mark_delta();
+                    model.mark_delta();
+                }
+                _ => {}
+            }
+            // The v1 surface must be identical, sealed or not.
+            assert_eq!(rel.rows(), &model.rows[..], "seed {seed}: insertion order");
+            assert_eq!(
+                rel.delta_rows(),
+                &model.rows[model.delta_start..],
+                "seed {seed}: delta region"
+            );
+            assert_eq!(rel.delta_start(), model.delta_start, "seed {seed}");
+            assert_eq!(rel.len(), model.rows.len(), "seed {seed}");
+            for (i, row) in model.rows.iter().enumerate() {
+                assert_eq!(rel.row(i as u32), row, "seed {seed}: row({i})");
+                assert!(rel.contains(row), "seed {seed}: contains");
+            }
+            // Hash-index probes agree with a full scan of the model.
+            for s in 0..domain {
+                let got: Vec<&SymTuple> = rel
+                    .probe(0, Sym(s as u32))
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|&id| rel.row(id))
+                    .collect();
+                assert_eq!(
+                    got,
+                    model.probe_scan(0, Sym(s as u32)),
+                    "seed {seed}: probe col 0 sym {s}"
+                );
+            }
+        }
+    }
+}
+
+/// Seal at random points and check the sorted-batch invariants: strict
+/// per-batch ordering, coverage of exactly the sealed prefix, and
+/// probe results identical (as a multiset of rows) to a tail scan.
+#[test]
+fn sealing_preserves_multiset_semantics_and_sorted_invariant() {
+    for seed in 0..40u64 {
+        let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xB47C);
+        let arity = 1 + (rng.gen_u64() % 3) as usize;
+        let domain = 2 + rng.gen_u64() % 10;
+        let mut rel = Relation::default();
+        let mut all: BTreeSet<SymTuple> = BTreeSet::new();
+        for _round in 0..12 {
+            for _ in 0..(rng.gen_u64() % 20) {
+                let row = random_row(&mut rng, arity, domain);
+                rel.insert(row.clone());
+                all.insert(row);
+            }
+            if rng.gen_u64().is_multiple_of(2) {
+                rel.ensure_sorted();
+                assert!(rel.is_sealed(), "seed {seed}: sealed after ensure_sorted");
+            }
+            // Invariant: each batch strictly sorted; batches + tail
+            // cover the distinct row set exactly (multiset semantics:
+            // no row lost, none duplicated).
+            let batches = rel.sorted_batches();
+            let mut covered: Vec<SymTuple> = Vec::new();
+            for batch in &batches {
+                for w in batch.windows(2) {
+                    assert!(w[0] < w[1], "seed {seed}: batch rows strictly sorted");
+                }
+                covered.extend(batch.iter().map(|r| r.to_vec()));
+            }
+            let sealed: usize = batches.iter().map(Vec::len).sum();
+            covered.extend(rel.rows()[sealed..].iter().cloned());
+            covered.sort();
+            assert!(
+                covered.windows(2).all(|w| w[0] < w[1]),
+                "seed {seed}: no row appears twice across batches + tail"
+            );
+            let expect: Vec<SymTuple> = all.iter().cloned().collect();
+            assert_eq!(covered, expect, "seed {seed}: coverage");
+            // Merge probes return exactly what a full scan finds.
+            for s in 0..domain {
+                let s = Sym(s as u32);
+                let mut got: Vec<SymTuple> = rel.probe_sorted_iter(s).map(|r| r.to_vec()).collect();
+                got.sort();
+                let mut want: Vec<SymTuple> = rel
+                    .rows()
+                    .iter()
+                    .filter(|r| r.first() == Some(&s))
+                    .cloned()
+                    .collect();
+                want.sort();
+                assert_eq!(got, want, "seed {seed}: probe_sorted({s:?})");
+            }
+        }
+    }
+}
+
+/// Compaction keeps the batch count logarithmic: one-by-one seals must
+/// not produce one batch per seal.
+#[test]
+fn compaction_bounds_batch_count_under_adversarial_sealing() {
+    let mut rng = Rng::seed_from_u64(0xC09A_C7ED);
+    let mut rel = Relation::default();
+    for i in 0..512u32 {
+        // Mostly-fresh rows so almost every insert lands.
+        rel.insert(vec![Sym(i), Sym((rng.gen_u64() % 8) as u32)]);
+        rel.ensure_sorted();
+    }
+    let batches = rel.sorted_batches();
+    assert!(
+        batches.len() <= 10,
+        "size-tiered compaction must keep O(log n) batches, got {}",
+        batches.len()
+    );
+    assert_eq!(batches.iter().map(Vec::len).sum::<usize>(), rel.len());
+}

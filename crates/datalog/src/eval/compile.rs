@@ -16,6 +16,32 @@ pub enum Slot {
     Var(usize),
 }
 
+/// How the join loop enumerates an atom's candidate rows, chosen at
+/// compile time from the atom's probe position (Storage v2 planner).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// The probe position is the leading column: binary-search the
+    /// relation's sorted immutable batches (lexicographic row order
+    /// makes leading-column groups contiguous). No hash index is built
+    /// or maintained for the relation's leading column.
+    Merge,
+    /// The probe position is a non-leading column: probe the
+    /// incrementally maintained per-column hash index.
+    Hash,
+    /// No position is bound when the atom is reached: scan all rows.
+    Scan,
+}
+
+impl std::fmt::Display for JoinStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            JoinStrategy::Merge => "merge",
+            JoinStrategy::Hash => "hash",
+            JoinStrategy::Scan => "scan",
+        })
+    }
+}
+
 /// A compiled atom.
 #[derive(Debug, Clone)]
 pub struct CompiledAtom {
@@ -25,8 +51,12 @@ pub struct CompiledAtom {
     pub slots: Vec<Slot>,
     /// The first position guaranteed bound when this atom is evaluated in
     /// body order (a constant, or a variable introduced by an earlier
-    /// atom). Used for hash-index probes; `None` means full scan.
+    /// atom). Used for merge/hash probes; `None` means full scan.
     pub probe: Option<usize>,
+    /// How candidate rows are enumerated when indexes are enabled:
+    /// derived from `probe` (leading column ⇒ merge join over sorted
+    /// batches, other column ⇒ hash probe, unbound ⇒ scan).
+    pub strategy: JoinStrategy,
 }
 
 /// A rule compiled for evaluation (against the symbol table it was
@@ -213,6 +243,7 @@ pub fn compile_rule(
                 relation: table.rel(&a.relation),
                 slots: compiled_slots,
                 probe,
+                strategy: strategy_for(probe),
             }
         })
         .collect();
@@ -227,6 +258,7 @@ pub fn compile_rule(
                 .map(|t| compile_term(t, &mut slots, table))
                 .collect(),
             probe: None,
+            strategy: JoinStrategy::Scan,
         })
         .collect();
     let ineq: Vec<(Slot, Slot)> = rule
@@ -248,6 +280,7 @@ pub fn compile_rule(
             .map(|t| compile_term(t, &mut slots, table))
             .collect(),
         probe: None,
+        strategy: JoinStrategy::Scan,
     };
     let recursive_pos = rule
         .pos
@@ -261,6 +294,18 @@ pub fn compile_rule(
         ineq,
         head,
         recursive_pos,
+    }
+}
+
+/// The join strategy implied by a probe position: the leading column is
+/// contiguous under sorted-batch (lexicographic) row order, so it is
+/// merge-joinable without any hash index; any other bound position
+/// falls back to the per-column hash index; no bound position scans.
+fn strategy_for(probe: Option<usize>) -> JoinStrategy {
+    match probe {
+        Some(0) => JoinStrategy::Merge,
+        Some(_) => JoinStrategy::Hash,
+        None => JoinStrategy::Scan,
     }
 }
 
@@ -379,11 +424,30 @@ mod tests {
         let m = fixpoint_seminaive(&p, &mut db);
         assert_eq!(db.to_instance().relation_len("O"), n as usize);
         assert_eq!(m.derivations, (n * n) as usize);
+        let probes = m.index_probes + m.merge_probes;
         assert!(
-            m.index_probes <= 4 * n as usize,
-            "index probes not linear: {} for n = {n}",
-            m.index_probes
+            probes <= 4 * n as usize,
+            "probes not linear: {probes} for n = {n}"
         );
+    }
+
+    #[test]
+    fn join_strategy_follows_probe_position() {
+        // T(x,y) scans (first atom), E(y,z) probes at its leading
+        // column (merge), F(z,y) probes y at position 1 (hash).
+        let r = parse_rule("O(x) :- T(x,y), E(y,z), F(w,z).").unwrap();
+        let mut table = SymbolTable::new();
+        let c = compile_rule(&r, &mut table, |_| false);
+        assert_eq!(c.pos[0].probe, None);
+        assert_eq!(c.pos[0].strategy, JoinStrategy::Scan);
+        assert_eq!(c.pos[1].probe, Some(0));
+        assert_eq!(c.pos[1].strategy, JoinStrategy::Merge);
+        assert_eq!(c.pos[2].probe, Some(1));
+        assert_eq!(c.pos[2].strategy, JoinStrategy::Hash);
+        // Constants in the leading position also merge.
+        let r2 = parse_rule("O(x) :- R(3, x).").unwrap();
+        let c2 = compile_rule(&r2, &mut table, |_| false);
+        assert_eq!(c2.pos[0].strategy, JoinStrategy::Merge);
     }
 
     #[test]

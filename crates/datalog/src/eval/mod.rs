@@ -13,6 +13,7 @@ pub mod database;
 pub mod seminaive;
 pub mod stratified;
 
+pub use compile::JoinStrategy;
 pub use database::Database;
 pub use seminaive::{
     body_valuations, derive_once, fixpoint_naive, fixpoint_seminaive, fixpoint_seminaive_compiled,
@@ -24,5 +25,5 @@ pub use seminaive::{
 pub use stratified::{
     eval_program, eval_program_with, eval_query, eval_query_obs, eval_query_opts,
     eval_stratification, eval_stratification_opts, eval_stratification_shared,
-    eval_stratification_shared_obs, Engine,
+    eval_stratification_shared_obs, plan_report, Engine,
 };

@@ -30,7 +30,9 @@
 //! take the index-probe fast path issues exactly one probe, so such a
 //! unit is never split (splitting would multiply `index_probes`).
 
-use super::compile::{compile_rule, compile_rule_ordered, CompiledAtom, CompiledRule, Slot};
+use super::compile::{
+    compile_rule, compile_rule_ordered, CompiledAtom, CompiledRule, JoinStrategy, Slot,
+};
 use super::database::Database;
 use crate::ast::{Rule, Var};
 use crate::program::Program;
@@ -91,13 +93,31 @@ impl EvalOptions {
     }
 }
 
-/// The `(relation, position)` pairs the compiled rules will probe.
+/// The `(relation, position)` pairs the compiled rules will probe via
+/// the hash path. Leading-column probes go through the merge-join path
+/// over sorted batches instead ([`sorted_relations`]), so no hash index
+/// is built — or incrementally maintained on every insert — for them.
 fn wanted_indexes(rules: &[CompiledRule]) -> BTreeSet<(RelId, usize)> {
     let mut out = BTreeSet::new();
     for rule in rules {
         for atom in &rule.pos {
-            if let Some(p) = atom.probe {
+            if let (Some(p), JoinStrategy::Hash) = (atom.probe, atom.strategy) {
                 out.insert((atom.relation, p));
+            }
+        }
+    }
+    out
+}
+
+/// The relations some atom merge-joins on its leading column: these are
+/// sealed into sorted batches at fixpoint entry and re-sealed at every
+/// watermark boundary.
+fn sorted_relations(rules: &[CompiledRule]) -> BTreeSet<RelId> {
+    let mut out = BTreeSet::new();
+    for rule in rules {
+        for atom in &rule.pos {
+            if atom.strategy == JoinStrategy::Merge {
+                out.insert(atom.relation);
             }
         }
     }
@@ -226,14 +246,46 @@ fn eval_pos(
         return;
     };
     let scanning_delta = delta_at == Some(idx);
-    // Fast path: probe the hash index with the bound symbol at the probe
-    // position (never when this atom scans the small delta region).
+    // Fast paths: probe with the bound symbol at the probe position
+    // (never when this atom scans the small delta region). Leading-column
+    // probes merge-join the sorted batches; other positions probe the
+    // hash index.
     if !scanning_delta && use_index {
         if let Some(p) = atom.probe {
             let s = match atom.slots[p] {
                 Slot::Const(c) => c,
                 Slot::Var(i) => binding[i].expect("probe position must be bound"),
             };
+            if atom.strategy == JoinStrategy::Merge {
+                debug_assert_eq!(p, 0, "merge join probes the leading column");
+                debug_assert!(
+                    idx > 0 || range.is_none(),
+                    "partitioned job must not take the outer probe path"
+                );
+                metrics.merge_probes += 1;
+                for row in relation.probe_sorted_iter(s) {
+                    metrics.merge_hits += 1;
+                    if row.len() != atom.slots.len() {
+                        continue;
+                    }
+                    if let Some(newly) = unify(atom, row, binding) {
+                        eval_pos(
+                            rule,
+                            idx + 1,
+                            full,
+                            use_index,
+                            neg_db,
+                            delta_at,
+                            range,
+                            binding,
+                            metrics,
+                            emit,
+                        );
+                        undo(binding, &newly);
+                    }
+                }
+                return;
+            }
             if let Some(ids) = relation.probe(p, s) {
                 // The parallel planner never partitions a unit whose
                 // outermost atom takes the probe path: it would issue
@@ -421,10 +473,19 @@ pub fn fixpoint_seminaive_frozen(
 pub struct CompiledProgram {
     rules: Vec<CompiledRule>,
     indexes: Vec<(RelId, usize)>,
+    /// Relations merge-joined on their leading column — sealed into
+    /// sorted batches at fixpoint entry and at every watermark boundary.
+    sorted: Vec<RelId>,
     options: EvalOptions,
     /// Per-rule span labels (`<head-relation>#<rule-index>`), computed at
     /// compile time so tracing never consults the symbol table.
     labels: Vec<String>,
+    /// Per-rule plan descriptions (atom order and join strategy per
+    /// atom), rendered at compile time for `--dump-plan` and tracing.
+    plan: Vec<String>,
+    /// Positive atoms per strategy: `[merge, hash, scan]` counts,
+    /// reported as `eval.plan` counters.
+    strategy_counts: [usize; 3],
 }
 
 impl CompiledProgram {
@@ -435,27 +496,80 @@ impl CompiledProgram {
         options: EvalOptions,
     ) -> CompiledProgram {
         let rules = compile_program(program, table, options.reorder);
-        let indexes = if options.index {
-            wanted_indexes(&rules).into_iter().collect()
+        let (indexes, sorted) = if options.index {
+            (
+                wanted_indexes(&rules).into_iter().collect(),
+                sorted_relations(&rules).into_iter().collect(),
+            )
         } else {
-            Vec::new()
+            (Vec::new(), Vec::new())
         };
-        let labels = rules
+        let labels: Vec<String> = rules
             .iter()
             .enumerate()
             .map(|(i, r)| format!("{}#{i}", table.rel_name(r.head.relation)))
             .collect();
+        let mut strategy_counts = [0usize; 3];
+        let plan = rules
+            .iter()
+            .zip(&labels)
+            .map(|(r, label)| {
+                let mut parts: Vec<String> = r
+                    .pos
+                    .iter()
+                    .map(|a| {
+                        let strategy = if options.index {
+                            a.strategy
+                        } else {
+                            JoinStrategy::Scan
+                        };
+                        strategy_counts[match strategy {
+                            JoinStrategy::Merge => 0,
+                            JoinStrategy::Hash => 1,
+                            JoinStrategy::Scan => 2,
+                        }] += 1;
+                        match (strategy, a.probe) {
+                            (JoinStrategy::Scan, _) | (_, None) => {
+                                format!("{}[scan]", table.rel_name(a.relation))
+                            }
+                            (s, Some(p)) => format!("{}[{s}@{p}]", table.rel_name(a.relation)),
+                        }
+                    })
+                    .collect();
+                parts.extend(
+                    r.neg
+                        .iter()
+                        .map(|a| format!("not {}[lookup]", table.rel_name(a.relation))),
+                );
+                format!("{label}: {}", parts.join(", "))
+            })
+            .collect();
         CompiledProgram {
             rules,
             indexes,
+            sorted,
             options,
             labels,
+            plan,
+            strategy_counts,
         }
     }
 
     /// The span label of rule `i` (`<head-relation>#<rule-index>`).
     pub fn rule_label(&self, i: usize) -> &str {
         &self.labels[i]
+    }
+
+    /// One line per rule: evaluation order of the body atoms and the
+    /// join strategy chosen for each (`merge@p` / `hash@p` / `scan`).
+    pub fn plan_lines(&self) -> &[String] {
+        &self.plan
+    }
+
+    /// Positive atoms per join strategy: `(merge, hash, scan)`.
+    pub fn strategy_counts(&self) -> (usize, usize, usize) {
+        let [m, h, s] = self.strategy_counts;
+        (m, h, s)
     }
 
     /// Set the data-parallel worker count for subsequent fixpoints.
@@ -729,9 +843,20 @@ fn fixpoint_compiled_impl(
     }
     let threads = cp.options.eval_threads.max(1);
     // Build the probe indexes once; inserts keep them current, so the
-    // fixpoint loop below never rebuilds an index.
+    // fixpoint loop below never rebuilds an index. Merge-joined
+    // relations are sealed into sorted batches instead — here and at
+    // every watermark boundary below, always on the mutating thread.
     for &(rel, pos) in &cp.indexes {
         db.storage_mut().relation_mut(rel).ensure_index(pos);
+    }
+    for &rel in &cp.sorted {
+        db.storage_mut().relation_mut(rel).ensure_sorted();
+    }
+    if obs.enabled() {
+        let (merge, hash, scan) = cp.strategy_counts();
+        obs.counter("eval.plan", "atoms.merge", merge as u64);
+        obs.counter("eval.plan", "atoms.hash", hash as u64);
+        obs.counter("eval.plan", "atoms.scan", scan as u64);
     }
     let mut metrics = EvalMetrics::default();
     let mut pending: Vec<(RelId, SymTuple)> = Vec::new();
@@ -778,7 +903,16 @@ fn fixpoint_compiled_impl(
             obs.counter("eval", "derivations", metrics.derivations as u64);
             obs.counter("eval", "new_facts", metrics.new_facts as u64);
             obs.counter("eval", "iterations", metrics.iterations as u64);
+            obs.counter("eval", "index_probes", metrics.index_probes as u64);
+            obs.counter("eval", "merge_probes", metrics.merge_probes as u64);
             return metrics;
+        }
+        // Re-seal the merge-joined relations so the sorted batches cover
+        // the rows just inserted (including the new delta region): merge
+        // probes in the round below are then pure binary searches with
+        // an empty unsealed tail.
+        for &rel in &cp.sorted {
+            db.storage_mut().relation_mut(rel).ensure_sorted();
         }
         // Delta round: recursive rules only, one delta position at a time.
         // Dedup across repeated relations at multiple positions is handled
@@ -967,18 +1101,58 @@ mod tests {
 
     #[test]
     fn indexed_run_probes_instead_of_scanning() {
+        // TC probes E on its leading column: the planner chooses the
+        // merge join over sorted batches, never the hash index.
         let input = path(8);
         let mut db = Database::from_instance(&input);
         let s = fixpoint_seminaive(&tc(), &mut db);
-        assert!(s.index_probes > 0, "optimized run must use the indexes");
-        assert!(s.index_hits > 0);
+        assert!(s.merge_probes > 0, "optimized run must merge-join");
+        assert!(s.merge_hits > 0);
+        assert_eq!(s.index_probes, 0, "leading-column probes never hash");
         assert!(s.bytes_moved > 0);
-        // The baseline never touches an index.
+        // The baseline neither merges nor touches an index.
         let mut db2 = Database::from_instance(&input);
         let s2 = fixpoint_seminaive_with(&tc(), &mut db2, EvalOptions::BASELINE);
         assert_eq!(s2.index_probes, 0);
         assert_eq!(s2.index_hits, 0);
+        assert_eq!(s2.merge_probes, 0);
+        assert_eq!(s2.merge_hits, 0);
         assert_eq!(db.to_instance(), db2.to_instance());
+    }
+
+    #[test]
+    fn non_leading_probe_takes_the_hash_path() {
+        // F is probed at position 1 (y bound by E), so the planner falls
+        // back to the hash index for it.
+        let p = parse_program("O(x,y) :- E(x,y), F(z,y).").unwrap();
+        let input = Instance::from_facts([
+            fact("E", [1, 2]),
+            fact("E", [3, 4]),
+            fact("F", [7, 2]),
+            fact("F", [8, 9]),
+        ]);
+        let mut db = Database::from_instance(&input);
+        let s = fixpoint_seminaive(&p, &mut db);
+        assert!(s.index_probes > 0, "non-leading probe must use the index");
+        assert!(s.index_hits > 0);
+        let out = db.to_instance();
+        assert_eq!(out.relation_len("O"), 1);
+        assert!(out.contains(&fact("O", [1, 2])));
+    }
+
+    #[test]
+    fn merge_join_matches_baseline_on_random_graphs() {
+        // Differential: indexed (merge + hash) vs BASELINE (pure scans)
+        // must derive the same instance on a spread of graph shapes.
+        for n in [0, 1, 2, 5, 9] {
+            for input in [path(n), calm_common::generator::cycle(n.max(1))] {
+                let mut a = Database::from_instance(&input);
+                fixpoint_seminaive(&tc(), &mut a);
+                let mut b = Database::from_instance(&input);
+                fixpoint_seminaive_with(&tc(), &mut b, EvalOptions::BASELINE);
+                assert_eq!(a.to_instance(), b.to_instance(), "diverged at n={n}");
+            }
+        }
     }
 
     #[test]

@@ -125,6 +125,31 @@ pub fn eval_stratification_opts(
     (db.to_instance(), stats)
 }
 
+/// Render the per-stratum evaluation plan of a program: one line per
+/// rule with its atom order and the join strategy chosen for each atom
+/// (`merge@p` for leading-column probes over sorted batches, `hash@p`
+/// for hash-index probes, `scan` otherwise). The `--dump-plan` surface
+/// of `calm eval` / `calm simulate`.
+///
+/// # Errors
+/// Returns [`NotStratifiable`] for programs with a negative cycle.
+pub fn plan_report(p: &Program) -> Result<String, NotStratifiable> {
+    use super::seminaive::{CompiledProgram, EvalOptions};
+    let strat = stratify(p)?;
+    let symbols = calm_common::storage::SharedSymbols::new();
+    let mut out = String::new();
+    for (i, stratum) in strat.strata.iter().enumerate() {
+        let cp = CompiledProgram::new(stratum, &mut symbols.write(), EvalOptions::default());
+        out.push_str(&format!("stratum {i}:\n"));
+        for line in cp.plan_lines() {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
 /// Evaluate and project onto the program's output schema — the query
 /// answer `P(I)|σ'`.
 ///
@@ -302,6 +327,26 @@ mod tests {
             merged.iterations,
             stats.iter().map(|s| s.iterations).sum::<usize>()
         );
+    }
+
+    #[test]
+    fn plan_report_lists_strategies_per_stratum() {
+        let p = parse_program(
+            "T(x,y) :- E(x,y).\n\
+             T(x,z) :- T(x,y), E(y,z).\n\
+             O(x,y) :- T(x,y), F(z,y), not T(y,x).",
+        )
+        .unwrap();
+        let plan = plan_report(&p).unwrap();
+        assert!(plan.contains("stratum 0:"), "{plan}");
+        assert!(plan.contains("stratum 1:"), "{plan}");
+        // The recursive TC rule merge-joins E on its leading column…
+        assert!(plan.contains("E[merge@0]"), "{plan}");
+        // …the non-leading probe hashes, and negation is a lookup.
+        assert!(plan.contains("F[hash@1]"), "{plan}");
+        assert!(plan.contains("not T[lookup]"), "{plan}");
+        // The single-atom base rules scan.
+        assert!(plan.contains("E[scan]"), "{plan}");
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub mod stratify;
 pub mod wellfounded;
 
 pub use ast::{Atom, Rule, Term, Var};
-pub use eval::{eval_program, eval_query, eval_query_obs, eval_query_opts, Engine};
+pub use eval::{
+    eval_program, eval_query, eval_query_obs, eval_query_opts, plan_report, Engine, JoinStrategy,
+};
 pub use fragment::{classify, is_rule_connected, FragmentReport};
 pub use parser::{parse_facts, parse_program, parse_rule};
 pub use program::{Program, ProgramError};

@@ -3,6 +3,7 @@
 
 use crate::faults::{FaultPlan, FaultStats, LinkCounters, NodeSnapshot, ReliableNet, Wire};
 use crate::termination::Token;
+use crate::wirefmt;
 use calm_common::fact::Fact;
 use calm_common::instance::Instance;
 use calm_obs::{ArgValue, Obs};
@@ -15,6 +16,7 @@ use calm_transducer::schema::SystemConfig;
 use calm_transducer::transducer::Transducer;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How long a worker with standing reliability obligations (unacked
@@ -144,6 +146,15 @@ pub struct WorkerStats {
     /// receiving worker; the merged map reconciles (see
     /// [`LinkCounters`]).
     pub link_counters: BTreeMap<(usize, usize), LinkCounters>,
+    /// Delta-encoded payload bytes this worker put on the wire:
+    /// cross-worker `Msg::Batch` payloads on the fault-free path, every
+    /// transmitted copy (retransmissions and duplicates included) under
+    /// a fault plan. Same-worker deliveries move in memory and cost no
+    /// wire bytes.
+    pub wire_bytes: u64,
+    /// What the same traffic would have cost under the pre-v2 per-fact
+    /// payload encoding — the E23 baseline.
+    pub wire_bytes_naive: u64,
 }
 
 /// The result of a threaded run — same shape as the sequential
@@ -169,6 +180,11 @@ pub struct ThreadedRunResult {
     /// link satisfies `attempts == delivered + suppressed + dropped`
     /// (and `buffered == 0`).
     pub link_counters: BTreeMap<(usize, usize), LinkCounters>,
+    /// Merged delta-encoded bytes on the wire (fold of the per-worker
+    /// [`WorkerStats::wire_bytes`]).
+    pub wire_bytes: u64,
+    /// Merged pre-v2 baseline bytes ([`WorkerStats::wire_bytes_naive`]).
+    pub wire_bytes_naive: u64,
 }
 
 /// Messages on the per-worker channels. `Batch` is the basic message of
@@ -179,9 +195,12 @@ enum Msg {
     Batch {
         /// Destination node, as a global node index.
         node: usize,
-        /// The occurrences (multiset: the same fact may be in flight
-        /// several times from different senders).
-        facts: Multiset<Fact>,
+        /// One step's send in the delta wire format of
+        /// [`crate::wirefmt`] (a multiset: the same fact may be in
+        /// flight several times from different senders). Encoded once
+        /// per step and shared (`Arc`) across destinations; decoded at
+        /// the receiving worker.
+        payload: Arc<[u8]>,
     },
     /// A wire of the reliability substrate (fault mode only): sequenced
     /// data or a cumulative ack. Like `Batch`, a basic message of the
@@ -292,11 +311,15 @@ pub fn run_threaded_with(
     let mut token_passes = 0u64;
     let mut faults = FaultStats::default();
     let mut link_counters: BTreeMap<(usize, usize), LinkCounters> = BTreeMap::new();
+    let mut wire_bytes = 0u64;
+    let mut wire_bytes_naive = 0u64;
     for outcome in outcomes {
         metrics.merge(&outcome.stats.metrics);
         quiescent &= outcome.clean;
         token_passes += outcome.stats.token_passes;
         faults.merge(&outcome.stats.faults);
+        wire_bytes += outcome.stats.wire_bytes;
+        wire_bytes_naive += outcome.stats.wire_bytes_naive;
         for (link, counters) in &outcome.stats.link_counters {
             link_counters.entry(*link).or_default().merge(counters);
         }
@@ -337,6 +360,8 @@ pub fn run_threaded_with(
         });
     }
     if obs.enabled() {
+        obs.counter("net", "wire.bytes", wire_bytes);
+        obs.counter("net", "wire.bytes_naive", wire_bytes_naive);
         obs.event("runtime", "run_summary", 0, || {
             vec![
                 ("quiescent", ArgValue::Bool(quiescent)),
@@ -363,6 +388,8 @@ pub fn run_threaded_with(
         quiescent,
         faults,
         link_counters,
+        wire_bytes,
+        wire_bytes_naive,
     }
 }
 
@@ -566,9 +593,10 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
         // 1. Drain the channel without blocking.
         loop {
             match rx.try_recv() {
-                Ok(Msg::Batch { node, facts }) => {
+                Ok(Msg::Batch { node, payload }) => {
                     counter -= 1;
                     black = true;
+                    let facts = wirefmt::decode(&payload).expect("channel batch decodes");
                     enqueue(&mut slots, &mut metrics, &mut stats, node, facts);
                 }
                 Ok(Msg::Wire(wire)) => {
@@ -674,13 +702,16 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                     let sender_global = slots[l].global;
                     if !outcome.sent.is_empty() {
                         // Sends are staged in the outbox; the next
-                        // snapshot commits and transmits them.
+                        // snapshot commits and transmits them. One
+                        // encoding serves every destination.
+                        let facts: Multiset<Fact> = outcome.sent.iter().cloned().collect();
+                        let payload: Arc<[u8]> = wirefmt::encode(&facts).into();
+                        let naive_len = wirefmt::naive_len(&facts) as u64;
                         for g in 0..total_nodes {
                             if g == sender_global {
                                 continue;
                             }
-                            let facts: Multiset<Fact> = outcome.sent.iter().cloned().collect();
-                            rnet.send(sender_global, g, facts);
+                            rnet.send_payload(sender_global, g, payload.clone(), naive_len);
                         }
                     }
                     if let Some(point) = rnet.due_crash(sender_global, slots[l].transitions) {
@@ -733,21 +764,34 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                     continue;
                 }
                 // Route: every other node gets every sent fact — local
-                // inboxes directly, remote workers as one batch per
-                // destination node (the Safra counter counts batches).
+                // inboxes directly (in memory, no encoding), remote
+                // workers as one encoded batch per destination node
+                // (the Safra counter counts batches). One encoding
+                // serves every remote destination.
                 let sender_global = slots[l].global;
+                let facts: Multiset<Fact> = outcome.sent.iter().cloned().collect();
+                let mut encoded: Option<(Arc<[u8]>, u64)> = None;
                 for g in 0..total_nodes {
                     if g == sender_global {
                         continue;
                     }
                     if g % workers == id {
-                        let facts: Multiset<Fact> = outcome.sent.iter().cloned().collect();
-                        enqueue(&mut slots, &mut metrics, &mut stats, g, facts);
+                        enqueue(&mut slots, &mut metrics, &mut stats, g, facts.clone());
                     } else {
-                        let facts: Multiset<Fact> = outcome.sent.iter().cloned().collect();
+                        let (payload, naive_len) = encoded.get_or_insert_with(|| {
+                            (
+                                wirefmt::encode(&facts).into(),
+                                wirefmt::naive_len(&facts) as u64,
+                            )
+                        });
+                        stats.wire_bytes += payload.len() as u64;
+                        stats.wire_bytes_naive += *naive_len;
                         counter += 1;
                         senders[g % workers]
-                            .send(Msg::Batch { node: g, facts })
+                            .send(Msg::Batch {
+                                node: g,
+                                payload: payload.clone(),
+                            })
                             .expect("worker channel closed");
                     }
                 }
@@ -793,9 +837,10 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
             }
             if rnet_ref.has_obligations() {
                 match rx.recv_timeout(TIMER_WAIT) {
-                    Ok(Msg::Batch { node, facts }) => {
+                    Ok(Msg::Batch { node, payload }) => {
                         counter -= 1;
                         black = true;
+                        let facts = wirefmt::decode(&payload).expect("channel batch decodes");
                         enqueue(&mut slots, &mut metrics, &mut stats, node, facts);
                     }
                     Ok(Msg::Wire(wire)) => {
@@ -875,9 +920,10 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
         // 4. Block until something arrives (a batch reactivates us, a
         // token resumes the probe, Terminate ends the run).
         match rx.recv() {
-            Ok(Msg::Batch { node, facts }) => {
+            Ok(Msg::Batch { node, payload }) => {
                 counter -= 1;
                 black = true;
+                let facts = wirefmt::decode(&payload).expect("channel batch decodes");
                 enqueue(&mut slots, &mut metrics, &mut stats, node, facts);
             }
             Ok(Msg::Wire(wire)) => {
@@ -911,6 +957,8 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
         clean &= rnet.stats.retry_exhausted == 0;
         stats.faults = rnet.stats;
         stats.link_counters = std::mem::take(&mut rnet.link_counters);
+        stats.wire_bytes += rnet.wire_bytes;
+        stats.wire_bytes_naive += rnet.wire_bytes_naive;
     }
     stats.buffered = slots.iter().map(|s| s.pending.len()).sum();
     stats.metrics = metrics;

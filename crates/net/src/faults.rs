@@ -48,11 +48,13 @@
 //! peer could have observed, which is also what lets the sequence
 //! allocator roll back over staged-only seqs instead of leaving holes.
 
+use crate::wirefmt;
 use calm_common::fact::Fact;
 use calm_common::instance::Instance;
 use calm_common::rng::Rng;
 use calm_transducer::multiset::Multiset;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 /// Logical time: one tick per worker loop iteration (or per timed-out
 /// wait while passive-with-obligations). Delays, backoff and partition
@@ -370,8 +372,12 @@ pub enum Wire {
         dst: usize,
         /// Per-link sequence number (1-based).
         seq: u64,
-        /// The facts of one step's send to one destination.
-        facts: Multiset<Fact>,
+        /// One step's send to one destination, in the delta wire
+        /// format of [`crate::wirefmt`]. Shared (`Arc`) so the copies
+        /// of a duplicated or retransmitted wire are free to clone and
+        /// byte-identical by construction; decoded once, at the
+        /// receiver, by [`ReliableNet::receive`].
+        payload: Arc<[u8]>,
     },
     /// A cumulative acknowledgment: `src` is the acking node, `dst` the
     /// original data sender (whose outbox it clears), and `cum` says
@@ -399,8 +405,12 @@ impl Wire {
 /// cumulative ack.
 #[derive(Debug, Clone)]
 pub struct OutEntry {
-    /// The batch (retransmitted verbatim under its original seq).
-    pub facts: Multiset<Fact>,
+    /// The encoded batch (retransmitted byte-for-byte under its
+    /// original seq — the shared buffer makes "verbatim" structural).
+    pub payload: Arc<[u8]>,
+    /// What the pre-v2 per-fact encoding would have spent on this
+    /// batch, for the wire-byte comparison counters.
+    pub naive_len: u64,
     /// Transmission attempts so far (0 while staged).
     pub attempt: u32,
     /// Next retransmission tick (ignored while staged).
@@ -506,6 +516,10 @@ pub struct FaultStats {
     /// Messages abandoned after the retry budget (> 0 means fairness
     /// could not be restored; the run reports `quiescent: false`).
     pub retry_exhausted: u64,
+    /// Data wires whose payload failed wire-format validation at the
+    /// receiver (corruption): refused and counted as dropped, so the
+    /// sender's retransmission path covers them like any other loss.
+    pub decode_failures: u64,
 }
 
 impl FaultStats {
@@ -523,6 +537,7 @@ impl FaultStats {
         self.snapshots += other.snapshots;
         self.crashes += other.crashes;
         self.retry_exhausted += other.retry_exhausted;
+        self.decode_failures += other.decode_failures;
     }
 
     /// Non-zero counters as `(label, value)` pairs, for reports.
@@ -540,6 +555,7 @@ impl FaultStats {
             ("snapshots", self.snapshots),
             ("crashes", self.crashes),
             ("retry_exhausted", self.retry_exhausted),
+            ("decode_failures", self.decode_failures),
         ]
         .into_iter()
         .collect()
@@ -601,6 +617,12 @@ pub struct ReliableNet<'a> {
     pub stats: FaultStats,
     /// Per-link wire accounting (this worker's half).
     pub link_counters: BTreeMap<(usize, usize), LinkCounters>,
+    /// Delta-encoded payload bytes put on the wire (every copy of
+    /// every attempt, including retransmissions and duplicates).
+    pub wire_bytes: u64,
+    /// What the same traffic would have cost under the pre-v2 per-fact
+    /// encoding ([`wirefmt::naive_len`] per copy).
+    pub wire_bytes_naive: u64,
 }
 
 impl<'a> ReliableNet<'a> {
@@ -634,6 +656,8 @@ impl<'a> ReliableNet<'a> {
             crash_queue,
             stats: FaultStats::default(),
             link_counters: BTreeMap::new(),
+            wire_bytes: 0,
+            wire_bytes_naive: 0,
         }
     }
 
@@ -689,18 +713,29 @@ impl<'a> ReliableNet<'a> {
             let shift = (attempt - 1).min(16);
             let backoff = (self.plan.backoff_base << shift).min(self.plan.max_backoff.max(1));
             entry.retry_at = self.tick + backoff.max(1);
-            let facts = entry.facts.clone();
+            let payload = entry.payload.clone();
+            let naive_len = entry.naive_len;
             self.stats.retransmissions += 1;
-            self.transmit(src, dst, seq, facts, attempt, out);
+            self.transmit(src, dst, seq, payload, naive_len, attempt, out);
         }
     }
 
-    /// Stage one step's batch on link `src → dst`: allocate a sequence
-    /// number and record the outbox entry. Nothing touches the wire
-    /// until the sender's next snapshot releases it (see
+    /// Stage one step's batch on link `src → dst`, encoding it into
+    /// the delta wire format first. Callers fanning one batch out to
+    /// several destinations should encode once and use
+    /// [`ReliableNet::send_payload`] instead.
+    pub fn send(&mut self, src: usize, dst: usize, facts: Multiset<Fact>) {
+        let payload: Arc<[u8]> = wirefmt::encode(&facts).into();
+        let naive_len = wirefmt::naive_len(&facts) as u64;
+        self.send_payload(src, dst, payload, naive_len);
+    }
+
+    /// Stage one step's encoded batch on link `src → dst`: allocate a
+    /// sequence number and record the outbox entry. Nothing touches
+    /// the wire until the sender's next snapshot releases it (see
     /// [`OutEntry::staged`]) — sends are committed output, and output
     /// is only committed by a checkpoint that contains it.
-    pub fn send(&mut self, src: usize, dst: usize, facts: Multiset<Fact>) {
+    pub fn send_payload(&mut self, src: usize, dst: usize, payload: Arc<[u8]>, naive_len: u64) {
         let seq = {
             let next = self.next_seq.entry((src, dst)).or_insert(1);
             let seq = *next;
@@ -716,7 +751,8 @@ impl<'a> ReliableNet<'a> {
             .insert(
                 seq,
                 OutEntry {
-                    facts,
+                    payload,
+                    naive_len,
                     attempt: 0,
                     retry_at: Tick::MAX,
                     staged: true,
@@ -737,12 +773,14 @@ impl<'a> ReliableNet<'a> {
 
     /// One transmission attempt through the fault gauntlet: duplicate,
     /// drop (faults and partitions), delay, or pass through.
+    #[allow(clippy::too_many_arguments)]
     fn transmit(
         &mut self,
         src: usize,
         dst: usize,
         seq: u64,
-        facts: Multiset<Fact>,
+        payload: Arc<[u8]>,
+        naive_len: u64,
         attempt: u32,
         out: &mut Vec<Wire>,
     ) {
@@ -759,6 +797,8 @@ impl<'a> ReliableNet<'a> {
         for copy in 1..=copies {
             let mut rng = self.plan.rolls(src, dst, seq, attempt, copy);
             self.stats.attempts += 1;
+            self.wire_bytes += payload.len() as u64;
+            self.wire_bytes_naive += naive_len;
             let lc = self.link_counters.entry((src, dst)).or_default();
             lc.attempts += 1;
             if self.plan.partitioned(src, dst, self.tick)
@@ -772,7 +812,7 @@ impl<'a> ReliableNet<'a> {
                 src,
                 dst,
                 seq,
-                facts: facts.clone(),
+                payload: payload.clone(),
             };
             if lf.delay_p > 0.0 && lf.max_delay > 0 && rng.gen_bool(lf.delay_p) {
                 let ticks = rng.gen_range(1..=lf.max_delay);
@@ -795,7 +835,7 @@ impl<'a> ReliableNet<'a> {
                 src,
                 dst,
                 seq,
-                facts,
+                payload,
             } => {
                 if self.node_down(dst) {
                     // A crashed node refuses arrivals; the sender's
@@ -820,6 +860,19 @@ impl<'a> ReliableNet<'a> {
                     });
                     None
                 } else {
+                    // Validate the payload before committing the seq:
+                    // a corrupted wire is refused like a dropped one
+                    // (no `seen` entry, no ack), so a clean retransmit
+                    // of the same seq can still land.
+                    let facts = match wirefmt::decode(&payload) {
+                        Ok(facts) => facts,
+                        Err(_) => {
+                            self.stats.dropped += 1;
+                            self.stats.decode_failures += 1;
+                            self.link_counters.entry((src, dst)).or_default().dropped += 1;
+                            return None;
+                        }
+                    };
                     seen.insert(seq);
                     // End-to-end fact dedup: drop occurrences this node
                     // already accepted from `src` (replays from a
@@ -875,7 +928,7 @@ impl<'a> ReliableNet<'a> {
         // Output commit: the checkpoint being taken now contains every
         // staged entry, so they may be released — first transmission,
         // through the fault gauntlet.
-        let staged: Vec<(usize, u64, Multiset<Fact>)> = {
+        let staged: Vec<(usize, u64, Arc<[u8]>, u64)> = {
             let nl = self
                 .links
                 .get_mut(&node)
@@ -889,14 +942,14 @@ impl<'a> ReliableNet<'a> {
                         entry.staged = false;
                         entry.attempt = 1;
                         entry.retry_at = retry_at;
-                        v.push((dst, seq, entry.facts.clone()));
+                        v.push((dst, seq, entry.payload.clone(), entry.naive_len));
                     }
                 }
             }
             v
         };
-        for (dst, seq, facts) in staged {
-            self.transmit(node, dst, seq, facts, 1, out);
+        for (dst, seq, payload, naive_len) in staged {
+            self.transmit(node, dst, seq, payload, naive_len, 1, out);
         }
         let floors: Vec<(usize, u64)> = self
             .next_seq
@@ -1052,6 +1105,10 @@ mod tests {
         [fact("m", [n, n])].into_iter().collect()
     }
 
+    fn payload(n: i64) -> Arc<[u8]> {
+        wirefmt::encode(&batch(n)).into()
+    }
+
     #[test]
     fn parse_round_trips_the_grammar() {
         let plan = FaultPlan::parse(
@@ -1137,7 +1194,7 @@ mod tests {
             src: 0,
             dst: 1,
             seq,
-            facts: batch(seq as i64),
+            payload: payload(seq as i64),
         };
         assert!(net.receive(d(1), &mut out).is_some());
         assert!(out.is_empty(), "fresh data is not acked until snapshot");
@@ -1172,7 +1229,7 @@ mod tests {
                     src: 0,
                     dst: 1,
                     seq,
-                    facts: batch(seq as i64),
+                    payload: payload(seq as i64),
                 },
                 &mut out,
             );
@@ -1186,7 +1243,7 @@ mod tests {
                 src: 0,
                 dst: 1,
                 seq: 2,
-                facts: batch(2),
+                payload: payload(2),
             },
             &mut out,
         );
@@ -1354,13 +1411,79 @@ mod tests {
                 src: 0,
                 dst: 1,
                 seq: 1,
-                facts: batch(1),
+                payload: payload(1),
             },
             &mut out,
         );
         assert!(got.is_none());
         assert_eq!(net.stats.dropped, 1);
         assert!(out.is_empty(), "a down node does not ack");
+    }
+
+    #[test]
+    fn corrupted_payload_is_refused_and_the_seq_stays_free() {
+        let plan = FaultPlan::none(17);
+        let mut net = ReliableNet::new(&plan, &[1]);
+        let mut out = Vec::new();
+        // Corrupt the payload past the header: decode fails, the wire
+        // counts as a drop, and no ack is emitted.
+        let mut bad: Vec<u8> = payload(1).to_vec();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        bad.truncate(last);
+        let got = net.receive(
+            Wire::Data {
+                src: 0,
+                dst: 1,
+                seq: 1,
+                payload: bad.into(),
+            },
+            &mut out,
+        );
+        assert!(got.is_none());
+        assert_eq!(net.stats.decode_failures, 1);
+        assert_eq!(net.stats.dropped, 1);
+        assert!(out.is_empty(), "a refused wire is not acked");
+        // A clean retransmission of the same seq still lands: the
+        // refusal did not consume the sequence number.
+        let got = net.receive(
+            Wire::Data {
+                src: 0,
+                dst: 1,
+                seq: 1,
+                payload: payload(1),
+            },
+            &mut out,
+        );
+        assert_eq!(got, Some((1, batch(1))));
+        assert_eq!(net.stats.duplicates_suppressed, 0);
+    }
+
+    #[test]
+    fn wire_bytes_count_every_copy_and_beat_the_naive_baseline() {
+        let plan = FaultPlan::none(19);
+        let mut net = ReliableNet::new(&plan, &[0]);
+        let mut out = Vec::new();
+        // A dense batch: the delta encoding should be measurably
+        // smaller than the per-fact baseline.
+        let dense: Multiset<Fact> = (0..64).map(|i| fact("reach", [i, i + 1])).collect();
+        net.send(0, 1, dense);
+        assert_eq!(net.wire_bytes, 0, "staged sends are not on the wire yet");
+        net.snapshot(0, &mut out);
+        assert!(net.wire_bytes > 0);
+        assert!(
+            net.wire_bytes < net.wire_bytes_naive,
+            "delta bytes {} should beat naive bytes {}",
+            net.wire_bytes,
+            net.wire_bytes_naive
+        );
+        // A retransmission pays the same bytes again.
+        let first = net.wire_bytes;
+        for _ in 0..plan.backoff_base {
+            net.advance(&mut out);
+        }
+        assert_eq!(net.stats.retransmissions, 1);
+        assert_eq!(net.wire_bytes, first * 2);
     }
 
     #[test]

@@ -59,6 +59,7 @@
 pub mod executor;
 pub mod faults;
 pub mod termination;
+pub mod wirefmt;
 
 pub use executor::{
     run_threaded, run_threaded_with, Programs, ThreadedConfig, ThreadedNetwork, ThreadedRunResult,
@@ -68,3 +69,4 @@ pub use faults::{
     CrashPoint, FaultPlan, FaultStats, LinkCounters, LinkFaults, Partition, ReliableNet, Wire,
 };
 pub use termination::Token;
+pub use wirefmt::WireError;

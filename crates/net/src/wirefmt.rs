@@ -1,0 +1,593 @@
+//! The delta-encoded wire format for fact batches.
+//!
+//! The threaded executor and the reliability substrate move batches of
+//! uninterned facts between workers ([`crate::executor`]'s `Msg::Batch`
+//! and [`crate::faults::Wire::Data`]). Through PR 5 those payloads were
+//! in-memory `Multiset<Fact>` values — fine for `mpsc` channels, but
+//! with no meaningful notion of bytes-on-wire and no way to retransmit
+//! a batch verbatim. This module gives batches a real wire format,
+//! reusing the storage-v2 idea (sorted rows, leading-column runs) at
+//! the message level:
+//!
+//! * a per-message **value dictionary**: the distinct [`Value`]s of the
+//!   batch, sorted, encoded once (workers intern symbols independently,
+//!   so the wire cannot carry `Sym`s — the dictionary is the message's
+//!   own interner);
+//! * facts grouped by `(relation, arity)`, each row a tuple of
+//!   dictionary indexes;
+//! * rows sorted lexicographically, then **delta-encoded**: column 0 as
+//!   a plain varint delta (non-decreasing down a sorted group), the
+//!   remaining columns as zigzag varint deltas against the previous
+//!   row, and a per-row multiplicity varint.
+//!
+//! Sorting is what makes deltas small: consecutive rows share leading
+//! values, so most deltas are zero and fit in one byte. The encoding is
+//! canonical — equal multisets encode to identical bytes — which is
+//! what lets the reliability layer retransmit stored payloads
+//! byte-for-byte and lets tests compare payloads with `==`.
+//!
+//! [`decode`] is strict: it rejects bad magic, truncation, non-sorted
+//! dictionaries or rows, out-of-range indexes, zero multiplicities and
+//! trailing bytes, so a corrupted wire surfaces as a [`WireError`]
+//! (counted as a drop by the reliability substrate) rather than as a
+//! garbled batch.
+//!
+//! [`encode_naive`] is the measurement baseline for experiment E23: the
+//! pre-v2 shape of the payload, every fact carrying its full relation
+//! name and self-described values, no dictionary and no deltas.
+
+use calm_common::fact::{Fact, RelName};
+use calm_common::value::{SkolemTerm, Value};
+use calm_transducer::multiset::Multiset;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// First byte of every encoded batch.
+pub const MAGIC: u8 = 0xCA;
+/// Second byte of a delta-encoded batch (format discriminator).
+pub const FORMAT_DELTA: u8 = 0x01;
+/// Second byte of a naive-encoded batch (the E23 baseline).
+pub const FORMAT_NAIVE: u8 = 0x02;
+
+/// Maximum Skolem-term nesting the decoder will follow (corruption
+/// guard: a crafted payload must not recurse the decoder off the
+/// stack).
+const MAX_VALUE_DEPTH: usize = 64;
+
+/// Why a payload failed to decode. Any error means the payload is not
+/// a well-formed batch; the reliability layer counts it as a drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload does not start with [`MAGIC`] + the expected format
+    /// byte, or is shorter than the header.
+    BadHeader,
+    /// The payload ended inside a field.
+    Truncated,
+    /// A varint ran past 10 bytes (would overflow 64 bits).
+    VarintOverflow,
+    /// A relation or functor name is not valid UTF-8.
+    BadUtf8,
+    /// A row column decoded to an index outside the dictionary.
+    IndexOutOfRange,
+    /// A Skolem term nests deeper than [`MAX_VALUE_DEPTH`].
+    TooDeep,
+    /// A structural invariant of the canonical encoding is violated
+    /// (unsorted dictionary/groups/rows, zero arity, zero multiplicity,
+    /// an unknown value tag, an implausible length prefix).
+    NonCanonical(&'static str),
+    /// Bytes remained after the last group.
+    TrailingBytes,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadHeader => write!(f, "bad magic or format byte"),
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::VarintOverflow => write!(f, "varint overflows 64 bits"),
+            WireError::BadUtf8 => write!(f, "name is not valid UTF-8"),
+            WireError::IndexOutOfRange => write!(f, "dictionary index out of range"),
+            WireError::TooDeep => write!(f, "value nesting too deep"),
+            WireError::NonCanonical(what) => write!(f, "non-canonical encoding: {what}"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after last group"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// A value, self-described: tag byte, then the payload.
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            out.push(0);
+            put_varint(out, zigzag(*i));
+        }
+        Value::Str(s) => {
+            out.push(1);
+            put_bytes(out, s.as_bytes());
+        }
+        Value::Skolem(t) => {
+            out.push(2);
+            put_bytes(out, t.functor.as_bytes());
+            put_varint(out, t.args.len() as u64);
+            for a in &t.args {
+                put_value(out, a);
+            }
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u64, WireError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            let bits = (byte & 0x7f) as u64;
+            if shift == 63 && bits > 1 {
+                return Err(WireError::VarintOverflow);
+            }
+            v |= bits << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(WireError::VarintOverflow)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// A varint length prefix followed by that many bytes.
+    fn prefixed_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.varint()? as usize;
+        self.bytes(n)
+    }
+
+    fn str(&mut self) -> Result<&'a str, WireError> {
+        std::str::from_utf8(self.prefixed_bytes()?).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, WireError> {
+        if depth > MAX_VALUE_DEPTH {
+            return Err(WireError::TooDeep);
+        }
+        match self.u8()? {
+            0 => Ok(Value::Int(unzigzag(self.varint()?))),
+            1 => Ok(Value::Str(Arc::from(self.str()?))),
+            2 => {
+                let functor: Arc<str> = Arc::from(self.str()?);
+                let argc = self.varint()? as usize;
+                if argc > self.remaining() {
+                    // Every argument takes at least one byte.
+                    return Err(WireError::Truncated);
+                }
+                let mut args = Vec::with_capacity(argc);
+                for _ in 0..argc {
+                    args.push(self.value(depth + 1)?);
+                }
+                Ok(Value::Skolem(Arc::new(SkolemTerm { functor, args })))
+            }
+            _ => Err(WireError::NonCanonical("unknown value tag")),
+        }
+    }
+}
+
+/// Encode a batch into the delta wire format. The encoding is
+/// canonical: equal multisets produce identical bytes.
+pub fn encode(batch: &Multiset<Fact>) -> Vec<u8> {
+    // The message's own interner: distinct values, sorted. Sorting
+    // makes the index map monotone in `Value` order, so args-sorted
+    // fact iteration yields lexicographically sorted index rows.
+    let mut values: BTreeSet<&Value> = BTreeSet::new();
+    for (f, _) in batch.iter() {
+        for v in f.values() {
+            values.insert(v);
+        }
+    }
+    let index: BTreeMap<&Value, u64> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u64))
+        .collect();
+
+    let mut out = vec![MAGIC, FORMAT_DELTA];
+    put_varint(&mut out, values.len() as u64);
+    for v in &values {
+        put_value(&mut out, v);
+    }
+
+    // Group rows by (relation, arity). `Multiset` iterates facts in
+    // (relation, args) order, so each group's rows arrive sorted.
+    // Rows are (dictionary-index columns, multiplicity).
+    type RowGroups<'a> = BTreeMap<(&'a str, usize), Vec<(Vec<u64>, u64)>>;
+    let mut groups: RowGroups = BTreeMap::new();
+    for (f, n) in batch.iter() {
+        let row: Vec<u64> = f.args().iter().map(|v| index[v]).collect();
+        groups
+            .entry((f.relation().as_ref(), f.arity()))
+            .or_default()
+            .push((row, n as u64));
+    }
+    put_varint(&mut out, groups.len() as u64);
+    for ((name, arity), rows) in &groups {
+        put_bytes(&mut out, name.as_bytes());
+        put_varint(&mut out, *arity as u64);
+        put_varint(&mut out, rows.len() as u64);
+        let mut prev = vec![0u64; *arity];
+        for (row, n) in rows {
+            debug_assert!(
+                row.as_slice() >= prev.as_slice(),
+                "group rows must be sorted"
+            );
+            put_varint(&mut out, row[0] - prev[0]);
+            for j in 1..*arity {
+                put_varint(&mut out, zigzag(row[j] as i64 - prev[j] as i64));
+            }
+            put_varint(&mut out, *n);
+            prev.clone_from(row);
+        }
+    }
+    out
+}
+
+/// Decode a delta wire payload back into a batch. Strict: every
+/// structural invariant of [`encode`]'s output is checked, so a
+/// corrupted payload fails instead of producing a garbled batch.
+pub fn decode(bytes: &[u8]) -> Result<Multiset<Fact>, WireError> {
+    let mut r = Reader::new(bytes);
+    if r.u8().map_err(|_| WireError::BadHeader)? != MAGIC
+        || r.u8().map_err(|_| WireError::BadHeader)? != FORMAT_DELTA
+    {
+        return Err(WireError::BadHeader);
+    }
+
+    let dict_len = r.varint()? as usize;
+    if dict_len > r.remaining() {
+        // Every dictionary entry takes at least one byte.
+        return Err(WireError::Truncated);
+    }
+    let mut dict: Vec<Value> = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        let v = r.value(0)?;
+        if dict.last().is_some_and(|p| *p >= v) {
+            return Err(WireError::NonCanonical("dictionary not strictly sorted"));
+        }
+        dict.push(v);
+    }
+
+    let group_count = r.varint()? as usize;
+    if group_count > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let mut batch: Multiset<Fact> = Multiset::new();
+    let mut prev_group: Option<(RelName, usize)> = None;
+    for _ in 0..group_count {
+        let name: RelName = Arc::from(r.str()?);
+        let arity = r.varint()? as usize;
+        if arity == 0 {
+            return Err(WireError::NonCanonical("zero arity"));
+        }
+        let key = (name.clone(), arity);
+        if prev_group
+            .as_ref()
+            .is_some_and(|p| (p.0.as_ref(), p.1) >= (key.0.as_ref(), key.1))
+        {
+            return Err(WireError::NonCanonical("groups not strictly sorted"));
+        }
+        prev_group = Some(key);
+        let row_count = r.varint()? as usize;
+        if row_count == 0 {
+            return Err(WireError::NonCanonical("empty group"));
+        }
+        // Every row takes at least arity + 1 bytes.
+        if row_count
+            .checked_mul(arity + 1)
+            .is_none_or(|need| need > r.remaining())
+        {
+            return Err(WireError::Truncated);
+        }
+        let mut prev = vec![0u64; arity];
+        for i in 0..row_count {
+            let mut row = vec![0u64; arity];
+            row[0] = prev[0]
+                .checked_add(r.varint()?)
+                .ok_or(WireError::IndexOutOfRange)?;
+            for j in 1..arity {
+                let v = (prev[j] as i64)
+                    .checked_add(unzigzag(r.varint()?))
+                    .ok_or(WireError::IndexOutOfRange)?;
+                if v < 0 {
+                    return Err(WireError::IndexOutOfRange);
+                }
+                row[j] = v as u64;
+            }
+            if row.iter().any(|&c| c as usize >= dict_len) {
+                return Err(WireError::IndexOutOfRange);
+            }
+            if i > 0 && row <= prev {
+                return Err(WireError::NonCanonical("rows not strictly sorted"));
+            }
+            let mult = r.varint()?;
+            if mult == 0 {
+                return Err(WireError::NonCanonical("zero multiplicity"));
+            }
+            if mult > u32::MAX as u64 {
+                return Err(WireError::NonCanonical("implausible multiplicity"));
+            }
+            let args: Vec<Value> = row.iter().map(|&c| dict[c as usize].clone()).collect();
+            let name = prev_group.as_ref().expect("group name set above").0.clone();
+            batch.insert_n(Fact::from_rel(name, args), mult as usize);
+            prev = row;
+        }
+    }
+    if r.remaining() > 0 {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(batch)
+}
+
+/// Encode a batch the pre-v2 way: one record per distinct fact, each
+/// carrying its full relation name and self-described argument values,
+/// plus a multiplicity — no dictionary, no deltas. This is the E23
+/// baseline ("old fact payloads").
+pub fn encode_naive(batch: &Multiset<Fact>) -> Vec<u8> {
+    let mut out = vec![MAGIC, FORMAT_NAIVE];
+    put_varint(&mut out, batch.support().count() as u64);
+    for (f, n) in batch.iter() {
+        put_bytes(&mut out, f.relation().as_bytes());
+        put_varint(&mut out, f.arity() as u64);
+        for v in f.values() {
+            put_value(&mut out, v);
+        }
+        put_varint(&mut out, n as u64);
+    }
+    out
+}
+
+/// Decode a naive payload (the E23 baseline decoder).
+pub fn decode_naive(bytes: &[u8]) -> Result<Multiset<Fact>, WireError> {
+    let mut r = Reader::new(bytes);
+    if r.u8().map_err(|_| WireError::BadHeader)? != MAGIC
+        || r.u8().map_err(|_| WireError::BadHeader)? != FORMAT_NAIVE
+    {
+        return Err(WireError::BadHeader);
+    }
+    let count = r.varint()? as usize;
+    if count > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let mut batch: Multiset<Fact> = Multiset::new();
+    for _ in 0..count {
+        let name: RelName = Arc::from(r.str()?);
+        let arity = r.varint()? as usize;
+        if arity == 0 {
+            return Err(WireError::NonCanonical("zero arity"));
+        }
+        if arity > r.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let mut args = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            args.push(r.value(0)?);
+        }
+        let mult = r.varint()?;
+        if mult == 0 {
+            return Err(WireError::NonCanonical("zero multiplicity"));
+        }
+        if mult > u32::MAX as u64 {
+            return Err(WireError::NonCanonical("implausible multiplicity"));
+        }
+        batch.insert_n(Fact::from_rel(name, args), mult as usize);
+    }
+    if r.remaining() > 0 {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(batch)
+}
+
+/// Bytes the naive (pre-v2) encoding would spend on this batch — the
+/// per-message baseline accumulated into the executor's
+/// `wire_bytes_naive` counters.
+pub fn naive_len(batch: &Multiset<Fact>) -> usize {
+    encode_naive(batch).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calm_common::fact::fact;
+
+    fn batch_of(facts: &[(Fact, usize)]) -> Multiset<Fact> {
+        let mut m = Multiset::new();
+        for (f, n) in facts {
+            m.insert_n(f.clone(), *n);
+        }
+        m
+    }
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut out = Vec::new();
+            put_varint(&mut out, v);
+            let mut r = Reader::new(&out);
+            assert_eq!(r.varint().unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let m: Multiset<Fact> = Multiset::new();
+        let bytes = encode(&m);
+        assert_eq!(decode(&bytes).unwrap(), m);
+        assert_eq!(decode_naive(&encode_naive(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn mixed_batch_round_trips() {
+        let m = batch_of(&[
+            (fact("E", [1, 2]), 1),
+            (fact("E", [1, 3]), 2),
+            (fact("E", [2, 3]), 1),
+            (fact("T", [1, 2, 3]), 3),
+            (Fact::new("S", vec![Value::str("a"), Value::Int(-5)]), 1),
+            (
+                Fact::new("K", vec![Value::skolem("f", vec![Value::Int(9)])]),
+                2,
+            ),
+        ]);
+        let bytes = encode(&m);
+        assert_eq!(decode(&bytes).unwrap(), m);
+        assert_eq!(decode_naive(&encode_naive(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn encoding_is_canonical() {
+        // Insertion order cannot matter: the multiset sorts, and the
+        // encoder follows multiset order.
+        let a = batch_of(&[(fact("E", [3, 4]), 1), (fact("E", [1, 2]), 2)]);
+        let b = batch_of(&[(fact("E", [1, 2]), 2), (fact("E", [3, 4]), 1)]);
+        assert_eq!(encode(&a), encode(&b));
+    }
+
+    #[test]
+    fn dense_batches_beat_the_naive_encoding() {
+        // A broadcast-shaped batch: many facts of one relation over a
+        // small domain — the common case on the executor's channels.
+        let facts: Vec<(Fact, usize)> = (0..50)
+            .flat_map(|i| (0..4).map(move |j| (fact("reach", [i, i + j]), 1)))
+            .collect();
+        let m = batch_of(&facts);
+        let delta = encode(&m).len();
+        let naive = naive_len(&m);
+        assert!(
+            delta * 2 < naive,
+            "delta encoding should at least halve a dense batch: {delta} vs {naive}"
+        );
+    }
+
+    #[test]
+    fn same_name_different_arity_stays_separate() {
+        let m = batch_of(&[(fact("R", [7]), 1), (fact("R", [7, 8]), 1)]);
+        assert_eq!(decode(&encode(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn corrupted_payloads_are_rejected() {
+        let m = batch_of(&[(fact("E", [1, 2]), 1), (fact("E", [5, 9]), 4)]);
+        let bytes = encode(&m);
+        // Bad magic / format.
+        assert_eq!(decode(&[]), Err(WireError::BadHeader));
+        assert_eq!(decode(&[MAGIC]), Err(WireError::BadHeader));
+        assert_eq!(
+            decode(&encode_naive(&m)),
+            Err(WireError::BadHeader),
+            "format bytes keep the two encodings apart"
+        );
+        // Every strict prefix fails (no silent truncation).
+        for cut in 0..bytes.len() {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        // Trailing garbage fails.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(decode(&long), Err(WireError::TrailingBytes));
+        // Single-byte corruption must never panic; it may decode to a
+        // different batch only if every invariant still holds.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xff;
+            let _ = decode(&bad);
+        }
+    }
+
+    #[test]
+    fn hostile_lengths_do_not_allocate() {
+        // A huge dictionary length with no dictionary behind it.
+        let mut bytes = vec![MAGIC, FORMAT_DELTA];
+        put_varint(&mut bytes, u64::MAX);
+        assert_eq!(decode(&bytes), Err(WireError::Truncated));
+        // A huge row count inside a plausible group.
+        let mut bytes = vec![MAGIC, FORMAT_DELTA];
+        put_varint(&mut bytes, 1); // dict: one value
+        put_value(&mut bytes, &Value::Int(1));
+        put_varint(&mut bytes, 1); // one group
+        put_bytes(&mut bytes, b"E");
+        put_varint(&mut bytes, 1); // arity 1
+        put_varint(&mut bytes, u64::MAX); // row count
+        assert_eq!(decode(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn deep_skolem_nesting_is_bounded() {
+        let mut v = Value::Int(0);
+        for _ in 0..MAX_VALUE_DEPTH + 8 {
+            v = Value::skolem("f", vec![v]);
+        }
+        let m = batch_of(&[(Fact::new("R", vec![v]), 1)]);
+        assert_eq!(decode(&encode(&m)), Err(WireError::TooDeep));
+    }
+}

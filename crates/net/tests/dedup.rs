@@ -65,7 +65,7 @@ fn duplicating_any_wire_prefix_never_changes_delivery() {
                 src: 0,
                 dst: 1,
                 seq,
-                facts: batch(&mut rng),
+                payload: calm_net::wirefmt::encode(&batch(&mut rng)).into(),
             })
             .collect();
         let (base, base_batches, base_supp) = accepted(&plan, &stream);
