@@ -1,4 +1,4 @@
-//! The experiment suite: one function per experiment id (E1–E23, see
+//! The experiment suite: one function per experiment id (E1–E24, see
 //! DESIGN.md's per-experiment index), each returning a [`Report`].
 
 mod engine;
@@ -9,6 +9,7 @@ mod parallel;
 mod policies;
 mod strategies;
 mod threaded;
+mod trace;
 mod winmove;
 mod wire;
 
@@ -27,6 +28,7 @@ pub use strategies::{
     e10_no_all, e11_strategy_costs, e11_strategy_costs_obs, e8_distinct_model, e9_disjoint_model,
 };
 pub use threaded::{e19_threaded, e19_threaded_obs};
+pub use trace::{e24_trace, e24_trace_obs};
 pub use winmove::e16_winmove;
 pub use wire::{e23_wire, e23_wire_obs};
 
@@ -79,6 +81,7 @@ pub fn all() -> Vec<Experiment> {
         ("e20", Runner::Obs(e20_faults_obs)),
         ("e21", Runner::Obs(e21_parallel_obs)),
         ("e23", Runner::Obs(e23_wire_obs)),
+        ("e24", Runner::Obs(e24_trace_obs)),
     ]
 }
 
@@ -144,7 +147,7 @@ mod tests {
         dedup.dedup();
         assert_eq!(ids, dedup);
         assert_eq!(ids[0], "e1");
-        assert_eq!(ids.len(), 21);
+        assert_eq!(ids.len(), 22);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use calm_datalog::fragment::classify;
 use calm_datalog::{parse_facts, parse_program, DatalogQuery, Program};
 use calm_monotone::{Exhaustive, ExtensionKind, Falsifier};
 use calm_net::{run_threaded_with, FaultPlan, Programs, ThreadedConfig, ThreadedNetwork};
-use calm_obs::{ChromeTraceSink, JsonlSink, MultiSink, Obs, ReportSink, Sink};
+use calm_obs::{ChromeTraceSink, FlightRecorder, JsonlSink, MultiSink, Obs, ReportSink, Sink};
 use calm_transducer::{
     expected_output, run, run_with, DisjointStrategy, DistinctStrategy, DistributionPolicy,
     DomainGuidedPolicy, HashPolicy, MonotoneBroadcast, Network, Scheduler, SystemConfig, TraceSink,
@@ -62,12 +62,18 @@ pub fn load_facts(src: &str) -> Result<Instance, CliError> {
 }
 
 /// Observability options shared by `eval` and `simulate`
-/// (`--trace-out PREFIX`, `--metrics` and `--dump-plan`).
+/// (`--trace-out PREFIX`, `--flight-recorder PATH`, `--metrics` and
+/// `--dump-plan`).
 #[derive(Debug, Clone, Default)]
 pub struct ObsOptions {
     /// Write trace artifacts `<prefix>.jsonl` (event log) and
     /// `<prefix>.trace.json` (Chrome trace-event JSON).
     pub trace_out: Option<PathBuf>,
+    /// Attach the always-on flight recorder: a bounded ring of recent
+    /// observations dumped to this JSONL file when an anomaly fires
+    /// (retry-budget exhaustion, wire decode failure, node crash, or
+    /// non-quiescent termination). A clean run writes nothing.
+    pub flight_recorder: Option<PathBuf>,
     /// Append the terminal run report to the command output.
     pub metrics: bool,
     /// Print the compiled query plan — per rule, the atom join order
@@ -78,7 +84,7 @@ pub struct ObsOptions {
 
 impl ObsOptions {
     fn is_off(&self) -> bool {
-        self.trace_out.is_none() && !self.metrics
+        self.trace_out.is_none() && self.flight_recorder.is_none() && !self.metrics
     }
 }
 
@@ -117,6 +123,17 @@ fn build_obs(
             .map_err(|e| err(format!("--trace-out: {e}")))?;
         sinks.push(Arc::new(jsonl));
         sinks.push(Arc::new(chrome));
+    }
+    if let Some(path) = &opts.flight_recorder {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).map_err(|e| {
+                err(format!(
+                    "--flight-recorder: cannot create directory '{}': {e}",
+                    dir.display()
+                ))
+            })?;
+        }
+        sinks.push(Arc::new(FlightRecorder::new(path)));
     }
     let report = if opts.metrics {
         let r = Arc::new(ReportSink::new());
@@ -589,6 +606,37 @@ pub fn cmd_simulate_run(
     Ok(out)
 }
 
+/// `calm trace report`: ingest a JSONL trace (a `--trace-out` event log
+/// or a flight-recorder dump), rebuild the happens-before message graph,
+/// check the causal invariants, and report per-link latency and
+/// retransmit-gap percentiles, the critical path, per-node queue-depth
+/// timelines and per-message-class fan-out. `json` selects the
+/// machine-readable rendering.
+///
+/// # Errors
+/// Fails when the file cannot be read or any causal invariant is
+/// violated (an orphan delivery, a cycle, or a cause that does not
+/// precede its effect) — a violated trace means the run it came from
+/// cannot be trusted, so the report exits nonzero.
+pub fn cmd_trace_report(path: &Path, json: bool) -> Result<String, CliError> {
+    let analysis = calm_obs::trace::analyze_file(path).map_err(err)?;
+    let out = if json {
+        let mut s = analysis.render_json();
+        s.push('\n');
+        s
+    } else {
+        analysis.render_human()
+    };
+    if !analysis.invariants_ok() {
+        return Err(err(format!(
+            "trace invariants violated ({}): {}",
+            analysis.violations.len(),
+            analysis.violations.join("; ")
+        )));
+    }
+    Ok(out)
+}
+
 fn parse_class(s: &str) -> Result<ExtensionKind, CliError> {
     match s {
         "m" | "M" | "monotone" => Ok(ExtensionKind::Any),
@@ -625,7 +673,7 @@ calm — weaker forms of monotonicity for declarative networking
 
 USAGE:
   calm eval      <program.dl> <facts.dl> [--eval-threads N] [--trace-out PREFIX] [--metrics]
-                 [--dump-plan]
+                 [--dump-plan] [--flight-recorder PATH]
   calm wfs       <program.dl> <facts.dl> [--eval-threads N]
   calm classify  <program.dl>
   calm stratify  <program.dl>
@@ -633,7 +681,8 @@ USAGE:
   calm simulate  <program.dl> <facts.dl> [--nodes N] [--strategy monotone|distinct|disjoint]
                  [--engine sequential|threaded] [--workers N] [--eval-threads N]
                  [--faults SPEC] [--trace] [--trace-out PREFIX] [--metrics]
-                 [--dump-plan]
+                 [--dump-plan] [--flight-recorder PATH]
+  calm trace     report <trace.jsonl> [--json]
 
   --dump-plan prints the compiled query plan — per rule, the atom join
   order and each atom's join strategy (merge join on a sorted prefix,
@@ -644,6 +693,20 @@ USAGE:
   Chrome trace (load at ui.perfetto.dev or chrome://tracing) to
   PREFIX.trace.json (missing directories in PREFIX are created);
   --metrics appends a run report to stdout.
+
+  --flight-recorder PATH attaches the always-on flight recorder: a
+  bounded ring of recent observations dumped (appended) to PATH when an
+  anomaly fires — retry-budget exhaustion, wire decode failure, node
+  crash, or non-quiescent termination. A clean run writes nothing; the
+  dump is JSONL and feeds `calm trace report` directly.
+
+  trace report rebuilds the happens-before message graph from a JSONL
+  trace (--trace-out log or flight-recorder dump), checks the causal
+  invariants (every delivery traces to its send; the causal graph is
+  acyclic; causes precede effects) and prints per-link latency and
+  retransmit-gap percentiles, the critical path, per-node queue-depth
+  timelines and per-message-class fan-out. --json emits one JSON object
+  instead. Invariant violations exit nonzero.
 
   --eval-threads N partitions every rule evaluation inside each fixpoint
   over N data-parallel worker threads. The derived database, metrics and
@@ -719,6 +782,7 @@ mod tests {
             trace_out: None,
             metrics: false,
             dump_plan: true,
+            ..Default::default()
         };
         let out = cmd_eval_opts(QTC, FACTS, &opts).unwrap();
         assert!(out.contains("% plan:"), "{out}");
@@ -803,6 +867,7 @@ mod tests {
             trace_out: None,
             metrics: true,
             dump_plan: false,
+            ..Default::default()
         };
         let out = cmd_eval_opts(TC, FACTS, &opts).unwrap();
         assert!(out.contains("T(1,3)."), "{out}");
@@ -817,6 +882,7 @@ mod tests {
             trace_out: Some(prefix.clone()),
             metrics: true,
             dump_plan: false,
+            ..Default::default()
         };
         let out = cmd_simulate_full(TC, FACTS, 2, "monotone", true, &opts).unwrap();
         assert!(out.contains("% trace"), "{out}");
@@ -855,6 +921,7 @@ mod tests {
             trace_out: Some(blocker.join("trace")),
             metrics: false,
             dump_plan: false,
+            ..Default::default()
         };
         let e = cmd_eval_opts(TC, FACTS, &opts).unwrap_err();
         assert!(e.0.contains("--trace-out"), "{e}");
@@ -871,6 +938,7 @@ mod tests {
             trace_out: Some(prefix.clone()),
             metrics: false,
             dump_plan: false,
+            ..Default::default()
         };
         let out = cmd_eval_opts(TC, FACTS, &opts).unwrap();
         assert!(out.contains("T(1,3)."), "{out}");
@@ -977,6 +1045,7 @@ mod tests {
             trace_out: None,
             metrics: false,
             dump_plan: false,
+            ..Default::default()
         };
         for strategy in ["monotone", "distinct"] {
             for workers in [1, 2, 8] {
@@ -1027,6 +1096,7 @@ mod tests {
             trace_out: None,
             metrics: false,
             dump_plan: false,
+            ..Default::default()
         };
         let seq = cmd_simulate(TC, FACTS, 4, "monotone").unwrap();
         let thr = cmd_simulate_engine(
@@ -1059,6 +1129,7 @@ mod tests {
             trace_out: Some(prefix.clone()),
             metrics: true,
             dump_plan: false,
+            ..Default::default()
         };
         let out = cmd_simulate_engine(
             TC,
@@ -1140,6 +1211,7 @@ mod tests {
             trace_out: None,
             metrics: false,
             dump_plan: false,
+            ..Default::default()
         };
         // A lossy, duplicating, crashing network must still converge to
         // the centralized answer, and the run must report fault counters.
@@ -1186,6 +1258,112 @@ mod tests {
     fn simulate_rejects_zero_nodes() {
         let e = cmd_simulate(TC, FACTS, 0, "monotone").unwrap_err();
         assert!(e.0.contains("at least 1"));
+    }
+
+    #[test]
+    fn trace_report_reconstructs_faulty_threaded_run() {
+        // The acceptance run: a threaded execution under 5% message loss
+        // traced to JSONL must yield a complete, acyclic happens-before
+        // graph — and the report must surface link latencies and a
+        // critical path ending at a causal root.
+        let prefix = std::env::temp_dir().join(format!("calm-cli-trpt-{}", std::process::id()));
+        let opts = ObsOptions {
+            trace_out: Some(prefix.clone()),
+            metrics: false,
+            dump_plan: false,
+            ..Default::default()
+        };
+        let engine = parse_engine(Some("threaded"), Some("4"), Some("seed=5,drop=0.05")).unwrap();
+        let out = cmd_simulate_run(TC, FACTS, 4, "monotone", false, &opts, engine, 1).unwrap();
+        assert!(out.contains("% quiescent: true"), "{out}");
+        let jsonl_path = trace_path(&prefix, "jsonl");
+        let report = cmd_trace_report(&jsonl_path, false).unwrap();
+        assert!(report.contains("== trace report =="), "{report}");
+        assert!(report.contains("invariants: ok"), "{report}");
+        assert!(report.contains("links (origin -> dst):"), "{report}");
+        assert!(report.contains("latency us p50="), "{report}");
+        assert!(report.contains("critical path ("), "{report}");
+        assert!(report.contains("fan-out per message class:"), "{report}");
+        // The machine form parses as one JSON object and agrees.
+        let json = cmd_trace_report(&jsonl_path, true).unwrap();
+        let v = calm_obs::parse_json(json.trim()).unwrap();
+        assert_eq!(
+            v.get("invariants")
+                .and_then(|i| i.get("ok"))
+                .and_then(calm_obs::JsonValue::as_bool),
+            Some(true),
+            "{json}"
+        );
+        assert!(
+            v.get("events")
+                .and_then(|e| e.get("sends"))
+                .and_then(calm_obs::JsonValue::as_u64)
+                .unwrap_or(0)
+                > 0,
+            "{json}"
+        );
+        let _ = std::fs::remove_file(jsonl_path);
+        let _ = std::fs::remove_file(trace_path(&prefix, "trace.json"));
+    }
+
+    #[test]
+    fn trace_report_rejects_violated_traces() {
+        let path = std::env::temp_dir().join(format!("calm-cli-bad-trace-{}", std::process::id()));
+        // A delivery with no matching send: the causal graph is torn.
+        std::fs::write(
+            &path,
+            "{\"type\":\"event\",\"cat\":\"trace\",\"name\":\"deliver\",\"track\":1,\"ts_us\":5,\
+             \"args\":{\"origin\":3,\"seq\":9,\"dst\":0,\"facts\":1}}\n",
+        )
+        .unwrap();
+        let e = cmd_trace_report(&path, false).unwrap_err();
+        assert!(e.0.contains("trace invariants violated"), "{e}");
+        assert!(e.0.contains("no matching send"), "{e}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn flight_recorder_dumps_on_retry_exhaustion_and_stays_silent_when_clean() {
+        let dump =
+            std::env::temp_dir().join(format!("calm-cli-flight-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&dump);
+        let opts = ObsOptions {
+            flight_recorder: Some(dump.clone()),
+            ..Default::default()
+        };
+        // A clean threaded run must not write a dump file at all.
+        let out = cmd_simulate_run(
+            TC,
+            FACTS,
+            3,
+            "monotone",
+            false,
+            &opts,
+            Engine::Threaded {
+                workers: 2,
+                faults: None,
+            },
+            1,
+        )
+        .unwrap();
+        assert!(out.contains("% quiescent: true"), "{out}");
+        assert!(!dump.exists(), "clean run must not dump");
+        // A link that drops every copy exhausts its retry budget: the
+        // anomaly must leave a post-mortem JSONL artifact that `calm
+        // trace report` ingests.
+        let engine = parse_engine(
+            Some("threaded"),
+            Some("2"),
+            Some("seed=9,link=0>1:drop=1.0,retries=2,backoff=1"),
+        )
+        .unwrap();
+        let _ = cmd_simulate_run(TC, FACTS, 3, "monotone", false, &opts, engine, 1).unwrap();
+        let text = std::fs::read_to_string(&dump).expect("anomaly dump written");
+        assert!(text.contains("\"type\":\"flight_dump\""), "{text}");
+        assert!(text.contains("retry_exhausted"), "{text}");
+        let report = cmd_trace_report(&dump, false).unwrap();
+        assert!(report.contains("flight-recorder dumps:"), "{report}");
+        let _ = std::fs::remove_file(dump);
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 fn obs_options(args: &[String]) -> ObsOptions {
     ObsOptions {
         trace_out: flag_value(args, "--trace-out").map(Into::into),
+        flight_recorder: flag_value(args, "--flight-recorder").map(Into::into),
         metrics: args.iter().any(|a| a == "--metrics"),
         dump_plan: args.iter().any(|a| a == "--dump-plan"),
     }
@@ -101,6 +102,19 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
                 engine,
                 eval_threads(args)?,
             )
+        }
+        "trace" => {
+            match args.get(1).map(String::as_str) {
+                Some("report") => {}
+                _ => return Err(CliError("expected 'trace report <trace.jsonl>'".into())),
+            }
+            let path = args
+                .get(2)
+                .map(String::as_str)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| CliError("expected a trace file".into()))?;
+            let json = args.iter().any(|a| a == "--json");
+            cmd_trace_report(std::path::Path::new(path), json)
         }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError(format!("unknown command '{other}'"))),

@@ -13,6 +13,7 @@ use calm_transducer::network::NodeId;
 use calm_transducer::policy::{distribute, DistributionPolicy};
 use calm_transducer::runtime::Metrics;
 use calm_transducer::schema::SystemConfig;
+use calm_transducer::strategy::class_arg_counts;
 use calm_transducer::transducer::Transducer;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
@@ -437,6 +438,55 @@ struct Slot {
     /// Last crash-recovery checkpoint (fault mode only; `None` on the
     /// fault-free fast path).
     snap: Option<NodeSnapshot>,
+    /// Next message id this node mints (tracing only). Like
+    /// `transitions`, monotone across crash rollbacks: a re-derived
+    /// send after a restore is a *new* send event with a fresh id.
+    next_seq: u64,
+    /// Id of the last message delivered into this node's inbox — the
+    /// causal parent of its next send (tracing only). `None` until the
+    /// first traced delivery, so sends triggered by the input
+    /// distribution alone are causal roots.
+    last_arrival: Option<(u64, u64)>,
+}
+
+/// Mint a message id for one step's send, emit the `trace/send` event
+/// (id, causal parent, fan-out, fact count, per-class counts), and
+/// return the context to stamp into the wire payloads. `None` — and no
+/// event, and untouched wire bytes — when tracing is off.
+fn mint_trace(
+    obs: &Obs,
+    slot: &mut Slot,
+    total_nodes: usize,
+    facts: &Multiset<Fact>,
+) -> Option<wirefmt::TraceCtx> {
+    if !obs.enabled() {
+        return None;
+    }
+    let origin = slot.global as u64;
+    let seq = slot.next_seq;
+    slot.next_seq += 1;
+    let cause = slot.last_arrival;
+    obs.event("trace", "send", slot.global as u32 + 1, || {
+        let mut args = vec![
+            ("origin", ArgValue::U64(origin)),
+            ("seq", ArgValue::U64(seq)),
+            ("fanout", ArgValue::U64(total_nodes as u64 - 1)),
+            ("facts", ArgValue::U64(facts.len() as u64)),
+        ];
+        if let Some((co, cs)) = cause {
+            args.push(("cause_origin", ArgValue::U64(co)));
+            args.push(("cause_seq", ArgValue::U64(cs)));
+        }
+        for (name, n) in class_arg_counts(facts) {
+            args.push((name, ArgValue::U64(n)));
+        }
+        args
+    });
+    Some(wirefmt::TraceCtx {
+        origin_node: origin,
+        origin_seq: seq,
+        cause,
+    })
 }
 
 /// Take a crash-recovery snapshot of one node: capture state, inbox,
@@ -466,7 +516,7 @@ fn pump_wires(
     workers: usize,
     senders: &[Sender<Msg>],
     counter: &mut i64,
-    deliver: &mut dyn FnMut(usize, Multiset<Fact>),
+    deliver: &mut dyn FnMut(usize, Multiset<Fact>, Option<(u64, u64)>),
 ) {
     let mut queue: VecDeque<Wire> = start.into();
     while let Some(wire) = queue.pop_front() {
@@ -475,8 +525,8 @@ fn pump_wires(
             let mut replies = Vec::new();
             let accepted = rnet.receive(wire, &mut replies);
             queue.extend(replies);
-            if let Some((node, facts)) = accepted {
-                deliver(node, facts);
+            if let Some((node, facts, mid)) = accepted {
+                deliver(node, facts, mid);
             }
         } else {
             *counter += 1;
@@ -529,13 +579,15 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
             transitions: 0,
             since_snapshot: 0,
             snap: None,
+            next_seq: 0,
+            last_arrival: None,
         })
         .collect();
 
     // Fault mode: the reliability substrate for this worker's nodes,
     // plus an initial (empty) snapshot per node so the first crash
     // point always has a checkpoint to restore.
-    let mut rnet: Option<ReliableNet<'_>> = faults.map(|plan| ReliableNet::new(plan, &locals));
+    let mut rnet: Option<ReliableNet<'_>> = faults.map(|plan| ReliableNet::new(plan, &locals, obs));
     if let Some(rnet) = rnet.as_mut() {
         let mut none = Vec::new();
         for slot in slots.iter_mut() {
@@ -561,12 +613,15 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
 
     // Enqueue `facts` into local node `g`'s inbox, with high-water and
     // gauge bookkeeping (mirrors the sequential engine's per-recipient
-    // accounting).
+    // accounting). `mid` is the causal message id of the delivery (set
+    // iff the batch was traced): it becomes the recipient's causal
+    // parent and is echoed in the `trace/deliver` event.
     let enqueue = |slots: &mut Vec<Slot>,
                    metrics: &mut Metrics,
                    stats: &mut WorkerStats,
                    g: usize,
-                   facts: Multiset<Fact>| {
+                   facts: Multiset<Fact>,
+                   mid: Option<(u64, u64)>| {
         let l = local_index[g].expect("fact routed to non-local node");
         let n = facts.len();
         if n == 0 {
@@ -576,6 +631,9 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
         let slot = &mut slots[l];
         slot.pending.extend_from(facts);
         slot.dirty = true;
+        if mid.is_some() {
+            slot.last_arrival = mid;
+        }
         let depth = slot.pending.len();
         let hw = metrics
             .buffered_high_water
@@ -585,6 +643,16 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
             *hw = depth;
         }
         if obs.enabled() {
+            if let Some((origin, seq)) = mid {
+                obs.event("trace", "deliver", g as u32 + 1, || {
+                    vec![
+                        ("origin", ArgValue::U64(origin)),
+                        ("seq", ArgValue::U64(seq)),
+                        ("dst", ArgValue::U64(g as u64)),
+                        ("facts", ArgValue::U64(n as u64)),
+                    ]
+                });
+            }
             obs.gauge("runtime", "queue_depth", g as u32 + 1, depth as u64);
         }
     };
@@ -596,15 +664,17 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                 Ok(Msg::Batch { node, payload }) => {
                     counter -= 1;
                     black = true;
-                    let facts = wirefmt::decode(&payload).expect("channel batch decodes");
-                    enqueue(&mut slots, &mut metrics, &mut stats, node, facts);
+                    let (facts, ctx) =
+                        wirefmt::decode_traced(&payload).expect("channel batch decodes");
+                    let mid = ctx.map(|c| c.id());
+                    enqueue(&mut slots, &mut metrics, &mut stats, node, facts, mid);
                 }
                 Ok(Msg::Wire(wire)) => {
                     counter -= 1;
                     black = true;
                     let rnet = rnet.as_mut().expect("wire received without a fault plan");
-                    let mut deliver = |g: usize, facts: Multiset<Fact>| {
-                        enqueue(&mut slots, &mut metrics, &mut stats, g, facts)
+                    let mut deliver = |g: usize, facts: Multiset<Fact>, mid: Option<(u64, u64)>| {
+                        enqueue(&mut slots, &mut metrics, &mut stats, g, facts, mid)
                     };
                     pump_wires(
                         vec![wire],
@@ -632,8 +702,8 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
             let mut wires = Vec::new();
             rnet.advance(&mut wires);
             if !wires.is_empty() {
-                let mut deliver = |g: usize, facts: Multiset<Fact>| {
-                    enqueue(&mut slots, &mut metrics, &mut stats, g, facts)
+                let mut deliver = |g: usize, facts: Multiset<Fact>, mid: Option<(u64, u64)>| {
+                    enqueue(&mut slots, &mut metrics, &mut stats, g, facts, mid)
                 };
                 pump_wires(
                     wires,
@@ -703,9 +773,12 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                     if !outcome.sent.is_empty() {
                         // Sends are staged in the outbox; the next
                         // snapshot commits and transmits them. One
-                        // encoding serves every destination.
+                        // encoding serves every destination — with the
+                        // trace context stamped in when tracing is on.
                         let facts: Multiset<Fact> = outcome.sent.iter().cloned().collect();
-                        let payload: Arc<[u8]> = wirefmt::encode(&facts).into();
+                        let ctx = mint_trace(obs, &mut slots[l], total_nodes, &facts);
+                        let payload: Arc<[u8]> =
+                            wirefmt::encode_traced(&facts, ctx.as_ref()).into();
                         let naive_len = wirefmt::naive_len(&facts) as u64;
                         for g in 0..total_nodes {
                             if g == sender_global {
@@ -744,9 +817,10 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                         let mut acks = Vec::new();
                         take_snapshot(&mut slots[l], rnet, &mut acks);
                         if !acks.is_empty() {
-                            let mut deliver = |g: usize, facts: Multiset<Fact>| {
-                                enqueue(&mut slots, &mut metrics, &mut stats, g, facts)
-                            };
+                            let mut deliver =
+                                |g: usize, facts: Multiset<Fact>, mid: Option<(u64, u64)>| {
+                                    enqueue(&mut slots, &mut metrics, &mut stats, g, facts, mid)
+                                };
                             pump_wires(
                                 acks,
                                 rnet,
@@ -770,17 +844,19 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                 // serves every remote destination.
                 let sender_global = slots[l].global;
                 let facts: Multiset<Fact> = outcome.sent.iter().cloned().collect();
+                let ctx = mint_trace(obs, &mut slots[l], total_nodes, &facts);
+                let mid = ctx.as_ref().map(|c| c.id());
                 let mut encoded: Option<(Arc<[u8]>, u64)> = None;
                 for g in 0..total_nodes {
                     if g == sender_global {
                         continue;
                     }
                     if g % workers == id {
-                        enqueue(&mut slots, &mut metrics, &mut stats, g, facts.clone());
+                        enqueue(&mut slots, &mut metrics, &mut stats, g, facts.clone(), mid);
                     } else {
                         let (payload, naive_len) = encoded.get_or_insert_with(|| {
                             (
-                                wirefmt::encode(&facts).into(),
+                                wirefmt::encode_traced(&facts, ctx.as_ref()).into(),
                                 wirefmt::naive_len(&facts) as u64,
                             )
                         });
@@ -822,8 +898,8 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                 }
             }
             if !acks.is_empty() {
-                let mut deliver = |g: usize, facts: Multiset<Fact>| {
-                    enqueue(&mut slots, &mut metrics, &mut stats, g, facts)
+                let mut deliver = |g: usize, facts: Multiset<Fact>, mid: Option<(u64, u64)>| {
+                    enqueue(&mut slots, &mut metrics, &mut stats, g, facts, mid)
                 };
                 pump_wires(
                     acks,
@@ -840,15 +916,18 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                     Ok(Msg::Batch { node, payload }) => {
                         counter -= 1;
                         black = true;
-                        let facts = wirefmt::decode(&payload).expect("channel batch decodes");
-                        enqueue(&mut slots, &mut metrics, &mut stats, node, facts);
+                        let (facts, ctx) =
+                            wirefmt::decode_traced(&payload).expect("channel batch decodes");
+                        let mid = ctx.map(|c| c.id());
+                        enqueue(&mut slots, &mut metrics, &mut stats, node, facts, mid);
                     }
                     Ok(Msg::Wire(wire)) => {
                         counter -= 1;
                         black = true;
-                        let mut deliver = |g: usize, facts: Multiset<Fact>| {
-                            enqueue(&mut slots, &mut metrics, &mut stats, g, facts)
-                        };
+                        let mut deliver =
+                            |g: usize, facts: Multiset<Fact>, mid: Option<(u64, u64)>| {
+                                enqueue(&mut slots, &mut metrics, &mut stats, g, facts, mid)
+                            };
                         pump_wires(
                             vec![wire],
                             rnet_ref,
@@ -923,15 +1002,16 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
             Ok(Msg::Batch { node, payload }) => {
                 counter -= 1;
                 black = true;
-                let facts = wirefmt::decode(&payload).expect("channel batch decodes");
-                enqueue(&mut slots, &mut metrics, &mut stats, node, facts);
+                let (facts, ctx) = wirefmt::decode_traced(&payload).expect("channel batch decodes");
+                let mid = ctx.map(|c| c.id());
+                enqueue(&mut slots, &mut metrics, &mut stats, node, facts, mid);
             }
             Ok(Msg::Wire(wire)) => {
                 counter -= 1;
                 black = true;
                 let rnet = rnet.as_mut().expect("wire received without a fault plan");
-                let mut deliver = |g: usize, facts: Multiset<Fact>| {
-                    enqueue(&mut slots, &mut metrics, &mut stats, g, facts)
+                let mut deliver = |g: usize, facts: Multiset<Fact>, mid: Option<(u64, u64)>| {
+                    enqueue(&mut slots, &mut metrics, &mut stats, g, facts, mid)
                 };
                 pump_wires(
                     vec![wire],

@@ -52,6 +52,7 @@ use crate::wirefmt;
 use calm_common::fact::Fact;
 use calm_common::instance::Instance;
 use calm_common::rng::Rng;
+use calm_obs::{ArgValue, Obs};
 use calm_transducer::multiset::Multiset;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
@@ -60,6 +61,11 @@ use std::sync::Arc;
 /// wait while passive-with-obligations). Delays, backoff and partition
 /// windows are measured in ticks.
 pub type Tick = u64;
+
+/// A freshly-accepted data wire, ready for enqueue: the destination
+/// node, the decoded batch, and the payload's causal message id (only
+/// present when the sender ran with tracing enabled).
+pub type TracedArrival = (usize, Multiset<Fact>, Option<(u64, u64)>);
 
 /// Fault probabilities of one directed link.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -597,6 +603,10 @@ impl LinkCounters {
 /// per-link sequence counters.
 pub struct ReliableNet<'a> {
     plan: &'a FaultPlan,
+    /// Trace handle: retransmit/drop/dedup events and the
+    /// `retry_exhausted`/`decode_failure` anomalies carry the causal
+    /// message ids read (cheaply, header-only) from traced payloads.
+    obs: Obs,
     tick: Tick,
     /// `(src, dst) → next seq`. Rolled back to the snapshot's
     /// `sent_floor` on crash restore — safe because seqs allocated
@@ -627,8 +637,10 @@ pub struct ReliableNet<'a> {
 
 impl<'a> ReliableNet<'a> {
     /// Build the substrate for a worker owning `local_nodes` (global
-    /// indexes).
-    pub fn new(plan: &'a FaultPlan, local_nodes: &[usize]) -> ReliableNet<'a> {
+    /// indexes). Wire-level trace events (retransmits, drops, dedup
+    /// suppressions, anomalies) go to `obs`; pass [`Obs::noop`] to
+    /// trace nothing.
+    pub fn new(plan: &'a FaultPlan, local_nodes: &[usize], obs: &Obs) -> ReliableNet<'a> {
         let mut crash_queue: BTreeMap<usize, VecDeque<CrashPoint>> = BTreeMap::new();
         for &g in local_nodes {
             let mut points: Vec<CrashPoint> = plan
@@ -644,6 +656,7 @@ impl<'a> ReliableNet<'a> {
         }
         ReliableNet {
             plan,
+            obs: obs.clone(),
             tick: 0,
             next_seq: BTreeMap::new(),
             delayed: BTreeMap::new(),
@@ -701,11 +714,30 @@ impl<'a> ReliableNet<'a> {
                 .and_then(|e| e.get_mut(&seq));
             let Some(entry) = entry else { continue };
             if entry.attempt >= budget {
+                let attempts = entry.attempt;
+                let payload = entry.payload.clone();
                 if let Some(entries) = self.links.get_mut(&src).and_then(|nl| nl.out.get_mut(&dst))
                 {
                     entries.remove(&seq);
                 }
                 self.stats.retry_exhausted += 1;
+                if self.obs.enabled() {
+                    let mid = wirefmt::peek_trace(&payload).map(|c| c.id());
+                    self.obs
+                        .event("net", "retry_exhausted", src as u32 + 1, || {
+                            let mut args = vec![
+                                ("src", ArgValue::U64(src as u64)),
+                                ("dst", ArgValue::U64(dst as u64)),
+                                ("link_seq", ArgValue::U64(seq)),
+                                ("attempts", ArgValue::U64(attempts as u64)),
+                            ];
+                            if let Some((o, s)) = mid {
+                                args.push(("origin", ArgValue::U64(o)));
+                                args.push(("seq", ArgValue::U64(s)));
+                            }
+                            args
+                        });
+                }
                 continue;
             }
             entry.attempt += 1;
@@ -716,6 +748,22 @@ impl<'a> ReliableNet<'a> {
             let payload = entry.payload.clone();
             let naive_len = entry.naive_len;
             self.stats.retransmissions += 1;
+            if self.obs.enabled() {
+                let mid = wirefmt::peek_trace(&payload).map(|c| c.id());
+                self.obs.event("trace", "retransmit", src as u32 + 1, || {
+                    let mut args = vec![
+                        ("src", ArgValue::U64(src as u64)),
+                        ("dst", ArgValue::U64(dst as u64)),
+                        ("link_seq", ArgValue::U64(seq)),
+                        ("attempt", ArgValue::U64(attempt as u64)),
+                    ];
+                    if let Some((o, s)) = mid {
+                        args.push(("origin", ArgValue::U64(o)));
+                        args.push(("seq", ArgValue::U64(s)));
+                    }
+                    args
+                });
+            }
             self.transmit(src, dst, seq, payload, naive_len, attempt, out);
         }
     }
@@ -771,6 +819,29 @@ impl<'a> ReliableNet<'a> {
         })
     }
 
+    /// Emit a `trace/drop` event for one lost data-wire copy (fault or
+    /// partition drop, down-node refusal, crash-cleared in-flight
+    /// wire), carrying the causal message id when the payload is
+    /// traced.
+    fn note_drop(&self, src: usize, dst: usize, seq: u64, payload: &[u8]) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let mid = wirefmt::peek_trace(payload).map(|c| c.id());
+        self.obs.event("trace", "drop", src as u32 + 1, || {
+            let mut args = vec![
+                ("src", ArgValue::U64(src as u64)),
+                ("dst", ArgValue::U64(dst as u64)),
+                ("link_seq", ArgValue::U64(seq)),
+            ];
+            if let Some((o, s)) = mid {
+                args.push(("origin", ArgValue::U64(o)));
+                args.push(("seq", ArgValue::U64(s)));
+            }
+            args
+        });
+    }
+
     /// One transmission attempt through the fault gauntlet: duplicate,
     /// drop (faults and partitions), delay, or pass through.
     #[allow(clippy::too_many_arguments)]
@@ -806,6 +877,7 @@ impl<'a> ReliableNet<'a> {
             {
                 self.stats.dropped += 1;
                 lc.dropped += 1;
+                self.note_drop(src, dst, seq, &payload);
                 continue;
             }
             let wire = Wire::Data {
@@ -827,9 +899,10 @@ impl<'a> ReliableNet<'a> {
     }
 
     /// Process an arriving wire addressed to one of this worker's
-    /// nodes. Returns the facts to enqueue (for a fresh data wire);
+    /// nodes. Returns the facts to enqueue (for a fresh data wire)
+    /// together with the payload's causal message id, if traced;
     /// pushes any response wires (re-acks) into `out`.
-    pub fn receive(&mut self, wire: Wire, out: &mut Vec<Wire>) -> Option<(usize, Multiset<Fact>)> {
+    pub fn receive(&mut self, wire: Wire, out: &mut Vec<Wire>) -> Option<TracedArrival> {
         match wire {
             Wire::Data {
                 src,
@@ -842,6 +915,7 @@ impl<'a> ReliableNet<'a> {
                     // outbox will retransmit after the restart.
                     self.stats.dropped += 1;
                     self.link_counters.entry((src, dst)).or_default().dropped += 1;
+                    self.note_drop(src, dst, seq, &payload);
                     return None;
                 }
                 let nl = self.links.get_mut(&dst).expect("receive at non-local node");
@@ -850,6 +924,21 @@ impl<'a> ReliableNet<'a> {
                 if seq <= cum || seen.contains(&seq) {
                     self.stats.duplicates_suppressed += 1;
                     self.link_counters.entry((src, dst)).or_default().suppressed += 1;
+                    if self.obs.enabled() {
+                        let mid = wirefmt::peek_trace(&payload).map(|c| c.id());
+                        self.obs.event("trace", "dedup", dst as u32 + 1, || {
+                            let mut args = vec![
+                                ("src", ArgValue::U64(src as u64)),
+                                ("dst", ArgValue::U64(dst as u64)),
+                                ("link_seq", ArgValue::U64(seq)),
+                            ];
+                            if let Some((o, s)) = mid {
+                                args.push(("origin", ArgValue::U64(o)));
+                                args.push(("seq", ArgValue::U64(s)));
+                            }
+                            args
+                        });
+                    }
                     // Re-ack so a sender whose ack got lost in a crash
                     // window can clear its outbox.
                     self.stats.acks_sent += 1;
@@ -864,12 +953,21 @@ impl<'a> ReliableNet<'a> {
                     // a corrupted wire is refused like a dropped one
                     // (no `seen` entry, no ack), so a clean retransmit
                     // of the same seq can still land.
-                    let facts = match wirefmt::decode(&payload) {
-                        Ok(facts) => facts,
+                    let (facts, ctx) = match wirefmt::decode_traced(&payload) {
+                        Ok(decoded) => decoded,
                         Err(_) => {
                             self.stats.dropped += 1;
                             self.stats.decode_failures += 1;
                             self.link_counters.entry((src, dst)).or_default().dropped += 1;
+                            if self.obs.enabled() {
+                                self.obs.event("net", "decode_failure", dst as u32 + 1, || {
+                                    vec![
+                                        ("src", ArgValue::U64(src as u64)),
+                                        ("dst", ArgValue::U64(dst as u64)),
+                                        ("link_seq", ArgValue::U64(seq)),
+                                    ]
+                                });
+                            }
                             return None;
                         }
                     };
@@ -891,7 +989,7 @@ impl<'a> ReliableNet<'a> {
                     self.stats.replayed_facts_suppressed += replayed;
                     self.stats.delivered_batches += 1;
                     self.link_counters.entry((src, dst)).or_default().delivered += 1;
-                    Some((dst, fresh))
+                    Some((dst, fresh, ctx.map(|c| c.id())))
                 }
             }
             Wire::Ack { src, dst, cum } => {
@@ -1029,9 +1127,16 @@ impl<'a> ReliableNet<'a> {
             .map(|(&k, _)| k)
             .collect();
         for key in lost {
-            if let Some(Wire::Data { src, dst, .. }) = self.delayed.remove(&key) {
+            if let Some(Wire::Data {
+                src,
+                dst,
+                seq,
+                payload,
+            }) = self.delayed.remove(&key)
+            {
                 self.stats.dropped += 1;
                 self.link_counters.entry((src, dst)).or_default().dropped += 1;
+                self.note_drop(src, dst, seq, &payload);
             }
         }
         if down_ticks > 0 {
@@ -1188,7 +1293,7 @@ mod tests {
     #[test]
     fn dedup_suppresses_and_reacks() {
         let plan = FaultPlan::none(1);
-        let mut net = ReliableNet::new(&plan, &[1]);
+        let mut net = ReliableNet::new(&plan, &[1], &Obs::noop());
         let mut out = Vec::new();
         let d = |seq| Wire::Data {
             src: 0,
@@ -1221,7 +1326,7 @@ mod tests {
     #[test]
     fn out_of_order_receipt_acks_only_the_contiguous_prefix() {
         let plan = FaultPlan::none(1);
-        let mut net = ReliableNet::new(&plan, &[1]);
+        let mut net = ReliableNet::new(&plan, &[1], &Obs::noop());
         let mut out = Vec::new();
         for seq in [3u64, 1] {
             net.receive(
@@ -1257,7 +1362,7 @@ mod tests {
     #[test]
     fn retransmission_backs_off_and_acks_clear_the_outbox() {
         let plan = FaultPlan::none(3);
-        let mut net = ReliableNet::new(&plan, &[0]);
+        let mut net = ReliableNet::new(&plan, &[0], &Obs::noop());
         let mut out = Vec::new();
         net.send(0, 1, batch(1));
         assert!(out.is_empty(), "sends are staged until a snapshot");
@@ -1297,7 +1402,7 @@ mod tests {
         plan.retry_budget = 3;
         plan.backoff_base = 1;
         plan.max_backoff = 1;
-        let mut net = ReliableNet::new(&plan, &[0]);
+        let mut net = ReliableNet::new(&plan, &[0], &Obs::noop());
         let mut out = Vec::new();
         net.send(0, 1, batch(1));
         net.snapshot(0, &mut out);
@@ -1317,7 +1422,7 @@ mod tests {
         let mut plan = FaultPlan::none(5).with_partition(0, 1, 0, 10);
         plan.backoff_base = 2;
         plan.max_backoff = 2;
-        let mut net = ReliableNet::new(&plan, &[0]);
+        let mut net = ReliableNet::new(&plan, &[0], &Obs::noop());
         let mut out = Vec::new();
         net.send(0, 1, batch(1));
         net.snapshot(0, &mut out);
@@ -1329,7 +1434,7 @@ mod tests {
         assert!(net.now() >= 10);
         // Reverse direction was never partitioned.
         let mut rev = Vec::new();
-        let mut net2 = ReliableNet::new(&plan, &[1]);
+        let mut net2 = ReliableNet::new(&plan, &[1], &Obs::noop());
         net2.send(1, 0, batch(2));
         net2.snapshot(1, &mut rev);
         assert_eq!(rev.len(), 1);
@@ -1339,7 +1444,7 @@ mod tests {
     fn delay_buffers_and_releases_in_tick_order() {
         let mut plan = FaultPlan::none(9).with_delay(1.0, 4);
         plan.backoff_base = 64; // keep retransmission out of the picture
-        let mut net = ReliableNet::new(&plan, &[0]);
+        let mut net = ReliableNet::new(&plan, &[0], &Obs::noop());
         let mut out = Vec::new();
         net.send(0, 1, batch(1));
         net.snapshot(0, &mut out);
@@ -1362,7 +1467,7 @@ mod tests {
     #[test]
     fn crash_restore_rolls_back_staged_sends_and_reissues_their_seqs() {
         let plan = FaultPlan::none(11).with_crash(0, 1, 2);
-        let mut net = ReliableNet::new(&plan, &[0]);
+        let mut net = ReliableNet::new(&plan, &[0], &Obs::noop());
         let mut out = Vec::new();
         // Release seq 1 with a snapshot; stage seq 2 with no covering
         // snapshot.
@@ -1403,7 +1508,7 @@ mod tests {
     #[test]
     fn down_node_refuses_arrivals() {
         let plan = FaultPlan::none(13);
-        let mut net = ReliableNet::new(&plan, &[1]);
+        let mut net = ReliableNet::new(&plan, &[1], &Obs::noop());
         net.crash(1, 5);
         let mut out = Vec::new();
         let got = net.receive(
@@ -1423,7 +1528,7 @@ mod tests {
     #[test]
     fn corrupted_payload_is_refused_and_the_seq_stays_free() {
         let plan = FaultPlan::none(17);
-        let mut net = ReliableNet::new(&plan, &[1]);
+        let mut net = ReliableNet::new(&plan, &[1], &Obs::noop());
         let mut out = Vec::new();
         // Corrupt the payload past the header: decode fails, the wire
         // counts as a drop, and no ack is emitted.
@@ -1455,14 +1560,14 @@ mod tests {
             },
             &mut out,
         );
-        assert_eq!(got, Some((1, batch(1))));
+        assert_eq!(got, Some((1, batch(1), None)));
         assert_eq!(net.stats.duplicates_suppressed, 0);
     }
 
     #[test]
     fn wire_bytes_count_every_copy_and_beat_the_naive_baseline() {
         let plan = FaultPlan::none(19);
-        let mut net = ReliableNet::new(&plan, &[0]);
+        let mut net = ReliableNet::new(&plan, &[0], &Obs::noop());
         let mut out = Vec::new();
         // A dense batch: the delta encoding should be measurably
         // smaller than the per-fact baseline.

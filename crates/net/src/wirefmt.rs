@@ -49,6 +49,41 @@ pub const MAGIC: u8 = 0xCA;
 pub const FORMAT_DELTA: u8 = 0x01;
 /// Second byte of a naive-encoded batch (the E23 baseline).
 pub const FORMAT_NAIVE: u8 = 0x02;
+/// Flag OR'd into the format byte when a [`TraceCtx`] extension sits
+/// between the header and the body. Tracing off ⇒ the flag is clear and
+/// the payload is byte-identical to the untraced encoding — the
+/// extension costs zero bytes unless used.
+pub const FLAG_TRACE: u8 = 0x80;
+
+/// The causal trace context carried on a traced payload: the message's
+/// own id (minted by the origin node, strictly increasing per origin)
+/// and, when the send was triggered by a delivery, the id of that
+/// triggering message. Retransmitted copies are byte-verbatim, so the
+/// context survives retransmission for free.
+///
+/// Wire layout (after the 2-byte header, before the batch body):
+///
+/// ```text
+/// varint origin_node | varint origin_seq | u8 cause? (0|1)
+///   [ varint cause_node | varint cause_seq ]   -- iff cause? == 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// The node that minted this message id.
+    pub origin_node: u64,
+    /// The per-origin sequence number (strictly increasing).
+    pub origin_seq: u64,
+    /// The id of the delivery that causally triggered this send, or
+    /// `None` for a root send triggered by input distribution alone.
+    pub cause: Option<(u64, u64)>,
+}
+
+impl TraceCtx {
+    /// This context's message id as a `(origin_node, origin_seq)` pair.
+    pub fn id(&self) -> (u64, u64) {
+        (self.origin_node, self.origin_seq)
+    }
+}
 
 /// Maximum Skolem-term nesting the decoder will follow (corruption
 /// guard: a crafted payload must not recurse the decoder off the
@@ -227,6 +262,38 @@ impl<'a> Reader<'a> {
 /// Encode a batch into the delta wire format. The encoding is
 /// canonical: equal multisets produce identical bytes.
 pub fn encode(batch: &Multiset<Fact>) -> Vec<u8> {
+    encode_traced(batch, None)
+}
+
+/// As [`encode`], optionally carrying a [`TraceCtx`] extension. With
+/// `ctx = None` the output is byte-identical to [`encode`]; with a
+/// context the [`FLAG_TRACE`] bit is set and the context precedes the
+/// body. Canonical per `(batch, ctx)` pair.
+pub fn encode_traced(batch: &Multiset<Fact>, ctx: Option<&TraceCtx>) -> Vec<u8> {
+    let mut out = match ctx {
+        None => vec![MAGIC, FORMAT_DELTA],
+        Some(ctx) => {
+            let mut out = vec![MAGIC, FORMAT_DELTA | FLAG_TRACE];
+            put_varint(&mut out, ctx.origin_node);
+            put_varint(&mut out, ctx.origin_seq);
+            match ctx.cause {
+                None => out.push(0),
+                Some((node, seq)) => {
+                    out.push(1);
+                    put_varint(&mut out, node);
+                    put_varint(&mut out, seq);
+                }
+            }
+            out
+        }
+    };
+    encode_body(batch, &mut out);
+    out
+}
+
+/// The delta body shared by traced and untraced encodings: dictionary,
+/// then sorted delta-encoded row groups.
+fn encode_body(batch: &Multiset<Fact>, out: &mut Vec<u8>) {
     // The message's own interner: distinct values, sorted. Sorting
     // makes the index map monotone in `Value` order, so args-sorted
     // fact iteration yields lexicographically sorted index rows.
@@ -242,10 +309,9 @@ pub fn encode(batch: &Multiset<Fact>) -> Vec<u8> {
         .map(|(i, &v)| (v, i as u64))
         .collect();
 
-    let mut out = vec![MAGIC, FORMAT_DELTA];
-    put_varint(&mut out, values.len() as u64);
+    put_varint(out, values.len() as u64);
     for v in &values {
-        put_value(&mut out, v);
+        put_value(out, v);
     }
 
     // Group rows by (relation, arity). `Multiset` iterates facts in
@@ -260,38 +326,75 @@ pub fn encode(batch: &Multiset<Fact>) -> Vec<u8> {
             .or_default()
             .push((row, n as u64));
     }
-    put_varint(&mut out, groups.len() as u64);
+    put_varint(out, groups.len() as u64);
     for ((name, arity), rows) in &groups {
-        put_bytes(&mut out, name.as_bytes());
-        put_varint(&mut out, *arity as u64);
-        put_varint(&mut out, rows.len() as u64);
+        put_bytes(out, name.as_bytes());
+        put_varint(out, *arity as u64);
+        put_varint(out, rows.len() as u64);
         let mut prev = vec![0u64; *arity];
         for (row, n) in rows {
             debug_assert!(
                 row.as_slice() >= prev.as_slice(),
                 "group rows must be sorted"
             );
-            put_varint(&mut out, row[0] - prev[0]);
+            put_varint(out, row[0] - prev[0]);
             for j in 1..*arity {
-                put_varint(&mut out, zigzag(row[j] as i64 - prev[j] as i64));
+                put_varint(out, zigzag(row[j] as i64 - prev[j] as i64));
             }
-            put_varint(&mut out, *n);
+            put_varint(out, *n);
             prev.clone_from(row);
         }
     }
-    out
 }
 
-/// Decode a delta wire payload back into a batch. Strict: every
-/// structural invariant of [`encode`]'s output is checked, so a
-/// corrupted payload fails instead of producing a garbled batch.
+/// Decode a delta wire payload back into a batch, discarding any trace
+/// context. Strict: every structural invariant of [`encode`]'s output
+/// is checked, so a corrupted payload fails instead of producing a
+/// garbled batch.
 pub fn decode(bytes: &[u8]) -> Result<Multiset<Fact>, WireError> {
+    decode_traced(bytes).map(|(batch, _)| batch)
+}
+
+/// Read just the header + trace extension of a delta payload, without
+/// touching the body. `None` when the payload is untraced or too
+/// corrupt to carry a context — cheap enough to call on every hand-off.
+pub fn peek_trace(bytes: &[u8]) -> Option<TraceCtx> {
     let mut r = Reader::new(bytes);
-    if r.u8().map_err(|_| WireError::BadHeader)? != MAGIC
-        || r.u8().map_err(|_| WireError::BadHeader)? != FORMAT_DELTA
-    {
+    if r.u8().ok()? != MAGIC || r.u8().ok()? != FORMAT_DELTA | FLAG_TRACE {
+        return None;
+    }
+    read_trace_ctx(&mut r).ok()
+}
+
+fn read_trace_ctx(r: &mut Reader<'_>) -> Result<TraceCtx, WireError> {
+    let origin_node = r.varint()?;
+    let origin_seq = r.varint()?;
+    let cause = match r.u8()? {
+        0 => None,
+        1 => Some((r.varint()?, r.varint()?)),
+        _ => return Err(WireError::NonCanonical("bad cause flag")),
+    };
+    Ok(TraceCtx {
+        origin_node,
+        origin_seq,
+        cause,
+    })
+}
+
+/// As [`decode`], returning the [`TraceCtx`] extension when the payload
+/// carries one. Both format bytes are accepted: [`FORMAT_DELTA`] (no
+/// context) and [`FORMAT_DELTA`]`|`[`FLAG_TRACE`] (context precedes the
+/// body).
+pub fn decode_traced(bytes: &[u8]) -> Result<(Multiset<Fact>, Option<TraceCtx>), WireError> {
+    let mut r = Reader::new(bytes);
+    if r.u8().map_err(|_| WireError::BadHeader)? != MAGIC {
         return Err(WireError::BadHeader);
     }
+    let ctx = match r.u8().map_err(|_| WireError::BadHeader)? {
+        f if f == FORMAT_DELTA => None,
+        f if f == FORMAT_DELTA | FLAG_TRACE => Some(read_trace_ctx(&mut r)?),
+        _ => return Err(WireError::BadHeader),
+    };
 
     let dict_len = r.varint()? as usize;
     if dict_len > r.remaining() {
@@ -375,7 +478,7 @@ pub fn decode(bytes: &[u8]) -> Result<Multiset<Fact>, WireError> {
     if r.remaining() > 0 {
         return Err(WireError::TrailingBytes);
     }
-    Ok(batch)
+    Ok((batch, ctx))
 }
 
 /// Encode a batch the pre-v2 way: one record per distinct fact, each
@@ -579,6 +682,105 @@ mod tests {
         put_varint(&mut bytes, 1); // arity 1
         put_varint(&mut bytes, u64::MAX); // row count
         assert_eq!(decode(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn traced_payloads_round_trip_with_context() {
+        let m = batch_of(&[(fact("E", [1, 2]), 1), (fact("E", [5, 9]), 4)]);
+        for ctx in [
+            TraceCtx {
+                origin_node: 0,
+                origin_seq: 1,
+                cause: None,
+            },
+            TraceCtx {
+                origin_node: 7,
+                origin_seq: 130, // multi-byte varint
+                cause: Some((3, 12)),
+            },
+        ] {
+            let bytes = encode_traced(&m, Some(&ctx));
+            assert_eq!(bytes[1], FORMAT_DELTA | FLAG_TRACE);
+            let (back, got) = decode_traced(&bytes).unwrap();
+            assert_eq!(back, m);
+            assert_eq!(got, Some(ctx));
+            // The cheap header peek agrees with the full decode.
+            assert_eq!(peek_trace(&bytes), Some(ctx));
+            // The plain decoder accepts and discards the context.
+            assert_eq!(decode(&bytes).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn untraced_encoding_is_byte_identical_and_flag_free() {
+        let m = batch_of(&[(fact("E", [1, 2]), 2)]);
+        let plain = encode(&m);
+        assert_eq!(encode_traced(&m, None), plain, "None ctx adds zero bytes");
+        assert_eq!(plain[1], FORMAT_DELTA);
+        assert_eq!(peek_trace(&plain), None);
+        let (back, ctx) = decode_traced(&plain).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(ctx, None);
+    }
+
+    #[test]
+    fn traced_encoding_is_canonical_per_context() {
+        let a = batch_of(&[(fact("E", [3, 4]), 1), (fact("E", [1, 2]), 2)]);
+        let b = batch_of(&[(fact("E", [1, 2]), 2), (fact("E", [3, 4]), 1)]);
+        let ctx = TraceCtx {
+            origin_node: 2,
+            origin_seq: 9,
+            cause: Some((1, 4)),
+        };
+        assert_eq!(encode_traced(&a, Some(&ctx)), encode_traced(&b, Some(&ctx)));
+        // A different context gives different bytes.
+        let ctx2 = TraceCtx {
+            origin_seq: 10,
+            ..ctx
+        };
+        assert_ne!(
+            encode_traced(&a, Some(&ctx)),
+            encode_traced(&a, Some(&ctx2))
+        );
+    }
+
+    #[test]
+    fn corrupted_traced_payloads_are_rejected() {
+        let m = batch_of(&[(fact("E", [1, 2]), 1), (fact("E", [5, 9]), 4)]);
+        let ctx = TraceCtx {
+            origin_node: 300,
+            origin_seq: 77,
+            cause: Some((2, 1)),
+        };
+        let bytes = encode_traced(&m, Some(&ctx));
+        // Every strict prefix fails — including prefixes ending inside
+        // the trace extension itself.
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_traced(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        // A bad cause flag is non-canonical. Extension layout: header
+        // (2) + varint(300) (2 bytes) + varint(77) (1 byte) puts the
+        // cause flag at offset 5.
+        let mut bad = bytes.clone();
+        assert_eq!(bad[5], 1, "cause flag offset");
+        bad[5] = 2;
+        assert_eq!(
+            decode_traced(&bad),
+            Err(WireError::NonCanonical("bad cause flag"))
+        );
+        // The naive format never carries the flag.
+        let mut naive = encode_naive(&m);
+        naive[1] |= FLAG_TRACE;
+        assert!(decode_naive(&naive).is_err());
+        // Single-byte corruption must never panic.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xff;
+            let _ = decode_traced(&bad);
+        }
     }
 
     #[test]

@@ -34,11 +34,11 @@ fn batch(rng: &mut Rng) -> Multiset<Fact> {
 /// fact-occurrence multiset (what the engine would enqueue into the
 /// node's inbox, i.e. what determines `Instance` state).
 fn accepted(plan: &FaultPlan, wires: &[Wire]) -> (Multiset<Fact>, u64, u64) {
-    let mut net = ReliableNet::new(plan, &[1]);
+    let mut net = ReliableNet::new(plan, &[1], &calm_obs::Obs::noop());
     let mut out = Vec::new();
     let mut got = Multiset::new();
     for w in wires {
-        if let Some((_, facts)) = net.receive(w.clone(), &mut out) {
+        if let Some((_, facts, _)) = net.receive(w.clone(), &mut out) {
             got.extend_from(facts);
         }
     }

@@ -129,7 +129,7 @@ fn reliability_layer_refuses_corrupted_prefixes_and_recovers() {
             batch.insert(Fact::new("pad", vec![Value::Int(0)]));
         }
         let bytes = wirefmt::encode(&batch);
-        let mut net = ReliableNet::new(&plan, &[1]);
+        let mut net = ReliableNet::new(&plan, &[1], &calm_obs::Obs::noop());
         let mut out = Vec::new();
         let cuts = [2usize, bytes.len() / 2, bytes.len() - 1];
         for &cut in &cuts {
@@ -162,7 +162,7 @@ fn reliability_layer_refuses_corrupted_prefixes_and_recovers() {
         let support: Multiset<Fact> = batch.support().cloned().collect();
         assert_eq!(
             got,
-            Some((1, support)),
+            Some((1, support, None)),
             "seed {seed}: the clean retransmission lands"
         );
         assert_eq!(

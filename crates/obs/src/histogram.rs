@@ -105,6 +105,43 @@ impl Pow2Histogram {
         self.max
     }
 
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) by locating the
+    /// bucket holding the `ceil(q·n)`-th smallest observation and
+    /// interpolating linearly within it under a uniform-within-bucket
+    /// assumption. Exact whenever the bucket holds a single value
+    /// (buckets 0 and 1, i.e. the values 0 and 1) and never off by more
+    /// than the bucket width otherwise; the estimate is clamped to
+    /// [`Pow2Histogram::max`] so a sparse top bucket cannot overshoot
+    /// the data. Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let lo = bucket_lo(i) as f64;
+                // Exclusive upper edge; bucket 0 holds only the value 0.
+                let hi = match i {
+                    0 => 1.0,
+                    i if i >= 63 => self.max as f64 + 1.0,
+                    i => (1u64 << i) as f64,
+                };
+                // How far into this bucket's occupants the target rank
+                // falls, in (0, 1].
+                let frac = (target - seen) as f64 / c as f64;
+                let est = lo + (hi - lo) * frac;
+                return est.min(self.max as f64);
+            }
+            seen += c;
+        }
+        self.max as f64
+    }
+
     /// Accumulate another histogram into this one.
     pub fn merge(&mut self, other: &Pow2Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -208,6 +245,69 @@ mod tests {
         // p99 lands in the [512,1024) bucket → upper edge 1023.
         assert_eq!(h.quantile_bound(0.99), 1023);
         assert_eq!(Pow2Histogram::new().quantile_bound(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut h = Pow2Histogram::new();
+        for _ in 0..90 {
+            h.record(3);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        // Median falls in the [2,4) bucket; p99 in [512,1024), clamped
+        // to the observed max.
+        let p50 = h.quantile(0.5);
+        assert!((2.0..4.0).contains(&p50), "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!((512.0..=1000.0).contains(&p99), "p99={p99}");
+        // q=1.0 is the max exactly (clamp).
+        assert_eq!(h.quantile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn quantile_on_single_value_buckets() {
+        // Buckets 0 and 1 hold exactly one value each (0 and 1): low
+        // ranks interpolate inside [0,1), high ranks clamp to the max.
+        let mut h = Pow2Histogram::new();
+        for _ in 0..4 {
+            h.record(0);
+        }
+        for _ in 0..4 {
+            h.record(1);
+        }
+        assert!(h.quantile(0.1) < 1.0, "rank 1 of 8 is a zero");
+        assert!(h.quantile(0.25) <= 1.0);
+        assert_eq!(h.quantile(1.0), 1.0, "top rank is the max");
+    }
+
+    #[test]
+    fn quantile_at_bucket_boundaries() {
+        // 4 values exactly on a bucket's lower edge: every quantile is
+        // inside [lo, hi) of that bucket and never exceeds max.
+        let mut h = Pow2Histogram::new();
+        for _ in 0..4 {
+            h.record(8); // bucket [8,16)
+        }
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let est = h.quantile(q);
+            assert!((8.0..=8.0).contains(&est), "q={q} est={est}");
+        }
+        // Empty histogram: 0.
+        assert_eq!(Pow2Histogram::new().quantile(0.5), 0.0);
+        // Quantile estimates are monotone in q.
+        let mut m = Pow2Histogram::new();
+        for v in [1u64, 2, 4, 9, 17, 80, 300, 5000] {
+            m.record(v);
+        }
+        let mut prev = 0.0;
+        for q in [0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 1.0] {
+            let est = m.quantile(q);
+            assert!(est >= prev, "monotone at q={q}");
+            assert!(est <= m.max() as f64);
+            prev = est;
+        }
     }
 
     #[test]

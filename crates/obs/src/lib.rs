@@ -40,19 +40,38 @@
 #![warn(missing_docs)]
 
 mod chrome;
+mod flight;
 mod histogram;
 mod json;
 mod jsonl;
 mod report;
+pub mod trace;
 
 pub use chrome::ChromeTraceSink;
+pub use flight::{FlightRecorder, Trigger, DEFAULT_FLIGHT_CAPACITY};
 pub use histogram::Pow2Histogram;
-pub use json::escape_json;
+pub use json::{escape_json, parse_json, JsonValue};
 pub use jsonl::JsonlSink;
 pub use report::ReportSink;
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// The one process-wide timestamp epoch. Every [`Obs`] handle measures
+/// microseconds from this shared `Instant`, set on the first live handle
+/// created in the process — so latency deltas computed *across* handles
+/// (the sequential oracle vs a threaded run, or per-worker clones of one
+/// handle on different threads) are on one timebase. A per-handle epoch
+/// would make `deliver.ts - send.ts` meaningless whenever the two events
+/// were stamped by handles created at different moments.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds since the process-wide epoch (initializing it if this is
+/// the first reading).
+#[inline]
+fn epoch_us() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
 
 /// A structured argument value attached to an [`Sink::event`].
 #[derive(Debug, Clone, PartialEq)]
@@ -98,8 +117,8 @@ impl ArgValue {
 /// `cat` is a coarse subsystem label (`"eval"`, `"runtime"`,
 /// `"strategy"`, ...); `name` identifies the series or span; `track` is a
 /// display lane (0 for the engine, one per network node in the
-/// simulator); timestamps are microseconds since the [`Obs`] handle was
-/// created.
+/// simulator); timestamps are microseconds since the process-wide epoch
+/// shared by every [`Obs`] handle.
 pub trait Sink: Send + Sync {
     /// A completed span: `name` ran on `track` from `start_us` for
     /// `dur_us` microseconds.
@@ -124,7 +143,6 @@ pub trait Sink: Send + Sync {
 
 struct ObsInner {
     sink: Arc<dyn Sink>,
-    epoch: Instant,
 }
 
 /// The handle threaded through instrumented code: either a live sink or
@@ -142,13 +160,15 @@ impl Obs {
         Obs { inner: None }
     }
 
-    /// A live handle feeding `sink`, with timestamps measured from now.
+    /// A live handle feeding `sink`. Timestamps are measured from the
+    /// process-wide epoch shared by every handle (set when the first live
+    /// handle in the process is created), so events recorded through
+    /// different handles — or clones of one handle on different worker
+    /// threads — are directly comparable.
     pub fn new(sink: Arc<dyn Sink>) -> Obs {
+        EPOCH.get_or_init(Instant::now);
         Obs {
-            inner: Some(Arc::new(ObsInner {
-                sink,
-                epoch: Instant::now(),
-            })),
+            inner: Some(Arc::new(ObsInner { sink })),
         }
     }
 
@@ -160,11 +180,12 @@ impl Obs {
         self.inner.is_some()
     }
 
-    /// Microseconds since this handle was created (0 when disabled).
+    /// Microseconds since the shared process-wide epoch (0 when
+    /// disabled).
     #[inline]
     pub fn now_us(&self) -> u64 {
         match &self.inner {
-            Some(inner) => inner.epoch.elapsed().as_micros() as u64,
+            Some(_) => epoch_us(),
             None => 0,
         }
     }
@@ -190,7 +211,7 @@ impl Obs {
                     cat,
                     name: name(),
                     track,
-                    start_us: inner.epoch.elapsed().as_micros() as u64,
+                    start_us: epoch_us(),
                 }),
             },
             None => SpanGuard { state: None },
@@ -207,7 +228,7 @@ impl Obs {
         args: impl FnOnce() -> Vec<(&'static str, ArgValue)>,
     ) {
         if let Some(inner) = &self.inner {
-            let ts = inner.epoch.elapsed().as_micros() as u64;
+            let ts = epoch_us();
             inner.sink.event(cat, name, track, ts, &args());
         }
     }
@@ -216,7 +237,7 @@ impl Obs {
     #[inline]
     pub fn counter(&self, cat: &'static str, name: &str, delta: u64) {
         if let Some(inner) = &self.inner {
-            let ts = inner.epoch.elapsed().as_micros() as u64;
+            let ts = epoch_us();
             inner.sink.counter(cat, name, ts, delta);
         }
     }
@@ -225,7 +246,7 @@ impl Obs {
     #[inline]
     pub fn gauge(&self, cat: &'static str, name: &str, track: u32, value: u64) {
         if let Some(inner) = &self.inner {
-            let ts = inner.epoch.elapsed().as_micros() as u64;
+            let ts = epoch_us();
             inner.sink.gauge(cat, name, track, ts, value);
         }
     }
@@ -264,7 +285,7 @@ pub struct SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(s) = self.state.take() {
-            let end = s.inner.epoch.elapsed().as_micros() as u64;
+            let end = epoch_us();
             s.inner
                 .sink
                 .span(s.cat, &s.name, s.track, s.start_us, end - s.start_us);
@@ -463,5 +484,25 @@ mod tests {
         let b = obs.now_us();
         assert!(b >= a);
         assert_eq!(Obs::noop().now_us(), 0);
+    }
+
+    #[test]
+    fn handles_share_one_epoch() {
+        // Two handles created at different moments must report
+        // timestamps on the same timebase: a reading through the second
+        // handle is never earlier than a prior reading through the
+        // first. With per-handle epochs the later handle would restart
+        // near zero.
+        let first = Obs::new(Arc::new(RecordingSink::default()));
+        let before = first.now_us();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let second = Obs::new(Arc::new(RecordingSink::default()));
+        let after = second.now_us();
+        assert!(
+            after >= before + 1_000,
+            "second handle must continue the shared clock: {before} then {after}"
+        );
+        // And readings interleave monotonically across handles.
+        assert!(first.now_us() >= after);
     }
 }

@@ -109,9 +109,17 @@ impl ReportSink {
             }
         }
         if !state.histograms.is_empty() {
-            out.push_str("histograms:\n");
+            out.push_str("histograms (count, mean, p50/p90/p99, max):\n");
             for (key, h) in &state.histograms {
-                out.push_str(&format!("  {key:<40} {}\n", h.render()));
+                out.push_str(&format!(
+                    "  {key:<40} n={} mean={:.1} p50={:.1} p90={:.1} p99={:.1} max={}\n",
+                    h.count(),
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.9),
+                    h.quantile(0.99),
+                    h.max()
+                ));
             }
         }
         out
@@ -195,6 +203,20 @@ mod tests {
         assert!(text.contains("runtime/queue_depth[3]"));
         assert!(text.contains("max=5"));
         assert!(text.contains("runtime/batch"));
+        // Histogram lines carry quantile estimates, not raw buckets.
+        let hist_line = text
+            .lines()
+            .find(|l| l.contains("runtime/batch"))
+            .expect("histogram line");
+        assert!(
+            hist_line.contains("p50="),
+            "quantiles rendered: {hist_line}"
+        );
+        assert!(
+            hist_line.contains("p99="),
+            "quantiles rendered: {hist_line}"
+        );
+        assert!(!hist_line.contains('['), "no raw bucket dump: {hist_line}");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::multiset::Multiset;
 use crate::network::NodeId;
 use crate::policy::{distribute, DistributionPolicy};
 use crate::schema::SystemConfig;
-use crate::strategy::MessageClassCounts;
+use crate::strategy::{class_arg_counts, MessageClassCounts};
 use crate::transducer::Transducer;
 use calm_common::fact::Fact;
 use calm_common::instance::Instance;
@@ -160,6 +160,28 @@ impl Delivery {
     }
 }
 
+/// Per-node causal-tracing state of a sequential run: the next message
+/// id each node mints, and the id of the last message routed into each
+/// node's buffer — the causal parent of that node's next send. Mirrors
+/// the threaded executor's per-slot trace fields, so sequential and
+/// threaded traces carry the same `trace/send` / `trace/deliver`
+/// vocabulary and analyze identically.
+#[derive(Debug, Clone, Default)]
+pub struct CausalTrace {
+    next_seq: BTreeMap<NodeId, u64>,
+    last_arrival: BTreeMap<NodeId, (u64, u64)>,
+}
+
+/// A node's position in network order: the numeric origin used in
+/// message ids and the basis of its display track (`index + 1`).
+fn node_index(tn: &TransducerNetwork<'_>, x: &NodeId) -> u64 {
+    tn.policy
+        .network()
+        .nodes()
+        .position(|n| n == x)
+        .unwrap_or(0) as u64
+}
+
 /// Execute one transition of node `x`: deliver per `delivery`, expose
 /// `D = J ∪ S`, apply the four queries, and update the configuration.
 /// Returns `true` when the node's state changed.
@@ -189,6 +211,26 @@ pub fn transition_with(
     delivery: Delivery,
     metrics: &mut Metrics,
     obs: &Obs,
+) -> bool {
+    transition_traced(tn, dist, config, x, delivery, metrics, obs, None)
+}
+
+/// As [`transition_with`], additionally threading the causal-tracing
+/// state: when `trace` is supplied and `obs` is enabled, a send mints a
+/// `(origin, seq)` message id (causal parent: the last id routed into
+/// `x`'s buffer) and emits `trace/send`, and each recipient's buffer
+/// insertion emits `trace/deliver` — the same event vocabulary as the
+/// threaded executor, so `calm trace report` ingests either.
+#[allow(clippy::too_many_arguments)]
+pub fn transition_traced(
+    tn: &TransducerNetwork<'_>,
+    dist: &BTreeMap<NodeId, Instance>,
+    config: &mut Configuration,
+    x: &NodeId,
+    delivery: Delivery,
+    metrics: &mut Metrics,
+    obs: &Obs,
+    mut trace: Option<&mut CausalTrace>,
 ) -> bool {
     // Delivery half: choose the submultiset m ⊆ b(x) and collapse to the
     // set M. (The step half lives in `NodeEngine::apply`, shared with
@@ -248,12 +290,59 @@ pub fn transition_with(
 
     // Route the sends: every message fact goes to every other node.
     if !outcome.sent.is_empty() {
+        // Mint a message id for this send and record it as every
+        // recipient's causal parent — the same id scheme as the threaded
+        // executor's per-slot trace state, so the sequential engine
+        // produces traces `calm trace report` analyzes identically.
+        let mid = match trace.as_deref_mut().filter(|_| obs.enabled()) {
+            Some(tr) => {
+                let origin = node_index(tn, x);
+                let seq_slot = tr.next_seq.entry(x.clone()).or_insert(0);
+                let seq = *seq_slot;
+                *seq_slot += 1;
+                let cause = tr.last_arrival.get(x).copied();
+                let batch: Multiset<Fact> = outcome.sent.iter().cloned().collect();
+                let fanout = tn.policy.network().others(x).count() as u64;
+                obs.event("trace", "send", origin as u32 + 1, || {
+                    let mut args = vec![
+                        ("origin", ArgValue::U64(origin)),
+                        ("seq", ArgValue::U64(seq)),
+                        ("fanout", ArgValue::U64(fanout)),
+                        ("facts", ArgValue::U64(batch.len() as u64)),
+                    ];
+                    if let Some((co, cs)) = cause {
+                        args.push(("cause_origin", ArgValue::U64(co)));
+                        args.push(("cause_seq", ArgValue::U64(cs)));
+                    }
+                    for (name, n) in class_arg_counts(&batch) {
+                        args.push((name, ArgValue::U64(n)));
+                    }
+                    args
+                });
+                Some((origin, seq))
+            }
+            None => None,
+        };
         for y in tn.policy.network().others(x) {
             config
                 .buffer
                 .get_mut(y)
                 .expect("node buffer")
                 .extend(outcome.sent.iter().cloned());
+            if let Some(id) = mid {
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.last_arrival.insert(y.clone(), id);
+                }
+                let dst = node_index(tn, y);
+                obs.event("trace", "deliver", dst as u32 + 1, || {
+                    vec![
+                        ("origin", ArgValue::U64(id.0)),
+                        ("seq", ArgValue::U64(id.1)),
+                        ("dst", ArgValue::U64(dst)),
+                        ("facts", ArgValue::U64(outcome.sent.len() as u64)),
+                    ]
+                });
+            }
         }
     }
 
@@ -415,6 +504,7 @@ pub fn run_with(
     let dist = distribute(tn.policy, input);
     let mut config = Configuration::start(tn.policy.network());
     let mut metrics = Metrics::default();
+    let mut trace = CausalTrace::default();
     let mut delivered: BTreeMap<NodeId, std::collections::BTreeSet<Fact>> = tn
         .policy
         .network()
@@ -471,7 +561,16 @@ pub fn run_with(
             if delivery == Delivery::All {
                 note_delivery(&config, &mut delivered, &x);
             }
-            transition_with(tn, &dist, &mut config, &x, delivery, &mut metrics, obs);
+            transition_traced(
+                tn,
+                &dist,
+                &mut config,
+                &x,
+                delivery,
+                &mut metrics,
+                obs,
+                Some(&mut trace),
+            );
         }
     }
 
@@ -485,7 +584,16 @@ pub fn run_with(
                 break;
             }
             note_delivery(&config, &mut delivered, x);
-            if transition_with(tn, &dist, &mut config, x, Delivery::All, &mut metrics, obs) {
+            if transition_traced(
+                tn,
+                &dist,
+                &mut config,
+                x,
+                Delivery::All,
+                &mut metrics,
+                obs,
+                Some(&mut trace),
+            ) {
                 state_changed = true;
             }
         }

@@ -21,6 +21,7 @@ pub use disjoint::DisjointStrategy;
 pub use distinct::DistinctStrategy;
 pub use monotone::MonotoneBroadcast;
 
+use crate::multiset::Multiset;
 use calm_common::fact::Fact;
 use calm_common::instance::Instance;
 use calm_common::query::Query;
@@ -159,6 +160,30 @@ impl MessageClassCounts {
         self.ack += other.ack;
         self.other += other.other;
     }
+}
+
+/// Per-class occurrence counts of one sent batch, as `class.<label>`
+/// trace-event argument names. Zero classes are skipped, so a
+/// `trace/send` event carries only the classes the batch actually
+/// contains.
+pub fn class_arg_counts(batch: &Multiset<Fact>) -> Vec<(&'static str, u64)> {
+    let mut counts = MessageClassCounts::default();
+    for (f, n) in batch.iter() {
+        counts.record(classify_message(f), n);
+    }
+    [
+        ("class.fact", counts.fact),
+        ("class.absence", counts.absence),
+        ("class.value", counts.value),
+        ("class.request", counts.request),
+        ("class.ok", counts.ok),
+        ("class.ack", counts.ack),
+        ("class.other", counts.other),
+    ]
+    .into_iter()
+    .filter(|&(_, n)| n > 0)
+    .map(|(name, n)| (name, n as u64))
+    .collect()
 }
 
 /// Message relation carrying facts of input relation `R`.
