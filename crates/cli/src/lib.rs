@@ -24,7 +24,10 @@ use calm_common::query::Query;
 use calm_datalog::fragment::classify;
 use calm_datalog::{parse_facts, parse_program, DatalogQuery, Program};
 use calm_monotone::{Exhaustive, ExtensionKind, Falsifier};
-use calm_net::{run_threaded_with, FaultPlan, Programs, ThreadedConfig, ThreadedNetwork};
+use calm_net::{
+    run_net_worker, run_process, run_threaded_with, Assign, FaultPlan, JobSpec, ProcessConfig,
+    Programs, SpawnHandle, ThreadedConfig, ThreadedNetwork, WorkerSetup,
+};
 use calm_obs::{ChromeTraceSink, FlightRecorder, JsonlSink, MultiSink, Obs, ReportSink, Sink};
 use calm_transducer::{
     expected_output, run, run_with, DisjointStrategy, DistinctStrategy, DistributionPolicy,
@@ -363,6 +366,19 @@ pub enum Engine {
         /// fault-injection + reliable-delivery substrate.
         faults: Option<FaultPlan>,
     },
+    /// The process engine (`calm-net` transport): `procs` OS worker
+    /// processes connected to a coordinator over loopback TCP, the
+    /// Safra token ring passing across process boundaries. `procs: 0`
+    /// picks `min(available cores, nodes)`.
+    Process {
+        /// Worker processes (0 = auto). Clamped to the node count.
+        procs: usize,
+        /// Fault plan spec (`--faults SPEC`), validated at parse time
+        /// and shipped verbatim to every worker in the job hand-off
+        /// (each worker seeds its own wires from it, exactly like the
+        /// threaded engine's per-worker substrate).
+        faults: Option<String>,
+    },
 }
 
 /// A strategy instance with the policy and system configuration it
@@ -563,6 +579,86 @@ pub fn cmd_simulate_run(
             );
             (r.output, r.metrics, r.quiescent)
         }
+        Engine::Process { procs, faults } => {
+            let procs = if procs == 0 {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            } else {
+                procs
+            }
+            .clamp(1, nodes);
+            let faulted = faults.is_some();
+            let spec = JobSpec {
+                program: program_src.to_string(),
+                facts: facts_src.to_string(),
+                strategy: strategy.to_string(),
+                nodes,
+                eval_threads,
+                step_budget: 5_000_000,
+                faults,
+                // Base paths; the coordinator suffixes them per worker
+                // (PREFIX.workerK) so concurrent writers never share a
+                // file. The coordinator's own sinks keep the base path.
+                trace_prefix: obs_opts.trace_out.as_ref().map(|p| p.display().to_string()),
+                flight_path: obs_opts
+                    .flight_recorder
+                    .as_ref()
+                    .map(|p| p.display().to_string()),
+            };
+            let exe = std::env::current_exe()
+                .map_err(|e| err(format!("cannot locate the calm binary to spawn: {e}")))?;
+            let spawner = move |k: usize, addr: &str| -> Result<SpawnHandle, String> {
+                std::process::Command::new(&exe)
+                    .args(["net-worker", "--connect", addr, "--worker", &k.to_string()])
+                    .spawn()
+                    .map(SpawnHandle::Process)
+                    .map_err(|e| e.to_string())
+            };
+            let r = run_process(&ProcessConfig { procs, spec }, &spawner, &obs)
+                .map_err(|e| err(format!("process engine: {e}")))?;
+            let _ = writeln!(out, "% engine: process, procs: {procs}");
+            if faulted {
+                let counters: String = r
+                    .faults
+                    .as_pairs()
+                    .iter()
+                    .filter(|(_, n)| *n > 0)
+                    .map(|(label, n)| format!(" {label}={n}"))
+                    .collect();
+                let _ = writeln!(out, "% fault stats:{counters}");
+            }
+            let per_worker: String = r
+                .per_worker
+                .iter()
+                .map(|w| format!(" {}", w.metrics.transitions))
+                .collect();
+            let _ = writeln!(
+                out,
+                "% per-worker steps:{per_worker}, token passes: {}",
+                r.token_passes()
+            );
+            if !r.failed_workers.is_empty() {
+                // A lost worker forfeits quiescence; the survivors'
+                // states were still collected and the flight recorder
+                // (if attached) has already dumped. Exit nonzero rather
+                // than pretending the run converged.
+                obs.finish();
+                let failed: Vec<String> = r.failed_workers.iter().map(|k| k.to_string()).collect();
+                return Err(err(format!(
+                    "process engine: worker(s) {} died mid-run; run is not quiescent",
+                    failed.join(", ")
+                )));
+            }
+            // The transport is program-agnostic: project out(R) from
+            // the collected final states, as the threaded join does.
+            let out_schema = &transducer.schema().output;
+            let mut output = Instance::new();
+            for state in r.states.values() {
+                output.extend(state.restrict(out_schema).facts());
+            }
+            (output, r.metrics, r.quiescent)
+        }
     };
     obs.finish();
     if let Some(sink) = trace_sink {
@@ -606,20 +702,80 @@ pub fn cmd_simulate_run(
     Ok(out)
 }
 
-/// `calm trace report`: ingest a JSONL trace (a `--trace-out` event log
-/// or a flight-recorder dump), rebuild the happens-before message graph,
-/// check the causal invariants, and report per-link latency and
-/// retransmit-gap percentiles, the critical path, per-node queue-depth
-/// timelines and per-message-class fan-out. `json` selects the
-/// machine-readable rendering.
+/// The hidden `calm net-worker` entry point: the worker half of the
+/// process engine. The coordinator spawns `calm net-worker --connect
+/// ADDR --worker K` for each shard; the worker connects, handshakes,
+/// receives its job (program + facts + strategy by value in the
+/// `Assign` frame), and runs the shared executor loop over the socket.
+/// Everything it needs arrives over the wire — no files, no flags
+/// beyond the rendezvous address and its index.
+///
+/// Test hook: when `CALM_NET_WORKER_DIE` names this worker's index the
+/// process exits with status 3 right after the handshake — the CLI and
+/// CI kill-tests use it to assert that a dead worker yields a
+/// non-quiescent coordinator exit (with a flight-recorder dump) rather
+/// than a hang.
+pub fn cmd_net_worker(addr: &str, worker: usize) -> Result<String, CliError> {
+    let builder = move |assign: &Assign| -> Result<WorkerSetup, String> {
+        if std::env::var("CALM_NET_WORKER_DIE")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            == Some(assign.worker)
+        {
+            std::process::exit(3);
+        }
+        let spec = &assign.spec;
+        let (transducer, policy, config) = build_strategy(
+            &spec.program,
+            &spec.strategy,
+            spec.nodes,
+            spec.eval_threads.max(1),
+        )
+        .map_err(|e| e.0)?;
+        let input = load_facts(&spec.facts).map_err(|e| e.0)?;
+        // The coordinator already suffixed these paths per worker
+        // (PREFIX.workerK), so this worker's sinks own their files.
+        let opts = ObsOptions {
+            trace_out: spec.trace_prefix.as_ref().map(PathBuf::from),
+            flight_recorder: spec.flight_path.as_ref().map(PathBuf::from),
+            metrics: false,
+            dump_plan: false,
+        };
+        let (obs, _) = build_obs(&opts, Vec::new()).map_err(|e| e.0)?;
+        Ok(WorkerSetup {
+            transducer,
+            policy,
+            config,
+            input,
+            obs,
+        })
+    };
+    run_net_worker(addr, worker, &builder).map_err(err)?;
+    Ok(String::new())
+}
+
+/// `calm trace report`: ingest one or more JSONL traces (`--trace-out`
+/// event logs or flight-recorder dumps), rebuild the happens-before
+/// message graph, check the causal invariants, and report per-link
+/// latency and retransmit-gap percentiles, the critical path, per-node
+/// queue-depth timelines and per-message-class fan-out. `json` selects
+/// the machine-readable rendering.
+///
+/// Multiple paths merge into one analysis — the per-worker traces of a
+/// process-engine run (`PREFIX.worker0.jsonl`, `PREFIX.worker1.jsonl`,
+/// …) each see only their own half of every cross-worker message, so
+/// only the merged set satisfies the causal invariants.
 ///
 /// # Errors
-/// Fails when the file cannot be read or any causal invariant is
+/// Fails when a file cannot be read or any causal invariant is
 /// violated (an orphan delivery, a cycle, or a cause that does not
 /// precede its effect) — a violated trace means the run it came from
 /// cannot be trusted, so the report exits nonzero.
-pub fn cmd_trace_report(path: &Path, json: bool) -> Result<String, CliError> {
-    let analysis = calm_obs::trace::analyze_file(path).map_err(err)?;
+pub fn cmd_trace_report(paths: &[PathBuf], json: bool) -> Result<String, CliError> {
+    if paths.is_empty() {
+        return Err(err("expected at least one trace file"));
+    }
+    let analysis = calm_obs::trace::analyze_files(paths).map_err(err)?;
     let out = if json {
         let mut s = analysis.render_json();
         s.push('\n');
@@ -679,10 +835,10 @@ USAGE:
   calm stratify  <program.dl>
   calm check     <program.dl> [--class m|distinct|disjoint] [--trials N]
   calm simulate  <program.dl> <facts.dl> [--nodes N] [--strategy monotone|distinct|disjoint]
-                 [--engine sequential|threaded] [--workers N] [--eval-threads N]
-                 [--faults SPEC] [--trace] [--trace-out PREFIX] [--metrics]
-                 [--dump-plan] [--flight-recorder PATH]
-  calm trace     report <trace.jsonl> [--json]
+                 [--engine sequential|threaded|process] [--workers N] [--procs N]
+                 [--eval-threads N] [--faults SPEC] [--trace] [--trace-out PREFIX]
+                 [--metrics] [--dump-plan] [--flight-recorder PATH]
+  calm trace     report <trace.jsonl>... [--json]
 
   --dump-plan prints the compiled query plan — per rule, the atom join
   order and each atom's join strategy (merge join on a sorted prefix,
@@ -700,13 +856,16 @@ USAGE:
   crash, or non-quiescent termination. A clean run writes nothing; the
   dump is JSONL and feeds `calm trace report` directly.
 
-  trace report rebuilds the happens-before message graph from a JSONL
-  trace (--trace-out log or flight-recorder dump), checks the causal
-  invariants (every delivery traces to its send; the causal graph is
-  acyclic; causes precede effects) and prints per-link latency and
-  retransmit-gap percentiles, the critical path, per-node queue-depth
-  timelines and per-message-class fan-out. --json emits one JSON object
-  instead. Invariant violations exit nonzero.
+  trace report rebuilds the happens-before message graph from one or
+  more JSONL traces (--trace-out logs or flight-recorder dumps), checks
+  the causal invariants (every delivery traces to its send; the causal
+  graph is acyclic; causes precede effects) and prints per-link latency
+  and retransmit-gap percentiles, the critical path, per-node
+  queue-depth timelines and per-message-class fan-out. --json emits one
+  JSON object instead. Invariant violations exit nonzero. Pass every
+  PREFIX.workerK.jsonl of a process-engine run together: each worker
+  traces only its half of a cross-worker message, so only the merged
+  set is causally complete.
 
   --eval-threads N partitions every rule evaluation inside each fixpoint
   over N data-parallel worker threads. The derived database, metrics and
@@ -719,41 +878,84 @@ USAGE:
   to the sequential engine for coordination-free strategies. With
   --eval-threads T the run uses W network workers x T eval threads.
 
-  --faults SPEC (threaded engine only) runs the network through the
-  seeded fault-injection + reliable-delivery substrate and prints the
-  fault counters. SPEC is comma-separated clauses:
+  --engine process runs the network as real OS processes: a coordinator
+  spawns --procs N workers (0 or unset = one per core, clamped to the
+  node count) that re-exec this binary as 'calm net-worker', connect
+  back over loopback TCP, and exchange length-prefixed frames carrying
+  the same canonical wire batches as the threaded engine. Quiescence is
+  detected by the Safra token ring passing across process boundaries.
+  Output is byte-identical to the sequential engine; a worker that dies
+  mid-run yields a nonzero, non-quiescent exit (and a flight-recorder
+  dump when attached) instead of a hang. With --trace-out PREFIX each
+  worker writes PREFIX.workerK.jsonl next to the coordinator's
+  PREFIX.jsonl; feed them all to 'calm trace report' together.
+
+  --faults SPEC (threaded and process engines) runs the network through
+  the seeded fault-injection + reliable-delivery substrate and prints
+  the fault counters. SPEC is comma-separated clauses:
     seed=N drop=P dup=P delay=P/T link=S>D:drop=P
     partition=S>D@F..T crash=N@K~D snapshot=K retries=N backoff=T
   e.g. --faults 'seed=7,drop=0.2,dup=0.1,crash=1@40~25'. Output is
   still byte-identical to the sequential engine.
 ";
 
-/// Parse `--engine` / `--workers` / `--faults` values into an [`Engine`].
+/// Parse `--engine` / `--workers` / `--procs` / `--faults` values into
+/// an [`Engine`].
 pub fn parse_engine(
     engine: Option<&str>,
     workers: Option<&str>,
+    procs: Option<&str>,
     faults: Option<&str>,
 ) -> Result<Engine, CliError> {
-    let workers: usize = workers
+    let workers_n: usize = workers
         .map(|w| w.parse().map_err(|_| err("--workers must be a number")))
         .transpose()?
         .unwrap_or(0);
-    let faults = faults
+    let procs_n: usize = procs
+        .map(|p| p.parse().map_err(|_| err("--procs must be a number")))
+        .transpose()?
+        .unwrap_or(0);
+    // Validate the fault spec up front for every engine; only the
+    // threaded engine keeps the parsed plan (the process engine ships
+    // the raw spec to its workers, which parse it themselves).
+    let plan = faults
         .map(|spec| FaultPlan::parse(spec).map_err(|e| err(format!("--faults: {e}"))))
         .transpose()?;
     match engine.unwrap_or("sequential") {
         "sequential" => {
-            if workers != 0 {
+            if workers_n != 0 {
                 return Err(err("--workers requires --engine threaded"));
             }
-            if faults.is_some() {
-                return Err(err("--faults requires --engine threaded"));
+            if procs.is_some() {
+                return Err(err("--procs requires --engine process"));
+            }
+            if plan.is_some() {
+                return Err(err("--faults requires --engine threaded or process"));
             }
             Ok(Engine::Sequential)
         }
-        "threaded" => Ok(Engine::Threaded { workers, faults }),
+        "threaded" => {
+            if procs.is_some() {
+                return Err(err("--procs requires --engine process"));
+            }
+            Ok(Engine::Threaded {
+                workers: workers_n,
+                faults: plan,
+            })
+        }
+        "process" => {
+            if workers.is_some() {
+                return Err(err(
+                    "--workers requires --engine threaded (use --procs with --engine process)",
+                ));
+            }
+            Ok(Engine::Process {
+                procs: procs_n,
+                faults: faults.map(String::from),
+            })
+        }
         other => Err(err(format!(
-            "unknown engine '{other}' (expected sequential|threaded)"
+            "unknown engine '{other}' (expected sequential|threaded|process)"
         ))),
     }
 }
@@ -1029,7 +1231,7 @@ mod tests {
         for (program, strategy) in [(TC, "monotone"), (QTC, "disjoint")] {
             let seq = cmd_simulate(program, FACTS, 4, strategy).unwrap();
             let engine =
-                parse_engine(Some("threaded"), Some("8"), Some("seed=3,drop=0.05")).unwrap();
+                parse_engine(Some("threaded"), Some("8"), None, Some("seed=3,drop=0.05")).unwrap();
             let thr =
                 cmd_simulate_run(program, FACTS, 4, strategy, false, &opts, engine, 4).unwrap();
             assert!(thr.contains("% quiescent: true"), "{strategy}: {thr}");
@@ -1157,34 +1359,81 @@ mod tests {
 
     #[test]
     fn parse_engine_accepts_and_rejects() {
-        assert_eq!(parse_engine(None, None, None).unwrap(), Engine::Sequential);
         assert_eq!(
-            parse_engine(Some("sequential"), None, None).unwrap(),
+            parse_engine(None, None, None, None).unwrap(),
             Engine::Sequential
         );
         assert_eq!(
-            parse_engine(Some("threaded"), None, None).unwrap(),
+            parse_engine(Some("sequential"), None, None, None).unwrap(),
+            Engine::Sequential
+        );
+        assert_eq!(
+            parse_engine(Some("threaded"), None, None, None).unwrap(),
             Engine::Threaded {
                 workers: 0,
                 faults: None
             }
         );
         assert_eq!(
-            parse_engine(Some("threaded"), Some("4"), None).unwrap(),
+            parse_engine(Some("threaded"), Some("4"), None, None).unwrap(),
             Engine::Threaded {
                 workers: 4,
                 faults: None
             }
         );
-        assert!(parse_engine(Some("warp"), None, None).is_err());
-        assert!(parse_engine(Some("threaded"), Some("two"), None).is_err());
-        assert!(parse_engine(Some("sequential"), Some("4"), None).is_err());
+        assert!(parse_engine(Some("warp"), None, None, None).is_err());
+        assert!(parse_engine(Some("threaded"), Some("two"), None, None).is_err());
+        assert!(parse_engine(Some("sequential"), Some("4"), None, None).is_err());
+    }
+
+    #[test]
+    fn parse_engine_accepts_and_rejects_process() {
+        assert_eq!(
+            parse_engine(Some("process"), None, None, None).unwrap(),
+            Engine::Process {
+                procs: 0,
+                faults: None
+            }
+        );
+        assert_eq!(
+            parse_engine(Some("process"), None, Some("4"), None).unwrap(),
+            Engine::Process {
+                procs: 4,
+                faults: None
+            }
+        );
+        // The process engine carries the raw (validated) fault spec.
+        assert_eq!(
+            parse_engine(Some("process"), None, Some("2"), Some("seed=7,drop=0.1")).unwrap(),
+            Engine::Process {
+                procs: 2,
+                faults: Some("seed=7,drop=0.1".into())
+            }
+        );
+        // …but a malformed spec is still rejected at parse time.
+        let e = parse_engine(Some("process"), None, None, Some("warp=0.5")).unwrap_err();
+        assert!(e.0.contains("--faults:"), "{e}");
+        // Flag/engine mismatches are named.
+        let e = parse_engine(Some("process"), Some("4"), None, None).unwrap_err();
+        assert!(e.0.contains("--procs"), "{e}");
+        let e = parse_engine(Some("threaded"), None, Some("4"), None).unwrap_err();
+        assert!(e.0.contains("--procs requires --engine process"), "{e}");
+        let e = parse_engine(Some("sequential"), None, Some("4"), None).unwrap_err();
+        assert!(e.0.contains("--procs requires --engine process"), "{e}");
+        assert!(parse_engine(Some("process"), None, Some("two"), None).is_err());
     }
 
     #[test]
     fn parse_engine_handles_fault_specs() {
         // A well-formed spec parses into a plan carried by the engine.
-        match parse_engine(Some("threaded"), Some("2"), Some("seed=7,drop=0.2,dup=0.1")).unwrap() {
+        match parse_engine(
+            Some("threaded"),
+            Some("2"),
+            None,
+            Some("seed=7,drop=0.2,dup=0.1"),
+        )
+        .unwrap()
+        {
             Engine::Threaded {
                 workers: 2,
                 faults: Some(plan),
@@ -1194,13 +1443,13 @@ mod tests {
             }
             other => panic!("unexpected engine {other:?}"),
         }
-        // Faults require the threaded engine.
-        let e = parse_engine(None, None, Some("drop=0.2")).unwrap_err();
+        // Faults require an engine with a wire to break.
+        let e = parse_engine(None, None, None, Some("drop=0.2")).unwrap_err();
         assert!(e.0.contains("--faults requires --engine threaded"), "{e}");
-        let e = parse_engine(Some("sequential"), None, Some("drop=0.2")).unwrap_err();
+        let e = parse_engine(Some("sequential"), None, None, Some("drop=0.2")).unwrap_err();
         assert!(e.0.contains("--faults requires --engine threaded"), "{e}");
         // Malformed specs surface the parser's message.
-        let e = parse_engine(Some("threaded"), None, Some("warp=0.5")).unwrap_err();
+        let e = parse_engine(Some("threaded"), None, None, Some("warp=0.5")).unwrap_err();
         assert!(e.0.contains("--faults:"), "{e}");
         assert!(e.0.contains("unknown fault key"), "{e}");
     }
@@ -1219,6 +1468,7 @@ mod tests {
             let engine = parse_engine(
                 Some("threaded"),
                 Some("2"),
+                None,
                 Some("seed=11,drop=0.15,dup=0.1,crash=1@12~10,snapshot=3"),
             )
             .unwrap();
@@ -1273,11 +1523,12 @@ mod tests {
             dump_plan: false,
             ..Default::default()
         };
-        let engine = parse_engine(Some("threaded"), Some("4"), Some("seed=5,drop=0.05")).unwrap();
+        let engine =
+            parse_engine(Some("threaded"), Some("4"), None, Some("seed=5,drop=0.05")).unwrap();
         let out = cmd_simulate_run(TC, FACTS, 4, "monotone", false, &opts, engine, 1).unwrap();
         assert!(out.contains("% quiescent: true"), "{out}");
         let jsonl_path = trace_path(&prefix, "jsonl");
-        let report = cmd_trace_report(&jsonl_path, false).unwrap();
+        let report = cmd_trace_report(std::slice::from_ref(&jsonl_path), false).unwrap();
         assert!(report.contains("== trace report =="), "{report}");
         assert!(report.contains("invariants: ok"), "{report}");
         assert!(report.contains("links (origin -> dst):"), "{report}");
@@ -1285,7 +1536,7 @@ mod tests {
         assert!(report.contains("critical path ("), "{report}");
         assert!(report.contains("fan-out per message class:"), "{report}");
         // The machine form parses as one JSON object and agrees.
-        let json = cmd_trace_report(&jsonl_path, true).unwrap();
+        let json = cmd_trace_report(std::slice::from_ref(&jsonl_path), true).unwrap();
         let v = calm_obs::parse_json(json.trim()).unwrap();
         assert_eq!(
             v.get("invariants")
@@ -1307,6 +1558,49 @@ mod tests {
     }
 
     #[test]
+    fn trace_report_merges_multiple_files() {
+        // Split one run's trace across two files — the shape of a
+        // process-engine run, where each worker's file holds only its
+        // half of every cross-worker message. Each half alone tears the
+        // causal graph; the merged pair must reconstruct it exactly as
+        // the single file does.
+        let prefix = std::env::temp_dir().join(format!("calm-cli-merge-{}", std::process::id()));
+        let opts = ObsOptions {
+            trace_out: Some(prefix.clone()),
+            ..Default::default()
+        };
+        let engine =
+            parse_engine(Some("threaded"), Some("4"), None, Some("seed=8,drop=0.05")).unwrap();
+        let out = cmd_simulate_run(TC, FACTS, 4, "monotone", false, &opts, engine, 1).unwrap();
+        assert!(out.contains("% quiescent: true"), "{out}");
+        let jsonl_path = trace_path(&prefix, "jsonl");
+        let whole = cmd_trace_report(std::slice::from_ref(&jsonl_path), true).unwrap();
+        let text = std::fs::read_to_string(&jsonl_path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let (a, b) = (
+            trace_path(&prefix, "worker0.jsonl"),
+            trace_path(&prefix, "worker1.jsonl"),
+        );
+        let half: Vec<String> = lines.iter().step_by(2).map(|l| format!("{l}\n")).collect();
+        let other: Vec<String> = lines
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        std::fs::write(&a, half.concat()).unwrap();
+        std::fs::write(&b, other.concat()).unwrap();
+        let merged = cmd_trace_report(&[a.clone(), b.clone()], true).unwrap();
+        assert_eq!(merged, whole, "merged halves must equal the whole");
+        // And the empty path list is a friendly error.
+        let e = cmd_trace_report(&[], false).unwrap_err();
+        assert!(e.0.contains("at least one trace file"), "{e}");
+        for p in [jsonl_path, a, b, trace_path(&prefix, "trace.json")] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
     fn trace_report_rejects_violated_traces() {
         let path = std::env::temp_dir().join(format!("calm-cli-bad-trace-{}", std::process::id()));
         // A delivery with no matching send: the causal graph is torn.
@@ -1316,7 +1610,7 @@ mod tests {
              \"args\":{\"origin\":3,\"seq\":9,\"dst\":0,\"facts\":1}}\n",
         )
         .unwrap();
-        let e = cmd_trace_report(&path, false).unwrap_err();
+        let e = cmd_trace_report(std::slice::from_ref(&path), false).unwrap_err();
         assert!(e.0.contains("trace invariants violated"), "{e}");
         assert!(e.0.contains("no matching send"), "{e}");
         let _ = std::fs::remove_file(path);
@@ -1354,6 +1648,7 @@ mod tests {
         let engine = parse_engine(
             Some("threaded"),
             Some("2"),
+            None,
             Some("seed=9,link=0>1:drop=1.0,retries=2,backoff=1"),
         )
         .unwrap();
@@ -1361,7 +1656,7 @@ mod tests {
         let text = std::fs::read_to_string(&dump).expect("anomaly dump written");
         assert!(text.contains("\"type\":\"flight_dump\""), "{text}");
         assert!(text.contains("retry_exhausted"), "{text}");
-        let report = cmd_trace_report(&dump, false).unwrap();
+        let report = cmd_trace_report(std::slice::from_ref(&dump), false).unwrap();
         assert!(report.contains("flight-recorder dumps:"), "{report}");
         let _ = std::fs::remove_file(dump);
     }

@@ -90,6 +90,7 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
             let engine = parse_engine(
                 flag_value(args, "--engine"),
                 flag_value(args, "--workers"),
+                flag_value(args, "--procs"),
                 flag_value(args, "--faults"),
             )?;
             cmd_simulate_run(
@@ -106,15 +107,32 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
         "trace" => {
             match args.get(1).map(String::as_str) {
                 Some("report") => {}
-                _ => return Err(CliError("expected 'trace report <trace.jsonl>'".into())),
+                _ => return Err(CliError("expected 'trace report <trace.jsonl>...'".into())),
             }
-            let path = args
-                .get(2)
-                .map(String::as_str)
+            // Every non-flag argument is a trace file; multiple files
+            // (the per-worker traces of a process-engine run) merge
+            // into one happens-before analysis.
+            let paths: Vec<std::path::PathBuf> = args[2..]
+                .iter()
                 .filter(|a| !a.starts_with("--"))
-                .ok_or_else(|| CliError("expected a trace file".into()))?;
+                .map(std::path::PathBuf::from)
+                .collect();
+            if paths.is_empty() {
+                return Err(CliError("expected a trace file".into()));
+            }
             let json = args.iter().any(|a| a == "--json");
-            cmd_trace_report(std::path::Path::new(path), json)
+            cmd_trace_report(&paths, json)
+        }
+        // Hidden: the worker half of `--engine process`. Spawned by the
+        // coordinator, never by hand.
+        "net-worker" => {
+            let addr = flag_value(args, "--connect")
+                .ok_or_else(|| CliError("net-worker: expected --connect ADDR".into()))?;
+            let worker: usize = flag_value(args, "--worker")
+                .ok_or_else(|| CliError("net-worker: expected --worker K".into()))?
+                .parse()
+                .map_err(|_| CliError("net-worker: --worker must be a number".into()))?;
+            cmd_net_worker(addr, worker)
         }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError(format!("unknown command '{other}'"))),

@@ -16,7 +16,7 @@ use calm_transducer::schema::SystemConfig;
 use calm_transducer::strategy::class_arg_counts;
 use calm_transducer::transducer::Transducer;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -191,7 +191,7 @@ pub struct ThreadedRunResult {
 /// Messages on the per-worker channels. `Batch` is the basic message of
 /// the termination-detection algorithm (counted in Safra counters);
 /// `Token` and `Terminate` are control traffic (not counted).
-enum Msg {
+pub(crate) enum Msg {
     /// Facts for one destination node, batched per sending step.
     Batch {
         /// Destination node, as a global node index.
@@ -211,6 +211,57 @@ enum Msg {
     Token(Token),
     /// Worker 0 detected termination: finish up and report.
     Terminate,
+}
+
+/// How a worker reaches its peers. The worker loop is written against
+/// this trait so the same Safra/step/fault logic drives both the
+/// in-process executor (peers behind `mpsc` channels) and the
+/// multi-process engine (peers behind TCP frames relayed by a
+/// coordinator — see [`crate::transport`]).
+pub(crate) trait Ports {
+    /// Send `msg` toward worker `dst`. Transports must preserve
+    /// per-(sender, receiver) FIFO order — Safra's message counting
+    /// relies on a token never overtaking the basic messages that
+    /// precede it on the same path.
+    fn send(&self, dst: usize, msg: Msg);
+    /// Non-blocking receive.
+    fn try_recv(&self) -> Result<Msg, TryRecvError>;
+    /// Blocking receive.
+    fn recv(&self) -> Result<Msg, RecvError>;
+    /// Blocking receive with a timeout (fault mode's timer wait).
+    fn recv_timeout(&self, timeout: Duration) -> Result<Msg, RecvTimeoutError>;
+    /// Whether the transport is still healthy. A lost link (TCP reset,
+    /// peer EOF) makes this `false`: the worker finishes non-clean —
+    /// a counted fault, never a panic.
+    fn link_ok(&self) -> bool {
+        true
+    }
+}
+
+/// The in-process transport: one `mpsc` receiver per worker, senders to
+/// every peer. Channels cannot fail short of a peer panic, so a send
+/// error is a harness bug and panics loudly.
+pub(crate) struct ChannelPorts {
+    rx: Receiver<Msg>,
+    senders: Vec<Sender<Msg>>,
+}
+
+impl Ports for ChannelPorts {
+    fn send(&self, dst: usize, msg: Msg) {
+        self.senders[dst].send(msg).expect("worker channel closed");
+    }
+
+    fn try_recv(&self) -> Result<Msg, TryRecvError> {
+        self.rx.try_recv()
+    }
+
+    fn recv(&self) -> Result<Msg, RecvError> {
+        self.rx.recv()
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Msg, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
 }
 
 /// Run the network to quiescence on `input`. See [`run_threaded_with`].
@@ -279,6 +330,7 @@ pub fn run_threaded_with(
             let faults = cfg.faults.as_ref();
             handles.push(scope.spawn(move || {
                 let program = programs.instantiate();
+                let ports = ChannelPorts { rx, senders };
                 run_worker(WorkerCtx {
                     id,
                     workers,
@@ -288,8 +340,7 @@ pub fn run_threaded_with(
                     sys,
                     dist,
                     empty,
-                    rx,
-                    senders,
+                    ports: &ports,
                     budget: cfg.step_budget,
                     faults,
                     obs,
@@ -394,27 +445,30 @@ pub fn run_threaded_with(
     }
 }
 
-struct WorkerCtx<'a> {
-    id: usize,
-    workers: usize,
-    node_ids: &'a [NodeId],
-    transducer: &'a dyn Transducer,
-    policy: &'a dyn DistributionPolicy,
-    sys: SystemConfig,
-    dist: &'a BTreeMap<NodeId, Instance>,
-    empty: &'a Instance,
-    rx: Receiver<Msg>,
-    senders: Vec<Sender<Msg>>,
-    budget: usize,
-    faults: Option<&'a FaultPlan>,
-    obs: &'a Obs,
+/// Everything one worker needs to run: its ring position, its share of
+/// the network, the program, and its transport. Built by
+/// [`run_threaded_with`] (channel ports) and by the process engine's
+/// remote worker ([`crate::transport::worker`], socket ports).
+pub(crate) struct WorkerCtx<'a> {
+    pub(crate) id: usize,
+    pub(crate) workers: usize,
+    pub(crate) node_ids: &'a [NodeId],
+    pub(crate) transducer: &'a dyn Transducer,
+    pub(crate) policy: &'a dyn DistributionPolicy,
+    pub(crate) sys: SystemConfig,
+    pub(crate) dist: &'a BTreeMap<NodeId, Instance>,
+    pub(crate) empty: &'a Instance,
+    pub(crate) ports: &'a dyn Ports,
+    pub(crate) budget: usize,
+    pub(crate) faults: Option<&'a FaultPlan>,
+    pub(crate) obs: &'a Obs,
 }
 
-struct WorkerOutcome {
-    states: Vec<(NodeId, Instance)>,
-    stats: WorkerStats,
+pub(crate) struct WorkerOutcome {
+    pub(crate) states: Vec<(NodeId, Instance)>,
+    pub(crate) stats: WorkerStats,
     /// No pending inbox facts and every node at local fixpoint at exit.
-    clean: bool,
+    pub(crate) clean: bool,
 }
 
 /// One node's worker-local slot: its state, inbox, and send-dedup set.
@@ -514,7 +568,7 @@ fn pump_wires(
     rnet: &mut ReliableNet<'_>,
     id: usize,
     workers: usize,
-    senders: &[Sender<Msg>],
+    ports: &dyn Ports,
     counter: &mut i64,
     deliver: &mut dyn FnMut(usize, Multiset<Fact>, Option<(u64, u64)>),
 ) {
@@ -530,14 +584,12 @@ fn pump_wires(
             }
         } else {
             *counter += 1;
-            senders[dst % workers]
-                .send(Msg::Wire(wire))
-                .expect("worker channel closed");
+            ports.send(dst % workers, Msg::Wire(wire));
         }
     }
 }
 
-fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
+pub(crate) fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
     let WorkerCtx {
         id,
         workers,
@@ -547,8 +599,7 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
         sys,
         dist,
         empty,
-        rx,
-        senders,
+        ports,
         budget,
         faults,
         obs,
@@ -660,7 +711,7 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
     loop {
         // 1. Drain the channel without blocking.
         loop {
-            match rx.try_recv() {
+            match ports.try_recv() {
                 Ok(Msg::Batch { node, payload }) => {
                     counter -= 1;
                     black = true;
@@ -681,7 +732,7 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                         rnet,
                         id,
                         workers,
-                        &senders,
+                        ports,
                         &mut counter,
                         &mut deliver,
                     );
@@ -705,15 +756,7 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                 let mut deliver = |g: usize, facts: Multiset<Fact>, mid: Option<(u64, u64)>| {
                     enqueue(&mut slots, &mut metrics, &mut stats, g, facts, mid)
                 };
-                pump_wires(
-                    wires,
-                    rnet,
-                    id,
-                    workers,
-                    &senders,
-                    &mut counter,
-                    &mut deliver,
-                );
+                pump_wires(wires, rnet, id, workers, ports, &mut counter, &mut deliver);
             }
         }
 
@@ -821,15 +864,7 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                                 |g: usize, facts: Multiset<Fact>, mid: Option<(u64, u64)>| {
                                     enqueue(&mut slots, &mut metrics, &mut stats, g, facts, mid)
                                 };
-                            pump_wires(
-                                acks,
-                                rnet,
-                                id,
-                                workers,
-                                &senders,
-                                &mut counter,
-                                &mut deliver,
-                            );
+                            pump_wires(acks, rnet, id, workers, ports, &mut counter, &mut deliver);
                         }
                     }
                     continue;
@@ -863,12 +898,13 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                         stats.wire_bytes += payload.len() as u64;
                         stats.wire_bytes_naive += *naive_len;
                         counter += 1;
-                        senders[g % workers]
-                            .send(Msg::Batch {
+                        ports.send(
+                            g % workers,
+                            Msg::Batch {
                                 node: g,
                                 payload: payload.clone(),
-                            })
-                            .expect("worker channel closed");
+                            },
+                        );
                     }
                 }
             }
@@ -906,13 +942,13 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                     rnet_ref,
                     id,
                     workers,
-                    &senders,
+                    ports,
                     &mut counter,
                     &mut deliver,
                 );
             }
             if rnet_ref.has_obligations() {
-                match rx.recv_timeout(TIMER_WAIT) {
+                match ports.recv_timeout(TIMER_WAIT) {
                     Ok(Msg::Batch { node, payload }) => {
                         counter -= 1;
                         black = true;
@@ -933,7 +969,7 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                             rnet_ref,
                             id,
                             workers,
-                            &senders,
+                            ports,
                             &mut counter,
                             &mut deliver,
                         );
@@ -960,10 +996,8 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                     if token.concludes(counter, black) {
                         // Termination: nothing in flight, all passive
                         // through a full white round.
-                        for (w, s) in senders.iter().enumerate() {
-                            if w != 0 {
-                                s.send(Msg::Terminate).expect("worker channel closed");
-                            }
+                        for w in 1..workers {
+                            ports.send(w, Msg::Terminate);
                         }
                         break;
                     }
@@ -973,17 +1007,13 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                     stats.token_passes += 1;
                     let mut t = Token::probe();
                     t.passes = token.passes + 1;
-                    senders[1]
-                        .send(Msg::Token(t))
-                        .expect("worker channel closed");
+                    ports.send(1, Msg::Token(t));
                 }
                 None if !probe_outstanding => {
                     probe_outstanding = true;
                     black = false;
                     stats.token_passes += 1;
-                    senders[1]
-                        .send(Msg::Token(Token::probe()))
-                        .expect("worker channel closed");
+                    ports.send(1, Msg::Token(Token::probe()));
                 }
                 None => {}
             }
@@ -991,14 +1021,12 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
             token.absorb(counter, black);
             black = false;
             stats.token_passes += 1;
-            senders[(id + 1) % workers]
-                .send(Msg::Token(token))
-                .expect("worker channel closed");
+            ports.send((id + 1) % workers, Msg::Token(token));
         }
 
         // 4. Block until something arrives (a batch reactivates us, a
         // token resumes the probe, Terminate ends the run).
-        match rx.recv() {
+        match ports.recv() {
             Ok(Msg::Batch { node, payload }) => {
                 counter -= 1;
                 black = true;
@@ -1018,7 +1046,7 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                     rnet,
                     id,
                     workers,
-                    &senders,
+                    ports,
                     &mut counter,
                     &mut deliver,
                 );
@@ -1029,7 +1057,11 @@ fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
         }
     }
 
-    let mut clean = slots.iter().all(|s| !s.dirty && s.pending.is_empty()) && !stats.exhausted;
+    // A lost transport link forfeits the quiescence claim: facts may
+    // have been abandoned in flight.
+    let mut clean = slots.iter().all(|s| !s.dirty && s.pending.is_empty())
+        && !stats.exhausted
+        && ports.link_ok();
     if let Some(rnet) = rnet.as_mut() {
         // A message abandoned to the retry budget means fairness was
         // not restored: the run must not claim quiescence.

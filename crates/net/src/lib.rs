@@ -59,6 +59,7 @@
 pub mod executor;
 pub mod faults;
 pub mod termination;
+pub mod transport;
 pub mod wirefmt;
 
 pub use executor::{
@@ -69,4 +70,8 @@ pub use faults::{
     CrashPoint, FaultPlan, FaultStats, LinkCounters, LinkFaults, Partition, ReliableNet, Wire,
 };
 pub use termination::Token;
+pub use transport::{
+    run_net_worker, run_process, Assign, FinalReport, JobSpec, NetError, ProcessConfig,
+    ProcessRunResult, SpawnHandle, Spawner, WorkerBuilder, WorkerSetup, PROTOCOL_VERSION,
+};
 pub use wirefmt::WireError;

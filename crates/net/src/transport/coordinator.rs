@@ -1,0 +1,540 @@
+//! The coordinator side of the process engine: listen, spawn W
+//! workers, relay their traffic, collect final states, merge
+//! accounting.
+//!
+//! Topology is a star: every worker holds exactly one TCP connection —
+//! to the coordinator — and worker-to-worker messages travel as
+//! `Route` frames that the coordinator forwards as `Deliver` frames.
+//! The relay preserves per-(sender, receiver) FIFO order (one reader
+//! thread per source reads frames in order and appends to the
+//! destination's write queue in order), which is the property Safra's
+//! message counting needs: a token can never overtake the basic
+//! messages sent before it on the same path.
+//!
+//! Crash semantics: a worker connection that ends before its `Final`
+//! frame is a failed worker. The coordinator does not try to resurrect
+//! it — it broadcasts `Terminate` so the surviving workers (whose token
+//! ring is now broken and would otherwise block forever) finish up and
+//! report, then returns a non-quiescent result listing the failures.
+//! Non-quiescent termination fires the flight-recorder trigger, so a
+//! killed worker produces a dump, not a hang.
+
+use super::proto::{
+    decode_ctrl, encode_ctrl, Assign, CtrlMsg, FinalReport, JobSpec, PROTOCOL_VERSION,
+};
+use super::{frame, NetError};
+use crate::executor::Msg;
+use crate::faults::{FaultStats, LinkCounters};
+use crate::WorkerStats;
+use calm_common::instance::Instance;
+use calm_obs::{ArgValue, Obs};
+use calm_transducer::network::NodeId;
+use calm_transducer::runtime::Metrics;
+use std::collections::BTreeMap;
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// Ephemeral-port binding is retried: a transient `EADDRINUSE` (the OS
+/// briefly exhausting the ephemeral range under parallel test load)
+/// should not fail the run.
+const BIND_RETRIES: u32 = 5;
+const BIND_BACKOFF: Duration = Duration::from_millis(50);
+
+/// How long the coordinator waits for all W workers to connect and say
+/// hello. Covers process spawn latency; a worker that dies before
+/// connecting surfaces here.
+const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Per-stream timeout for the `Hello` frame once a connection is
+/// accepted (a connected-but-silent peer must not stall the others).
+const HELLO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// After a worker failure, how long the coordinator waits for the
+/// survivors to honor the `Terminate` broadcast and report their
+/// finals before giving up on them too.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Poll granularity of the event loop.
+const TICK: Duration = Duration::from_millis(50);
+
+/// Parameters of a process-engine run.
+pub struct ProcessConfig {
+    /// Worker processes. Clamped to `[1, |N|]` like the threaded
+    /// engine's worker count.
+    pub procs: usize,
+    /// The job, handed to every worker. `trace_prefix` / `flight_path`
+    /// here are the *base* paths; the coordinator suffixes them per
+    /// worker (`PREFIX.worker3`) before sending each `Assign`, so
+    /// concurrent writers never share a file.
+    pub spec: JobSpec,
+}
+
+/// A spawned worker, however it was started: a real OS process (the
+/// CLI re-invoking its own binary as `calm net-worker`) or a thread
+/// driving [`run_net_worker`](super::run_net_worker) directly (the
+/// equivalence tests, which still exercise real TCP sockets).
+pub enum SpawnHandle {
+    /// An OS child process.
+    Process(std::process::Child),
+    /// An in-process worker thread.
+    Thread(std::thread::JoinHandle<()>),
+}
+
+/// Starts worker `k`, telling it the coordinator's address.
+pub type Spawner<'a> = dyn Fn(usize, &str) -> Result<SpawnHandle, String> + 'a;
+
+/// The result of a process-engine run. Same accounting as
+/// [`ThreadedRunResult`](crate::ThreadedRunResult) minus the output
+/// instance: the transport is program-agnostic, so the caller (which
+/// knows the output schema) projects `out(R)` from `states`.
+#[derive(Debug)]
+pub struct ProcessRunResult {
+    /// Final per-node states (missing the nodes of failed workers).
+    pub states: BTreeMap<NodeId, Instance>,
+    /// Merged run counters (fold of per-worker metrics in worker
+    /// order).
+    pub metrics: Metrics,
+    /// Per-worker accounting, in worker order; failed workers are
+    /// absent.
+    pub per_worker: Vec<WorkerStats>,
+    /// Every worker reported, clean. `false` whenever `failed_workers`
+    /// is non-empty.
+    pub quiescent: bool,
+    /// Workers whose connection ended before their `Final` frame (or
+    /// that never honored the drain deadline).
+    pub failed_workers: Vec<usize>,
+    /// Merged fault counters. Each failed worker adds one `crashes`
+    /// tick on top of whatever the survivors report.
+    pub faults: FaultStats,
+    /// Merged per-link wire accounting.
+    pub link_counters: BTreeMap<(usize, usize), LinkCounters>,
+    /// Merged delta-encoded payload bytes (workers count them exactly
+    /// as the threaded engine does — the transport framing itself is
+    /// not payload and is not counted).
+    pub wire_bytes: u64,
+    /// Merged pre-v2 baseline bytes.
+    pub wire_bytes_naive: u64,
+}
+
+impl ProcessRunResult {
+    /// Total ring hops across workers.
+    pub fn token_passes(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.token_passes).sum()
+    }
+}
+
+// Short-lived channel payloads, one in flight per worker thread — the
+// variant size spread does not matter.
+#[allow(clippy::large_enum_variant)]
+enum Event {
+    Final(usize, FinalReport),
+    /// The connection ended (cleanly or not) — only a failure if no
+    /// `Final` was seen first.
+    Gone(usize, String),
+}
+
+fn bind_with_retry() -> Result<TcpListener, NetError> {
+    let mut last: Option<std::io::Error> = None;
+    for _ in 0..BIND_RETRIES {
+        match TcpListener::bind("127.0.0.1:0") {
+            Ok(l) => return Ok(l),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(BIND_BACKOFF);
+            }
+        }
+    }
+    Err(NetError::Listen(last.expect("at least one bind attempt")))
+}
+
+fn suffixed(base: &Option<String>, worker: usize) -> Option<String> {
+    base.as_ref().map(|p| format!("{p}.worker{worker}"))
+}
+
+/// Accept `workers` connections and read each one's `Hello`, enforcing
+/// protocol version and index uniqueness. Returns streams indexed by
+/// worker.
+fn handshake(listener: &TcpListener, workers: usize) -> Result<Vec<TcpStream>, NetError> {
+    listener.set_nonblocking(true).map_err(NetError::Listen)?;
+    let deadline = Instant::now() + HANDSHAKE_DEADLINE;
+    let mut streams: Vec<Option<TcpStream>> = (0..workers).map(|_| None).collect();
+    let mut connected = 0usize;
+    while connected < workers {
+        let mut stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() > deadline {
+                    return Err(NetError::Handshake(format!(
+                        "{connected}/{workers} workers connected within {HANDSHAKE_DEADLINE:?}"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(e) => return Err(NetError::Listen(e)),
+        };
+        stream.set_nonblocking(false).map_err(NetError::Listen)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(HELLO_TIMEOUT)).ok();
+        let payload = frame::read_frame(&mut stream)
+            .map_err(|e| NetError::Handshake(format!("hello frame: {e}")))?;
+        let (version, worker) = match decode_ctrl(&payload) {
+            Ok(CtrlMsg::Hello { version, worker }) => (version, worker),
+            Ok(_) => return Err(NetError::Handshake("first frame was not Hello".into())),
+            Err(e) => return Err(NetError::Handshake(format!("hello did not decode: {e}"))),
+        };
+        if version != PROTOCOL_VERSION {
+            return Err(NetError::Handshake(format!(
+                "worker {worker} speaks protocol v{version}, coordinator v{PROTOCOL_VERSION}"
+            )));
+        }
+        if worker >= workers {
+            return Err(NetError::Handshake(format!(
+                "worker index {worker} out of range (W = {workers})"
+            )));
+        }
+        if streams[worker].is_some() {
+            return Err(NetError::Handshake(format!(
+                "duplicate worker index {worker}"
+            )));
+        }
+        stream.set_read_timeout(None).ok();
+        streams[worker] = Some(stream);
+        connected += 1;
+    }
+    Ok(streams
+        .into_iter()
+        .map(|s| s.expect("all connected"))
+        .collect())
+}
+
+/// One worker's relay reader: decode frames and forward. `Route`
+/// frames go straight onto the destination's write queue (single
+/// reader per source + in-order queue append = per-link FIFO through
+/// the star). `Final` goes to the collector. Any transport or protocol
+/// error ends the stream and reports `Gone`.
+fn relay_reader(
+    src: usize,
+    mut stream: TcpStream,
+    writers: Vec<Sender<Vec<u8>>>,
+    events: Sender<Event>,
+) {
+    let why = loop {
+        let payload = match frame::read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(frame::FrameError::Closed) => break "closed".to_string(),
+            Err(e) => break e.to_string(),
+        };
+        match decode_ctrl(&payload) {
+            Ok(CtrlMsg::Route { dst, msg }) => {
+                if dst >= writers.len() {
+                    break format!("route to out-of-range worker {dst}");
+                }
+                // A send to a dead worker's queue fails; the loss is
+                // already accounted by the failure handling.
+                let _ = writers[dst].send(encode_ctrl(&CtrlMsg::Deliver(msg)));
+            }
+            Ok(CtrlMsg::Final(report)) => {
+                let _ = events.send(Event::Final(src, report));
+            }
+            Ok(_) => break "out-of-phase control frame".to_string(),
+            Err(e) => break format!("frame did not decode: {e}"),
+        }
+    };
+    let _ = events.send(Event::Gone(src, why));
+}
+
+/// One worker's relay writer: drain the queue onto the socket. A write
+/// failure ends the thread — the reader side of the same worker
+/// reports the loss.
+fn relay_writer(mut stream: TcpStream, queue: std::sync::mpsc::Receiver<Vec<u8>>) {
+    while let Ok(payload) = queue.recv() {
+        if frame::write_frame(&mut stream, &payload).is_err() {
+            break;
+        }
+    }
+}
+
+/// Reap a spawn handle: give an OS child a moment to exit on its own
+/// (workers exit right after their `Final`), then kill it; join
+/// threads (unblocked by the stream shutdowns that precede reaping).
+fn reap(handle: SpawnHandle) {
+    match handle {
+        SpawnHandle::Process(mut child) => {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => return,
+                    Ok(None) if Instant::now() > deadline => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        return;
+                    }
+                    Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+                    Err(_) => return,
+                }
+            }
+        }
+        SpawnHandle::Thread(handle) => {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Run a transducer network as `cfg.procs` worker processes plus this
+/// coordinator. Spawns workers with `spawner`, performs the handshake
+/// barrier (every `Assign` is sent only after *all* workers said
+/// hello, so every relay target exists before any traffic flows),
+/// relays until all finals are in, and merges exactly like the
+/// threaded engine's join — same fold, same worker order, so the
+/// merged metrics are deterministic given the per-worker values.
+pub fn run_process(
+    cfg: &ProcessConfig,
+    spawner: &Spawner<'_>,
+    obs: &Obs,
+) -> Result<ProcessRunResult, NetError> {
+    let workers = cfg.procs.clamp(1, cfg.spec.nodes.max(1));
+    let listener = bind_with_retry()?;
+    let addr = listener.local_addr().map_err(NetError::Listen)?.to_string();
+
+    obs.event("net", "executor_start", 0, || {
+        vec![
+            ("workers", ArgValue::U64(workers as u64)),
+            ("nodes", ArgValue::U64(cfg.spec.nodes as u64)),
+            ("engine", ArgValue::Str("process".into())),
+        ]
+    });
+
+    let mut handles: Vec<SpawnHandle> = Vec::with_capacity(workers);
+    for k in 0..workers {
+        match spawner(k, &addr) {
+            Ok(h) => handles.push(h),
+            Err(e) => {
+                // Kill what we started; the partial fleet would
+                // otherwise sit in connect-retry until its own timeout.
+                drop(listener);
+                for h in handles {
+                    reap(h);
+                }
+                return Err(NetError::Spawn(format!("worker {k}: {e}")));
+            }
+        }
+    }
+
+    let streams = match handshake(&listener, workers) {
+        Ok(s) => s,
+        Err(e) => {
+            for h in handles {
+                reap(h);
+            }
+            return Err(e);
+        }
+    };
+
+    // Handshake barrier passed: hand every worker its assignment.
+    let mut reader_streams = Vec::with_capacity(workers);
+    let mut writer_streams = Vec::with_capacity(workers);
+    for (k, mut stream) in streams.into_iter().enumerate() {
+        let assign = CtrlMsg::Assign(Assign {
+            worker: k,
+            workers,
+            spec: JobSpec {
+                trace_prefix: suffixed(&cfg.spec.trace_prefix, k),
+                flight_path: suffixed(&cfg.spec.flight_path, k),
+                ..cfg.spec.clone()
+            },
+        });
+        if let Err(e) = frame::write_frame(&mut stream, &encode_ctrl(&assign)) {
+            for h in handles {
+                reap(h);
+            }
+            return Err(NetError::Handshake(format!("assign to worker {k}: {e}")));
+        }
+        let clone = match stream.try_clone() {
+            Ok(c) => c,
+            Err(e) => {
+                for h in handles {
+                    reap(h);
+                }
+                return Err(NetError::Listen(e));
+            }
+        };
+        reader_streams.push(stream);
+        writer_streams.push(clone);
+    }
+
+    // Relay fabric: per-worker writer queues + per-worker readers.
+    let mut writer_txs: Vec<Sender<Vec<u8>>> = Vec::with_capacity(workers);
+    let mut writer_threads = Vec::with_capacity(workers);
+    for stream in writer_streams {
+        let (tx, rx) = std::sync::mpsc::channel::<Vec<u8>>();
+        writer_txs.push(tx);
+        writer_threads.push(std::thread::spawn(move || relay_writer(stream, rx)));
+    }
+    let (events_tx, events_rx) = std::sync::mpsc::channel::<Event>();
+    let mut reader_threads = Vec::with_capacity(workers);
+    let mut shutdown_streams = Vec::with_capacity(workers);
+    for (k, stream) in reader_streams.into_iter().enumerate() {
+        shutdown_streams.push(stream.try_clone().ok());
+        let writers = writer_txs.clone();
+        let events = events_tx.clone();
+        reader_threads.push(std::thread::spawn(move || {
+            relay_reader(k, stream, writers, events)
+        }));
+    }
+    drop(events_tx);
+
+    // Collect finals. A worker going away without a Final is a
+    // failure: broadcast Terminate (the survivors' token ring is
+    // broken — without this they would block forever) and drain with a
+    // deadline.
+    let mut finals: Vec<Option<FinalReport>> = (0..workers).map(|_| None).collect();
+    let mut failed: Vec<usize> = Vec::new();
+    let mut terminated = false;
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        let done = finals.iter().filter(|f| f.is_some()).count() + failed.len();
+        if done >= workers {
+            break;
+        }
+        if drain_deadline.is_some_and(|d| Instant::now() > d) {
+            // Survivors that never honored the Terminate are failures
+            // too.
+            for (k, f) in finals.iter().enumerate() {
+                if f.is_none() && !failed.contains(&k) {
+                    failed.push(k);
+                }
+            }
+            break;
+        }
+        match events_rx.recv_timeout(TICK) {
+            Ok(Event::Final(k, report)) => finals[k] = Some(report),
+            Ok(Event::Gone(k, why)) => {
+                if finals[k].is_none() && !failed.contains(&k) {
+                    failed.push(k);
+                    obs.event("net", "worker_down", k as u32 + 1, || {
+                        vec![
+                            ("worker", ArgValue::U64(k as u64)),
+                            ("reason", ArgValue::Str(why.clone())),
+                        ]
+                    });
+                    if !terminated {
+                        terminated = true;
+                        let term = encode_ctrl(&CtrlMsg::Deliver(Msg::Terminate));
+                        for tx in &writer_txs {
+                            let _ = tx.send(term.clone());
+                        }
+                    }
+                    drain_deadline = Some(Instant::now() + DRAIN_DEADLINE);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    failed.sort_unstable();
+
+    // Teardown: close every stream (unblocks workers parked in recv and
+    // our own reader threads), drop the write queues, join, reap.
+    for s in shutdown_streams.iter().flatten() {
+        let _ = s.shutdown(std::net::Shutdown::Both);
+    }
+    drop(writer_txs);
+    for t in writer_threads {
+        let _ = t.join();
+    }
+    for t in reader_threads {
+        let _ = t.join();
+    }
+    for h in handles {
+        reap(h);
+    }
+
+    // Deterministic join: the same fold as the threaded engine, in
+    // worker order.
+    let mut metrics = Metrics::default();
+    let mut states: BTreeMap<NodeId, Instance> = BTreeMap::new();
+    let mut per_worker = Vec::new();
+    let mut quiescent = failed.is_empty();
+    let mut token_passes = 0u64;
+    let mut faults = FaultStats::default();
+    let mut link_counters: BTreeMap<(usize, usize), LinkCounters> = BTreeMap::new();
+    let mut wire_bytes = 0u64;
+    let mut wire_bytes_naive = 0u64;
+    for report in finals.into_iter().flatten() {
+        metrics.merge(&report.stats.metrics);
+        quiescent &= report.clean;
+        token_passes += report.stats.token_passes;
+        faults.merge(&report.stats.faults);
+        wire_bytes += report.stats.wire_bytes;
+        wire_bytes_naive += report.stats.wire_bytes_naive;
+        for (link, counters) in &report.stats.link_counters {
+            link_counters.entry(*link).or_default().merge(counters);
+        }
+        for (node, state) in report.states {
+            states.insert(node, state);
+        }
+        per_worker.push(report.stats);
+    }
+    faults.crashes += failed.len() as u64;
+
+    obs.event("net", "termination", 0, || {
+        vec![
+            ("quiescent", ArgValue::Bool(quiescent)),
+            ("token_passes", ArgValue::U64(token_passes)),
+            ("workers", ArgValue::U64(workers as u64)),
+        ]
+    });
+    if cfg.spec.faults.is_some() && obs.enabled() {
+        for (name, value) in faults.as_pairs() {
+            obs.counter("net", &format!("faults.{name}"), value);
+        }
+        obs.event("net", "fault_summary", 0, || {
+            vec![
+                ("attempts", ArgValue::U64(faults.attempts)),
+                ("retransmissions", ArgValue::U64(faults.retransmissions)),
+                (
+                    "duplicates_suppressed",
+                    ArgValue::U64(faults.duplicates_suppressed),
+                ),
+                ("dropped", ArgValue::U64(faults.dropped)),
+                ("crashes", ArgValue::U64(faults.crashes)),
+                ("snapshots", ArgValue::U64(faults.snapshots)),
+                ("retry_exhausted", ArgValue::U64(faults.retry_exhausted)),
+            ]
+        });
+    }
+    if obs.enabled() {
+        obs.counter("net", "wire.bytes", wire_bytes);
+        obs.counter("net", "wire.bytes_naive", wire_bytes_naive);
+        obs.event("runtime", "run_summary", 0, || {
+            vec![
+                ("quiescent", ArgValue::Bool(quiescent)),
+                ("transitions", ArgValue::U64(metrics.transitions as u64)),
+                ("heartbeats", ArgValue::U64(metrics.heartbeats as u64)),
+                ("messages_sent", ArgValue::U64(metrics.messages_sent as u64)),
+                (
+                    "messages_delivered",
+                    ArgValue::U64(metrics.messages_delivered as u64),
+                ),
+                (
+                    "max_queue_depth",
+                    ArgValue::U64(metrics.max_queue_depth() as u64),
+                ),
+            ]
+        });
+    }
+
+    Ok(ProcessRunResult {
+        states,
+        metrics,
+        per_worker,
+        quiescent,
+        failed_workers: failed,
+        faults,
+        link_counters,
+        wire_bytes,
+        wire_bytes_naive,
+    })
+}

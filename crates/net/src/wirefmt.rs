@@ -132,7 +132,7 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -144,21 +144,21 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn zigzag(v: i64) -> u64 {
+pub(crate) fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
-fn unzigzag(v: u64) -> i64 {
+pub(crate) fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+pub(crate) fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
     put_varint(out, bytes.len() as u64);
     out.extend_from_slice(bytes);
 }
 
 /// A value, self-described: tag byte, then the payload.
-fn put_value(out: &mut Vec<u8>, v: &Value) {
+pub(crate) fn put_value(out: &mut Vec<u8>, v: &Value) {
     match v {
         Value::Int(i) => {
             out.push(0);
@@ -179,27 +179,27 @@ fn put_value(out: &mut Vec<u8>, v: &Value) {
     }
 }
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
         Reader { buf, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
-    fn u8(&mut self) -> Result<u8, WireError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
         let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
         self.pos += 1;
         Ok(b)
     }
 
-    fn varint(&mut self) -> Result<u64, WireError> {
+    pub(crate) fn varint(&mut self) -> Result<u64, WireError> {
         let mut v: u64 = 0;
         for shift in (0..64).step_by(7) {
             let byte = self.u8()?;
@@ -215,7 +215,7 @@ impl<'a> Reader<'a> {
         Err(WireError::VarintOverflow)
     }
 
-    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.remaining() < n {
             return Err(WireError::Truncated);
         }
@@ -225,16 +225,16 @@ impl<'a> Reader<'a> {
     }
 
     /// A varint length prefix followed by that many bytes.
-    fn prefixed_bytes(&mut self) -> Result<&'a [u8], WireError> {
+    pub(crate) fn prefixed_bytes(&mut self) -> Result<&'a [u8], WireError> {
         let n = self.varint()? as usize;
         self.bytes(n)
     }
 
-    fn str(&mut self) -> Result<&'a str, WireError> {
+    pub(crate) fn str(&mut self) -> Result<&'a str, WireError> {
         std::str::from_utf8(self.prefixed_bytes()?).map_err(|_| WireError::BadUtf8)
     }
 
-    fn value(&mut self, depth: usize) -> Result<Value, WireError> {
+    pub(crate) fn value(&mut self, depth: usize) -> Result<Value, WireError> {
         if depth > MAX_VALUE_DEPTH {
             return Err(WireError::TooDeep);
         }

@@ -1,0 +1,352 @@
+//! The cross-process equivalence suite: the CALM confluence guarantee
+//! across *process* boundaries.
+//!
+//! Every run here goes over real TCP sockets — a coordinator with a
+//! listener on an ephemeral port, workers connecting, handshaking, and
+//! exchanging framed control traffic. Workers are driven on threads
+//! (calling the same [`run_net_worker`] entry point the `calm
+//! net-worker` binary uses) so the suite is hermetic and fast; the CLI
+//! test suite and the CI job run the same engine with genuine OS
+//! processes.
+//!
+//! Asserted, per the issue: all three strategy families × ≥10 seeds ×
+//! procs {2, 4} byte-identical to the sequential oracle; the merged
+//! wire-accounting identity `attempts == delivered + suppressed +
+//! dropped + buffered` across process boundaries under a fault plan;
+//! and a worker death mid-run ending in a reported non-quiescent
+//! result instead of a hang.
+
+use calm_common::rng::Rng;
+use calm_common::{fact, Instance};
+use calm_net::{
+    run_net_worker, run_process, Assign, JobSpec, ProcessConfig, ProcessRunResult, SpawnHandle,
+    WorkerSetup,
+};
+use calm_obs::Obs;
+use calm_queries::qtc::qtc_datalog;
+use calm_queries::tc::{edges_without_source_loop, tc_datalog};
+use calm_transducer::{
+    run, DisjointStrategy, DistinctStrategy, DistributionPolicy, DomainGuidedPolicy, HashPolicy,
+    MonotoneBroadcast, Network, Scheduler, SystemConfig, Transducer, TransducerNetwork,
+};
+
+const PROC_COUNTS: [usize; 2] = [2, 4];
+
+/// Base offset for the seed sweep (CI reruns with `CALM_NET_SEED=1..`).
+fn seed_base() -> u64 {
+    std::env::var("CALM_NET_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// A small random edge relation over `domain` values, `edges` tuples.
+fn random_edges(seed: u64, domain: i64, edges: usize) -> Instance {
+    let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    Instance::from_facts((0..edges).map(|_| {
+        fact(
+            "E",
+            [
+                rng.gen_range(0..domain as u64) as i64,
+                rng.gen_range(0..domain as u64) as i64,
+            ],
+        )
+    }))
+}
+
+/// Build one strategy family by name — the same resolution the CLI's
+/// net-worker builder performs, minus the Datalog-source parsing (the
+/// suite closes over the input instance instead).
+fn family(
+    strategy: &str,
+    nodes: usize,
+) -> (
+    Box<dyn Transducer>,
+    Box<dyn DistributionPolicy>,
+    SystemConfig,
+) {
+    match strategy {
+        "monotone" => (
+            Box::new(MonotoneBroadcast::new(Box::new(tc_datalog()))),
+            Box::new(HashPolicy::new(Network::of_size(nodes))),
+            SystemConfig::ORIGINAL,
+        ),
+        "distinct" => (
+            Box::new(DistinctStrategy::new(Box::new(edges_without_source_loop()))),
+            Box::new(HashPolicy::new(Network::of_size(nodes))),
+            SystemConfig::POLICY_AWARE,
+        ),
+        "disjoint" => (
+            Box::new(DisjointStrategy::new(Box::new(qtc_datalog()))),
+            Box::new(DomainGuidedPolicy::new(Network::of_size(nodes))),
+            SystemConfig::POLICY_AWARE,
+        ),
+        other => panic!("unknown strategy family {other}"),
+    }
+}
+
+fn spec_for(strategy: &str, nodes: usize, faults: Option<String>) -> JobSpec {
+    JobSpec {
+        // The suite's builder closes over the input; the program/facts
+        // hand-off by value is exercised end-to-end by the CLI tests.
+        program: String::new(),
+        facts: String::new(),
+        strategy: strategy.to_string(),
+        nodes,
+        eval_threads: 1,
+        step_budget: 500_000,
+        faults,
+        trace_prefix: None,
+        flight_path: None,
+    }
+}
+
+/// Run the process engine over real sockets with thread-backed workers.
+fn run_process_tcp(
+    strategy: &'static str,
+    input: &Instance,
+    nodes: usize,
+    procs: usize,
+    faults: Option<String>,
+) -> ProcessRunResult {
+    let cfg = ProcessConfig {
+        procs,
+        spec: spec_for(strategy, nodes, faults),
+    };
+    let input = input.clone();
+    let spawner = move |k: usize, addr: &str| -> Result<SpawnHandle, String> {
+        let addr = addr.to_string();
+        let input = input.clone();
+        Ok(SpawnHandle::Thread(std::thread::spawn(move || {
+            let builder = move |assign: &Assign| -> Result<WorkerSetup, String> {
+                let (transducer, policy, config) = family(&assign.spec.strategy, assign.spec.nodes);
+                Ok(WorkerSetup {
+                    transducer,
+                    policy,
+                    config,
+                    input: input.clone(),
+                    obs: Obs::noop(),
+                })
+            };
+            if let Err(e) = run_net_worker(&addr, k, &builder) {
+                eprintln!("worker {k} failed: {e}");
+            }
+        })))
+    };
+    run_process(&cfg, &spawner, &Obs::noop()).expect("process run starts")
+}
+
+/// Project `out(R)` from the collected states, exactly as the threaded
+/// engine's join does (the transport is program-agnostic, so the
+/// output schema lives with the caller).
+fn project_output(t: &dyn Transducer, r: &ProcessRunResult) -> Instance {
+    let out_schema = &t.schema().output;
+    let mut output = Instance::new();
+    for state in r.states.values() {
+        output.extend(state.restrict(out_schema).facts());
+    }
+    output
+}
+
+/// Sequential oracle + process engine at every proc count; assert
+/// byte-identical output and per-worker conservation.
+fn assert_process_confluent(strategy: &'static str, nodes: usize, input: &Instance, label: &str) {
+    let (t, policy, sys) = family(strategy, nodes);
+    let seq = run(
+        &TransducerNetwork {
+            transducer: t.as_ref(),
+            policy: policy.as_ref(),
+            config: sys,
+        },
+        input,
+        &Scheduler::RoundRobin,
+        500_000,
+    );
+    assert!(seq.quiescent, "{label}: sequential oracle must quiesce");
+    for procs in PROC_COUNTS {
+        let r = run_process_tcp(strategy, input, nodes, procs, None);
+        let tag = format!("{label} [process x{procs}]");
+        assert!(r.failed_workers.is_empty(), "{tag}: no worker may fail");
+        assert!(r.quiescent, "{tag}: termination must be detected");
+        assert_eq!(
+            project_output(t.as_ref(), &r),
+            seq.output,
+            "{tag}: output differs from the sequential oracle"
+        );
+        // Per-worker conservation survives the process boundary.
+        for w in &r.per_worker {
+            assert_eq!(
+                w.enqueued,
+                w.metrics.messages_delivered + w.buffered,
+                "{tag}: worker {} conservation",
+                w.worker
+            );
+        }
+        let buffered: usize = r.per_worker.iter().map(|w| w.buffered).sum();
+        assert_eq!(buffered, 0, "{tag}: quiescent run left facts buffered");
+        assert_eq!(
+            r.metrics.messages_sent, r.metrics.messages_delivered,
+            "{tag}: merged conservation"
+        );
+        assert_eq!(r.states.len(), nodes, "{tag}: every node reported a state");
+    }
+}
+
+#[test]
+fn monotone_process_runs_match_oracle_across_10_seeds() {
+    for i in 0..10 {
+        let seed = seed_base() * 1000 + i;
+        let input = random_edges(seed, 6, 3 + (i as usize % 5));
+        assert_process_confluent("monotone", 4, &input, &format!("M seed {seed}"));
+    }
+}
+
+#[test]
+fn distinct_process_runs_match_oracle_across_10_seeds() {
+    for i in 0..10 {
+        let seed = seed_base() * 1000 + 100 + i;
+        let input = random_edges(seed, 5, 3 + (i as usize % 3));
+        assert_process_confluent("distinct", 3, &input, &format!("Mdistinct seed {seed}"));
+    }
+}
+
+#[test]
+fn disjoint_process_runs_match_oracle_across_10_seeds() {
+    for i in 0..10 {
+        let seed = seed_base() * 1000 + 200 + i;
+        // The request/OK/ack protocol is per-value: keep domains small.
+        let input = random_edges(seed, 4, 2 + (i as usize % 2));
+        assert_process_confluent("disjoint", 3, &input, &format!("Mdisjoint seed {seed}"));
+    }
+}
+
+#[test]
+fn faulty_process_runs_keep_the_wire_accounting_identity() {
+    // TCP is reliable, but the fault *plan* still injects loss,
+    // duplication and delay above it — and the merged accounting
+    // identity must hold with link counters split across processes
+    // (sender-side counters at the sending worker, receiver-side at
+    // the receiving worker).
+    for i in 0..3u64 {
+        let seed = seed_base() * 1000 + 300 + i;
+        let input = random_edges(seed, 6, 4);
+        let (t, policy, sys) = family("monotone", 4);
+        let seq = run(
+            &TransducerNetwork {
+                transducer: t.as_ref(),
+                policy: policy.as_ref(),
+                config: sys,
+            },
+            &input,
+            &Scheduler::RoundRobin,
+            500_000,
+        );
+        assert!(seq.quiescent);
+        for procs in PROC_COUNTS {
+            let spec = format!("seed={seed},drop=0.1,dup=0.05,delay=0.2/4");
+            let r = run_process_tcp("monotone", &input, 4, procs, Some(spec));
+            let tag = format!("faulty seed {seed} x{procs}");
+            assert!(r.failed_workers.is_empty(), "{tag}: no worker may fail");
+            assert!(r.quiescent, "{tag}: termination must be detected");
+            assert_eq!(
+                project_output(t.as_ref(), &r),
+                seq.output,
+                "{tag}: output differs from the sequential oracle"
+            );
+            let mut buffered_total = 0;
+            for ((src, dst), lc) in &r.link_counters {
+                assert_eq!(
+                    lc.attempts,
+                    lc.delivered + lc.suppressed + lc.dropped + lc.buffered,
+                    "{tag}: link {src}->{dst} wire conservation across processes"
+                );
+                buffered_total += lc.buffered;
+            }
+            let f = &r.faults;
+            assert!(f.attempts > 0, "{tag}: the gauntlet ran");
+            assert_eq!(
+                f.attempts,
+                f.delivered_batches + f.duplicates_suppressed + f.dropped + buffered_total,
+                "{tag}: global wire conservation across processes"
+            );
+            assert_eq!(f.retry_exhausted, 0, "{tag}: nothing abandoned");
+            assert_eq!(
+                buffered_total, 0,
+                "{tag}: quiescent run left wires in flight"
+            );
+        }
+    }
+}
+
+#[test]
+fn worker_death_reports_non_quiescent_instead_of_hanging() {
+    // Worker 1 handshakes and then dies (its builder fails — the same
+    // socket-level signature as a `kill -9` right after Assign). The
+    // coordinator must detect the lost connection, break the
+    // survivors' now-headless token ring with a Terminate broadcast,
+    // and return a *non-quiescent* result naming the failure — not
+    // hang waiting for a Final that will never come.
+    let input = calm_common::generator::path(5);
+    let cfg = ProcessConfig {
+        procs: 4,
+        spec: spec_for("monotone", 4, None),
+    };
+    let input_c = input.clone();
+    let spawner = move |k: usize, addr: &str| -> Result<SpawnHandle, String> {
+        let addr = addr.to_string();
+        let input = input_c.clone();
+        Ok(SpawnHandle::Thread(std::thread::spawn(move || {
+            let builder = move |assign: &Assign| -> Result<WorkerSetup, String> {
+                if assign.worker == 1 {
+                    return Err("simulated worker death".into());
+                }
+                let (transducer, policy, config) = family(&assign.spec.strategy, assign.spec.nodes);
+                Ok(WorkerSetup {
+                    transducer,
+                    policy,
+                    config,
+                    input: input.clone(),
+                    obs: Obs::noop(),
+                })
+            };
+            let _ = run_net_worker(&addr, k, &builder);
+        })))
+    };
+    let r = run_process(&cfg, &spawner, &Obs::noop()).expect("run completes");
+    assert!(!r.quiescent, "a lost worker forfeits quiescence");
+    assert_eq!(r.failed_workers, vec![1], "the dead worker is named");
+    assert!(
+        r.faults.crashes >= 1,
+        "the death is counted as a crash in the merged fault stats"
+    );
+    assert_eq!(
+        r.per_worker.len(),
+        3,
+        "the three survivors still report their finals"
+    );
+}
+
+#[test]
+fn proc_counts_clamp_to_the_network_size() {
+    let input = calm_common::generator::path(5);
+    let (t, policy, sys) = family("monotone", 4);
+    let expected = run(
+        &TransducerNetwork {
+            transducer: t.as_ref(),
+            policy: policy.as_ref(),
+            config: sys,
+        },
+        &input,
+        &Scheduler::RoundRobin,
+        500_000,
+    )
+    .output;
+    // procs=1 degenerates to the sequential shard; procs=16 clamps to
+    // the node count.
+    for procs in [1, 16] {
+        let r = run_process_tcp("monotone", &input, 4, procs, None);
+        assert!(r.quiescent, "procs {procs}");
+        assert!(r.per_worker.len() <= 4, "procs {procs} clamps to |N|");
+        assert_eq!(project_output(t.as_ref(), &r), expected, "procs {procs}");
+    }
+}

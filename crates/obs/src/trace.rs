@@ -294,6 +294,13 @@ pub fn analyze_lines<'a>(lines: impl Iterator<Item = &'a str>) -> TraceAnalysis 
         }
     }
 
+    // Queue-depth samples arrive in file order, which for merged
+    // multi-file input is not time order; sort each node's timeline so
+    // the analysis is the same however the lines were interleaved.
+    for series in a.queue_depth.values_mut() {
+        series.sort_unstable();
+    }
+
     // Invariants 3 + 4: cause edges are acyclic and point backwards.
     // Ids are minted per-origin in strictly increasing seq order, so a
     // cause edge into the *same* origin must decrease seq; cross-origin
@@ -390,9 +397,29 @@ pub fn analyze_lines<'a>(lines: impl Iterator<Item = &'a str>) -> TraceAnalysis 
 /// # Errors
 /// Fails when the file cannot be read.
 pub fn analyze_file(path: &std::path::Path) -> Result<TraceAnalysis, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read trace {}: {e}", path.display()))?;
-    Ok(analyze_lines(text.lines()))
+    analyze_files(std::slice::from_ref(&path.to_path_buf()))
+}
+
+/// Analyze several JSONL traces as *one* happens-before graph — the
+/// multi-process case, where each worker wrote its own
+/// `PREFIX.workerK.jsonl` and a send recorded in one file pairs with
+/// deliveries recorded in others. The analysis is order-insensitive
+/// (events are keyed by message id, and the invariants are structural),
+/// so concatenating the files loses nothing; per-event timestamps stay
+/// meaningful because cross-file latencies already saturate at zero
+/// rather than trusting cross-process clock alignment.
+///
+/// # Errors
+/// Fails when any file cannot be read.
+pub fn analyze_files(paths: &[std::path::PathBuf]) -> Result<TraceAnalysis, String> {
+    let mut texts = Vec::with_capacity(paths.len());
+    for path in paths {
+        texts.push(
+            std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read trace {}: {e}", path.display()))?,
+        );
+    }
+    Ok(analyze_lines(texts.iter().flat_map(|t| t.lines())))
 }
 
 fn quantiles_human(h: &Pow2Histogram) -> String {
