@@ -1,4 +1,4 @@
-//! The experiment suite: one function per experiment id (E1–E25, see
+//! The experiment suite: one function per experiment id (E1–E26, see
 //! DESIGN.md's per-experiment index), each returning a [`Report`].
 
 mod engine;
@@ -8,6 +8,7 @@ mod hierarchy;
 mod parallel;
 mod policies;
 mod process;
+mod recovery;
 mod strategies;
 mod threaded;
 mod trace;
@@ -26,6 +27,7 @@ pub use hierarchy::{
 pub use parallel::{e21_parallel, e21_parallel_obs};
 pub use policies::e7_policies;
 pub use process::{e25_process, e25_process_obs};
+pub use recovery::{e26_recovery, e26_recovery_obs};
 pub use strategies::{
     e10_no_all, e11_strategy_costs, e11_strategy_costs_obs, e8_distinct_model, e9_disjoint_model,
 };
@@ -85,6 +87,7 @@ pub fn all() -> Vec<Experiment> {
         ("e23", Runner::Obs(e23_wire_obs)),
         ("e24", Runner::Obs(e24_trace_obs)),
         ("e25", Runner::Obs(e25_process_obs)),
+        ("e26", Runner::Obs(e26_recovery_obs)),
     ]
 }
 
@@ -150,7 +153,7 @@ mod tests {
         dedup.dedup();
         assert_eq!(ids, dedup);
         assert_eq!(ids[0], "e1");
-        assert_eq!(ids.len(), 23);
+        assert_eq!(ids.len(), 24);
     }
 
     #[test]

@@ -74,9 +74,9 @@ fn family(
 
 /// Run the process engine over real sockets with thread-backed workers.
 fn run_process_tcp(strategy: &'static str, input: &Instance, procs: usize) -> ProcessRunResult {
-    let cfg = ProcessConfig {
+    let cfg = ProcessConfig::new(
         procs,
-        spec: JobSpec {
+        JobSpec {
             program: String::new(),
             facts: String::new(),
             strategy: strategy.to_string(),
@@ -87,7 +87,10 @@ fn run_process_tcp(strategy: &'static str, input: &Instance, procs: usize) -> Pr
             trace_prefix: None,
             flight_path: None,
         },
-    };
+    )
+    // Unsupervised: E25 measures transport cost; supervision (snapshot
+    // shipping, respawns) is E26's subject.
+    .with_respawn_budget(0);
     let input = input.clone();
     let spawner = move |k: usize, addr: &str| -> Result<SpawnHandle, String> {
         let addr = addr.to_string();

@@ -378,6 +378,12 @@ pub enum Engine {
         /// (each worker seeds its own wires from it, exactly like the
         /// threaded engine's per-worker substrate).
         faults: Option<String>,
+        /// Respawns allowed per worker before its shard is adopted by
+        /// survivors (`--respawn-budget N`). `None` picks the default:
+        /// supervised (budget 3) when the fault plan schedules process
+        /// kills (`pkill(...)`), unsupervised (budget 0 — a death
+        /// aborts the run) otherwise.
+        respawn_budget: Option<u32>,
     },
 }
 
@@ -579,7 +585,11 @@ pub fn cmd_simulate_run(
             );
             (r.output, r.metrics, r.quiescent)
         }
-        Engine::Process { procs, faults } => {
+        Engine::Process {
+            procs,
+            faults,
+            respawn_budget,
+        } => {
             let procs = if procs == 0 {
                 std::thread::available_parallelism()
                     .map(|p| p.get())
@@ -589,6 +599,15 @@ pub fn cmd_simulate_run(
             }
             .clamp(1, nodes);
             let faulted = faults.is_some();
+            // Supervision default: a fault plan that schedules process
+            // kills gets a respawn budget (the run is *expected* to
+            // recover); anything else keeps the abort-on-death
+            // semantics unless --respawn-budget says otherwise.
+            let has_pkills = faults
+                .as_deref()
+                .and_then(|s| FaultPlan::parse(s).ok())
+                .is_some_and(|p| !p.pkills.is_empty());
+            let budget = respawn_budget.unwrap_or(if has_pkills { 3 } else { 0 });
             let spec = JobSpec {
                 program: program_src.to_string(),
                 facts: facts_src.to_string(),
@@ -615,9 +634,21 @@ pub fn cmd_simulate_run(
                     .map(SpawnHandle::Process)
                     .map_err(|e| e.to_string())
             };
-            let r = run_process(&ProcessConfig { procs, spec }, &spawner, &obs)
+            let cfg = ProcessConfig::new(procs, spec).with_respawn_budget(budget);
+            let r = run_process(&cfg, &spawner, &obs)
                 .map_err(|e| err(format!("process engine: {e}")))?;
             let _ = writeln!(out, "% engine: process, procs: {procs}");
+            if r.respawns > 0 || !r.adopted_workers.is_empty() {
+                let adopted: Vec<String> =
+                    r.adopted_workers.iter().map(|k| k.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "% supervision: respawns: {}, adopted worker(s):{}{}",
+                    r.respawns,
+                    if adopted.is_empty() { " none" } else { " " },
+                    adopted.join(", ")
+                );
+            }
             if faulted {
                 let counters: String = r
                     .faults
@@ -717,13 +748,6 @@ pub fn cmd_simulate_run(
 /// than a hang.
 pub fn cmd_net_worker(addr: &str, worker: usize) -> Result<String, CliError> {
     let builder = move |assign: &Assign| -> Result<WorkerSetup, String> {
-        if std::env::var("CALM_NET_WORKER_DIE")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            == Some(assign.worker)
-        {
-            std::process::exit(3);
-        }
         let spec = &assign.spec;
         let (transducer, policy, config) = build_strategy(
             &spec.program,
@@ -742,6 +766,22 @@ pub fn cmd_net_worker(addr: &str, worker: usize) -> Result<String, CliError> {
             dump_plan: false,
         };
         let (obs, _) = build_obs(&opts, Vec::new()).map_err(|e| e.0)?;
+        if std::env::var("CALM_NET_WORKER_DIE")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            == Some(assign.worker)
+        {
+            // Die *after* the sinks exist, and flush them first: the
+            // post-mortem contract is that even a killed worker leaves
+            // well-formed JSONL behind (trace + flight dump), never a
+            // torn line.
+            let worker = assign.worker as u64;
+            obs.event("net", "worker_die", assign.worker as u32 + 1, || {
+                vec![("worker", calm_obs::ArgValue::U64(worker))]
+            });
+            obs.finish();
+            std::process::exit(3);
+        }
         Ok(WorkerSetup {
             transducer,
             policy,
@@ -836,8 +876,8 @@ USAGE:
   calm check     <program.dl> [--class m|distinct|disjoint] [--trials N]
   calm simulate  <program.dl> <facts.dl> [--nodes N] [--strategy monotone|distinct|disjoint]
                  [--engine sequential|threaded|process] [--workers N] [--procs N]
-                 [--eval-threads N] [--faults SPEC] [--trace] [--trace-out PREFIX]
-                 [--metrics] [--dump-plan] [--flight-recorder PATH]
+                 [--respawn-budget N] [--eval-threads N] [--faults SPEC] [--trace]
+                 [--trace-out PREFIX] [--metrics] [--dump-plan] [--flight-recorder PATH]
   calm trace     report <trace.jsonl>... [--json]
 
   --dump-plan prints the compiled query plan — per rule, the atom join
@@ -886,26 +926,53 @@ USAGE:
   detected by the Safra token ring passing across process boundaries.
   Output is byte-identical to the sequential engine; a worker that dies
   mid-run yields a nonzero, non-quiescent exit (and a flight-recorder
-  dump when attached) instead of a hang. With --trace-out PREFIX each
-  worker writes PREFIX.workerK.jsonl next to the coordinator's
-  PREFIX.jsonl; feed them all to 'calm trace report' together.
+  dump when attached) instead of a hang — unless supervision is on.
+  With --trace-out PREFIX each worker writes PREFIX.workerK.jsonl next
+  to the coordinator's PREFIX.jsonl; feed them all to 'calm trace
+  report' together (respawned incarnations append .rN).
+
+  --respawn-budget N (process engine) turns the coordinator into a
+  supervisor: each worker ships periodic versioned state snapshots, and
+  a dead worker is respawned up to N times (exponential backoff) with
+  its shard restored from the latest retained snapshot; the reliability
+  substrate replays in-flight traffic and the Safra ring re-probes in a
+  fresh epoch. When the budget runs out the dead shard is adopted by
+  the survivors (graceful degradation) before the run is failed. N=0
+  disables supervision (the abort-on-death behavior above). Default: 3
+  when the fault plan schedules pkill(...), else 0.
 
   --faults SPEC (threaded and process engines) runs the network through
   the seeded fault-injection + reliable-delivery substrate and prints
   the fault counters. SPEC is comma-separated clauses:
     seed=N drop=P dup=P delay=P/T link=S>D:drop=P
     partition=S>D@F..T crash=N@K~D snapshot=K retries=N backoff=T
-  e.g. --faults 'seed=7,drop=0.2,dup=0.1,crash=1@40~25'. Output is
-  still byte-identical to the sequential engine.
+    pkill(worker=K@step=S)   (process engine only: kill the whole
+    worker process K in place of its S-th step; repeatable — a second
+    clause for the same worker kills its first respawn, and so on)
+  e.g. --faults 'seed=7,drop=0.2,dup=0.1,crash=1@40~25' or
+  --faults 'seed=7,pkill(worker=1@step=40)'. Output is still
+  byte-identical to the sequential engine.
 ";
 
 /// Parse `--engine` / `--workers` / `--procs` / `--faults` values into
-/// an [`Engine`].
+/// an [`Engine`]. See [`parse_engine_full`] for `--respawn-budget`.
 pub fn parse_engine(
     engine: Option<&str>,
     workers: Option<&str>,
     procs: Option<&str>,
     faults: Option<&str>,
+) -> Result<Engine, CliError> {
+    parse_engine_full(engine, workers, procs, faults, None)
+}
+
+/// Parse `--engine` / `--workers` / `--procs` / `--faults` /
+/// `--respawn-budget` values into an [`Engine`].
+pub fn parse_engine_full(
+    engine: Option<&str>,
+    workers: Option<&str>,
+    procs: Option<&str>,
+    faults: Option<&str>,
+    respawn_budget: Option<&str>,
 ) -> Result<Engine, CliError> {
     let workers_n: usize = workers
         .map(|w| w.parse().map_err(|_| err("--workers must be a number")))
@@ -915,12 +982,21 @@ pub fn parse_engine(
         .map(|p| p.parse().map_err(|_| err("--procs must be a number")))
         .transpose()?
         .unwrap_or(0);
+    let budget: Option<u32> = respawn_budget
+        .map(|b| {
+            b.parse()
+                .map_err(|_| err("--respawn-budget must be a number"))
+        })
+        .transpose()?;
     // Validate the fault spec up front for every engine; only the
     // threaded engine keeps the parsed plan (the process engine ships
     // the raw spec to its workers, which parse it themselves).
     let plan = faults
         .map(|spec| FaultPlan::parse(spec).map_err(|e| err(format!("--faults: {e}"))))
         .transpose()?;
+    if respawn_budget.is_some() && engine != Some("process") {
+        return Err(err("--respawn-budget requires --engine process"));
+    }
     match engine.unwrap_or("sequential") {
         "sequential" => {
             if workers_n != 0 {
@@ -938,6 +1014,11 @@ pub fn parse_engine(
             if procs.is_some() {
                 return Err(err("--procs requires --engine process"));
             }
+            if plan.as_ref().is_some_and(|p| !p.pkills.is_empty()) {
+                return Err(err(
+                    "--faults: pkill(...) schedules a process kill and requires --engine process",
+                ));
+            }
             Ok(Engine::Threaded {
                 workers: workers_n,
                 faults: plan,
@@ -952,6 +1033,7 @@ pub fn parse_engine(
             Ok(Engine::Process {
                 procs: procs_n,
                 faults: faults.map(String::from),
+                respawn_budget: budget,
             })
         }
         other => Err(err(format!(
@@ -1392,14 +1474,16 @@ mod tests {
             parse_engine(Some("process"), None, None, None).unwrap(),
             Engine::Process {
                 procs: 0,
-                faults: None
+                faults: None,
+                respawn_budget: None
             }
         );
         assert_eq!(
             parse_engine(Some("process"), None, Some("4"), None).unwrap(),
             Engine::Process {
                 procs: 4,
-                faults: None
+                faults: None,
+                respawn_budget: None
             }
         );
         // The process engine carries the raw (validated) fault spec.
@@ -1407,7 +1491,8 @@ mod tests {
             parse_engine(Some("process"), None, Some("2"), Some("seed=7,drop=0.1")).unwrap(),
             Engine::Process {
                 procs: 2,
-                faults: Some("seed=7,drop=0.1".into())
+                faults: Some("seed=7,drop=0.1".into()),
+                respawn_budget: None
             }
         );
         // …but a malformed spec is still rejected at parse time.

@@ -8,7 +8,12 @@ fn main() {
         Ok(output) => print!("{output}"),
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("{USAGE}");
+            // Runtime failures inside a spawned net-worker (a scripted
+            // pkill, a lost coordinator) are not usage mistakes — keep
+            // the supervisor's stderr readable.
+            if args.first().map(String::as_str) != Some("net-worker") {
+                eprintln!("{USAGE}");
+            }
             std::process::exit(1);
         }
     }
@@ -87,11 +92,12 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
                 .unwrap_or(3);
             let strategy = flag_value(args, "--strategy").unwrap_or("monotone");
             let trace = args.iter().any(|a| a == "--trace");
-            let engine = parse_engine(
+            let engine = parse_engine_full(
                 flag_value(args, "--engine"),
                 flag_value(args, "--workers"),
                 flag_value(args, "--procs"),
                 flag_value(args, "--faults"),
+                flag_value(args, "--respawn-budget"),
             )?;
             cmd_simulate_run(
                 &read(p)?,

@@ -183,6 +183,7 @@ fn killed_worker_exits_nonzero_with_flight_dump_instead_of_hanging() {
     // flight-recorder dump.
     let inputs = write_inputs("kill", TC);
     let dump = inputs.dir.join("flight.jsonl");
+    let prefix = inputs.dir.join("trace");
     let run = calm()
         .args([
             "simulate",
@@ -198,6 +199,8 @@ fn killed_worker_exits_nonzero_with_flight_dump_instead_of_hanging() {
             "3",
             "--flight-recorder",
             &dump.display().to_string(),
+            "--trace-out",
+            &prefix.display().to_string(),
         ])
         .env("CALM_NET_WORKER_DIE", "1")
         .output()
@@ -209,6 +212,113 @@ fn killed_worker_exits_nonzero_with_flight_dump_instead_of_hanging() {
     let text = std::fs::read_to_string(&dump).expect("flight dump written");
     assert!(text.contains("\"type\":\"flight_dump\""), "{text}");
     assert!(text.contains("worker_down"), "{text}");
+    // The dying worker flushes its own trace before exit(3): the file
+    // must exist, record the `worker_die` event, and every line must be
+    // a complete JSONL record — no torn tail from an unflushed buffer.
+    let died = std::fs::read_to_string(inputs.dir.join("trace.worker1.jsonl"))
+        .expect("dying worker flushed its trace");
+    assert!(died.contains("worker_die"), "{died}");
+    assert!(died.ends_with('\n'), "trace file has a torn final line");
+    for line in died.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}') && line.contains("\"type\":"),
+            "malformed JSONL line in dying worker's trace: {line}"
+        );
+    }
+}
+
+#[test]
+fn pkill_plan_respawns_workers_and_matches_sequential() {
+    // The acceptance run: two scripted process kills under --procs 4,
+    // supervised respawn + restore, byte-identical output, exit 0.
+    let inputs = write_inputs("pkill", TC);
+    let seq = calm()
+        .args([
+            "simulate",
+            &inputs.program,
+            &inputs.facts,
+            "--nodes",
+            "4",
+            "--strategy",
+            "monotone",
+        ])
+        .output()
+        .unwrap();
+    assert!(seq.status.success());
+    let seq_out = String::from_utf8(seq.stdout).unwrap();
+    let run = calm()
+        .args([
+            "simulate",
+            &inputs.program,
+            &inputs.facts,
+            "--nodes",
+            "4",
+            "--strategy",
+            "monotone",
+            "--engine",
+            "process",
+            "--procs",
+            "4",
+            "--faults",
+            "seed=7,pkill(worker=1@step=3),pkill(worker=2@step=6)",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let out = String::from_utf8(run.stdout).unwrap();
+    assert!(out.contains("% quiescent: true"), "{out}");
+    assert!(out.contains("% supervision: respawns: 2"), "{out}");
+    assert!(
+        out.contains("% matches centralized evaluation: true"),
+        "{out}"
+    );
+    assert_eq!(
+        fact_lines(&seq_out),
+        fact_lines(&out),
+        "supervised run with kills diverged from sequential"
+    );
+}
+
+#[test]
+fn respawn_budget_zero_turns_a_pkill_into_a_hard_failure() {
+    // Same kill plan, no budget: the supervisor may not respawn, so the
+    // worker's death is terminal — nonzero exit and a flight dump.
+    let inputs = write_inputs("budget0", TC);
+    let dump = inputs.dir.join("flight.jsonl");
+    let run = calm()
+        .args([
+            "simulate",
+            &inputs.program,
+            &inputs.facts,
+            "--nodes",
+            "4",
+            "--strategy",
+            "monotone",
+            "--engine",
+            "process",
+            "--procs",
+            "2",
+            "--faults",
+            "seed=7,pkill(worker=1@step=3)",
+            "--respawn-budget",
+            "0",
+            "--flight-recorder",
+            &dump.display().to_string(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        !run.status.success(),
+        "budget 0 must make a killed worker fatal"
+    );
+    let stderr = String::from_utf8_lossy(&run.stderr);
+    assert!(stderr.contains("worker(s) 1 died mid-run"), "{stderr}");
+    let text = std::fs::read_to_string(&dump).expect("flight dump written");
+    assert!(text.contains("\"type\":\"flight_dump\""), "{text}");
 }
 
 #[test]

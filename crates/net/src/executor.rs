@@ -3,6 +3,7 @@
 
 use crate::faults::{FaultPlan, FaultStats, LinkCounters, NodeSnapshot, ReliableNet, Wire};
 use crate::termination::Token;
+use crate::transport::proto::{decode_snapshot_blob, encode_snapshot_blob};
 use crate::wirefmt;
 use calm_common::fact::Fact;
 use calm_common::instance::Instance;
@@ -18,12 +19,18 @@ use calm_transducer::transducer::Transducer;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a worker with standing reliability obligations (unacked
 /// sends, delayed wires, recovering nodes) waits for traffic before
 /// advancing its fault clock and firing due timers.
 const TIMER_WAIT: Duration = Duration::from_micros(200);
+
+/// Supervised mode: how often an otherwise-idle worker proves liveness
+/// to the coordinator. Hung-but-connected workers miss this deadline
+/// (several times over, per the coordinator's grace multiple) and get
+/// killed and respawned like a dead socket.
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(200);
 
 /// How workers obtain their per-node transducer program.
 ///
@@ -209,8 +216,30 @@ pub(crate) enum Msg {
     Wire(Wire),
     /// The termination probe token.
     Token(Token),
-    /// Worker 0 detected termination: finish up and report.
+    /// The initiator detected termination: finish up and report.
     Terminate,
+    /// Supervised process engine only: the coordinator opened ring
+    /// epoch `epoch` (a worker died or recovered). Receivers at an
+    /// older epoch zero their Safra counter, blacken, drop any held
+    /// token and clear their probe state; tokens minted in older epochs
+    /// are fenced out on receipt.
+    Reset {
+        /// The new ring epoch.
+        epoch: u64,
+    },
+    /// Supervised process engine only: a dead worker's respawn budget
+    /// ran out and its shards move to survivors. Carries the new
+    /// node-to-worker owner map, the live mask, and — for the adoptive
+    /// worker — the coordinator's retained snapshot blobs of the nodes
+    /// it inherits.
+    Reassign {
+        /// New node → worker owner map.
+        owner: Vec<usize>,
+        /// Which ring positions are still alive.
+        live: Vec<bool>,
+        /// `(node, version, blob)` for nodes this recipient adopts.
+        adopted: Vec<(usize, u64, Vec<u8>)>,
+    },
 }
 
 /// How a worker reaches its peers. The worker loop is written against
@@ -236,6 +265,16 @@ pub(crate) trait Ports {
     fn link_ok(&self) -> bool {
         true
     }
+    /// Supervised process engine only: ship a versioned snapshot blob
+    /// of `node` to the coordinator. MUST be written to the transport
+    /// *before* any wire the snapshot released — the coordinator then
+    /// retains version `v` before any peer can observe a `v`-released
+    /// message, which is what makes restoring the latest retained blob
+    /// sound. The in-process transport has no supervisor: no-op.
+    fn ship_snapshot(&self, _node: usize, _version: u64, _blob: Vec<u8>) {}
+    /// Supervised process engine only: a liveness heartbeat to the
+    /// coordinator. No-op in-process.
+    fn heartbeat(&self) {}
 }
 
 /// The in-process transport: one `mpsc` receiver per worker, senders to
@@ -344,6 +383,7 @@ pub fn run_threaded_with(
                     budget: cfg.step_budget,
                     faults,
                     obs,
+                    proc: None,
                 })
             }));
         }
@@ -462,6 +502,32 @@ pub(crate) struct WorkerCtx<'a> {
     pub(crate) budget: usize,
     pub(crate) faults: Option<&'a FaultPlan>,
     pub(crate) obs: &'a Obs,
+    /// Process-engine context: `Some` only under the socket transport.
+    /// `None` (threaded engine) disables pkills, supervision, epochs
+    /// and ownership overrides — the PR 3/4 behavior, unchanged.
+    pub(crate) proc: Option<ProcCtx>,
+}
+
+/// What the process engine's worker knows beyond the threaded engine:
+/// its incarnation, the ring epoch it starts in, whether a supervisor
+/// retains its snapshots, and any ownership/restore state handed back
+/// in a recovery `Assign`.
+pub(crate) struct ProcCtx {
+    /// 0 for a worker's first process, +1 per respawn. Selects which
+    /// `pkill` entries this incarnation still honors.
+    pub(crate) incarnation: u64,
+    /// Ring epoch at Assign time (0 on a fresh run).
+    pub(crate) epoch: u64,
+    /// Whether the coordinator supervises (retains snapshots, expects
+    /// heartbeats, respawns). `false` keeps the PR 8 abort semantics.
+    pub(crate) supervised: bool,
+    /// Node → worker owner map override (`None`: `g % workers`).
+    pub(crate) owner: Option<Vec<usize>>,
+    /// Live mask over ring positions (empty: all live).
+    pub(crate) live: Vec<bool>,
+    /// Decoded restore state handed back on respawn:
+    /// `(node, version, snapshot, transitions, trace_next_seq)`.
+    pub(crate) restore: Vec<(usize, u64, NodeSnapshot, u64, u64)>,
 }
 
 pub(crate) struct WorkerOutcome {
@@ -469,6 +535,9 @@ pub(crate) struct WorkerOutcome {
     pub(crate) stats: WorkerStats,
     /// No pending inbox facts and every node at local fixpoint at exit.
     pub(crate) clean: bool,
+    /// A `pkill` fired: the caller must die abruptly — no `Final`
+    /// frame, no ack flush, a nonzero exit.
+    pub(crate) killed: bool,
 }
 
 /// One node's worker-local slot: its state, inbox, and send-dedup set.
@@ -492,6 +561,11 @@ struct Slot {
     /// Last crash-recovery checkpoint (fault mode only; `None` on the
     /// fault-free fast path).
     snap: Option<NodeSnapshot>,
+    /// Version of `snap`, monotone per node *across incarnations*
+    /// (restore hands the retained version back, and the respawned
+    /// worker resumes numbering above it), so the coordinator's
+    /// keep-the-latest rule is a simple max.
+    snap_version: u64,
     /// Next message id this node mints (tracing only). Like
     /// `transitions`, monotone across crash rollbacks: a re-derived
     /// send after a restore is a *new* send event with a fresh id.
@@ -561,21 +635,25 @@ fn take_snapshot(slot: &mut Slot, rnet: &mut ReliableNet<'_>, out: &mut Vec<Wire
 /// Route wires until none remain: local arrivals run through the
 /// substrate's receive path (which may emit re-ack wires, queued back
 /// here); remote wires go onto the owning worker's channel as
-/// [`Msg::Wire`], counted in the Safra counter like any basic message.
-/// Accepted data batches are handed to `deliver` for inbox enqueueing.
+/// [`Msg::Wire`] — counted in the Safra counter like any basic message,
+/// unless `count` is off (supervised mode, where ring epochs reset the
+/// counters asymmetrically and passivity is carried by the substrate's
+/// obligations instead — see `run_worker`).
+#[allow(clippy::too_many_arguments)]
 fn pump_wires(
     start: Vec<Wire>,
     rnet: &mut ReliableNet<'_>,
     id: usize,
-    workers: usize,
+    owner: &[usize],
     ports: &dyn Ports,
     counter: &mut i64,
+    count: bool,
     deliver: &mut dyn FnMut(usize, Multiset<Fact>, Option<(u64, u64)>),
 ) {
     let mut queue: VecDeque<Wire> = start.into();
     while let Some(wire) = queue.pop_front() {
         let dst = wire.dst();
-        if dst % workers == id {
+        if owner[dst] == id {
             let mut replies = Vec::new();
             let accepted = rnet.receive(wire, &mut replies);
             queue.extend(replies);
@@ -583,9 +661,145 @@ fn pump_wires(
                 deliver(node, facts, mid);
             }
         } else {
-            *counter += 1;
-            ports.send(dst % workers, Msg::Wire(wire));
+            if count {
+                *counter += 1;
+            }
+            ports.send(owner[dst], Msg::Wire(wire));
         }
+    }
+}
+
+/// Supervised mode: encode and ship `slot`'s current snapshot to the
+/// coordinator, *before* the caller pumps any wire the snapshot
+/// released (same transport, same writer — the frame order is the
+/// output-commit guarantee).
+fn ship_snapshot(slot: &Slot, rnet: &mut ReliableNet<'_>, ports: &dyn Ports) {
+    let snap = slot.snap.as_ref().expect("shipped snapshot exists");
+    let blob = encode_snapshot_blob(snap, slot.transitions as u64, slot.next_seq);
+    rnet.stats.snapshot_bytes += blob.len() as u64;
+    ports.ship_snapshot(slot.global, slot.snap_version, blob);
+}
+
+/// The next live ring position after `id` (wrapping). With every
+/// position live this is `(id + 1) % W` — the classical ring.
+fn next_live(live: &[bool], id: usize) -> usize {
+    let w = live.len();
+    (1..w)
+        .map(|d| (id + d) % w)
+        .find(|&p| live[p])
+        .unwrap_or(id)
+}
+
+/// Everything `apply_reassign` needs to mint engines and slots for
+/// adopted nodes — the same read-only ingredients `run_worker` builds
+/// its own from.
+struct NodeFactory<'a> {
+    node_ids: &'a [NodeId],
+    transducer: &'a dyn Transducer,
+    policy: &'a dyn DistributionPolicy,
+    sys: SystemConfig,
+    dist: &'a BTreeMap<NodeId, Instance>,
+    empty: &'a Instance,
+}
+
+/// Apply a `Msg::Reassign`: install the new owner map and live mask,
+/// and adopt every node newly owned by this worker — restoring it from
+/// the coordinator's retained snapshot blob when one was shipped,
+/// starting it fresh from the input distribution otherwise (a node
+/// whose worker died before its first snapshot never released any
+/// output, so a fresh start is exactly its committed history).
+#[allow(clippy::too_many_arguments)]
+fn apply_reassign<'a>(
+    id: usize,
+    new_owner: Vec<usize>,
+    new_live: Vec<bool>,
+    adopted: Vec<(usize, u64, Vec<u8>)>,
+    owner: &mut Vec<usize>,
+    live: &mut Vec<bool>,
+    local_index: &mut [Option<usize>],
+    engines: &mut Vec<NodeEngine<'a>>,
+    slots: &mut Vec<Slot>,
+    mut rnet: Option<&mut ReliableNet<'_>>,
+    fab: &NodeFactory<'a>,
+    ports: &dyn Ports,
+    supervised: bool,
+    obs: &Obs,
+) {
+    *owner = new_owner;
+    *live = new_live;
+    let blobs: BTreeMap<usize, (u64, Vec<u8>)> =
+        adopted.into_iter().map(|(g, v, b)| (g, (v, b))).collect();
+    for g in 0..owner.len().min(local_index.len()) {
+        if owner[g] != id || local_index[g].is_some() {
+            continue;
+        }
+        let node = fab.node_ids[g].clone();
+        let input = fab.dist.get(&node).unwrap_or(fab.empty);
+        engines.push(NodeEngine::new(
+            fab.transducer,
+            fab.policy,
+            fab.sys,
+            node,
+            input,
+        ));
+        let mut slot = Slot {
+            global: g,
+            state: Instance::new(),
+            pending: Multiset::new(),
+            ever_sent: BTreeSet::new(),
+            dirty: true,
+            transitions: 0,
+            since_snapshot: 0,
+            snap: None,
+            snap_version: 0,
+            next_seq: 0,
+            last_arrival: None,
+        };
+        let mut restored = false;
+        if let Some(rnet) = rnet.as_mut() {
+            rnet.adopt(g);
+            if let Some((version, blob)) = blobs.get(&g) {
+                match decode_snapshot_blob(blob) {
+                    Ok((snap, transitions, next_seq)) => {
+                        slot.state = snap.state.clone();
+                        slot.pending = snap.pending.clone();
+                        slot.ever_sent = snap.ever_sent.clone();
+                        slot.transitions = transitions as usize;
+                        slot.next_seq = next_seq;
+                        slot.snap_version = *version;
+                        rnet.restore(g, snap.links.clone());
+                        slot.snap = Some(snap);
+                        restored = true;
+                    }
+                    Err(_) => rnet.stats.decode_failures += 1,
+                }
+            }
+            if slot.snap.is_none() {
+                // Never snapshotted before its worker died: nothing was
+                // ever committed to the wire, so its fresh start is its
+                // committed history. Checkpoint it (crash points need a
+                // restore target) and publish v0 to the supervisor.
+                let mut none = Vec::new();
+                take_snapshot(&mut slot, rnet, &mut none);
+                debug_assert!(none.is_empty(), "fresh links cannot emit acks");
+                if supervised {
+                    ship_snapshot(&slot, rnet, ports);
+                }
+            }
+        }
+        if obs.enabled() {
+            let version = slot.snap_version;
+            obs.event("net", "adopt", g as u32 + 1, || {
+                vec![
+                    ("node", ArgValue::U64(g as u64)),
+                    ("worker", ArgValue::U64(id as u64)),
+                    ("version", ArgValue::U64(version)),
+                    ("restored", ArgValue::Bool(restored)),
+                ]
+            });
+        }
+        local_index[g] = Some(slots.len());
+        slots.push(slot);
     }
 }
 
@@ -603,15 +817,51 @@ pub(crate) fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
         budget,
         faults,
         obs,
+        proc,
     } = ctx;
     let total_nodes = node_ids.len();
-    // Node i -> worker i mod W, and a reverse map for local routing.
-    let locals: Vec<usize> = (id..total_nodes).step_by(workers).collect();
+    // Process-engine context; the threaded engine runs the defaults.
+    let (supervised, incarnation, mut ring_epoch, owner_override, live_init, restore) = match proc {
+        Some(p) => (
+            p.supervised,
+            p.incarnation,
+            p.epoch,
+            p.owner,
+            p.live,
+            p.restore,
+        ),
+        None => (false, 0, 0, None, Vec::new(), Vec::new()),
+    };
+    // Supervised mode does not count basic messages in the Safra
+    // counters: a ring reset (epoch bump on worker death/recovery)
+    // zeroes the sender's count while the receipt lands after the
+    // reset, so counting would skew permanently negative and the ring
+    // could never conclude. Soundness is carried by the substrate
+    // instead — supervision forces a fault plan, so every data message
+    // rides `Msg::Wire` and stays a sender obligation until the
+    // receiver's snapshot acks it; a worker with obligations withholds
+    // the token. Epochs still fence *tokens*: one written to a dead
+    // worker's socket must not resurface and race a fresh probe.
+    let count_msgs = !supervised;
+    // Node -> owning worker. `g % W` until a `Reassign` overrides it
+    // (shard adoption after a respawn budget runs out).
+    let mut owner: Vec<usize> = match owner_override {
+        Some(o) if o.len() == total_nodes => o,
+        _ => (0..total_nodes).map(|g| g % workers).collect(),
+    };
+    // Live ring positions; dead positions are skipped when forwarding
+    // the token and never sent Terminate.
+    let mut live: Vec<bool> = if live_init.len() == workers {
+        live_init
+    } else {
+        vec![true; workers]
+    };
+    let locals: Vec<usize> = (0..total_nodes).filter(|&g| owner[g] == id).collect();
     let mut local_index: Vec<Option<usize>> = vec![None; total_nodes];
     for (l, &g) in locals.iter().enumerate() {
         local_index[g] = Some(l);
     }
-    let engines: Vec<NodeEngine<'_>> = locals
+    let mut engines: Vec<NodeEngine<'_>> = locals
         .iter()
         .map(|&g| {
             let node = node_ids[g].clone();
@@ -630,19 +880,63 @@ pub(crate) fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
             transitions: 0,
             since_snapshot: 0,
             snap: None,
+            snap_version: 0,
             next_seq: 0,
             last_arrival: None,
         })
         .collect();
+    let fab = NodeFactory {
+        node_ids,
+        transducer,
+        policy,
+        sys,
+        dist,
+        empty,
+    };
 
     // Fault mode: the reliability substrate for this worker's nodes,
     // plus an initial (empty) snapshot per node so the first crash
-    // point always has a checkpoint to restore.
+    // point always has a checkpoint to restore. On a respawn the nodes
+    // handed back in the Assign restore their retained snapshot instead
+    // — state, inbox, dedup sets, link floors — and `restore` re-arms
+    // every unacked outbox entry for replay.
     let mut rnet: Option<ReliableNet<'_>> = faults.map(|plan| ReliableNet::new(plan, &locals, obs));
     if let Some(rnet) = rnet.as_mut() {
+        for (g, version, snap, transitions, next_seq) in restore {
+            let Some(l) = local_index.get(g).copied().flatten() else {
+                continue;
+            };
+            let slot = &mut slots[l];
+            slot.state = snap.state.clone();
+            slot.pending = snap.pending.clone();
+            slot.ever_sent = snap.ever_sent.clone();
+            slot.transitions = transitions as usize;
+            slot.next_seq = next_seq;
+            slot.snap_version = version;
+            slot.dirty = true;
+            rnet.restore(g, snap.links.clone());
+            slot.snap = Some(snap);
+            if obs.enabled() {
+                obs.event("net", "restore", g as u32 + 1, || {
+                    vec![
+                        ("node", ArgValue::U64(g as u64)),
+                        ("worker", ArgValue::U64(id as u64)),
+                        ("incarnation", ArgValue::U64(incarnation)),
+                        ("version", ArgValue::U64(version)),
+                    ]
+                });
+            }
+        }
         let mut none = Vec::new();
         for slot in slots.iter_mut() {
-            take_snapshot(slot, rnet, &mut none);
+            if slot.snap.is_none() {
+                take_snapshot(slot, rnet, &mut none);
+                if supervised {
+                    // Publish v0 before any traffic so the supervisor
+                    // always holds a restore point for this node.
+                    ship_snapshot(slot, rnet, ports);
+                }
+            }
         }
         debug_assert!(none.is_empty(), "empty links cannot emit acks");
     }
@@ -661,6 +955,15 @@ pub(crate) fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
     let mut held_token: Option<Token> = None;
     let mut probe_outstanding = false;
     let mut terminate = false;
+    // Deterministic process-kill plan: the step counts (in this
+    // worker's own numbering, per incarnation) at which this process
+    // dies in place of stepping. Only the first entry can fire — the
+    // process is gone afterwards; later entries belong to later
+    // incarnations.
+    let my_kills: Vec<u64> = faults.map_or_else(Vec::new, |p| p.pkill_steps(id, incarnation));
+    let mut steps_done: u64 = 0;
+    let mut killed = false;
+    let mut last_beat = Instant::now();
 
     // Enqueue `facts` into local node `g`'s inbox, with high-water and
     // gauge bookkeeping (mirrors the sequential engine's per-recipient
@@ -670,6 +973,7 @@ pub(crate) fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
     let enqueue = |slots: &mut Vec<Slot>,
                    metrics: &mut Metrics,
                    stats: &mut WorkerStats,
+                   local_index: &[Option<usize>],
                    g: usize,
                    facts: Multiset<Fact>,
                    mid: Option<(u64, u64)>| {
@@ -709,36 +1013,99 @@ pub(crate) fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
     };
 
     loop {
+        // Supervised: prove liveness on a clock, not on progress — a
+        // busy loop that never idles must still beat.
+        if supervised && last_beat.elapsed() >= HEARTBEAT_EVERY {
+            ports.heartbeat();
+            last_beat = Instant::now();
+        }
         // 1. Drain the channel without blocking.
         loop {
             match ports.try_recv() {
                 Ok(Msg::Batch { node, payload }) => {
-                    counter -= 1;
+                    if count_msgs {
+                        counter -= 1;
+                    }
                     black = true;
                     let (facts, ctx) =
                         wirefmt::decode_traced(&payload).expect("channel batch decodes");
                     let mid = ctx.map(|c| c.id());
-                    enqueue(&mut slots, &mut metrics, &mut stats, node, facts, mid);
+                    enqueue(
+                        &mut slots,
+                        &mut metrics,
+                        &mut stats,
+                        &local_index,
+                        node,
+                        facts,
+                        mid,
+                    );
                 }
                 Ok(Msg::Wire(wire)) => {
-                    counter -= 1;
+                    if count_msgs {
+                        counter -= 1;
+                    }
                     black = true;
                     let rnet = rnet.as_mut().expect("wire received without a fault plan");
                     let mut deliver = |g: usize, facts: Multiset<Fact>, mid: Option<(u64, u64)>| {
-                        enqueue(&mut slots, &mut metrics, &mut stats, g, facts, mid)
+                        enqueue(
+                            &mut slots,
+                            &mut metrics,
+                            &mut stats,
+                            &local_index,
+                            g,
+                            facts,
+                            mid,
+                        )
                     };
                     pump_wires(
                         vec![wire],
                         rnet,
                         id,
-                        workers,
+                        &owner,
                         ports,
                         &mut counter,
+                        count_msgs,
                         &mut deliver,
                     );
                 }
-                Ok(Msg::Token(t)) => held_token = Some(t),
+                Ok(Msg::Token(t)) => {
+                    if t.epoch == ring_epoch {
+                        held_token = Some(t);
+                    }
+                }
                 Ok(Msg::Terminate) => terminate = true,
+                Ok(Msg::Reset { epoch }) => {
+                    if epoch > ring_epoch {
+                        ring_epoch = epoch;
+                        counter = 0;
+                        black = true;
+                        held_token = None;
+                        probe_outstanding = false;
+                    }
+                }
+                Ok(Msg::Reassign {
+                    owner: new_owner,
+                    live: new_live,
+                    adopted,
+                }) => {
+                    black = true;
+                    apply_reassign(
+                        id,
+                        new_owner,
+                        new_live,
+                        adopted,
+                        &mut owner,
+                        &mut live,
+                        &mut local_index,
+                        &mut engines,
+                        &mut slots,
+                        rnet.as_mut(),
+                        &fab,
+                        ports,
+                        supervised,
+                        obs,
+                    );
+                }
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => break,
             }
@@ -754,9 +1121,26 @@ pub(crate) fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
             rnet.advance(&mut wires);
             if !wires.is_empty() {
                 let mut deliver = |g: usize, facts: Multiset<Fact>, mid: Option<(u64, u64)>| {
-                    enqueue(&mut slots, &mut metrics, &mut stats, g, facts, mid)
+                    enqueue(
+                        &mut slots,
+                        &mut metrics,
+                        &mut stats,
+                        &local_index,
+                        g,
+                        facts,
+                        mid,
+                    )
                 };
-                pump_wires(wires, rnet, id, workers, ports, &mut counter, &mut deliver);
+                pump_wires(
+                    wires,
+                    rnet,
+                    id,
+                    &owner,
+                    ports,
+                    &mut counter,
+                    count_msgs,
+                    &mut deliver,
+                );
             }
         }
 
@@ -775,6 +1159,23 @@ pub(crate) fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                     break;
                 }
                 steps_left -= 1;
+                steps_done += 1;
+                if my_kills.first().is_some_and(|&s| steps_done >= s) {
+                    // `pkill(worker=K@step=S)`: this incarnation dies
+                    // in place of its S-th step — nothing from the
+                    // aborted step is derived, staged, or sent. The
+                    // event triggers a flight dump so even the killed
+                    // incarnation leaves a post-mortem behind.
+                    obs.event("net", "worker_killed", id as u32 + 1, || {
+                        vec![
+                            ("worker", ArgValue::U64(id as u64)),
+                            ("incarnation", ArgValue::U64(incarnation)),
+                            ("step", ArgValue::U64(steps_done)),
+                        ]
+                    });
+                    killed = true;
+                    break;
+                }
                 // Delivery half: drain the inbox (m = b(x), the
                 // deliver-everything choice; asynchrony comes from the
                 // thread interleaving instead of submultiset sampling).
@@ -859,12 +1260,37 @@ pub(crate) fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                     } else if slots[l].since_snapshot >= snapshot_every {
                         let mut acks = Vec::new();
                         take_snapshot(&mut slots[l], rnet, &mut acks);
+                        if supervised {
+                            // Output commit: the snapshot frame goes on
+                            // the socket *before* any wire it released,
+                            // so the supervisor's retained version
+                            // always covers everything peers may see.
+                            slots[l].snap_version += 1;
+                            ship_snapshot(&slots[l], rnet, ports);
+                        }
                         if !acks.is_empty() {
                             let mut deliver =
                                 |g: usize, facts: Multiset<Fact>, mid: Option<(u64, u64)>| {
-                                    enqueue(&mut slots, &mut metrics, &mut stats, g, facts, mid)
+                                    enqueue(
+                                        &mut slots,
+                                        &mut metrics,
+                                        &mut stats,
+                                        &local_index,
+                                        g,
+                                        facts,
+                                        mid,
+                                    )
                                 };
-                            pump_wires(acks, rnet, id, workers, ports, &mut counter, &mut deliver);
+                            pump_wires(
+                                acks,
+                                rnet,
+                                id,
+                                &owner,
+                                ports,
+                                &mut counter,
+                                count_msgs,
+                                &mut deliver,
+                            );
                         }
                     }
                     continue;
@@ -882,12 +1308,20 @@ pub(crate) fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                 let ctx = mint_trace(obs, &mut slots[l], total_nodes, &facts);
                 let mid = ctx.as_ref().map(|c| c.id());
                 let mut encoded: Option<(Arc<[u8]>, u64)> = None;
-                for g in 0..total_nodes {
+                for (g, &owner_w) in owner.iter().enumerate() {
                     if g == sender_global {
                         continue;
                     }
-                    if g % workers == id {
-                        enqueue(&mut slots, &mut metrics, &mut stats, g, facts.clone(), mid);
+                    if owner_w == id {
+                        enqueue(
+                            &mut slots,
+                            &mut metrics,
+                            &mut stats,
+                            &local_index,
+                            g,
+                            facts.clone(),
+                            mid,
+                        );
                     } else {
                         let (payload, naive_len) = encoded.get_or_insert_with(|| {
                             (
@@ -897,9 +1331,11 @@ pub(crate) fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                         });
                         stats.wire_bytes += payload.len() as u64;
                         stats.wire_bytes_naive += *naive_len;
-                        counter += 1;
+                        if count_msgs {
+                            counter += 1;
+                        }
                         ports.send(
-                            g % workers,
+                            owner_w,
                             Msg::Batch {
                                 node: g,
                                 payload: payload.clone(),
@@ -907,6 +1343,9 @@ pub(crate) fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                         );
                     }
                 }
+            }
+            if killed {
+                break;
             }
             continue; // re-drain before deciding passivity
         }
@@ -929,53 +1368,131 @@ pub(crate) fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
         if let Some(rnet_ref) = rnet.as_mut() {
             let mut acks = Vec::new();
             for slot in slots.iter_mut() {
-                if rnet_ref.ackable(slot.global) || rnet_ref.staged(slot.global) {
+                // Supervised adds a third flush reason: *any* progress
+                // since the last shipped snapshot. The supervisor's
+                // retained version then equals the final state once the
+                // ring concludes — a kill landing after Terminate can
+                // still be restored byte-identically.
+                if rnet_ref.ackable(slot.global)
+                    || rnet_ref.staged(slot.global)
+                    || (supervised && slot.since_snapshot > 0)
+                {
                     take_snapshot(slot, rnet_ref, &mut acks);
+                    if supervised {
+                        slot.snap_version += 1;
+                        ship_snapshot(slot, rnet_ref, ports);
+                    }
                 }
             }
             if !acks.is_empty() {
                 let mut deliver = |g: usize, facts: Multiset<Fact>, mid: Option<(u64, u64)>| {
-                    enqueue(&mut slots, &mut metrics, &mut stats, g, facts, mid)
+                    enqueue(
+                        &mut slots,
+                        &mut metrics,
+                        &mut stats,
+                        &local_index,
+                        g,
+                        facts,
+                        mid,
+                    )
                 };
                 pump_wires(
                     acks,
                     rnet_ref,
                     id,
-                    workers,
+                    &owner,
                     ports,
                     &mut counter,
+                    count_msgs,
                     &mut deliver,
                 );
             }
             if rnet_ref.has_obligations() {
                 match ports.recv_timeout(TIMER_WAIT) {
                     Ok(Msg::Batch { node, payload }) => {
-                        counter -= 1;
+                        if count_msgs {
+                            counter -= 1;
+                        }
                         black = true;
                         let (facts, ctx) =
                             wirefmt::decode_traced(&payload).expect("channel batch decodes");
                         let mid = ctx.map(|c| c.id());
-                        enqueue(&mut slots, &mut metrics, &mut stats, node, facts, mid);
+                        enqueue(
+                            &mut slots,
+                            &mut metrics,
+                            &mut stats,
+                            &local_index,
+                            node,
+                            facts,
+                            mid,
+                        );
                     }
                     Ok(Msg::Wire(wire)) => {
-                        counter -= 1;
+                        if count_msgs {
+                            counter -= 1;
+                        }
                         black = true;
                         let mut deliver =
                             |g: usize, facts: Multiset<Fact>, mid: Option<(u64, u64)>| {
-                                enqueue(&mut slots, &mut metrics, &mut stats, g, facts, mid)
+                                enqueue(
+                                    &mut slots,
+                                    &mut metrics,
+                                    &mut stats,
+                                    &local_index,
+                                    g,
+                                    facts,
+                                    mid,
+                                )
                             };
                         pump_wires(
                             vec![wire],
                             rnet_ref,
                             id,
-                            workers,
+                            &owner,
                             ports,
                             &mut counter,
+                            count_msgs,
                             &mut deliver,
                         );
                     }
-                    Ok(Msg::Token(t)) => held_token = Some(t),
+                    Ok(Msg::Token(t)) => {
+                        if t.epoch == ring_epoch {
+                            held_token = Some(t);
+                        }
+                    }
                     Ok(Msg::Terminate) => break,
+                    Ok(Msg::Reset { epoch }) => {
+                        if epoch > ring_epoch {
+                            ring_epoch = epoch;
+                            counter = 0;
+                            black = true;
+                            held_token = None;
+                            probe_outstanding = false;
+                        }
+                    }
+                    Ok(Msg::Reassign {
+                        owner: new_owner,
+                        live: new_live,
+                        adopted,
+                    }) => {
+                        black = true;
+                        apply_reassign(
+                            id,
+                            new_owner,
+                            new_live,
+                            adopted,
+                            &mut owner,
+                            &mut live,
+                            &mut local_index,
+                            &mut engines,
+                            &mut slots,
+                            Some(&mut *rnet_ref),
+                            &fab,
+                            ports,
+                            supervised,
+                            obs,
+                        );
+                    }
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
@@ -983,12 +1500,17 @@ pub(crate) fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
             }
         }
 
-        // 3. Passive: token protocol.
-        if workers == 1 {
-            // Sole worker: passivity is global quiescence.
+        // 3. Passive: token protocol, over the *live* ring. The
+        // initiator is the lowest live position (worker 0 unless its
+        // budget ran out and its shard was adopted), and the token
+        // skips dead positions.
+        let live_count = live.iter().filter(|&&b| b).count();
+        if live_count <= 1 {
+            // Sole live worker: passivity is global quiescence.
             break;
         }
-        if id == 0 {
+        let initiator = live.iter().position(|&b| b).unwrap_or(0);
+        if id == initiator {
             match held_token.take() {
                 Some(token) => {
                     // The probe is back: either we terminate or we
@@ -996,8 +1518,10 @@ pub(crate) fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                     if token.concludes(counter, black) {
                         // Termination: nothing in flight, all passive
                         // through a full white round.
-                        for w in 1..workers {
-                            ports.send(w, Msg::Terminate);
+                        for (w, &alive) in live.iter().enumerate() {
+                            if w != id && alive {
+                                ports.send(w, Msg::Terminate);
+                            }
                         }
                         break;
                     }
@@ -1005,15 +1529,15 @@ pub(crate) fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                     black = false;
                     probe_outstanding = true;
                     stats.token_passes += 1;
-                    let mut t = Token::probe();
+                    let mut t = Token::probe(ring_epoch);
                     t.passes = token.passes + 1;
-                    ports.send(1, Msg::Token(t));
+                    ports.send(next_live(&live, id), Msg::Token(t));
                 }
                 None if !probe_outstanding => {
                     probe_outstanding = true;
                     black = false;
                     stats.token_passes += 1;
-                    ports.send(1, Msg::Token(Token::probe()));
+                    ports.send(next_live(&live, id), Msg::Token(Token::probe(ring_epoch)));
                 }
                 None => {}
             }
@@ -1021,47 +1545,124 @@ pub(crate) fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
             token.absorb(counter, black);
             black = false;
             stats.token_passes += 1;
-            ports.send((id + 1) % workers, Msg::Token(token));
+            ports.send(next_live(&live, id), Msg::Token(token));
         }
 
         // 4. Block until something arrives (a batch reactivates us, a
-        // token resumes the probe, Terminate ends the run).
-        match ports.recv() {
-            Ok(Msg::Batch { node, payload }) => {
-                counter -= 1;
+        // token resumes the probe, Terminate ends the run). Supervised:
+        // wake on the heartbeat clock so an idle worker still proves
+        // liveness (and its supervisor never mistakes waiting for a
+        // token withheld across a crash window for a hang).
+        let msg = if supervised {
+            match ports.recv_timeout(HEARTBEAT_EVERY) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => {
+                    ports.heartbeat();
+                    last_beat = Instant::now();
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        } else {
+            match ports.recv() {
+                Ok(m) => m,
+                Err(_) => break,
+            }
+        };
+        match msg {
+            Msg::Batch { node, payload } => {
+                if count_msgs {
+                    counter -= 1;
+                }
                 black = true;
                 let (facts, ctx) = wirefmt::decode_traced(&payload).expect("channel batch decodes");
                 let mid = ctx.map(|c| c.id());
-                enqueue(&mut slots, &mut metrics, &mut stats, node, facts, mid);
+                enqueue(
+                    &mut slots,
+                    &mut metrics,
+                    &mut stats,
+                    &local_index,
+                    node,
+                    facts,
+                    mid,
+                );
             }
-            Ok(Msg::Wire(wire)) => {
-                counter -= 1;
+            Msg::Wire(wire) => {
+                if count_msgs {
+                    counter -= 1;
+                }
                 black = true;
                 let rnet = rnet.as_mut().expect("wire received without a fault plan");
                 let mut deliver = |g: usize, facts: Multiset<Fact>, mid: Option<(u64, u64)>| {
-                    enqueue(&mut slots, &mut metrics, &mut stats, g, facts, mid)
+                    enqueue(
+                        &mut slots,
+                        &mut metrics,
+                        &mut stats,
+                        &local_index,
+                        g,
+                        facts,
+                        mid,
+                    )
                 };
                 pump_wires(
                     vec![wire],
                     rnet,
                     id,
-                    workers,
+                    &owner,
                     ports,
                     &mut counter,
+                    count_msgs,
                     &mut deliver,
                 );
             }
-            Ok(Msg::Token(t)) => held_token = Some(t),
-            Ok(Msg::Terminate) => break,
-            Err(_) => break,
+            Msg::Token(t) => {
+                if t.epoch == ring_epoch {
+                    held_token = Some(t);
+                }
+            }
+            Msg::Terminate => break,
+            Msg::Reset { epoch } => {
+                if epoch > ring_epoch {
+                    ring_epoch = epoch;
+                    counter = 0;
+                    black = true;
+                    held_token = None;
+                    probe_outstanding = false;
+                }
+            }
+            Msg::Reassign {
+                owner: new_owner,
+                live: new_live,
+                adopted,
+            } => {
+                black = true;
+                apply_reassign(
+                    id,
+                    new_owner,
+                    new_live,
+                    adopted,
+                    &mut owner,
+                    &mut live,
+                    &mut local_index,
+                    &mut engines,
+                    &mut slots,
+                    rnet.as_mut(),
+                    &fab,
+                    ports,
+                    supervised,
+                    obs,
+                );
+            }
         }
     }
 
     // A lost transport link forfeits the quiescence claim: facts may
-    // have been abandoned in flight.
+    // have been abandoned in flight. So does a scripted kill — the
+    // process is about to die without flushing anything.
     let mut clean = slots.iter().all(|s| !s.dirty && s.pending.is_empty())
         && !stats.exhausted
-        && ports.link_ok();
+        && ports.link_ok()
+        && !killed;
     if let Some(rnet) = rnet.as_mut() {
         // A message abandoned to the retry budget means fairness was
         // not restored: the run must not claim quiescence.
@@ -1072,6 +1673,8 @@ pub(crate) fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
         stats.wire_bytes += rnet.wire_bytes;
         stats.wire_bytes_naive += rnet.wire_bytes_naive;
     }
+    // Adoption may have grown the shard since the initial assignment.
+    stats.nodes = slots.iter().map(|s| node_ids[s.global].clone()).collect();
     stats.buffered = slots.iter().map(|s| s.pending.len()).sum();
     stats.metrics = metrics;
     WorkerOutcome {
@@ -1081,5 +1684,6 @@ pub(crate) fn run_worker(ctx: WorkerCtx<'_>) -> WorkerOutcome {
             .collect(),
         stats,
         clean,
+        killed,
     }
 }

@@ -130,6 +130,22 @@ pub struct CrashPoint {
     pub down_ticks: Tick,
 }
 
+/// A scheduled *process-level* kill (process engine only): after worker
+/// `worker`'s current incarnation completes its `at_step`-th executor
+/// step, the whole worker process dies abruptly — no `Final` frame, no
+/// ack flush, a nonzero exit — exactly the socket-level signature of a
+/// `kill -9`. A respawned incarnation skips as many `pkill` entries for
+/// its index as it has predecessors, so two entries for the same worker
+/// model two staggered kills across incarnations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PKill {
+    /// The worker (ring position) to kill.
+    pub worker: usize,
+    /// Fires after the incarnation's executor step counter reaches
+    /// this value.
+    pub at_step: u64,
+}
+
 /// A seeded, deterministic description of network misbehavior, plus the
 /// knobs of the reliability substrate that repairs it.
 #[derive(Debug, Clone, PartialEq)]
@@ -144,6 +160,9 @@ pub struct FaultPlan {
     pub partitions: Vec<Partition>,
     /// Node crash points.
     pub crashes: Vec<CrashPoint>,
+    /// Process-level worker kills (process engine only; the threaded
+    /// engine rejects plans that contain any).
+    pub pkills: Vec<PKill>,
     /// Transitions between periodic snapshots of a node (snapshots are
     /// also forced whenever a worker goes passive with unacked
     /// receipts, so acks always flush).
@@ -168,6 +187,7 @@ impl FaultPlan {
             per_link: BTreeMap::new(),
             partitions: Vec::new(),
             crashes: Vec::new(),
+            pkills: Vec::new(),
             snapshot_every: 8,
             retry_budget: 30,
             backoff_base: 8,
@@ -221,11 +241,33 @@ impl FaultPlan {
     /// partition=0>1@10..80      one-way outage over a tick window
     /// crash=2@5~20              node 2 after transition 5, down 20 ticks
     /// crash=2@5                 as above with the default downtime (4)
+    /// pkill(worker=1@step=40)   kill worker 1's process at its 40th step
     /// seed=7 snapshot=4 retries=16 backoff=8
     /// ```
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::none(0);
         for clause in spec.split(',').filter(|c| !c.trim().is_empty()) {
+            let clause_t = clause.trim();
+            // `pkill(worker=K@step=S)` is parenthesized, not key=value.
+            if let Some(inner) = clause_t
+                .strip_prefix("pkill(")
+                .and_then(|rest| rest.strip_suffix(')'))
+            {
+                let (w, s) = inner
+                    .split_once('@')
+                    .ok_or_else(|| format!("pkill wants worker=K@step=S, got '{inner}'"))?;
+                let worker = w
+                    .strip_prefix("worker=")
+                    .ok_or_else(|| format!("pkill clause '{w}' is not worker=K"))?;
+                let step = s
+                    .strip_prefix("step=")
+                    .ok_or_else(|| format!("pkill clause '{s}' is not step=S"))?;
+                plan.pkills.push(PKill {
+                    worker: parse_num(worker, "pkill worker")?,
+                    at_step: parse_num(step, "pkill step")?,
+                });
+                continue;
+            }
             let (key, value) = clause
                 .trim()
                 .split_once('=')
@@ -322,6 +364,23 @@ impl FaultPlan {
             || self.per_link.values().any(|l| !l.is_none())
             || !self.partitions.is_empty()
             || !self.crashes.is_empty()
+            || !self.pkills.is_empty()
+    }
+
+    /// The kill steps of `worker`'s incarnation number `incarnation`,
+    /// in firing order: entries for the worker sorted by step, the
+    /// first `incarnation` of them already consumed by the
+    /// predecessors. The incarnation dies at the first remaining step
+    /// (if its run lasts that long).
+    pub fn pkill_steps(&self, worker: usize, incarnation: u64) -> Vec<u64> {
+        let mut steps: Vec<u64> = self
+            .pkills
+            .iter()
+            .filter(|p| p.worker == worker)
+            .map(|p| p.at_step)
+            .collect();
+        steps.sort_unstable();
+        steps.split_off((incarnation as usize).min(steps.len()))
     }
 
     /// The deterministic decision stream for one transmission copy:
@@ -526,6 +585,16 @@ pub struct FaultStats {
     /// receiver (corruption): refused and counted as dropped, so the
     /// sender's retransmission path covers them like any other loss.
     pub decode_failures: u64,
+    /// Outbox entries re-armed for retransmission by a restore —
+    /// in-flight traffic replayed after a crash (node rollback or a
+    /// respawned worker restoring a shipped snapshot). Each replayed
+    /// entry re-enters the wire through `transmit`, so the per-link
+    /// identity `attempts == delivered + suppressed + dropped +
+    /// buffered` still holds with replays counted inside `attempts`.
+    pub replayed: u64,
+    /// Encoded snapshot-blob bytes shipped to the coordinator
+    /// (supervised process engine only; zero in-process).
+    pub snapshot_bytes: u64,
 }
 
 impl FaultStats {
@@ -544,6 +613,8 @@ impl FaultStats {
         self.crashes += other.crashes;
         self.retry_exhausted += other.retry_exhausted;
         self.decode_failures += other.decode_failures;
+        self.replayed += other.replayed;
+        self.snapshot_bytes += other.snapshot_bytes;
     }
 
     /// Non-zero counters as `(label, value)` pairs, for reports.
@@ -562,6 +633,8 @@ impl FaultStats {
             ("crashes", self.crashes),
             ("retry_exhausted", self.retry_exhausted),
             ("decode_failures", self.decode_failures),
+            ("replayed", self.replayed),
+            ("snapshot_bytes", self.snapshot_bytes),
         ]
         .into_iter()
         .collect()
@@ -1093,27 +1166,50 @@ impl<'a> ReliableNet<'a> {
                 if !entry.staged {
                     entry.attempt = 0;
                     entry.retry_at = self.tick + 1;
+                    self.stats.replayed += 1;
                 }
             }
         }
+        // Install the snapshot's floors unconditionally: a respawned
+        // incarnation starts with an *empty* `next_seq` map, so rolling
+        // back only pre-existing keys would restart every link at seq 1
+        // and collide with seqs the previous incarnation already put on
+        // the wire. Links absent from `sent_floor` never carried a wire
+        // before the snapshot, so their counters reset.
         let keys: Vec<(usize, usize)> = self
             .next_seq
             .range((node, 0)..=(node, usize::MAX))
             .map(|(&k, _)| k)
             .collect();
         for key in keys {
-            match snap.sent_floor.get(&key.1) {
-                Some(&floor) => {
-                    self.next_seq.insert(key, floor);
-                }
-                None => {
-                    // First-ever send on this link happened after the
-                    // snapshot; the link has never carried a wire.
-                    self.next_seq.remove(&key);
-                }
-            }
+            self.next_seq.remove(&key);
+        }
+        for (&dst, &floor) in &snap.sent_floor {
+            self.next_seq.insert((node, dst), floor);
         }
         self.links.insert(node, snap);
+    }
+
+    /// Register a node this worker did not originally own (shard
+    /// adoption after a dead peer's respawn budget ran out): create its
+    /// link state — typically overwritten right away by
+    /// [`ReliableNet::restore`] from the coordinator's retained
+    /// snapshot — and queue any of the plan's crash points for it.
+    pub fn adopt(&mut self, node: usize) {
+        self.links.entry(node).or_default();
+        let mut points: Vec<CrashPoint> = self
+            .plan
+            .crashes
+            .iter()
+            .filter(|c| c.node == node)
+            .copied()
+            .collect();
+        points.sort_by_key(|c| c.at_transition);
+        if !points.is_empty() {
+            self.crash_queue
+                .entry(node)
+                .or_insert_with(|| points.into());
+        }
     }
 
     /// Crash bookkeeping: drop the node's in-flight outgoing wires from

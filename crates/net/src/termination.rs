@@ -71,15 +71,25 @@ pub struct Token {
     /// Total ring hops across all probes — a cost metric, not part of
     /// the algorithm.
     pub passes: u64,
+    /// Ring epoch the token was minted in. A worker crash can lose a
+    /// token written to the dead worker's socket; the coordinator
+    /// bumps the epoch on every recovery event (respawn or shard
+    /// re-assignment) and broadcasts a reset, after which every worker
+    /// drops tokens from older epochs and the initiator mints a fresh
+    /// probe. Without the fence, a stale token resurfacing from a
+    /// respawned worker's backlog could race a fresh probe and
+    /// double-count a round.
+    pub epoch: u64,
 }
 
 impl Token {
-    /// A fresh white probe token.
-    pub fn probe() -> Token {
+    /// A fresh white probe token for ring epoch `epoch`.
+    pub fn probe(epoch: u64) -> Token {
         Token {
             count: 0,
             black: false,
             passes: 0,
+            epoch,
         }
     }
 
@@ -151,7 +161,7 @@ mod tests {
     /// verdict. Workers that are not passive hold the token until they
     /// are — modeled here by simply failing the probe (`None`).
     fn probe_round(ring: &mut [Model]) -> Option<bool> {
-        let mut token = Token::probe();
+        let mut token = Token::probe(0);
         let initiator_black = ring[0].black;
         ring[0].black = false;
         for w in ring.iter_mut().skip(1) {
@@ -191,7 +201,7 @@ mod tests {
 
         // Mid-round crash at worker 1: token passes worker 1 (white,
         // counter 0), then the crash fires, then the token finishes.
-        let mut token = Token::probe();
+        let mut token = Token::probe(0);
         let initiator_black = ring[0].black;
         ring[0].black = false;
         token.absorb(ring[1].counter, ring[1].black);
@@ -240,14 +250,14 @@ mod tests {
     #[test]
     fn absorb_accumulates_and_black_poisons() {
         for black_at in 1..6 {
-            let mut token = Token::probe();
+            let mut token = Token::probe(0);
             for w in 1..6 {
                 token.absorb(0, w == black_at);
             }
             assert_eq!(token.passes, 5);
             assert!(!token.concludes(0, false));
         }
-        let mut token = Token::probe();
+        let mut token = Token::probe(0);
         let deltas = [3i64, -1, 0, -2, 1];
         for d in deltas {
             token.absorb(d, false);
@@ -257,6 +267,22 @@ mod tests {
         assert!(token.concludes(-1, false), "initiator's receipt balances");
     }
 
+    /// A token minted before a recovery event must not conclude a round
+    /// after it: workers compare the token's epoch against their ring
+    /// epoch and drop stale tokens, and the initiator re-probes in the
+    /// new epoch. This models the filter the executor applies.
+    #[test]
+    fn stale_epoch_tokens_are_fenced_out() {
+        let ring_epoch = 3u64;
+        let stale = Token::probe(2);
+        let fresh = Token::probe(3);
+        assert!(stale.epoch < ring_epoch, "pre-recovery token is stale");
+        assert!(fresh.epoch >= ring_epoch, "post-reset probe is accepted");
+        // A stale token, even if it *would* conclude, never reaches the
+        // verdict — the executor drops it before absorb/concludes.
+        assert!(stale.concludes(0, false), "verdict alone is not the fence");
+    }
+
     /// FIFO channels deliver a queued basic message before the token
     /// that followed it — the receipt blackens the worker before it can
     /// forward, which is what makes counting sound without timestamps.
@@ -264,7 +290,7 @@ mod tests {
     fn fifo_receipt_blackens_before_forward() {
         let mut w = Model::quiet();
         let mut inbox: VecDeque<&str> = VecDeque::from(["basic", "token"]);
-        let mut token = Token::probe();
+        let mut token = Token::probe(0);
         while let Some(msg) = inbox.pop_front() {
             match msg {
                 "basic" => w.receive(),

@@ -18,28 +18,42 @@
 //! * `Deliver` — coordinator → worker: a relayed executor message.
 //! * `Final` — worker → coordinator, last frame: the worker's final
 //!   node states, its [`WorkerStats`], and its clean/quiescent verdict.
+//! * `Snapshot` — worker → coordinator (supervised runs): a versioned,
+//!   canonically encoded checkpoint of one node (instance state,
+//!   undelivered inbox, send-dedup set, outbox and seq/ack floors).
+//!   The coordinator retains the latest per node and hands it back in
+//!   the re-`Assign` after a respawn, or inside a `Reassign` when a
+//!   survivor adopts a dead worker's shard.
+//! * `Heartbeat` — worker → coordinator: liveness beacon, so a
+//!   hung-but-connected worker trips the supervisor's timeout instead
+//!   of stalling the run forever.
 //!
 //! The codec reuses the varint/value primitives of [`crate::wirefmt`],
 //! and decoding is strict in the same spirit: unknown tags, truncation
 //! and trailing bytes all surface as [`WireError`]s.
 
 use crate::executor::Msg;
-use crate::faults::{FaultStats, LinkCounters, Wire};
+use crate::faults::{FaultStats, LinkCounters, NodeLinks, NodeSnapshot, OutEntry, Wire};
 use crate::termination::Token;
 use crate::wirefmt::{put_bytes, put_value, put_varint, zigzag, Reader, WireError};
 use crate::WorkerStats;
 use calm_common::fact::Fact;
 use calm_common::instance::Instance;
+use calm_transducer::multiset::Multiset;
 use calm_transducer::network::NodeId;
 use calm_transducer::runtime::Metrics;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// The process-engine protocol version, checked at handshake. A
 /// coordinator refuses a worker speaking a different version — the two
 /// sides are expected to be the same binary, so a mismatch means a
 /// stale spawn, not a negotiation opportunity.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2 adds supervision: `Snapshot`/`Heartbeat` control frames, ring
+/// epochs on tokens, `Reset`/`Reassign` executor messages, and the
+/// incarnation/epoch/restore fields of `Assign`.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// The job a coordinator hands every worker: sources and knobs, all
 /// engine-agnostic strings the worker's builder interprets (the
@@ -79,6 +93,45 @@ pub struct Assign {
     pub workers: usize,
     /// The job.
     pub spec: JobSpec,
+    /// How many times this ring position has been (re)spawned: 0 on
+    /// the first spawn, k after the k-th respawn. A worker uses it to
+    /// skip the kill-plan entries its prior incarnations consumed.
+    pub incarnation: u64,
+    /// Current ring epoch — tokens minted in earlier epochs are stale
+    /// and dropped (a token written to a dead worker's socket is lost;
+    /// the coordinator bumps the epoch at every recovery event).
+    pub epoch: u64,
+    /// Whether the coordinator supervises this run: when true the
+    /// worker ships versioned `Snapshot` frames so a respawn can
+    /// restore its shard instead of aborting the run.
+    pub supervised: bool,
+    /// Explicit node→worker ownership map, or `None` for the default
+    /// `node i mod W` rule. Becomes `Some` after shard adoption.
+    pub owner: Option<Vec<usize>>,
+    /// Liveness mask over ring positions (`empty` = all live). Dead
+    /// positions are skipped by the token ring and receive no traffic.
+    pub live: Vec<bool>,
+    /// Snapshot hand-back for a respawned or adoptive worker: for each
+    /// restored node, its latest retained `(node, version, blob)`.
+    pub restore: Vec<(usize, u64, Vec<u8>)>,
+}
+
+impl Assign {
+    /// A first-spawn assignment with default topology (no supervision
+    /// extras): incarnation 0, epoch 0, implicit ownership, all live.
+    pub fn new(worker: usize, workers: usize, spec: JobSpec) -> Assign {
+        Assign {
+            worker,
+            workers,
+            spec,
+            incarnation: 0,
+            epoch: 0,
+            supervised: false,
+            owner: None,
+            live: Vec::new(),
+            restore: Vec::new(),
+        }
+    }
 }
 
 /// A worker's final report: its share of the run, mirroring what a
@@ -110,6 +163,22 @@ pub(crate) enum CtrlMsg {
     Deliver(Msg),
     /// Worker → coordinator: final states + accounting.
     Final(FinalReport),
+    /// Worker → coordinator: a versioned node checkpoint (see
+    /// [`encode_snapshot_blob`] for the blob layout). Shipped *before*
+    /// the wires the snapshot released, so by per-link FIFO the
+    /// coordinator retains version v before any peer can observe a
+    /// message released at v — restoring the latest retained blob is
+    /// therefore always output-commit sound.
+    Snapshot {
+        /// Global node id.
+        node: usize,
+        /// Monotone per-node version counter.
+        version: u64,
+        /// Canonical blob bytes.
+        blob: Vec<u8>,
+    },
+    /// Worker → coordinator: liveness beacon.
+    Heartbeat { worker: usize },
 }
 
 const TAG_HELLO: u8 = 0;
@@ -117,12 +186,16 @@ const TAG_ASSIGN: u8 = 1;
 const TAG_ROUTE: u8 = 2;
 const TAG_DELIVER: u8 = 3;
 const TAG_FINAL: u8 = 4;
+const TAG_SNAPSHOT: u8 = 5;
+const TAG_HEARTBEAT: u8 = 6;
 
 const MSG_BATCH: u8 = 0;
 const MSG_WIRE_DATA: u8 = 1;
 const MSG_WIRE_ACK: u8 = 2;
 const MSG_TOKEN: u8 = 3;
 const MSG_TERMINATE: u8 = 4;
+const MSG_RESET: u8 = 5;
+const MSG_REASSIGN: u8 = 6;
 
 fn put_opt_str(out: &mut Vec<u8>, s: &Option<String>) {
     match s {
@@ -160,6 +233,86 @@ fn read_opt_varint(r: &mut Reader<'_>) -> Result<Option<u64>, WireError> {
     }
 }
 
+/// Shared list layout for snapshot hand-backs: `(node, version, blob)`
+/// triples, used by both `Assign.restore` and `Msg::Reassign.adopted`.
+fn put_restores(out: &mut Vec<u8>, rs: &[(usize, u64, Vec<u8>)]) {
+    put_varint(out, rs.len() as u64);
+    for (node, version, blob) in rs {
+        put_varint(out, *node as u64);
+        put_varint(out, *version);
+        put_bytes(out, blob);
+    }
+}
+
+fn read_restores(r: &mut Reader<'_>) -> Result<Vec<(usize, u64, Vec<u8>)>, WireError> {
+    let n = r.varint()? as usize;
+    if n > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let mut rs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let node = r.varint()? as usize;
+        let version = r.varint()?;
+        let blob = r.prefixed_bytes()?.to_vec();
+        rs.push((node, version, blob));
+    }
+    Ok(rs)
+}
+
+fn put_owner(out: &mut Vec<u8>, owner: &Option<Vec<usize>>) {
+    match owner {
+        None => out.push(0),
+        Some(map) => {
+            out.push(1);
+            put_varint(out, map.len() as u64);
+            for w in map {
+                put_varint(out, *w as u64);
+            }
+        }
+    }
+}
+
+fn read_owner(r: &mut Reader<'_>) -> Result<Option<Vec<usize>>, WireError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let n = r.varint()? as usize;
+            if n > r.remaining() {
+                return Err(WireError::Truncated);
+            }
+            let mut map = Vec::with_capacity(n);
+            for _ in 0..n {
+                map.push(r.varint()? as usize);
+            }
+            Ok(Some(map))
+        }
+        _ => Err(WireError::NonCanonical("bad option flag")),
+    }
+}
+
+fn put_live(out: &mut Vec<u8>, live: &[bool]) {
+    put_varint(out, live.len() as u64);
+    for b in live {
+        out.push(*b as u8);
+    }
+}
+
+fn read_live(r: &mut Reader<'_>) -> Result<Vec<bool>, WireError> {
+    let n = r.varint()? as usize;
+    if n > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let mut live = Vec::with_capacity(n);
+    for _ in 0..n {
+        live.push(match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(WireError::NonCanonical("bad bool")),
+        });
+    }
+    Ok(live)
+}
+
 fn put_msg(out: &mut Vec<u8>, msg: &Msg) {
     match msg {
         Msg::Batch { node, payload } => {
@@ -190,8 +343,26 @@ fn put_msg(out: &mut Vec<u8>, msg: &Msg) {
             put_varint(out, zigzag(t.count));
             out.push(t.black as u8);
             put_varint(out, t.passes);
+            put_varint(out, t.epoch);
         }
         Msg::Terminate => out.push(MSG_TERMINATE),
+        Msg::Reset { epoch } => {
+            out.push(MSG_RESET);
+            put_varint(out, *epoch);
+        }
+        Msg::Reassign {
+            owner,
+            live,
+            adopted,
+        } => {
+            out.push(MSG_REASSIGN);
+            put_varint(out, owner.len() as u64);
+            for w in owner {
+                put_varint(out, *w as u64);
+            }
+            put_live(out, live);
+            put_restores(out, adopted);
+        }
     }
 }
 
@@ -220,8 +391,25 @@ fn read_msg(r: &mut Reader<'_>) -> Result<Msg, WireError> {
                 _ => return Err(WireError::NonCanonical("bad bool")),
             },
             passes: r.varint()?,
+            epoch: r.varint()?,
         }),
         MSG_TERMINATE => Msg::Terminate,
+        MSG_RESET => Msg::Reset { epoch: r.varint()? },
+        MSG_REASSIGN => {
+            let n = r.varint()? as usize;
+            if n > r.remaining() {
+                return Err(WireError::Truncated);
+            }
+            let mut owner = Vec::with_capacity(n);
+            for _ in 0..n {
+                owner.push(r.varint()? as usize);
+            }
+            Msg::Reassign {
+                owner,
+                live: read_live(r)?,
+                adopted: read_restores(r)?,
+            }
+        }
         _ => return Err(WireError::NonCanonical("unknown msg tag")),
     })
 }
@@ -363,6 +551,8 @@ fn put_fault_stats(out: &mut Vec<u8>, f: &FaultStats) {
         f.crashes,
         f.retry_exhausted,
         f.decode_failures,
+        f.replayed,
+        f.snapshot_bytes,
     ] {
         put_varint(out, n);
     }
@@ -384,7 +574,205 @@ fn read_fault_stats(r: &mut Reader<'_>) -> Result<FaultStats, WireError> {
     f.crashes = r.varint()?;
     f.retry_exhausted = r.varint()?;
     f.decode_failures = r.varint()?;
+    f.replayed = r.varint()?;
+    f.snapshot_bytes = r.varint()?;
     Ok(f)
+}
+
+/// Encode one node checkpoint into the blob carried by
+/// `CtrlMsg::Snapshot` and handed back in `Assign.restore` /
+/// `Msg::Reassign.adopted`.
+///
+/// Layout (all lengths varint-prefixed, canonical wirefmt values):
+/// instance state, pending inbox as a `(fact, multiplicity)` multiset,
+/// the send-dedup set, the link state (`out` outboxes with payload
+/// bytes verbatim + naive length + staged flag, `cum`, `seen`,
+/// `sent_floor`, `recv_dedup`), then the node's monotone transition
+/// count and trace-seq allocator. Retry timers (`attempt`, `retry_at`)
+/// are deliberately *not* shipped: a restore re-arms every unacked
+/// entry from zero, since the old backoff schedule belonged to a dead
+/// incarnation's clock.
+pub(crate) fn encode_snapshot_blob(
+    snap: &NodeSnapshot,
+    transitions: u64,
+    trace_next_seq: u64,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_instance(&mut out, &snap.state);
+    put_varint(&mut out, snap.pending.iter().count() as u64);
+    for (f, n) in snap.pending.iter() {
+        put_fact(&mut out, f);
+        put_varint(&mut out, n as u64);
+    }
+    put_varint(&mut out, snap.ever_sent.len() as u64);
+    for f in &snap.ever_sent {
+        put_fact(&mut out, f);
+    }
+    let l = &snap.links;
+    put_varint(&mut out, l.out.len() as u64);
+    for (dst, entries) in &l.out {
+        put_varint(&mut out, *dst as u64);
+        put_varint(&mut out, entries.len() as u64);
+        for (seq, e) in entries {
+            put_varint(&mut out, *seq);
+            put_bytes(&mut out, &e.payload);
+            put_varint(&mut out, e.naive_len);
+            out.push(e.staged as u8);
+        }
+    }
+    put_varint(&mut out, l.cum.len() as u64);
+    for (src, cum) in &l.cum {
+        put_varint(&mut out, *src as u64);
+        put_varint(&mut out, *cum);
+    }
+    put_varint(&mut out, l.seen.len() as u64);
+    for (src, seqs) in &l.seen {
+        put_varint(&mut out, *src as u64);
+        put_varint(&mut out, seqs.len() as u64);
+        for s in seqs {
+            put_varint(&mut out, *s);
+        }
+    }
+    put_varint(&mut out, l.sent_floor.len() as u64);
+    for (dst, floor) in &l.sent_floor {
+        put_varint(&mut out, *dst as u64);
+        put_varint(&mut out, *floor);
+    }
+    put_varint(&mut out, l.recv_dedup.len() as u64);
+    for (src, facts) in &l.recv_dedup {
+        put_varint(&mut out, *src as u64);
+        put_varint(&mut out, facts.len() as u64);
+        for f in facts {
+            put_fact(&mut out, f);
+        }
+    }
+    put_varint(&mut out, transitions);
+    put_varint(&mut out, trace_next_seq);
+    out
+}
+
+/// Decode a snapshot blob. Strict: truncation and trailing bytes are
+/// errors, like every other frame in this protocol.
+pub(crate) fn decode_snapshot_blob(bytes: &[u8]) -> Result<(NodeSnapshot, u64, u64), WireError> {
+    let mut r = Reader::new(bytes);
+    let state = read_instance(&mut r)?;
+    let pending_count = r.varint()? as usize;
+    if pending_count > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let mut pending = Multiset::new();
+    for _ in 0..pending_count {
+        let f = read_fact(&mut r)?;
+        let n = r.varint()? as usize;
+        pending.insert_n(f, n);
+    }
+    let sent_count = r.varint()? as usize;
+    if sent_count > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let mut ever_sent = BTreeSet::new();
+    for _ in 0..sent_count {
+        ever_sent.insert(read_fact(&mut r)?);
+    }
+    let mut links = NodeLinks::default();
+    let out_count = r.varint()? as usize;
+    if out_count > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    for _ in 0..out_count {
+        let dst = r.varint()? as usize;
+        let entry_count = r.varint()? as usize;
+        if entry_count > r.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let mut entries = BTreeMap::new();
+        for _ in 0..entry_count {
+            let seq = r.varint()?;
+            let payload: Arc<[u8]> = Arc::from(r.prefixed_bytes()?);
+            let naive_len = r.varint()?;
+            let staged = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::NonCanonical("bad bool")),
+            };
+            entries.insert(
+                seq,
+                OutEntry {
+                    payload,
+                    naive_len,
+                    attempt: 0,
+                    retry_at: 0,
+                    staged,
+                },
+            );
+        }
+        links.out.insert(dst, entries);
+    }
+    let cum_count = r.varint()? as usize;
+    if cum_count > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    for _ in 0..cum_count {
+        let src = r.varint()? as usize;
+        let cum = r.varint()?;
+        links.cum.insert(src, cum);
+    }
+    let seen_count = r.varint()? as usize;
+    if seen_count > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    for _ in 0..seen_count {
+        let src = r.varint()? as usize;
+        let n = r.varint()? as usize;
+        if n > r.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let mut seqs = BTreeSet::new();
+        for _ in 0..n {
+            seqs.insert(r.varint()?);
+        }
+        links.seen.insert(src, seqs);
+    }
+    let floor_count = r.varint()? as usize;
+    if floor_count > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    for _ in 0..floor_count {
+        let dst = r.varint()? as usize;
+        let floor = r.varint()?;
+        links.sent_floor.insert(dst, floor);
+    }
+    let dedup_count = r.varint()? as usize;
+    if dedup_count > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    for _ in 0..dedup_count {
+        let src = r.varint()? as usize;
+        let n = r.varint()? as usize;
+        if n > r.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let mut facts = BTreeSet::new();
+        for _ in 0..n {
+            facts.insert(read_fact(&mut r)?);
+        }
+        links.recv_dedup.insert(src, facts);
+    }
+    let transitions = r.varint()?;
+    let trace_next_seq = r.varint()?;
+    if r.remaining() > 0 {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok((
+        NodeSnapshot {
+            state,
+            pending,
+            ever_sent,
+            links,
+        },
+        transitions,
+        trace_next_seq,
+    ))
 }
 
 fn put_worker_stats(out: &mut Vec<u8>, s: &WorkerStats) {
@@ -478,6 +866,12 @@ pub(crate) fn encode_ctrl(msg: &CtrlMsg) -> Vec<u8> {
             put_opt_str(&mut out, &a.spec.faults);
             put_opt_str(&mut out, &a.spec.trace_prefix);
             put_opt_str(&mut out, &a.spec.flight_path);
+            put_varint(&mut out, a.incarnation);
+            put_varint(&mut out, a.epoch);
+            out.push(a.supervised as u8);
+            put_owner(&mut out, &a.owner);
+            put_live(&mut out, &a.live);
+            put_restores(&mut out, &a.restore);
         }
         CtrlMsg::Route { dst, msg } => {
             out.push(TAG_ROUTE);
@@ -497,6 +891,20 @@ pub(crate) fn encode_ctrl(msg: &CtrlMsg) -> Vec<u8> {
                 put_instance(&mut out, state);
             }
             out.push(f.clean as u8);
+        }
+        CtrlMsg::Snapshot {
+            node,
+            version,
+            blob,
+        } => {
+            out.push(TAG_SNAPSHOT);
+            put_varint(&mut out, *node as u64);
+            put_varint(&mut out, *version);
+            put_bytes(&mut out, blob);
+        }
+        CtrlMsg::Heartbeat { worker } => {
+            out.push(TAG_HEARTBEAT);
+            put_varint(&mut out, *worker as u64);
         }
     }
     out
@@ -525,6 +933,16 @@ pub(crate) fn decode_ctrl(bytes: &[u8]) -> Result<CtrlMsg, WireError> {
                 trace_prefix: read_opt_str(&mut r)?,
                 flight_path: read_opt_str(&mut r)?,
             },
+            incarnation: r.varint()?,
+            epoch: r.varint()?,
+            supervised: match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::NonCanonical("bad bool")),
+            },
+            owner: read_owner(&mut r)?,
+            live: read_live(&mut r)?,
+            restore: read_restores(&mut r)?,
         }),
         TAG_ROUTE => CtrlMsg::Route {
             dst: r.varint()? as usize,
@@ -554,6 +972,14 @@ pub(crate) fn decode_ctrl(bytes: &[u8]) -> Result<CtrlMsg, WireError> {
                 clean,
             })
         }
+        TAG_SNAPSHOT => CtrlMsg::Snapshot {
+            node: r.varint()? as usize,
+            version: r.varint()?,
+            blob: r.prefixed_bytes()?.to_vec(),
+        },
+        TAG_HEARTBEAT => CtrlMsg::Heartbeat {
+            worker: r.varint()? as usize,
+        },
         _ => return Err(WireError::NonCanonical("unknown ctrl tag")),
     };
     if r.remaining() > 0 {
@@ -612,13 +1038,23 @@ mod tests {
             }
             _ => panic!("wrong tag"),
         }
-        let assign = Assign {
-            worker: 1,
-            workers: 4,
-            spec: spec(),
-        };
+        let assign = Assign::new(1, 4, spec());
         match round(&CtrlMsg::Assign(assign.clone())) {
             CtrlMsg::Assign(a) => assert_eq!(a, assign),
+            _ => panic!("wrong tag"),
+        }
+        // A recovery re-Assign: every supervision field populated.
+        let reassign = Assign {
+            incarnation: 2,
+            epoch: 5,
+            supervised: true,
+            owner: Some(vec![0, 1, 0, 1]),
+            live: vec![true, true, false, true],
+            restore: vec![(2, 7, vec![1, 2, 3]), (6, 1, Vec::new())],
+            ..Assign::new(2, 4, spec())
+        };
+        match round(&CtrlMsg::Assign(reassign.clone())) {
+            CtrlMsg::Assign(a) => assert_eq!(a, reassign),
             _ => panic!("wrong tag"),
         }
     }
@@ -687,11 +1123,13 @@ mod tests {
             count: -3,
             black: true,
             passes: 12,
+            epoch: 4,
         }))) {
             CtrlMsg::Deliver(Msg::Token(t)) => {
                 assert_eq!(t.count, -3);
                 assert!(t.black);
                 assert_eq!(t.passes, 12);
+                assert_eq!(t.epoch, 4);
             }
             _ => panic!("wrong shape"),
         }
@@ -699,6 +1137,144 @@ mod tests {
             round(&CtrlMsg::Deliver(Msg::Terminate)),
             CtrlMsg::Deliver(Msg::Terminate)
         ));
+    }
+
+    #[test]
+    fn recovery_messages_round_trip() {
+        match round(&CtrlMsg::Deliver(Msg::Reset { epoch: 9 })) {
+            CtrlMsg::Deliver(Msg::Reset { epoch: 9 }) => {}
+            _ => panic!("wrong shape"),
+        }
+        let reassign = Msg::Reassign {
+            owner: vec![0, 1, 0, 1, 0, 1],
+            live: vec![true, false],
+            adopted: vec![(1, 3, vec![9, 9, 9]), (3, 2, vec![7])],
+        };
+        match round(&CtrlMsg::Deliver(reassign)) {
+            CtrlMsg::Deliver(Msg::Reassign {
+                owner,
+                live,
+                adopted,
+            }) => {
+                assert_eq!(owner, vec![0, 1, 0, 1, 0, 1]);
+                assert_eq!(live, vec![true, false]);
+                assert_eq!(adopted.len(), 2);
+                assert_eq!(adopted[0], (1, 3, vec![9, 9, 9]));
+                assert_eq!(adopted[1], (3, 2, vec![7]));
+            }
+            _ => panic!("wrong shape"),
+        }
+        match round(&CtrlMsg::Heartbeat { worker: 3 }) {
+            CtrlMsg::Heartbeat { worker: 3 } => {}
+            _ => panic!("wrong shape"),
+        }
+    }
+
+    /// Build a realistic node snapshot for blob round-trip tests.
+    fn snapshot_fixture(salt: u64) -> NodeSnapshot {
+        let mut state = Instance::new();
+        state.insert(fact("T", [salt as i64, 2]));
+        state.insert(fact("Ready", ["up"]));
+        let mut pending: Multiset<Fact> = Multiset::new();
+        pending.insert_n(fact("E", [1, salt as i64]), 2);
+        pending.insert_n(fact("E", [4, 5]), 1);
+        let mut ever_sent = BTreeSet::new();
+        ever_sent.insert(fact("T", [salt as i64, 2]));
+        let mut links = NodeLinks::default();
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            salt + 3,
+            OutEntry {
+                payload: Arc::from(&[1u8, 2, 3][..]),
+                naive_len: 40,
+                attempt: 7, // deliberately non-zero: must NOT survive
+                retry_at: 99,
+                staged: false,
+            },
+        );
+        links.out.insert(2, entries);
+        links.cum.insert(0, salt);
+        links.seen.insert(0, BTreeSet::from([salt + 2, salt + 4]));
+        links.sent_floor.insert(2, salt + 4);
+        links
+            .recv_dedup
+            .insert(0, BTreeSet::from([fact("E", [1, 1])]));
+        NodeSnapshot {
+            state,
+            pending,
+            ever_sent,
+            links,
+        }
+    }
+
+    #[test]
+    fn snapshot_blobs_round_trip_and_reset_retry_timers() {
+        let snap = snapshot_fixture(10);
+        let blob = encode_snapshot_blob(&snap, 17, 23);
+        let (back, transitions, trace_seq) = decode_snapshot_blob(&blob).expect("blob round trip");
+        assert_eq!(transitions, 17);
+        assert_eq!(trace_seq, 23);
+        assert_eq!(back.state, snap.state);
+        assert_eq!(
+            back.pending
+                .iter()
+                .map(|(f, n)| (f.clone(), n))
+                .collect::<Vec<_>>(),
+            snap.pending
+                .iter()
+                .map(|(f, n)| (f.clone(), n))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(back.ever_sent, snap.ever_sent);
+        assert_eq!(back.links.cum, snap.links.cum);
+        assert_eq!(back.links.seen, snap.links.seen);
+        assert_eq!(back.links.sent_floor, snap.links.sent_floor);
+        assert_eq!(back.links.recv_dedup, snap.links.recv_dedup);
+        let e = &back.links.out[&2][&13];
+        assert_eq!(&e.payload[..], &[1, 2, 3]);
+        assert_eq!(e.naive_len, 40);
+        assert!(!e.staged);
+        // The dead incarnation's retry schedule is not shipped: the
+        // restorer re-arms entries on its own clock.
+        assert_eq!(e.attempt, 0);
+        assert_eq!(e.retry_at, 0);
+        // Strictness of the blob codec itself.
+        for cut in 0..blob.len() {
+            assert!(decode_snapshot_blob(&blob[..cut]).is_err());
+        }
+        let mut long = blob.clone();
+        long.push(0);
+        assert!(decode_snapshot_blob(&long).is_err());
+    }
+
+    /// Satellite proptest: *any* strict prefix of *any* Snapshot frame
+    /// is rejected. Frames are generated from a deterministic LCG so
+    /// the case set is reproducible; `round` checks every prefix cut.
+    #[test]
+    fn any_snapshot_frame_strict_prefix_is_rejected() {
+        let mut lcg = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        for case in 0..24 {
+            let snap = snapshot_fixture(next() % 1000);
+            let blob = if case % 4 == 0 {
+                Vec::new() // empty blob is legal at the frame layer
+            } else {
+                encode_snapshot_blob(&snap, next(), next())
+            };
+            match round(&CtrlMsg::Snapshot {
+                node: (next() % 64) as usize,
+                version: next(),
+                blob: blob.clone(),
+            }) {
+                CtrlMsg::Snapshot { blob: b, .. } => assert_eq!(b, blob),
+                _ => panic!("wrong tag"),
+            }
+        }
     }
 
     #[test]

@@ -16,8 +16,10 @@
 //! [`FaultStats::dropped`](crate::FaultStats::dropped).
 
 use super::frame::{read_frame, write_frame, FrameError};
-use super::proto::{decode_ctrl, encode_ctrl, Assign, CtrlMsg, FinalReport, PROTOCOL_VERSION};
-use crate::executor::{run_worker, Msg, Ports, WorkerCtx};
+use super::proto::{
+    decode_ctrl, decode_snapshot_blob, encode_ctrl, Assign, CtrlMsg, FinalReport, PROTOCOL_VERSION,
+};
+use crate::executor::{run_worker, Msg, Ports, ProcCtx, WorkerCtx};
 use crate::faults::FaultPlan;
 use calm_common::instance::Instance;
 use calm_obs::Obs;
@@ -80,20 +82,50 @@ struct SocketPorts {
     down: Arc<AtomicBool>,
     /// Messages that could not be written because the link was down.
     send_drops: AtomicU64,
+    /// This worker's ring position, stamped into `Heartbeat` frames.
+    worker: usize,
+}
+
+impl SocketPorts {
+    /// Write one control frame under the writer mutex. The shared mutex
+    /// is the output-commit mechanism: a `Snapshot` written before a
+    /// `Route` is on the socket before it, and per-link FIFO does the
+    /// rest.
+    fn write_ctrl(&self, ctrl: &CtrlMsg) -> bool {
+        if self.down.load(Ordering::SeqCst) {
+            return false;
+        }
+        let payload = encode_ctrl(ctrl);
+        let mut stream = self.writer.lock().expect("writer mutex");
+        if write_frame(&mut *stream, &payload).is_err() {
+            self.down.store(true, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
 }
 
 impl Ports for SocketPorts {
     fn send(&self, dst: usize, msg: Msg) {
-        if self.down.load(Ordering::SeqCst) {
-            self.send_drops.fetch_add(1, Ordering::SeqCst);
-            return;
-        }
-        let payload = encode_ctrl(&CtrlMsg::Route { dst, msg });
-        let mut stream = self.writer.lock().expect("writer mutex");
-        if write_frame(&mut *stream, &payload).is_err() {
-            self.down.store(true, Ordering::SeqCst);
+        if !self.write_ctrl(&CtrlMsg::Route { dst, msg }) {
             self.send_drops.fetch_add(1, Ordering::SeqCst);
         }
+    }
+
+    fn ship_snapshot(&self, node: usize, version: u64, blob: Vec<u8>) {
+        // A failed ship is not a drop: the supervisor just keeps its
+        // older version, and restore replays from further back.
+        self.write_ctrl(&CtrlMsg::Snapshot {
+            node,
+            version,
+            blob,
+        });
+    }
+
+    fn heartbeat(&self) {
+        self.write_ctrl(&CtrlMsg::Heartbeat {
+            worker: self.worker,
+        });
     }
 
     fn try_recv(&self) -> Result<Msg, TryRecvError> {
@@ -202,9 +234,36 @@ pub fn run_net_worker(
     stream.set_read_timeout(None).ok();
 
     let setup = builder(&assign)?;
-    let faults = match &assign.spec.faults {
+    let mut faults = match &assign.spec.faults {
         Some(spec) => Some(FaultPlan::parse(spec)?),
         None => None,
+    };
+    if assign.supervised && faults.is_none() {
+        // Supervision needs the reliability substrate underneath even
+        // when no faults are injected: every data message must ride a
+        // wire — a sender obligation until the receiver's snapshot acks
+        // it — for snapshot restore and replay to cover the crash
+        // window. The empty plan is exactly that: no injected faults,
+        // full substrate.
+        faults = Some(FaultPlan::none(0));
+    }
+
+    // Decode the snapshot hand-back (respawn/adoption) eagerly: a blob
+    // the coordinator retained but we cannot decode is a protocol
+    // error, not a run-time fault.
+    let mut restore = Vec::new();
+    for (node, version, blob) in &assign.restore {
+        let (snap, transitions, next_seq) = decode_snapshot_blob(blob)
+            .map_err(|e| format!("restore blob for node {node} did not decode: {e}"))?;
+        restore.push((*node, *version, snap, transitions, next_seq));
+    }
+    let proc = ProcCtx {
+        incarnation: assign.incarnation,
+        epoch: assign.epoch,
+        supervised: assign.supervised,
+        owner: assign.owner.clone(),
+        live: assign.live.clone(),
+        restore,
     };
 
     let node_ids: Vec<NodeId> = setup.policy.network().nodes().cloned().collect();
@@ -224,6 +283,7 @@ pub fn run_net_worker(
         rx,
         down,
         send_drops: AtomicU64::new(0),
+        worker: assign.worker,
     };
     let mut outcome = run_worker(WorkerCtx {
         id: assign.worker,
@@ -238,10 +298,29 @@ pub fn run_net_worker(
         budget: assign.spec.step_budget,
         faults: faults.as_ref(),
         obs: &setup.obs,
+        proc: Some(proc),
     });
     // Writes the transport refused are counted link faults, not losses
     // the accounting forgets about.
     outcome.stats.faults.dropped += ports.send_drops.load(Ordering::SeqCst);
+
+    if outcome.killed {
+        // Scripted process kill: die the way a real crash does — no
+        // Final frame, no ack flush, a hard socket shutdown the
+        // supervisor sees as EOF — but flush the observability sinks
+        // first so post-mortem JSONL from the dead incarnation is
+        // never truncated mid-line.
+        setup.obs.finish();
+        {
+            let stream = ports.writer.lock().expect("writer mutex");
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let _ = reader.join();
+        return Err(format!(
+            "worker {} incarnation {} killed by fault plan",
+            assign.worker, assign.incarnation
+        ));
+    }
 
     // Report. Best effort: if the link died this write fails too, and
     // the coordinator has already counted us down.

@@ -109,10 +109,10 @@ fn run_process_tcp(
     procs: usize,
     faults: Option<String>,
 ) -> ProcessRunResult {
-    let cfg = ProcessConfig {
-        procs,
-        spec: spec_for(strategy, nodes, faults),
-    };
+    // Budget 0: the un-supervised transport, exactly as before PR 9.
+    // The supervised (respawn + restore) paths have their own suite in
+    // `recovery.rs`.
+    let cfg = ProcessConfig::new(procs, spec_for(strategy, nodes, faults)).with_respawn_budget(0);
     let input = input.clone();
     let spawner = move |k: usize, addr: &str| -> Result<SpawnHandle, String> {
         let addr = addr.to_string();
@@ -287,10 +287,9 @@ fn worker_death_reports_non_quiescent_instead_of_hanging() {
     // and return a *non-quiescent* result naming the failure — not
     // hang waiting for a Final that will never come.
     let input = calm_common::generator::path(5);
-    let cfg = ProcessConfig {
-        procs: 4,
-        spec: spec_for("monotone", 4, None),
-    };
+    // Budget 0 keeps the abort-on-death contract this test pins down;
+    // with a budget the same death would be respawned or adopted.
+    let cfg = ProcessConfig::new(4, spec_for("monotone", 4, None)).with_respawn_budget(0);
     let input_c = input.clone();
     let spawner = move |k: usize, addr: &str| -> Result<SpawnHandle, String> {
         let addr = addr.to_string();
@@ -324,6 +323,94 @@ fn worker_death_reports_non_quiescent_instead_of_hanging() {
         3,
         "the three survivors still report their finals"
     );
+}
+
+#[test]
+fn handshake_barrier_names_a_worker_that_never_says_hello() {
+    // Worker 1 is a stub TCP client: it connects to the coordinator and
+    // then goes silent — no Hello frame, ever. The barrier must expire
+    // at the configured deadline and fail with an error *naming* the
+    // missing worker, not hang waiting on a read.
+    let input = calm_common::generator::path(4);
+    let cfg = ProcessConfig::new(2, spec_for("monotone", 4, None))
+        .with_respawn_budget(0)
+        .with_handshake_deadline(std::time::Duration::from_millis(500));
+    let spawner = move |k: usize, addr: &str| -> Result<SpawnHandle, String> {
+        let addr = addr.to_string();
+        let input = input.clone();
+        Ok(SpawnHandle::Thread(std::thread::spawn(move || {
+            if k == 1 {
+                // Connect, say nothing, hold the socket open past the
+                // deadline. (Dropping it early would look like a clean
+                // EOF; holding it is the truly-hung shape.)
+                let s = std::net::TcpStream::connect(&addr);
+                std::thread::sleep(std::time::Duration::from_millis(1500));
+                drop(s);
+                return;
+            }
+            let builder = move |assign: &Assign| -> Result<WorkerSetup, String> {
+                let (transducer, policy, config) = family(&assign.spec.strategy, assign.spec.nodes);
+                Ok(WorkerSetup {
+                    transducer,
+                    policy,
+                    config,
+                    input: input.clone(),
+                    obs: Obs::noop(),
+                })
+            };
+            let _ = run_net_worker(&addr, k, &builder);
+        })))
+    };
+    let start = std::time::Instant::now();
+    let err = run_process(&cfg, &spawner, &Obs::noop())
+        .expect_err("a silent worker must fail the barrier");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("worker(s) 1"),
+        "the silent worker is named: {msg}"
+    );
+    assert!(
+        msg.contains("handshake"),
+        "the failure is attributed to the barrier: {msg}"
+    );
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(10),
+        "the barrier must expire at its deadline, not hang"
+    );
+}
+
+#[test]
+fn handshake_barrier_names_a_worker_that_never_connects() {
+    // Worker 1 never even dials in. Same contract: deadline, named
+    // worker, nonzero error.
+    let input = calm_common::generator::path(4);
+    let cfg = ProcessConfig::new(2, spec_for("monotone", 4, None))
+        .with_respawn_budget(0)
+        .with_handshake_deadline(std::time::Duration::from_millis(400));
+    let spawner = move |k: usize, addr: &str| -> Result<SpawnHandle, String> {
+        let addr = addr.to_string();
+        let input = input.clone();
+        Ok(SpawnHandle::Thread(std::thread::spawn(move || {
+            if k == 1 {
+                return; // vanishes without connecting
+            }
+            let builder = move |assign: &Assign| -> Result<WorkerSetup, String> {
+                let (transducer, policy, config) = family(&assign.spec.strategy, assign.spec.nodes);
+                Ok(WorkerSetup {
+                    transducer,
+                    policy,
+                    config,
+                    input: input.clone(),
+                    obs: Obs::noop(),
+                })
+            };
+            let _ = run_net_worker(&addr, k, &builder);
+        })))
+    };
+    let err = run_process(&cfg, &spawner, &Obs::noop())
+        .expect_err("a missing worker must fail the barrier");
+    let msg = err.to_string();
+    assert!(msg.contains("worker(s) 1"), "{msg}");
 }
 
 #[test]

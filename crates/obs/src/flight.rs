@@ -110,6 +110,10 @@ impl FlightRecorder {
             Trigger::on("net", "retry_exhausted"),
             Trigger::on("net", "decode_failure"),
             Trigger::on("net", "crash"),
+            Trigger::on("net", "worker_die"),
+            Trigger::on("net", "worker_down"),
+            Trigger::on("net", "worker_hung"),
+            Trigger::on("net", "worker_killed"),
             Trigger::on_arg("net", "termination", "quiescent", false),
         ];
         FlightRecorder::with_triggers(path, capacity, triggers)
