@@ -1,10 +1,11 @@
-//! The experiment suite: one function per experiment id (E1–E26, see
+//! The experiment suite: one function per experiment id (E1–E27, see
 //! DESIGN.md's per-experiment index), each returning a [`Report`].
 
 mod engine;
 mod faults;
 mod fragments;
 mod hierarchy;
+mod incremental;
 mod parallel;
 mod policies;
 mod process;
@@ -24,6 +25,7 @@ pub use fragments::{e12_example51, e13_components, e14_semicon, e15_wilog};
 pub use hierarchy::{
     e1_hierarchy, e2_bounded_m, e3_clique_ladder, e4_star_ladder, e5_cross, e6_preservation,
 };
+pub use incremental::{e27_incremental, e27_incremental_obs};
 pub use parallel::{e21_parallel, e21_parallel_obs};
 pub use policies::e7_policies;
 pub use process::{e25_process, e25_process_obs};
@@ -88,6 +90,7 @@ pub fn all() -> Vec<Experiment> {
         ("e24", Runner::Obs(e24_trace_obs)),
         ("e25", Runner::Obs(e25_process_obs)),
         ("e26", Runner::Obs(e26_recovery_obs)),
+        ("e27", Runner::Obs(e27_incremental_obs)),
     ]
 }
 
@@ -153,7 +156,7 @@ mod tests {
         dedup.dedup();
         assert_eq!(ids, dedup);
         assert_eq!(ids[0], "e1");
-        assert_eq!(ids.len(), 24);
+        assert_eq!(ids.len(), 25);
     }
 
     #[test]

@@ -195,6 +195,71 @@ pub fn cmd_eval_full(
     Ok(out)
 }
 
+/// `calm eval --updates FILE`: evaluate once, then fold each signed
+/// update batch into the materialized answer by incremental
+/// maintenance (DRed), printing the output relations after the initial
+/// evaluation and after every batch.
+///
+/// With `from_scratch` (the `--from-scratch` flag), every batch instead
+/// re-evaluates the updated EDB with the normal fixpoint — same output
+/// format, no maintenance. Diffing the two modes' outputs is the
+/// differential oracle the CI `incremental` job checks.
+pub fn cmd_eval_updates(
+    program_src: &str,
+    facts_src: &str,
+    updates_src: &str,
+    from_scratch: bool,
+    obs_opts: &ObsOptions,
+    eval_threads: usize,
+) -> Result<String, CliError> {
+    let p = load_program(program_src)?;
+    let q = calm_datalog::DatalogQuery::new("eval", p)
+        .map_err(|e| err(format!("program: {e}")))?
+        .with_eval_threads(eval_threads);
+    let mut edb = load_facts(facts_src)?;
+    let batches =
+        calm_datalog::parse_updates(updates_src).map_err(|e| err(format!("updates: {e}")))?;
+    let (obs, report) = build_obs(obs_opts, Vec::new())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "% initial");
+    if from_scratch {
+        out.push_str(&render_instance(&calm_common::query::Query::eval(&q, &edb)));
+        for (k, b) in batches.iter().enumerate() {
+            b.apply_to_instance(&mut edb);
+            let _ = writeln!(out, "% after batch {}", k + 1);
+            out.push_str(&render_instance(&calm_common::query::Query::eval(&q, &edb)));
+        }
+    } else {
+        let mut session = q.open(&edb);
+        out.push_str(&render_instance(&session.output()));
+        for (k, b) in batches.iter().enumerate() {
+            session.apply_obs(b, &obs);
+            let _ = writeln!(out, "% after batch {}", k + 1);
+            out.push_str(&render_instance(&session.output()));
+        }
+        // Summary only under --metrics: the plain output must stay
+        // byte-diffable against the --from-scratch mode.
+        if obs_opts.metrics {
+            let s = session.stats();
+            let _ = writeln!(
+                out,
+                "% maintenance: {} batches, +{} -{} edb, {} retractions, {} rederivations, {} insertions",
+                batches.len(),
+                s.edb_inserted,
+                s.edb_deleted,
+                s.retractions,
+                s.rederivations,
+                s.insertions
+            );
+        }
+    }
+    obs.finish();
+    if let Some(r) = report {
+        out.push_str(&r.render());
+    }
+    Ok(out)
+}
+
 /// `calm wfs`: well-founded semantics; prints true facts and, when the
 /// model is partial, the undefined facts.
 pub fn cmd_wfs(program_src: &str, facts_src: &str) -> Result<String, CliError> {
@@ -868,7 +933,8 @@ pub const USAGE: &str = "\
 calm — weaker forms of monotonicity for declarative networking
 
 USAGE:
-  calm eval      <program.dl> <facts.dl> [--eval-threads N] [--trace-out PREFIX] [--metrics]
+  calm eval      <program.dl> <facts.dl> [--updates updates.dl] [--from-scratch]
+                 [--eval-threads N] [--trace-out PREFIX] [--metrics]
                  [--dump-plan] [--flight-recorder PATH]
   calm wfs       <program.dl> <facts.dl> [--eval-threads N]
   calm classify  <program.dl>
@@ -879,6 +945,16 @@ USAGE:
                  [--respawn-budget N] [--eval-threads N] [--faults SPEC] [--trace]
                  [--trace-out PREFIX] [--metrics] [--dump-plan] [--flight-recorder PATH]
   calm trace     report <trace.jsonl>... [--json]
+
+  --updates FILE evaluates once, then maintains the answer
+  incrementally (delete-rederive over the compiled rules, no per-batch
+  re-evaluation) through the signed batches in FILE: lines '+ E(1,2).'
+  insert, '- E(2,3).' delete, a line of dashes (---) separates batches,
+  '%' comments. The output relations are printed initially and after
+  every batch. --from-scratch re-evaluates each batch with the full
+  fixpoint instead — byte-identical output by construction, which makes
+  'diff' between the two modes a correctness oracle. With --metrics a
+  '% maintenance:' summary line is appended in incremental mode.
 
   --dump-plan prints the compiled query plan — per rule, the atom join
   order and each atom's join strategy (merge join on a sorted prefix,
@@ -1086,6 +1162,32 @@ mod tests {
             sim.contains("% matches centralized evaluation: true"),
             "{sim}"
         );
+    }
+
+    #[test]
+    fn eval_updates_matches_from_scratch() {
+        let updates = "- E(2,3).\n---\n+ E(2,3).\n+ E(3,1).\n---\n- E(1,2).\n";
+        let opts = ObsOptions::default();
+        // Stratified-negation program through three batches: the
+        // incremental and from-scratch modes must print byte-identical
+        // output (the CLI half of the differential oracle).
+        let inc = cmd_eval_updates(QTC, FACTS, updates, false, &opts, 1).unwrap();
+        let scratch = cmd_eval_updates(QTC, FACTS, updates, true, &opts, 1).unwrap();
+        assert_eq!(inc, scratch);
+        assert!(inc.contains("% initial"));
+        assert!(inc.contains("% after batch 3"));
+        // --metrics appends the maintenance summary in incremental mode.
+        let m = ObsOptions {
+            metrics: true,
+            ..Default::default()
+        };
+        let with_stats = cmd_eval_updates(TC, FACTS, updates, false, &m, 1).unwrap();
+        assert!(
+            with_stats.contains("% maintenance: 3 batches"),
+            "{with_stats}"
+        );
+        // Bad update syntax is a CliError, not a panic.
+        assert!(cmd_eval_updates(TC, FACTS, "E(1,2).", false, &opts, 1).is_err());
     }
 
     #[test]

@@ -56,12 +56,22 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
     match cmd {
         "eval" => {
             let (p, f) = two_files(args)?;
-            cmd_eval_full(
-                &read(p)?,
-                &read(f)?,
-                &obs_options(args),
-                eval_threads(args)?,
-            )
+            match flag_value(args, "--updates") {
+                Some(u) => cmd_eval_updates(
+                    &read(p)?,
+                    &read(f)?,
+                    &read(u)?,
+                    args.iter().any(|a| a == "--from-scratch"),
+                    &obs_options(args),
+                    eval_threads(args)?,
+                ),
+                None => cmd_eval_full(
+                    &read(p)?,
+                    &read(f)?,
+                    &obs_options(args),
+                    eval_threads(args)?,
+                ),
+            }
         }
         "wfs" => {
             let (p, f) = two_files(args)?;

@@ -21,6 +21,7 @@ pub mod query;
 pub mod rng;
 pub mod schema;
 pub mod storage;
+pub mod update;
 pub mod value;
 
 pub use component::{component_count, components};
@@ -29,4 +30,5 @@ pub use fact::{fact, rel, Fact, RelName};
 pub use instance::{Instance, Tuple};
 pub use query::{FnQuery, Query};
 pub use schema::{Schema, SchemaError};
+pub use update::UpdateBatch;
 pub use value::{v, SkolemTerm, Value};

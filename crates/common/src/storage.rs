@@ -219,28 +219,37 @@ struct SortedBatch {
     data: Vec<Sym>,
     /// `rows + 1` offsets into `data`; `offsets[0] == 0`.
     offsets: Vec<u32>,
+    /// Insertion-log row id of each batch row, parallel to the batch's
+    /// row order. Sealed batches are immutable, so a retraction cannot
+    /// touch them; carrying the id lets probes check tombstone liveness
+    /// (a zeroed support count in [`Relation`]) in O(1) instead of a
+    /// membership-map lookup per candidate row.
+    ids: Vec<u32>,
 }
 
 impl SortedBatch {
-    /// Build a batch from rows already sorted by slice order.
+    /// Build a batch from `(row id, row)` pairs already sorted by row
+    /// slice order.
     fn from_sorted_rows<'a>(
-        rows: impl Iterator<Item = &'a [Sym]>,
+        rows: impl Iterator<Item = (u32, &'a [Sym])>,
         data_hint: usize,
     ) -> SortedBatch {
         let mut b = SortedBatch {
             data: Vec::with_capacity(data_hint),
             offsets: vec![0],
+            ids: Vec::new(),
         };
-        for row in rows {
-            b.push(row);
+        for (id, row) in rows {
+            b.push(id, row);
         }
         b
     }
 
-    fn push(&mut self, row: &[Sym]) {
+    fn push(&mut self, id: u32, row: &[Sym]) {
         self.data.extend_from_slice(row);
         let end = checked_id(self.data.len(), u32::MAX, "batch offset");
         self.offsets.push(end);
+        self.ids.push(id);
     }
 
     /// Number of rows.
@@ -274,24 +283,25 @@ impl SortedBatch {
         let mut out = SortedBatch {
             data: Vec::with_capacity(a.data.len() + b.data.len()),
             offsets: Vec::with_capacity(a.rows() + b.rows() + 1),
+            ids: Vec::with_capacity(a.rows() + b.rows()),
         };
         out.offsets.push(0);
         let (mut i, mut j) = (0, 0);
         while i < a.rows() && j < b.rows() {
             if a.row(i) <= b.row(j) {
-                out.push(a.row(i));
+                out.push(a.ids[i], a.row(i));
                 i += 1;
             } else {
-                out.push(b.row(j));
+                out.push(b.ids[j], b.row(j));
                 j += 1;
             }
         }
         while i < a.rows() {
-            out.push(a.row(i));
+            out.push(a.ids[i], a.row(i));
             i += 1;
         }
         while j < b.rows() {
-            out.push(b.row(j));
+            out.push(b.ids[j], b.row(j));
             j += 1;
         }
         out
@@ -302,10 +312,35 @@ impl SortedBatch {
 /// incrementally maintained per-column indexes, a delta watermark, and
 /// (when sealed via [`Relation::ensure_sorted`]) an LSM-style stack of
 /// sorted immutable batches covering a prefix of the insertion log.
+///
+/// # Retraction
+///
+/// Rows are never removed from the insertion log in place. A
+/// [`Relation::retract`] zeroes the row's support count, leaving a
+/// *tombstone*: sealed batches stay immutable (probes filter dead ids
+/// when any exist), indexes keep the id, and [`Relation::compact`]
+/// later rebuilds the relation over the live rows only. On an
+/// insert-only relation `dead == 0` and every tombstone check is a
+/// single branch, so the v1 insert-only behavior is byte-identical.
 #[derive(Debug, Clone)]
 pub struct Relation {
     rows: Vec<SymTuple>,
-    seen: HashSet<SymTuple>,
+    /// Row → row id. The id doubles as the index into `counts`.
+    seen: HashMap<SymTuple, u32>,
+    /// Per-row support count, parallel to `rows`; `0` marks a
+    /// tombstoned (retracted) row. Semi-naive evaluation is
+    /// set-semantic, so counts act as liveness markers (`0`/`1`) —
+    /// exact derivation multiplicities are not recoverable from the
+    /// delta rounds (see DESIGN.md §16); the incremental engine uses
+    /// delete-rederive on top of these markers.
+    counts: Vec<u32>,
+    /// Number of tombstoned rows (`counts[i] == 0`).
+    dead: usize,
+    /// Row ids retracted since the last [`Relation::mark_delta`] — the
+    /// retraction log mirroring the insertion log's delta region. May
+    /// contain duplicates and since-revived ids; the signed-delta
+    /// reader [`Relation::removed_rows`] filters both.
+    retracted_since_mark: Vec<u32>,
     /// `indexes[col]`, when built, maps a symbol to the ids of the rows
     /// whose `col`-th component is that symbol.
     indexes: Vec<Option<HashMap<Sym, Vec<u32>>>>,
@@ -327,7 +362,10 @@ impl Default for Relation {
     fn default() -> Self {
         Relation {
             rows: Vec::new(),
-            seen: HashSet::new(),
+            seen: HashMap::new(),
+            counts: Vec::new(),
+            dead: 0,
+            retracted_since_mark: Vec::new(),
             indexes: Vec::new(),
             delta_start: 0,
             batches: Vec::new(),
@@ -348,10 +386,19 @@ impl Relation {
         }
     }
 
-    /// Insert a row; returns `true` when new. Every built index is
-    /// updated in place — indexes never need rebuilding.
+    /// Insert a row; returns `true` when new *or revived*. Retracting a
+    /// row and re-inserting it resurrects the same row id in place
+    /// (support back to 1) — sealed batches and built indexes already
+    /// reference that id, so nothing is rebuilt and no duplicate row is
+    /// ever enumerated. A genuinely new row updates every built index
+    /// in place — indexes never need rebuilding.
     pub fn insert(&mut self, t: SymTuple) -> bool {
-        if self.seen.contains(&t) {
+        if let Some(&id) = self.seen.get(&t) {
+            if self.counts[id as usize] == 0 {
+                self.counts[id as usize] = 1;
+                self.dead -= 1;
+                return true;
+            }
             return false;
         }
         let row_id = checked_id(self.rows.len(), self.row_cap, "row");
@@ -360,24 +407,102 @@ impl Relation {
                 map.entry(s).or_default().push(row_id);
             }
         }
-        self.seen.insert(t.clone());
+        self.seen.insert(t.clone(), row_id);
         self.rows.push(t);
+        self.counts.push(1);
         true
     }
 
-    /// Membership test.
-    pub fn contains(&self, t: &[Sym]) -> bool {
-        self.seen.contains(t)
+    /// Retract a row: zero its support count, leaving a tombstone in
+    /// the insertion log and appending the id to the retraction log.
+    /// Sealed batches stay immutable — probes filter dead ids until
+    /// [`Relation::compact`] physically removes them. Returns `true`
+    /// when the row was present and live.
+    pub fn retract(&mut self, t: &[Sym]) -> bool {
+        let Some(&id) = self.seen.get(t) else {
+            return false;
+        };
+        if self.counts[id as usize] == 0 {
+            return false;
+        }
+        self.counts[id as usize] = 0;
+        self.dead += 1;
+        self.retracted_since_mark.push(id);
+        true
     }
 
-    /// All rows, in insertion order.
+    /// Membership test (tombstoned rows are absent).
+    pub fn contains(&self, t: &[Sym]) -> bool {
+        match self.seen.get(t) {
+            Some(&id) => self.dead == 0 || self.counts[id as usize] > 0,
+            None => false,
+        }
+    }
+
+    /// The support count of a row (`0` when absent or tombstoned).
+    pub fn support(&self, t: &[Sym]) -> u32 {
+        self.seen.get(t).map_or(0, |&id| self.counts[id as usize])
+    }
+
+    /// Whether the row with the given id is live (not tombstoned).
+    pub fn is_live(&self, id: u32) -> bool {
+        self.counts.get(id as usize).is_some_and(|&c| c > 0)
+    }
+
+    /// All rows in the insertion log, in insertion order — *including*
+    /// tombstoned rows when `dead_rows() > 0`. The fixpoint engines
+    /// only run over compacted relations (where this equals
+    /// [`Relation::live_rows`]); liveness-aware callers filter with
+    /// [`Relation::is_live`].
     pub fn rows(&self) -> &[SymTuple] {
         &self.rows
     }
 
-    /// The rows inserted since the last [`Relation::mark_delta`].
+    /// The live rows, in insertion order.
+    pub fn live_rows(&self) -> impl Iterator<Item = &SymTuple> + '_ {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| self.dead == 0 || self.counts[*i] > 0)
+            .map(|(_, t)| t)
+    }
+
+    /// The rows inserted since the last [`Relation::mark_delta`]
+    /// (insertion log slice; may include tombstoned rows — the signed
+    /// view is [`Relation::added_rows`]).
     pub fn delta_rows(&self) -> &[SymTuple] {
         &self.rows[self.delta_start.min(self.rows.len())..]
+    }
+
+    /// Signed delta, additions: rows inserted since the last
+    /// [`Relation::mark_delta`] that are still live. Exact when the
+    /// relation held no tombstones at mark time (the update driver
+    /// compacts at every batch boundary): a revival of an older id can
+    /// then only cancel a same-window retraction, never add.
+    pub fn added_rows(&self) -> impl Iterator<Item = &SymTuple> + '_ {
+        let start = self.delta_start.min(self.rows.len());
+        self.rows[start..]
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| self.dead == 0 || self.counts[start + *i] > 0)
+            .map(|(_, t)| t)
+    }
+
+    /// Signed delta, removals: rows that were live at the last
+    /// [`Relation::mark_delta`] and are tombstoned now. Ids past the
+    /// watermark are skipped (inserted *and* retracted within the
+    /// window — a net no-op), as are since-revived and duplicate log
+    /// entries. Same precondition as [`Relation::added_rows`].
+    pub fn removed_rows(&self) -> impl Iterator<Item = &SymTuple> + '_ {
+        let mut emitted: HashSet<u32> = HashSet::new();
+        self.retracted_since_mark
+            .iter()
+            .filter(move |&&id| {
+                (id as usize) < self.delta_start
+                    && self.counts[id as usize] == 0
+                    && emitted.insert(id)
+            })
+            .map(|&id| &self.rows[id as usize])
     }
 
     /// Row id of the start of the delta region.
@@ -385,20 +510,27 @@ impl Relation {
         self.delta_start
     }
 
-    /// Number of rows.
+    /// Number of live rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.rows.len() - self.dead
     }
 
-    /// Whether the relation has no rows.
+    /// Whether the relation has no live rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
-    /// Move the delta watermark to the current end: rows inserted from
-    /// now on form the next delta.
+    /// Number of tombstoned (retracted, not yet compacted) rows.
+    pub fn dead_rows(&self) -> usize {
+        self.dead
+    }
+
+    /// Move the delta watermark to the current end and clear the
+    /// retraction log: inserts and retractions from now on form the
+    /// next signed delta.
     pub fn mark_delta(&mut self) {
         self.delta_start = self.rows.len();
+        self.retracted_since_mark.clear();
     }
 
     /// Build the index for a column if it does not exist yet (existing
@@ -444,12 +576,22 @@ impl Relation {
         if self.sorted_end == self.rows.len() {
             return;
         }
+        // Invariant: sealing copies rows into batches and never moves,
+        // drops or reorders the insertion log, and never touches the
+        // delta watermark — a `delta_rows()` slice handed out between
+        // `mark_deltas` and the delta round must mean the same rows
+        // after sealing (the fixpoint loop re-seals *between* the
+        // watermark move and the delta round).
+        let (rows_before, delta_before) = (self.rows.len(), self.delta_start);
         let tail = &self.rows[self.sorted_end..];
         let mut order: Vec<u32> = (0..tail.len() as u32).collect();
         order.sort_unstable_by(|&a, &b| tail[a as usize].cmp(&tail[b as usize]));
         let data_hint = tail.iter().map(Vec::len).sum();
+        let base = self.sorted_end as u32;
         self.batches.push(SortedBatch::from_sorted_rows(
-            order.iter().map(|&i| tail[i as usize].as_slice()),
+            order
+                .iter()
+                .map(|&i| (base + i, tail[i as usize].as_slice())),
             data_hint,
         ));
         self.sorted_end = self.rows.len();
@@ -462,6 +604,15 @@ impl Relation {
             let below = self.batches.pop().expect("two batches");
             self.batches.push(SortedBatch::merged(&below, &top));
         }
+        debug_assert_eq!(
+            self.rows.len(),
+            rows_before,
+            "sealing must not grow or shrink the insertion log"
+        );
+        debug_assert_eq!(
+            self.delta_start, delta_before,
+            "sealing must not move the delta watermark"
+        );
     }
 
     /// Whether the sorted batches cover the whole insertion log (no
@@ -470,24 +621,33 @@ impl Relation {
         self.sorted_end == self.rows.len()
     }
 
-    /// Merge-probe: lazily enumerate every row whose leading symbol is
-    /// `s`, batch by batch (binary search to the start of the
+    /// Merge-probe: lazily enumerate every live row whose leading
+    /// symbol is `s`, batch by batch (binary search to the start of the
     /// contiguous leading-symbol group within each sealed batch), then
     /// a linear scan of the unsealed tail. Correct whether or not the
-    /// relation is sealed; fast when it is.
+    /// relation is sealed; fast when it is. Tombstones are merged at
+    /// probe time: when any row is dead, each candidate's id is checked
+    /// against the support counts (one O(1) branch per candidate).
     pub fn probe_sorted_iter(&self, s: Sym) -> impl Iterator<Item = &[Sym]> + '_ {
+        let any_dead = self.dead > 0;
         self.batches
             .iter()
             .flat_map(move |b| {
                 (b.lower_bound(s)..b.rows())
-                    .map(move |i| b.row(i))
-                    .take_while(move |row| row.first().copied() == Some(s))
+                    .map(move |i| (b.ids[i], b.row(i)))
+                    .take_while(move |(_, row)| row.first().copied() == Some(s))
+                    .filter(move |&(id, _)| !any_dead || self.counts[id as usize] > 0)
+                    .map(|(_, row)| row)
             })
             .chain(
                 self.rows[self.sorted_end..]
                     .iter()
-                    .map(Vec::as_slice)
-                    .filter(move |row| row.first().copied() == Some(s)),
+                    .enumerate()
+                    .filter(move |(i, row)| {
+                        (!any_dead || self.counts[self.sorted_end + *i] > 0)
+                            && row.first().copied() == Some(s)
+                    })
+                    .map(|(_, row)| row.as_slice()),
             )
     }
 
@@ -517,12 +677,66 @@ impl Relation {
     pub fn clear(&mut self) {
         self.rows.clear();
         self.seen.clear();
+        self.counts.clear();
+        self.dead = 0;
+        self.retracted_since_mark.clear();
         self.delta_start = 0;
         self.batches.clear();
         self.sorted_end = 0;
         for index in self.indexes.iter_mut().flatten() {
             index.clear();
         }
+    }
+
+    /// Physically remove tombstoned rows: rebuild the insertion log,
+    /// membership map, built indexes and support counts over the live
+    /// rows only. Sealed batches are dropped (immutable snapshots of a
+    /// log that no longer exists) and the delta watermark is remapped
+    /// to the number of live rows that preceded it, so "past the
+    /// watermark" keeps meaning "not yet seen by the previous
+    /// `mark_delta` reader". A no-op (and allocation-free) when no row
+    /// is dead. Returns the number of rows removed.
+    ///
+    /// Must not run between a `mark_delta` and a `delta_rows()`
+    /// consumer — compaction moves rows. The update driver compacts
+    /// only at update-batch boundaries, so the fixpoint engines always
+    /// run over compacted relations.
+    pub fn compact(&mut self) -> usize {
+        if self.dead == 0 {
+            return 0;
+        }
+        let removed = self.dead;
+        let old_rows = std::mem::take(&mut self.rows);
+        let old_counts = std::mem::take(&mut self.counts);
+        let live_before_mark = old_counts[..self.delta_start.min(old_counts.len())]
+            .iter()
+            .filter(|&&c| c > 0)
+            .count();
+        self.seen.clear();
+        self.batches.clear();
+        self.sorted_end = 0;
+        self.dead = 0;
+        self.retracted_since_mark.clear();
+        for index in self.indexes.iter_mut().flatten() {
+            index.clear();
+        }
+        self.rows.reserve(old_rows.len() - removed);
+        for (row, c) in old_rows.into_iter().zip(old_counts) {
+            if c == 0 {
+                continue;
+            }
+            let id = checked_id(self.rows.len(), self.row_cap, "row");
+            for (col, index) in self.indexes.iter_mut().enumerate() {
+                if let (Some(map), Some(&s)) = (index.as_mut(), row.get(col)) {
+                    map.entry(s).or_default().push(id);
+                }
+            }
+            self.seen.insert(row.clone(), id);
+            self.rows.push(row);
+            self.counts.push(c);
+        }
+        self.delta_start = live_before_mark;
+        removed
     }
 }
 
@@ -585,6 +799,33 @@ impl Storage {
         (added, bytes)
     }
 
+    /// Retract a row (tombstone it; see [`Relation::retract`]); returns
+    /// `true` when the row was present and live.
+    pub fn retract(&mut self, r: RelId, t: &[Sym]) -> bool {
+        let hit = self
+            .rels
+            .get_mut(r.0 as usize)
+            .is_some_and(|rel| rel.retract(t));
+        if hit {
+            self.count -= 1;
+        }
+        hit
+    }
+
+    /// Whether any relation holds tombstoned (retracted, uncompacted)
+    /// rows.
+    pub fn any_dead(&self) -> bool {
+        self.rels.iter().any(|r| r.dead_rows() > 0)
+    }
+
+    /// Physically remove every tombstone (see [`Relation::compact`]).
+    /// The update driver calls this once per update batch, after
+    /// retraction propagation, so the fixpoint engines always run over
+    /// compacted relations. Returns the number of rows removed.
+    pub fn compact_retractions(&mut self) -> usize {
+        self.rels.iter_mut().map(Relation::compact).sum()
+    }
+
     /// Membership test.
     pub fn contains(&self, r: RelId, t: &[Sym]) -> bool {
         self.relation(r).is_some_and(|rel| rel.contains(t))
@@ -633,7 +874,7 @@ impl Storage {
             if a_len == 0 {
                 continue;
             }
-            if !self.rels[i].rows.iter().all(|t| other.rels[i].contains(t)) {
+            if !self.rels[i].live_rows().all(|t| other.rels[i].contains(t)) {
                 return false;
             }
         }
@@ -725,7 +966,7 @@ pub fn store_to_instance(storage: &Storage, symbols: &SharedSymbols) -> Instance
             continue;
         }
         let name = table.rel_name(r);
-        for row in relation.rows() {
+        for row in relation.live_rows() {
             out.insert_tuple(name, row.iter().map(|&s| table.value(s).clone()).collect());
         }
     }
@@ -754,7 +995,7 @@ pub fn store_to_instance_restricted(
         let Some(arity) = schema.arity(name) else {
             continue;
         };
-        for row in relation.rows() {
+        for row in relation.live_rows() {
             if row.len() != arity {
                 continue;
             }
@@ -1032,6 +1273,174 @@ mod tests {
         let mut found = Vec::new();
         r.probe_sorted(s5, |row| found.push(row.to_vec()));
         assert_eq!(found, vec![syms(&mut t, &[5])]);
+    }
+
+    #[test]
+    fn retract_tombstones_and_reinsert_revives_in_place() {
+        let mut t = SymbolTable::new();
+        let mut r = Relation::default();
+        r.insert(syms(&mut t, &[1, 2]));
+        r.insert(syms(&mut t, &[2, 3]));
+        r.ensure_index(0);
+        assert!(r.retract(&syms(&mut t, &[1, 2])));
+        assert!(!r.retract(&syms(&mut t, &[1, 2])), "already dead");
+        assert!(!r.retract(&syms(&mut t, &[9, 9])), "never present");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dead_rows(), 1);
+        assert!(!r.contains(&syms(&mut t, &[1, 2])));
+        assert_eq!(r.support(&syms(&mut t, &[1, 2])), 0);
+        assert!(r.contains(&syms(&mut t, &[2, 3])));
+        let live: Vec<_> = r.live_rows().cloned().collect();
+        assert_eq!(live, vec![syms(&mut t, &[2, 3])]);
+        // Re-insert revives the same row id: no new row, no index work.
+        assert!(r.insert(syms(&mut t, &[1, 2])));
+        assert_eq!(r.rows().len(), 2, "no duplicate row appended");
+        assert_eq!(r.dead_rows(), 0);
+        assert!(r.contains(&syms(&mut t, &[1, 2])));
+        let s1 = t.sym(&v(1));
+        assert_eq!(r.probe(0, s1), Some(&[0u32][..]), "index id unchanged");
+    }
+
+    #[test]
+    fn signed_deltas_cancel_within_a_window() {
+        let mut t = SymbolTable::new();
+        let mut r = Relation::default();
+        r.insert(syms(&mut t, &[1])); // survives
+        r.insert(syms(&mut t, &[2])); // retracted this window
+        r.insert(syms(&mut t, &[3])); // retracted then revived: no-op
+        r.mark_delta();
+        r.insert(syms(&mut t, &[4])); // added
+        r.insert(syms(&mut t, &[5])); // added then retracted: no-op
+        r.retract(&syms(&mut t, &[5]));
+        r.retract(&syms(&mut t, &[2]));
+        r.retract(&syms(&mut t, &[2])); // duplicate retract: ignored
+        r.retract(&syms(&mut t, &[3]));
+        r.insert(syms(&mut t, &[3])); // revival cancels the retraction
+        let added: Vec<_> = r.added_rows().cloned().collect();
+        assert_eq!(added, vec![syms(&mut t, &[4])]);
+        let removed: Vec<_> = r.removed_rows().cloned().collect();
+        assert_eq!(removed, vec![syms(&mut t, &[2])]);
+        // The next mark clears the retraction log.
+        r.mark_delta();
+        assert_eq!(r.added_rows().count(), 0);
+        assert_eq!(r.removed_rows().count(), 0);
+    }
+
+    #[test]
+    fn probe_sorted_filters_tombstones_in_sealed_batches() {
+        let mut t = SymbolTable::new();
+        let mut r = Relation::default();
+        for pair in [[1, 2], [1, 3], [2, 9]] {
+            r.insert(syms(&mut t, &pair));
+        }
+        r.ensure_sorted();
+        r.insert(syms(&mut t, &[1, 4])); // unsealed tail
+        let s1 = t.sym(&v(1));
+        assert_eq!(r.probe_sorted(s1, |_| ()), 3);
+        // Kill one sealed and one tail row: both filtered at probe time
+        // without touching the immutable batch.
+        r.retract(&syms(&mut t, &[1, 3]));
+        r.retract(&syms(&mut t, &[1, 4]));
+        let mut found = Vec::new();
+        r.probe_sorted(s1, |row| found.push(row.to_vec()));
+        assert_eq!(found, vec![syms(&mut t, &[1, 2])]);
+        // Revival restores the row with no duplicate.
+        r.insert(syms(&mut t, &[1, 3]));
+        assert_eq!(r.probe_sorted(s1, |_| ()), 2);
+    }
+
+    #[test]
+    fn compact_rebuilds_live_rows_indexes_and_watermark() {
+        let mut t = SymbolTable::new();
+        let mut st = Storage::new();
+        let e = t.rel("E");
+        st.relation_mut(e).ensure_index(1);
+        st.insert(e, syms(&mut t, &[1, 2]));
+        st.insert(e, syms(&mut t, &[2, 2]));
+        st.insert(e, syms(&mut t, &[3, 7]));
+        st.relation_mut(e).ensure_sorted();
+        st.retract(e, &syms(&mut t, &[1, 2]));
+        st.mark_deltas();
+        st.insert(e, syms(&mut t, &[4, 2]));
+        assert_eq!(st.len(), 3);
+        assert!(st.any_dead());
+        let removed = st.compact_retractions();
+        assert_eq!(removed, 1);
+        assert!(!st.any_dead());
+        assert_eq!(st.len(), 3);
+        let rel = st.relation(e).unwrap();
+        assert_eq!(rel.rows().len(), 3, "dead row physically gone");
+        // Watermark remapped: [2,2] and [3,7] precede it, [4,2] is delta.
+        assert_eq!(rel.delta_rows(), &[syms(&mut t, &[4, 2])][..]);
+        // Index rebuilt over live ids only.
+        let s2 = t.sym(&v(2));
+        let ids = rel.probe(1, s2).unwrap().to_vec();
+        let rows: Vec<_> = ids.iter().map(|&id| rel.row(id).clone()).collect();
+        assert_eq!(rows, vec![syms(&mut t, &[2, 2]), syms(&mut t, &[4, 2])]);
+        // Batches dropped; merge probes still correct via the tail.
+        assert_eq!(rel.sorted_batches().len(), 0);
+        let s3 = t.sym(&v(3));
+        assert_eq!(rel.probe_sorted(s3, |_| ()), 1);
+        // Compacting again is a no-op.
+        assert_eq!(st.compact_retractions(), 0);
+    }
+
+    #[test]
+    fn sealing_with_pending_delta_rows_leaves_the_delta_intact() {
+        // Satellite: `ensure_sorted` runs between `mark_deltas` and the
+        // delta round (the fixpoint re-seals merge-joined relations
+        // right before each round) — sealing must not move the rows a
+        // `delta_rows()` caller still expects.
+        let mut t = SymbolTable::new();
+        let mut r = Relation::default();
+        r.insert(syms(&mut t, &[5, 1]));
+        r.ensure_sorted();
+        r.mark_delta();
+        r.insert(syms(&mut t, &[4, 2]));
+        r.insert(syms(&mut t, &[3, 3]));
+        let before: Vec<_> = r.delta_rows().to_vec();
+        assert_eq!(before.len(), 2);
+        r.ensure_sorted();
+        assert!(r.is_sealed());
+        // The delta region is untouched: same rows, same order, same
+        // watermark.
+        assert_eq!(r.delta_rows(), &before[..]);
+        assert_eq!(r.delta_start(), 1);
+        // And the sealed batches cover the delta rows for merge probes.
+        let s4 = t.sym(&v(4));
+        assert_eq!(r.probe_sorted(s4, |_| ()), 1);
+    }
+
+    #[test]
+    fn retract_keeps_storage_counter_and_same_facts_honest() {
+        let mut t = SymbolTable::new();
+        let e = t.rel("E");
+        let mut a = Storage::new();
+        let mut b = Storage::new();
+        a.insert(e, syms(&mut t, &[1, 2]));
+        a.insert(e, syms(&mut t, &[2, 3]));
+        a.retract(e, &syms(&mut t, &[2, 3]));
+        assert_eq!(a.len(), 1);
+        // A store that never held the retracted fact is equal.
+        b.insert(e, syms(&mut t, &[1, 2]));
+        assert!(a.same_facts(&b));
+        assert!(b.same_facts(&a));
+        // Tombstones are invisible at the Instance edge.
+        let symbols = SharedSymbols::new();
+        let mut st = Storage::new();
+        let i = Instance::from_facts([fact("E", [1, 2]), fact("E", [2, 3])]);
+        load_instance(&i, &symbols, &mut st);
+        let er = symbols.read().lookup_rel("E").unwrap();
+        let row: SymTuple = {
+            let table = symbols.read();
+            [v(2), v(3)]
+                .iter()
+                .map(|x| table.lookup_sym(x).unwrap())
+                .collect()
+        };
+        st.retract(er, &row);
+        let out = store_to_instance(&st, &symbols);
+        assert_eq!(out, Instance::from_facts([fact("E", [1, 2])]));
     }
 
     #[test]

@@ -13,7 +13,9 @@ use calm_common::storage::{
     load_instance, store_to_instance, store_to_instance_restricted, RelId, SharedSymbols, Storage,
     Sym, SymTuple,
 };
+use calm_common::update::UpdateBatch;
 use calm_common::value::Value;
+use std::collections::{HashMap, HashSet};
 
 /// A mutable store of relations used during evaluation.
 #[derive(Debug, Clone, Default)]
@@ -85,9 +87,104 @@ impl Database {
         self.storage.insert(relation, row)
     }
 
+    /// Retract an interned row (tombstone it; see
+    /// [`calm_common::storage::Relation::retract`]); returns `true` if
+    /// the row was present and live.
+    pub fn retract(&mut self, relation: RelId, row: &[Sym]) -> bool {
+        self.storage.retract(relation, row)
+    }
+
     /// Interned membership test.
     pub fn contains(&self, relation: RelId, row: &[Sym]) -> bool {
         self.storage.contains(relation, row)
+    }
+
+    /// Retract a tuple by relation name; returns `true` if the fact was
+    /// present and live. A never-interned relation or value means the
+    /// fact cannot be present — a no-op, not an interning.
+    pub fn retract_values(&mut self, relation: &str, tuple: &[Value]) -> bool {
+        let row = {
+            let table = self.symbols.read();
+            let Some(r) = table.lookup_rel(relation) else {
+                return false;
+            };
+            let mut row = SymTuple::with_capacity(tuple.len());
+            for v in tuple {
+                match table.lookup_sym(v) {
+                    Some(s) => row.push(s),
+                    None => return false,
+                }
+            }
+            (r, row)
+        };
+        self.storage.retract(row.0, &row.1)
+    }
+
+    /// Apply a raw [`UpdateBatch`] to this database's facts: deletions
+    /// first (tombstones), then insertions (interning as needed) —
+    /// matching [`UpdateBatch::apply_to_instance`]. Returns
+    /// `(inserted, deleted)` counts of facts that actually changed.
+    /// This is the *EDB half* only — no rule maintenance; the
+    /// incremental engine layers retraction propagation on top.
+    pub fn apply_update_batch(&mut self, batch: &UpdateBatch) -> (usize, usize) {
+        let mut deleted = 0;
+        for f in &batch.delete {
+            if self.retract_values(f.relation().as_ref(), f.args()) {
+                deleted += 1;
+            }
+        }
+        let mut inserted = 0;
+        for f in &batch.insert {
+            if self.insert_values(f.relation().as_ref(), f.args().to_vec()) {
+                inserted += 1;
+            }
+        }
+        (inserted, deleted)
+    }
+
+    /// Make this database's facts exactly equal to `i`: retract every
+    /// live row absent from `i`, insert every fact of `i` not yet
+    /// present, then compact the tombstones. Unlike
+    /// [`Database::load`] (which is additive and silently keeps rows a
+    /// shrunk instance no longer holds), this is the correct reload
+    /// path for a persistent scratch database whose source instance
+    /// may have had facts removed.
+    pub fn sync_with_instance(&mut self, i: &Instance) {
+        let mut want: HashMap<RelId, HashSet<SymTuple>> = HashMap::new();
+        {
+            let mut table = self.symbols.write();
+            for name in i.relation_names() {
+                let r = table.rel(name);
+                let rows = want.entry(r).or_default();
+                for t in i.tuples(name) {
+                    rows.insert(t.iter().map(|v| table.sym(v)).collect());
+                }
+            }
+        }
+        let empty = HashSet::new();
+        let rel_ids: Vec<RelId> = self.storage.rel_ids().collect();
+        for r in rel_ids {
+            let target = want.get(&r).unwrap_or(&empty);
+            let stale: Vec<SymTuple> = self
+                .storage
+                .relation(r)
+                .map(|rel| {
+                    rel.live_rows()
+                        .filter(|row| !target.contains(*row))
+                        .cloned()
+                        .collect()
+                })
+                .unwrap_or_default();
+            for row in stale {
+                self.storage.retract(r, &row);
+            }
+        }
+        for (r, rows) in want {
+            for row in rows {
+                self.storage.insert(r, row);
+            }
+        }
+        self.storage.compact_retractions();
     }
 
     /// Insert a tuple by relation name, interning it; returns `true` if
@@ -129,7 +226,7 @@ impl Database {
             let Some(rel) = other.storage.relation(r) else {
                 continue;
             };
-            for row in rel.rows() {
+            for row in rel.live_rows() {
                 if self.storage.insert(r, row.clone()) {
                     added += 1;
                 }
@@ -215,6 +312,51 @@ mod tests {
         b.insert_values("E", vec![v(2), v(3)]);
         b.insert_values("E", vec![v(1), v(2)]);
         assert!(a.same_facts(&b));
+    }
+
+    #[test]
+    fn retract_values_and_update_batches() {
+        let mut db = Database::from_instance(&Instance::from_facts([
+            fact("E", [1, 2]),
+            fact("E", [2, 3]),
+        ]));
+        // Retracting unknown relations/values is a no-op, not interning.
+        assert!(!db.retract_values("Missing", &[v(1)]));
+        assert!(!db.retract_values("E", &[v(1), v(99)]));
+        assert!(db.retract_values("E", &[v(2), v(3)]));
+        assert!(!db.retract_values("E", &[v(2), v(3)]), "already gone");
+        assert_eq!(db.to_instance(), Instance::from_facts([fact("E", [1, 2])]));
+        let batch = calm_common::UpdateBatch::deleting([fact("E", [1, 2])])
+            .with_insert(fact("E", [5, 6]))
+            .with_insert(fact("E", [5, 6])); // duplicate: one insert
+        let (ins, del) = db.apply_update_batch(&batch);
+        assert_eq!((ins, del), (1, 1));
+        assert_eq!(db.to_instance(), Instance::from_facts([fact("E", [5, 6])]));
+    }
+
+    #[test]
+    fn sync_with_instance_drops_stale_rows_load_keeps() {
+        // Regression shape for the Instance::remove / Storage mismatch:
+        // reloading a shrunk instance via the additive `load` keeps the
+        // removed fact; `sync_with_instance` does not.
+        let mut i = Instance::from_facts([fact("E", [1, 2]), fact("E", [2, 3])]);
+        let mut stale = Database::from_instance(&i);
+        let mut synced = stale.clone();
+        i.remove(&fact("E", [2, 3]));
+        stale.load(&i);
+        assert!(
+            stale.contains_values("E", &[v(2), v(3)]),
+            "additive load keeps the removed fact (the bug being guarded)"
+        );
+        synced.sync_with_instance(&i);
+        assert!(!synced.contains_values("E", &[v(2), v(3)]));
+        assert_eq!(synced.to_instance(), i);
+        // Tombstones were compacted away: storage is physically clean.
+        assert!(!synced.storage().any_dead());
+        // Growing again also works through sync.
+        i.insert(fact("E", [7, 8]));
+        synced.sync_with_instance(&i);
+        assert_eq!(synced.to_instance(), i);
     }
 
     #[test]

@@ -6,15 +6,19 @@
 //! * [`compile`] — rule compilation into interned slot form;
 //! * [`seminaive`] — naive and semi-naive fixpoints for semi-positive
 //!   programs;
-//! * [`stratified`] — the stratified semantics driver.
+//! * [`stratified`] — the stratified semantics driver;
+//! * [`incremental`] — DRed maintenance of a materialized stratified
+//!   database under signed update batches.
 
 pub mod compile;
 pub mod database;
+pub mod incremental;
 pub mod seminaive;
 pub mod stratified;
 
 pub use compile::JoinStrategy;
 pub use database::Database;
+pub use incremental::{apply_update_compiled, UpdateStats};
 pub use seminaive::{
     body_valuations, derive_once, fixpoint_naive, fixpoint_seminaive, fixpoint_seminaive_compiled,
     fixpoint_seminaive_compiled_obs, fixpoint_seminaive_frozen, fixpoint_seminaive_frozen_compiled,

@@ -126,7 +126,14 @@ fn sorted_relations(rules: &[CompiledRule]) -> BTreeSet<RelId> {
 
 /// Match one atom against a row, extending `binding`. Returns the slots
 /// that were newly bound (for backtracking), or `None` on mismatch.
-fn unify(atom: &CompiledAtom, row: &[Sym], binding: &mut [Option<Sym>]) -> Option<Vec<usize>> {
+/// `pub(crate)`: the incremental maintenance engine
+/// ([`super::incremental`]) reuses the compiled-rule unification
+/// machinery for its delta joins.
+pub(crate) fn unify(
+    atom: &CompiledAtom,
+    row: &[Sym],
+    binding: &mut [Option<Sym>],
+) -> Option<Vec<usize>> {
     debug_assert_eq!(atom.slots.len(), row.len());
     let mut newly = Vec::new();
     for (slot, &s) in atom.slots.iter().zip(row.iter()) {
@@ -154,13 +161,13 @@ fn unify(atom: &CompiledAtom, row: &[Sym], binding: &mut [Option<Sym>]) -> Optio
     Some(newly)
 }
 
-fn undo(binding: &mut [Option<Sym>], newly: &[usize]) {
+pub(crate) fn undo(binding: &mut [Option<Sym>], newly: &[usize]) {
     for &i in newly {
         binding[i] = None;
     }
 }
 
-fn slot_sym(slot: &Slot, binding: &[Option<Sym>]) -> Sym {
+pub(crate) fn slot_sym(slot: &Slot, binding: &[Option<Sym>]) -> Sym {
     match slot {
         Slot::Const(c) => *c,
         Slot::Var(i) => {
@@ -582,6 +589,12 @@ impl CompiledProgram {
     /// The data-parallel worker count this program will run with.
     pub fn eval_threads(&self) -> usize {
         self.options.eval_threads
+    }
+
+    /// The compiled rules — the incremental maintenance engine walks
+    /// them directly for its overdelete/rederive delta joins.
+    pub(crate) fn rules(&self) -> &[CompiledRule] {
+        &self.rules
     }
 }
 

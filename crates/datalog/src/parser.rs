@@ -137,6 +137,57 @@ pub fn parse_facts(src: &str) -> Result<calm_common::instance::Instance, ParseEr
     }
 }
 
+/// Parse a sequence of signed update batches for incremental
+/// maintenance (`calm eval --updates`).
+///
+/// Line syntax:
+/// * `+ E(1,2).` — insert the fact into the batch;
+/// * `- E(2,3).` — delete it;
+/// * a line of three or more dashes (`---`) closes the current batch;
+/// * `%` / `//` comments and blank lines are skipped.
+///
+/// Facts follow [`parse_facts`] conventions (ground, bare identifiers
+/// are string constants). A trailing unterminated batch is kept; empty
+/// batches produced by consecutive separators are preserved (they are
+/// legal no-op updates). Errors carry the 1-based line number.
+pub fn parse_updates(src: &str) -> Result<Vec<calm_common::update::UpdateBatch>, String> {
+    use calm_common::update::UpdateBatch;
+    let mut batches = Vec::new();
+    let mut cur = UpdateBatch::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('%') || line.starts_with("//") {
+            continue;
+        }
+        if line.len() >= 3 && line.chars().all(|c| c == '-') {
+            batches.push(std::mem::take(&mut cur));
+            continue;
+        }
+        let (sign, rest) = match line.split_at(1) {
+            ("+", rest) => (true, rest),
+            ("-", rest) => (false, rest),
+            _ => {
+                return Err(format!(
+                    "line {}: expected `+ Fact.`, `- Fact.` or `---`, got: {line}",
+                    i + 1
+                ))
+            }
+        };
+        let facts = parse_facts(rest.trim()).map_err(|e| format!("line {}: {e}", i + 1))?;
+        for f in facts.facts() {
+            if sign {
+                cur.insert.push(f);
+            } else {
+                cur.delete.push(f);
+            }
+        }
+    }
+    if !cur.is_empty() {
+        batches.push(cur);
+    }
+    Ok(batches)
+}
+
 /// Parse a single rule (must end with `.`).
 pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
     let mut p = Parser::new(src);
@@ -514,5 +565,30 @@ mod tests {
         let r = parse_rule("O(x) :- V(x), x != 3.").unwrap();
         assert_eq!(r.ineq.len(), 1);
         assert_eq!(r.ineq[0].1, Term::cst(3));
+    }
+
+    #[test]
+    fn parse_updates_batches_and_signs() {
+        let src = "% batch one\n+ E(1,2).\n- E(2,3).\n---\n+ V(alice).\n";
+        let batches = parse_updates(src).unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(
+            batches[0].insert,
+            vec![calm_common::fact::fact("E", [1, 2])]
+        );
+        assert_eq!(
+            batches[0].delete,
+            vec![calm_common::fact::fact("E", [2, 3])]
+        );
+        assert_eq!(batches[1].delete, vec![]);
+        assert!(batches[1].insert[0]
+            .args()
+            .contains(&calm_common::value::Value::str("alice")));
+        // Consecutive separators keep the empty no-op batch.
+        assert_eq!(parse_updates("---\n---\n").unwrap().len(), 2);
+        assert!(parse_updates("").unwrap().is_empty());
+        // Unsigned lines are rejected with a line number.
+        let err = parse_updates("+ E(1,2).\nE(3,4).").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
     }
 }

@@ -2,14 +2,18 @@
 //! [`calm_common::query::Query`].
 
 use crate::eval::database::Database;
+use crate::eval::incremental::{apply_update_compiled, UpdateStats};
 use crate::eval::seminaive::{fixpoint_seminaive_compiled, CompiledProgram, EvalOptions};
 use crate::eval::stratified::{eval_stratification_shared, Engine};
 use crate::program::Program;
 use crate::stratify::{stratify, NotStratifiable, Stratification};
+use calm_common::fact::Fact;
 use calm_common::instance::Instance;
 use calm_common::query::Query;
 use calm_common::schema::Schema;
 use calm_common::storage::SharedSymbols;
+use calm_common::update::UpdateBatch;
+use calm_obs::Obs;
 
 /// A query computed by a stratified Datalog¬ program (Section 2,
 /// "Computing Queries"): `Q(I) = P(I)|σ'` where `σ'` is the program's
@@ -132,6 +136,94 @@ impl DatalogQuery {
     pub fn stratification(&self) -> &Stratification {
         &self.stratification
     }
+
+    /// Open a maintained evaluation over `input`: materialize the
+    /// fixpoint once, then fold signed [`UpdateBatch`]es into it with
+    /// [`IncrementalEvaluation::apply`] instead of re-running the
+    /// fixpoint per change. The session reuses the query's cached
+    /// [`CompiledProgram`]s and shared symbol table ([`Engine::Naive`]
+    /// queries compile on demand — maintenance always runs compiled).
+    pub fn open(&self, input: &Instance) -> IncrementalEvaluation<'_> {
+        let restricted = input.restrict(&self.input_schema);
+        let owned = if self.compiled.is_none() {
+            precompile(&self.stratification, &self.symbols, Engine::SemiNaive)
+        } else {
+            None
+        };
+        let mut db = Database::from_instance_with(&restricted, self.symbols.clone());
+        for cp in owned.as_deref().or(self.compiled.as_deref()).unwrap() {
+            fixpoint_seminaive_compiled(cp, &mut db);
+        }
+        IncrementalEvaluation {
+            query: self,
+            owned,
+            db,
+            stats: UpdateStats::default(),
+        }
+    }
+}
+
+/// A maintained evaluation of one [`DatalogQuery`] over a mutating
+/// input: the materialized database is updated in place by DRed
+/// maintenance ([`crate::eval::incremental`]) as signed batches
+/// arrive, and [`output`](IncrementalEvaluation::output) is always
+/// byte-identical to `query.eval(current_edb)`.
+pub struct IncrementalEvaluation<'q> {
+    query: &'q DatalogQuery,
+    /// Compiled strata owned by the session when the query itself has
+    /// no cached compilation (the naive-engine ablation).
+    owned: Option<Vec<CompiledProgram>>,
+    db: Database,
+    stats: UpdateStats,
+}
+
+impl IncrementalEvaluation<'_> {
+    /// Fold one signed batch into the materialized database. Facts
+    /// outside the query's input schema are ignored, mirroring the
+    /// input restriction of [`Query::eval`]. Returns this batch's
+    /// maintenance counters.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> UpdateStats {
+        self.apply_obs(batch, &Obs::noop())
+    }
+
+    /// As [`apply`](Self::apply), reporting `eval.retractions` /
+    /// `eval.rederivations` counters to `obs`.
+    pub fn apply_obs(&mut self, batch: &UpdateBatch, obs: &Obs) -> UpdateStats {
+        let schema = &self.query.input_schema;
+        let keep = |f: &&Fact| schema.arity(f.relation()) == Some(f.arity());
+        let restricted = UpdateBatch {
+            insert: batch.insert.iter().filter(keep).cloned().collect(),
+            delete: batch.delete.iter().filter(keep).cloned().collect(),
+        };
+        let strata: &[CompiledProgram] = match &self.owned {
+            Some(v) => v,
+            None => self
+                .query
+                .compiled
+                .as_deref()
+                .expect("query lost its compilation while a session was open"),
+        };
+        let stats = apply_update_compiled(strata, &mut self.db, &restricted, obs);
+        self.stats.merge(&stats);
+        stats
+    }
+
+    /// The query answer for the current input — the materialized
+    /// database restricted to the output schema.
+    pub fn output(&self) -> Instance {
+        self.db.to_instance_restricted(&self.query.output_schema)
+    }
+
+    /// The full materialized database (all IDB relations, not just the
+    /// output schema).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Cumulative counters over every applied batch.
+    pub fn stats(&self) -> UpdateStats {
+        self.stats
+    }
 }
 
 impl Query for DatalogQuery {
@@ -208,6 +300,42 @@ mod tests {
     fn non_stratifiable_rejected() {
         let err = DatalogQuery::parse("wm", "win(x) :- move(x,y), not win(y).");
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn incremental_session_tracks_eval() {
+        let q = DatalogQuery::parse(
+            "tc",
+            "@output T.\nT(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).",
+        )
+        .unwrap();
+        let mut edb = path(4);
+        let mut session = q.open(&edb);
+        assert_eq!(session.output(), q.eval(&edb));
+        let batches = [
+            calm_common::UpdateBatch::deleting([fact("E", [1, 2])]),
+            calm_common::UpdateBatch::inserting([fact("E", [1, 2]), fact("E", [4, 0])]),
+            // Out-of-schema facts are ignored, as in eval().
+            calm_common::UpdateBatch::inserting([fact("Noise", [7])])
+                .with_delete(fact("E", [2, 3])),
+        ];
+        for b in &batches {
+            session.apply(b);
+            b.apply_to_instance(&mut edb);
+            assert_eq!(session.output(), q.eval(&edb));
+        }
+        assert!(session.stats().retractions > 0);
+        assert!(session.database().storage().rel_ids().count() > 0);
+    }
+
+    #[test]
+    fn incremental_session_compiles_for_naive_engine() {
+        let q = DatalogQuery::parse("tc", "@output T.\nT(x,y) :- E(x,y).")
+            .unwrap()
+            .with_engine(crate::eval::stratified::Engine::Naive);
+        let mut session = q.open(&path(2));
+        session.apply(&calm_common::UpdateBatch::deleting([fact("E", [0, 1])]));
+        assert_eq!(session.output().relation_len("T"), 1);
     }
 
     #[test]

@@ -24,6 +24,8 @@ use calm_common::fact::{rel, Fact, RelName};
 use calm_common::instance::Instance;
 use calm_common::query::Query;
 use calm_common::schema::Schema;
+use calm_common::storage::SharedSymbols;
+use calm_common::update::UpdateBatch;
 use calm_obs::Obs;
 use std::collections::BTreeSet;
 
@@ -348,6 +350,136 @@ impl WellFoundedQuery {
             &Obs::noop(),
         )
     }
+
+    /// Open a maintained evaluation over `input`: the doubled program
+    /// is constructed and compiled once, the EDB interned once, and
+    /// signed [`UpdateBatch`]es are folded in with
+    /// [`WellFoundedSession::apply`].
+    ///
+    /// Unlike [`crate::DatalogQuery::open`], maintenance here is
+    /// batch-level re-alternation rather than DRed: the alternating
+    /// fixpoint is non-monotone end to end (each Γ application flips
+    /// the sign of every idb fact's role), so delete–rederive does not
+    /// compose across Γ applications. What the session caches is the
+    /// doubled-program construction, its compilation against a shared
+    /// symbol table, and the interned EDB — the per-batch cost is the
+    /// alternation itself, not parsing, doubling, compiling or
+    /// re-interning.
+    pub fn open(&self, input: &Instance) -> WellFoundedSession<'_> {
+        let doubled = doubled_program(&self.program);
+        let symbols = SharedSymbols::new();
+        let (mut possible_cp, mut true_cp) = {
+            let mut table = symbols.write();
+            (
+                CompiledProgram::new(&doubled.possible_side, &mut table, EvalOptions::default()),
+                CompiledProgram::new(&doubled.true_side, &mut table, EvalOptions::default()),
+            )
+        };
+        possible_cp.set_eval_threads(self.eval_threads);
+        true_cp.set_eval_threads(self.eval_threads);
+        let edb = input.restrict(&self.input_schema);
+        let base = Database::from_instance_with(&edb, symbols.clone());
+        let mut session = WellFoundedSession {
+            query: self,
+            doubled,
+            symbols,
+            possible_cp,
+            true_cp,
+            base,
+            edb,
+            model: WellFoundedModel {
+                true_facts: Instance::new(),
+                possible_facts: Instance::new(),
+                gamma_applications: 0,
+            },
+        };
+        session.model = session.alternate();
+        session
+    }
+}
+
+/// A maintained well-founded evaluation (see
+/// [`WellFoundedQuery::open`]): the current EDB stays interned in a
+/// [`Database`] updated in place by signed batches (tombstone retract,
+/// revive-on-reinsert, compaction at the batch boundary), and each
+/// [`apply`](WellFoundedSession::apply) re-runs the alternating
+/// fixpoint with the cached doubled compilation.
+pub struct WellFoundedSession<'q> {
+    query: &'q WellFoundedQuery,
+    doubled: DoubledProgram,
+    symbols: SharedSymbols,
+    possible_cp: CompiledProgram,
+    true_cp: CompiledProgram,
+    /// The current EDB, interned (input restricted to the input schema).
+    base: Database,
+    /// Value-level mirror of `base`, for the possible-facts union.
+    edb: Instance,
+    model: WellFoundedModel,
+}
+
+impl WellFoundedSession<'_> {
+    /// Fold one signed batch into the EDB and recompute the model.
+    /// Facts outside the query's input schema are ignored, mirroring
+    /// [`WellFoundedQuery::model`]'s input restriction. Returns
+    /// `(inserted, deleted)` EDB fact counts.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> (usize, usize) {
+        let schema = &self.query.input_schema;
+        let keep = |f: &&Fact| schema.arity(f.relation()) == Some(f.arity());
+        let restricted = UpdateBatch {
+            insert: batch.insert.iter().filter(keep).cloned().collect(),
+            delete: batch.delete.iter().filter(keep).cloned().collect(),
+        };
+        let (ins, del) = self.base.apply_update_batch(&restricted);
+        self.base.storage_mut().compact_retractions();
+        restricted.apply_to_instance(&mut self.edb);
+        self.model = self.alternate();
+        (ins, del)
+    }
+
+    /// The current three-valued model.
+    pub fn model(&self) -> &WellFoundedModel {
+        &self.model
+    }
+
+    /// The current query answer: true facts over the output schema.
+    pub fn output(&self) -> Instance {
+        self.model.true_facts.restrict(&self.query.output_schema)
+    }
+
+    /// The current (restricted) EDB.
+    pub fn edb(&self) -> &Instance {
+        &self.edb
+    }
+
+    /// The alternating fixpoint over the maintained EDB — the same loop
+    /// as [`DoubledProgram::eval`], minus the per-call interning and
+    /// priming (the session EDB is restricted to `edb(P)`, which the
+    /// doubling never primes).
+    fn alternate(&self) -> WellFoundedModel {
+        let mut gamma_applications = 0;
+        let mut under = Database::with_symbols(self.symbols.clone());
+        loop {
+            let mut frozen_under = self.base.clone();
+            frozen_under.absorb(&under);
+            let mut over_db = self.base.clone();
+            fixpoint_seminaive_frozen_compiled(&self.possible_cp, &mut over_db, &frozen_under);
+            gamma_applications += 1;
+
+            let mut under_db = self.base.clone();
+            fixpoint_seminaive_frozen_compiled(&self.true_cp, &mut under_db, &over_db);
+            gamma_applications += 1;
+
+            if under_db.same_facts(&under) {
+                let over = unprime_instance(&over_db.to_instance(), &self.doubled.doubled);
+                return WellFoundedModel {
+                    true_facts: under_db.to_instance(),
+                    possible_facts: over.union(&self.edb),
+                    gamma_applications,
+                };
+            }
+            under = under_db;
+        }
+    }
 }
 
 impl Query for WellFoundedQuery {
@@ -481,5 +613,35 @@ mod tests {
         let m = well_founded_model(&win_move(), &Instance::new());
         assert!(m.is_total());
         assert!(m.true_facts.is_empty());
+    }
+
+    #[test]
+    fn session_tracks_model_across_updates() {
+        let q = WellFoundedQuery::parse("win-move", "win(x) :- move(x,y), not win(y).").unwrap();
+        let mut edb = chain_game(0, 3);
+        let mut session = q.open(&edb);
+        assert_eq!(session.model().true_facts, q.model(&edb).true_facts);
+        let batches = [
+            // Close the chain into an even cycle: everything drawn.
+            UpdateBatch::inserting([fact("move", [3, 0])]),
+            // Break it again and shorten the chain.
+            UpdateBatch::deleting([fact("move", [3, 0]), fact("move", [2, 3])]),
+            // Mixed batch with an out-of-schema fact (ignored).
+            UpdateBatch::inserting([fact("win", [9]), fact("move", [2, 0])]),
+        ];
+        for (k, b) in batches.iter().enumerate() {
+            session.apply(b);
+            b.apply_to_instance(&mut edb);
+            let expect = q.model(&edb.restrict(q.input_schema()));
+            assert_eq!(session.model().true_facts, expect.true_facts, "batch {k}");
+            assert_eq!(
+                session.model().possible_facts,
+                expect.possible_facts,
+                "batch {k}"
+            );
+            assert_eq!(session.output(), q.eval(&edb), "batch {k}");
+        }
+        // The out-of-schema win(9) never entered the session EDB.
+        assert!(!session.edb().contains(&fact("win", [9])));
     }
 }

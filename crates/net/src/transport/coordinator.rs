@@ -342,6 +342,21 @@ fn handshake(
         .collect())
 }
 
+/// Lock the shared writer table, recovering from poisoning. A relay
+/// thread that panics while holding this lock must degrade into the
+/// counted link-fault path — its traffic is lost and re-covered by the
+/// senders' retransmissions — not poison every other relay and abort
+/// the coordinator. The table stays structurally valid across a
+/// poisoned section: it only ever sees whole-`Sender` pushes and
+/// single-slot swaps, never a partially-written entry.
+fn lock_writers(
+    writers: &Mutex<Vec<Sender<Vec<u8>>>>,
+) -> std::sync::MutexGuard<'_, Vec<Sender<Vec<u8>>>> {
+    writers
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// One worker's relay reader: decode frames and forward. `Route`
 /// frames go straight onto the destination's write queue (single
 /// reader per source + in-order queue append = per-link FIFO through
@@ -370,7 +385,7 @@ fn relay_reader(
                 // delivery time, never against a stale snapshot of the
                 // fabric. A send to a dead worker's queue fails; the
                 // loss is re-covered by the sender's retransmissions.
-                let writers = writers.lock().expect("writer table");
+                let writers = lock_writers(&writers);
                 if dst >= writers.len() {
                     break format!("route to out-of-range worker {dst}");
                 }
@@ -525,7 +540,7 @@ pub fn run_process(
     let mut writer_threads = Vec::with_capacity(workers);
     for stream in writer_streams {
         let (tx, rx) = std::sync::mpsc::channel::<Vec<u8>>();
-        writer_txs.lock().expect("writer table").push(tx);
+        lock_writers(&writer_txs).push(tx);
         writer_threads.push(std::thread::spawn(move || relay_writer(stream, rx)));
     }
     let (events_tx, events_rx) = std::sync::mpsc::channel::<Event>();
@@ -569,7 +584,7 @@ pub fn run_process(
     // position's queue swallows the send; the substrate's
     // retransmissions re-cover the loss.
     let push_to = |k: usize, payload: Vec<u8>| {
-        let txs = writer_txs.lock().expect("writer table");
+        let txs = lock_writers(&writer_txs);
         if k < txs.len() {
             let _ = txs[k].send(payload);
         }
@@ -709,7 +724,7 @@ pub fn run_process(
                     // discarding crash-window traffic (the senders'
                     // outbox obligations replay it).
                     let (tx, rx) = std::sync::mpsc::channel::<Vec<u8>>();
-                    writer_txs.lock().expect("writer table")[k] = tx;
+                    lock_writers(&writer_txs)[k] = tx;
                     writer_threads.push(std::thread::spawn(move || relay_writer(write_half, rx)));
                     shutdown_streams[k] = stream.try_clone().ok();
                     let writers = writer_txs.clone();
@@ -948,4 +963,46 @@ pub fn run_process(
         wire_bytes,
         wire_bytes_naive,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Panic-injection regression for the lock-poisoning aborts: a
+    /// relay thread dying mid-critical-section used to turn every
+    /// subsequent `expect("writer table")` into a coordinator panic.
+    /// `lock_writers` must recover the table and keep routing.
+    #[test]
+    fn writer_table_survives_poisoning() {
+        let writers: Arc<Mutex<Vec<Sender<Vec<u8>>>>> = Arc::new(Mutex::new(Vec::new()));
+        let (tx, rx) = std::sync::mpsc::channel::<Vec<u8>>();
+        lock_writers(&writers).push(tx);
+
+        // Inject a panic while the lock is held, as a crashing relay
+        // thread would.
+        let poisoner = writers.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("injected relay panic");
+        })
+        .join();
+        assert!(writers.is_poisoned(), "injection must poison the mutex");
+
+        // Every post-poison access pattern used by the coordinator
+        // still works: route lookup + send, respawn slot swap, push.
+        {
+            let table = lock_writers(&writers);
+            assert_eq!(table.len(), 1);
+            table[0].send(b"frame".to_vec()).unwrap();
+        }
+        assert_eq!(rx.recv().unwrap(), b"frame");
+        let (tx2, rx2) = std::sync::mpsc::channel::<Vec<u8>>();
+        lock_writers(&writers)[0] = tx2;
+        lock_writers(&writers)[0]
+            .send(b"after swap".to_vec())
+            .unwrap();
+        assert_eq!(rx2.recv().unwrap(), b"after swap");
+        assert!(rx.try_recv().is_err(), "old incarnation queue is dead");
+    }
 }

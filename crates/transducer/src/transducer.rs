@@ -142,8 +142,13 @@ impl Transducer for DatalogTransducer {
     fn step(&self, d: &Instance) -> TransducerStep {
         let mut guard = self.ctx.lock().expect("step context");
         let ctx = &mut *guard;
-        ctx.scratch.clear();
-        ctx.scratch.load(d);
+        // Diff-reload, not `clear()` + additive `load()`: the scratch
+        // database persists across transitions, and `load` alone would
+        // keep rows the instance no longer holds (deleted memory or
+        // consumed messages), deriving from facts whose supports are
+        // gone. `sync_with_instance` retracts exactly the stale rows
+        // and keeps unchanged ones interned.
+        ctx.scratch.sync_with_instance(d);
         let mut step = TransducerStep::default();
         let mut metrics = EvalMetrics::default();
         // One read lock across the whole derivation: rows are uninterned
@@ -216,6 +221,27 @@ mod tests {
         let d = Instance::from_facts([fact("seen", [1, 2]), fact("E", [1, 2])]);
         let step = t.step(&d);
         assert_eq!(step.del, Instance::from_facts([fact("seen", [1, 2])]));
+    }
+
+    #[test]
+    fn step_after_fact_removal_drops_stale_derivations() {
+        // Regression for the Instance::remove / scratch-Database
+        // mismatch: the StepContext database persists across steps, so
+        // a step over a shrunk instance must not keep deriving from the
+        // removed fact's old row.
+        let t = DatalogTransducer::parse("echo", echo_schema(), "out_E(x,y) :- E(x,y).").unwrap();
+        let mut d = Instance::from_facts([fact("E", [1, 2]), fact("E", [3, 4])]);
+        assert_eq!(t.step(&d).out.relation_len("out_E"), 2);
+        d.remove(&fact("E", [3, 4]));
+        let step = t.step(&d);
+        assert_eq!(
+            step.out,
+            Instance::from_facts([fact("out_E", [1, 2])]),
+            "removed fact must stop feeding derivations"
+        );
+        // And re-adding works too (revive path).
+        d.insert(fact("E", [3, 4]));
+        assert_eq!(t.step(&d).out.relation_len("out_E"), 2);
     }
 
     #[test]

@@ -52,6 +52,29 @@
 //! assert!(result.quiescent);
 //! assert_eq!(result.output, expected);
 //! ```
+//!
+//! ## Incremental maintenance
+//!
+//! When the input changes, fold a signed [`prelude::UpdateBatch`] into a
+//! maintained evaluation instead of re-running the fixpoint — the result
+//! is byte-identical to evaluating the updated input from scratch:
+//!
+//! ```
+//! use calm::prelude::*;
+//!
+//! let qtc = calm::queries::qtc_datalog();
+//! let mut input = calm::common::generator::path(3);
+//! let mut live = qtc.open(&input);              // evaluates once
+//!
+//! let batch = UpdateBatch::new()
+//!     .with_delete(fact("E", [1, 2]))           // cut the path
+//!     .with_insert(fact("E", [0, 2]));          // add a shortcut
+//! let stats = live.apply(&batch);
+//! assert!(stats.retractions > 0);               // T-facts withdrawn
+//!
+//! batch.apply_to_instance(&mut input);
+//! assert_eq!(live.output(), qtc.eval(&input));  // the oracle
+//! ```
 
 pub use calm_common as common;
 pub use calm_datalog as datalog;
@@ -63,8 +86,11 @@ pub use calm_transducer as transducer;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use calm_common::query::{FnQuery, Query};
+    pub use calm_common::update::UpdateBatch;
     pub use calm_common::{fact, v, Fact, Instance, Schema, Value};
-    pub use calm_datalog::{parse_program, DatalogQuery, WellFoundedQuery};
+    pub use calm_datalog::{
+        parse_program, DatalogQuery, IncrementalEvaluation, WellFoundedQuery, WellFoundedSession,
+    };
     pub use calm_monotone::{ExtensionKind, Falsifier};
     pub use calm_transducer::{
         expected_output, run, DisjointStrategy, DistinctStrategy, DistributionPolicy,
